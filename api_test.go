@@ -1,0 +1,520 @@
+package lbkeogh
+
+import (
+	"math"
+	"path/filepath"
+	"testing"
+
+	"lbkeogh/internal/ts"
+)
+
+func demoDB(seed int64, m, n int) []Series {
+	return SyntheticProjectilePoints(seed, m, n)
+}
+
+func TestNewQueryValidation(t *testing.T) {
+	if _, err := NewQuery(nil, Euclidean()); err == nil {
+		t.Fatal("want error for empty series")
+	}
+	if _, err := NewQuery([]float64{1}, Euclidean()); err == nil {
+		t.Fatal("want error for 1-sample series")
+	}
+	if _, err := NewQuery([]float64{1, 2, 3}, Measure{}); err == nil {
+		t.Fatal("want error for zero Measure")
+	}
+	if _, err := NewQuery([]float64{1, 2, 3}, DTW(1), WithStrategy(FFTSearch)); err == nil {
+		t.Fatal("want error for FFTSearch+DTW")
+	}
+	if _, err := NewQuery([]float64{1, 2, 3, 4}, Euclidean(), WithMaxRotationDegrees(200)); err == nil {
+		t.Fatal("want error for degree limit >= 180")
+	}
+}
+
+func TestMeasureNames(t *testing.T) {
+	if Euclidean().Name() != "euclidean" || DTW(3).Name() != "dtw" || LCSS(2, 0.5).Name() != "lcss" {
+		t.Fatal("measure names wrong")
+	}
+	if (Measure{}).Name() != "unset" {
+		t.Fatal("zero measure name wrong")
+	}
+}
+
+func TestQueryDistanceSelfZero(t *testing.T) {
+	db := demoDB(1, 4, 64)
+	for _, m := range []Measure{Euclidean(), DTW(3), LCSS(3, 0.3)} {
+		q, err := NewQuery(db[0], m)
+		if err != nil {
+			t.Fatal(err)
+		}
+		d, rot, err := q.Distance(ts.Rotate(db[0], 17))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if d > 1e-9 {
+			t.Fatalf("%s: self distance under rotation = %v", m.Name(), d)
+		}
+		if rot.Shift != 17 && m.Name() != "lcss" { // LCSS can tie at several shifts
+			t.Fatalf("%s: recovered shift %d, want 17", m.Name(), rot.Shift)
+		}
+	}
+}
+
+func TestRotationDegrees(t *testing.T) {
+	db := demoDB(2, 1, 72)
+	q, _ := NewQuery(db[0], Euclidean())
+	_, rot, err := q.Distance(ts.Rotate(db[0], 18))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(rot.Degrees-90) > 1e-9 {
+		t.Fatalf("18/72 shift should be 90 degrees, got %v", rot.Degrees)
+	}
+}
+
+func TestAllStrategiesAgreePublic(t *testing.T) {
+	n := 64
+	db := demoDB(3, 30, n)
+	query := ts.Rotate(db[7], 11)
+	var want SearchResult
+	for i, s := range []Strategy{WedgeSearch, BruteForceSearch, EarlyAbandonSearch, FFTSearch} {
+		q, err := NewQuery(query, Euclidean(), WithStrategy(s))
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := q.Search(db)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if i == 0 {
+			want = got
+			continue
+		}
+		if got.Index != want.Index || math.Abs(got.Dist-want.Dist) > 1e-9 {
+			t.Fatalf("strategy %d disagrees: %+v vs %+v", s, got, want)
+		}
+	}
+	if want.Index != 7 {
+		t.Fatalf("planted NN not found: %d", want.Index)
+	}
+}
+
+func TestSearchParallelPublic(t *testing.T) {
+	db := demoDB(40, 150, 64)
+	query := ts.Rotate(db[42], 19)
+	q, _ := NewQuery(query, Euclidean())
+	want, err := q.Search(db)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, workers := range []int{0, 3} {
+		qp, _ := NewQuery(query, DTW(2))
+		wantD, err := qp.Search(db)
+		if err != nil {
+			t.Fatal(err)
+		}
+		qp2, _ := NewQuery(query, DTW(2))
+		gotD, err := qp2.SearchParallel(db, workers)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if gotD.Index != wantD.Index || math.Abs(gotD.Dist-wantD.Dist) > 1e-9 {
+			t.Fatalf("workers=%d DTW: parallel %+v != serial %+v", workers, gotD, wantD)
+		}
+		q2, _ := NewQuery(query, Euclidean())
+		got, err := q2.SearchParallel(db, workers)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got.Index != want.Index || math.Abs(got.Dist-want.Dist) > 1e-9 {
+			t.Fatalf("workers=%d: parallel %+v != serial %+v", workers, got, want)
+		}
+	}
+	if _, err := q.SearchParallel(nil, 2); err == nil {
+		t.Fatal("want error for empty db")
+	}
+	if _, err := q.SearchParallel([]Series{make(Series, 8)}, 2); err == nil {
+		t.Fatal("want error for wrong-length db")
+	}
+}
+
+func TestMatchThreshold(t *testing.T) {
+	db := demoDB(4, 10, 48)
+	q, _ := NewQuery(db[0], Euclidean())
+	d, _, err := q.Distance(db[1])
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, _, ok, err := q.Match(db[1], d*0.9)
+	if err != nil || ok {
+		t.Fatalf("tight threshold must not match (ok=%v err=%v)", ok, err)
+	}
+	got, _, ok, err := q.Match(db[1], d*1.1)
+	if err != nil || !ok || math.Abs(got-d) > 1e-9 {
+		t.Fatalf("loose threshold must match exactly: got=%v ok=%v err=%v", got, ok, err)
+	}
+}
+
+func TestSearchTopKOrdering(t *testing.T) {
+	db := demoDB(5, 25, 48)
+	q, _ := NewQuery(db[3], DTW(2))
+	top, err := q.SearchTopK(db, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(top) != 5 || top[0].Index != 3 || top[0].Dist > 1e-9 {
+		t.Fatalf("self must rank first: %+v", top)
+	}
+	for i := 1; i < len(top); i++ {
+		if top[i].Dist < top[i-1].Dist {
+			t.Fatal("results not sorted")
+		}
+	}
+	// Clamp k.
+	all, err := q.SearchTopK(db, 100)
+	if err != nil || len(all) != 25 {
+		t.Fatalf("k clamp failed: %d, %v", len(all), err)
+	}
+}
+
+func TestSearchErrors(t *testing.T) {
+	db := demoDB(6, 5, 32)
+	q, _ := NewQuery(db[0], Euclidean())
+	if _, err := q.Search(nil); err == nil {
+		t.Fatal("want error for empty db")
+	}
+	if _, err := q.Search([]Series{db[0], make(Series, 16)}); err == nil {
+		t.Fatal("want error for ragged db")
+	}
+	if _, _, err := q.Distance(make(Series, 16)); err == nil {
+		t.Fatal("want error for wrong-length candidate")
+	}
+	if _, err := q.SearchTopK(nil, 3); err == nil {
+		t.Fatal("want error for empty db in TopK")
+	}
+}
+
+func TestMirrorInvarianceOption(t *testing.T) {
+	g, err := Glyphs(96)
+	if err != nil {
+		t.Fatal(err)
+	}
+	plain, _ := NewQuery(g['b'], Euclidean())
+	mir, _ := NewQuery(g['b'], Euclidean(), WithMirrorInvariance())
+	if mir.Rotations() != 2*plain.Rotations() {
+		t.Fatal("mirror invariance should double the alignment count")
+	}
+	dPlain, _, _ := plain.Distance(g['d'])
+	dMir, rot, _ := mir.Distance(g['d'])
+	if dMir >= dPlain {
+		t.Fatalf("mirror match should be closer: %v vs %v", dMir, dPlain)
+	}
+	if !rot.Mirrored {
+		t.Fatal("best alignment should be mirrored")
+	}
+}
+
+func TestRotationLimitedOption(t *testing.T) {
+	n := 72
+	db := demoDB(7, 1, n)
+	base := db[0]
+	rotated := ts.Rotate(base, 18) // 90 degrees
+	narrow, err := NewQuery(base, Euclidean(), WithMaxRotationDegrees(45))
+	if err != nil {
+		t.Fatal(err)
+	}
+	wide, err := NewQuery(base, Euclidean(), WithMaxRotationDegrees(120))
+	if err != nil {
+		t.Fatal(err)
+	}
+	dN, _, _ := narrow.Distance(rotated)
+	dW, _, _ := wide.Distance(rotated)
+	if dW > 1e-9 {
+		t.Fatalf("120-degree limit should find the 90-degree match: %v", dW)
+	}
+	if dN <= 1e-9 {
+		t.Fatal("45-degree limit must not find the 90-degree match")
+	}
+}
+
+func TestSixVsNine(t *testing.T) {
+	// The paper's flagship rotation-limited example: a '6' should not match
+	// a '9' under a tight rotation limit, but unrestricted rotation-invariant
+	// search confuses them (a 9 is a rotated 6-like glyph).
+	g, err := Glyphs(96)
+	if err != nil {
+		t.Fatal(err)
+	}
+	free, _ := NewQuery(g['6'], Euclidean())
+	limited, _ := NewQuery(g['6'], Euclidean(), WithMaxRotationDegrees(15))
+	dFree, _, _ := free.Distance(g['9'])
+	dLim, _, _ := limited.Distance(g['9'])
+	if dLim < dFree {
+		t.Fatalf("limited query should not match 9 better: %v vs %v", dLim, dFree)
+	}
+}
+
+func TestStepsAccounting(t *testing.T) {
+	db := demoDB(8, 20, 64)
+	q, _ := NewQuery(db[0], Euclidean())
+	setup := q.Steps()
+	if setup == 0 {
+		t.Fatal("construction should charge steps")
+	}
+	if _, err := q.Search(db); err != nil {
+		t.Fatal(err)
+	}
+	if q.Steps() <= setup {
+		t.Fatal("search should add steps")
+	}
+	q.ResetSteps()
+	if q.Steps() != 0 {
+		t.Fatal("reset failed")
+	}
+}
+
+func TestFixedWedgeAndBestFirstOptionsExact(t *testing.T) {
+	db := demoDB(9, 15, 48)
+	query := ts.Rotate(db[4], 9)
+	ref, _ := NewQuery(query, Euclidean())
+	want, err := ref.Search(db)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, opts := range [][]QueryOption{
+		{WithFixedWedgeCount(1)},
+		{WithFixedWedgeCount(48)},
+		{WithBestFirstTraversal()},
+		{WithFixedWedgeCount(7), WithBestFirstTraversal()},
+	} {
+		q, err := NewQuery(query, Euclidean(), opts...)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := q.Search(db)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got.Index != want.Index || math.Abs(got.Dist-want.Dist) > 1e-9 {
+			t.Fatalf("options %v disagree: %+v vs %+v", opts, got, want)
+		}
+	}
+}
+
+func TestIndexSearchMatchesLinear(t *testing.T) {
+	n := 64
+	db := demoDB(10, 80, n)
+	ix, err := NewIndex(db, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ix.Len() != 80 || ix.Dims() != 8 {
+		t.Fatalf("index metadata wrong: %d, %d", ix.Len(), ix.Dims())
+	}
+	for _, m := range []Measure{Euclidean(), DTW(3), LCSS(2, 0.4)} {
+		q, err := NewQuery(ts.Rotate(db[13], 21), m)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want, err := q.Search(db)
+		if err != nil {
+			t.Fatal(err)
+		}
+		q2, _ := NewQuery(ts.Rotate(db[13], 21), m)
+		ix.ResetDiskReads()
+		got, err := ix.Search(q2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got.Index != want.Index || math.Abs(got.Dist-want.Dist) > 1e-9 {
+			t.Fatalf("%s: index (%d,%v) != linear (%d,%v)", m.Name(), got.Index, got.Dist, want.Index, want.Dist)
+		}
+		if m.Name() != "lcss" && ix.DiskReads() >= ix.Len() {
+			t.Fatalf("%s: index fetched everything (%d)", m.Name(), ix.DiskReads())
+		}
+	}
+}
+
+func TestIndexSearchRange(t *testing.T) {
+	n := 48
+	db := demoDB(30, 50, n)
+	ix, err := NewIndex(db, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, m := range []Measure{Euclidean(), DTW(2)} {
+		q, _ := NewQuery(ts.Rotate(db[11], 5), m)
+		nn, err := q.Search(db)
+		if err != nil {
+			t.Fatal(err)
+		}
+		q2, _ := NewQuery(ts.Rotate(db[11], 5), m)
+		hits, err := ix.SearchRange(q2, nn.Dist*1.5+0.1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		foundNN := false
+		for _, h := range hits {
+			if h.Index == nn.Index {
+				foundNN = true
+				if math.Abs(h.Dist-nn.Dist) > 1e-9 {
+					t.Fatalf("%s: range dist %v != NN dist %v", m.Name(), h.Dist, nn.Dist)
+				}
+			}
+			if h.Dist >= nn.Dist*1.5+0.1 {
+				t.Fatalf("%s: hit beyond radius: %v", m.Name(), h.Dist)
+			}
+		}
+		if !foundNN {
+			t.Fatalf("%s: range query missed the nearest neighbour", m.Name())
+		}
+	}
+	// Validation.
+	q, _ := NewQuery(db[0], Euclidean())
+	if _, err := ix.SearchRange(q, -1); err == nil {
+		t.Fatal("want error for non-positive radius")
+	}
+	qShort, _ := NewQuery(make(Series, 16), Euclidean())
+	if _, err := ix.SearchRange(qShort, 1); err == nil {
+		t.Fatal("want error for length mismatch")
+	}
+	qLCSS, _ := NewQuery(db[0], LCSS(2, 0.3))
+	if _, err := ix.SearchRange(qLCSS, 1); err == nil {
+		t.Fatal("want error for LCSS range search")
+	}
+}
+
+func TestFileBackedIndex(t *testing.T) {
+	n := 48
+	db := demoDB(50, 60, n)
+	path := filepath.Join(t.TempDir(), "db.lbks")
+	if err := WriteSeriesFile(path, db); err != nil {
+		t.Fatal(err)
+	}
+	ix, err := OpenIndexFile(path, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ix.Close()
+	if ix.Len() != 60 || ix.Dims() != 8 {
+		t.Fatalf("file index metadata (%d,%d)", ix.Len(), ix.Dims())
+	}
+	// Exactness against the in-memory linear scan, for ED and DTW.
+	for _, m := range []Measure{Euclidean(), DTW(3)} {
+		q, _ := NewQuery(ts.Rotate(db[17], 9), m)
+		want, err := q.Search(db)
+		if err != nil {
+			t.Fatal(err)
+		}
+		q2, _ := NewQuery(ts.Rotate(db[17], 9), m)
+		ix.ResetDiskReads()
+		got, err := ix.Search(q2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got.Index != want.Index || math.Abs(got.Dist-want.Dist) > 1e-9 {
+			t.Fatalf("%s: file index (%d,%v) != scan (%d,%v)", m.Name(), got.Index, got.Dist, want.Index, want.Dist)
+		}
+		if ix.DiskReads() == 0 || ix.DiskReads() >= ix.Len() {
+			t.Fatalf("%s: disk reads = %d of %d", m.Name(), ix.DiskReads(), ix.Len())
+		}
+	}
+	// Validation paths.
+	if _, err := OpenIndexFile(filepath.Join(t.TempDir(), "missing"), 8); err == nil {
+		t.Fatal("want error for missing file")
+	}
+	if _, err := OpenIndexFile(path, 0); err == nil {
+		t.Fatal("want error for dims < 1")
+	}
+	// In-memory index Close is a no-op.
+	mem, _ := NewIndex(db, 4)
+	if err := mem.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestIndexValidation(t *testing.T) {
+	if _, err := NewIndex(nil, 4); err == nil {
+		t.Fatal("want error for empty db")
+	}
+	if _, err := NewIndex([]Series{{1, 2}, {1}}, 4); err == nil {
+		t.Fatal("want error for ragged db")
+	}
+	if _, err := NewIndex([]Series{{1, 2, 3, 4}}, 0); err == nil {
+		t.Fatal("want error for dims < 1")
+	}
+	db := demoDB(11, 5, 32)
+	ix, _ := NewIndex(db, 4)
+	q, _ := NewQuery(make(Series, 16), Euclidean())
+	if _, err := ix.Search(q); err == nil {
+		t.Fatal("want error for length mismatch")
+	}
+}
+
+func TestDatasetGenerators(t *testing.T) {
+	lc := SyntheticLightCurves(1, 30, 64, 0.1)
+	if len(lc.Series) != 30 || lc.NumClasses != 3 {
+		t.Fatalf("light curves malformed: %d series", len(lc.Series))
+	}
+	het := SyntheticHeterogeneous(2, 20, 64)
+	if len(het) != 20 {
+		t.Fatal("heterogeneous size wrong")
+	}
+	names := Table8Names()
+	if len(names) != 10 {
+		t.Fatal("Table8Names wrong")
+	}
+	d, err := Table8Dataset("Chicken", 0.5)
+	if err != nil || d.NumClasses != 5 {
+		t.Fatalf("Chicken dataset: %v", err)
+	}
+	if _, err := Table8Dataset("bogus", 1); err == nil {
+		t.Fatal("want error for unknown dataset")
+	}
+	skulls, species := SkullDataset(3, 2, 64, 0.02)
+	if len(skulls.Series) != 2*len(species) {
+		t.Fatal("skull dataset size wrong")
+	}
+}
+
+func TestShapePipelinePublic(t *testing.T) {
+	bmp := NewBitmap(120, 120)
+	bmp.FillDisk(60, 60, 30)
+	bmp.FillDisk(85, 60, 14) // asymmetric feature
+	sig, err := Signature(bmp, 96)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rotSig, err := Signature(bmp.Rotate(math.Pi/2), 96)
+	if err != nil {
+		t.Fatal(err)
+	}
+	q, err := NewQuery(sig, Euclidean())
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, _, err := q.Distance(rotSig)
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw := 0.0
+	for i := range sig {
+		diff := sig[i] - rotSig[i]
+		raw += diff * diff
+	}
+	raw = math.Sqrt(raw)
+	if d > raw {
+		t.Fatalf("rotation-invariant distance %v exceeds raw %v", d, raw)
+	}
+	if d > 2.0 {
+		t.Fatalf("rotated shape should match closely: %v", d)
+	}
+	if _, err := TraceContour(bmp); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := AngularSignature(bmp, 64); err != nil {
+		t.Fatal(err)
+	}
+	if LetterBitmap('b', 64).Count() == 0 {
+		t.Fatal("letter bitmap empty")
+	}
+}

@@ -1,0 +1,75 @@
+// Command mkdata emits the synthetic datasets as CSV for inspection or use
+// by other tools. Each row is: label, v0, v1, ..., v(n-1).
+//
+// Usage:
+//
+//	mkdata -dataset projectile -m 200 -n 251 > points.csv
+//	mkdata -dataset lightcurves -m 90 -n 512 > curves.csv
+//	mkdata -dataset table8:Fish > fish.csv
+//	mkdata -dataset skulls > skulls.csv
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"lbkeogh"
+)
+
+func main() {
+	var (
+		dataset = flag.String("dataset", "projectile", "projectile | heterogeneous | lightcurves | skulls | table8:<Name>")
+		m       = flag.Int("m", 200, "number of instances (projectile/heterogeneous/lightcurves)")
+		n       = flag.Int("n", 251, "series length (projectile/heterogeneous/lightcurves)")
+		noise   = flag.Float64("noise", 0.15, "light-curve photometric noise")
+		seed    = flag.Int64("seed", 1, "RNG seed")
+	)
+	flag.Parse()
+
+	w := bufio.NewWriter(os.Stdout)
+	defer w.Flush()
+
+	var series []lbkeogh.Series
+	var labels []int
+	switch {
+	case *dataset == "projectile":
+		series = lbkeogh.SyntheticProjectilePoints(*seed, *m, *n)
+	case *dataset == "heterogeneous":
+		series = lbkeogh.SyntheticHeterogeneous(*seed, *m, *n)
+	case *dataset == "lightcurves":
+		d := lbkeogh.SyntheticLightCurves(*seed, *m, *n, *noise)
+		series, labels = d.Series, d.Labels
+	case *dataset == "skulls":
+		d, names := lbkeogh.SkullDataset(*seed, 4, *n, 0.02)
+		series, labels = d.Series, d.Labels
+		fmt.Fprintf(os.Stderr, "species: %s\n", strings.Join(names, ", "))
+	case strings.HasPrefix(*dataset, "table8:"):
+		name := strings.TrimPrefix(*dataset, "table8:")
+		d, err := lbkeogh.Table8Dataset(name, 1.0)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "mkdata: %v\n", err)
+			os.Exit(1)
+		}
+		series, labels = d.Series, d.Labels
+	default:
+		fmt.Fprintf(os.Stderr, "mkdata: unknown dataset %q\n", *dataset)
+		os.Exit(2)
+	}
+
+	for i, s := range series {
+		label := 0
+		if labels != nil {
+			label = labels[i]
+		}
+		fmt.Fprint(w, label)
+		for _, v := range s {
+			w.WriteByte(',')
+			w.WriteString(strconv.FormatFloat(v, 'g', 8, 64))
+		}
+		w.WriteByte('\n')
+	}
+}

@@ -1,0 +1,178 @@
+// Command shapesearch answers rotation-invariant nearest-neighbour queries
+// over a CSV database (as written by mkdata): the query is a row index, the
+// database the remaining rows.
+//
+// Usage:
+//
+//	mkdata -dataset projectile -m 500 > db.csv
+//	shapesearch -db db.csv -query 17 -k 5 -measure dtw -r 5
+//	shapesearch -db db.csv -query 3 -mirror -maxdeg 45
+//	shapesearch -db db.csv -query 4 -indexed -dims 16
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"lbkeogh"
+)
+
+func main() {
+	var (
+		dbPath   = flag.String("db", "", "CSV database file (label,v0,v1,...)")
+		queryI   = flag.Int("query", 0, "row index of the query")
+		k        = flag.Int("k", 1, "number of neighbours to report")
+		measure  = flag.String("measure", "euclidean", "euclidean | dtw | lcss")
+		r        = flag.Int("r", 5, "DTW Sakoe-Chiba radius / LCSS window")
+		eps      = flag.Float64("eps", 0.25, "LCSS matching threshold")
+		mirror   = flag.Bool("mirror", false, "enable mirror-image invariance")
+		maxDeg   = flag.Float64("maxdeg", -1, "rotation limit in degrees (<0: unlimited)")
+		indexed  = flag.Bool("indexed", false, "search through the compressed disk index")
+		dims     = flag.Int("dims", 16, "index dimensionality (with -indexed)")
+		radius   = flag.Float64("radius", -1, "range query: report all matches within this distance (with -indexed)")
+		parallel = flag.Int("parallel", 1, "worker goroutines for the linear scan (0 = GOMAXPROCS)")
+	)
+	flag.Parse()
+	if *dbPath == "" {
+		fmt.Fprintln(os.Stderr, "shapesearch: -db is required")
+		os.Exit(2)
+	}
+	labels, series, err := readCSV(*dbPath)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "shapesearch: %v\n", err)
+		os.Exit(1)
+	}
+	if *queryI < 0 || *queryI >= len(series) {
+		fmt.Fprintf(os.Stderr, "shapesearch: query index %d outside [0,%d)\n", *queryI, len(series))
+		os.Exit(2)
+	}
+
+	var m lbkeogh.Measure
+	switch *measure {
+	case "euclidean":
+		m = lbkeogh.Euclidean()
+	case "dtw":
+		m = lbkeogh.DTW(*r)
+	case "lcss":
+		m = lbkeogh.LCSS(*r, *eps)
+	default:
+		fmt.Fprintf(os.Stderr, "shapesearch: unknown measure %q\n", *measure)
+		os.Exit(2)
+	}
+	var opts []lbkeogh.QueryOption
+	if *mirror {
+		opts = append(opts, lbkeogh.WithMirrorInvariance())
+	}
+	if *maxDeg >= 0 {
+		opts = append(opts, lbkeogh.WithMaxRotationDegrees(*maxDeg))
+	}
+
+	query := series[*queryI]
+	db := make([]lbkeogh.Series, 0, len(series)-1)
+	dbRows := make([]int, 0, len(series)-1)
+	for i, s := range series {
+		if i != *queryI {
+			db = append(db, s)
+			dbRows = append(dbRows, i)
+		}
+	}
+
+	q, err := lbkeogh.NewQuery(query, m, opts...)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "shapesearch: %v\n", err)
+		os.Exit(1)
+	}
+
+	var results []lbkeogh.SearchResult
+	switch {
+	case *indexed:
+		ix, err := lbkeogh.NewIndex(db, *dims)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "shapesearch: %v\n", err)
+			os.Exit(1)
+		}
+		if *radius > 0 {
+			results, err = ix.SearchRange(q, *radius)
+		} else {
+			var res lbkeogh.SearchResult
+			res, err = ix.Search(q)
+			results = []lbkeogh.SearchResult{res}
+		}
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "shapesearch: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Printf("index fetched %d of %d objects from disk\n", ix.DiskReads(), ix.Len())
+	case *parallel != 1:
+		res, err := q.SearchParallel(db, *parallel)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "shapesearch: %v\n", err)
+			os.Exit(1)
+		}
+		results = []lbkeogh.SearchResult{res}
+	default:
+		results, err = q.SearchTopK(db, *k)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "shapesearch: %v\n", err)
+			os.Exit(1)
+		}
+	}
+
+	fmt.Printf("query: row %d (label %d), measure %s, %d alignments, %d steps spent\n",
+		*queryI, labels[*queryI], m.Name(), q.Rotations(), q.Steps())
+	for rank, res := range results {
+		mir := ""
+		if res.Rotation.Mirrored {
+			mir = " (mirrored)"
+		}
+		fmt.Printf("  #%d: row %d (label %d)  dist %.4f  at %.1f°%s\n",
+			rank+1, dbRows[res.Index], labels[dbRows[res.Index]], res.Dist, res.Rotation.Degrees, mir)
+	}
+}
+
+func readCSV(path string) ([]int, []lbkeogh.Series, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, nil, err
+	}
+	defer f.Close()
+	var labels []int
+	var series []lbkeogh.Series
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 1<<20), 1<<24)
+	for line := 1; sc.Scan(); line++ {
+		text := strings.TrimSpace(sc.Text())
+		if text == "" {
+			continue
+		}
+		fields := strings.Split(text, ",")
+		if len(fields) < 3 {
+			return nil, nil, fmt.Errorf("%s:%d: need label plus >= 2 values", path, line)
+		}
+		label, err := strconv.Atoi(strings.TrimSpace(fields[0]))
+		if err != nil {
+			return nil, nil, fmt.Errorf("%s:%d: bad label: %v", path, line, err)
+		}
+		row := make(lbkeogh.Series, len(fields)-1)
+		for i, fstr := range fields[1:] {
+			v, err := strconv.ParseFloat(strings.TrimSpace(fstr), 64)
+			if err != nil {
+				return nil, nil, fmt.Errorf("%s:%d: bad value %d: %v", path, line, i, err)
+			}
+			row[i] = v
+		}
+		labels = append(labels, label)
+		series = append(series, row)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, nil, err
+	}
+	if len(series) < 2 {
+		return nil, nil, fmt.Errorf("%s: need at least 2 rows", path)
+	}
+	return labels, series, nil
+}

@@ -1,0 +1,115 @@
+package lbkeogh
+
+import (
+	"fmt"
+
+	"lbkeogh/internal/lightcurve"
+	"lbkeogh/internal/synth"
+	"lbkeogh/internal/ts"
+)
+
+// Dataset is a labelled collection of equal-length series, as produced by
+// the synthetic generators that reproduce the paper's evaluation workloads.
+type Dataset struct {
+	// Name identifies the dataset.
+	Name string
+	// Series holds the instances (all of length N).
+	Series []Series
+	// Labels holds the class label of each instance.
+	Labels []int
+	// NumClasses is the number of distinct classes.
+	NumClasses int
+	// N is the series length.
+	N int
+}
+
+func fromInternal(d *synth.Dataset) *Dataset {
+	return &Dataset{Name: d.Name, Series: d.Series, Labels: d.Labels, NumClasses: d.NumClasses, N: d.N}
+}
+
+// SyntheticProjectilePoints generates the homogeneous projectile-point
+// workload of the paper's Figures 19–20: m spiky contour signatures of
+// length n at arbitrary rotation (the paper uses m up to 16,000, n = 251).
+func SyntheticProjectilePoints(seed int64, m, n int) []Series {
+	return synth.ProjectilePoints(seed, m, n)
+}
+
+// SyntheticHeterogeneous generates the mixed-shape workload of Figure 21
+// (the paper uses 5,844 objects of length 1,024).
+func SyntheticHeterogeneous(seed int64, m, n int) []Series {
+	return synth.Heterogeneous(seed, m, n)
+}
+
+// SyntheticLightCurves generates m folded, noisy star light curves of
+// length n drawn evenly from three morphological families (eclipsing
+// binaries, Cepheid-like and RR-Lyrae-like pulsators); labels identify the
+// family. See Section 2.4 of the paper.
+func SyntheticLightCurves(seed int64, m, n int, noise float64) *Dataset {
+	series, labels := lightcurve.Dataset(seed, m, n, noise)
+	return &Dataset{
+		Name:       "light-curves",
+		Series:     series,
+		Labels:     labels,
+		NumClasses: lightcurve.NumClasses,
+		N:          n,
+	}
+}
+
+// Table8Names lists the ten classification datasets of the paper's Table 8
+// in row order.
+func Table8Names() []string { return synth.Table8Names() }
+
+// Table8Dataset instantiates a synthetic stand-in for one of the paper's
+// Table 8 datasets (same class count, scaled instance count). sizeScale
+// multiplies the default per-class instance count; pass 1 for defaults.
+func Table8Dataset(name string, sizeScale float64) (*Dataset, error) {
+	d, err := synth.Table8Dataset(name, sizeScale)
+	if err != nil {
+		return nil, err
+	}
+	return fromInternal(d), nil
+}
+
+// Glyphs returns signatures of the demo glyphs 'b', 'd', 'p', 'q', '6', '9'
+// rendered through the full raster pipeline at signature length n.
+func Glyphs(n int) (map[byte]Series, error) {
+	g, err := synth.Glyphs(n)
+	if err != nil {
+		return nil, err
+	}
+	out := make(map[byte]Series, len(g))
+	for k, v := range g {
+		out[k] = v
+	}
+	return out, nil
+}
+
+// SkullDataset generates the procedural primate-skull collection used by
+// the clustering demos (Figures 3 and 16 of the paper): instances per named
+// species, at random rotations, with smooth contour noise. Labels index the
+// sorted species names returned as the second value.
+func SkullDataset(seed int64, perSpecies, n int, noise float64) (*Dataset, []string) {
+	if perSpecies < 1 {
+		panic(fmt.Sprintf("lbkeogh: perSpecies must be >= 1, got %d", perSpecies))
+	}
+	species := synth.SkullSpecies()
+	names := make([]string, 0, len(species))
+	for name := range species {
+		names = append(names, name)
+	}
+	// Sort for determinism.
+	for i := 1; i < len(names); i++ {
+		for j := i; j > 0 && names[j] < names[j-1]; j-- {
+			names[j], names[j-1] = names[j-1], names[j]
+		}
+	}
+	rng := ts.NewRand(seed)
+	d := &Dataset{Name: "skulls", NumClasses: len(names), N: n}
+	for li, name := range names {
+		for k := 0; k < perSpecies; k++ {
+			d.Series = append(d.Series, synth.SkullSignature(rng, species[name], n, noise))
+			d.Labels = append(d.Labels, li)
+		}
+	}
+	return d, names
+}

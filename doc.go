@@ -1,0 +1,51 @@
+// Package lbkeogh is an exact rotation-invariant shape and time-series
+// matching library, implementing Keogh, Wei, Xi, Vlachos, Lee & Protopapas,
+// "LB_Keogh Supports Exact Indexing of Shapes under Rotation Invariance with
+// Arbitrary Representations and Distance Measures" (VLDB 2006).
+//
+// # Overview
+//
+// A closed 2-D shape is converted to a 1-D "time series" — the distance from
+// each contour point to the shape's centroid. Rotating the shape circularly
+// shifts the series, and mirroring the shape reverses it, so rotation- and
+// mirror-invariant shape matching reduces to comparing a series against
+// every circular shift of another. Star light curves folded at an unknown
+// phase are the same problem with no conversion at all.
+//
+// The naive approach costs O(n²) per comparison for Euclidean distance and
+// O(n²R) for Dynamic Time Warping. This library groups similar rotations
+// into hierarchically nested wedges, lower-bounds whole groups at once with
+// the LB_Keogh family of admissible bounds, and adapts the grouping
+// granularity as the search tightens — typically orders of magnitude faster,
+// with exactly the same answers as brute force (no false dismissals).
+//
+// # Quick start
+//
+//	q, _ := lbkeogh.NewQuery(signature, lbkeogh.Euclidean())
+//	res, _ := q.Search(database)             // exact nearest neighbour
+//	d, rot, _ := q.Distance(someSeries)      // exact rotation-invariant distance
+//
+// DTW, LCSS, mirror-image invariance and rotation-limited queries ("allow at
+// most 15 degrees") are options:
+//
+//	q, _ := lbkeogh.NewQuery(signature, lbkeogh.DTW(5),
+//	        lbkeogh.WithMirrorInvariance(),
+//	        lbkeogh.WithMaxRotationDegrees(15))
+//
+// For datasets that do not fit in memory, NewIndex builds a compressed
+// rotation-invariant index (Fourier magnitudes in a VP-tree, PAA means in an
+// R-tree) that answers the same 1-NN and range queries exactly while
+// fetching only a small fraction of the objects; WriteSeriesFile and
+// OpenIndexFile persist the collection to a real file-backed store.
+//
+// Beyond search, the data-mining subroutines the paper motivates are built
+// in: ClosestPair (motif discovery), Cluster (hierarchical clustering under
+// exact rotation-invariant distances), Medoid, and Discord (the light-curve
+// outlier scan); NewMonitor filters live streams against a pattern
+// dictionary ("Atomic Wedgie"); SearchParallel shards scans across
+// goroutines.
+//
+// Shapes are converted with the helpers in shape.go (NewBitmap, Signature);
+// synthetic datasets mirroring the paper's evaluation are available from the
+// generators in dataset.go.
+package lbkeogh

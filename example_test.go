@@ -1,0 +1,99 @@
+package lbkeogh_test
+
+import (
+	"fmt"
+
+	"lbkeogh"
+)
+
+// The basic workflow: compile a query, search a database.
+func ExampleNewQuery() {
+	db := lbkeogh.SyntheticProjectilePoints(42, 100, 128)
+	// Query with a rotated copy of database object 25.
+	query := make(lbkeogh.Series, 128)
+	for i := range query {
+		query[i] = db[25][(i+40)%128]
+	}
+	q, err := lbkeogh.NewQuery(query, lbkeogh.Euclidean())
+	if err != nil {
+		panic(err)
+	}
+	res, err := q.Search(db)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("nearest: object %d at distance %.3f, rotated %.1f degrees\n",
+		res.Index, res.Dist, res.Rotation.Degrees)
+	// Output:
+	// nearest: object 25 at distance 0.000, rotated 247.5 degrees
+}
+
+// Exact rotation-invariant distance between two series.
+func ExampleQuery_Distance() {
+	db := lbkeogh.SyntheticProjectilePoints(7, 2, 64)
+	q, _ := lbkeogh.NewQuery(db[0], lbkeogh.DTW(3))
+	// A rotated copy matches at distance zero.
+	rotated := make(lbkeogh.Series, 64)
+	for i := range rotated {
+		rotated[i] = db[0][(i+10)%64]
+	}
+	d, rot, _ := q.Distance(rotated)
+	fmt.Printf("distance %.3f at shift %d\n", d, rot.Shift)
+	// Output:
+	// distance 0.000 at shift 10
+}
+
+// Mirror-image (enantiomorphic) invariance: a "d" is a mirrored "b".
+func ExampleWithMirrorInvariance() {
+	glyphs, _ := lbkeogh.Glyphs(96)
+	plain, _ := lbkeogh.NewQuery(glyphs['b'], lbkeogh.Euclidean())
+	mirror, _ := lbkeogh.NewQuery(glyphs['b'], lbkeogh.Euclidean(),
+		lbkeogh.WithMirrorInvariance())
+	dPlain, _, _ := plain.Distance(glyphs['d'])
+	dMirror, rot, _ := mirror.Distance(glyphs['d'])
+	fmt.Printf("b-d without mirror invariance is close: %v\n", dPlain < 1)
+	fmt.Printf("b-d with mirror invariance is close: %v (mirrored: %v)\n",
+		dMirror < 1, rot.Mirrored)
+	// Output:
+	// b-d without mirror invariance is close: false
+	// b-d with mirror invariance is close: true (mirrored: true)
+}
+
+// Hierarchical clustering under exact rotation-invariant distances.
+func ExampleCluster() {
+	skulls, species := lbkeogh.SkullDataset(7, 1, 96, 0.01)
+	dend, _ := lbkeogh.Cluster(skulls.Series, lbkeogh.Euclidean())
+	groups := dend.Clusters(4)
+	// Count how many of the 4 clusters pair two forms of the same genus
+	// (labels are sorted species names; related forms share a prefix).
+	paired := 0
+	for _, g := range groups {
+		if len(g) == 2 {
+			a := species[skulls.Labels[g[0]]]
+			b := species[skulls.Labels[g[1]]]
+			if a[:3] == b[:3] {
+				paired++
+			}
+		}
+	}
+	fmt.Printf("%d of 4 clusters pair related skull forms\n", paired)
+	// Output:
+	// 4 of 4 clusters pair related skull forms
+}
+
+// Streaming query filtering: a pattern dictionary watches a live stream.
+func ExampleNewMonitor() {
+	pattern := make(lbkeogh.Series, 32)
+	for i := range pattern {
+		pattern[i] = float64(i%8) - 3.5 // sawtooth
+	}
+	mon, _ := lbkeogh.NewMonitor([]lbkeogh.Series{pattern}, lbkeogh.Euclidean(), 0.5)
+	stream := make([]float64, 100)      // silence...
+	stream = append(stream, pattern...) // ...then the pattern verbatim
+	stream = append(stream, make([]float64, 20)...)
+	for _, m := range mon.PushAll(stream) {
+		fmt.Printf("pattern %d matched at t=%d (dist %.2f)\n", m.Pattern, m.End, m.Dist)
+	}
+	// Output:
+	// pattern 0 matched at t=131 (dist 0.00)
+}

@@ -1,0 +1,84 @@
+// Rotationlimited demonstrates the paper's two query refinements (Section 3):
+//
+//   - Rotation-limited queries: retrieve "6" without retrieving "9" by
+//     bounding the allowed rotation ("find the best match to this shape
+//     allowing a maximum rotation of 15 degrees").
+//   - Mirror-image (enantiomorphic) invariance: a "d" is a mirrored "b" —
+//     sometimes you want them to match (skulls facing either way), sometimes
+//     you emphatically do not (letters).
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"lbkeogh"
+)
+
+func main() {
+	glyphs, err := lbkeogh.Glyphs(128)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Println("--- 6 vs 9: rotation-limited queries ---")
+	fmt.Println("A 9 is (roughly) an upside-down 6; full rotation invariance")
+	fmt.Println("cannot tell them apart, a ±15° limit can.")
+	free, err := lbkeogh.NewQuery(glyphs['6'], lbkeogh.Euclidean())
+	if err != nil {
+		log.Fatal(err)
+	}
+	limited, err := lbkeogh.NewQuery(glyphs['6'], lbkeogh.Euclidean(),
+		lbkeogh.WithMaxRotationDegrees(15))
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, target := range []byte{'6', '9'} {
+		dF, rotF, _ := free.Distance(glyphs[target])
+		dL, _, _ := limited.Distance(glyphs[target])
+		fmt.Printf("  6 vs %c:  unrestricted %.3f (best at %.0f°)   ±15° limit %.3f\n",
+			target, dF, rotF.Degrees, dL)
+	}
+	fmt.Println()
+
+	fmt.Println("--- b vs d: mirror-image invariance ---")
+	fmt.Println("A d is a mirrored b. With mirror invariance they match; without, not.")
+	plain, err := lbkeogh.NewQuery(glyphs['b'], lbkeogh.Euclidean())
+	if err != nil {
+		log.Fatal(err)
+	}
+	mirror, err := lbkeogh.NewQuery(glyphs['b'], lbkeogh.Euclidean(),
+		lbkeogh.WithMirrorInvariance())
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, target := range []byte{'b', 'd', 'p', 'q'} {
+		dP, _, _ := plain.Distance(glyphs[target])
+		dM, rotM, _ := mirror.Distance(glyphs[target])
+		tag := ""
+		if rotM.Mirrored {
+			tag = " (via mirror)"
+		}
+		fmt.Printf("  b vs %c:  rotation-only %.3f   +mirror %.3f%s\n", target, dP, dM, tag)
+	}
+	fmt.Println()
+
+	fmt.Println("--- retrieval demo: query '6' against a glyph database ---")
+	db := []lbkeogh.Series{glyphs['6'], glyphs['9'], glyphs['b'], glyphs['d'], glyphs['p'], glyphs['q']}
+	names := []byte{'6', '9', 'b', 'd', 'p', 'q'}
+	for _, q := range []*lbkeogh.Query{free, limited} {
+		top, err := q.SearchTopK(db, 3)
+		if err != nil {
+			log.Fatal(err)
+		}
+		label := "unrestricted"
+		if q == limited {
+			label = "±15° limit  "
+		}
+		fmt.Printf("  %s:", label)
+		for _, r := range top {
+			fmt.Printf("  %c (%.2f)", names[r.Index], r.Dist)
+		}
+		fmt.Println()
+	}
+}

@@ -1,0 +1,3 @@
+module lbkeogh
+
+go 1.22

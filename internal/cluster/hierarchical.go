@@ -1,0 +1,274 @@
+// Package cluster implements agglomerative hierarchical clustering with the
+// nearest-neighbour-chain algorithm and Lance-Williams linkage updates.
+//
+// The paper (Section 4.1, Figures 9–10) derives its wedge sets from a
+// hierarchical clustering of the query's rotations under group-average
+// linkage: the area of a wedge is driven by the pairwise distances of the
+// series inside it, so minimizing within-cluster distances minimizes wedge
+// area. Cutting the dendrogram at every K yields the candidate wedge sets
+// W(K) among which the dynamic controller chooses.
+package cluster
+
+import (
+	"container/heap"
+	"fmt"
+	"math"
+)
+
+// Linkage selects the cluster-distance update rule.
+type Linkage int
+
+const (
+	// Average is group-average linkage (UPGMA) — the linkage the paper uses.
+	Average Linkage = iota
+	// Single is nearest-neighbour linkage.
+	Single
+	// Complete is furthest-neighbour linkage.
+	Complete
+)
+
+func (l Linkage) String() string {
+	switch l {
+	case Average:
+		return "average"
+	case Single:
+		return "single"
+	case Complete:
+		return "complete"
+	default:
+		return fmt.Sprintf("Linkage(%d)", int(l))
+	}
+}
+
+// Node is one vertex of a dendrogram. Leaves have Left == Right == -1 and
+// Height 0. Internal nodes record the linkage distance at which their two
+// children merged.
+type Node struct {
+	Left, Right int
+	Height      float64
+	Size        int
+}
+
+// Dendrogram is a binary merge tree over m leaves. Nodes[0..m-1] are the
+// leaves in input order; Nodes[m..2m-2] are internal nodes in creation order;
+// Nodes[2m-2] is the root (for m >= 1).
+type Dendrogram struct {
+	NLeaves int
+	Nodes   []Node
+}
+
+// Agglomerative clusters m items given a pairwise distance function, which
+// must be symmetric with d(i,i) = 0. It runs the NN-chain algorithm in
+// O(m²) time and O(m²) memory (the distance matrix).
+func Agglomerative(m int, d func(i, j int) float64, linkage Linkage) *Dendrogram {
+	if m <= 0 {
+		panic("cluster: need at least one item")
+	}
+	matrix := make([]float64, m*m)
+	for i := 0; i < m; i++ {
+		for j := i + 1; j < m; j++ {
+			v := d(i, j)
+			matrix[i*m+j] = v
+			matrix[j*m+i] = v
+		}
+	}
+	return AgglomerativeMatrix(matrix, m, linkage)
+}
+
+// AgglomerativeMatrix clusters m items from a row-major m×m distance matrix.
+// The matrix is consumed (overwritten) during clustering.
+func AgglomerativeMatrix(matrix []float64, m int, linkage Linkage) *Dendrogram {
+	if m <= 0 {
+		panic("cluster: need at least one item")
+	}
+	if len(matrix) != m*m {
+		panic(fmt.Sprintf("cluster: matrix size %d != %d", len(matrix), m*m))
+	}
+	dd := &Dendrogram{NLeaves: m, Nodes: make([]Node, m, 2*m-1)}
+	for i := 0; i < m; i++ {
+		dd.Nodes[i] = Node{Left: -1, Right: -1, Size: 1}
+	}
+	if m == 1 {
+		return dd
+	}
+
+	// active[c] is the dendrogram node currently representing matrix slot c;
+	// size[c] its leaf count; alive[c] whether slot c is still a cluster.
+	active := make([]int, m)
+	size := make([]int, m)
+	alive := make([]bool, m)
+	for i := range active {
+		active[i] = i
+		size[i] = 1
+		alive[i] = true
+	}
+	nAlive := m
+
+	chain := make([]int, 0, m)
+	for nAlive > 1 {
+		if len(chain) == 0 {
+			for i := 0; i < m; i++ {
+				if alive[i] {
+					chain = append(chain, i)
+					break
+				}
+			}
+		}
+		for {
+			tip := chain[len(chain)-1]
+			// Find the nearest alive neighbour of tip, preferring the
+			// previous chain element on ties (required for termination).
+			var prev = -1
+			if len(chain) >= 2 {
+				prev = chain[len(chain)-2]
+			}
+			best, bestDist := -1, math.Inf(1)
+			if prev >= 0 {
+				best, bestDist = prev, matrix[tip*m+prev]
+			}
+			for j := 0; j < m; j++ {
+				if j == tip || !alive[j] {
+					continue
+				}
+				if v := matrix[tip*m+j]; v < bestDist {
+					best, bestDist = j, v
+				}
+			}
+			if best == prev && prev >= 0 {
+				// Reciprocal nearest neighbours: merge tip and prev.
+				chain = chain[:len(chain)-2]
+				mergeClusters(dd, matrix, m, active, size, alive, tip, prev, bestDist, linkage)
+				nAlive--
+				break
+			}
+			chain = append(chain, best)
+		}
+	}
+	return dd
+}
+
+func mergeClusters(dd *Dendrogram, matrix []float64, m int, active, size []int, alive []bool, a, b int, h float64, linkage Linkage) {
+	newID := len(dd.Nodes)
+	dd.Nodes = append(dd.Nodes, Node{
+		Left:   active[a],
+		Right:  active[b],
+		Height: h,
+		Size:   size[a] + size[b],
+	})
+	// Reuse slot a for the merged cluster; retire slot b.
+	na, nb := float64(size[a]), float64(size[b])
+	for k := 0; k < m; k++ {
+		if !alive[k] || k == a || k == b {
+			continue
+		}
+		dak := matrix[a*m+k]
+		dbk := matrix[b*m+k]
+		var v float64
+		switch linkage {
+		case Single:
+			v = math.Min(dak, dbk)
+		case Complete:
+			v = math.Max(dak, dbk)
+		default: // Average
+			v = (na*dak + nb*dbk) / (na + nb)
+		}
+		matrix[a*m+k] = v
+		matrix[k*m+a] = v
+	}
+	active[a] = newID
+	size[a] += size[b]
+	alive[b] = false
+}
+
+// Root returns the index of the root node.
+func (d *Dendrogram) Root() int { return len(d.Nodes) - 1 }
+
+// Leaves returns the leaf indices under node, in ascending order of discovery
+// (left subtree first).
+func (d *Dendrogram) Leaves(node int) []int {
+	var out []int
+	var walk func(int)
+	walk = func(v int) {
+		n := d.Nodes[v]
+		if n.Left < 0 {
+			out = append(out, v)
+			return
+		}
+		walk(n.Left)
+		walk(n.Right)
+	}
+	walk(node)
+	return out
+}
+
+// frontierHeap orders nodes by descending merge height so that Frontier
+// always splits the "fattest" cluster next.
+type frontierHeap struct {
+	ids     []int
+	heights []float64
+}
+
+func (h *frontierHeap) Len() int { return len(h.ids) }
+func (h *frontierHeap) Less(i, j int) bool {
+	if h.heights[i] != h.heights[j] {
+		return h.heights[i] > h.heights[j]
+	}
+	return h.ids[i] > h.ids[j] // deterministic tie-break: later merges first
+}
+func (h *frontierHeap) Swap(i, j int) {
+	h.ids[i], h.ids[j] = h.ids[j], h.ids[i]
+	h.heights[i], h.heights[j] = h.heights[j], h.heights[i]
+}
+func (h *frontierHeap) Push(x any) {
+	p := x.([2]float64)
+	h.ids = append(h.ids, int(p[0]))
+	h.heights = append(h.heights, p[1])
+}
+func (h *frontierHeap) Pop() any {
+	n := len(h.ids) - 1
+	id := h.ids[n]
+	h.ids = h.ids[:n]
+	h.heights = h.heights[:n]
+	return id
+}
+
+// Frontier returns the node indices of the K-cluster cut of the dendrogram:
+// starting from the root, the node with the largest merge height is split
+// into its children until K nodes remain. This reproduces the wedge sets of
+// Figure 10 — W(K) for K = 1 is the root wedge, W(m) is the individual
+// leaves. K is clamped to [1, NLeaves].
+func (d *Dendrogram) Frontier(k int) []int {
+	if k < 1 {
+		k = 1
+	}
+	if k > d.NLeaves {
+		k = d.NLeaves
+	}
+	h := &frontierHeap{}
+	heap.Push(h, [2]float64{float64(d.Root()), d.Nodes[d.Root()].Height})
+	for h.Len() < k {
+		id := heap.Pop(h).(int)
+		n := d.Nodes[id]
+		if n.Left < 0 {
+			// A leaf cannot be split; keep it and stop if everything left is
+			// a leaf. (Cannot occur for k <= NLeaves, but keep it safe.)
+			heap.Push(h, [2]float64{float64(id), -1})
+			break
+		}
+		heap.Push(h, [2]float64{float64(n.Left), d.Nodes[n.Left].Height})
+		heap.Push(h, [2]float64{float64(n.Right), d.Nodes[n.Right].Height})
+	}
+	out := make([]int, len(h.ids))
+	copy(out, h.ids)
+	return out
+}
+
+// CutHeights returns the merge heights of all internal nodes in creation
+// order; useful for diagnostics and for choosing cut thresholds.
+func (d *Dendrogram) CutHeights() []float64 {
+	out := make([]float64, 0, len(d.Nodes)-d.NLeaves)
+	for _, n := range d.Nodes[d.NLeaves:] {
+		out = append(out, n.Height)
+	}
+	return out
+}

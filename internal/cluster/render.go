@@ -1,0 +1,49 @@
+package cluster
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Render draws the dendrogram as indented ASCII, with leaf labels supplied
+// by the caller (nil labels render leaf indices). Children are ordered by
+// their smallest leaf index for deterministic output. Used by the examples
+// and commands that print clustering results (the textual analogue of the
+// paper's Figures 3, 16 and 17).
+func (d *Dendrogram) Render(labels []string) string {
+	var sb strings.Builder
+	var walk func(id, depth int)
+	walk = func(id, depth int) {
+		indent := strings.Repeat("    ", depth)
+		n := d.Nodes[id]
+		if n.Left < 0 {
+			if labels != nil && id < len(labels) {
+				fmt.Fprintf(&sb, "%s- %s\n", indent, labels[id])
+			} else {
+				fmt.Fprintf(&sb, "%s- leaf %d\n", indent, id)
+			}
+			return
+		}
+		fmt.Fprintf(&sb, "%s+ (height %.3f)\n", indent, n.Height)
+		first, second := n.Left, n.Right
+		if d.minLeaf(second) < d.minLeaf(first) {
+			first, second = second, first
+		}
+		walk(first, depth+1)
+		walk(second, depth+1)
+	}
+	walk(d.Root(), 0)
+	return sb.String()
+}
+
+func (d *Dendrogram) minLeaf(id int) int {
+	n := d.Nodes[id]
+	if n.Left < 0 {
+		return id
+	}
+	a, b := d.minLeaf(n.Left), d.minLeaf(n.Right)
+	if a < b {
+		return a
+	}
+	return b
+}

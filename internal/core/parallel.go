@@ -1,0 +1,99 @@
+package core
+
+import (
+	"math"
+	"runtime"
+	"sync"
+
+	"lbkeogh/internal/stats"
+	"lbkeogh/internal/wedge"
+)
+
+// ScanParallel performs the exact linear scan of Scan across the given
+// number of workers (0 selects GOMAXPROCS). Every worker shares the rotation
+// set's wedge tree (concurrency-safe) but owns its search state; the
+// best-so-far threshold is shared through a mutex so all workers prune
+// against the global best. The result is identical to the serial scan: the
+// database series with the minimum rotation-invariant distance, with ties
+// broken towards the lowest index.
+//
+// Work is handed out in contiguous chunks via an atomic-style cursor under
+// the same mutex that guards the best-so-far; the per-item work dwarfs the
+// coordination cost.
+func ScanParallel(rs *RotationSet, kernel wedge.Kernel, strategy Strategy, cfg SearcherConfig, db [][]float64, workers int, cnt *stats.Counter) ScanResult {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(db) {
+		workers = len(db)
+	}
+	if workers <= 1 {
+		s := NewSearcher(rs, kernel, strategy, cfg)
+		return s.Scan(db, cnt)
+	}
+
+	const chunk = 16
+	var mu sync.Mutex
+	next := 0
+	best := ScanResult{Index: -1, Dist: math.Inf(1)}
+	var totalSteps int64
+
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			searcher := NewSearcher(rs, kernel, strategy, cfg)
+			var local stats.Counter
+			for {
+				mu.Lock()
+				lo := next
+				next += chunk
+				threshold := best.Dist
+				mu.Unlock()
+				if lo >= len(db) {
+					break
+				}
+				hi := lo + chunk
+				if hi > len(db) {
+					hi = len(db)
+				}
+				for i := lo; i < hi; i++ {
+					m := searcher.MatchSeries(db[i], threshold, &local)
+					if !m.Found() {
+						continue
+					}
+					mu.Lock()
+					if m.Dist < best.Dist || (m.Dist == best.Dist && i < best.Index) {
+						best = ScanResult{Index: i, Dist: m.Dist, Member: m.Member}
+					}
+					threshold = best.Dist
+					mu.Unlock()
+				}
+			}
+			mu.Lock()
+			totalSteps += local.Steps()
+			mu.Unlock()
+		}()
+	}
+	wg.Wait()
+
+	cnt.Add(totalSteps)
+	if best.Index < 0 {
+		return best
+	}
+	// Ties at exactly equal distance across workers may resolve to a higher
+	// index than the serial scan would report, because a worker that found
+	// the tie first blocks the equal-distance match at a lower index (its
+	// threshold comparison is strict). Resolve by re-checking all earlier
+	// items at an epsilon-loosened threshold.
+	searcher := NewSearcher(rs, kernel, strategy, cfg)
+	for i := 0; i < best.Index; i++ {
+		m := searcher.MatchSeries(db[i], best.Dist*(1+1e-12)+1e-300, cnt)
+		if m.Found() && m.Dist <= best.Dist {
+			best = ScanResult{Index: i, Dist: m.Dist, Member: m.Member}
+			break
+		}
+	}
+	return best
+}

@@ -1,0 +1,89 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"lbkeogh/internal/stats"
+	"lbkeogh/internal/ts"
+	"lbkeogh/internal/wedge"
+)
+
+func parallelTestDB(seed int64, m, n int) ([][]float64, []float64) {
+	rng := ts.NewRand(seed)
+	db := make([][]float64, m)
+	for i := range db {
+		db[i] = ts.ZNorm(ts.RandomWalk(rng, n))
+	}
+	q := ts.ZNorm(ts.RandomWalk(rng, n))
+	return db, q
+}
+
+func TestScanParallelMatchesSerial(t *testing.T) {
+	db, q := parallelTestDB(1, 200, 48)
+	rs := NewRotationSet(q, DefaultOptions(), nil)
+	for _, kern := range []wedge.Kernel{wedge.ED{}, wedge.DTW{R: 3}} {
+		serial := NewSearcher(rs, kern, Wedge, SearcherConfig{}).Scan(db, nil)
+		for _, workers := range []int{0, 1, 2, 4, 7} {
+			got := ScanParallel(rs, kern, Wedge, SearcherConfig{}, db, workers, nil)
+			if got.Index != serial.Index || math.Abs(got.Dist-serial.Dist) > 1e-9 {
+				t.Fatalf("%s workers=%d: parallel (%d,%v) != serial (%d,%v)",
+					kern.Name(), workers, got.Index, got.Dist, serial.Index, serial.Dist)
+			}
+		}
+	}
+}
+
+func TestScanParallelAllStrategies(t *testing.T) {
+	db, q := parallelTestDB(2, 100, 40)
+	rs := NewRotationSet(q, DefaultOptions(), nil)
+	want := NewSearcher(rs, wedge.ED{}, BruteForce, SearcherConfig{}).Scan(db, nil)
+	for _, strat := range allStrategies() {
+		got := ScanParallel(rs, wedge.ED{}, strat, SearcherConfig{}, db, 4, nil)
+		if got.Index != want.Index || math.Abs(got.Dist-want.Dist) > 1e-9 {
+			t.Fatalf("%v: parallel (%d,%v) != brute (%d,%v)", strat, got.Index, got.Dist, want.Index, want.Dist)
+		}
+	}
+}
+
+func TestScanParallelTieBreaksToLowestIndex(t *testing.T) {
+	rng := ts.NewRand(3)
+	base := ts.ZNorm(ts.RandomWalk(rng, 32))
+	db := make([][]float64, 64)
+	for i := range db {
+		db[i] = ts.ZNorm(ts.RandomWalk(rng, 32))
+	}
+	// Plant identical best matches at two positions; the lower index wins.
+	db[37] = ts.Rotate(base, 5)
+	db[11] = ts.Rotate(base, 20)
+	rs := NewRotationSet(base, DefaultOptions(), nil)
+	for trial := 0; trial < 5; trial++ {
+		got := ScanParallel(rs, wedge.ED{}, Wedge, SearcherConfig{}, db, 8, nil)
+		if got.Index != 11 {
+			t.Fatalf("trial %d: tie broke to %d, want 11", trial, got.Index)
+		}
+		if got.Dist > 1e-9 {
+			t.Fatalf("planted match distance %v", got.Dist)
+		}
+	}
+}
+
+func TestScanParallelStepsAccounted(t *testing.T) {
+	db, q := parallelTestDB(4, 120, 32)
+	rs := NewRotationSet(q, DefaultOptions(), nil)
+	var cnt stats.Counter
+	ScanParallel(rs, wedge.ED{}, Wedge, SearcherConfig{}, db, 4, &cnt)
+	if cnt.Steps() == 0 {
+		t.Fatal("parallel scan charged no steps")
+	}
+}
+
+func TestScanParallelSmallDB(t *testing.T) {
+	db, q := parallelTestDB(5, 3, 24)
+	rs := NewRotationSet(q, DefaultOptions(), nil)
+	serial := NewSearcher(rs, wedge.ED{}, Wedge, SearcherConfig{}).Scan(db, nil)
+	got := ScanParallel(rs, wedge.ED{}, Wedge, SearcherConfig{}, db, 16, nil)
+	if got.Index != serial.Index {
+		t.Fatalf("tiny db: %d != %d", got.Index, serial.Index)
+	}
+}

@@ -1,0 +1,199 @@
+// Package core implements rotation-invariant matching (Section 3 of the
+// paper) and the four search strategies the evaluation compares: brute force
+// (Tables 2–3), early abandoning, FFT-magnitude filtering, and the wedge /
+// H-Merge strategy of Section 4.
+//
+// A query series C of length n is expanded into the rotation matrix C — all
+// n circular shifts, optionally doubled with the mirror image's shifts for
+// enantiomorphic invariance, and optionally restricted to a shift window for
+// rotation-limited queries. The rotation-invariant distance to a database
+// series X is then the minimum kernel distance from X to any row.
+package core
+
+import (
+	"fmt"
+	"math"
+
+	"lbkeogh/internal/stats"
+	"lbkeogh/internal/ts"
+	"lbkeogh/internal/wedge"
+)
+
+// Options configures the rotation matrix of a RotationSet.
+type Options struct {
+	// Mirror additionally admits all rotations of the mirror image
+	// (enantiomorphic invariance, Section 3): matching a "d" to a "b".
+	Mirror bool
+
+	// MaxShift, when >= 0, restricts rotations to circular shifts in
+	// [-MaxShift, +MaxShift] (rotation-limited queries, Section 3: "find the
+	// best match allowing a maximum rotation of 15 degrees"). The default of
+	// -1 admits every rotation.
+	MaxShift int
+}
+
+// DefaultOptions admits all rotations, no mirror images.
+func DefaultOptions() Options { return Options{Mirror: false, MaxShift: -1} }
+
+// Member identifies one row of the rotation matrix.
+type Member struct {
+	// Shift is the circular shift applied to the base (or mirrored) series.
+	Shift int
+	// Mirrored reports whether the row comes from the mirror image.
+	Mirrored bool
+}
+
+// RotationSet is the expanded rotation matrix of one query series together
+// with its wedge hierarchy. Building one costs O(n²) — the set-up cost the
+// paper charges against the wedge strategy — but it is built once per query
+// and amortized over the whole database scan.
+type RotationSet struct {
+	base    []float64
+	n       int
+	members [][]float64
+	ids     []Member
+	tree    *wedge.Tree
+
+	// Circulant distance profiles (see NewRotationSet).
+	profSame  []float64
+	profCross []float64
+
+	// SetupSteps is the num_steps charged for construction (circulant
+	// distance profile + envelope building).
+	SetupSteps int64
+}
+
+// NewRotationSet expands base into its rotation matrix per opts and builds
+// the hierarchical wedge structure over it. The pairwise distances needed by
+// the clustering are computed in O(n²) total using the circulant structure
+// of the rotation matrix: the Euclidean distance between two rotations of
+// the same series depends only on their relative shift, and the distance
+// between a rotation and a mirrored rotation depends only on the sum of the
+// indices, so n + n profile entries suffice for the full matrix.
+func NewRotationSet(base []float64, opts Options, cnt *stats.Counter) *RotationSet {
+	n := len(base)
+	if n == 0 {
+		panic("core: empty query series")
+	}
+	var local stats.Counter
+
+	// Which shifts are admitted?
+	shifts := allowedShifts(n, opts.MaxShift)
+	if len(shifts) == 0 {
+		panic("core: rotation limit admits no rotations")
+	}
+
+	rs := &RotationSet{base: ts.Clone(base), n: n}
+	for _, s := range shifts {
+		rs.members = append(rs.members, ts.Rotate(base, s))
+		rs.ids = append(rs.ids, Member{Shift: s})
+	}
+	var mirrored []float64
+	if opts.Mirror {
+		mirrored = ts.Mirror(base)
+		for _, s := range shifts {
+			rs.members = append(rs.members, ts.Rotate(mirrored, s))
+			rs.ids = append(rs.ids, Member{Shift: s, Mirrored: true})
+		}
+	}
+
+	// Circulant distance profiles.
+	// same[l]  = ED(base, rotate(base, l)) — also the distance between two
+	//            mirrored rotations at relative shift l.
+	// cross[s] = ED(rot_i(base), rot_j(mirror)) for (i - j + n - 1) mod n = s.
+	same := make([]float64, n)
+	for l := 1; l < n; l++ {
+		var acc float64
+		for t := 0; t < n; t++ {
+			d := base[t] - base[(t+l)%n]
+			acc += d * d
+		}
+		same[l] = math.Sqrt(acc)
+		local.Add(int64(n))
+	}
+	var cross []float64
+	if opts.Mirror {
+		cross = make([]float64, n)
+		for s := 0; s < n; s++ {
+			var acc float64
+			for t := 0; t < n; t++ {
+				d := base[t] - base[((s-t)%n+n)%n]
+				acc += d * d
+			}
+			cross[s] = math.Sqrt(acc)
+			local.Add(int64(n))
+		}
+	}
+
+	rs.profSame = same
+	rs.profCross = cross
+	rs.tree = wedge.Build(rs.members, rs.memberDistance, &local)
+	rs.SetupSteps = local.Steps()
+	cnt.Add(local.Steps())
+	return rs
+}
+
+// memberDistance returns the Euclidean distance between rotation-matrix rows
+// i and j via the O(1) circulant profile lookups.
+func (rs *RotationSet) memberDistance(i, j int) float64 {
+	a, b := rs.ids[i], rs.ids[j]
+	n := rs.n
+	if a.Mirrored == b.Mirrored {
+		return rs.profSame[((a.Shift-b.Shift)%n+n)%n]
+	}
+	if a.Mirrored {
+		a, b = b, a
+	}
+	return rs.profCross[((a.Shift-b.Shift+n-1)%n+n)%n]
+}
+
+// allowedShifts lists the admitted circular shifts: all of 0..n-1, or the
+// window [-maxShift, maxShift] when limited.
+func allowedShifts(n, maxShift int) []int {
+	if maxShift < 0 || maxShift >= n/2 {
+		out := make([]int, n)
+		for i := range out {
+			out[i] = i
+		}
+		return out
+	}
+	var out []int
+	for s := -maxShift; s <= maxShift; s++ {
+		out = append(out, ((s%n)+n)%n)
+	}
+	// Deduplicate (maxShift == 0 yields a single shift; the window never
+	// wraps onto itself because maxShift < n/2).
+	seen := map[int]bool{}
+	uniq := out[:0]
+	for _, s := range out {
+		if !seen[s] {
+			seen[s] = true
+			uniq = append(uniq, s)
+		}
+	}
+	return uniq
+}
+
+// Len returns the series length n.
+func (rs *RotationSet) Len() int { return rs.n }
+
+// Members returns the number of rows in the rotation matrix.
+func (rs *RotationSet) Members() int { return len(rs.members) }
+
+// Member returns the i-th row.
+func (rs *RotationSet) Member(i int) []float64 { return rs.members[i] }
+
+// MemberID describes the i-th row (shift and mirroredness).
+func (rs *RotationSet) MemberID(i int) Member { return rs.ids[i] }
+
+// Tree exposes the wedge hierarchy (for the index layer and diagnostics).
+func (rs *RotationSet) Tree() *wedge.Tree { return rs.tree }
+
+// Base returns the original query series.
+func (rs *RotationSet) Base() []float64 { return rs.base }
+
+func (rs *RotationSet) checkLen(x []float64) {
+	if len(x) != rs.n {
+		panic(fmt.Sprintf("core: series length %d != query length %d", len(x), rs.n))
+	}
+}

@@ -1,0 +1,264 @@
+package core
+
+import (
+	"fmt"
+	"math"
+
+	"lbkeogh/internal/fourier"
+	"lbkeogh/internal/stats"
+	"lbkeogh/internal/wedge"
+)
+
+// Strategy selects how a RotationSet is matched against database series.
+type Strategy int
+
+const (
+	// BruteForce computes the full kernel distance for every rotation with no
+	// early abandoning (the paper's "Brute force" baseline, Table 2 with
+	// r = infinity throughout).
+	BruteForce Strategy = iota
+	// EarlyAbandon is Test_All_Rotations with early abandoning and
+	// best-so-far propagation (Tables 1–3; the "Early abandon" baseline).
+	EarlyAbandon
+	// FFTFilter computes the rotation-invariant Fourier-magnitude lower bound
+	// per database item first (cost model: n·log2(n) steps, as in Section 5.3)
+	// and falls back to EarlyAbandon when the bound cannot prune. Euclidean
+	// only — magnitudes do not lower-bound DTW.
+	FFTFilter
+	// Wedge is H-Merge over the hierarchical wedge set with the dynamic-K
+	// controller (Section 4.1; the paper's contribution).
+	Wedge
+)
+
+func (s Strategy) String() string {
+	switch s {
+	case BruteForce:
+		return "brute"
+	case EarlyAbandon:
+		return "early-abandon"
+	case FFTFilter:
+		return "fft"
+	case Wedge:
+		return "wedge"
+	default:
+		return fmt.Sprintf("Strategy(%d)", int(s))
+	}
+}
+
+// Match is the result of matching one database series against the rotation
+// set: the exact minimum distance over all admitted rotations (or +Inf if a
+// threshold proved unbeatable) and the minimizing rotation.
+type Match struct {
+	Dist   float64
+	Member Member
+	found  bool
+}
+
+// Found reports whether any rotation beat the threshold.
+func (m Match) Found() bool { return m.found }
+
+// Searcher matches database series against one query's rotation set under a
+// fixed kernel and strategy. It carries the dynamic-K state across calls so
+// a database scan behaves exactly as in the paper.
+type Searcher struct {
+	rs        *RotationSet
+	kernel    wedge.Kernel
+	strategy  Strategy
+	traversal wedge.Traversal
+	dyn       *wedge.DynamicK
+	fixedK    int // > 0 disables the dynamic controller (ablation)
+	queryMag  []float64
+}
+
+// SearcherConfig tunes a Searcher beyond its strategy.
+type SearcherConfig struct {
+	// Traversal selects the H-Merge visit order (default LIFO, as the paper).
+	Traversal wedge.Traversal
+	// FixedK, when > 0, pins the wedge-set size instead of running the
+	// dynamic controller — used by the ablation benches.
+	FixedK int
+	// ProbeIntervals is the dynamic controller's single parameter (paper: 5).
+	// <= 0 selects 5.
+	ProbeIntervals int
+}
+
+// NewSearcher builds a Searcher. FFTFilter requires a Euclidean kernel;
+// anything else panics, because the magnitude bound is not admissible for
+// warped measures.
+func NewSearcher(rs *RotationSet, kernel wedge.Kernel, strategy Strategy, cfg SearcherConfig) *Searcher {
+	if strategy == FFTFilter {
+		if _, ok := kernel.(wedge.ED); !ok {
+			panic("core: FFTFilter strategy requires the Euclidean kernel")
+		}
+	}
+	intervals := cfg.ProbeIntervals
+	if intervals <= 0 {
+		intervals = 5
+	}
+	s := &Searcher{
+		rs:        rs,
+		kernel:    kernel,
+		strategy:  strategy,
+		traversal: cfg.Traversal,
+		fixedK:    cfg.FixedK,
+		dyn:       wedge.NewDynamicK(rs.Members(), intervals),
+	}
+	if strategy == FFTFilter {
+		s.queryMag = fourier.Magnitudes(rs.Base(), rs.Len()/2)
+	}
+	return s
+}
+
+// Kernel returns the searcher's distance kernel.
+func (s *Searcher) Kernel() wedge.Kernel { return s.kernel }
+
+// Strategy returns the searcher's strategy.
+func (s *Searcher) Strategy() Strategy { return s.strategy }
+
+// CurrentK reports the wedge-set size in effect (diagnostics).
+func (s *Searcher) CurrentK() int {
+	if s.fixedK > 0 {
+		return s.fixedK
+	}
+	return s.dyn.Current()
+}
+
+// MatchSeries returns the exact rotation-invariant match of x against the
+// query, subject to threshold r (r < 0 or +Inf: unbounded). The returned
+// Match.Dist is +Inf when every rotation provably exceeds r. The num_steps
+// spent are charged to cnt.
+func (s *Searcher) MatchSeries(x []float64, r float64, cnt *stats.Counter) Match {
+	s.rs.checkLen(x)
+	var local stats.Counter
+	var m Match
+	switch s.strategy {
+	case BruteForce:
+		m = s.matchBrute(x, r, &local)
+	case EarlyAbandon:
+		m = s.matchEarlyAbandon(x, r, &local)
+	case FFTFilter:
+		m = s.matchFFT(x, r, &local)
+	default:
+		m = s.matchWedge(x, r, &local)
+	}
+	cnt.Add(local.Steps())
+	return m
+}
+
+func (s *Searcher) matchBrute(x []float64, r float64, cnt *stats.Counter) Match {
+	best := math.Inf(1)
+	bestIdx := -1
+	for i := 0; i < s.rs.Members(); i++ {
+		d, _ := s.kernel.Distance(x, s.rs.Member(i), -1, cnt)
+		if d < best {
+			best, bestIdx = d, i
+		}
+	}
+	if r >= 0 && best >= r {
+		return Match{Dist: math.Inf(1)}
+	}
+	return Match{Dist: best, Member: s.rs.MemberID(bestIdx), found: true}
+}
+
+func (s *Searcher) matchEarlyAbandon(x []float64, r float64, cnt *stats.Counter) Match {
+	best := math.Inf(1)
+	if r >= 0 {
+		best = r
+	}
+	bestIdx := -1
+	for i := 0; i < s.rs.Members(); i++ {
+		d, abandoned := s.kernel.Distance(x, s.rs.Member(i), best, cnt)
+		if !abandoned && d < best {
+			best, bestIdx = d, i
+		}
+	}
+	if bestIdx < 0 {
+		return Match{Dist: math.Inf(1)}
+	}
+	return Match{Dist: best, Member: s.rs.MemberID(bestIdx), found: true}
+}
+
+func (s *Searcher) matchFFT(x []float64, r float64, cnt *stats.Counter) Match {
+	// Cost model from Section 5.3: n·log2(n) steps for the transform, plus
+	// the magnitude-space Euclidean distance.
+	n := s.rs.Len()
+	cnt.Add(int64(float64(n)*math.Log2(float64(n))) + int64(len(s.queryMag)))
+	if r >= 0 {
+		xmag := fourier.Magnitudes(x, n/2)
+		if fourier.LowerBoundED(s.queryMag, xmag) >= r {
+			return Match{Dist: math.Inf(1)}
+		}
+	}
+	return s.matchEarlyAbandon(x, r, cnt)
+}
+
+func (s *Searcher) matchWedge(x []float64, r float64, cnt *stats.Counter) Match {
+	K := s.fixedK
+	if K <= 0 {
+		K = s.dyn.K()
+	}
+	res := s.rs.tree.Search(x, s.kernel, K, r, s.traversal, cnt)
+	improved := res.BestMember >= 0
+	if s.fixedK <= 0 {
+		s.dyn.Observe(res.Steps, improved)
+	}
+	if !improved {
+		return Match{Dist: math.Inf(1)}
+	}
+	return Match{Dist: res.Dist, Member: s.rs.MemberID(res.BestMember), found: true}
+}
+
+// ScanResult is the outcome of a database scan: the nearest neighbour's
+// index, its exact rotation-invariant distance and the best rotation.
+type ScanResult struct {
+	Index  int
+	Dist   float64
+	Member Member
+}
+
+// Scan is Search_Database_for_Rotated_Match (Table 3): a linear scan that
+// finds the database series with the smallest rotation-invariant distance to
+// the query, propagating the best-so-far as the early-abandon threshold.
+func (s *Searcher) Scan(db [][]float64, cnt *stats.Counter) ScanResult {
+	best := ScanResult{Index: -1, Dist: math.Inf(1)}
+	for i, x := range db {
+		m := s.MatchSeries(x, best.Dist, cnt)
+		if m.Found() && m.Dist < best.Dist {
+			best = ScanResult{Index: i, Dist: m.Dist, Member: m.Member}
+		}
+	}
+	return best
+}
+
+// ScanTopK returns the k nearest database series in ascending distance
+// order, using the k-th best as the abandoning threshold.
+func (s *Searcher) ScanTopK(db [][]float64, k int, cnt *stats.Counter) []ScanResult {
+	if k < 1 {
+		k = 1
+	}
+	var heapRes []ScanResult // sorted ascending, max len k
+	threshold := func() float64 {
+		if len(heapRes) < k {
+			return math.Inf(1)
+		}
+		return heapRes[len(heapRes)-1].Dist
+	}
+	for i, x := range db {
+		m := s.MatchSeries(x, threshold(), cnt)
+		if !m.Found() || m.Dist >= threshold() {
+			continue
+		}
+		r := ScanResult{Index: i, Dist: m.Dist, Member: m.Member}
+		pos := len(heapRes)
+		for pos > 0 && heapRes[pos-1].Dist > r.Dist {
+			pos--
+		}
+		heapRes = append(heapRes, ScanResult{})
+		copy(heapRes[pos+1:], heapRes[pos:])
+		heapRes[pos] = r
+		if len(heapRes) > k {
+			heapRes = heapRes[:k]
+		}
+	}
+	return heapRes
+}

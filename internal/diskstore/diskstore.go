@@ -1,0 +1,172 @@
+// Package diskstore implements a real file-backed series store for the
+// rotation-invariant index — the disk the paper's Section 4.2 is about.
+//
+// File format (little endian):
+//
+//	offset 0:  magic "LBKS" (4 bytes)
+//	offset 4:  uint32 version (1)
+//	offset 8:  uint32 n  — series length
+//	offset 12: uint32 m  — series count
+//	offset 16: m × n float64 records, row major
+//
+// Fetch reads one record with a positioned read (ReadAt), so concurrent
+// fetches are safe and the OS page cache — not this package — decides what
+// stays in memory. Read accounting counts logical record fetches, the
+// quantity Figure 24 reports.
+package diskstore
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+	"os"
+	"sync"
+)
+
+const (
+	magic      = "LBKS"
+	version    = 1
+	headerSize = 16
+)
+
+// Write creates (or truncates) path with the given series collection, all of
+// one length.
+func Write(path string, series [][]float64) error {
+	if len(series) == 0 {
+		return fmt.Errorf("diskstore: nothing to write")
+	}
+	n := len(series[0])
+	if n == 0 {
+		return fmt.Errorf("diskstore: empty series")
+	}
+	for i, s := range series {
+		if len(s) != n {
+			return fmt.Errorf("diskstore: series %d length %d != %d", i, len(s), n)
+		}
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return fmt.Errorf("diskstore: %w", err)
+	}
+	defer f.Close()
+
+	header := make([]byte, headerSize)
+	copy(header, magic)
+	binary.LittleEndian.PutUint32(header[4:], version)
+	binary.LittleEndian.PutUint32(header[8:], uint32(n))
+	binary.LittleEndian.PutUint32(header[12:], uint32(len(series)))
+	if _, err := f.Write(header); err != nil {
+		return fmt.Errorf("diskstore: %w", err)
+	}
+	buf := make([]byte, 8*n)
+	for _, s := range series {
+		for i, v := range s {
+			binary.LittleEndian.PutUint64(buf[8*i:], math.Float64bits(v))
+		}
+		if _, err := f.Write(buf); err != nil {
+			return fmt.Errorf("diskstore: %w", err)
+		}
+	}
+	return f.Sync()
+}
+
+// Store is an open series file. It is safe for concurrent Fetch calls.
+type Store struct {
+	f    *os.File
+	n, m int
+
+	mu    sync.Mutex
+	reads int
+}
+
+// Open validates the header of path and returns a store over it.
+func Open(path string) (*Store, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("diskstore: %w", err)
+	}
+	header := make([]byte, headerSize)
+	if _, err := f.ReadAt(header, 0); err != nil {
+		f.Close()
+		return nil, fmt.Errorf("diskstore: reading header: %w", err)
+	}
+	if string(header[:4]) != magic {
+		f.Close()
+		return nil, fmt.Errorf("diskstore: %s is not a series file (bad magic)", path)
+	}
+	if v := binary.LittleEndian.Uint32(header[4:]); v != version {
+		f.Close()
+		return nil, fmt.Errorf("diskstore: unsupported version %d", v)
+	}
+	n := int(binary.LittleEndian.Uint32(header[8:]))
+	m := int(binary.LittleEndian.Uint32(header[12:]))
+	if n <= 0 || m <= 0 {
+		f.Close()
+		return nil, fmt.Errorf("diskstore: corrupt header (n=%d, m=%d)", n, m)
+	}
+	info, err := f.Stat()
+	if err != nil {
+		f.Close()
+		return nil, fmt.Errorf("diskstore: %w", err)
+	}
+	if want := int64(headerSize) + int64(m)*int64(n)*8; info.Size() < want {
+		f.Close()
+		return nil, fmt.Errorf("diskstore: file truncated: %d bytes, want %d", info.Size(), want)
+	}
+	return &Store{f: f, n: n, m: m}, nil
+}
+
+// Len returns the number of stored series.
+func (s *Store) Len() int { return s.m }
+
+// SeriesLen returns the length of each series.
+func (s *Store) SeriesLen() int { return s.n }
+
+// Fetch reads record id from disk. It panics on out-of-range ids (a caller
+// bug) and on I/O errors after a successful Open (disk failure mid-query has
+// no meaningful recovery at this layer; callers needing graceful handling
+// use FetchErr).
+func (s *Store) Fetch(id int) []float64 {
+	out, err := s.FetchErr(id)
+	if err != nil {
+		panic(err)
+	}
+	return out
+}
+
+// FetchErr is Fetch with an error return instead of a panic on I/O failure.
+func (s *Store) FetchErr(id int) ([]float64, error) {
+	if id < 0 || id >= s.m {
+		return nil, fmt.Errorf("diskstore: record %d outside [0,%d)", id, s.m)
+	}
+	buf := make([]byte, 8*s.n)
+	off := int64(headerSize) + int64(id)*int64(s.n)*8
+	if _, err := s.f.ReadAt(buf, off); err != nil {
+		return nil, fmt.Errorf("diskstore: reading record %d: %w", id, err)
+	}
+	out := make([]float64, s.n)
+	for i := range out {
+		out[i] = math.Float64frombits(binary.LittleEndian.Uint64(buf[8*i:]))
+	}
+	s.mu.Lock()
+	s.reads++
+	s.mu.Unlock()
+	return out, nil
+}
+
+// Reads reports logical record fetches since the last ResetReads.
+func (s *Store) Reads() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.reads
+}
+
+// ResetReads zeroes the access counter.
+func (s *Store) ResetReads() {
+	s.mu.Lock()
+	s.reads = 0
+	s.mu.Unlock()
+}
+
+// Close releases the file handle.
+func (s *Store) Close() error { return s.f.Close() }

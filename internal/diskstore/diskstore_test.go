@@ -1,0 +1,194 @@
+package diskstore
+
+import (
+	"encoding/binary"
+	"os"
+	"path/filepath"
+	"sync"
+	"testing"
+
+	"lbkeogh/internal/ts"
+)
+
+func tempFile(t *testing.T) string {
+	t.Helper()
+	return filepath.Join(t.TempDir(), "series.lbks")
+}
+
+func sampleDB(seed int64, m, n int) [][]float64 {
+	rng := ts.NewRand(seed)
+	db := make([][]float64, m)
+	for i := range db {
+		db[i] = ts.RandomSeries(rng, n)
+	}
+	return db
+}
+
+func TestWriteOpenRoundTrip(t *testing.T) {
+	path := tempFile(t)
+	db := sampleDB(1, 17, 33)
+	if err := Write(path, db); err != nil {
+		t.Fatal(err)
+	}
+	s, err := Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	if s.Len() != 17 || s.SeriesLen() != 33 {
+		t.Fatalf("store shape (%d,%d)", s.Len(), s.SeriesLen())
+	}
+	for i, want := range db {
+		got := s.Fetch(i)
+		if !ts.Equal(got, want, 0) {
+			t.Fatalf("record %d round-trip mismatch", i)
+		}
+	}
+	if s.Reads() != 17 {
+		t.Fatalf("reads = %d, want 17", s.Reads())
+	}
+	s.ResetReads()
+	if s.Reads() != 0 {
+		t.Fatal("reset failed")
+	}
+}
+
+func TestWriteValidation(t *testing.T) {
+	path := tempFile(t)
+	if err := Write(path, nil); err == nil {
+		t.Fatal("want error for empty collection")
+	}
+	if err := Write(path, [][]float64{{}}); err == nil {
+		t.Fatal("want error for empty series")
+	}
+	if err := Write(path, [][]float64{{1, 2}, {1}}); err == nil {
+		t.Fatal("want error for ragged series")
+	}
+	if err := Write(filepath.Join(path, "nope", "x"), sampleDB(2, 2, 4)); err == nil {
+		t.Fatal("want error for bad path")
+	}
+}
+
+func TestOpenRejectsGarbage(t *testing.T) {
+	path := tempFile(t)
+	if err := os.WriteFile(path, []byte("this is not a series file at all"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Open(path); err == nil {
+		t.Fatal("want error for bad magic")
+	}
+	if _, err := Open(filepath.Join(t.TempDir(), "missing")); err == nil {
+		t.Fatal("want error for missing file")
+	}
+}
+
+func TestOpenRejectsTruncated(t *testing.T) {
+	path := tempFile(t)
+	db := sampleDB(3, 8, 16)
+	if err := Write(path, db); err != nil {
+		t.Fatal(err)
+	}
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path, raw[:len(raw)-9], 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Open(path); err == nil {
+		t.Fatal("want error for truncated file")
+	}
+}
+
+func TestOpenRejectsBadVersion(t *testing.T) {
+	path := tempFile(t)
+	if err := Write(path, sampleDB(4, 2, 4)); err != nil {
+		t.Fatal(err)
+	}
+	raw, _ := os.ReadFile(path)
+	binary.LittleEndian.PutUint32(raw[4:], 99)
+	os.WriteFile(path, raw, 0o644)
+	if _, err := Open(path); err == nil {
+		t.Fatal("want error for unsupported version")
+	}
+}
+
+func TestFetchErrOutOfRange(t *testing.T) {
+	path := tempFile(t)
+	if err := Write(path, sampleDB(5, 3, 8)); err != nil {
+		t.Fatal(err)
+	}
+	s, err := Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	if _, err := s.FetchErr(-1); err == nil {
+		t.Fatal("want error for negative id")
+	}
+	if _, err := s.FetchErr(3); err == nil {
+		t.Fatal("want error for id == m")
+	}
+}
+
+func TestFetchPanicsOnRange(t *testing.T) {
+	path := tempFile(t)
+	if err := Write(path, sampleDB(6, 2, 4)); err != nil {
+		t.Fatal(err)
+	}
+	s, _ := Open(path)
+	defer s.Close()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("want panic")
+		}
+	}()
+	s.Fetch(99)
+}
+
+func TestConcurrentFetch(t *testing.T) {
+	path := tempFile(t)
+	db := sampleDB(7, 50, 24)
+	if err := Write(path, db); err != nil {
+		t.Fatal(err)
+	}
+	s, err := Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 50; i++ {
+				id := (i + w) % 50
+				if got := s.Fetch(id); !ts.Equal(got, db[id], 0) {
+					t.Errorf("worker %d: record %d mismatch", w, id)
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	if s.Reads() != 8*50 {
+		t.Fatalf("reads = %d, want %d", s.Reads(), 8*50)
+	}
+}
+
+func TestSpecialFloatValues(t *testing.T) {
+	path := tempFile(t)
+	weird := [][]float64{{0, -0, 1e308, -1e-308, 3.141592653589793}}
+	if err := Write(path, weird); err != nil {
+		t.Fatal(err)
+	}
+	s, err := Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	if got := s.Fetch(0); !ts.Equal(got, weird[0], 0) {
+		t.Fatalf("special values mangled: %v", got)
+	}
+}

@@ -1,0 +1,177 @@
+package dist
+
+import (
+	"math"
+
+	"lbkeogh/internal/stats"
+)
+
+// DTW returns the Sakoe-Chiba-banded Dynamic Time Warping distance between q
+// and c (equal length n). The warping path may deviate at most R cells from
+// the diagonal (Section 4.3, Figure 12). R < 0 or R >= n-1 means an
+// unconstrained path. The result is the square root of the accumulated
+// squared point costs, so DTW with R = 0 equals the Euclidean distance.
+//
+// The implementation is iterative (not recursive), which is what makes early
+// abandoning possible in DTWEA; the paper notes (footnote 2) that the elegant
+// recursive form cannot abandon early.
+func DTW(q, c []float64, R int, cnt *stats.Counter) float64 {
+	d, _ := dtwBanded(q, c, R, -1, cnt)
+	return d
+}
+
+// DTWEA is the early-abandoning form of DTW: as soon as every cell of a DP
+// row exceeds r², no warping path can finish below r, so the computation
+// abandons and returns (Inf, true). r < 0 disables abandoning.
+func DTWEA(q, c []float64, R int, r float64, cnt *stats.Counter) (float64, bool) {
+	return dtwBanded(q, c, R, r, cnt)
+}
+
+func dtwBanded(q, c []float64, R int, r float64, cnt *stats.Counter) (float64, bool) {
+	checkSameLength(q, c)
+	n := len(q)
+	if n == 0 {
+		return 0, false
+	}
+	if R < 0 || R > n-1 {
+		R = n - 1
+	}
+	r2 := math.Inf(1)
+	if r >= 0 {
+		r2 = r * r
+	}
+
+	// Two rolling rows over the banded DP matrix. Cells outside the band are
+	// +Inf. Row i covers columns [i-R, i+R] ∩ [0, n-1].
+	prev := make([]float64, n)
+	curr := make([]float64, n)
+	for j := range prev {
+		prev[j] = math.Inf(1)
+	}
+
+	var steps int64
+	for i := 0; i < n; i++ {
+		lo := i - R
+		if lo < 0 {
+			lo = 0
+		}
+		hi := i + R
+		if hi > n-1 {
+			hi = n - 1
+		}
+		rowMin := math.Inf(1)
+		for j := 0; j < n; j++ {
+			curr[j] = math.Inf(1)
+		}
+		for j := lo; j <= hi; j++ {
+			d := q[i] - c[j]
+			cost := d * d
+			steps++
+			var best float64
+			switch {
+			case i == 0 && j == 0:
+				best = 0
+			case i == 0:
+				best = curr[j-1]
+			case j == 0:
+				best = prev[j]
+			default:
+				best = prev[j]
+				if prev[j-1] < best {
+					best = prev[j-1]
+				}
+				if curr[j-1] < best {
+					best = curr[j-1]
+				}
+			}
+			curr[j] = cost + best
+			if curr[j] < rowMin {
+				rowMin = curr[j]
+			}
+		}
+		if rowMin > r2 {
+			cnt.Add(steps)
+			return Inf, true
+		}
+		prev, curr = curr, prev
+	}
+	cnt.Add(steps)
+	total := prev[n-1]
+	if total > r2 {
+		return Inf, true
+	}
+	return math.Sqrt(total), false
+}
+
+// DTWPath returns the DTW distance along with the optimal warping path as
+// (i, j) index pairs from (0,0) to (n-1,n-1). It materializes the full banded
+// matrix, so it is intended for analysis and visualization (e.g. the
+// alignment plots of Figure 11), not for the search hot path.
+func DTWPath(q, c []float64, R int) (float64, [][2]int) {
+	checkSameLength(q, c)
+	n := len(q)
+	if n == 0 {
+		return 0, nil
+	}
+	if R < 0 || R > n-1 {
+		R = n - 1
+	}
+	dp := make([][]float64, n)
+	for i := range dp {
+		dp[i] = make([]float64, n)
+		for j := range dp[i] {
+			dp[i][j] = math.Inf(1)
+		}
+	}
+	for i := 0; i < n; i++ {
+		lo, hi := i-R, i+R
+		if lo < 0 {
+			lo = 0
+		}
+		if hi > n-1 {
+			hi = n - 1
+		}
+		for j := lo; j <= hi; j++ {
+			d := q[i] - c[j]
+			cost := d * d
+			var best float64
+			switch {
+			case i == 0 && j == 0:
+				best = 0
+			case i == 0:
+				best = dp[0][j-1]
+			case j == 0:
+				best = dp[i-1][0]
+			default:
+				best = math.Min(dp[i-1][j], math.Min(dp[i][j-1], dp[i-1][j-1]))
+			}
+			dp[i][j] = cost + best
+		}
+	}
+	// Backtrack.
+	var path [][2]int
+	i, j := n-1, n-1
+	for {
+		path = append(path, [2]int{i, j})
+		if i == 0 && j == 0 {
+			break
+		}
+		bi, bj := i, j
+		best := math.Inf(1)
+		if i > 0 && dp[i-1][j] < best {
+			best, bi, bj = dp[i-1][j], i-1, j
+		}
+		if j > 0 && dp[i][j-1] < best {
+			best, bi, bj = dp[i][j-1], i, j-1
+		}
+		if i > 0 && j > 0 && dp[i-1][j-1] <= best {
+			bi, bj = i-1, j-1
+		}
+		i, j = bi, bj
+	}
+	// Reverse into forward order.
+	for a, b := 0, len(path)-1; a < b; a, b = a+1, b-1 {
+		path[a], path[b] = path[b], path[a]
+	}
+	return math.Sqrt(dp[n-1][n-1]), path
+}

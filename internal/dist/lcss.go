@@ -1,0 +1,80 @@
+package dist
+
+import (
+	"lbkeogh/internal/stats"
+)
+
+// LCSS returns the Longest Common SubSequence similarity between q and c
+// (equal length n): the maximum number of point pairs (i, j) that can be
+// matched in order, where a pair matches if |q[i]-c[j]| <= eps and
+// |i-j| <= delta. Unlike DTW, unmatched points are simply skipped, which is
+// what makes LCSS robust to occlusions and missing parts (Figure 14).
+//
+// delta < 0 means an unconstrained matching window. The result is an integer
+// in [0, n] returned as int; use LCSSDist for the normalized distance form.
+func LCSS(q, c []float64, delta int, eps float64, cnt *stats.Counter) int {
+	checkSameLength(q, c)
+	n := len(q)
+	if n == 0 {
+		return 0
+	}
+	if delta < 0 || delta > n-1 {
+		delta = n - 1
+	}
+	prev := make([]int, n+1)
+	curr := make([]int, n+1)
+	var steps int64
+	for i := 1; i <= n; i++ {
+		lo := i - delta
+		if lo < 1 {
+			lo = 1
+		}
+		hi := i + delta
+		if hi > n {
+			hi = n
+		}
+		for j := range curr {
+			curr[j] = 0
+		}
+		// Carry the best-so-far from the left edge of the band so the
+		// recurrence max(curr[j-1], ...) still sees matches made at smaller j
+		// in earlier rows.
+		if lo > 1 {
+			curr[lo-1] = prev[lo-1]
+		}
+		for j := lo; j <= hi; j++ {
+			steps++
+			d := q[i-1] - c[j-1]
+			if d < 0 {
+				d = -d
+			}
+			if d <= eps {
+				curr[j] = prev[j-1] + 1
+			} else {
+				curr[j] = prev[j]
+				if curr[j-1] > curr[j] {
+					curr[j] = curr[j-1]
+				}
+			}
+		}
+		// Propagate to the right of the band so prev[j] lookups next row see
+		// the running maximum.
+		for j := hi + 1; j <= n; j++ {
+			curr[j] = curr[hi]
+		}
+		prev, curr = curr, prev
+	}
+	cnt.Add(steps)
+	return prev[n]
+}
+
+// LCSSDist converts LCSS similarity to a distance in [0, 1]:
+// 1 - LCSS(q,c)/n. Zero means the sequences match everywhere within eps.
+func LCSSDist(q, c []float64, delta int, eps float64, cnt *stats.Counter) float64 {
+	n := len(q)
+	if n == 0 {
+		return 0
+	}
+	sim := LCSS(q, c, delta, eps, cnt)
+	return 1 - float64(sim)/float64(n)
+}

@@ -1,0 +1,193 @@
+package dist
+
+// Cross-checks against naive textbook reference implementations: the banded,
+// rolling-array, early-abandoning production kernels must agree exactly with
+// simple full-matrix dynamic programs on random inputs.
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"lbkeogh/internal/ts"
+)
+
+// naiveDTW is the O(n²)-memory textbook DTW with a Sakoe-Chiba band.
+func naiveDTW(q, c []float64, R int) float64 {
+	n := len(q)
+	if n == 0 {
+		return 0
+	}
+	if R < 0 || R > n-1 {
+		R = n - 1
+	}
+	dp := make([][]float64, n)
+	for i := range dp {
+		dp[i] = make([]float64, n)
+		for j := range dp[i] {
+			dp[i][j] = math.Inf(1)
+		}
+	}
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			if j < i-R || j > i+R {
+				continue
+			}
+			d := q[i] - c[j]
+			cost := d * d
+			switch {
+			case i == 0 && j == 0:
+				dp[i][j] = cost
+			case i == 0:
+				dp[i][j] = cost + dp[i][j-1]
+			case j == 0:
+				dp[i][j] = cost + dp[i-1][j]
+			default:
+				dp[i][j] = cost + math.Min(dp[i-1][j], math.Min(dp[i][j-1], dp[i-1][j-1]))
+			}
+		}
+	}
+	return math.Sqrt(dp[n-1][n-1])
+}
+
+// naiveLCSS is the O(n²)-memory textbook LCSS with a matching window.
+func naiveLCSS(q, c []float64, delta int, eps float64) int {
+	n := len(q)
+	if n == 0 {
+		return 0
+	}
+	if delta < 0 || delta > n-1 {
+		delta = n - 1
+	}
+	dp := make([][]int, n+1)
+	for i := range dp {
+		dp[i] = make([]int, n+1)
+	}
+	for i := 1; i <= n; i++ {
+		for j := 1; j <= n; j++ {
+			best := dp[i-1][j]
+			if dp[i][j-1] > best {
+				best = dp[i][j-1]
+			}
+			if abs(i-j) <= delta && math.Abs(q[i-1]-c[j-1]) <= eps {
+				if dp[i-1][j-1]+1 > best {
+					best = dp[i-1][j-1] + 1
+				}
+			}
+			dp[i][j] = best
+		}
+	}
+	return dp[n][n]
+}
+
+func abs(x int) int {
+	if x < 0 {
+		return -x
+	}
+	return x
+}
+
+func TestDTWMatchesNaiveReference(t *testing.T) {
+	rng := ts.NewRand(100)
+	for trial := 0; trial < 30; trial++ {
+		n := 5 + trial
+		q := ts.RandomSeries(rng, n)
+		c := ts.RandomSeries(rng, n)
+		for _, R := range []int{0, 1, 2, 5, n - 1, -1} {
+			got := DTW(q, c, R, nil)
+			want := naiveDTW(q, c, R)
+			if math.Abs(got-want) > 1e-9 {
+				t.Fatalf("n=%d R=%d: banded %v != naive %v", n, R, got, want)
+			}
+		}
+	}
+}
+
+func TestDTWNaiveProperty(t *testing.T) {
+	rng := ts.NewRand(101)
+	f := func(rSeed uint8) bool {
+		n := 20
+		q := ts.RandomWalk(rng, n)
+		c := ts.RandomWalk(rng, n)
+		R := int(rSeed) % n
+		return math.Abs(DTW(q, c, R, nil)-naiveDTW(q, c, R)) < 1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestLCSSMatchesNaiveReference(t *testing.T) {
+	rng := ts.NewRand(102)
+	for trial := 0; trial < 30; trial++ {
+		n := 4 + trial
+		q := ts.RandomSeries(rng, n)
+		c := ts.RandomSeries(rng, n)
+		for _, delta := range []int{0, 1, 3, n - 1, -1} {
+			for _, eps := range []float64{0.1, 0.5, 1.5} {
+				got := LCSS(q, c, delta, eps, nil)
+				want := naiveLCSS(q, c, delta, eps)
+				if got != want {
+					t.Fatalf("n=%d delta=%d eps=%v: banded %d != naive %d", n, delta, eps, got, want)
+				}
+			}
+		}
+	}
+}
+
+func TestLCSSNaiveProperty(t *testing.T) {
+	rng := ts.NewRand(103)
+	f := func(dSeed, eSeed uint8) bool {
+		n := 18
+		q := ts.RandomWalk(rng, n)
+		c := ts.RandomWalk(rng, n)
+		delta := int(dSeed) % n
+		eps := float64(eSeed) / 100
+		return LCSS(q, c, delta, eps, nil) == naiveLCSS(q, c, delta, eps)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Early abandoning must never change the result when it does not trigger:
+// threshold infinitesimally above the true distance.
+func TestEAEquivalenceProperty(t *testing.T) {
+	rng := ts.NewRand(104)
+	f := func(rSeed uint8) bool {
+		n := 24
+		q := ts.RandomWalk(rng, n)
+		c := ts.RandomWalk(rng, n)
+		R := int(rSeed) % 6
+		full := DTW(q, c, R, nil)
+		got, abandoned := DTWEA(q, c, R, full*(1+1e-9)+1e-9, nil)
+		if abandoned || math.Abs(got-full) > 1e-9 {
+			return false
+		}
+		fullED := Euclidean(q, c, nil)
+		gotED, abandonedED := EuclideanEA(q, c, fullED*(1+1e-9)+1e-9, nil)
+		return !abandonedED && math.Abs(gotED-fullED) < 1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Distances must be finite on finite input (no NaN/Inf leaks).
+func TestNoNaNLeaks(t *testing.T) {
+	rng := ts.NewRand(105)
+	for trial := 0; trial < 20; trial++ {
+		n := 16
+		q := ts.RandomSeries(rng, n)
+		c := ts.RandomSeries(rng, n)
+		for _, v := range []float64{
+			Euclidean(q, c, nil),
+			DTW(q, c, 3, nil),
+			LCSSDist(q, c, 3, 0.5, nil),
+		} {
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				t.Fatalf("non-finite distance %v", v)
+			}
+		}
+	}
+}

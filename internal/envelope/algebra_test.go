@@ -1,0 +1,118 @@
+package envelope
+
+// Algebraic properties of the wedge operations: Merge forms a commutative,
+// associative, idempotent semilattice, and DTW expansion composes additively
+// in the radius. These identities justify building envelopes bottom-up over
+// an arbitrary dendrogram shape.
+
+import (
+	"testing"
+	"testing/quick"
+
+	"lbkeogh/internal/ts"
+)
+
+func equalEnv(a, b Envelope, tol float64) bool {
+	return ts.Equal(a.U, b.U, tol) && ts.Equal(a.L, b.L, tol)
+}
+
+func TestMergeCommutative(t *testing.T) {
+	rng := ts.NewRand(1)
+	f := func() bool {
+		a := New(ts.RandomWalk(rng, 20))
+		b := New(ts.RandomWalk(rng, 20))
+		return equalEnv(Merge(a, b), Merge(b, a), 0)
+	}
+	for i := 0; i < 30; i++ {
+		if !f() {
+			t.Fatal("Merge not commutative")
+		}
+	}
+}
+
+func TestMergeAssociative(t *testing.T) {
+	rng := ts.NewRand(2)
+	for i := 0; i < 30; i++ {
+		a := New(ts.RandomWalk(rng, 16))
+		b := New(ts.RandomWalk(rng, 16))
+		c := New(ts.RandomWalk(rng, 16))
+		if !equalEnv(Merge(Merge(a, b), c), Merge(a, Merge(b, c)), 0) {
+			t.Fatal("Merge not associative")
+		}
+	}
+}
+
+func TestMergeIdempotent(t *testing.T) {
+	rng := ts.NewRand(3)
+	a := New(ts.RandomWalk(rng, 24), ts.RandomWalk(rng, 24))
+	if !equalEnv(Merge(a, a), a, 0) {
+		t.Fatal("Merge not idempotent")
+	}
+}
+
+// Expansion composes: expanding by R1 then R2 equals expanding by R1+R2
+// (sliding-window max/min over windows composes additively).
+func TestExpandComposes(t *testing.T) {
+	rng := ts.NewRand(4)
+	f := func(r1, r2 uint8) bool {
+		n := 30
+		e := New(ts.RandomWalk(rng, n), ts.RandomWalk(rng, n))
+		a, b := int(r1)%8, int(r2)%8
+		composed := e.ExpandDTW(a).ExpandDTW(b)
+		direct := e.ExpandDTW(a + b)
+		return equalEnv(composed, direct, 1e-12)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 80}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Expansion commutes with Merge: Merge(expand(a), expand(b)) ==
+// expand(Merge(a, b)) — the identity that lets the wedge tree expand
+// per-node envelopes instead of re-deriving them from leaves.
+func TestExpandCommutesWithMerge(t *testing.T) {
+	rng := ts.NewRand(5)
+	for i := 0; i < 30; i++ {
+		a := New(ts.RandomWalk(rng, 25))
+		b := New(ts.RandomWalk(rng, 25), ts.RandomWalk(rng, 25))
+		R := i % 6
+		left := Merge(a.ExpandDTW(R), b.ExpandDTW(R))
+		right := Merge(a, b).ExpandDTW(R)
+		if !equalEnv(left, right, 1e-12) {
+			t.Fatalf("R=%d: expand does not commute with merge", R)
+		}
+	}
+}
+
+// Expansion is monotone in R: wider bands give wider envelopes.
+func TestExpandMonotoneInR(t *testing.T) {
+	rng := ts.NewRand(6)
+	e := New(ts.RandomWalk(rng, 40), ts.RandomWalk(rng, 40))
+	prev := e
+	for _, R := range []int{0, 1, 2, 4, 8, 16, 39} {
+		x := e.ExpandDTW(R)
+		for i := range x.U {
+			if x.U[i] < prev.U[i]-1e-12 || x.L[i] > prev.L[i]+1e-12 {
+				t.Fatalf("expansion not monotone at R=%d", R)
+			}
+		}
+		prev = x
+	}
+}
+
+// LB_Keogh is monotone in the wedge: a fatter wedge gives a smaller (or
+// equal) bound — the Figure 8 observation that drives the whole K tradeoff.
+func TestLBMonotoneInWedge(t *testing.T) {
+	rng := ts.NewRand(7)
+	for i := 0; i < 30; i++ {
+		a := New(ts.RandomWalk(rng, 24))
+		b := New(ts.RandomWalk(rng, 24))
+		m := Merge(a, b)
+		q := ts.RandomWalk(rng, 24)
+		lbA, _ := LBKeogh(q, a, -1, nil)
+		lbM, _ := LBKeogh(q, m, -1, nil)
+		if lbM > lbA+1e-12 {
+			t.Fatalf("merged wedge bound %v exceeds child bound %v", lbM, lbA)
+		}
+	}
+}

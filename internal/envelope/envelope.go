@@ -1,0 +1,209 @@
+// Package envelope implements time-series wedges and the LB_Keogh family of
+// lower bounds that are the cornerstone of the paper (Section 4.1).
+//
+// A wedge W = {U, L} is the tightest pair of sequences enclosing a set of
+// candidate series from above and below (Figure 6). LB_Keogh(Q, W) lower
+// bounds the Euclidean distance from Q to every member of the wedge
+// (Proposition 1); widening the wedge by the Sakoe-Chiba radius R yields
+// LB_KeoghDTW, which lower bounds the banded DTW distance to every member
+// (Proposition 2, Figure 13).
+package envelope
+
+import (
+	"fmt"
+	"math"
+
+	"lbkeogh/internal/stats"
+)
+
+// Envelope is a wedge W = {U, L}: for every member series C enclosed by the
+// wedge and every position i, L[i] <= C[i] <= U[i].
+type Envelope struct {
+	U, L []float64
+}
+
+// New builds the tightest envelope enclosing the given series, all of which
+// must share the same length. At least one series is required.
+func New(series ...[]float64) Envelope {
+	if len(series) == 0 {
+		panic("envelope: New requires at least one series")
+	}
+	n := len(series[0])
+	u := make([]float64, n)
+	l := make([]float64, n)
+	copy(u, series[0])
+	copy(l, series[0])
+	for _, s := range series[1:] {
+		if len(s) != n {
+			panic(fmt.Sprintf("envelope: length mismatch %d vs %d", len(s), n))
+		}
+		for i, v := range s {
+			if v > u[i] {
+				u[i] = v
+			}
+			if v < l[i] {
+				l[i] = v
+			}
+		}
+	}
+	return Envelope{U: u, L: l}
+}
+
+// Merge returns the envelope enclosing both a and b (the hierarchical wedge
+// combination of Figure 7: U_i = max(a.U_i, b.U_i), L_i = min(a.L_i, b.L_i)).
+func Merge(a, b Envelope) Envelope {
+	if len(a.U) != len(b.U) {
+		panic(fmt.Sprintf("envelope: Merge length mismatch %d vs %d", len(a.U), len(b.U)))
+	}
+	n := len(a.U)
+	u := make([]float64, n)
+	l := make([]float64, n)
+	for i := 0; i < n; i++ {
+		u[i] = math.Max(a.U[i], b.U[i])
+		l[i] = math.Min(a.L[i], b.L[i])
+	}
+	return Envelope{U: u, L: l}
+}
+
+// Len returns the series length covered by the envelope.
+func (e Envelope) Len() int { return len(e.U) }
+
+// Area returns the total vertical extent sum(U_i - L_i). The paper observes
+// (Figure 8) that a wedge's pruning utility is inversely related to its area;
+// the wedge-producing clustering minimizes exactly this quantity.
+func (e Envelope) Area() float64 {
+	var a float64
+	for i := range e.U {
+		a += e.U[i] - e.L[i]
+	}
+	return a
+}
+
+// Contains reports whether series s lies inside the envelope everywhere,
+// within tolerance tol.
+func (e Envelope) Contains(s []float64, tol float64) bool {
+	if len(s) != len(e.U) {
+		return false
+	}
+	for i, v := range s {
+		if v > e.U[i]+tol || v < e.L[i]-tol {
+			return false
+		}
+	}
+	return true
+}
+
+// ExpandDTW returns the envelope widened for banded DTW with Sakoe-Chiba
+// radius R (Figure 13):
+//
+//	DTW_U[i] = max(U[i-R] .. U[i+R]),  DTW_L[i] = min(L[i-R] .. L[i+R])
+//
+// clamped at the series boundaries. R <= 0 returns a copy of e.
+//
+// The expansion runs in O(n) using a monotonic-deque sliding-window
+// max/min rather than the naive O(nR) scan; the result is identical.
+func (e Envelope) ExpandDTW(R int) Envelope {
+	n := len(e.U)
+	if R < 0 {
+		R = 0
+	}
+	if R > n-1 {
+		R = n - 1
+	}
+	return Envelope{
+		U: slidingMax(e.U, R, true),
+		L: slidingMax(e.L, R, false),
+	}
+}
+
+// slidingMax computes out[i] = max (or min) of s[max(0,i-R) .. min(n-1,i+R)]
+// with a monotonic index deque.
+func slidingMax(s []float64, R int, wantMax bool) []float64 {
+	n := len(s)
+	out := make([]float64, n)
+	if n == 0 {
+		return out
+	}
+	better := func(a, b float64) bool {
+		if wantMax {
+			return a >= b
+		}
+		return a <= b
+	}
+	deque := make([]int, 0, n)
+	// Window for position i is [i-R, i+R]; advance right edge j.
+	j := 0
+	for i := 0; i < n; i++ {
+		hi := i + R
+		if hi > n-1 {
+			hi = n - 1
+		}
+		for ; j <= hi; j++ {
+			for len(deque) > 0 && better(s[j], s[deque[len(deque)-1]]) {
+				deque = deque[:len(deque)-1]
+			}
+			deque = append(deque, j)
+		}
+		lo := i - R
+		for len(deque) > 0 && deque[0] < lo {
+			deque = deque[1:]
+		}
+		out[i] = s[deque[0]]
+	}
+	return out
+}
+
+// LBKeogh is EA_LB_Keogh from Table 5 of the paper: the early-abandoning
+// lower bound between query series q and wedge e. It returns (Inf, true) as
+// soon as the accumulated squared error exceeds r²; otherwise the exact
+// LB_Keogh value and false. r < 0 disables abandoning. Steps are charged per
+// sample examined.
+//
+// When e encloses a single series, LBKeogh degenerates to the Euclidean
+// distance (the paper's first observation about LB_Keogh).
+func LBKeogh(q []float64, e Envelope, r float64, cnt *stats.Counter) (float64, bool) {
+	if len(q) != len(e.U) {
+		panic(fmt.Sprintf("envelope: LBKeogh length mismatch %d vs %d", len(q), len(e.U)))
+	}
+	r2 := math.Inf(1)
+	if r >= 0 {
+		r2 = r * r
+	}
+	var acc float64
+	for i, v := range q {
+		if v > e.U[i] {
+			d := v - e.U[i]
+			acc += d * d
+		} else if v < e.L[i] {
+			d := v - e.L[i]
+			acc += d * d
+		}
+		if acc > r2 {
+			cnt.Add(int64(i + 1))
+			return math.Inf(1), true
+		}
+	}
+	cnt.Add(int64(len(q)))
+	return math.Sqrt(acc), false
+}
+
+// LCSSUpperBound returns an upper bound on the LCSS similarity between q and
+// every series enclosed by e, for matching threshold eps. e must already be
+// expanded by the LCSS window delta (the same ExpandDTW widening applies,
+// per reference [37]). A point can only participate in a match if it lies
+// within eps of the widened envelope, so counting such points bounds the
+// similarity from above; as the paper notes, for a similarity measure the
+// inequality signs simply reverse.
+func LCSSUpperBound(q []float64, e Envelope, eps float64, cnt *stats.Counter) int {
+	if len(q) != len(e.U) {
+		panic(fmt.Sprintf("envelope: LCSSUpperBound length mismatch %d vs %d", len(q), len(e.U)))
+	}
+	matches := 0
+	for i, v := range q {
+		if v <= e.U[i]+eps && v >= e.L[i]-eps {
+			matches++
+		}
+	}
+	cnt.Add(int64(len(q)))
+	return matches
+}

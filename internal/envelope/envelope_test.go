@@ -1,0 +1,272 @@
+package envelope
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"lbkeogh/internal/dist"
+	"lbkeogh/internal/stats"
+	"lbkeogh/internal/ts"
+)
+
+func randomSet(seed int64, k, n int) [][]float64 {
+	rng := ts.NewRand(seed)
+	set := make([][]float64, k)
+	for i := range set {
+		set[i] = ts.RandomWalk(rng, n)
+	}
+	return set
+}
+
+func TestNewEnclosesMembers(t *testing.T) {
+	set := randomSet(1, 5, 64)
+	e := New(set...)
+	for i, s := range set {
+		if !e.Contains(s, 0) {
+			t.Fatalf("member %d escapes its own envelope", i)
+		}
+	}
+}
+
+func TestNewSingleSeriesDegenerate(t *testing.T) {
+	s := []float64{1, 2, 3}
+	e := New(s)
+	if !ts.Equal(e.U, s, 0) || !ts.Equal(e.L, s, 0) {
+		t.Fatal("single-series envelope must have U == L == series")
+	}
+	// LB_Keogh against a singleton wedge is the Euclidean distance.
+	q := []float64{2, 2, 2}
+	lb, _ := LBKeogh(q, e, -1, nil)
+	ed := dist.Euclidean(q, s, nil)
+	if math.Abs(lb-ed) > 1e-12 {
+		t.Fatalf("singleton LB_Keogh = %v, want ED %v", lb, ed)
+	}
+}
+
+func TestNewPanicsOnEmpty(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("want panic on empty input")
+		}
+	}()
+	New()
+}
+
+func TestNewPanicsOnMismatch(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("want panic on length mismatch")
+		}
+	}()
+	New([]float64{1, 2}, []float64{1})
+}
+
+func TestMergeContainsChildren(t *testing.T) {
+	set := randomSet(2, 6, 48)
+	a := New(set[0], set[1], set[2])
+	b := New(set[3], set[4], set[5])
+	m := Merge(a, b)
+	for _, s := range set {
+		if !m.Contains(s, 0) {
+			t.Fatal("merged wedge must contain every child member")
+		}
+	}
+	if m.Area() < a.Area() || m.Area() < b.Area() {
+		t.Fatal("merged wedge area must be at least each child's area")
+	}
+}
+
+func TestMergeEqualsNew(t *testing.T) {
+	set := randomSet(3, 4, 32)
+	direct := New(set...)
+	merged := Merge(New(set[0], set[1]), New(set[2], set[3]))
+	if !ts.Equal(direct.U, merged.U, 0) || !ts.Equal(direct.L, merged.L, 0) {
+		t.Fatal("Merge of sub-wedges must equal envelope of union")
+	}
+}
+
+// Proposition 1: LB_Keogh(Q, W) <= ED(Q, C_s) for every member C_s.
+func TestProposition1(t *testing.T) {
+	rng := ts.NewRand(4)
+	for trial := 0; trial < 50; trial++ {
+		set := randomSet(int64(trial+100), 4, 40)
+		e := New(set...)
+		q := ts.RandomWalk(rng, 40)
+		lb, _ := LBKeogh(q, e, -1, nil)
+		for _, s := range set {
+			ed := dist.Euclidean(q, s, nil)
+			if lb > ed+1e-9 {
+				t.Fatalf("LB_Keogh %v exceeds ED %v", lb, ed)
+			}
+		}
+	}
+}
+
+// Proposition 2: LB_KeoghDTW(Q, W) <= DTW_R(Q, C_s) for every member.
+func TestProposition2(t *testing.T) {
+	rng := ts.NewRand(5)
+	for _, R := range []int{0, 1, 3, 8} {
+		for trial := 0; trial < 20; trial++ {
+			set := randomSet(int64(trial+500), 3, 36)
+			e := New(set...).ExpandDTW(R)
+			q := ts.RandomWalk(rng, 36)
+			lb, _ := LBKeogh(q, e, -1, nil)
+			for _, s := range set {
+				d := dist.DTW(q, s, R, nil)
+				if lb > d+1e-9 {
+					t.Fatalf("R=%d: LB_KeoghDTW %v exceeds DTW %v", R, lb, d)
+				}
+			}
+		}
+	}
+}
+
+func TestLBKeoghInsideEnvelopeIsZero(t *testing.T) {
+	set := randomSet(6, 5, 32)
+	e := New(set...)
+	lb, abandoned := LBKeogh(set[2], e, -1, nil)
+	if abandoned || lb != 0 {
+		t.Fatalf("LB for a member must be 0, got (%v,%v)", lb, abandoned)
+	}
+}
+
+func TestLBKeoghEarlyAbandon(t *testing.T) {
+	n := 64
+	e := New(make([]float64, n)) // flat zero envelope
+	q := make([]float64, n)
+	q[0] = 10
+	var cnt stats.Counter
+	lb, abandoned := LBKeogh(q, e, 1, &cnt)
+	if !abandoned || !math.IsInf(lb, 1) {
+		t.Fatalf("want abandonment, got (%v,%v)", lb, abandoned)
+	}
+	if cnt.Steps() != 1 {
+		t.Fatalf("abandoned after %d steps, want 1", cnt.Steps())
+	}
+}
+
+func TestLBKeoghThresholdExact(t *testing.T) {
+	set := randomSet(7, 3, 40)
+	e := New(set...)
+	rng := ts.NewRand(8)
+	q := ts.RandomWalk(rng, 40)
+	full, _ := LBKeogh(q, e, -1, nil)
+	got, abandoned := LBKeogh(q, e, full+0.01, nil)
+	if abandoned || math.Abs(got-full) > 1e-12 {
+		t.Fatalf("threshold above LB must not abandon: (%v,%v) want %v", got, abandoned, full)
+	}
+}
+
+func TestExpandDTWWidens(t *testing.T) {
+	set := randomSet(9, 2, 50)
+	e := New(set...)
+	for _, R := range []int{0, 1, 5, 49} {
+		x := e.ExpandDTW(R)
+		for i := range x.U {
+			if x.U[i] < e.U[i]-1e-12 || x.L[i] > e.L[i]+1e-12 {
+				t.Fatalf("R=%d: expansion must widen the envelope", R)
+			}
+		}
+	}
+	zero := e.ExpandDTW(0)
+	if !ts.Equal(zero.U, e.U, 0) || !ts.Equal(zero.L, e.L, 0) {
+		t.Fatal("R=0 expansion must be identity")
+	}
+}
+
+// The deque-based expansion must match a naive O(nR) reference.
+func TestExpandDTWMatchesNaive(t *testing.T) {
+	rng := ts.NewRand(10)
+	for trial := 0; trial < 20; trial++ {
+		n := 30 + trial
+		s := ts.RandomSeries(rng, n)
+		e := New(s)
+		R := trial % 7
+		got := e.ExpandDTW(R)
+		for i := 0; i < n; i++ {
+			lo, hi := i-R, i+R
+			if lo < 0 {
+				lo = 0
+			}
+			if hi > n-1 {
+				hi = n - 1
+			}
+			u, l := math.Inf(-1), math.Inf(1)
+			for j := lo; j <= hi; j++ {
+				u = math.Max(u, s[j])
+				l = math.Min(l, s[j])
+			}
+			if math.Abs(got.U[i]-u) > 1e-12 || math.Abs(got.L[i]-l) > 1e-12 {
+				t.Fatalf("trial %d i=%d: deque (%v,%v) naive (%v,%v)", trial, i, got.U[i], got.L[i], u, l)
+			}
+		}
+	}
+}
+
+func TestExpandDTWFullWindowIsGlobalMinMax(t *testing.T) {
+	s := []float64{3, -1, 4, 1, 5}
+	e := New(s).ExpandDTW(10)
+	for i := range s {
+		if e.U[i] != 5 || e.L[i] != -1 {
+			t.Fatal("full-window expansion must be global min/max everywhere")
+		}
+	}
+}
+
+func TestAreaZeroForSingleton(t *testing.T) {
+	e := New([]float64{1, 2, 3})
+	if e.Area() != 0 {
+		t.Fatalf("singleton wedge area = %v, want 0", e.Area())
+	}
+}
+
+// LCSS: the envelope match count upper-bounds the true LCSS similarity for
+// every member, for any eps and window delta.
+func TestLCSSUpperBoundProperty(t *testing.T) {
+	rng := ts.NewRand(11)
+	f := func(dSeed, eSeed uint8) bool {
+		n := 32
+		delta := int(dSeed) % 8
+		eps := float64(eSeed) / 128
+		set := [][]float64{ts.RandomWalk(rng, n), ts.RandomWalk(rng, n), ts.RandomWalk(rng, n)}
+		e := New(set...).ExpandDTW(delta)
+		q := ts.RandomWalk(rng, n)
+		ub := LCSSUpperBound(q, e, eps, nil)
+		for _, s := range set {
+			if sim := dist.LCSS(q, s, delta, eps, nil); sim > ub {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: LB_Keogh never exceeds the Euclidean distance to any member of a
+// randomly assembled wedge (random sizes, random walks).
+func TestLBKeoghAdmissibleProperty(t *testing.T) {
+	rng := ts.NewRand(12)
+	f := func(kSeed uint8) bool {
+		n := 24
+		k := 1 + int(kSeed)%6
+		set := make([][]float64, k)
+		for i := range set {
+			set[i] = ts.RandomWalk(rng, n)
+		}
+		e := New(set...)
+		q := ts.RandomWalk(rng, n)
+		lb, _ := LBKeogh(q, e, -1, nil)
+		for _, s := range set {
+			if lb > dist.Euclidean(q, s, nil)+1e-9 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 80}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,140 @@
+package experiments
+
+import (
+	"testing"
+)
+
+// TestLandmarkVsRotation reproduces the Section 5.1 Yoga finding in shape:
+// exact rotation invariance must not be worse than landmark alignment (the
+// paper found a 3x improvement).
+func TestLandmarkVsRotation(t *testing.T) {
+	res, err := LandmarkVsRotation("Yoga", 1.0, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.RotInvED > res.LandmarkED {
+		t.Fatalf("rotation-invariant ED error %.2f%% worse than landmark %.2f%%",
+			res.RotInvED, res.LandmarkED)
+	}
+	if res.RotInvDTW > res.LandmarkDTW {
+		t.Fatalf("rotation-invariant DTW error %.2f%% worse than landmark %.2f%%",
+			res.RotInvDTW, res.LandmarkDTW)
+	}
+	if _, err := LandmarkVsRotation("bogus", 1, 2); err == nil {
+		t.Fatal("want error for unknown dataset")
+	}
+}
+
+// TestImageSpaceBaselines reproduces the Section 5.1 MixedBag aside in
+// shape: the 1-D signature under rotation-invariant ED is competitive with
+// (not worse than) the quadratic-time image-space measures.
+func TestImageSpaceBaselines(t *testing.T) {
+	if testing.Short() {
+		t.Skip("image-space rotation sweep is slow")
+	}
+	res, err := ImageSpaceBaselines(7, 5, 3, 48, 16, 96)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Instances != 15 {
+		t.Fatalf("instances = %d", res.Instances)
+	}
+	for name, v := range map[string]float64{
+		"chamfer": res.ChamferErr, "hausdorff": res.HausdorffErr, "signature": res.SignatureEuclideanErr,
+	} {
+		if v < 0 || v > 100 {
+			t.Fatalf("%s error out of range: %v", name, v)
+		}
+	}
+	if res.SignatureEuclideanErr > res.ChamferErr+20 {
+		t.Fatalf("signature error %.2f%% far above Chamfer %.2f%% — pipeline broken?",
+			res.SignatureEuclideanErr, res.ChamferErr)
+	}
+	if _, err := ImageSpaceBaselines(1, 1, 1, 32, 4, 32); err == nil {
+		t.Fatal("want error for degenerate spec")
+	}
+}
+
+// TestSamplingAblation: heavy down-sampling must not help (Sections 2.3/5.1).
+func TestSamplingAblation(t *testing.T) {
+	res, err := SamplingAblation("Fish", 0.6, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.SampledErr+1e-9 < res.FullErr {
+		t.Fatalf("16-point sampling error %.2f%% below full-resolution %.2f%%",
+			res.SampledErr, res.FullErr)
+	}
+	if _, err := SamplingAblation("Fish", 0.6, 2); err == nil {
+		t.Fatal("want error for sampledLen < 4")
+	}
+	if _, err := SamplingAblation("Fish", 0.6, 4096); err == nil {
+		t.Fatal("want error for sampledLen >= n")
+	}
+	if _, err := SamplingAblation("bogus", 1, 40); err == nil {
+		t.Fatal("want error for unknown dataset")
+	}
+}
+
+// TestOcclusionRobustness: on occlusion-heavy data LCSS — which simply skips
+// the unmatchable region — must beat both ED and DTW. The paper makes
+// exactly this argument (Figure 14): forcing DTW to warp across a missing
+// part produces an "unnatural alignment", so DTW is NOT asserted to beat ED.
+func TestOcclusionRobustness(t *testing.T) {
+	res, err := OcclusionRobustness(11, 4, 8, 96, 0.5, 4, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.LCSSErr > res.EDErr+1e-9 {
+		t.Fatalf("LCSS error %.2f%% worse than ED %.2f%% on occluded data",
+			res.LCSSErr, res.EDErr)
+	}
+	if res.LCSSErr > res.DTWErr+1e-9 {
+		t.Fatalf("LCSS error %.2f%% worse than DTW %.2f%% on occluded data",
+			res.LCSSErr, res.DTWErr)
+	}
+	if _, err := OcclusionRobustness(1, 1, 1, 64, 0.5, 3, 0.5); err == nil {
+		t.Fatal("want error for degenerate spec")
+	}
+}
+
+// TestProbeIntervalSensitivity: the dynamic-K controller's parameter barely
+// matters (Section 5.3 reports < 4% across 3..20; we allow more slack on a
+// small workload).
+func TestProbeIntervalSensitivity(t *testing.T) {
+	res, err := ProbeIntervalSensitivity(13, 300, 64, 3, []int{3, 5, 10, 20})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Steps) != 4 {
+		t.Fatalf("steps = %v", res.Steps)
+	}
+	if res.MaxSpread > 0.25 {
+		t.Fatalf("probe-interval spread %.1f%% too large — controller unstable", 100*res.MaxSpread)
+	}
+	if _, err := ProbeIntervalSensitivity(13, 100, 64, 2, []int{5}); err == nil {
+		t.Fatal("want error for single setting")
+	}
+}
+
+// TestChainCodeBaseline reproduces the Section 2.3 comparison in shape: the
+// signature pipeline must be at least as accurate as chain codes and
+// orders of magnitude cheaper per comparison.
+func TestChainCodeBaseline(t *testing.T) {
+	if testing.Short() {
+		t.Skip("cyclic edit distance sweep is slow")
+	}
+	res, err := ChainCodeBaseline(17, 5, 3, 48, 96)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.SignatureErr > res.ChainCodeErr+10 {
+		t.Fatalf("signature error %.2f%% far above chain codes %.2f%%", res.SignatureErr, res.ChainCodeErr)
+	}
+	if res.SpeedupOverChains < 10 {
+		t.Fatalf("expected a large speedup over the chain-code cost model, got %.1fx", res.SpeedupOverChains)
+	}
+	if _, err := ChainCodeBaseline(1, 1, 1, 32, 32); err == nil {
+		t.Fatal("want error for degenerate spec")
+	}
+}

@@ -1,0 +1,201 @@
+package experiments
+
+import (
+	"testing"
+)
+
+func TestEfficiencyEuclideanShape(t *testing.T) {
+	curves, err := Efficiency(EfficiencyConfig{
+		Workload: ProjectilePoints,
+		Sizes:    []int{32, 128, 512},
+		N:        64,
+		Queries:  3,
+		Seed:     1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	byLabel := map[string][]float64{}
+	for _, c := range curves {
+		byLabel[c.Label] = c.Ratio
+	}
+	for _, l := range []string{"brute", "fft", "early-abandon", "wedge"} {
+		if len(byLabel[l]) != 3 {
+			t.Fatalf("missing curve %q", l)
+		}
+	}
+	// Brute is the normalizer.
+	for _, r := range byLabel["brute"] {
+		if r != 1 {
+			t.Fatalf("brute ratio = %v, want 1", r)
+		}
+	}
+	// At the largest size the wedge strategy must beat brute force clearly
+	// and also beat plain early abandoning (the paper's headline shape).
+	last := len(byLabel["wedge"]) - 1
+	if byLabel["wedge"][last] >= 0.5 {
+		t.Fatalf("wedge ratio at large m = %v, want << 1", byLabel["wedge"][last])
+	}
+	if byLabel["wedge"][last] >= byLabel["early-abandon"][last] {
+		t.Fatalf("wedge (%v) should beat early abandon (%v) at large m",
+			byLabel["wedge"][last], byLabel["early-abandon"][last])
+	}
+	// The wedge curve must improve (not degrade) with database size.
+	if byLabel["wedge"][last] > byLabel["wedge"][0] {
+		t.Fatalf("wedge ratio should shrink with m: %v", byLabel["wedge"])
+	}
+}
+
+func TestEfficiencyDTWShape(t *testing.T) {
+	curves, err := Efficiency(EfficiencyConfig{
+		Workload: ProjectilePoints,
+		UseDTW:   true,
+		R:        3,
+		Sizes:    []int{32, 256},
+		N:        48,
+		Queries:  2,
+		Seed:     2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	byLabel := map[string][]float64{}
+	for _, c := range curves {
+		byLabel[c.Label] = c.Ratio
+	}
+	if len(byLabel["brute-R"]) == 0 {
+		t.Fatal("missing brute-R curve")
+	}
+	// Banded brute force is far below unconstrained brute force.
+	if byLabel["brute-R"][0] >= 0.5 {
+		t.Fatalf("brute-R ratio = %v, want well below 1", byLabel["brute-R"][0])
+	}
+	// Wedge wins big for DTW (the paper: >5000x at m=16000; here smaller m).
+	last := len(byLabel["wedge"]) - 1
+	if byLabel["wedge"][last] >= byLabel["brute-R"][last] {
+		t.Fatalf("wedge (%v) should beat brute-R (%v)", byLabel["wedge"][last], byLabel["brute-R"][last])
+	}
+}
+
+func TestEfficiencyLightCurves(t *testing.T) {
+	curves, err := Efficiency(EfficiencyConfig{
+		Workload: LightCurves,
+		Sizes:    []int{64, 256},
+		N:        64,
+		Queries:  2,
+		Seed:     3,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(curves) != 4 {
+		t.Fatalf("curve count = %d", len(curves))
+	}
+}
+
+func TestEfficiencyBadConfig(t *testing.T) {
+	if _, err := Efficiency(EfficiencyConfig{}); err == nil {
+		t.Fatal("want error")
+	}
+	if _, err := Efficiency(EfficiencyConfig{Workload: "nope", Sizes: []int{8}, N: 32, Queries: 1}); err == nil {
+		t.Fatal("want error for unknown workload")
+	}
+}
+
+func TestDiskAccessesShape(t *testing.T) {
+	curves, err := DiskAccesses(DiskConfig{
+		Workload: ProjectilePoints,
+		Dims:     []int{4, 16},
+		M:        150,
+		N:        64,
+		R:        3,
+		Queries:  3,
+		Seed:     4,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, c := range curves {
+		for di, f := range c.Fraction {
+			if f <= 0 || f > 1 {
+				t.Fatalf("%s: fraction %v out of (0,1]", c.Label, f)
+			}
+			if di > 0 && f > c.Fraction[di-1]+0.05 {
+				t.Fatalf("%s: fraction should not grow much with D: %v", c.Label, c.Fraction)
+			}
+		}
+		// An index must beat fetching everything at the highest D.
+		if c.Fraction[len(c.Fraction)-1] > 0.8 {
+			t.Fatalf("%s: index fetched almost everything: %v", c.Label, c.Fraction)
+		}
+	}
+}
+
+func TestEmpiricalExponent(t *testing.T) {
+	// The O(n²) query set-up must be amortized over a database that is large
+	// relative to n (the paper uses m = 16,000); with tiny m the set-up
+	// dominates and the exponent drifts towards 2.
+	res, err := EmpiricalExponent(ExponentConfig{
+		Lengths: []int{32, 64, 128},
+		M:       800,
+		Queries: 2,
+		Seed:    5,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The paper reports ~O(n^1.06); synthetic data and small m won't hit
+	// that exactly, but the exponent must be far below brute force's 2 and
+	// at least linear-ish.
+	if res.Exponent <= 0.5 || res.Exponent >= 1.9 {
+		t.Fatalf("exponent = %v, want in (0.5, 1.9)", res.Exponent)
+	}
+	if len(res.Steps) != 3 {
+		t.Fatalf("steps = %v", res.Steps)
+	}
+}
+
+func TestTable8Row(t *testing.T) {
+	row, err := Table8("MixedBag", 0.4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if row.Classes != 9 || row.PaperSize != 160 {
+		t.Fatalf("row metadata wrong: %+v", row)
+	}
+	if row.EuclideanErr < 0 || row.EuclideanErr > 100 || row.DTWErr < 0 || row.DTWErr > 100 {
+		t.Fatalf("error rates out of range: %+v", row)
+	}
+	if row.PaperEuclErr == 0 {
+		t.Fatal("paper reference missing")
+	}
+	if _, err := Table8("bogus", 1); err == nil {
+		t.Fatal("want error for unknown dataset")
+	}
+}
+
+func TestGeometricSizes(t *testing.T) {
+	s := GeometricSizes(600)
+	want := []int{32, 64, 125, 250, 500}
+	if len(s) != len(want) {
+		t.Fatalf("sizes = %v", s)
+	}
+	for i := range want {
+		if s[i] != want[i] {
+			t.Fatalf("sizes = %v", s)
+		}
+	}
+	if got := GeometricSizes(10); len(got) != 1 || got[0] != 10 {
+		t.Fatalf("tiny maxM: %v", got)
+	}
+}
+
+func TestSpeedupSummary(t *testing.T) {
+	curves := []Curve{{Label: "wedge", Ratio: []float64{0.5, 0.01}}}
+	if s := SpeedupAtLargestM(curves); s != 100 {
+		t.Fatalf("speedup = %v, want 100", s)
+	}
+	if s := SpeedupAtLargestM(nil); s != 0 {
+		t.Fatalf("missing wedge curve should give 0, got %v", s)
+	}
+}

@@ -1,0 +1,223 @@
+package fourier
+
+import (
+	"math"
+	"math/cmplx"
+	"testing"
+	"testing/quick"
+
+	"lbkeogh/internal/dist"
+	"lbkeogh/internal/ts"
+)
+
+// naiveDFT is the O(n²) textbook reference.
+func naiveDFT(x []complex128) []complex128 {
+	n := len(x)
+	out := make([]complex128, n)
+	for k := 0; k < n; k++ {
+		var s complex128
+		for t := 0; t < n; t++ {
+			s += x[t] * cmplx.Rect(1, -2*math.Pi*float64(k)*float64(t)/float64(n))
+		}
+		out[k] = s
+	}
+	return out
+}
+
+func complexClose(a, b []complex128, tol float64) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if cmplx.Abs(a[i]-b[i]) > tol {
+			return false
+		}
+	}
+	return true
+}
+
+func TestFFTMatchesNaive(t *testing.T) {
+	rng := ts.NewRand(1)
+	for _, n := range []int{1, 2, 3, 4, 5, 8, 12, 16, 17, 31, 32, 64, 100, 127, 128, 251} {
+		x := make([]complex128, n)
+		for i := range x {
+			x[i] = complex(rng.NormFloat64(), rng.NormFloat64())
+		}
+		got := FFT(x)
+		want := naiveDFT(x)
+		if !complexClose(got, want, 1e-7*float64(n)) {
+			t.Fatalf("n=%d: FFT differs from naive DFT", n)
+		}
+	}
+}
+
+func TestFFTRoundTrip(t *testing.T) {
+	rng := ts.NewRand(2)
+	for _, n := range []int{1, 7, 16, 251, 256, 1000} {
+		x := make([]complex128, n)
+		for i := range x {
+			x[i] = complex(rng.NormFloat64(), 0)
+		}
+		y := IFFT(FFT(x))
+		if !complexClose(x, y, 1e-9*float64(n)) {
+			t.Fatalf("n=%d: IFFT(FFT(x)) != x", n)
+		}
+	}
+}
+
+func TestFFTEmpty(t *testing.T) {
+	if FFT(nil) != nil || IFFT(nil) != nil {
+		t.Fatal("empty transforms should be nil")
+	}
+}
+
+func TestFFTLinearity(t *testing.T) {
+	rng := ts.NewRand(3)
+	n := 40
+	x := make([]complex128, n)
+	y := make([]complex128, n)
+	for i := range x {
+		x[i] = complex(rng.NormFloat64(), 0)
+		y[i] = complex(rng.NormFloat64(), 0)
+	}
+	sum := make([]complex128, n)
+	for i := range sum {
+		sum[i] = 2*x[i] + 3*y[i]
+	}
+	X, Y, S := FFT(x), FFT(y), FFT(sum)
+	for k := range S {
+		if cmplx.Abs(S[k]-(2*X[k]+3*Y[k])) > 1e-8 {
+			t.Fatal("FFT not linear")
+		}
+	}
+}
+
+func TestParseval(t *testing.T) {
+	rng := ts.NewRand(4)
+	for _, n := range []int{16, 251, 512} {
+		x := ts.RandomSeries(rng, n)
+		X := FFTReal(x)
+		var timeE, freqE float64
+		for _, v := range x {
+			timeE += v * v
+		}
+		for _, V := range X {
+			m := cmplx.Abs(V)
+			freqE += m * m
+		}
+		freqE /= float64(n)
+		if math.Abs(timeE-freqE) > 1e-8*timeE {
+			t.Fatalf("n=%d: Parseval violated: %v vs %v", n, timeE, freqE)
+		}
+	}
+}
+
+func TestMagnitudesRotationInvariant(t *testing.T) {
+	rng := ts.NewRand(5)
+	for _, n := range []int{64, 251} {
+		x := ts.RandomWalk(rng, n)
+		base := Magnitudes(x, 16)
+		for _, s := range []int{1, 7, n / 2, n - 1} {
+			rot := Magnitudes(ts.Rotate(x, s), 16)
+			if !ts.Equal(base, rot, 1e-9) {
+				t.Fatalf("n=%d shift=%d: magnitudes not rotation invariant", n, s)
+			}
+		}
+		mir := Magnitudes(ts.Mirror(x), 16)
+		if !ts.Equal(base, mir, 1e-9) {
+			t.Fatalf("n=%d: magnitudes not mirror invariant", n)
+		}
+	}
+}
+
+// The headline admissibility property: the magnitude distance lower-bounds
+// the Euclidean distance under EVERY relative rotation, at every
+// dimensionality.
+func TestLowerBoundAdmissible(t *testing.T) {
+	rng := ts.NewRand(6)
+	for trial := 0; trial < 10; trial++ {
+		n := 60
+		q := ts.RandomWalk(rng, n)
+		c := ts.RandomWalk(rng, n)
+		for _, D := range []int{1, 4, 8, 16, 30} {
+			lb := LowerBoundED(Magnitudes(q, D), Magnitudes(c, D))
+			for s := 0; s < n; s++ {
+				ed := dist.Euclidean(q, ts.Rotate(c, s), nil)
+				if lb > ed+1e-9 {
+					t.Fatalf("D=%d s=%d: LB %v exceeds ED %v", D, s, lb, ed)
+				}
+			}
+		}
+	}
+}
+
+func TestLowerBoundMonotoneInD(t *testing.T) {
+	rng := ts.NewRand(7)
+	n := 128
+	q := ts.RandomWalk(rng, n)
+	c := ts.RandomWalk(rng, n)
+	prev := 0.0
+	for _, D := range []int{1, 2, 4, 8, 16, 32, 64} {
+		lb := LowerBoundED(Magnitudes(q, D), Magnitudes(c, D))
+		if lb < prev-1e-12 {
+			t.Fatalf("LB decreased when adding coefficients: D=%d %v < %v", D, lb, prev)
+		}
+		prev = lb
+	}
+}
+
+func TestMagnitudesFullDTight(t *testing.T) {
+	// With all n/2 coefficients (z-normalized input so DC is 0), the bound
+	// equals the true minimum only when phases align; but it must equal the
+	// magnitude-space distance and be <= min over rotations. For c == rotated
+	// copy of q, the full-D bound must be ~0.
+	rng := ts.NewRand(8)
+	n := 100
+	q := ts.ZNorm(ts.RandomWalk(rng, n))
+	c := ts.Rotate(q, 17)
+	lb := LowerBoundED(Magnitudes(q, n/2), Magnitudes(c, n/2))
+	if lb > 1e-8 {
+		t.Fatalf("rotated copy should have zero magnitude distance, got %v", lb)
+	}
+}
+
+func TestMagnitudesClamping(t *testing.T) {
+	x := []float64{1, 2, 3, 4, 5, 6}
+	if got := Magnitudes(x, 100); len(got) != 3 {
+		t.Fatalf("D clamped to n/2: len = %d, want 3", len(got))
+	}
+	if got := Magnitudes(x, 0); len(got) != 1 {
+		t.Fatalf("D clamped up to 1: len = %d, want 1", len(got))
+	}
+	if Magnitudes(nil, 4) != nil {
+		t.Fatal("empty input should give nil")
+	}
+}
+
+func TestLowerBoundEDPanicsOnMismatch(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("want panic")
+		}
+	}()
+	LowerBoundED([]float64{1}, []float64{1, 2})
+}
+
+// Property: admissibility holds for random series, random length (including
+// primes via Bluestein), random shift and random D.
+func TestLowerBoundProperty(t *testing.T) {
+	rng := ts.NewRand(9)
+	f := func(nSeed, dSeed, sSeed uint8) bool {
+		n := 20 + int(nSeed)%50
+		D := 1 + int(dSeed)%(n/2)
+		s := int(sSeed) % n
+		q := ts.RandomWalk(rng, n)
+		c := ts.RandomWalk(rng, n)
+		lb := LowerBoundED(Magnitudes(q, D), Magnitudes(c, D))
+		ed := dist.Euclidean(q, ts.Rotate(c, s), nil)
+		return lb <= ed+1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,124 @@
+package fourier
+
+import (
+	"math"
+	"math/cmplx"
+	"testing"
+
+	"lbkeogh/internal/ts"
+)
+
+// An impulse transforms to a flat spectrum.
+func TestFFTImpulse(t *testing.T) {
+	n := 32
+	x := make([]complex128, n)
+	x[0] = 1
+	X := FFT(x)
+	for k, v := range X {
+		if cmplx.Abs(v-1) > 1e-12 {
+			t.Fatalf("impulse spectrum not flat at %d: %v", k, v)
+		}
+	}
+}
+
+// A constant transforms to a DC spike.
+func TestFFTConstant(t *testing.T) {
+	n := 27 // exercise Bluestein
+	x := make([]complex128, n)
+	for i := range x {
+		x[i] = 2
+	}
+	X := FFT(x)
+	if cmplx.Abs(X[0]-complex(2*float64(n), 0)) > 1e-9 {
+		t.Fatalf("DC coefficient = %v, want %v", X[0], 2*n)
+	}
+	for k := 1; k < n; k++ {
+		if cmplx.Abs(X[k]) > 1e-9 {
+			t.Fatalf("constant has energy at k=%d: %v", k, X[k])
+		}
+	}
+}
+
+// A pure sinusoid's magnitude feature concentrates at its frequency.
+func TestMagnitudesSinusoidConcentrated(t *testing.T) {
+	n := 128
+	freq := 5
+	x := make([]float64, n)
+	for i := range x {
+		x[i] = math.Sin(2 * math.Pi * float64(freq) * float64(i) / float64(n))
+	}
+	mags := Magnitudes(x, n/2)
+	peak := 0
+	for k, v := range mags {
+		if v > mags[peak] {
+			peak = k
+		}
+	}
+	// Magnitudes index j holds coefficient j+1.
+	if peak+1 != freq {
+		t.Fatalf("spectral peak at coefficient %d, want %d", peak+1, freq)
+	}
+	var rest float64
+	for k, v := range mags {
+		if k != peak {
+			rest += v * v
+		}
+	}
+	if rest > 1e-15*mags[peak]*mags[peak]+1e-12 {
+		t.Fatalf("sinusoid energy leaked: %v off-peak", rest)
+	}
+}
+
+// Time shift changes only phase: spectra of shifted series have identical
+// magnitudes AND the shift is recoverable from the first coefficient's phase
+// (the property the convolution "trick" of [38] exploits).
+func TestShiftTheorem(t *testing.T) {
+	rng := ts.NewRand(1)
+	n := 64
+	x := ts.RandomWalk(rng, n)
+	shift := 13
+	X := FFTReal(x)
+	Y := FFTReal(ts.Rotate(x, shift))
+	for k := 0; k < n; k++ {
+		want := X[k] * cmplx.Rect(1, 2*math.Pi*float64(k)*float64(shift)/float64(n))
+		if cmplx.Abs(Y[k]-want) > 1e-8 {
+			t.Fatalf("shift theorem violated at k=%d", k)
+		}
+	}
+}
+
+// Magnitude features of two UNRELATED series should not collide: the lower
+// bound is generically positive (sanity against a degenerate all-zero
+// feature extractor).
+func TestMagnitudesDiscriminate(t *testing.T) {
+	rng := ts.NewRand(2)
+	a := ts.ZNorm(ts.RandomWalk(rng, 100))
+	b := ts.ZNorm(ts.RandomWalk(rng, 100))
+	if lb := LowerBoundED(Magnitudes(a, 16), Magnitudes(b, 16)); lb <= 0.01 {
+		t.Fatalf("magnitude features do not discriminate: LB = %v", lb)
+	}
+}
+
+// Parseval tightness: the full-dimensional magnitude distance equals the
+// Euclidean distance when the two series' spectra are phase-aligned.
+func TestFullDimensionalTightness(t *testing.T) {
+	n := 64
+	// Two pure cosines at the same frequency, different amplitudes: phases
+	// align, so the magnitude bound is exact.
+	a := make([]float64, n)
+	b := make([]float64, n)
+	for i := range a {
+		a[i] = 3 * math.Cos(2*math.Pi*4*float64(i)/float64(n))
+		b[i] = 5 * math.Cos(2*math.Pi*4*float64(i)/float64(n))
+	}
+	var ed float64
+	for i := range a {
+		d := a[i] - b[i]
+		ed += d * d
+	}
+	ed = math.Sqrt(ed)
+	lb := LowerBoundED(Magnitudes(a, n/2), Magnitudes(b, n/2))
+	if math.Abs(lb-ed) > 1e-8 {
+		t.Fatalf("phase-aligned bound should be tight: LB %v vs ED %v", lb, ed)
+	}
+}

@@ -1,0 +1,146 @@
+// Package imagedist implements the two classic image-space shape distances
+// the paper positions 1-D methods against (Section 2): the Chamfer distance
+// (Borgefors [6]) and the Hausdorff distance (Huttenlocher et al. [27]),
+// both with brute-force rotation search. They require O(R·p) work per
+// comparison (p perimeter pixels, R rotations) and serve as accuracy
+// baselines for the MixedBag-style experiments in Section 5.1.
+package imagedist
+
+import (
+	"math"
+
+	"lbkeogh/internal/shape"
+)
+
+// DistanceTransform returns, for every pixel, the approximate Euclidean
+// distance to the nearest foreground pixel, computed with the two-pass 3-4
+// chamfer algorithm (weights 3 for edge steps and 4 for diagonal steps,
+// normalized by 3). An all-background bitmap yields +Inf everywhere.
+func DistanceTransform(b *shape.Bitmap) []float64 {
+	w, h := b.W, b.H
+	const big = math.MaxFloat64 / 8
+	dt := make([]float64, w*h)
+	for y := 0; y < h; y++ {
+		for x := 0; x < w; x++ {
+			if b.Get(x, y) {
+				dt[y*w+x] = 0
+			} else {
+				dt[y*w+x] = big
+			}
+		}
+	}
+	at := func(x, y int) float64 {
+		if x < 0 || y < 0 || x >= w || y >= h {
+			return big
+		}
+		return dt[y*w+x]
+	}
+	// Forward pass: N, NW, NE, W neighbours.
+	for y := 0; y < h; y++ {
+		for x := 0; x < w; x++ {
+			v := dt[y*w+x]
+			v = math.Min(v, at(x-1, y)+3)
+			v = math.Min(v, at(x-1, y-1)+4)
+			v = math.Min(v, at(x, y-1)+3)
+			v = math.Min(v, at(x+1, y-1)+4)
+			dt[y*w+x] = v
+		}
+	}
+	// Backward pass: S, SE, SW, E neighbours.
+	for y := h - 1; y >= 0; y-- {
+		for x := w - 1; x >= 0; x-- {
+			v := dt[y*w+x]
+			v = math.Min(v, at(x+1, y)+3)
+			v = math.Min(v, at(x+1, y+1)+4)
+			v = math.Min(v, at(x, y+1)+3)
+			v = math.Min(v, at(x-1, y+1)+4)
+			dt[y*w+x] = v
+		}
+	}
+	for i, v := range dt {
+		if v >= big {
+			dt[i] = math.Inf(1)
+		} else {
+			dt[i] = v / 3
+		}
+	}
+	return dt
+}
+
+// edgePixels returns the foreground pixels with at least one background
+// 4-neighbour — the shape's boundary under any topology.
+func edgePixels(b *shape.Bitmap) [][2]int {
+	var out [][2]int
+	for y := 0; y < b.H; y++ {
+		for x := 0; x < b.W; x++ {
+			if !b.Get(x, y) {
+				continue
+			}
+			if !b.Get(x-1, y) || !b.Get(x+1, y) || !b.Get(x, y-1) || !b.Get(x, y+1) {
+				out = append(out, [2]int{x, y})
+			}
+		}
+	}
+	return out
+}
+
+// Chamfer returns the directed Chamfer distance from a to b: the mean
+// distance from each boundary pixel of a to the nearest foreground pixel of
+// b. Returns +Inf if either shape is empty.
+func Chamfer(a, b *shape.Bitmap) float64 {
+	edges := edgePixels(a)
+	if len(edges) == 0 {
+		return math.Inf(1)
+	}
+	dt := DistanceTransform(b)
+	var sum float64
+	for _, p := range edges {
+		sum += dt[p[1]*b.W+p[0]]
+	}
+	return sum / float64(len(edges))
+}
+
+// ChamferSym returns the symmetric Chamfer distance max(Chamfer(a,b),
+// Chamfer(b,a)).
+func ChamferSym(a, b *shape.Bitmap) float64 {
+	return math.Max(Chamfer(a, b), Chamfer(b, a))
+}
+
+// Hausdorff returns the symmetric Hausdorff distance between the boundary
+// point sets of a and b (the max-of-min distance), computed via distance
+// transforms. Returns +Inf if either shape is empty.
+func Hausdorff(a, b *shape.Bitmap) float64 {
+	return math.Max(directedHausdorff(a, b), directedHausdorff(b, a))
+}
+
+func directedHausdorff(a, b *shape.Bitmap) float64 {
+	edges := edgePixels(a)
+	if len(edges) == 0 {
+		return math.Inf(1)
+	}
+	dt := DistanceTransform(b)
+	worst := 0.0
+	for _, p := range edges {
+		if d := dt[p[1]*b.W+p[0]]; d > worst {
+			worst = d
+		}
+	}
+	return worst
+}
+
+// MinOverRotations rotates a through `rotations` evenly spaced angles and
+// returns the minimum of metric(rotated a, b) — the brute-force rotation
+// alignment the paper's footnote 1 describes, costing R distance evaluations.
+func MinOverRotations(a, b *shape.Bitmap, rotations int, metric func(x, y *shape.Bitmap) float64) float64 {
+	if rotations < 1 {
+		rotations = 1
+	}
+	best := math.Inf(1)
+	for i := 0; i < rotations; i++ {
+		angle := 2 * math.Pi * float64(i) / float64(rotations)
+		if d := metric(a.Rotate(angle), b); d < best {
+			best = d
+		}
+	}
+	return best
+}

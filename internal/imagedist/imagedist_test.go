@@ -1,0 +1,135 @@
+package imagedist
+
+import (
+	"math"
+	"testing"
+
+	"lbkeogh/internal/shape"
+)
+
+func disk(cx, cy, r float64) *shape.Bitmap {
+	b := shape.NewBitmap(64, 64)
+	b.FillDisk(cx, cy, r)
+	return b
+}
+
+func TestDistanceTransformZeroOnForeground(t *testing.T) {
+	b := disk(32, 32, 10)
+	dt := DistanceTransform(b)
+	for y := 0; y < b.H; y++ {
+		for x := 0; x < b.W; x++ {
+			if b.Get(x, y) && dt[y*b.W+x] != 0 {
+				t.Fatalf("DT nonzero on foreground at (%d,%d)", x, y)
+			}
+		}
+	}
+}
+
+func TestDistanceTransformApproximatesEuclidean(t *testing.T) {
+	b := shape.NewBitmap(64, 64)
+	b.Set(32, 32, true)
+	dt := DistanceTransform(b)
+	for _, tc := range []struct {
+		x, y int
+		want float64
+	}{
+		{42, 32, 10},             // straight: exact
+		{32, 20, 12},             // straight: exact
+		{40, 40, 8 * math.Sqrt2}, // diagonal: 3-4 chamfer approximates
+	} {
+		got := dt[tc.y*64+tc.x]
+		if math.Abs(got-tc.want)/tc.want > 0.08 {
+			t.Fatalf("DT(%d,%d) = %v, want ~%v", tc.x, tc.y, got, tc.want)
+		}
+	}
+}
+
+func TestDistanceTransformEmpty(t *testing.T) {
+	dt := DistanceTransform(shape.NewBitmap(8, 8))
+	if !math.IsInf(dt[0], 1) {
+		t.Fatal("empty bitmap DT should be +Inf")
+	}
+}
+
+func TestChamferIdentityZero(t *testing.T) {
+	b := disk(32, 32, 12)
+	if d := Chamfer(b, b); d != 0 {
+		t.Fatalf("Chamfer(x,x) = %v, want 0", d)
+	}
+	if d := Hausdorff(b, b); d != 0 {
+		t.Fatalf("Hausdorff(x,x) = %v, want 0", d)
+	}
+}
+
+func TestChamferGrowsWithOffset(t *testing.T) {
+	a := disk(28, 32, 10)
+	prev := -1.0
+	for _, off := range []float64{0, 4, 8, 16} {
+		b := disk(28+off, 32, 10)
+		d := ChamferSym(a, b)
+		if d < prev {
+			t.Fatalf("Chamfer not monotone with offset: %v after %v", d, prev)
+		}
+		prev = d
+	}
+}
+
+func TestHausdorffOffsetKnown(t *testing.T) {
+	// Two identical disks offset by 8: Hausdorff between boundaries is ~8.
+	a := disk(24, 32, 10)
+	b := disk(32, 32, 10)
+	d := Hausdorff(a, b)
+	if math.Abs(d-8) > 1.5 {
+		t.Fatalf("Hausdorff = %v, want ~8", d)
+	}
+}
+
+func TestHausdorffSensitiveToOutlier(t *testing.T) {
+	// The paper's "car antenna" thought experiment: one stray far feature
+	// blows up Hausdorff but barely moves Chamfer (a mean).
+	a := disk(32, 32, 12)
+	b := disk(32, 32, 12)
+	bMod := b.Clone()
+	bMod.FillRect(32, 2, 33, 18) // antenna
+	dH := Hausdorff(a, bMod)
+	dC := ChamferSym(a, bMod)
+	if dH < 8 {
+		t.Fatalf("Hausdorff should spike with an antenna: %v", dH)
+	}
+	if dC > dH/3 {
+		t.Fatalf("Chamfer (%v) should be far below Hausdorff (%v)", dC, dH)
+	}
+}
+
+func TestEmptyShapesInf(t *testing.T) {
+	empty := shape.NewBitmap(16, 16)
+	full := disk(8, 8, 4)
+	if !math.IsInf(Chamfer(empty, full), 1) {
+		t.Fatal("Chamfer from empty should be +Inf")
+	}
+	if !math.IsInf(Hausdorff(empty, full), 1) {
+		t.Fatal("Hausdorff with empty should be +Inf")
+	}
+}
+
+func TestMinOverRotationsRecoversAlignment(t *testing.T) {
+	// A bar rotated by 90° matches itself only after rotation search.
+	a := shape.NewBitmap(64, 64)
+	a.FillRect(12, 28, 52, 36)
+	b := a.Rotate(math.Pi / 2)
+	misaligned := ChamferSym(a, b)
+	aligned := MinOverRotations(a, b, 36, ChamferSym)
+	if aligned >= misaligned/2 {
+		t.Fatalf("rotation search should shrink the distance: %v vs %v", aligned, misaligned)
+	}
+	if aligned > 1.5 {
+		t.Fatalf("aligned bar distance too large: %v", aligned)
+	}
+}
+
+func TestMinOverRotationsClampsR(t *testing.T) {
+	a := disk(32, 32, 8)
+	if d := MinOverRotations(a, a, 0, ChamferSym); d != 0 {
+		t.Fatalf("rotations<1 should still evaluate once: %v", d)
+	}
+}

@@ -1,0 +1,282 @@
+package index
+
+import (
+	"math"
+	"testing"
+
+	"lbkeogh/internal/core"
+	"lbkeogh/internal/stats"
+	"lbkeogh/internal/ts"
+	"lbkeogh/internal/wedge"
+)
+
+// syntheticDB builds a database with planted structure: a few base shapes,
+// each instance a rotated, noisy copy.
+func syntheticDB(seed int64, m, n int) [][]float64 {
+	rng := ts.NewRand(seed)
+	bases := make([][]float64, 5)
+	for i := range bases {
+		bases[i] = ts.ZNorm(ts.RandomWalk(rng, n))
+	}
+	db := make([][]float64, m)
+	for i := range db {
+		b := bases[i%len(bases)]
+		db[i] = ts.ZNorm(ts.AddNoise(rng, ts.Rotate(b, rng.Intn(n)), 0.1))
+	}
+	return db
+}
+
+func linearScan(rs *core.RotationSet, db [][]float64, kern wedge.Kernel) (int, float64) {
+	s := core.NewSearcher(rs, kern, core.BruteForce, core.SearcherConfig{})
+	res := s.Scan(db, nil)
+	return res.Index, res.Dist
+}
+
+func TestSearchEDExact(t *testing.T) {
+	n := 64
+	db := syntheticDB(1, 60, n)
+	ix := Build(db, 8)
+	rng := ts.NewRand(2)
+	for trial := 0; trial < 8; trial++ {
+		q := ts.ZNorm(ts.AddNoise(rng, db[trial*3], 0.05))
+		rs := core.NewRotationSet(q, core.DefaultOptions(), nil)
+		wantIdx, wantDist := linearScan(rs, db, wedge.ED{})
+		ix.Store().ResetReads()
+		got := ix.SearchED(rs, nil)
+		if got.Index != wantIdx || math.Abs(got.Dist-wantDist) > 1e-9 {
+			t.Fatalf("trial %d: index (%d,%v) != linear (%d,%v)", trial, got.Index, got.Dist, wantIdx, wantDist)
+		}
+	}
+}
+
+func TestSearchEDPrunesReads(t *testing.T) {
+	n := 64
+	db := syntheticDB(3, 200, n)
+	ix := Build(db, 16)
+	rng := ts.NewRand(4)
+	q := ts.ZNorm(ts.AddNoise(rng, db[0], 0.02))
+	rs := core.NewRotationSet(q, core.DefaultOptions(), nil)
+	ix.Store().ResetReads()
+	ix.SearchED(rs, nil)
+	if r := ix.Store().Reads(); r >= 200 {
+		t.Fatalf("index read everything: %d of 200", r)
+	}
+}
+
+func TestSearchEDReadsShrinkWithD(t *testing.T) {
+	n := 128
+	db := syntheticDB(5, 300, n)
+	rng := ts.NewRand(6)
+	q := ts.ZNorm(ts.AddNoise(rng, db[10], 0.02))
+	rs := core.NewRotationSet(q, core.DefaultOptions(), nil)
+	reads := map[int]int{}
+	for _, D := range []int{4, 32} {
+		ix := Build(db, D)
+		ix.SearchED(rs, nil)
+		reads[D] = ix.Store().Reads()
+	}
+	if reads[32] > reads[4] {
+		t.Fatalf("higher D should not read more: D=4 %d, D=32 %d", reads[4], reads[32])
+	}
+}
+
+func TestSearchDTWExact(t *testing.T) {
+	n := 48
+	db := syntheticDB(7, 40, n)
+	rng := ts.NewRand(8)
+	for trial := 0; trial < 5; trial++ {
+		q := ts.ZNorm(ts.AddNoise(rng, db[trial*7], 0.05))
+		rs := core.NewRotationSet(q, core.DefaultOptions(), nil)
+		R := 1 + trial
+		wantIdx, wantDist := linearScan(rs, db, wedge.DTW{R: R})
+		ix := Build(db, 8)
+		got := ix.SearchDTW(rs, R, 8, nil)
+		if got.Index != wantIdx || math.Abs(got.Dist-wantDist) > 1e-9 {
+			t.Fatalf("trial %d R=%d: index (%d,%v) != linear (%d,%v)", trial, R, got.Index, got.Dist, wantIdx, wantDist)
+		}
+	}
+}
+
+func TestSearchDTWPrunesReads(t *testing.T) {
+	n := 64
+	db := syntheticDB(9, 150, n)
+	ix := Build(db, 16)
+	rng := ts.NewRand(10)
+	q := ts.ZNorm(ts.AddNoise(rng, db[0], 0.02))
+	rs := core.NewRotationSet(q, core.DefaultOptions(), nil)
+	ix.SearchDTW(rs, 3, 16, nil)
+	if r := ix.Store().Reads(); r >= 150 {
+		t.Fatalf("DTW index read everything: %d of 150", r)
+	}
+}
+
+func TestSearchWithMirrorAndLimit(t *testing.T) {
+	n := 40
+	db := syntheticDB(11, 30, n)
+	rng := ts.NewRand(12)
+	q := ts.ZNorm(ts.AddNoise(rng, db[3], 0.05))
+	for _, opts := range []core.Options{
+		{Mirror: true, MaxShift: -1},
+		{Mirror: false, MaxShift: 5},
+	} {
+		rs := core.NewRotationSet(q, opts, nil)
+		wantIdx, wantDist := linearScan(rs, db, wedge.ED{})
+		ix := Build(db, 8)
+		got := ix.SearchED(rs, nil)
+		if got.Index != wantIdx || math.Abs(got.Dist-wantDist) > 1e-9 {
+			t.Fatalf("opts %+v: index (%d,%v) != linear (%d,%v)", opts, got.Index, got.Dist, wantIdx, wantDist)
+		}
+	}
+}
+
+// bruteRange is the reference: every item with exact RED < r.
+func bruteRange(rs *core.RotationSet, db [][]float64, kern wedge.Kernel, r float64) map[int]float64 {
+	s := core.NewSearcher(rs, kern, core.BruteForce, core.SearcherConfig{})
+	out := map[int]float64{}
+	for i, x := range db {
+		m := s.MatchSeries(x, -1, nil)
+		if m.Dist < r {
+			out[i] = m.Dist
+		}
+	}
+	return out
+}
+
+func TestRangeEDExact(t *testing.T) {
+	n := 48
+	db := syntheticDB(21, 80, n)
+	ix := Build(db, 8)
+	rng := ts.NewRand(22)
+	q := ts.ZNorm(ts.AddNoise(rng, db[4], 0.05))
+	rs := core.NewRotationSet(q, core.DefaultOptions(), nil)
+	// Radius chosen to include the planted class neighbours.
+	s := core.NewSearcher(rs, wedge.ED{}, core.BruteForce, core.SearcherConfig{})
+	nn := s.Scan(db, nil)
+	r := nn.Dist * 2
+	want := bruteRange(rs, db, wedge.ED{}, r)
+	got := ix.RangeED(rs, r, nil)
+	if len(got) != len(want) {
+		t.Fatalf("range returned %d items, want %d", len(got), len(want))
+	}
+	for _, res := range got {
+		wd, ok := want[res.Index]
+		if !ok || math.Abs(res.Dist-wd) > 1e-9 {
+			t.Fatalf("range item %d dist %v, want %v (ok=%v)", res.Index, res.Dist, wd, ok)
+		}
+	}
+	// Fewer fetches than the database when the radius is selective.
+	ix.Store().ResetReads()
+	tight := ix.RangeED(rs, nn.Dist*1.05, nil)
+	if len(tight) < 1 {
+		t.Fatal("tight range should still contain the NN")
+	}
+	if ix.Store().Reads() >= len(db) {
+		t.Fatalf("tight range fetched everything: %d", ix.Store().Reads())
+	}
+}
+
+func TestRangeDTWExact(t *testing.T) {
+	n := 40
+	db := syntheticDB(23, 40, n)
+	ix := Build(db, 10)
+	rng := ts.NewRand(24)
+	q := ts.ZNorm(ts.AddNoise(rng, db[7], 0.05))
+	rs := core.NewRotationSet(q, core.DefaultOptions(), nil)
+	R := 3
+	s := core.NewSearcher(rs, wedge.DTW{R: R}, core.BruteForce, core.SearcherConfig{})
+	nn := s.Scan(db, nil)
+	r := nn.Dist * 2
+	want := bruteRange(rs, db, wedge.DTW{R: R}, r)
+	got := ix.RangeDTW(rs, R, 0, r, nil)
+	if len(got) != len(want) {
+		t.Fatalf("DTW range returned %d items, want %d", len(got), len(want))
+	}
+	for _, res := range got {
+		wd, ok := want[res.Index]
+		if !ok || math.Abs(res.Dist-wd) > 1e-9 {
+			t.Fatalf("DTW range item %d dist %v, want %v", res.Index, res.Dist, wd)
+		}
+	}
+}
+
+func TestStoreAccounting(t *testing.T) {
+	s := NewStore([][]float64{{1}, {2}})
+	if s.Len() != 2 || s.Reads() != 0 {
+		t.Fatal("fresh store state wrong")
+	}
+	s.Fetch(0)
+	s.Fetch(1)
+	if s.Reads() != 2 {
+		t.Fatalf("reads = %d, want 2", s.Reads())
+	}
+	s.ResetReads()
+	if s.Reads() != 0 {
+		t.Fatal("reset failed")
+	}
+}
+
+func TestBuildFromStore(t *testing.T) {
+	n := 32
+	db := syntheticDB(31, 25, n)
+	store := NewStore(db)
+	ix, err := BuildFromStore(store, n, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ix.D() != 8 {
+		t.Fatalf("D = %d", ix.D())
+	}
+	if store.Reads() != 0 {
+		t.Fatalf("feature-building reads not reset: %d", store.Reads())
+	}
+	// Same answers as the direct build.
+	direct := Build(db, 8)
+	rng := ts.NewRand(32)
+	q := ts.ZNorm(ts.AddNoise(rng, db[3], 0.05))
+	rs := core.NewRotationSet(q, core.DefaultOptions(), nil)
+	a := ix.SearchED(rs, nil)
+	b := direct.SearchED(rs, nil)
+	if a.Index != b.Index || math.Abs(a.Dist-b.Dist) > 1e-12 {
+		t.Fatalf("store-built index disagrees: (%d,%v) vs (%d,%v)", a.Index, a.Dist, b.Index, b.Dist)
+	}
+	// Validation.
+	if _, err := BuildFromStore(NewStore(nil), n, 8); err == nil {
+		t.Fatal("want error for empty store")
+	}
+	if _, err := BuildFromStore(store, n, 0); err == nil {
+		t.Fatal("want error for D < 1")
+	}
+	if _, err := BuildFromStore(store, n+1, 8); err == nil {
+		t.Fatal("want error for length mismatch")
+	}
+}
+
+func TestBuildPanics(t *testing.T) {
+	for name, fn := range map[string]func(){
+		"empty":  func() { Build(nil, 4) },
+		"badD":   func() { Build([][]float64{{1, 2}}, 0) },
+		"ragged": func() { Build([][]float64{{1, 2}, {1}}, 1) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("%s: want panic", name)
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+func TestSearchChargesSteps(t *testing.T) {
+	db := syntheticDB(13, 50, 32)
+	ix := Build(db, 8)
+	rng := ts.NewRand(14)
+	q := ts.ZNorm(ts.RandomWalk(rng, 32))
+	rs := core.NewRotationSet(q, core.DefaultOptions(), nil)
+	var cnt stats.Counter
+	ix.SearchED(rs, &cnt)
+	if cnt.Steps() == 0 {
+		t.Fatal("verification steps not charged")
+	}
+}

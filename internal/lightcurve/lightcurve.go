@@ -1,0 +1,158 @@
+// Package lightcurve generates synthetic star light curves — the paper's
+// second application domain (Section 2.4): a folded light curve of a
+// periodic variable star is a time series with no natural starting point, so
+// matching two of them requires comparing every circular shift, which is
+// exactly the rotation-invariance problem for shapes.
+//
+// Three morphological families stand in for the hand-labelled classes used
+// in the paper's light-curve experiments (see DESIGN.md, substitutions):
+//
+//   - Eclipsing binaries: flat flux with one deep and one shallow dip.
+//   - Cepheid-like pulsators: smooth asymmetric saw-tooth (fast rise, slow
+//     decline) built from a few Fourier harmonics.
+//   - RR-Lyrae-like pulsators: sharper rise and more strongly skewed decline.
+//
+// Every generated curve is folded at a random phase (circular shift) and
+// carries photometric noise, so only rotation-invariant matching can align
+// two instances of the same class.
+package lightcurve
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"lbkeogh/internal/ts"
+)
+
+// Class enumerates the synthetic light-curve families.
+type Class int
+
+const (
+	// EclipsingBinary is a flat curve with a deep primary and shallow
+	// secondary eclipse.
+	EclipsingBinary Class = iota
+	// Cepheid is a smooth asymmetric pulsator.
+	Cepheid
+	// RRLyrae is a sharply rising, skewed pulsator.
+	RRLyrae
+	numClasses
+)
+
+// NumClasses is the number of light-curve families.
+const NumClasses = int(numClasses)
+
+func (c Class) String() string {
+	switch c {
+	case EclipsingBinary:
+		return "eclipsing-binary"
+	case Cepheid:
+		return "cepheid"
+	case RRLyrae:
+		return "rr-lyrae"
+	default:
+		return fmt.Sprintf("Class(%d)", int(c))
+	}
+}
+
+// Params varies the instance-level physical parameters within a class.
+type Params struct {
+	// Depth scales the primary eclipse / pulsation amplitude.
+	Depth float64
+	// Secondary scales the secondary eclipse relative to the primary (EBs).
+	Secondary float64
+	// Width is the eclipse width as a phase fraction (EBs) or the rise
+	// fraction (pulsators).
+	Width float64
+	// Skew adjusts the pulsator decline asymmetry.
+	Skew float64
+}
+
+// RandomParams draws plausible instance parameters for the class.
+func RandomParams(rng *rand.Rand, c Class) Params {
+	switch c {
+	case EclipsingBinary:
+		return Params{
+			Depth:     0.6 + 0.4*rng.Float64(),
+			Secondary: 0.2 + 0.4*rng.Float64(),
+			Width:     0.05 + 0.05*rng.Float64(),
+		}
+	case Cepheid:
+		return Params{
+			Depth: 0.8 + 0.4*rng.Float64(),
+			Width: 0.25 + 0.15*rng.Float64(),
+			Skew:  0.3 + 0.2*rng.Float64(),
+		}
+	default: // RRLyrae
+		return Params{
+			Depth: 0.9 + 0.5*rng.Float64(),
+			Width: 0.08 + 0.07*rng.Float64(),
+			Skew:  0.6 + 0.25*rng.Float64(),
+		}
+	}
+}
+
+// Fold evaluates the noiseless folded light curve of class c at phase
+// p ∈ [0, 1). Flux is in arbitrary magnitude-like units (dips go negative).
+func Fold(c Class, prm Params, p float64) float64 {
+	p = math.Mod(p, 1)
+	if p < 0 {
+		p++
+	}
+	switch c {
+	case EclipsingBinary:
+		v := 0.0
+		v -= prm.Depth * eclipse(p, 0.25, prm.Width)
+		v -= prm.Depth * prm.Secondary * eclipse(p, 0.75, prm.Width*1.2)
+		return v
+	case Cepheid:
+		// Smooth asymmetric wave from two harmonics.
+		return prm.Depth * (math.Sin(2*math.Pi*p) + prm.Skew*math.Sin(4*math.Pi*p+0.6))
+	default: // RRLyrae: fast rise over Width, skewed exponential decline
+		if p < prm.Width {
+			return prm.Depth * (p / prm.Width)
+		}
+		tail := (p - prm.Width) / (1 - prm.Width)
+		return prm.Depth * math.Exp(-3*prm.Skew*tail) * (1 - tail*0.2)
+	}
+}
+
+// eclipse is a smooth dip of the given phase width centred at c0.
+func eclipse(p, c0, w float64) float64 {
+	d := math.Abs(p - c0)
+	if d > 0.5 {
+		d = 1 - d
+	}
+	if d >= w {
+		return 0
+	}
+	x := d / w
+	return (1 + math.Cos(math.Pi*x)) / 2
+}
+
+// Generate returns one folded, z-normalized, noisy light curve of length n
+// from class c, at a random phase.
+func Generate(rng *rand.Rand, c Class, n int, noise float64) []float64 {
+	prm := RandomParams(rng, c)
+	phase := rng.Float64()
+	out := make([]float64, n)
+	for i := range out {
+		out[i] = Fold(c, prm, float64(i)/float64(n)+phase)
+	}
+	out = ts.AddNoise(rng, out, noise)
+	return ts.ZNorm(out)
+}
+
+// Dataset returns m labelled light curves of length n, classes drawn
+// round-robin so the class balance is even.
+func Dataset(seed int64, m, n int, noise float64) (series [][]float64, labels []int) {
+	rng := ts.NewRand(seed)
+	series = make([][]float64, m)
+	labels = make([]int, m)
+	for i := 0; i < m; i++ {
+		c := Class(i % NumClasses)
+		series[i] = Generate(rng, c, n, noise)
+		labels[i] = int(c)
+	}
+	return series, labels
+}

@@ -1,0 +1,136 @@
+package lightcurve
+
+import (
+	"math"
+	"testing"
+
+	"lbkeogh/internal/core"
+	"lbkeogh/internal/ts"
+	"lbkeogh/internal/wedge"
+)
+
+func TestFoldPeriodic(t *testing.T) {
+	rng := ts.NewRand(1)
+	for c := Class(0); c < numClasses; c++ {
+		prm := RandomParams(rng, c)
+		for _, p := range []float64{0, 0.3, 0.99} {
+			a := Fold(c, prm, p)
+			b := Fold(c, prm, p+1)
+			if math.Abs(a-b) > 1e-12 {
+				t.Fatalf("%v: Fold not periodic at %v", c, p)
+			}
+		}
+		if v := Fold(c, prm, -0.25); math.IsNaN(v) {
+			t.Fatalf("%v: negative phase NaN", c)
+		}
+	}
+}
+
+func TestEclipseShape(t *testing.T) {
+	rng := ts.NewRand(2)
+	prm := RandomParams(rng, EclipsingBinary)
+	// Primary eclipse at phase 0.25 must be the global minimum.
+	minP, minV := 0.0, math.Inf(1)
+	for i := 0; i < 1000; i++ {
+		p := float64(i) / 1000
+		if v := Fold(EclipsingBinary, prm, p); v < minV {
+			minP, minV = p, v
+		}
+	}
+	if math.Abs(minP-0.25) > 0.02 {
+		t.Fatalf("primary eclipse at %v, want 0.25", minP)
+	}
+	// Out-of-eclipse flux is flat zero.
+	if v := Fold(EclipsingBinary, prm, 0.0); v != 0 {
+		t.Fatalf("out-of-eclipse flux = %v, want 0", v)
+	}
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	a := Generate(ts.NewRand(7), Cepheid, 128, 0.05)
+	b := Generate(ts.NewRand(7), Cepheid, 128, 0.05)
+	if !ts.Equal(a, b, 0) {
+		t.Fatal("same seed must generate identical curves")
+	}
+	if len(a) != 128 {
+		t.Fatalf("length = %d", len(a))
+	}
+	if m := ts.Mean(a); math.Abs(m) > 1e-9 {
+		t.Fatalf("curve not z-normalized: mean %v", m)
+	}
+}
+
+func TestDatasetBalanced(t *testing.T) {
+	series, labels := Dataset(3, 30, 64, 0.05)
+	if len(series) != 30 || len(labels) != 30 {
+		t.Fatal("dataset size wrong")
+	}
+	counts := map[int]int{}
+	for _, l := range labels {
+		counts[l]++
+	}
+	for c := 0; c < NumClasses; c++ {
+		if counts[c] != 10 {
+			t.Fatalf("class %d has %d instances, want 10", c, counts[c])
+		}
+	}
+}
+
+// Same-class curves must match closer than cross-class curves under
+// rotation-invariant ED — the property that makes 1-NN classification work.
+func TestClassesSeparableUnderRED(t *testing.T) {
+	rng := ts.NewRand(4)
+	n := 128
+	for c := Class(0); c < numClasses; c++ {
+		q := Generate(rng, c, n, 0.05)
+		rs := core.NewRotationSet(q, core.DefaultOptions(), nil)
+		s := core.NewSearcher(rs, wedge.ED{}, core.Wedge, core.SearcherConfig{})
+		var sameBest, diffBest = math.Inf(1), math.Inf(1)
+		for trial := 0; trial < 6; trial++ {
+			for c2 := Class(0); c2 < numClasses; c2++ {
+				m := s.MatchSeries(Generate(rng, c2, n, 0.05), -1, nil)
+				if c2 == c {
+					sameBest = math.Min(sameBest, m.Dist)
+				} else {
+					diffBest = math.Min(diffBest, m.Dist)
+				}
+			}
+		}
+		if sameBest >= diffBest {
+			t.Fatalf("class %v: same-class best %v not below cross-class best %v", c, sameBest, diffBest)
+		}
+	}
+}
+
+// A phase shift of the same physical curve must be recovered exactly by
+// rotation-invariant matching.
+func TestPhaseInvariance(t *testing.T) {
+	rng := ts.NewRand(5)
+	prm := RandomParams(rng, RRLyrae)
+	n := 128
+	mk := func(phase float64) []float64 {
+		out := make([]float64, n)
+		for i := range out {
+			out[i] = Fold(RRLyrae, prm, float64(i)/float64(n)+phase)
+		}
+		return ts.ZNorm(out)
+	}
+	a := mk(0)
+	b := mk(0.375) // exactly 48/128 samples
+	rs := core.NewRotationSet(a, core.DefaultOptions(), nil)
+	s := core.NewSearcher(rs, wedge.ED{}, core.Wedge, core.SearcherConfig{})
+	m := s.MatchSeries(b, -1, nil)
+	if m.Dist > 1e-6 {
+		t.Fatalf("phase-shifted copy should match exactly, got %v", m.Dist)
+	}
+}
+
+func TestClassString(t *testing.T) {
+	if EclipsingBinary.String() != "eclipsing-binary" || Cepheid.String() != "cepheid" ||
+		RRLyrae.String() != "rr-lyrae" {
+		t.Fatal("Class.String broken")
+	}
+	if Class(9).String() != "Class(9)" {
+		t.Fatal("unknown class string broken")
+	}
+}

@@ -1,0 +1,279 @@
+package shape
+
+import (
+	"fmt"
+	"math"
+
+	"lbkeogh/internal/ts"
+)
+
+// mooreNeighbours lists the 8-neighbourhood in clockwise order starting from
+// west, for a raster whose y axis grows downward.
+var mooreNeighbours = [8][2]int{
+	{-1, 0},  // W
+	{-1, -1}, // NW
+	{0, -1},  // N
+	{1, -1},  // NE
+	{1, 0},   // E
+	{1, 1},   // SE
+	{0, 1},   // S
+	{-1, 1},  // SW
+}
+
+// dirIndex maps a unit offset to its mooreNeighbours index.
+func dirIndex(dx, dy int) int {
+	for i, d := range mooreNeighbours {
+		if d[0] == dx && d[1] == dy {
+			return i
+		}
+	}
+	panic(fmt.Sprintf("shape: (%d,%d) is not a Moore neighbour offset", dx, dy))
+}
+
+// LargestComponent returns a copy of b containing only its largest
+// 8-connected foreground component. Rasterization artifacts — stray pixels
+// from nearest-neighbour rotation, speckle noise from thresholding — would
+// otherwise hijack boundary tracing, which starts from the first foreground
+// pixel in scan order.
+func LargestComponent(b *Bitmap) *Bitmap {
+	label := make([]int, b.W*b.H)
+	sizes := []int{0} // label 0 = background
+	var stack [][2]int
+	for y := 0; y < b.H; y++ {
+		for x := 0; x < b.W; x++ {
+			if !b.Get(x, y) || label[y*b.W+x] != 0 {
+				continue
+			}
+			id := len(sizes)
+			sizes = append(sizes, 0)
+			stack = append(stack[:0], [2]int{x, y})
+			label[y*b.W+x] = id
+			for len(stack) > 0 {
+				p := stack[len(stack)-1]
+				stack = stack[:len(stack)-1]
+				sizes[id]++
+				for _, d := range mooreNeighbours {
+					nx, ny := p[0]+d[0], p[1]+d[1]
+					if b.Get(nx, ny) && label[ny*b.W+nx] == 0 {
+						label[ny*b.W+nx] = id
+						stack = append(stack, [2]int{nx, ny})
+					}
+				}
+			}
+		}
+	}
+	best := 0
+	for id := 1; id < len(sizes); id++ {
+		if sizes[id] > sizes[best] {
+			best = id
+		}
+	}
+	out := NewBitmap(b.W, b.H)
+	if best == 0 {
+		return out
+	}
+	for y := 0; y < b.H; y++ {
+		for x := 0; x < b.W; x++ {
+			if label[y*b.W+x] == best {
+				out.Set(x, y, true)
+			}
+		}
+	}
+	return out
+}
+
+// Trace returns the closed outer boundary of the largest foreground
+// component, as an ordered list of pixel coordinates, using Moore-neighbour
+// tracing with Jacob's stopping criterion (terminate upon re-entering the
+// start pixel from the original backtrack pixel).
+func Trace(b *Bitmap) ([][2]int, error) {
+	b = LargestComponent(b)
+	// The start pixel is the first foreground pixel in scan order; its west
+	// neighbour is guaranteed background and serves as the initial backtrack.
+	sx, sy := -1, -1
+scan:
+	for y := 0; y < b.H; y++ {
+		for x := 0; x < b.W; x++ {
+			if b.Get(x, y) {
+				sx, sy = x, y
+				break scan
+			}
+		}
+	}
+	if sx < 0 {
+		return nil, fmt.Errorf("shape: cannot trace an empty bitmap")
+	}
+
+	px, py := sx, sy   // current boundary pixel
+	bx, by := sx-1, sy // current backtrack (background) pixel
+	contour := [][2]int{{sx, sy}}
+
+	// The walk is deterministic in the state (pixel, backtrack), so it is
+	// eventually periodic. Jacob's criterion (stop on re-entering the start
+	// state) covers the common case, but on pinched one-pixel-wide
+	// configurations the start state may lie on a lead-in "tail" that the
+	// cycle never revisits; detecting the first repeated state of any kind —
+	// and trimming the tail — terminates correctly on every input.
+	type state struct{ px, py, bd int }
+	seen := map[state]int{}
+	maxSteps := 8 * (b.W*b.H + 8)
+	for step := 0; step < maxSteps; step++ {
+		// Scan the neighbours of p clockwise, starting just after the
+		// backtrack pixel, for the next boundary pixel.
+		bd := dirIndex(bx-px, by-py)
+		if at, ok := seen[state{px, py, bd}]; ok {
+			// Cycle closed: the current pixel equals both contour[at] (its
+			// first occurrence) and the last appended element. Drop the
+			// duplicated endpoint and any lead-in tail so the result is a
+			// proper cycle whose last pixel is 8-adjacent to its first.
+			return contour[at : len(contour)-1], nil
+		}
+		seen[state{px, py, bd}] = len(contour) - 1
+		found := false
+		prevX, prevY := bx, by
+		for i := 1; i <= 8; i++ {
+			d := (bd + i) % 8
+			nx, ny := px+mooreNeighbours[d][0], py+mooreNeighbours[d][1]
+			if b.Get(nx, ny) {
+				bx, by = prevX, prevY
+				px, py = nx, ny
+				found = true
+				break
+			}
+			prevX, prevY = nx, ny
+		}
+		if !found {
+			return contour, nil // isolated single pixel
+		}
+		contour = append(contour, [2]int{px, py})
+	}
+	return contour, nil
+}
+
+// Signature converts the shape in b to its centroid-distance time series of
+// length n (Figure 2), z-normalized. The signature starts at an arbitrary
+// contour point — exactly the unknown-rotation starting-point problem this
+// library solves — and proceeds in a consistent direction, so a mirrored
+// shape yields a reversed signature.
+//
+// Samples are spaced by true Euclidean arc length along the traced contour,
+// not by pixel count: an 8-connected boundary walk covers √2 the distance on
+// diagonal steps, so index-uniform sampling would warp the parametrization
+// whenever the shape rotates on the raster — breaking the "rotation equals
+// circular shift" identity the whole method rests on.
+func Signature(b *Bitmap, n int) ([]float64, error) {
+	contour, err := Trace(b)
+	if err != nil {
+		return nil, err
+	}
+	cx, cy, err := b.Centroid()
+	if err != nil {
+		return nil, err
+	}
+	L := len(contour)
+	raw := make([]float64, L)
+	for i, p := range contour {
+		dx, dy := float64(p[0])-cx, float64(p[1])-cy
+		raw[i] = math.Sqrt(dx*dx + dy*dy)
+	}
+	if L == 1 {
+		sig, err := ts.Resample(raw, n)
+		if err != nil {
+			return nil, err
+		}
+		return ts.ZNorm(sig), nil
+	}
+	// Cumulative arc length; segment i connects contour[i] to contour[i+1
+	// mod L] (the boundary is closed).
+	cum := make([]float64, L+1)
+	for i := 0; i < L; i++ {
+		p, q := contour[i], contour[(i+1)%L]
+		cum[i+1] = cum[i] + math.Hypot(float64(q[0]-p[0]), float64(q[1]-p[1]))
+	}
+	total := cum[L]
+	sig := make([]float64, n)
+	seg := 0
+	for k := 0; k < n; k++ {
+		target := total * float64(k) / float64(n)
+		for cum[seg+1] < target {
+			seg++
+		}
+		frac := 0.0
+		if cum[seg+1] > cum[seg] {
+			frac = (target - cum[seg]) / (cum[seg+1] - cum[seg])
+		}
+		a := raw[seg]
+		bval := raw[(seg+1)%L]
+		sig[k] = a + frac*(bval-a)
+	}
+	return ts.ZNorm(sig), nil
+}
+
+// AngularSignature extracts the centroid-distance signature by casting n
+// rays from the centroid at equally spaced angles and recording the furthest
+// foreground pixel along each — an angle-parametrized alternative to the
+// arc-length-parametrized Signature, exact for star-convex shapes and
+// directly comparable to RadialSignature.
+func AngularSignature(b *Bitmap, n int) ([]float64, error) {
+	cx, cy, err := b.Centroid()
+	if err != nil {
+		return nil, err
+	}
+	maxR := math.Hypot(float64(b.W), float64(b.H))
+	out := make([]float64, n)
+	for i := 0; i < n; i++ {
+		theta := 2 * math.Pi * float64(i) / float64(n)
+		dx, dy := math.Cos(theta), math.Sin(theta)
+		last := 0.0
+		for r := 0.0; r <= maxR; r += 0.5 {
+			if b.Get(int(cx+r*dx), int(cy+r*dy)) {
+				last = r
+			}
+		}
+		out[i] = last
+	}
+	return ts.ZNorm(out), nil
+}
+
+// RadialSignature samples a star-convex radius function at n equally spaced
+// angles and z-normalizes, bypassing rasterization. Used by the synthetic
+// generators when pixel effects are not wanted, and by tests as the ground
+// truth the raster pipeline must approximate.
+func RadialSignature(radius func(theta float64) float64, n int) []float64 {
+	out := make([]float64, n)
+	for i := range out {
+		out[i] = radius(2 * math.Pi * float64(i) / float64(n))
+	}
+	return ts.ZNorm(out)
+}
+
+// FromRadial rasterizes a star-convex shape defined by a radius function
+// (scaled so the maximum radius fits the canvas) onto a size×size bitmap.
+func FromRadial(radius func(theta float64) float64, size int) *Bitmap {
+	b := NewBitmap(size, size)
+	c := float64(size) / 2
+	maxR := 0.0
+	for i := 0; i < 720; i++ {
+		if r := radius(2 * math.Pi * float64(i) / 720); r > maxR {
+			maxR = r
+		}
+	}
+	if maxR <= 0 {
+		return b
+	}
+	scale := (c - 2) / maxR
+	for y := 0; y < size; y++ {
+		for x := 0; x < size; x++ {
+			dx, dy := float64(x)+0.5-c, float64(y)+0.5-c
+			rr := math.Sqrt(dx*dx + dy*dy)
+			theta := math.Atan2(dy, dx)
+			if theta < 0 {
+				theta += 2 * math.Pi
+			}
+			if rr <= radius(theta)*scale {
+				b.Set(x, y, true)
+			}
+		}
+	}
+	return b
+}

@@ -1,0 +1,63 @@
+package shape
+
+import (
+	"testing"
+)
+
+// FuzzTrace feeds arbitrary bit patterns as bitmaps: tracing must always
+// terminate with a connected boundary of foreground pixels (or an error for
+// empty bitmaps), never panic, and never exceed a sane length. This is the
+// guard against the pinched-boundary non-termination bug (see EXPERIMENTS.md
+// note 1).
+func FuzzTrace(f *testing.F) {
+	f.Add([]byte{0xFF, 0x00, 0xFF, 0x18, 0x3C, 0x18, 0x00, 0x00})
+	f.Add([]byte{0x01})
+	f.Add(make([]byte, 32))
+	f.Add([]byte{0xAA, 0x55, 0xAA, 0x55, 0xAA, 0x55, 0xAA, 0x55}) // checkerboard
+	f.Fuzz(func(t *testing.T, data []byte) {
+		if len(data) == 0 {
+			return
+		}
+		const w = 16
+		h := (len(data)*8 + w - 1) / w
+		if h < 1 {
+			return
+		}
+		if h > 64 {
+			h = 64
+		}
+		b := NewBitmap(w, h)
+		count := 0
+		for bit := 0; bit < w*h && bit < len(data)*8; bit++ {
+			if data[bit/8]&(1<<(bit%8)) != 0 {
+				b.Set(bit%w, bit/w, true)
+				count++
+			}
+		}
+		contour, err := Trace(b)
+		if count == 0 {
+			if err == nil {
+				t.Fatal("empty bitmap must error")
+			}
+			return
+		}
+		if err != nil {
+			t.Fatalf("trace failed on non-empty bitmap: %v", err)
+		}
+		if len(contour) == 0 || len(contour) > 8*(w*h+8) {
+			t.Fatalf("contour length %d out of range", len(contour))
+		}
+		for i, p := range contour {
+			if !b.Get(p[0], p[1]) {
+				t.Fatalf("contour point %d = %v is background", i, p)
+			}
+			if i > 0 {
+				dx := p[0] - contour[i-1][0]
+				dy := p[1] - contour[i-1][1]
+				if dx < -1 || dx > 1 || dy < -1 || dy > 1 {
+					t.Fatalf("contour discontinuity at %d", i)
+				}
+			}
+		}
+	})
+}

@@ -1,0 +1,42 @@
+// Package stats provides the implementation-free cost accounting used by the
+// paper's efficiency experiments, plus small statistical helpers for the
+// experiment harness.
+//
+// The paper (Section 5.3) argues that comparing approaches by CPU time is
+// subject to implementation bias, and instead counts "num_steps": the number
+// of real-value subtractions performed by a distance or lower-bound kernel.
+// Every kernel in this repository threads a *Counter through and adds the
+// steps it performs, so experiments can report exactly the metric the paper
+// reports.
+package stats
+
+// Counter accumulates num_steps as defined in the paper: one step per
+// real-value subtraction performed by a distance or lower-bound kernel.
+//
+// A nil *Counter is valid everywhere and records nothing, so hot kernels can
+// be called without accounting overhead mattering to the caller.
+type Counter struct {
+	steps int64
+}
+
+// Add records n additional steps. It is safe to call on a nil receiver.
+func (c *Counter) Add(n int64) {
+	if c != nil {
+		c.steps += n
+	}
+}
+
+// Steps reports the number of steps recorded so far. A nil receiver reports 0.
+func (c *Counter) Steps() int64 {
+	if c == nil {
+		return 0
+	}
+	return c.steps
+}
+
+// Reset clears the counter. It is safe to call on a nil receiver.
+func (c *Counter) Reset() {
+	if c != nil {
+		c.steps = 0
+	}
+}

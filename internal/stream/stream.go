@@ -1,0 +1,157 @@
+// Package stream implements wedge-based query filtering for streaming time
+// series — the "Atomic Wedgie" application of the LB_Keogh framework
+// (reference [40] of the paper, Wei, Keogh et al., ICDM 2005), which the
+// paper cites as evidence that the wedge machinery generalizes beyond shape
+// search.
+//
+// A Monitor holds a set of pattern series merged into hierarchical wedges.
+// Each incoming stream value slides a window forward; the window is compared
+// against the wedge set with early-abandoning LB_Keogh, descending into
+// individual patterns only when a wedge cannot exclude them. The monitor
+// reports exactly the (time, pattern) pairs a brute-force scan would — the
+// same no-false-dismissal contract as the rest of the library.
+package stream
+
+import (
+	"fmt"
+
+	"lbkeogh/internal/dist"
+	"lbkeogh/internal/envelope"
+	"lbkeogh/internal/stats"
+	"lbkeogh/internal/wedge"
+)
+
+// Match reports one pattern firing at one stream position.
+type Match struct {
+	// End is the stream index of the last value of the matching window
+	// (the window covers [End-n+1, End]).
+	End int
+	// Pattern indexes the pattern set given to NewMonitor.
+	Pattern int
+	// Dist is the exact kernel distance between window and pattern.
+	Dist float64
+}
+
+// Monitor filters a stream against a fixed set of equal-length patterns.
+type Monitor struct {
+	tree      *wedge.Tree
+	kernel    wedge.Kernel
+	threshold float64
+	n         int
+
+	envs   []envelope.Envelope // per dendrogram node, widened by kernel radius
+	buf    []float64           // ring buffer of the last n values
+	filled int
+	pos    int
+	seen   int // total values consumed
+
+	steps stats.Counter
+}
+
+// NewMonitor compiles patterns (all the same length n) into a wedge
+// hierarchy for threshold filtering under kern. A window matches pattern p
+// when the kernel distance is strictly below threshold.
+func NewMonitor(patterns [][]float64, kern wedge.Kernel, threshold float64) (*Monitor, error) {
+	if len(patterns) == 0 {
+		return nil, fmt.Errorf("stream: no patterns")
+	}
+	n := len(patterns[0])
+	if n < 2 {
+		return nil, fmt.Errorf("stream: patterns need >= 2 samples")
+	}
+	for i, p := range patterns {
+		if len(p) != n {
+			return nil, fmt.Errorf("stream: pattern %d length %d != %d", i, len(p), n)
+		}
+	}
+	if threshold <= 0 {
+		return nil, fmt.Errorf("stream: threshold must be positive")
+	}
+	tree := wedge.Build(patterns, func(i, j int) float64 {
+		return dist.Euclidean(patterns[i], patterns[j], nil)
+	}, nil)
+	d := tree.Dendrogram()
+	envs := make([]envelope.Envelope, len(d.Nodes))
+	for id := range d.Nodes {
+		envs[id] = tree.Envelope(id)
+		if r := kern.Radius(); r > 0 {
+			envs[id] = envs[id].ExpandDTW(r)
+		}
+	}
+	return &Monitor{
+		tree:      tree,
+		kernel:    kern,
+		threshold: threshold,
+		n:         n,
+		envs:      envs,
+		buf:       make([]float64, n),
+	}, nil
+}
+
+// WindowLen returns the pattern/window length n.
+func (m *Monitor) WindowLen() int { return m.n }
+
+// Steps reports the cumulative num_steps spent filtering.
+func (m *Monitor) Steps() int64 { return m.steps.Steps() }
+
+// window materializes the current ring buffer in stream order.
+func (m *Monitor) window() []float64 {
+	out := make([]float64, m.n)
+	for i := 0; i < m.n; i++ {
+		out[i] = m.buf[(m.pos+i)%m.n]
+	}
+	return out
+}
+
+// Push consumes one stream value and returns the patterns matching the
+// window that ends at this value (empty until the first full window, and
+// whenever no pattern is within threshold).
+//
+// Unlike nearest-neighbour search, filtering must report EVERY pattern
+// below threshold, so H-Merge's single-best contract does not apply
+// directly; the monitor walks the wedge hierarchy pruning subtrees whose
+// LB_Keogh already exceeds the threshold, and verifies each surviving leaf.
+func (m *Monitor) Push(v float64) []Match {
+	m.buf[m.pos] = v
+	m.pos = (m.pos + 1) % m.n
+	m.seen++
+	if m.filled < m.n {
+		m.filled++
+		if m.filled < m.n {
+			return nil
+		}
+	}
+	w := m.window()
+	var out []Match
+
+	// Depth-first over the wedge hierarchy with threshold pruning.
+	d := m.tree.Dendrogram()
+	stack := []int{d.Root()}
+	for len(stack) > 0 {
+		id := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		node := d.Nodes[id]
+		if node.Left < 0 {
+			dd, abandoned := m.kernel.Distance(w, m.tree.Member(id), m.threshold, &m.steps)
+			if !abandoned && dd < m.threshold {
+				out = append(out, Match{End: m.seen - 1, Pattern: id, Dist: dd})
+			}
+			continue
+		}
+		lb, abandoned := m.kernel.LowerBound(w, m.envs[id], m.threshold, &m.steps)
+		if abandoned || lb >= m.threshold {
+			continue
+		}
+		stack = append(stack, node.Left, node.Right)
+	}
+	return out
+}
+
+// PushAll consumes a batch of values and concatenates the matches.
+func (m *Monitor) PushAll(values []float64) []Match {
+	var out []Match
+	for _, v := range values {
+		out = append(out, m.Push(v)...)
+	}
+	return out
+}

@@ -1,0 +1,267 @@
+package synth
+
+import (
+	"math"
+	"testing"
+
+	"lbkeogh/internal/core"
+	"lbkeogh/internal/ts"
+	"lbkeogh/internal/wedge"
+)
+
+func TestMakeClassDatasetShape(t *testing.T) {
+	d := MakeClassDataset("test", 1, 4, 5, 64, false, DefaultInstanceConfig())
+	if len(d.Series) != 20 || len(d.Labels) != 20 || d.NumClasses != 4 || d.N != 64 {
+		t.Fatalf("dataset malformed: %d series, %d labels", len(d.Series), len(d.Labels))
+	}
+	for i, s := range d.Series {
+		if len(s) != 64 {
+			t.Fatalf("series %d has length %d", i, len(s))
+		}
+		if m := ts.Mean(s); math.Abs(m) > 1e-9 {
+			t.Fatalf("series %d not z-normalized", i)
+		}
+		if d.Labels[i] != i%4 {
+			t.Fatalf("label %d = %d, want %d", i, d.Labels[i], i%4)
+		}
+	}
+}
+
+func TestMakeClassDatasetDeterministic(t *testing.T) {
+	a := MakeClassDataset("x", 9, 3, 4, 32, true, DefaultInstanceConfig())
+	b := MakeClassDataset("x", 9, 3, 4, 32, true, DefaultInstanceConfig())
+	for i := range a.Series {
+		if !ts.Equal(a.Series[i], b.Series[i], 0) {
+			t.Fatal("same seed must reproduce the dataset exactly")
+		}
+	}
+	c := MakeClassDataset("x", 10, 3, 4, 32, true, DefaultInstanceConfig())
+	if ts.Equal(a.Series[0], c.Series[0], 0) {
+		t.Fatal("different seeds should differ")
+	}
+}
+
+func TestMakeClassDatasetPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("want panic")
+		}
+	}()
+	MakeClassDataset("bad", 1, 0, 5, 64, false, DefaultInstanceConfig())
+}
+
+func TestProjectilePointsShape(t *testing.T) {
+	db := ProjectilePoints(1, 100, 251)
+	if len(db) != 100 {
+		t.Fatalf("m = %d", len(db))
+	}
+	for _, s := range db {
+		if len(s) != 251 {
+			t.Fatalf("n = %d", len(s))
+		}
+	}
+	// Small m works too.
+	if got := ProjectilePoints(2, 7, 64); len(got) != 7 {
+		t.Fatalf("small m = %d", len(got))
+	}
+}
+
+func TestHeterogeneousDiverse(t *testing.T) {
+	db := Heterogeneous(3, 60, 128)
+	if len(db) != 60 {
+		t.Fatalf("m = %d", len(db))
+	}
+	// Heterogeneous data should have high mean pairwise rotation-invariant
+	// distance relative to projectile points' within-class structure — a
+	// cheap proxy: check distinctness of a few instances.
+	for i := 1; i < 5; i++ {
+		if ts.Equal(db[0], db[i], 1e-9) {
+			t.Fatal("heterogeneous instances should differ")
+		}
+	}
+}
+
+// Within-class neighbours must be closer than cross-class ones under
+// rotation-invariant ED for the classification datasets to be learnable.
+func TestClassStructureLearnable(t *testing.T) {
+	d := MakeClassDataset("learn", 5, 4, 8, 96, false, DefaultInstanceConfig())
+	hits := 0
+	for i := 0; i < 12; i++ { // subsample for speed
+		q := d.Series[i]
+		rs := core.NewRotationSet(q, core.DefaultOptions(), nil)
+		s := core.NewSearcher(rs, wedge.ED{}, core.Wedge, core.SearcherConfig{})
+		best, bestJ := math.Inf(1), -1
+		for j := range d.Series {
+			if j == i {
+				continue
+			}
+			m := s.MatchSeries(d.Series[j], best, nil)
+			if m.Found() && m.Dist < best {
+				best, bestJ = m.Dist, j
+			}
+		}
+		if d.Labels[bestJ] == d.Labels[i] {
+			hits++
+		}
+	}
+	if hits < 9 {
+		t.Fatalf("1-NN hit rate too low on synthetic classes: %d/12", hits)
+	}
+}
+
+func TestRasterMixedBag(t *testing.T) {
+	bitmaps, labels := RasterMixedBag(9, 4, 3, 48)
+	if len(bitmaps) != 12 || len(labels) != 12 {
+		t.Fatalf("size: %d bitmaps, %d labels", len(bitmaps), len(labels))
+	}
+	for i, b := range bitmaps {
+		if b.Count() == 0 {
+			t.Fatalf("bitmap %d empty", i)
+		}
+		// Fat shapes: the foreground must cover a substantial fraction of the
+		// canvas (the radial-range compression guarantees a fat core).
+		if frac := float64(b.Count()) / float64(48*48); frac < 0.1 {
+			t.Fatalf("bitmap %d suspiciously thin: %.3f", i, frac)
+		}
+		if labels[i] != i%4 {
+			t.Fatalf("label %d = %d", i, labels[i])
+		}
+	}
+	// Deterministic.
+	again, _ := RasterMixedBag(9, 4, 3, 48)
+	for y := 0; y < 48; y++ {
+		for x := 0; x < 48; x++ {
+			if bitmaps[0].Get(x, y) != again[0].Get(x, y) {
+				t.Fatal("RasterMixedBag not deterministic")
+			}
+		}
+	}
+}
+
+func TestMakeSiblingDatasetConfusable(t *testing.T) {
+	cfg := DefaultInstanceConfig()
+	tight := MakeSiblingDataset("sib", 5, 2, 6, 64, 0.02, cfg)
+	wide := MakeSiblingDataset("sib", 5, 2, 6, 64, 0.5, cfg)
+	if len(tight.Series) != 12 || tight.NumClasses != 2 {
+		t.Fatalf("sibling dataset malformed")
+	}
+	// Wider spread should separate the sibling classes more: compare the
+	// mean cross-class rotation-invariant distance.
+	meanCross := func(d *Dataset) float64 {
+		var sum float64
+		var cnt int
+		for i := range d.Series {
+			if d.Labels[i] != 0 {
+				continue
+			}
+			rs := core.NewRotationSet(d.Series[i], core.DefaultOptions(), nil)
+			s := core.NewSearcher(rs, wedge.ED{}, core.Wedge, core.SearcherConfig{})
+			for j := range d.Series {
+				if d.Labels[j] != 1 {
+					continue
+				}
+				m := s.MatchSeries(d.Series[j], -1, nil)
+				sum += m.Dist
+				cnt++
+			}
+		}
+		return sum / float64(cnt)
+	}
+	if meanCross(wide) <= meanCross(tight) {
+		t.Fatalf("wider sibling spread should separate classes more: %v vs %v",
+			meanCross(wide), meanCross(tight))
+	}
+}
+
+func TestMakeSiblingDatasetPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("want panic")
+		}
+	}()
+	MakeSiblingDataset("bad", 1, 0, 1, 8, 0.1, DefaultInstanceConfig())
+}
+
+func TestTable8Catalogue(t *testing.T) {
+	names := Table8Names()
+	if len(names) != 10 || names[0] != "Face" || names[9] != "Yoga" {
+		t.Fatalf("Table8Names = %v", names)
+	}
+	for _, name := range names {
+		if Table8PaperSize(name) <= 0 {
+			t.Fatalf("%s: missing paper size", name)
+		}
+	}
+}
+
+func TestTable8DatasetsInstantiate(t *testing.T) {
+	for _, name := range Table8Names() {
+		d, err := Table8Dataset(name, 0.5)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if d.N != Table8SeriesLength {
+			t.Fatalf("%s: n = %d", name, d.N)
+		}
+		if len(d.Series) < 2*d.NumClasses {
+			t.Fatalf("%s: too few instances %d", name, len(d.Series))
+		}
+		seen := map[int]bool{}
+		for _, l := range d.Labels {
+			seen[l] = true
+		}
+		if len(seen) != d.NumClasses {
+			t.Fatalf("%s: %d observed classes, want %d", name, len(seen), d.NumClasses)
+		}
+	}
+}
+
+func TestTable8UnknownName(t *testing.T) {
+	if _, err := Table8Dataset("nope", 1); err == nil {
+		t.Fatal("want error for unknown dataset")
+	}
+}
+
+func TestGlyphs(t *testing.T) {
+	g, err := Glyphs(96)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(g) != 6 {
+		t.Fatalf("glyph count = %d", len(g))
+	}
+	for ch, sig := range g {
+		if len(sig) != 96 {
+			t.Fatalf("%c: length %d", ch, len(sig))
+		}
+	}
+	// b and d are mirror images: mirror-invariant match must be near zero
+	// while the plain rotation-invariant match is not.
+	rsPlain := core.NewRotationSet(g['b'], core.DefaultOptions(), nil)
+	rsMir := core.NewRotationSet(g['b'], core.Options{Mirror: true, MaxShift: -1}, nil)
+	plain := core.NewSearcher(rsPlain, wedge.ED{}, core.Wedge, core.SearcherConfig{}).MatchSeries(g['d'], -1, nil)
+	mir := core.NewSearcher(rsMir, wedge.ED{}, core.Wedge, core.SearcherConfig{}).MatchSeries(g['d'], -1, nil)
+	if mir.Dist >= plain.Dist {
+		t.Fatalf("mirror invariance should shrink b-d distance: %v vs %v", mir.Dist, plain.Dist)
+	}
+}
+
+func TestSkullFamilies(t *testing.T) {
+	species := SkullSpecies()
+	if len(species) != 8 {
+		t.Fatalf("species count = %d", len(species))
+	}
+	rng := ts.NewRand(5)
+	n := 128
+	// Same-species (a/b pairs) must match closer than cross-genus pairs.
+	owlA := SkullSignature(rng, species["owl-monkey-a"], n, 0.01)
+	owlB := SkullSignature(rng, species["owl-monkey-b"], n, 0.01)
+	orang := SkullSignature(rng, species["orangutan-adult"], n, 0.01)
+	rs := core.NewRotationSet(owlA, core.DefaultOptions(), nil)
+	s := core.NewSearcher(rs, wedge.ED{}, core.Wedge, core.SearcherConfig{})
+	dSame := s.MatchSeries(owlB, -1, nil)
+	dDiff := s.MatchSeries(orang, -1, nil)
+	if dSame.Dist >= dDiff.Dist {
+		t.Fatalf("owl monkeys should cluster: same %v vs diff %v", dSame.Dist, dDiff.Dist)
+	}
+}

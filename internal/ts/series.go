@@ -1,0 +1,165 @@
+// Package ts provides the basic time-series representation and utilities the
+// rest of the library is built on: circular rotation, mirroring,
+// z-normalization and resampling.
+//
+// Shapes are matched in a 1-D representation (Figure 2 of the paper): the
+// distance from each contour point to the shape centroid, read clockwise, is
+// a time series of length n. A rotation of the original 2-D shape is a
+// circular shift of that series, and a mirror image is its reversal — which
+// is why everything here is phrased in terms of circular shifts.
+package ts
+
+import (
+	"fmt"
+	"math"
+)
+
+// Rotate returns a copy of s circularly shifted left by k positions, so that
+// Rotate(s, k)[i] == s[(i+k) mod n]. k may be negative or exceed len(s).
+func Rotate(s []float64, k int) []float64 {
+	n := len(s)
+	out := make([]float64, n)
+	if n == 0 {
+		return out
+	}
+	k = ((k % n) + n) % n
+	copy(out, s[k:])
+	copy(out[n-k:], s[:k])
+	return out
+}
+
+// Mirror returns a reversed copy of s. In the shape domain this is the
+// enantiomorphic (mirror-image) form of the contour (Section 3).
+func Mirror(s []float64) []float64 {
+	out := make([]float64, len(s))
+	for i, v := range s {
+		out[len(s)-1-i] = v
+	}
+	return out
+}
+
+// Mean returns the arithmetic mean of s (0 for empty input).
+func Mean(s []float64) float64 {
+	if len(s) == 0 {
+		return 0
+	}
+	var sum float64
+	for _, v := range s {
+		sum += v
+	}
+	return sum / float64(len(s))
+}
+
+// Std returns the population standard deviation of s.
+func Std(s []float64) float64 {
+	if len(s) == 0 {
+		return 0
+	}
+	m := Mean(s)
+	var sum float64
+	for _, v := range s {
+		d := v - m
+		sum += d * d
+	}
+	return math.Sqrt(sum / float64(len(s)))
+}
+
+// ZNorm returns a copy of s normalized to zero mean and unit standard
+// deviation. A (near-)constant series normalizes to all zeros rather than
+// dividing by ~0; this matches standard practice in the time-series matching
+// literature and keeps distances between degenerate series finite.
+func ZNorm(s []float64) []float64 {
+	out := make([]float64, len(s))
+	m := Mean(s)
+	sd := Std(s)
+	if sd < 1e-12 {
+		return out // all zeros
+	}
+	for i, v := range s {
+		out[i] = (v - m) / sd
+	}
+	return out
+}
+
+// Resample linearly interpolates s (treated as a closed, circular sequence)
+// to exactly n samples. It panics for n <= 0 and errors on empty input.
+//
+// Circular interpolation is the right choice for contour signatures: the
+// series wraps around the shape, so the segment between the last and first
+// samples is as real as any other.
+func Resample(s []float64, n int) ([]float64, error) {
+	if n <= 0 {
+		panic(fmt.Sprintf("ts: Resample target length %d must be positive", n))
+	}
+	if len(s) == 0 {
+		return nil, fmt.Errorf("ts: cannot resample empty series")
+	}
+	m := len(s)
+	out := make([]float64, n)
+	for i := 0; i < n; i++ {
+		pos := float64(i) * float64(m) / float64(n)
+		j := int(pos)
+		frac := pos - float64(j)
+		a := s[j%m]
+		b := s[(j+1)%m]
+		out[i] = a + frac*(b-a)
+	}
+	return out, nil
+}
+
+// AlignToMax rotates s so its maximum value leads — the domain-independent
+// "most protruding point" landmark (the analogue of major-axis alignment the
+// paper critiques in Section 2.1). It is exactly as brittle as the paper
+// says: a small perturbation can move the argmax and rotate the whole
+// signature.
+func AlignToMax(s []float64) []float64 {
+	if len(s) == 0 {
+		return nil
+	}
+	best := 0
+	for i, v := range s {
+		if v > s[best] {
+			best = i
+		}
+	}
+	return Rotate(s, best)
+}
+
+// Clone returns a copy of s.
+func Clone(s []float64) []float64 {
+	out := make([]float64, len(s))
+	copy(out, s)
+	return out
+}
+
+// Equal reports whether two series have identical length and elements within
+// tolerance tol.
+func Equal(a, b []float64, tol float64) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if math.Abs(a[i]-b[i]) > tol {
+			return false
+		}
+	}
+	return true
+}
+
+// MinMax returns the minimum and maximum values of s. It panics on empty
+// input, since there is no sensible zero answer.
+func MinMax(s []float64) (lo, hi float64) {
+	if len(s) == 0 {
+		panic("ts: MinMax of empty series")
+	}
+	lo, hi = s[0], s[0]
+	for _, v := range s[1:] {
+		if v < lo {
+			lo = v
+		}
+		if v > hi {
+			hi = v
+		}
+	}
+	return lo, hi
+}

@@ -1,0 +1,137 @@
+// Package wedge implements the paper's central machinery: hierarchically
+// nested wedges over a set of candidate series (the query's rotations),
+// the H-Merge search algorithm (Table 6), and the dynamic wedge-set-size
+// controller (Section 4.1, final paragraphs).
+package wedge
+
+import (
+	"lbkeogh/internal/dist"
+	"lbkeogh/internal/envelope"
+	"lbkeogh/internal/stats"
+)
+
+// Kernel abstracts a distance measure for H-Merge: an exact (early
+// abandoning) pairwise distance plus an admissible lower bound against a
+// wedge that encloses a group of candidates. The three kernels mirror the
+// three measures the paper supports: Euclidean, DTW and LCSS.
+//
+// All kernels are phrased as distances to be minimized; LCSS (a similarity)
+// is wrapped in its normalized distance form 1 - LCSS/n, with the envelope
+// match-count bound converted accordingly (the paper: "the minor changes
+// include reversing some inequality signs since LCSS is a similarity
+// measure").
+type Kernel interface {
+	// Distance returns the exact distance between q and c, abandoning once
+	// it can prove the result exceeds r (r < 0 disables abandoning). The
+	// boolean reports abandonment, in which case the distance is +Inf.
+	Distance(q, c []float64, r float64, cnt *stats.Counter) (float64, bool)
+
+	// LowerBound returns an admissible lower bound of Distance(q, m) for
+	// every member m of the wedge env, abandoning once the bound provably
+	// exceeds r. env must already include this kernel's widening (Radius).
+	LowerBound(q []float64, env envelope.Envelope, r float64, cnt *stats.Counter) (float64, bool)
+
+	// Radius is the envelope widening this kernel requires: 0 for Euclidean,
+	// the Sakoe-Chiba band R for DTW, the matching window delta for LCSS.
+	Radius() int
+
+	// LeafLBIsExact reports whether LowerBound against a singleton wedge
+	// equals Distance exactly (true for Euclidean), letting H-Merge skip the
+	// redundant exact computation at leaves.
+	LeafLBIsExact() bool
+
+	// Name identifies the kernel in diagnostics.
+	Name() string
+}
+
+// ED is the Euclidean-distance kernel.
+type ED struct{}
+
+// Distance implements Kernel using EA_Euclidean_Dist (Table 1).
+func (ED) Distance(q, c []float64, r float64, cnt *stats.Counter) (float64, bool) {
+	return dist.EuclideanEA(q, c, r, cnt)
+}
+
+// LowerBound implements Kernel using EA_LB_Keogh (Table 5).
+func (ED) LowerBound(q []float64, env envelope.Envelope, r float64, cnt *stats.Counter) (float64, bool) {
+	return envelope.LBKeogh(q, env, r, cnt)
+}
+
+// Radius implements Kernel.
+func (ED) Radius() int { return 0 }
+
+// LeafLBIsExact implements Kernel: LB_Keogh against a singleton wedge
+// degenerates to the Euclidean distance.
+func (ED) LeafLBIsExact() bool { return true }
+
+// Name implements Kernel.
+func (ED) Name() string { return "euclidean" }
+
+// DTW is the banded dynamic-time-warping kernel with Sakoe-Chiba radius R.
+type DTW struct {
+	R int
+}
+
+// Distance implements Kernel using early-abandoning banded DTW.
+func (k DTW) Distance(q, c []float64, r float64, cnt *stats.Counter) (float64, bool) {
+	return dist.DTWEA(q, c, k.R, r, cnt)
+}
+
+// LowerBound implements Kernel using LB_KeoghDTW (Proposition 2); env must
+// be widened by R.
+func (k DTW) LowerBound(q []float64, env envelope.Envelope, r float64, cnt *stats.Counter) (float64, bool) {
+	return envelope.LBKeogh(q, env, r, cnt)
+}
+
+// Radius implements Kernel.
+func (k DTW) Radius() int { return k.R }
+
+// LeafLBIsExact implements Kernel: a singleton DTW wedge still only lower
+// bounds the warped distance.
+func (DTW) LeafLBIsExact() bool { return false }
+
+// Name implements Kernel.
+func (k DTW) Name() string { return "dtw" }
+
+// LCSS is the Longest-Common-SubSequence kernel in normalized distance form
+// 1 - LCSS/n, with matching window Delta and threshold Eps.
+type LCSS struct {
+	Delta int
+	Eps   float64
+}
+
+// Distance implements Kernel. LCSS has no incremental early-abandon in our
+// implementation; it computes the exact value and reports abandonment if the
+// result exceeds r, which preserves correctness (abandonment is only an
+// optimization).
+func (k LCSS) Distance(q, c []float64, r float64, cnt *stats.Counter) (float64, bool) {
+	d := dist.LCSSDist(q, c, k.Delta, k.Eps, cnt)
+	if r >= 0 && d > r {
+		return dist.Inf, true
+	}
+	return d, false
+}
+
+// LowerBound implements Kernel: the envelope match count bounds the LCSS
+// similarity from above, so 1 - count/n bounds the distance from below.
+func (k LCSS) LowerBound(q []float64, env envelope.Envelope, r float64, cnt *stats.Counter) (float64, bool) {
+	ub := envelope.LCSSUpperBound(q, env, k.Eps, cnt)
+	n := len(q)
+	if n == 0 {
+		return 0, false
+	}
+	lb := 1 - float64(ub)/float64(n)
+	if r >= 0 && lb > r {
+		return dist.Inf, true
+	}
+	return lb, false
+}
+
+// Radius implements Kernel.
+func (k LCSS) Radius() int { return k.Delta }
+
+// LeafLBIsExact implements Kernel.
+func (LCSS) LeafLBIsExact() bool { return false }
+
+// Name implements Kernel.
+func (k LCSS) Name() string { return "lcss" }

@@ -1,0 +1,265 @@
+package wedge
+
+import (
+	"container/heap"
+	"fmt"
+	"math"
+	"sync"
+
+	"lbkeogh/internal/cluster"
+	"lbkeogh/internal/envelope"
+	"lbkeogh/internal/stats"
+)
+
+// Traversal selects the H-Merge frontier/children visit order.
+type Traversal int
+
+const (
+	// LIFO visits wedges depth-first with a stack, as in the paper's Table 6.
+	LIFO Traversal = iota
+	// BestFirst visits wedges in ascending lower-bound order with a priority
+	// queue, terminating as soon as the smallest outstanding bound meets the
+	// best-so-far. Used by the traversal-order ablation.
+	BestFirst
+)
+
+// Tree is the hierarchically nested wedge structure built over a set of
+// candidate series (in the paper: the rotations of the query). Node indexing
+// follows the underlying dendrogram: 0..m-1 are the individual candidates,
+// m..2m-2 the merged wedges, 2m-2 the root wedge.
+//
+// A Tree is safe for concurrent Search calls: the lazily built caches
+// (expanded envelopes, frontier cuts) are guarded by a mutex, and everything
+// else is immutable after Build. Parallel database scans share one tree.
+type Tree struct {
+	members [][]float64
+	dend    *cluster.Dendrogram
+	env     []envelope.Envelope // base (unexpanded) envelope per node
+
+	mu       sync.Mutex
+	expanded map[int][]envelope.Envelope // per widening radius
+	frontier map[int][]int               // cached dendrogram cuts per K
+}
+
+// Build constructs the wedge tree for the given member series (all the same
+// length) using group-average-linkage clustering over the provided pairwise
+// distance function, exactly as Section 4.1 prescribes. The cost of building
+// every node's envelope — the O(n²) set-up cost the paper charges to the
+// wedge strategy — is recorded on cnt (one step per sample merged).
+func Build(members [][]float64, distFn func(i, j int) float64, cnt *stats.Counter) *Tree {
+	if len(members) == 0 {
+		panic("wedge: Build requires at least one member")
+	}
+	n := len(members[0])
+	for i, m := range members {
+		if len(m) != n {
+			panic(fmt.Sprintf("wedge: member %d length %d != %d", i, len(m), n))
+		}
+	}
+	m := len(members)
+	dend := cluster.Agglomerative(m, distFn, cluster.Average)
+
+	env := make([]envelope.Envelope, len(dend.Nodes))
+	for i := 0; i < m; i++ {
+		env[i] = envelope.Envelope{U: members[i], L: members[i]}
+	}
+	for id := m; id < len(dend.Nodes); id++ {
+		node := dend.Nodes[id]
+		env[id] = envelope.Merge(env[node.Left], env[node.Right])
+		cnt.Add(int64(n))
+	}
+	return &Tree{
+		members:  members,
+		dend:     dend,
+		env:      env,
+		expanded: map[int][]envelope.Envelope{0: env},
+		frontier: map[int][]int{},
+	}
+}
+
+// Members returns the number of candidate series in the tree.
+func (t *Tree) Members() int { return len(t.members) }
+
+// Member returns the i-th candidate series.
+func (t *Tree) Member(i int) []float64 { return t.members[i] }
+
+// Len returns the series length.
+func (t *Tree) Len() int { return len(t.members[0]) }
+
+// Dendrogram exposes the underlying merge tree (for visualization and the
+// examples that print dendrograms).
+func (t *Tree) Dendrogram() *cluster.Dendrogram { return t.dend }
+
+// Envelope returns the base envelope of the given node.
+func (t *Tree) Envelope(node int) envelope.Envelope { return t.env[node] }
+
+// envelopesFor returns the per-node envelopes widened by radius, building and
+// caching them on first use (the paper widens wedges by the Sakoe-Chiba R for
+// DTW, Figure 13).
+func (t *Tree) envelopesFor(radius int, cnt *stats.Counter) []envelope.Envelope {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if e, ok := t.expanded[radius]; ok {
+		return e
+	}
+	out := make([]envelope.Envelope, len(t.env))
+	for i, e := range t.env {
+		out[i] = e.ExpandDTW(radius)
+		cnt.Add(int64(e.Len()))
+	}
+	t.expanded[radius] = out
+	return out
+}
+
+// frontierFor returns the (cached) K-cluster dendrogram cut.
+func (t *Tree) frontierFor(k int) []int {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if f, ok := t.frontier[k]; ok {
+		return f
+	}
+	f := t.dend.Frontier(k)
+	t.frontier[k] = f
+	return f
+}
+
+// MaxK returns the largest meaningful wedge-set size (one wedge per member).
+func (t *Tree) MaxK() int { return len(t.members) }
+
+// FrontierEnvelopes returns the envelopes of the K-wedge dendrogram cut,
+// widened by radius (0 for Euclidean, the band R for DTW). The index layer
+// reduces these to its compressed representation ("search for the best match
+// to K envelopes in the wedge set W", Section 4.2).
+func (t *Tree) FrontierEnvelopes(K, radius int) []envelope.Envelope {
+	envs := t.envelopesFor(radius, nil)
+	frontier := t.frontierFor(K)
+	out := make([]envelope.Envelope, len(frontier))
+	for i, id := range frontier {
+		out[i] = envs[id]
+	}
+	return out
+}
+
+// Result reports the outcome of an H-Merge search.
+type Result struct {
+	// Dist is the exact minimum kernel distance from the probe to any member,
+	// or +Inf if every member was proven to exceed the threshold.
+	Dist float64
+	// BestMember is the index of the minimizing member, or -1.
+	BestMember int
+	// Steps is the number of num_steps charged by this call.
+	Steps int64
+}
+
+// Search runs H-Merge (Table 6): it returns the exact minimum distance from
+// q to any member of the tree, provided that minimum is strictly below r
+// (r < 0 or +Inf means unbounded). K is the wedge-set size to start from;
+// traversal selects stack vs best-first order. The result is exact: H-Merge
+// returns precisely what brute force over all members would, as long as the
+// caller treats Dist = +Inf as "no member beats r".
+func (t *Tree) Search(q []float64, k Kernel, K int, r float64, traversal Traversal, cnt *stats.Counter) Result {
+	if len(q) != t.Len() {
+		panic(fmt.Sprintf("wedge: query length %d != member length %d", len(q), t.Len()))
+	}
+	var local stats.Counter
+	envs := t.envelopesFor(k.Radius(), &local)
+
+	best := math.Inf(1)
+	if r >= 0 {
+		best = r
+	}
+	bestMember := -1
+
+	visitLeaf := func(id int) {
+		if k.LeafLBIsExact() {
+			// For Euclidean, LB against the singleton wedge IS the distance;
+			// compute it once via the kernel's exact path.
+			d, abandoned := k.Distance(q, t.members[id], best, &local)
+			if !abandoned && d < best {
+				best, bestMember = d, id
+			}
+			return
+		}
+		// For warped measures: cheap LB first (classic LB_Keogh), then the
+		// full distance only if the bound cannot prune.
+		lb, abandoned := k.LowerBound(q, envs[id], best, &local)
+		if abandoned || lb >= best {
+			return
+		}
+		d, abandoned := k.Distance(q, t.members[id], best, &local)
+		if !abandoned && d < best {
+			best, bestMember = d, id
+		}
+	}
+
+	frontier := t.frontierFor(K)
+	switch traversal {
+	case BestFirst:
+		pq := &boundHeap{}
+		for _, id := range frontier {
+			lb, abandoned := k.LowerBound(q, envs[id], best, &local)
+			if !abandoned && lb < best {
+				heap.Push(pq, boundItem{id: id, lb: lb})
+			}
+		}
+		for pq.Len() > 0 {
+			it := heap.Pop(pq).(boundItem)
+			if it.lb >= best {
+				break // smallest outstanding bound cannot improve: done
+			}
+			node := t.dend.Nodes[it.id]
+			if node.Left < 0 {
+				visitLeaf(it.id)
+				continue
+			}
+			for _, ch := range []int{node.Left, node.Right} {
+				lb, abandoned := k.LowerBound(q, envs[ch], best, &local)
+				if !abandoned && lb < best {
+					heap.Push(pq, boundItem{id: ch, lb: lb})
+				}
+			}
+		}
+	default: // LIFO, the paper's Table 6
+		stack := make([]int, len(frontier))
+		copy(stack, frontier)
+		for len(stack) > 0 {
+			id := stack[len(stack)-1]
+			stack = stack[:len(stack)-1]
+			node := t.dend.Nodes[id]
+			if node.Left < 0 {
+				visitLeaf(id)
+				continue
+			}
+			lb, abandoned := k.LowerBound(q, envs[id], best, &local)
+			if abandoned || lb >= best {
+				continue // prune the whole wedge
+			}
+			stack = append(stack, node.Left, node.Right)
+		}
+	}
+
+	cnt.Add(local.Steps())
+	if bestMember < 0 {
+		return Result{Dist: math.Inf(1), BestMember: -1, Steps: local.Steps()}
+	}
+	return Result{Dist: best, BestMember: bestMember, Steps: local.Steps()}
+}
+
+type boundItem struct {
+	id int
+	lb float64
+}
+
+type boundHeap []boundItem
+
+func (h boundHeap) Len() int           { return len(h) }
+func (h boundHeap) Less(i, j int) bool { return h[i].lb < h[j].lb }
+func (h boundHeap) Swap(i, j int)      { h[i], h[j] = h[j], h[i] }
+func (h *boundHeap) Push(x any)        { *h = append(*h, x.(boundItem)) }
+func (h *boundHeap) Pop() any {
+	old := *h
+	n := len(old) - 1
+	it := old[n]
+	*h = old[:n]
+	return it
+}

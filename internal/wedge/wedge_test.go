@@ -1,0 +1,288 @@
+package wedge
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"lbkeogh/internal/dist"
+	"lbkeogh/internal/stats"
+	"lbkeogh/internal/ts"
+)
+
+func buildRandomTree(seed int64, m, n int) (*Tree, [][]float64) {
+	rng := ts.NewRand(seed)
+	members := make([][]float64, m)
+	for i := range members {
+		members[i] = ts.RandomWalk(rng, n)
+	}
+	tree := Build(members, func(i, j int) float64 {
+		return dist.Euclidean(members[i], members[j], nil)
+	}, nil)
+	return tree, members
+}
+
+func bruteMin(q []float64, members [][]float64, k Kernel) (float64, int) {
+	best, bestIdx := math.Inf(1), -1
+	for i, m := range members {
+		d, _ := k.Distance(q, m, -1, nil)
+		if d < best {
+			best, bestIdx = d, i
+		}
+	}
+	return best, bestIdx
+}
+
+func TestTreeStructure(t *testing.T) {
+	tree, members := buildRandomTree(1, 9, 32)
+	if tree.Members() != 9 || tree.Len() != 32 {
+		t.Fatalf("tree shape wrong: %d members, len %d", tree.Members(), tree.Len())
+	}
+	// Every node's envelope contains all leaves below it.
+	d := tree.Dendrogram()
+	for id := range d.Nodes {
+		env := tree.Envelope(id)
+		for _, leaf := range d.Leaves(id) {
+			if !env.Contains(members[leaf], 1e-12) {
+				t.Fatalf("node %d envelope misses leaf %d", id, leaf)
+			}
+		}
+	}
+}
+
+func TestSearchMatchesBruteForceED(t *testing.T) {
+	tree, members := buildRandomTree(2, 16, 40)
+	rng := ts.NewRand(3)
+	for trial := 0; trial < 20; trial++ {
+		q := ts.RandomWalk(rng, 40)
+		want, wantIdx := bruteMin(q, members, ED{})
+		for _, K := range []int{1, 2, 4, 8, 16} {
+			for _, tr := range []Traversal{LIFO, BestFirst} {
+				res := tree.Search(q, ED{}, K, -1, tr, nil)
+				if math.Abs(res.Dist-want) > 1e-9 || res.BestMember != wantIdx {
+					t.Fatalf("K=%d tr=%d: H-Merge (%v,%d) != brute (%v,%d)",
+						K, tr, res.Dist, res.BestMember, want, wantIdx)
+				}
+			}
+		}
+	}
+}
+
+func TestSearchMatchesBruteForceDTW(t *testing.T) {
+	tree, members := buildRandomTree(4, 12, 32)
+	rng := ts.NewRand(5)
+	for _, R := range []int{0, 2, 5} {
+		k := DTW{R: R}
+		for trial := 0; trial < 10; trial++ {
+			q := ts.RandomWalk(rng, 32)
+			want, wantIdx := bruteMin(q, members, k)
+			for _, K := range []int{1, 3, 12} {
+				res := tree.Search(q, k, K, -1, LIFO, nil)
+				if math.Abs(res.Dist-want) > 1e-9 || res.BestMember != wantIdx {
+					t.Fatalf("R=%d K=%d: H-Merge (%v,%d) != brute (%v,%d)",
+						R, K, res.Dist, res.BestMember, want, wantIdx)
+				}
+			}
+		}
+	}
+}
+
+func TestSearchMatchesBruteForceLCSS(t *testing.T) {
+	tree, members := buildRandomTree(6, 10, 28)
+	rng := ts.NewRand(7)
+	k := LCSS{Delta: 3, Eps: 0.25}
+	for trial := 0; trial < 10; trial++ {
+		q := ts.RandomWalk(rng, 28)
+		want, _ := bruteMin(q, members, k)
+		res := tree.Search(q, k, 4, -1, LIFO, nil)
+		if math.Abs(res.Dist-want) > 1e-9 {
+			t.Fatalf("LCSS H-Merge %v != brute %v", res.Dist, want)
+		}
+	}
+}
+
+func TestSearchThresholdSemantics(t *testing.T) {
+	tree, members := buildRandomTree(8, 8, 24)
+	rng := ts.NewRand(9)
+	q := ts.RandomWalk(rng, 24)
+	want, _ := bruteMin(q, members, ED{})
+	res := tree.Search(q, ED{}, 4, want*0.9, LIFO, nil)
+	if !math.IsInf(res.Dist, 1) || res.BestMember != -1 {
+		t.Fatalf("threshold below min should yield +Inf, got %+v", res)
+	}
+	res = tree.Search(q, ED{}, 4, want*1.1, LIFO, nil)
+	if math.Abs(res.Dist-want) > 1e-9 {
+		t.Fatalf("threshold above min should find exact: %v vs %v", res.Dist, want)
+	}
+}
+
+func TestSearchStepsLessThanBruteForceOnClusteredData(t *testing.T) {
+	// Members are tiny perturbations of one base series: the root wedge is
+	// thin and should prune nearly everything for a far-away query.
+	rng := ts.NewRand(10)
+	base := ts.RandomWalk(rng, 64)
+	members := make([][]float64, 32)
+	for i := range members {
+		members[i] = ts.AddNoise(rng, base, 0.01)
+	}
+	tree := Build(members, func(i, j int) float64 {
+		return dist.Euclidean(members[i], members[j], nil)
+	}, nil)
+
+	far := make([]float64, 64)
+	for i := range far {
+		far[i] = 50
+	}
+	var wedgeCnt, bruteCnt stats.Counter
+	res := tree.Search(far, ED{}, 1, 1.0, LIFO, &wedgeCnt) // threshold 1: prune all
+	if !math.IsInf(res.Dist, 1) {
+		t.Fatal("far query should be pruned entirely")
+	}
+	for _, m := range members {
+		dist.EuclideanEA(far, m, 1.0, &bruteCnt)
+	}
+	if wedgeCnt.Steps() >= bruteCnt.Steps() {
+		t.Fatalf("wedge steps %d not below brute EA steps %d", wedgeCnt.Steps(), bruteCnt.Steps())
+	}
+}
+
+// Property: H-Merge is exact for arbitrary K, traversal and kernel.
+func TestSearchExactnessProperty(t *testing.T) {
+	tree, members := buildRandomTree(11, 14, 24)
+	rng := ts.NewRand(12)
+	f := func(kSeed, trSeed, kernSeed uint8) bool {
+		q := ts.RandomWalk(rng, 24)
+		K := 1 + int(kSeed)%14
+		tr := Traversal(int(trSeed) % 2)
+		var kern Kernel = ED{}
+		if kernSeed%2 == 1 {
+			kern = DTW{R: 1 + int(kernSeed)%4}
+		}
+		want, _ := bruteMin(q, members, kern)
+		res := tree.Search(q, kern, K, -1, tr, nil)
+		return math.Abs(res.Dist-want) < 1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSearchQueryLengthMismatchPanics(t *testing.T) {
+	tree, _ := buildRandomTree(13, 4, 16)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("want panic on length mismatch")
+		}
+	}()
+	tree.Search(make([]float64, 8), ED{}, 2, -1, LIFO, nil)
+}
+
+func TestBuildPanicsOnEmpty(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("want panic on empty member set")
+		}
+	}()
+	Build(nil, nil, nil)
+}
+
+func TestBuildChargesSetupCost(t *testing.T) {
+	var cnt stats.Counter
+	rng := ts.NewRand(14)
+	members := make([][]float64, 8)
+	for i := range members {
+		members[i] = ts.RandomWalk(rng, 32)
+	}
+	Build(members, func(i, j int) float64 {
+		return dist.Euclidean(members[i], members[j], nil)
+	}, &cnt)
+	if cnt.Steps() != int64(7*32) { // m-1 merges, n steps each
+		t.Fatalf("setup steps = %d, want %d", cnt.Steps(), 7*32)
+	}
+}
+
+func TestKernelMetadata(t *testing.T) {
+	if (ED{}).Name() != "euclidean" || !(ED{}).LeafLBIsExact() || (ED{}).Radius() != 0 {
+		t.Fatal("ED kernel metadata wrong")
+	}
+	k := DTW{R: 7}
+	if k.Name() != "dtw" || k.LeafLBIsExact() || k.Radius() != 7 {
+		t.Fatal("DTW kernel metadata wrong")
+	}
+	l := LCSS{Delta: 3, Eps: 0.5}
+	if l.Name() != "lcss" || l.LeafLBIsExact() || l.Radius() != 3 {
+		t.Fatal("LCSS kernel metadata wrong")
+	}
+}
+
+func TestDynamicKStartsAtTwo(t *testing.T) {
+	d := NewDynamicK(100, 5)
+	if d.K() != 2 {
+		t.Fatalf("initial K = %d, want 2", d.K())
+	}
+	d = NewDynamicK(1, 5)
+	if d.K() != 1 {
+		t.Fatalf("clamped initial K = %d, want 1", d.K())
+	}
+}
+
+func TestDynamicKProbesAndSettles(t *testing.T) {
+	d := NewDynamicK(64, 5)
+	// No change: K stays.
+	d.Observe(100, false)
+	if d.K() != 2 {
+		t.Fatal("K should not move without a best-so-far change")
+	}
+	// Change triggers probing over candidates; make the largest candidate
+	// the clear winner and check the controller settles on it.
+	d.Observe(100, true)
+	if !d.probing {
+		t.Fatal("probe should have started")
+	}
+	cands := append([]int{}, d.candidates...)
+	wantK := 0
+	for _, k := range cands {
+		if k > wantK {
+			wantK = k
+		}
+	}
+	for range cands {
+		k := d.K()
+		d.Observe(int64(1000-k), false) // cheapest at largest K
+	}
+	if d.probing {
+		t.Fatal("probe should have finished")
+	}
+	if d.Current() != wantK {
+		t.Fatalf("settled K = %d, want %d", d.Current(), wantK)
+	}
+}
+
+func TestDynamicKCandidatesInRange(t *testing.T) {
+	for _, intervals := range []int{1, 3, 5, 20} {
+		for _, maxK := range []int{1, 2, 7, 100} {
+			d := NewDynamicK(maxK, intervals)
+			d.curK = (maxK + 1) / 2
+			for _, k := range d.candidateKs() {
+				if k < 1 || k > maxK {
+					t.Fatalf("candidate %d outside [1,%d]", k, maxK)
+				}
+			}
+		}
+	}
+}
+
+func TestDynamicKRearmsAfterChangeDuringProbe(t *testing.T) {
+	d := NewDynamicK(32, 3)
+	d.Observe(10, true) // start probe
+	if !d.probing {
+		t.Fatal("probe should have started")
+	}
+	n := len(d.candidates)
+	for i := 0; i < n; i++ {
+		d.Observe(int64(50-i), i == 0) // change during probe
+	}
+	if !d.probing {
+		t.Fatal("controller should have re-armed a probe after mid-probe change")
+	}
+}

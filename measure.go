@@ -1,0 +1,48 @@
+package lbkeogh
+
+import (
+	"fmt"
+
+	"lbkeogh/internal/wedge"
+)
+
+// Measure is a distance measure for rotation-invariant matching. The three
+// constructors — Euclidean, DTW and LCSS — cover the measures the paper
+// supports; all of them plug into the same wedge machinery.
+type Measure struct {
+	kern wedge.Kernel
+}
+
+// Euclidean returns the Euclidean distance measure (zero parameters).
+func Euclidean() Measure {
+	return Measure{kern: wedge.ED{}}
+}
+
+// DTW returns constrained Dynamic Time Warping with a Sakoe-Chiba band of
+// radius r samples (r = 0 degenerates to Euclidean distance; r < 0 means an
+// unconstrained warping path).
+func DTW(r int) Measure {
+	return Measure{kern: wedge.DTW{R: r}}
+}
+
+// LCSS returns the Longest Common SubSequence measure in its normalized
+// distance form 1 − LCSS/n, with matching window delta (samples) and
+// matching threshold eps (in z-normalized units).
+func LCSS(delta int, eps float64) Measure {
+	return Measure{kern: wedge.LCSS{Delta: delta, Eps: eps}}
+}
+
+// Name identifies the measure ("euclidean", "dtw", "lcss").
+func (m Measure) Name() string {
+	if m.kern == nil {
+		return "unset"
+	}
+	return m.kern.Name()
+}
+
+func (m Measure) validate() error {
+	if m.kern == nil {
+		return fmt.Errorf("lbkeogh: zero Measure; use Euclidean(), DTW(r) or LCSS(delta, eps)")
+	}
+	return nil
+}

@@ -1,0 +1,159 @@
+package lbkeogh
+
+import (
+	"fmt"
+
+	"lbkeogh/internal/cluster"
+	"lbkeogh/internal/core"
+	"lbkeogh/internal/mining"
+)
+
+// Motif is the closest pair in a collection under a rotation-invariant
+// measure — the shape-mining primitive the paper lists among its
+// applications ("cluster, classify and discover motifs").
+type Motif struct {
+	// I, J index the two closest series.
+	I, J int
+	// Dist is their exact rotation-invariant distance.
+	Dist float64
+	// Rotation aligns series I onto series J.
+	Rotation Rotation
+}
+
+// miningConfig reuses the query options that make sense for whole-collection
+// operations (strategy and K tuning are internal to the scan).
+func miningConfig(opts []QueryOption) (core.Options, error) {
+	cfg := queryConfig{maxShift: -1, intervals: 5}
+	for _, o := range opts {
+		o(&cfg)
+	}
+	if cfg.maxShift == -2 {
+		return core.Options{}, fmt.Errorf("lbkeogh: degree-based rotation limits need a series length; use WithMaxRotationSamples for mining operations")
+	}
+	return core.Options{Mirror: cfg.mirror, MaxShift: cfg.maxShift}, nil
+}
+
+func validateDB(db []Series) (int, error) {
+	if len(db) == 0 {
+		return 0, fmt.Errorf("lbkeogh: empty database")
+	}
+	n := len(db[0])
+	if n < 2 {
+		return 0, fmt.Errorf("lbkeogh: series need >= 2 samples")
+	}
+	for i, s := range db {
+		if len(s) != n {
+			return 0, fmt.Errorf("lbkeogh: database series %d length %d != %d", i, len(s), n)
+		}
+	}
+	return n, nil
+}
+
+// ClosestPair returns the exact motif of db: the pair of series with the
+// smallest rotation-invariant distance under m. Options WithMirrorInvariance
+// and WithMaxRotationSamples apply.
+func ClosestPair(db []Series, m Measure, opts ...QueryOption) (Motif, error) {
+	if err := m.validate(); err != nil {
+		return Motif{}, err
+	}
+	n, err := validateDB(db)
+	if err != nil {
+		return Motif{}, err
+	}
+	if len(db) < 2 {
+		return Motif{}, fmt.Errorf("lbkeogh: closest pair needs >= 2 series")
+	}
+	copts, err := miningConfig(opts)
+	if err != nil {
+		return Motif{}, err
+	}
+	p, err := mining.ClosestPair(db, m.kern, copts, nil)
+	if err != nil {
+		return Motif{}, err
+	}
+	return Motif{
+		I: p.I, J: p.J, Dist: p.Dist,
+		Rotation: Rotation{
+			Shift:    p.Member.Shift,
+			Mirrored: p.Member.Mirrored,
+			Degrees:  float64(p.Member.Shift) / float64(n) * 360,
+		},
+	}, nil
+}
+
+// Dendrogram is the merge tree of a hierarchical clustering: Leaves()
+// recovers cluster membership at any granularity.
+type Dendrogram struct {
+	d *cluster.Dendrogram
+}
+
+// Clusters returns the indices of db partitioned into k groups (the
+// dendrogram cut of Figure 10): one slice of series indices per cluster.
+func (dd *Dendrogram) Clusters(k int) [][]int {
+	front := dd.d.Frontier(k)
+	out := make([][]int, len(front))
+	for i, id := range front {
+		out[i] = dd.d.Leaves(id)
+	}
+	return out
+}
+
+// Height returns the merge distances of the dendrogram's internal nodes in
+// creation order (useful for choosing k).
+func (dd *Dendrogram) Heights() []float64 { return dd.d.CutHeights() }
+
+// Render draws the dendrogram as indented ASCII with the given leaf labels
+// (nil renders indices) — the textual analogue of the paper's clustering
+// figures.
+func (dd *Dendrogram) Render(labels []string) string { return dd.d.Render(labels) }
+
+// Cluster hierarchically clusters db under the exact rotation-invariant
+// measure m with group-average linkage — the engine behind the paper's
+// skull, reptile and butterfly dendrograms (Figures 3, 16, 17, 18).
+func Cluster(db []Series, m Measure, opts ...QueryOption) (*Dendrogram, error) {
+	if err := m.validate(); err != nil {
+		return nil, err
+	}
+	if _, err := validateDB(db); err != nil {
+		return nil, err
+	}
+	copts, err := miningConfig(opts)
+	if err != nil {
+		return nil, err
+	}
+	return &Dendrogram{d: mining.Cluster(db, m.kern, copts, cluster.Average, nil)}, nil
+}
+
+// Medoid returns the index of the most central series of db — smallest sum
+// of rotation-invariant distances to all others.
+func Medoid(db []Series, m Measure, opts ...QueryOption) (int, error) {
+	if err := m.validate(); err != nil {
+		return -1, err
+	}
+	if _, err := validateDB(db); err != nil {
+		return -1, err
+	}
+	copts, err := miningConfig(opts)
+	if err != nil {
+		return -1, err
+	}
+	return mining.Medoid(db, m.kern, copts, nil)
+}
+
+// Discord returns the index of the most anomalous series of db — the one
+// whose nearest neighbour is furthest away — and that nearest-neighbour
+// distance. This is the outlier-scan primitive used on star light curves
+// (Section 2.4, reference [29]).
+func Discord(db []Series, m Measure, opts ...QueryOption) (int, float64, error) {
+	if err := m.validate(); err != nil {
+		return -1, 0, err
+	}
+	if _, err := validateDB(db); err != nil {
+		return -1, 0, err
+	}
+	copts, err := miningConfig(opts)
+	if err != nil {
+		return -1, 0, err
+	}
+	return mining.Discord(db, m.kern, copts, nil)
+}

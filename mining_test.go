@@ -1,0 +1,140 @@
+package lbkeogh
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"lbkeogh/internal/ts"
+)
+
+func TestClosestPairPublic(t *testing.T) {
+	db := demoDB(20, 12, 48)
+	// Plant the motif.
+	rng := ts.NewRand(21)
+	db[9] = ts.ZNorm(ts.AddNoise(rng, ts.Rotate(db[2], 17), 0.01))
+	motif, err := ClosestPair(db, Euclidean())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if motif.I != 2 || motif.J != 9 {
+		t.Fatalf("motif = (%d,%d), want (2,9)", motif.I, motif.J)
+	}
+	// Verify the reported distance against Query.
+	q, _ := NewQuery(db[motif.I], Euclidean())
+	want, _, _ := q.Distance(db[motif.J])
+	if math.Abs(motif.Dist-want) > 1e-9 {
+		t.Fatalf("motif dist %v != query dist %v", motif.Dist, want)
+	}
+}
+
+func TestClosestPairValidation(t *testing.T) {
+	if _, err := ClosestPair(nil, Euclidean()); err == nil {
+		t.Fatal("want error for empty db")
+	}
+	if _, err := ClosestPair([]Series{{1, 2, 3}}, Euclidean()); err == nil {
+		t.Fatal("want error for single series")
+	}
+	if _, err := ClosestPair([]Series{{1, 2}, {1, 2}}, Measure{}); err == nil {
+		t.Fatal("want error for zero measure")
+	}
+	if _, err := ClosestPair([]Series{{1, 2}, {1, 2, 3}}, Euclidean()); err == nil {
+		t.Fatal("want error for ragged db")
+	}
+	if _, err := ClosestPair([]Series{{1, 2}, {2, 1}}, Euclidean(), WithMaxRotationDegrees(10)); err == nil {
+		t.Fatal("want error for degree limits in mining ops")
+	}
+}
+
+func TestClusterPublic(t *testing.T) {
+	rng := ts.NewRand(22)
+	baseA := ts.ZNorm(ts.RandomWalk(rng, 40))
+	baseB := ts.ZNorm(ts.RandomWalk(rng, 40))
+	var db []Series
+	for i := 0; i < 3; i++ {
+		db = append(db, ts.ZNorm(ts.AddNoise(rng, ts.Rotate(baseA, rng.Intn(40)), 0.03)))
+	}
+	for i := 0; i < 3; i++ {
+		db = append(db, ts.ZNorm(ts.AddNoise(rng, ts.Rotate(baseB, rng.Intn(40)), 0.03)))
+	}
+	dend, err := Cluster(db, Euclidean())
+	if err != nil {
+		t.Fatal(err)
+	}
+	groups := dend.Clusters(2)
+	if len(groups) != 2 {
+		t.Fatalf("got %d clusters", len(groups))
+	}
+	for _, g := range groups {
+		isA := g[0] < 3
+		for _, idx := range g {
+			if (idx < 3) != isA {
+				t.Fatalf("cluster mixes planted groups: %v", groups)
+			}
+		}
+	}
+	if len(dend.Heights()) != 5 {
+		t.Fatalf("heights = %v", dend.Heights())
+	}
+	out := dend.Render([]string{"a0", "a1", "a2", "b0", "b1", "b2"})
+	for _, want := range []string{"a0", "b2", "height"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("render missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestMedoidPublic(t *testing.T) {
+	rng := ts.NewRand(23)
+	base := ts.ZNorm(ts.RandomWalk(rng, 32))
+	db := []Series{ts.Clone(base)}
+	for i := 1; i < 5; i++ {
+		db = append(db, ts.ZNorm(ts.AddNoise(rng, ts.Rotate(base, i), 0.08*float64(i))))
+	}
+	idx, err := Medoid(db, Euclidean())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if idx != 0 {
+		t.Fatalf("medoid = %d, want 0", idx)
+	}
+}
+
+func TestDiscordPublic(t *testing.T) {
+	d := SyntheticLightCurves(24, 12, 64, 0.05)
+	db := append([]Series{}, d.Series...)
+	weird := make(Series, 64)
+	for i := range weird {
+		weird[i] = math.Sin(9*float64(i)) + math.Cos(23*float64(i))
+	}
+	db = append(db, ts.ZNorm(weird))
+	idx, nn, err := Discord(db, Euclidean())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if idx != 12 {
+		t.Fatalf("discord = %d, want the injected series 12", idx)
+	}
+	if nn <= 0 {
+		t.Fatalf("discord NN = %v", nn)
+	}
+}
+
+func TestMiningWithMirrorOption(t *testing.T) {
+	db := demoDB(25, 8, 40)
+	db[5] = ts.Mirror(ts.Rotate(db[1], 7)) // a mirrored rotation of db[1]
+	plain, err := ClosestPair(db, Euclidean())
+	if err != nil {
+		t.Fatal(err)
+	}
+	mir, err := ClosestPair(db, Euclidean(), WithMirrorInvariance())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mir.Dist > 1e-9 || mir.I != 1 || mir.J != 5 {
+		t.Fatalf("mirror motif not found: %+v", mir)
+	}
+	if plain.Dist < mir.Dist {
+		t.Fatal("plain motif cannot beat the mirrored exact match")
+	}
+}

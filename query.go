@@ -1,0 +1,290 @@
+package lbkeogh
+
+import (
+	"fmt"
+	"math"
+
+	"lbkeogh/internal/core"
+	"lbkeogh/internal/stats"
+	"lbkeogh/internal/wedge"
+)
+
+// Series is a 1-D signal: a shape's centroid-distance signature, a folded
+// star light curve, or any fixed-length sequence to be matched under
+// circular shifts.
+type Series = []float64
+
+// Strategy selects the search algorithm. All strategies return identical,
+// exact results; they differ only in cost. The zero value (WedgeSearch) is
+// the paper's contribution and the right default.
+type Strategy int
+
+const (
+	// WedgeSearch is H-Merge over hierarchically nested wedges with the
+	// dynamic wedge-set-size controller (Section 4 of the paper).
+	WedgeSearch Strategy = iota
+	// BruteForceSearch evaluates the full distance for every rotation.
+	BruteForceSearch
+	// EarlyAbandonSearch evaluates every rotation with early abandoning.
+	EarlyAbandonSearch
+	// FFTSearch filters with the rotation-invariant Fourier-magnitude lower
+	// bound before falling back to early abandoning (Euclidean only).
+	FFTSearch
+)
+
+func (s Strategy) internal() core.Strategy {
+	switch s {
+	case BruteForceSearch:
+		return core.BruteForce
+	case EarlyAbandonSearch:
+		return core.EarlyAbandon
+	case FFTSearch:
+		return core.FFTFilter
+	default:
+		return core.Wedge
+	}
+}
+
+// Rotation describes the alignment at which a match was found.
+type Rotation struct {
+	// Shift is the circular shift (in samples) applied to the query that
+	// produced the match.
+	Shift int
+	// Mirrored reports whether the matching alignment used the query's
+	// mirror image (only possible with WithMirrorInvariance).
+	Mirrored bool
+	// Degrees is the shift expressed as a rotation angle of the original
+	// shape, in [0, 360).
+	Degrees float64
+}
+
+// queryConfig collects the functional options.
+type queryConfig struct {
+	mirror    bool
+	maxShift  int // -1 unlimited, -2 "use maxDeg"
+	maxDeg    float64
+	strategy  Strategy
+	fixedK    int
+	traversal wedge.Traversal
+	intervals int
+}
+
+// QueryOption customizes NewQuery.
+type QueryOption func(*queryConfig)
+
+// WithMirrorInvariance additionally matches the query's mirror image
+// (enantiomorphic invariance): a "d" will match a "b".
+func WithMirrorInvariance() QueryOption {
+	return func(c *queryConfig) { c.mirror = true }
+}
+
+// WithMaxRotationSamples restricts matching to circular shifts within
+// ±k samples (rotation-limited queries). k must be non-negative.
+func WithMaxRotationSamples(k int) QueryOption {
+	return func(c *queryConfig) { c.maxShift = k }
+}
+
+// WithMaxRotationDegrees restricts matching to rotations within ±deg degrees
+// of the query's original orientation — the paper's "find the best match to
+// this shape allowing a maximum rotation of 15 degrees".
+func WithMaxRotationDegrees(deg float64) QueryOption {
+	return func(c *queryConfig) { c.maxShift = -2; c.maxDeg = deg }
+}
+
+// WithStrategy overrides the search strategy (default WedgeSearch). All
+// strategies are exact; the others exist as baselines and for benchmarks.
+func WithStrategy(s Strategy) QueryOption {
+	return func(c *queryConfig) { c.strategy = s }
+}
+
+// WithFixedWedgeCount pins the wedge-set size K instead of adapting it
+// dynamically. Intended for experiments; the dynamic controller is almost
+// always at least as good.
+func WithFixedWedgeCount(k int) QueryOption {
+	return func(c *queryConfig) { c.fixedK = k }
+}
+
+// WithBestFirstTraversal switches H-Merge from the paper's stack order to
+// best-first lower-bound order (an ablation; usually a small improvement).
+func WithBestFirstTraversal() QueryOption {
+	return func(c *queryConfig) { c.traversal = wedge.BestFirst }
+}
+
+// Query is a compiled rotation-invariant query: the expanded rotation matrix
+// of one series plus its hierarchical wedge structure. Build once (O(n²)),
+// then match against any number of candidate series. A Query is not safe for
+// concurrent use (it carries adaptive search state); build one per goroutine.
+type Query struct {
+	rs        *core.RotationSet
+	searcher  *core.Searcher
+	measure   Measure
+	strategy  core.Strategy
+	searchCfg core.SearcherConfig
+	n         int
+	counter   stats.Counter
+}
+
+// NewQuery compiles series into a rotation-invariant query under the given
+// measure. The series must have at least 2 samples; callers normally
+// z-normalize first (shape.Signature and the dataset generators already do).
+func NewQuery(series Series, m Measure, opts ...QueryOption) (*Query, error) {
+	if err := m.validate(); err != nil {
+		return nil, err
+	}
+	if len(series) < 2 {
+		return nil, fmt.Errorf("lbkeogh: query series needs >= 2 samples, got %d", len(series))
+	}
+	cfg := queryConfig{maxShift: -1, intervals: 5}
+	for _, o := range opts {
+		o(&cfg)
+	}
+	maxShift := cfg.maxShift
+	if maxShift == -2 { // degrees requested
+		if cfg.maxDeg < 0 || cfg.maxDeg >= 180 {
+			return nil, fmt.Errorf("lbkeogh: rotation limit %v degrees outside [0, 180)", cfg.maxDeg)
+		}
+		maxShift = int(math.Round(cfg.maxDeg / 360 * float64(len(series))))
+	}
+	if maxShift < -1 {
+		return nil, fmt.Errorf("lbkeogh: negative rotation limit")
+	}
+	if cfg.strategy == FFTSearch && m.Name() != "euclidean" {
+		return nil, fmt.Errorf("lbkeogh: FFTSearch supports only the Euclidean measure (the magnitude bound is not admissible for %s)", m.Name())
+	}
+	q := &Query{measure: m, n: len(series)}
+	q.strategy = cfg.strategy.internal()
+	q.searchCfg = core.SearcherConfig{
+		Traversal:      cfg.traversal,
+		FixedK:         cfg.fixedK,
+		ProbeIntervals: cfg.intervals,
+	}
+	q.rs = core.NewRotationSet(series, core.Options{Mirror: cfg.mirror, MaxShift: maxShift}, &q.counter)
+	q.searcher = core.NewSearcher(q.rs, m.kern, q.strategy, q.searchCfg)
+	return q, nil
+}
+
+// Len returns the query's series length; every candidate must match it.
+func (q *Query) Len() int { return q.n }
+
+// Rotations returns the number of alignments the query admits (n, doubled
+// by mirror invariance, reduced by rotation limits).
+func (q *Query) Rotations() int { return q.rs.Members() }
+
+// Steps returns the cumulative num_steps (real-value subtractions) this
+// query has spent, including its construction cost — the paper's
+// implementation-free efficiency metric.
+func (q *Query) Steps() int64 { return q.counter.Steps() }
+
+// ResetSteps zeroes the step counter (construction cost included — call
+// right after NewQuery to exclude it).
+func (q *Query) ResetSteps() { q.counter.Reset() }
+
+func (q *Query) rotation(m core.Member) Rotation {
+	return Rotation{
+		Shift:    m.Shift,
+		Mirrored: m.Mirrored,
+		Degrees:  float64(m.Shift) / float64(q.n) * 360,
+	}
+}
+
+func (q *Query) checkSeries(x Series) error {
+	if len(x) != q.n {
+		return fmt.Errorf("lbkeogh: candidate length %d != query length %d", len(x), q.n)
+	}
+	return nil
+}
+
+// Distance returns the exact rotation-invariant distance from the query to
+// x — the minimum measure distance over every admitted alignment — and the
+// minimizing rotation.
+func (q *Query) Distance(x Series) (float64, Rotation, error) {
+	if err := q.checkSeries(x); err != nil {
+		return 0, Rotation{}, err
+	}
+	m := q.searcher.MatchSeries(x, -1, &q.counter)
+	return m.Dist, q.rotation(m.Member), nil
+}
+
+// Match tests whether any alignment of the query is strictly closer to x
+// than threshold; when it is, the exact distance and rotation are returned
+// with ok = true. This is the range-query primitive (and far cheaper than
+// Distance when the threshold is tight, thanks to early abandoning).
+func (q *Query) Match(x Series, threshold float64) (dist float64, rot Rotation, ok bool, err error) {
+	if err := q.checkSeries(x); err != nil {
+		return 0, Rotation{}, false, err
+	}
+	m := q.searcher.MatchSeries(x, threshold, &q.counter)
+	if !m.Found() {
+		return math.Inf(1), Rotation{}, false, nil
+	}
+	return m.Dist, q.rotation(m.Member), true, nil
+}
+
+// SearchResult is one database hit.
+type SearchResult struct {
+	// Index is the position of the matched series in the database slice.
+	Index int
+	// Dist is the exact rotation-invariant distance.
+	Dist float64
+	// Rotation is the minimizing alignment.
+	Rotation Rotation
+}
+
+// Search scans db linearly and returns the exact nearest neighbour under
+// the query's measure and invariances (Table 3 of the paper, with the
+// query's strategy deciding how each comparison is accelerated).
+func (q *Query) Search(db []Series) (SearchResult, error) {
+	if len(db) == 0 {
+		return SearchResult{}, fmt.Errorf("lbkeogh: empty database")
+	}
+	for i, x := range db {
+		if len(x) != q.n {
+			return SearchResult{}, fmt.Errorf("lbkeogh: database series %d length %d != query length %d", i, len(x), q.n)
+		}
+	}
+	r := q.searcher.Scan(db, &q.counter)
+	return SearchResult{Index: r.Index, Dist: r.Dist, Rotation: q.rotation(r.Member)}, nil
+}
+
+// SearchParallel is Search distributed across the given number of worker
+// goroutines (0 selects GOMAXPROCS). The rotation set and its wedge
+// hierarchy are shared (they are concurrency-safe); each worker owns its
+// adaptive search state, and all workers prune against the shared
+// best-so-far. The result is identical to Search.
+func (q *Query) SearchParallel(db []Series, workers int) (SearchResult, error) {
+	if len(db) == 0 {
+		return SearchResult{}, fmt.Errorf("lbkeogh: empty database")
+	}
+	for i, x := range db {
+		if len(x) != q.n {
+			return SearchResult{}, fmt.Errorf("lbkeogh: database series %d length %d != query length %d", i, len(x), q.n)
+		}
+	}
+	r := core.ScanParallel(q.rs, q.measure.kern, q.strategy, q.searchCfg, db, workers, &q.counter)
+	if r.Index < 0 {
+		return SearchResult{}, fmt.Errorf("lbkeogh: parallel scan found no result")
+	}
+	return SearchResult{Index: r.Index, Dist: r.Dist, Rotation: q.rotation(r.Member)}, nil
+}
+
+// SearchTopK returns the k exact nearest neighbours in ascending distance
+// order (k is clamped to len(db)).
+func (q *Query) SearchTopK(db []Series, k int) ([]SearchResult, error) {
+	if len(db) == 0 {
+		return nil, fmt.Errorf("lbkeogh: empty database")
+	}
+	for i, x := range db {
+		if len(x) != q.n {
+			return nil, fmt.Errorf("lbkeogh: database series %d length %d != query length %d", i, len(x), q.n)
+		}
+	}
+	if k > len(db) {
+		k = len(db)
+	}
+	rs := q.searcher.ScanTopK(db, k, &q.counter)
+	out := make([]SearchResult, len(rs))
+	for i, r := range rs {
+		out[i] = SearchResult{Index: r.Index, Dist: r.Dist, Rotation: q.rotation(r.Member)}
+	}
+	return out, nil
+}

@@ -1,0 +1,33 @@
+package lbkeogh
+
+import (
+	"lbkeogh/internal/shape"
+)
+
+// Bitmap is a binary raster image of a shape. Build one with NewBitmap and
+// the Fill* methods, or bring your own segmentation and set pixels directly.
+type Bitmap = shape.Bitmap
+
+// NewBitmap returns an all-background bitmap of the given size.
+func NewBitmap(w, h int) *Bitmap { return shape.NewBitmap(w, h) }
+
+// Signature converts the shape in b into its centroid-distance time series
+// of length n (z-normalized, arc-length parametrized along the traced
+// contour): the standard 1-D representation of Figure 2 of the paper, and
+// the natural input to NewQuery. Rotating the bitmap circularly shifts the
+// signature; mirroring it reverses it.
+func Signature(b *Bitmap, n int) (Series, error) { return shape.Signature(b, n) }
+
+// AngularSignature extracts the signature by casting n rays from the
+// centroid (angle-parametrized). Exact for star-convex shapes; use Signature
+// for general contours.
+func AngularSignature(b *Bitmap, n int) (Series, error) { return shape.AngularSignature(b, n) }
+
+// TraceContour returns the ordered outer boundary pixels of the shape in b
+// (Moore-neighbour tracing), for callers that want the raw contour.
+func TraceContour(b *Bitmap) ([][2]int, error) { return shape.Trace(b) }
+
+// LetterBitmap rasterizes the demo glyphs used throughout the paper's
+// motivating examples: 'b', 'd', 'p', 'q' (mirror/flip family) and
+// '6', '9' (rotation family).
+func LetterBitmap(ch byte, size int) *Bitmap { return shape.Letter(ch, size) }

@@ -1,0 +1,84 @@
+package lbkeogh
+
+import (
+	"math"
+	"testing"
+
+	"lbkeogh/internal/ts"
+)
+
+func TestMonitorPublicAPI(t *testing.T) {
+	rng := ts.NewRand(31)
+	patterns := []Series{
+		ts.RandomWalk(rng, 24),
+		ts.RandomWalk(rng, 24),
+	}
+	mon, err := NewMonitor(patterns, Euclidean(), 1.0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mon.WindowLen() != 24 {
+		t.Fatalf("WindowLen = %d", mon.WindowLen())
+	}
+	// Noise, then pattern 1 verbatim, then noise.
+	stream := ts.RandomSeries(rng, 100)
+	stream = append(stream, patterns[1]...)
+	stream = append(stream, ts.RandomSeries(rng, 50)...)
+
+	var hits []StreamMatch
+	hits = append(hits, mon.PushAll(stream)...)
+	foundExact := false
+	for _, h := range hits {
+		if h.Pattern == 1 && h.End == 123 && h.Dist < 1e-9 {
+			foundExact = true
+		}
+		if h.Dist >= 1.0 {
+			t.Fatalf("match above threshold reported: %+v", h)
+		}
+	}
+	if !foundExact {
+		t.Fatalf("verbatim pattern not detected; hits: %+v", hits)
+	}
+	if mon.Steps() == 0 {
+		t.Fatal("steps not accounted")
+	}
+}
+
+func TestMonitorPublicValidation(t *testing.T) {
+	if _, err := NewMonitor(nil, Euclidean(), 1); err == nil {
+		t.Fatal("want error for empty patterns")
+	}
+	if _, err := NewMonitor([]Series{{1, 2}}, Measure{}, 1); err == nil {
+		t.Fatal("want error for zero measure")
+	}
+	if _, err := NewMonitor([]Series{{1, 2}}, Euclidean(), -1); err == nil {
+		t.Fatal("want error for bad threshold")
+	}
+}
+
+func TestMonitorDTWPublic(t *testing.T) {
+	rng := ts.NewRand(32)
+	pat := ts.RandomWalk(rng, 20)
+	mon, err := NewMonitor([]Series{pat}, DTW(2), 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Locally warped copy: shift one bump by one sample.
+	warped := make(Series, 20)
+	copy(warped, pat)
+	warped[10], warped[11] = pat[11], pat[10]
+	stream := append(ts.RandomSeries(rng, 40), warped...)
+	hits := mon.PushAll(stream)
+	found := false
+	for _, h := range hits {
+		if h.End == 59 {
+			found = true
+			if h.Dist > 0.5 || math.IsNaN(h.Dist) {
+				t.Fatalf("bad match distance %v", h.Dist)
+			}
+		}
+	}
+	if !found {
+		t.Fatal("DTW monitor missed the warped pattern")
+	}
+}
