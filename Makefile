@@ -1,0 +1,32 @@
+GO ?= go
+BENCH_DIR ?= bench
+
+.PHONY: all build vet test race bench bench-json ci clean
+
+all: build
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+# Short benchmark pass: one iteration of every benchmark, no unit tests.
+bench:
+	$(GO) test -run '^$$' -bench . -benchtime 1x ./...
+
+# Machine-readable per-strategy report (steps, prune rates, wall time) as
+# $(BENCH_DIR)/BENCH_<date>.json.
+bench-json:
+	$(GO) run ./cmd/benchrun -fig none -maxm 500 -queries 3 -bench-out $(BENCH_DIR)
+
+ci: vet build race bench
+
+clean:
+	rm -rf $(BENCH_DIR)

@@ -284,7 +284,7 @@ func BenchmarkAblationClusteredWedges(b *testing.B) {
 			var steps int64
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
-				var cnt stats.Counter
+				var cnt stats.Tally
 				bsf := math.Inf(1)
 				for _, x := range db {
 					res := tree.Search(x, wedge.ED{}, 8, bsf, wedge.LIFO, &cnt)

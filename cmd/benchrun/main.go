@@ -9,6 +9,9 @@
 //	benchrun -fig table8             # Table 8 (classification error)
 //	benchrun -fig exponent           # the O(n^1.06) empirical-complexity fit
 //	benchrun -fig all                # everything at the default scale
+//	benchrun -fig none -stats-json - # per-strategy pruning breakdowns as JSON
+//	benchrun -fig none -bench-out .  # machine-readable BENCH_<date>.json
+//	benchrun -fig 19 -serve :8080    # scrape /metrics and /debug/pprof/ live
 //
 // Each figure prints the same series the paper plots: the ratio of
 // num_steps per comparison against brute force (figures 19–23), the
@@ -26,6 +29,7 @@ import (
 	"text/tabwriter"
 
 	"lbkeogh/internal/experiments"
+	"lbkeogh/internal/obs"
 )
 
 func main() {
@@ -40,9 +44,23 @@ func main() {
 		rBand   = flag.Int("r", 5, "Sakoe-Chiba radius for DTW figures")
 		seed    = flag.Int64("seed", 2006, "base RNG seed")
 		format  = flag.String("format", "table", "output format for figure series: table | csv")
+
+		serve     = flag.String("serve", "", "serve /metrics (Prometheus text), /debug/vars and /debug/pprof/ on this address (e.g. :8080) and keep running after the experiments")
+		statsJSON = flag.String("stats-json", "", "write per-strategy pruning breakdowns as JSON to this file (\"-\" for stdout)")
+		benchOut  = flag.String("bench-out", "", "write a machine-readable BENCH_<date>.json (steps, prune rates, wall time) into this directory")
 	)
 	flag.Parse()
 	outputFormat = *format
+
+	var registry *obs.Registry
+	if *serve != "" {
+		registry = obs.NewRegistry()
+		if err := serveObs(*serve, registry); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		fmt.Printf("serving /metrics, /debug/vars and /debug/pprof/ on %s\n", *serve)
+	}
 
 	run := func(name string, fn func() error) {
 		if *fig != "all" && *fig != name {
@@ -217,14 +235,42 @@ func main() {
 	})
 
 	if !ran(*fig) {
-		fmt.Fprintf(os.Stderr, "benchrun: unknown -fig %q (want 19|20|21|22|23|24|table8|exponent|all)\n", *fig)
+		fmt.Fprintf(os.Stderr, "benchrun: unknown -fig %q (want 19|20|21|22|23|24|table8|exponent|none|all)\n", *fig)
 		os.Exit(2)
+	}
+
+	if *statsJSON != "" || *benchOut != "" || *serve != "" {
+		fmt.Println("==> Instrumented per-strategy scan (pruning breakdowns)")
+		rep := collectStats(min(*maxM, 500), *nProj, *queries, *seed, registry)
+		for _, s := range rep.Strategies {
+			fmt.Printf("   %-14s steps=%-12d prune_rate=%.4f reconciles=%v (%.2fs)\n",
+				s.Strategy, s.Steps, s.Stats.PruneRate, s.Reconciles && s.StepsMatchCounter, s.WallSeconds)
+		}
+		if *statsJSON != "" {
+			if err := writeReport(rep, *statsJSON); err != nil {
+				fmt.Fprintf(os.Stderr, "benchrun: -stats-json: %v\n", err)
+				os.Exit(1)
+			}
+		}
+		if *benchOut != "" {
+			path, err := writeBenchJSON(rep, *benchOut)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "benchrun: -bench-out: %v\n", err)
+				os.Exit(1)
+			}
+			fmt.Printf("   wrote %s\n", path)
+		}
+	}
+
+	if *serve != "" {
+		fmt.Printf("experiments done; still serving on %s (interrupt to stop)\n", *serve)
+		select {}
 	}
 }
 
 func ran(fig string) bool {
 	switch fig {
-	case "all", "19", "20", "21", "22", "23", "24", "table8", "exponent",
+	case "all", "none", "19", "20", "21", "22", "23", "24", "table8", "exponent",
 		"landmark", "mixedbag", "sampling", "occlusion", "chaincode", "probes":
 		return true
 	}

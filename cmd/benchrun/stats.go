@@ -1,0 +1,137 @@
+package main
+
+import (
+	"encoding/json"
+	"expvar"
+	"fmt"
+	"net/http"
+	"net/http/pprof"
+	"os"
+	"path/filepath"
+	"strings"
+	"time"
+
+	"lbkeogh"
+	"lbkeogh/internal/core"
+	"lbkeogh/internal/obs"
+	"lbkeogh/internal/stats"
+	"lbkeogh/internal/wedge"
+)
+
+// strategyReport is the per-strategy instrumentation summary emitted by
+// -stats-json and -bench-out: the full pruning breakdown, the num_steps
+// total, and two reconciliation checks (the outcome buckets sum to the
+// rotations covered, and the record's step total equals the independently
+// maintained num_steps counter).
+type strategyReport struct {
+	Strategy          string       `json:"strategy"`
+	WallSeconds       float64      `json:"wall_seconds"`
+	Steps             int64        `json:"steps"`
+	StepsMatchCounter bool         `json:"steps_match_counter"`
+	Reconciles        bool         `json:"reconciles"`
+	Stats             obs.Snapshot `json:"stats"`
+}
+
+type benchReport struct {
+	Date       string           `json:"date"`
+	Workload   string           `json:"workload"`
+	M          int              `json:"m"`
+	N          int              `json:"n"`
+	Queries    int              `json:"queries"`
+	Seed       int64            `json:"seed"`
+	Strategies []strategyReport `json:"strategies"`
+}
+
+// collectStats runs every search strategy over the same projectile-point
+// workload with a live SearchStats record each, optionally registering the
+// records in reg so a concurrent -serve scrape sees them update.
+func collectStats(m, n, queries int, seed int64, reg *obs.Registry) benchReport {
+	all := lbkeogh.SyntheticProjectilePoints(seed, m+queries, n)
+	db, qs := all[:m], all[m:]
+	rep := benchReport{
+		Date:     time.Now().UTC().Format(time.RFC3339),
+		Workload: "projectile-points",
+		M:        m, N: n, Queries: queries, Seed: seed,
+	}
+	for _, str := range []struct {
+		label string
+		s     core.Strategy
+	}{
+		{"brute", core.BruteForce},
+		{"early-abandon", core.EarlyAbandon},
+		{"fft", core.FFTFilter},
+		{"wedge", core.Wedge},
+	} {
+		rec := &obs.SearchStats{}
+		if reg != nil {
+			reg.SearchStats("lbkeogh_"+strings.ReplaceAll(str.label, "-", "_"),
+				"search breakdown for the "+str.label+" strategy", rec)
+		}
+		var cnt stats.Counter // scan cost only; construction charged separately
+		start := time.Now()
+		for _, q := range qs {
+			rs := core.NewRotationSet(q, core.DefaultOptions(), nil)
+			sc := core.NewSearcher(rs, wedge.ED{}, str.s, core.SearcherConfig{Obs: rec})
+			sc.Scan(db, &cnt)
+		}
+		sn := rec.Snapshot()
+		rep.Strategies = append(rep.Strategies, strategyReport{
+			Strategy:          str.label,
+			WallSeconds:       time.Since(start).Seconds(),
+			Steps:             sn.Steps,
+			StepsMatchCounter: sn.Steps == cnt.Steps(),
+			Reconciles:        sn.Reconciles(),
+			Stats:             sn,
+		})
+	}
+	return rep
+}
+
+// writeReport marshals the report to path ("-" means stdout).
+func writeReport(rep benchReport, path string) error {
+	data, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		return err
+	}
+	data = append(data, '\n')
+	if path == "-" {
+		_, err = os.Stdout.Write(data)
+		return err
+	}
+	return os.WriteFile(path, data, 0o644)
+}
+
+// writeBenchJSON writes the report as BENCH_<date>.json under dir.
+func writeBenchJSON(rep benchReport, dir string) (string, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return "", err
+	}
+	path := filepath.Join(dir, "BENCH_"+time.Now().UTC().Format("2006-01-02")+".json")
+	return path, writeReport(rep, path)
+}
+
+// serveObs mounts the metric registry at /metrics, expvar at /debug/vars,
+// and the pprof profiles at /debug/pprof/ on a private mux, then serves in
+// the background.
+func serveObs(addr string, reg *obs.Registry) error {
+	reg.PublishExpvar("lbkeogh")
+	mux := http.NewServeMux()
+	mux.Handle("/metrics", reg.Handler())
+	mux.Handle("/debug/vars", expvar.Handler())
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	srv := &http.Server{Addr: addr, Handler: mux}
+	errc := make(chan error, 1)
+	go func() { errc <- srv.ListenAndServe() }()
+	// Give a bad address (port in use, etc.) a moment to fail loudly instead
+	// of blocking forever at the end of the run.
+	select {
+	case err := <-errc:
+		return fmt.Errorf("benchrun: -serve %s: %w", addr, err)
+	case <-time.After(100 * time.Millisecond):
+		return nil
+	}
+}

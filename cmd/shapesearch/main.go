@@ -8,15 +8,22 @@
 //	shapesearch -db db.csv -query 17 -k 5 -measure dtw -r 5
 //	shapesearch -db db.csv -query 3 -mirror -maxdeg 45
 //	shapesearch -db db.csv -query 4 -indexed -dims 16
+//	shapesearch -db db.csv -query 4 -stats          # pruning breakdown as JSON
+//	shapesearch -db db.csv -query 4 -pprof :8080    # serve /metrics + pprof
 package main
 
 import (
 	"bufio"
+	"encoding/json"
+	"expvar"
 	"flag"
 	"fmt"
+	"net/http"
+	"net/http/pprof"
 	"os"
 	"strconv"
 	"strings"
+	"sync"
 
 	"lbkeogh"
 )
@@ -35,6 +42,8 @@ func main() {
 		dims     = flag.Int("dims", 16, "index dimensionality (with -indexed)")
 		radius   = flag.Float64("radius", -1, "range query: report all matches within this distance (with -indexed)")
 		parallel = flag.Int("parallel", 1, "worker goroutines for the linear scan (0 = GOMAXPROCS)")
+		emitStat = flag.Bool("stats", false, "print the search's pruning breakdown as JSON after the results")
+		pprofOn  = flag.String("pprof", "", "serve /metrics (Prometheus text), /debug/vars and /debug/pprof/ on this address and block after the search")
 	)
 	flag.Parse()
 	if *dbPath == "" {
@@ -87,7 +96,15 @@ func main() {
 		os.Exit(1)
 	}
 
+	sources := newSourceSet()
+	sources.add("shapesearch_query", q)
+	if *pprofOn != "" {
+		lbkeogh.PublishExpvar("shapesearch_query", q)
+		go serveObs(*pprofOn, sources)
+	}
+
 	var results []lbkeogh.SearchResult
+	var statIx *lbkeogh.Index
 	switch {
 	case *indexed:
 		ix, err := lbkeogh.NewIndex(db, *dims)
@@ -95,6 +112,8 @@ func main() {
 			fmt.Fprintf(os.Stderr, "shapesearch: %v\n", err)
 			os.Exit(1)
 		}
+		statIx = ix
+		sources.add("shapesearch_index", ix)
 		if *radius > 0 {
 			results, err = ix.SearchRange(q, *radius)
 		} else {
@@ -131,6 +150,69 @@ func main() {
 		}
 		fmt.Printf("  #%d: row %d (label %d)  dist %.4f  at %.1f°%s\n",
 			rank+1, dbRows[res.Index], labels[dbRows[res.Index]], res.Dist, res.Rotation.Degrees, mir)
+	}
+
+	if *emitStat {
+		st := q.Stats()
+		if statIx != nil {
+			st = statIx.Stats() // indexed searches record into the index
+		}
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(st); err != nil {
+			fmt.Fprintf(os.Stderr, "shapesearch: -stats: %v\n", err)
+			os.Exit(1)
+		}
+	}
+	if *pprofOn != "" {
+		fmt.Printf("search done; serving /metrics and /debug/pprof/ on %s (interrupt to stop)\n", *pprofOn)
+		select {}
+	}
+}
+
+// sourceSet is a mutex-guarded set of stats sources: the index source is
+// registered after the metrics server is already running.
+type sourceSet struct {
+	mu sync.Mutex
+	m  map[string]lbkeogh.StatsSource
+}
+
+func newSourceSet() *sourceSet {
+	return &sourceSet{m: map[string]lbkeogh.StatsSource{}}
+}
+
+func (s *sourceSet) add(name string, src lbkeogh.StatsSource) {
+	s.mu.Lock()
+	s.m[name] = src
+	s.mu.Unlock()
+}
+
+func (s *sourceSet) snapshot() map[string]lbkeogh.StatsSource {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make(map[string]lbkeogh.StatsSource, len(s.m))
+	for k, v := range s.m {
+		out[k] = v
+	}
+	return out
+}
+
+// serveObs serves the public metrics handler, expvar and the pprof profiles
+// on a private mux.
+func serveObs(addr string, sources *sourceSet) {
+	mux := http.NewServeMux()
+	mux.Handle("/metrics", http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		lbkeogh.MetricsHandler(sources.snapshot()).ServeHTTP(w, r)
+	}))
+	mux.Handle("/debug/vars", expvar.Handler())
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	if err := http.ListenAndServe(addr, mux); err != nil {
+		fmt.Fprintf(os.Stderr, "shapesearch: -pprof %s: %v\n", addr, err)
+		os.Exit(1)
 	}
 }
 

@@ -48,4 +48,18 @@
 // Shapes are converted with the helpers in shape.go (NewBitmap, Signature);
 // synthetic datasets mirroring the paper's evaluation are available from the
 // generators in dataset.go.
+//
+// # Observability
+//
+// Query, Index and Monitor each keep a SearchStats record of the work a
+// search performed — comparisons, rotations, the paper's num_steps metric,
+// the pruning breakdown per mechanism and hierarchy level, index fetch and
+// disk-read counts, and the dynamic-K trajectory. Stats() returns a
+// JSON-serialisable snapshot whose Reconciles method verifies that every
+// rotation was either fully evaluated or pruned by exactly one mechanism.
+// Collection uses atomic counters and is safe under SearchParallel; with no
+// consumer the sink is a nil pointer and costs only a branch. WithTracer
+// attaches per-event callbacks (wedge visits, abandons, K changes, fetches),
+// and MetricsHandler / PublishExpvar export live counters in Prometheus text
+// and expvar form.
 package lbkeogh

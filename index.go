@@ -6,6 +6,7 @@ import (
 	"lbkeogh/internal/core"
 	"lbkeogh/internal/diskstore"
 	"lbkeogh/internal/index"
+	"lbkeogh/internal/obs"
 	"lbkeogh/internal/wedge"
 )
 
@@ -19,6 +20,34 @@ type Index struct {
 	n      int
 	m      int
 	closer func() error // set for file-backed indexes
+	obs    obs.SearchStats
+	tracer Tracer
+}
+
+// initObserver wires the index's instrumentation record (and any tracer)
+// into the internal layer; called at construction and by SetTracer.
+func (ix *Index) initObserver() {
+	var tr obs.Tracer
+	if ix.tracer != nil {
+		tr = ix.tracer
+	}
+	ix.ix.SetObserver(&ix.obs, tr)
+}
+
+// Stats returns a snapshot of the index's instrumentation record,
+// cumulative over every query answered: index-level candidate and fetch
+// counts, disk reads, and the verification searches' pruning breakdowns.
+func (ix *Index) Stats() SearchStats { return statsFromSnapshot(ix.obs.Snapshot()) }
+
+// ResetStats zeroes the instrumentation record (the DiskReads counter of
+// the underlying store is independent; see ResetDiskReads).
+func (ix *Index) ResetStats() { ix.obs.Reset() }
+
+// SetTracer installs a Tracer receiving per-fetch and verification-search
+// events (nil removes it). Not safe to call concurrently with queries.
+func (ix *Index) SetTracer(t Tracer) {
+	ix.tracer = t
+	ix.initObserver()
 }
 
 // NewIndex builds an index over db, keeping dims compressed dimensions per
@@ -40,7 +69,9 @@ func NewIndex(db []Series, dims int) (*Index, error) {
 	if dims > n/2 {
 		dims = n / 2
 	}
-	return &Index{ix: index.Build(db, dims), n: n, m: len(db)}, nil
+	out := &Index{ix: index.Build(db, dims), n: n, m: len(db)}
+	out.initObserver()
+	return out, nil
 }
 
 // WriteSeriesFile persists db as an on-disk series file that OpenIndexFile
@@ -70,7 +101,9 @@ func OpenIndexFile(path string, dims int) (*Index, error) {
 		store.Close()
 		return nil, err
 	}
-	return &Index{ix: inner, n: store.SeriesLen(), m: store.Len(), closer: store.Close}, nil
+	out := &Index{ix: inner, n: store.SeriesLen(), m: store.Len(), closer: store.Close}
+	out.initObserver()
+	return out, nil
 }
 
 // Close releases the resources of a file-backed index; it is a no-op for
@@ -141,10 +174,10 @@ func (ix *Index) Search(q *Query) (SearchResult, error) {
 		// No admissible compressed bound implemented: exact fallback that
 		// still fetches everything once.
 		best := index.Result{Index: -1, Dist: -1}
-		sc := core.NewSearcher(q.rs, q.searcher.Kernel(), core.Wedge, core.SearcherConfig{})
+		sc := core.NewSearcher(q.rs, q.searcher.Kernel(), core.Wedge, core.SearcherConfig{Obs: &ix.obs})
 		bestDist := -1.0
 		for i := 0; i < ix.m; i++ {
-			series := ix.ix.Store().Fetch(i)
+			series := ix.ix.Fetch(i)
 			m := sc.MatchSeries(series, bestDist, &q.counter)
 			if m.Found() && (best.Index < 0 || m.Dist < best.Dist) {
 				best = index.Result{Index: i, Dist: m.Dist, Member: m.Member}

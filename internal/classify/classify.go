@@ -84,13 +84,14 @@ func LeaveOneOutAligned(series [][]float64, labels []int, kern wedge.Kernel, cnt
 		panic("classify: need at least two instances")
 	}
 	errs := 0
+	var local stats.Tally
 	for i, q := range series {
 		best, bestJ := math.Inf(1), -1
 		for j, x := range series {
 			if j == i {
 				continue
 			}
-			d, abandoned := kern.Distance(q, x, best, cnt)
+			d, abandoned := kern.Distance(q, x, best, &local)
 			if !abandoned && d < best {
 				best, bestJ = d, j
 			}
@@ -99,6 +100,7 @@ func LeaveOneOutAligned(series [][]float64, labels []int, kern wedge.Kernel, cnt
 			errs++
 		}
 	}
+	cnt.Add(local.Steps())
 	return float64(errs) / float64(len(series)), errs
 }
 

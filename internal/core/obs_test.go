@@ -1,0 +1,197 @@
+package core
+
+import (
+	"testing"
+
+	"lbkeogh/internal/obs"
+	"lbkeogh/internal/stats"
+	"lbkeogh/internal/wedge"
+)
+
+// TestPruningCountsReconcile is the accounting contract of the obs layer:
+// for every strategy (and both H-Merge traversal orders), each rotation
+// covered by a comparison lands in exactly one outcome bucket, and the steps
+// recorded in the stats record equal the steps charged to the caller's
+// counter.
+func TestPruningCountsReconcile(t *testing.T) {
+	db, q := parallelTestDB(11, 120, 48)
+	rs := NewRotationSet(q, DefaultOptions(), nil)
+	cases := []struct {
+		name      string
+		strategy  Strategy
+		traversal wedge.Traversal
+	}{
+		{"brute", BruteForce, wedge.LIFO},
+		{"early-abandon", EarlyAbandon, wedge.LIFO},
+		{"fft", FFTFilter, wedge.LIFO},
+		{"wedge-lifo", Wedge, wedge.LIFO},
+		{"wedge-bestfirst", Wedge, wedge.BestFirst},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			st := &obs.SearchStats{}
+			var cnt stats.Counter
+			s := NewSearcher(rs, wedge.ED{}, c.strategy, SearcherConfig{Obs: st, Traversal: c.traversal})
+			s.Scan(db, &cnt)
+			sn := st.Snapshot()
+			if sn.Comparisons != int64(len(db)) {
+				t.Fatalf("Comparisons = %d, want %d", sn.Comparisons, len(db))
+			}
+			if want := int64(len(db) * rs.Members()); sn.Rotations != want {
+				t.Fatalf("Rotations = %d, want %d", sn.Rotations, want)
+			}
+			if !sn.Reconciles() {
+				t.Fatalf("outcome buckets do not sum to rotations: %+v", sn)
+			}
+			if sn.Steps != cnt.Steps() {
+				t.Fatalf("stats steps %d != counter steps %d", sn.Steps, cnt.Steps())
+			}
+			if got := int64(0); true {
+				for _, b := range sn.StepsHistogram {
+					got += b.Count
+				}
+				if got != sn.Comparisons {
+					t.Fatalf("histogram holds %d observations, want one per comparison (%d)", got, sn.Comparisons)
+				}
+			}
+			// Strategy-specific shape of the breakdown.
+			switch c.strategy {
+			case BruteForce:
+				if sn.FullDistEvals != sn.Rotations || sn.EarlyAbandons != 0 {
+					t.Fatalf("brute force should fully evaluate everything: %+v", sn)
+				}
+			case EarlyAbandon:
+				if sn.FullDistEvals+sn.EarlyAbandons != sn.Rotations {
+					t.Fatalf("early abandon should only fully-evaluate or abandon: %+v", sn)
+				}
+				if sn.EarlyAbandons == 0 {
+					t.Fatal("expected some early abandons on a 120-series scan")
+				}
+			case FFTFilter:
+				if sn.FFTRejects == 0 || sn.FFTRejectedMembers == 0 {
+					t.Fatalf("expected magnitude-bound rejections: %+v", sn)
+				}
+				if sn.FFTRejects+sn.FFTFallbacks != sn.Comparisons {
+					t.Fatalf("every comparison is rejected or falls through: %+v", sn)
+				}
+			case Wedge:
+				if sn.WedgePrunedMembers == 0 {
+					t.Fatalf("expected internal-wedge prunes: %+v", sn)
+				}
+				var byLevel int64
+				for _, v := range sn.WedgePrunesByLevel {
+					byLevel += v
+				}
+				if byLevel == 0 {
+					t.Fatal("per-level breakdown is empty despite wedge prunes")
+				}
+			}
+		})
+	}
+}
+
+// TestWedgeReconcilesUnderDTW covers the warped-measure path, where leaves
+// carry their own LB_Keogh bound (WedgeLeafLBPrunes) before the exact DTW.
+func TestWedgeReconcilesUnderDTW(t *testing.T) {
+	db, q := parallelTestDB(12, 60, 40)
+	rs := NewRotationSet(q, DefaultOptions(), nil)
+	st := &obs.SearchStats{}
+	var cnt stats.Counter
+	NewSearcher(rs, wedge.DTW{R: 3}, Wedge, SearcherConfig{Obs: st}).Scan(db, &cnt)
+	sn := st.Snapshot()
+	if !sn.Reconciles() {
+		t.Fatalf("DTW wedge scan does not reconcile: %+v", sn)
+	}
+	if sn.Steps != cnt.Steps() {
+		t.Fatalf("stats steps %d != counter steps %d", sn.Steps, cnt.Steps())
+	}
+}
+
+// TestScanParallelSharedStats shares one record across all workers; run with
+// -race this doubles as the concurrency check for the whole obs layer.
+func TestScanParallelSharedStats(t *testing.T) {
+	db, q := parallelTestDB(13, 200, 48)
+	rs := NewRotationSet(q, DefaultOptions(), nil)
+	for _, strat := range []Strategy{EarlyAbandon, Wedge} {
+		st := &obs.SearchStats{}
+		var cnt stats.Counter
+		ScanParallel(rs, wedge.ED{}, strat, SearcherConfig{Obs: st}, db, 4, &cnt)
+		sn := st.Snapshot()
+		// The tie-resolution pass may re-check earlier items, so the record can
+		// hold more comparisons than series — never fewer.
+		if sn.Comparisons < int64(len(db)) {
+			t.Fatalf("strategy %v: Comparisons = %d, want >= %d", strat, sn.Comparisons, len(db))
+		}
+		if !sn.Reconciles() {
+			t.Fatalf("strategy %v: shared record does not reconcile: %+v", strat, sn)
+		}
+		if sn.Steps != cnt.Steps() {
+			t.Fatalf("strategy %v: stats steps %d != counter steps %d", strat, sn.Steps, cnt.Steps())
+		}
+	}
+}
+
+// TestMatchFFTUnboundedSkipsTransform is the cost-accounting fix: with no
+// threshold (r < 0) the magnitude filter can never reject, so the FFT
+// strategy must neither compute nor charge the transform — its cost equals
+// plain early abandoning.
+func TestMatchFFTUnboundedSkipsTransform(t *testing.T) {
+	db, q := parallelTestDB(14, 1, 64)
+	x := db[0]
+	rs := NewRotationSet(q, DefaultOptions(), nil)
+
+	var fftCnt, eaCnt stats.Counter
+	fft := NewSearcher(rs, wedge.ED{}, FFTFilter, SearcherConfig{})
+	ea := NewSearcher(rs, wedge.ED{}, EarlyAbandon, SearcherConfig{})
+	mf := fft.MatchSeries(x, -1, &fftCnt)
+	me := ea.MatchSeries(x, -1, &eaCnt)
+	if mf.Dist != me.Dist {
+		t.Fatalf("distances differ: fft %v vs early-abandon %v", mf.Dist, me.Dist)
+	}
+	if fftCnt.Steps() != eaCnt.Steps() {
+		t.Fatalf("unbounded FFT match charged %d steps, early abandon %d — transform should be skipped",
+			fftCnt.Steps(), eaCnt.Steps())
+	}
+
+	// With a finite threshold the transform is charged again.
+	var boundedCnt stats.Counter
+	fft.MatchSeries(x, me.Dist, &boundedCnt)
+	if boundedCnt.Steps() == 0 {
+		t.Fatal("bounded FFT match should charge the transform")
+	}
+}
+
+// TestTracerReceivesEvents wires a FuncTracer through a wedge scan and
+// checks the hook counts line up with the stats record.
+func TestTracerReceivesEvents(t *testing.T) {
+	db, q := parallelTestDB(15, 80, 40)
+	rs := NewRotationSet(q, DefaultOptions(), nil)
+	var visits, prunes, abandons int64
+	tr := &obs.FuncTracer{
+		WedgeVisit: func(node, level int, lb float64, pruned bool) {
+			if pruned {
+				prunes++
+			} else {
+				visits++
+			}
+		},
+		Abandon: func(member int) { abandons++ },
+	}
+	st := &obs.SearchStats{}
+	var cnt stats.Counter
+	NewSearcher(rs, wedge.ED{}, Wedge, SearcherConfig{Obs: st, Tracer: tr}).Scan(db, &cnt)
+	sn := st.Snapshot()
+	if visits != sn.WedgeNodeVisits {
+		t.Fatalf("tracer saw %d unpruned wedge visits, stats %d", visits, sn.WedgeNodeVisits)
+	}
+	if abandons != sn.EarlyAbandons {
+		t.Fatalf("tracer saw %d abandons, stats %d", abandons, sn.EarlyAbandons)
+	}
+	var pruneEvents int64
+	for _, v := range sn.WedgePrunesByLevel {
+		pruneEvents += v
+	}
+	if prunes != pruneEvents {
+		t.Fatalf("tracer saw %d prunes, stats %d", prunes, pruneEvents)
+	}
+}

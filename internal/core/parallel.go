@@ -36,15 +36,16 @@ func ScanParallel(rs *RotationSet, kernel wedge.Kernel, strategy Strategy, cfg S
 	var mu sync.Mutex
 	next := 0
 	best := ScanResult{Index: -1, Dist: math.Inf(1)}
-	var totalSteps int64
 
 	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
+			// Workers share cnt (atomic) and any cfg.Obs record directly;
+			// MatchSeries flushes its stack-local counter once per series, so
+			// the shared atomics are touched O(1) times per comparison.
 			searcher := NewSearcher(rs, kernel, strategy, cfg)
-			var local stats.Counter
 			for {
 				mu.Lock()
 				lo := next
@@ -59,7 +60,7 @@ func ScanParallel(rs *RotationSet, kernel wedge.Kernel, strategy Strategy, cfg S
 					hi = len(db)
 				}
 				for i := lo; i < hi; i++ {
-					m := searcher.MatchSeries(db[i], threshold, &local)
+					m := searcher.MatchSeries(db[i], threshold, cnt)
 					if !m.Found() {
 						continue
 					}
@@ -71,14 +72,10 @@ func ScanParallel(rs *RotationSet, kernel wedge.Kernel, strategy Strategy, cfg S
 					mu.Unlock()
 				}
 			}
-			mu.Lock()
-			totalSteps += local.Steps()
-			mu.Unlock()
 		}()
 	}
 	wg.Wait()
 
-	cnt.Add(totalSteps)
 	if best.Index < 0 {
 		return best
 	}

@@ -75,7 +75,7 @@ func NewRotationSet(base []float64, opts Options, cnt *stats.Counter) *RotationS
 	if n == 0 {
 		panic("core: empty query series")
 	}
-	var local stats.Counter
+	var local stats.Tally
 
 	// Which shifts are admitted?
 	shifts := allowedShifts(n, opts.MaxShift)

@@ -5,6 +5,7 @@ import (
 	"math"
 
 	"lbkeogh/internal/fourier"
+	"lbkeogh/internal/obs"
 	"lbkeogh/internal/stats"
 	"lbkeogh/internal/wedge"
 )
@@ -68,6 +69,8 @@ type Searcher struct {
 	dyn       *wedge.DynamicK
 	fixedK    int // > 0 disables the dynamic controller (ablation)
 	queryMag  []float64
+	obs       *obs.SearchStats // nil: the no-op sink
+	tracer    obs.Tracer       // nil: untraced
 }
 
 // SearcherConfig tunes a Searcher beyond its strategy.
@@ -80,6 +83,13 @@ type SearcherConfig struct {
 	// ProbeIntervals is the dynamic controller's single parameter (paper: 5).
 	// <= 0 selects 5.
 	ProbeIntervals int
+	// Obs, when non-nil, receives the structured pruning/cost record of
+	// every comparison. It is safe to share one record across the searchers
+	// of a parallel scan.
+	Obs *obs.SearchStats
+	// Tracer, when non-nil, receives fine-grained search events (wedge
+	// visits, abandons, dynamic-K changes).
+	Tracer obs.Tracer
 }
 
 // NewSearcher builds a Searcher. FFTFilter requires a Euclidean kernel;
@@ -102,6 +112,14 @@ func NewSearcher(rs *RotationSet, kernel wedge.Kernel, strategy Strategy, cfg Se
 		traversal: cfg.Traversal,
 		fixedK:    cfg.FixedK,
 		dyn:       wedge.NewDynamicK(rs.Members(), intervals),
+		obs:       cfg.Obs,
+		tracer:    cfg.Tracer,
+	}
+	if s.obs != nil || s.tracer != nil {
+		s.dyn.SetChangeHook(func(oldK, newK int) {
+			s.obs.RecordKChange(oldK, newK)
+			obs.TraceKChange(s.tracer, oldK, newK)
+		})
 	}
 	if strategy == FFTFilter {
 		s.queryMag = fourier.Magnitudes(rs.Base(), rs.Len()/2)
@@ -129,7 +147,8 @@ func (s *Searcher) CurrentK() int {
 // spent are charged to cnt.
 func (s *Searcher) MatchSeries(x []float64, r float64, cnt *stats.Counter) Match {
 	s.rs.checkLen(x)
-	var local stats.Counter
+	s.obs.AddComparison(int64(s.rs.Members()))
+	var local stats.Tally
 	var m Match
 	switch s.strategy {
 	case BruteForce:
@@ -142,10 +161,12 @@ func (s *Searcher) MatchSeries(x []float64, r float64, cnt *stats.Counter) Match
 		m = s.matchWedge(x, r, &local)
 	}
 	cnt.Add(local.Steps())
+	s.obs.AddSteps(local.Steps())
+	s.obs.ObserveComparisonSteps(local.Steps())
 	return m
 }
 
-func (s *Searcher) matchBrute(x []float64, r float64, cnt *stats.Counter) Match {
+func (s *Searcher) matchBrute(x []float64, r float64, cnt *stats.Tally) Match {
 	best := math.Inf(1)
 	bestIdx := -1
 	for i := 0; i < s.rs.Members(); i++ {
@@ -154,50 +175,63 @@ func (s *Searcher) matchBrute(x []float64, r float64, cnt *stats.Counter) Match 
 			best, bestIdx = d, i
 		}
 	}
+	s.obs.AddOutcomes(int64(s.rs.Members()), 0)
 	if r >= 0 && best >= r {
 		return Match{Dist: math.Inf(1)}
 	}
 	return Match{Dist: best, Member: s.rs.MemberID(bestIdx), found: true}
 }
 
-func (s *Searcher) matchEarlyAbandon(x []float64, r float64, cnt *stats.Counter) Match {
+func (s *Searcher) matchEarlyAbandon(x []float64, r float64, cnt *stats.Tally) Match {
 	best := math.Inf(1)
 	if r >= 0 {
 		best = r
 	}
 	bestIdx := -1
+	var fullDist, abandons int64 // batched into the record once per comparison
 	for i := 0; i < s.rs.Members(); i++ {
 		d, abandoned := s.kernel.Distance(x, s.rs.Member(i), best, cnt)
-		if !abandoned && d < best {
+		if abandoned {
+			abandons++
+			obs.TraceAbandon(s.tracer, i)
+			continue
+		}
+		fullDist++
+		if d < best {
 			best, bestIdx = d, i
 		}
 	}
+	s.obs.AddOutcomes(fullDist, abandons)
 	if bestIdx < 0 {
 		return Match{Dist: math.Inf(1)}
 	}
 	return Match{Dist: best, Member: s.rs.MemberID(bestIdx), found: true}
 }
 
-func (s *Searcher) matchFFT(x []float64, r float64, cnt *stats.Counter) Match {
-	// Cost model from Section 5.3: n·log2(n) steps for the transform, plus
-	// the magnitude-space Euclidean distance.
-	n := s.rs.Len()
-	cnt.Add(int64(float64(n)*math.Log2(float64(n))) + int64(len(s.queryMag)))
+func (s *Searcher) matchFFT(x []float64, r float64, cnt *stats.Tally) Match {
+	// The magnitude filter only applies under a finite threshold; an
+	// unbounded match (r < 0) neither computes the bound nor pays for it.
 	if r >= 0 {
+		// Cost model from Section 5.3: n·log2(n) steps for the transform,
+		// plus the magnitude-space Euclidean distance.
+		n := s.rs.Len()
+		cnt.Add(int64(float64(n)*math.Log2(float64(n))) + int64(len(s.queryMag)))
 		xmag := fourier.Magnitudes(x, n/2)
 		if fourier.LowerBoundED(s.queryMag, xmag) >= r {
+			s.obs.CountFFTReject(int64(s.rs.Members()))
 			return Match{Dist: math.Inf(1)}
 		}
 	}
+	s.obs.CountFFTFallback()
 	return s.matchEarlyAbandon(x, r, cnt)
 }
 
-func (s *Searcher) matchWedge(x []float64, r float64, cnt *stats.Counter) Match {
+func (s *Searcher) matchWedge(x []float64, r float64, cnt *stats.Tally) Match {
 	K := s.fixedK
 	if K <= 0 {
 		K = s.dyn.K()
 	}
-	res := s.rs.tree.Search(x, s.kernel, K, r, s.traversal, cnt)
+	res := s.rs.tree.SearchObs(x, s.kernel, K, r, s.traversal, cnt, s.obs, s.tracer)
 	improved := res.BestMember >= 0
 	if s.fixedK <= 0 {
 		s.dyn.Observe(res.Steps, improved)

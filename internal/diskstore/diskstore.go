@@ -77,6 +77,16 @@ type Store struct {
 
 	mu    sync.Mutex
 	reads int
+	hook  func(id int)
+}
+
+// SetFetchHook installs a callback invoked after every successful record
+// read (nil removes it). The observability layer uses it to stream per-read
+// events; the hook must be safe for concurrent calls when fetches are.
+func (s *Store) SetFetchHook(hook func(id int)) {
+	s.mu.Lock()
+	s.hook = hook
+	s.mu.Unlock()
 }
 
 // Open validates the header of path and returns a store over it.
@@ -150,7 +160,11 @@ func (s *Store) FetchErr(id int) ([]float64, error) {
 	}
 	s.mu.Lock()
 	s.reads++
+	hook := s.hook
 	s.mu.Unlock()
+	if hook != nil {
+		hook(id)
+	}
 	return out, nil
 }
 

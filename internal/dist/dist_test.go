@@ -18,7 +18,7 @@ func TestEuclideanKnown(t *testing.T) {
 }
 
 func TestEuclideanStepsCounted(t *testing.T) {
-	var cnt stats.Counter
+	var cnt stats.Tally
 	q := make([]float64, 17)
 	Euclidean(q, q, &cnt)
 	if cnt.Steps() != 17 {
@@ -52,7 +52,7 @@ func TestEuclideanEAExactWhenUnderThreshold(t *testing.T) {
 func TestEuclideanEAAbandons(t *testing.T) {
 	q := []float64{0, 0, 0, 0}
 	c := []float64{10, 0, 0, 0}
-	var cnt stats.Counter
+	var cnt stats.Tally
 	got, abandoned := EuclideanEA(q, c, 1, &cnt)
 	if !abandoned || !math.IsInf(got, 1) {
 		t.Fatalf("want abandonment, got (%v,%v)", got, abandoned)
@@ -79,7 +79,7 @@ func TestEuclideanEAStepsSaved(t *testing.T) {
 	rng := ts.NewRand(2)
 	q := ts.RandomSeries(rng, 256)
 	c := ts.AddNoise(rng, q, 5) // far away — should abandon early with tight r
-	var cnt stats.Counter
+	var cnt stats.Tally
 	_, abandoned := EuclideanEA(q, c, 0.5, &cnt)
 	if !abandoned {
 		t.Fatal("expected abandonment")
@@ -174,7 +174,7 @@ func TestDTWEAAbandonSavesSteps(t *testing.T) {
 	rng := ts.NewRand(8)
 	q := ts.RandomSeries(rng, 128)
 	c := ts.AddNoise(rng, ts.RandomSeries(rng, 128), 3)
-	var full, ea stats.Counter
+	var full, ea stats.Tally
 	DTW(q, c, 5, &full)
 	_, abandoned := DTWEA(q, c, 5, 0.5, &ea)
 	if !abandoned {

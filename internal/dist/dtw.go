@@ -15,7 +15,7 @@ import (
 // The implementation is iterative (not recursive), which is what makes early
 // abandoning possible in DTWEA; the paper notes (footnote 2) that the elegant
 // recursive form cannot abandon early.
-func DTW(q, c []float64, R int, cnt *stats.Counter) float64 {
+func DTW(q, c []float64, R int, cnt *stats.Tally) float64 {
 	d, _ := dtwBanded(q, c, R, -1, cnt)
 	return d
 }
@@ -23,11 +23,11 @@ func DTW(q, c []float64, R int, cnt *stats.Counter) float64 {
 // DTWEA is the early-abandoning form of DTW: as soon as every cell of a DP
 // row exceeds r², no warping path can finish below r, so the computation
 // abandons and returns (Inf, true). r < 0 disables abandoning.
-func DTWEA(q, c []float64, R int, r float64, cnt *stats.Counter) (float64, bool) {
+func DTWEA(q, c []float64, R int, r float64, cnt *stats.Tally) (float64, bool) {
 	return dtwBanded(q, c, R, r, cnt)
 }
 
-func dtwBanded(q, c []float64, R int, r float64, cnt *stats.Counter) (float64, bool) {
+func dtwBanded(q, c []float64, R int, r float64, cnt *stats.Tally) (float64, bool) {
 	checkSameLength(q, c)
 	n := len(q)
 	if n == 0 {

@@ -3,7 +3,7 @@
 // Dynamic Time Warping with early abandoning (Section 4.3, Figure 12), and
 // Longest Common SubSequence similarity (Section 4.3).
 //
-// Every kernel threads a *stats.Counter and charges it one step per
+// Every kernel threads a *stats.Tally and charges it one step per
 // real-value subtraction performed, which is exactly the implementation-free
 // cost metric ("num_steps") the paper's efficiency experiments report.
 //
@@ -32,7 +32,7 @@ func checkSameLength(q, c []float64) {
 
 // Euclidean returns the Euclidean distance between q and c, which must have
 // equal length. One step per sample is charged to cnt.
-func Euclidean(q, c []float64, cnt *stats.Counter) float64 {
+func Euclidean(q, c []float64, cnt *stats.Tally) float64 {
 	checkSameLength(q, c)
 	var acc float64
 	for i := range q {
@@ -51,7 +51,7 @@ func Euclidean(q, c []float64, cnt *stats.Counter) float64 {
 //
 // r < 0 is treated as "no threshold" (never abandons). r == 0 abandons on the
 // first nonzero discrepancy, matching a strict best-so-far of zero.
-func EuclideanEA(q, c []float64, r float64, cnt *stats.Counter) (float64, bool) {
+func EuclideanEA(q, c []float64, r float64, cnt *stats.Tally) (float64, bool) {
 	checkSameLength(q, c)
 	if r < 0 {
 		return Euclidean(q, c, cnt), false
@@ -72,7 +72,7 @@ func EuclideanEA(q, c []float64, r float64, cnt *stats.Counter) (float64, bool) 
 
 // SquaredEuclidean returns the squared Euclidean distance (no square root).
 // Used by clustering, where only relative order matters.
-func SquaredEuclidean(q, c []float64, cnt *stats.Counter) float64 {
+func SquaredEuclidean(q, c []float64, cnt *stats.Tally) float64 {
 	checkSameLength(q, c)
 	var acc float64
 	for i := range q {

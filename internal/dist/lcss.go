@@ -12,7 +12,7 @@ import (
 //
 // delta < 0 means an unconstrained matching window. The result is an integer
 // in [0, n] returned as int; use LCSSDist for the normalized distance form.
-func LCSS(q, c []float64, delta int, eps float64, cnt *stats.Counter) int {
+func LCSS(q, c []float64, delta int, eps float64, cnt *stats.Tally) int {
 	checkSameLength(q, c)
 	n := len(q)
 	if n == 0 {
@@ -70,7 +70,7 @@ func LCSS(q, c []float64, delta int, eps float64, cnt *stats.Counter) int {
 
 // LCSSDist converts LCSS similarity to a distance in [0, 1]:
 // 1 - LCSS(q,c)/n. Zero means the sequences match everywhere within eps.
-func LCSSDist(q, c []float64, delta int, eps float64, cnt *stats.Counter) float64 {
+func LCSSDist(q, c []float64, delta int, eps float64, cnt *stats.Tally) float64 {
 	n := len(q)
 	if n == 0 {
 		return 0

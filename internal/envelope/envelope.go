@@ -161,7 +161,7 @@ func slidingMax(s []float64, R int, wantMax bool) []float64 {
 //
 // When e encloses a single series, LBKeogh degenerates to the Euclidean
 // distance (the paper's first observation about LB_Keogh).
-func LBKeogh(q []float64, e Envelope, r float64, cnt *stats.Counter) (float64, bool) {
+func LBKeogh(q []float64, e Envelope, r float64, cnt *stats.Tally) (float64, bool) {
 	if len(q) != len(e.U) {
 		panic(fmt.Sprintf("envelope: LBKeogh length mismatch %d vs %d", len(q), len(e.U)))
 	}
@@ -194,7 +194,7 @@ func LBKeogh(q []float64, e Envelope, r float64, cnt *stats.Counter) (float64, b
 // within eps of the widened envelope, so counting such points bounds the
 // similarity from above; as the paper notes, for a similarity measure the
 // inequality signs simply reverse.
-func LCSSUpperBound(q []float64, e Envelope, eps float64, cnt *stats.Counter) int {
+func LCSSUpperBound(q []float64, e Envelope, eps float64, cnt *stats.Tally) int {
 	if len(q) != len(e.U) {
 		panic(fmt.Sprintf("envelope: LCSSUpperBound length mismatch %d vs %d", len(q), len(e.U)))
 	}

@@ -136,7 +136,7 @@ func TestLBKeoghEarlyAbandon(t *testing.T) {
 	e := New(make([]float64, n)) // flat zero envelope
 	q := make([]float64, n)
 	q[0] = 10
-	var cnt stats.Counter
+	var cnt stats.Tally
 	lb, abandoned := LBKeogh(q, e, 1, &cnt)
 	if !abandoned || !math.IsInf(lb, 1) {
 		t.Fatalf("want abandonment, got (%v,%v)", lb, abandoned)

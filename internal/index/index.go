@@ -16,6 +16,7 @@ import (
 
 	"lbkeogh/internal/core"
 	"lbkeogh/internal/fourier"
+	"lbkeogh/internal/obs"
 	"lbkeogh/internal/paa"
 	"lbkeogh/internal/rtree"
 	"lbkeogh/internal/stats"
@@ -72,6 +73,51 @@ type Index struct {
 	paas [][]float64 // PAA means for the DTW path
 	rt   *rtree.Tree // R-tree over the PAA points (ref [37])
 	segW []float64   // PAA segment widths (the bound weights)
+
+	obs    *obs.SearchStats // nil: the no-op sink
+	tracer obs.Tracer       // nil: untraced
+}
+
+// fetchHooker is implemented by stores that can report each record fetch as
+// it happens (internal/diskstore does).
+type fetchHooker interface {
+	SetFetchHook(func(id int))
+}
+
+// SetObserver installs an instrumentation record and tracer used by every
+// subsequent query: index-level candidate/fetch counts, the verification
+// searches' pruning breakdowns, and per-record disk-read events when the
+// store supports them. Either argument may be nil. Not safe to call
+// concurrently with queries.
+func (ix *Index) SetObserver(st *obs.SearchStats, tr obs.Tracer) {
+	ix.obs = st
+	ix.tracer = tr
+	if h, ok := ix.store.(fetchHooker); ok {
+		if st == nil && tr == nil {
+			h.SetFetchHook(nil)
+			return
+		}
+		h.SetFetchHook(func(id int) {
+			st.CountDiskRead()
+		})
+	}
+}
+
+// Fetch retrieves one full series for verification, charging the access to
+// the observer. Stores without a fetch hook have their reads charged here so
+// DiskReads stays meaningful for the simulated store too.
+func (ix *Index) Fetch(id int) []float64 {
+	ix.obs.CountIndexCandidate()
+	ix.obs.CountIndexFetch()
+	obs.TraceFetch(ix.tracer, id)
+	if _, hooked := ix.store.(fetchHooker); !hooked {
+		ix.obs.CountDiskRead()
+	}
+	return ix.store.Fetch(id)
+}
+
+func (ix *Index) searcherConfig() core.SearcherConfig {
+	return core.SearcherConfig{Obs: ix.obs, Tracer: ix.tracer}
 }
 
 // Build constructs the index over db with D retained dimensions per object
@@ -170,10 +216,10 @@ type Result struct {
 // pruned only on that bound.
 func (ix *Index) SearchED(rs *core.RotationSet, cnt *stats.Counter) Result {
 	qmag := fourier.Magnitudes(rs.Base(), ix.d)
-	searcher := core.NewSearcher(rs, wedge.ED{}, core.Wedge, core.SearcherConfig{})
+	searcher := core.NewSearcher(rs, wedge.ED{}, core.Wedge, ix.searcherConfig())
 	best := Result{Index: -1, Dist: math.Inf(1)}
 	ix.vpt.Search(qmag, math.Inf(1), func(id int, fd, bsf float64) float64 {
-		series := ix.store.Fetch(id)
+		series := ix.Fetch(id)
 		m := searcher.MatchSeries(series, bsf, cnt)
 		if m.Found() && m.Dist < bsf {
 			best = Result{Index: id, Dist: m.Dist, Member: m.Member}
@@ -189,10 +235,10 @@ func (ix *Index) SearchED(rs *core.RotationSet, cnt *stats.Counter) Result {
 // order. Only objects whose magnitude-feature bound is below r are fetched.
 func (ix *Index) RangeED(rs *core.RotationSet, r float64, cnt *stats.Counter) []Result {
 	qmag := fourier.Magnitudes(rs.Base(), ix.d)
-	searcher := core.NewSearcher(rs, wedge.ED{}, core.Wedge, core.SearcherConfig{})
+	searcher := core.NewSearcher(rs, wedge.ED{}, core.Wedge, ix.searcherConfig())
 	var out []Result
 	ix.vpt.Search(qmag, r, func(id int, fd, bsf float64) float64 {
-		series := ix.store.Fetch(id)
+		series := ix.Fetch(id)
 		m := searcher.MatchSeries(series, r, cnt)
 		if m.Found() {
 			out = append(out, Result{Index: id, Dist: m.Dist, Member: m.Member})
@@ -217,10 +263,10 @@ func (ix *Index) RangeDTW(rs *core.RotationSet, R int, wedges int, r float64, cn
 	for i, e := range envs {
 		boxes[i] = paa.ReduceEnvelope(e, ix.d)
 	}
-	searcher := core.NewSearcher(rs, wedge.DTW{R: R}, core.Wedge, core.SearcherConfig{})
+	searcher := core.NewSearcher(rs, wedge.DTW{R: R}, core.Wedge, ix.searcherConfig())
 	var out []Result
 	ix.rt.Search(ix.dtwBound(boxes), r, func(id int, lb, bsf float64) float64 {
-		series := ix.store.Fetch(id)
+		series := ix.Fetch(id)
 		m := searcher.MatchSeries(series, r, cnt)
 		if m.Found() {
 			out = append(out, Result{Index: id, Dist: m.Dist, Member: m.Member})
@@ -252,10 +298,10 @@ func (ix *Index) SearchDTW(rs *core.RotationSet, R int, wedges int, cnt *stats.C
 	for i, e := range envs {
 		boxes[i] = paa.ReduceEnvelope(e, ix.d)
 	}
-	searcher := core.NewSearcher(rs, wedge.DTW{R: R}, core.Wedge, core.SearcherConfig{})
+	searcher := core.NewSearcher(rs, wedge.DTW{R: R}, core.Wedge, ix.searcherConfig())
 	best := Result{Index: -1, Dist: math.Inf(1)}
 	ix.rt.Search(ix.dtwBound(boxes), math.Inf(1), func(id int, lb, bsf float64) float64 {
-		series := ix.store.Fetch(id)
+		series := ix.Fetch(id)
 		m := searcher.MatchSeries(series, bsf, cnt)
 		if m.Found() && m.Dist < bsf {
 			best = Result{Index: id, Dist: m.Dist, Member: m.Member}

@@ -1,0 +1,357 @@
+// Package obs is the zero-dependency instrumentation layer for the search
+// machinery. The paper's entire empirical argument (Tables 1–3, Section 5.3)
+// rests on *where* cost goes — wedge prunes vs. early abandons vs. full
+// distance evaluations — so every search strategy threads a *SearchStats
+// record through and attributes each rotation it disposes of to exactly one
+// outcome bucket. The buckets reconcile: for any sequence of comparisons,
+//
+//	Rotations = FullDistEvals + EarlyAbandons + WedgePrunedMembers
+//	          + WedgeLeafLBPrunes + FFTRejectedMembers
+//
+// which is the per-bound pruning-rate telemetry that tuning cascaded lower
+// bounds requires (cf. Lemire's two-pass LB_Keogh work).
+//
+// Everything here is safe for concurrent use: counters are atomics, the
+// histogram buckets are atomics, and the dynamic-K trajectory is guarded by
+// a small mutex on a bounded slice. A nil *SearchStats is a valid no-op sink
+// everywhere — uninstrumented hot paths pay one predictable branch per call
+// — and the same nil contract applies to the Tracer helpers in this package.
+package obs
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// MaxPruneLevels bounds the per-dendrogram-level wedge-prune breakdown.
+// Levels at or beyond the bound are folded into the last bucket (a balanced
+// wedge hierarchy over n rotations has ~log2(n) levels; 32 covers any n that
+// fits in memory).
+const MaxPruneLevels = 32
+
+// maxKTrajectory caps the recorded dynamic-K trajectory so adversarially
+// jittery controllers cannot grow the record without bound.
+const maxKTrajectory = 1024
+
+// KChange is one dynamic-K controller adjustment: after Comparison
+// comparisons, the settled wedge-set size moved From -> To.
+type KChange struct {
+	Comparison int64 `json:"comparison"`
+	From       int   `json:"from"`
+	To         int   `json:"to"`
+}
+
+// SearchStats accumulates the structured per-query/per-scan record. All
+// methods are safe for concurrent use and on a nil receiver (the no-op sink).
+type SearchStats struct {
+	comparisons atomic.Int64 // MatchSeries-level comparisons
+	rotations   atomic.Int64 // rotation-matrix rows those comparisons covered
+	steps       atomic.Int64 // num_steps (real-value subtractions)
+
+	fullDistEvals atomic.Int64 // exact kernel distances computed to completion
+	earlyAbandons atomic.Int64 // exact kernel distances abandoned mid-way
+
+	wedgeNodeVisits    atomic.Int64 // internal wedges whose children were explored
+	wedgeLeafVisits    atomic.Int64 // individual rotations reached by H-Merge
+	wedgePrunedMembers atomic.Int64 // rotations excluded by an internal-wedge LB
+	wedgeLeafLBPrunes  atomic.Int64 // rotations excluded by a singleton-wedge LB
+	wedgePruneByLevel  [MaxPruneLevels]atomic.Int64
+
+	fftRejects         atomic.Int64 // comparisons rejected whole by the magnitude bound
+	fftRejectedMembers atomic.Int64 // rotations those rejections covered
+	fftFallbacks       atomic.Int64 // comparisons that fell through to early abandoning
+
+	indexCandidates atomic.Int64 // index-level bound evaluations that survived
+	indexFetches    atomic.Int64 // full-resolution fetches for exact verification
+	diskReads       atomic.Int64 // record reads charged by the backing store
+
+	kChanges atomic.Int64
+
+	stepsHist Histogram // per-comparison num_steps distribution
+
+	mu    sync.Mutex
+	kTraj []KChange
+}
+
+// AddComparison records one rotation-invariant comparison covering members
+// rotations.
+func (s *SearchStats) AddComparison(members int64) {
+	if s == nil {
+		return
+	}
+	s.comparisons.Add(1)
+	s.rotations.Add(members)
+}
+
+// AddSteps charges n num_steps.
+func (s *SearchStats) AddSteps(n int64) {
+	if s != nil {
+		s.steps.Add(n)
+	}
+}
+
+// ObserveComparisonSteps records one comparison's num_steps in the
+// fixed-bucket histogram.
+func (s *SearchStats) ObserveComparisonSteps(n int64) {
+	if s != nil {
+		s.stepsHist.Observe(n)
+	}
+}
+
+// CountFullDist records one exact distance computed to completion.
+func (s *SearchStats) CountFullDist() {
+	if s != nil {
+		s.fullDistEvals.Add(1)
+	}
+}
+
+// CountAbandon records one exact distance abandoned early.
+func (s *SearchStats) CountAbandon() {
+	if s != nil {
+		s.earlyAbandons.Add(1)
+	}
+}
+
+// AddOutcomes batches per-rotation outcome counts — fullDist exact
+// evaluations plus abandons early abandons — into two atomic adds, so the
+// per-rotation hot loops stay free of shared-cacheline traffic.
+func (s *SearchStats) AddOutcomes(fullDist, abandons int64) {
+	if s == nil {
+		return
+	}
+	s.fullDistEvals.Add(fullDist)
+	s.earlyAbandons.Add(abandons)
+}
+
+// CountNodeVisit records one internal wedge whose children were explored.
+func (s *SearchStats) CountNodeVisit() {
+	if s != nil {
+		s.wedgeNodeVisits.Add(1)
+	}
+}
+
+// CountLeafVisit records one rotation reached individually by H-Merge.
+func (s *SearchStats) CountLeafVisit() {
+	if s != nil {
+		s.wedgeLeafVisits.Add(1)
+	}
+}
+
+// CountWedgePrune records an internal-wedge LB prune at the given dendrogram
+// level (root = 0) that excluded members rotations at once.
+func (s *SearchStats) CountWedgePrune(level int, members int64) {
+	if s == nil {
+		return
+	}
+	s.wedgePrunedMembers.Add(members)
+	if level < 0 {
+		level = 0
+	}
+	if level >= MaxPruneLevels {
+		level = MaxPruneLevels - 1
+	}
+	s.wedgePruneByLevel[level].Add(1)
+}
+
+// CountLeafLBPrune records one rotation excluded by its singleton-wedge LB.
+func (s *SearchStats) CountLeafLBPrune() {
+	if s != nil {
+		s.wedgeLeafLBPrunes.Add(1)
+	}
+}
+
+// CountFFTReject records one comparison rejected whole by the
+// Fourier-magnitude bound, covering members rotations.
+func (s *SearchStats) CountFFTReject(members int64) {
+	if s == nil {
+		return
+	}
+	s.fftRejects.Add(1)
+	s.fftRejectedMembers.Add(members)
+}
+
+// CountFFTFallback records one comparison the magnitude bound could not
+// reject.
+func (s *SearchStats) CountFFTFallback() {
+	if s != nil {
+		s.fftFallbacks.Add(1)
+	}
+}
+
+// CountIndexCandidate records one index candidate surviving its compressed
+// bound.
+func (s *SearchStats) CountIndexCandidate() {
+	if s != nil {
+		s.indexCandidates.Add(1)
+	}
+}
+
+// CountIndexFetch records one full-resolution fetch for exact verification.
+func (s *SearchStats) CountIndexFetch() {
+	if s != nil {
+		s.indexFetches.Add(1)
+	}
+}
+
+// CountDiskRead records one record read charged by the backing store.
+func (s *SearchStats) CountDiskRead() {
+	if s != nil {
+		s.diskReads.Add(1)
+	}
+}
+
+// RecordKChange appends one dynamic-K adjustment to the trajectory, stamped
+// with the current comparison count. The trajectory is capped; the change
+// counter keeps counting past the cap.
+func (s *SearchStats) RecordKChange(from, to int) {
+	if s == nil {
+		return
+	}
+	s.kChanges.Add(1)
+	s.mu.Lock()
+	if len(s.kTraj) < maxKTrajectory {
+		s.kTraj = append(s.kTraj, KChange{Comparison: s.comparisons.Load(), From: from, To: to})
+	}
+	s.mu.Unlock()
+}
+
+// Steps reports the accumulated num_steps.
+func (s *SearchStats) Steps() int64 {
+	if s == nil {
+		return 0
+	}
+	return s.steps.Load()
+}
+
+// Comparisons reports the accumulated comparison count.
+func (s *SearchStats) Comparisons() int64 {
+	if s == nil {
+		return 0
+	}
+	return s.comparisons.Load()
+}
+
+// Reset zeroes every counter, the histogram and the trajectory.
+func (s *SearchStats) Reset() {
+	if s == nil {
+		return
+	}
+	s.comparisons.Store(0)
+	s.rotations.Store(0)
+	s.steps.Store(0)
+	s.fullDistEvals.Store(0)
+	s.earlyAbandons.Store(0)
+	s.wedgeNodeVisits.Store(0)
+	s.wedgeLeafVisits.Store(0)
+	s.wedgePrunedMembers.Store(0)
+	s.wedgeLeafLBPrunes.Store(0)
+	for i := range s.wedgePruneByLevel {
+		s.wedgePruneByLevel[i].Store(0)
+	}
+	s.fftRejects.Store(0)
+	s.fftRejectedMembers.Store(0)
+	s.fftFallbacks.Store(0)
+	s.indexCandidates.Store(0)
+	s.indexFetches.Store(0)
+	s.diskReads.Store(0)
+	s.kChanges.Store(0)
+	s.stepsHist.Reset()
+	s.mu.Lock()
+	s.kTraj = nil
+	s.mu.Unlock()
+}
+
+// Snapshot is a point-in-time copy of a SearchStats record, in plain values
+// suitable for JSON export. Derived rates are included so dashboards need no
+// arithmetic.
+type Snapshot struct {
+	Comparisons int64 `json:"comparisons"`
+	Rotations   int64 `json:"rotations"`
+	Steps       int64 `json:"steps"`
+
+	FullDistEvals int64 `json:"full_dist_evals"`
+	EarlyAbandons int64 `json:"early_abandons"`
+
+	WedgeNodeVisits    int64   `json:"wedge_node_visits"`
+	WedgeLeafVisits    int64   `json:"wedge_leaf_visits"`
+	WedgePrunedMembers int64   `json:"wedge_pruned_members"`
+	WedgeLeafLBPrunes  int64   `json:"wedge_leaf_lb_prunes"`
+	WedgePrunesByLevel []int64 `json:"wedge_prunes_by_level,omitempty"`
+
+	FFTRejects         int64 `json:"fft_rejects"`
+	FFTRejectedMembers int64 `json:"fft_rejected_members"`
+	FFTFallbacks       int64 `json:"fft_fallbacks"`
+
+	IndexCandidates int64 `json:"index_candidates"`
+	IndexFetches    int64 `json:"index_fetches"`
+	DiskReads       int64 `json:"disk_reads"`
+
+	KChanges    int64     `json:"k_changes"`
+	KTrajectory []KChange `json:"k_trajectory,omitempty"`
+
+	// PruneRate is the fraction of rotations disposed of without a full
+	// distance evaluation; StepsPerComparison the paper's per-comparison cost.
+	PruneRate          float64 `json:"prune_rate"`
+	StepsPerComparison float64 `json:"steps_per_comparison"`
+
+	StepsHistogram []HistogramBucket `json:"steps_histogram,omitempty"`
+}
+
+// Snapshot returns a consistent-enough copy for reporting (individual fields
+// are read atomically; the record may advance between field reads, which is
+// fine for telemetry). A nil receiver yields a zero Snapshot.
+func (s *SearchStats) Snapshot() Snapshot {
+	if s == nil {
+		return Snapshot{}
+	}
+	snap := Snapshot{
+		Comparisons:        s.comparisons.Load(),
+		Rotations:          s.rotations.Load(),
+		Steps:              s.steps.Load(),
+		FullDistEvals:      s.fullDistEvals.Load(),
+		EarlyAbandons:      s.earlyAbandons.Load(),
+		WedgeNodeVisits:    s.wedgeNodeVisits.Load(),
+		WedgeLeafVisits:    s.wedgeLeafVisits.Load(),
+		WedgePrunedMembers: s.wedgePrunedMembers.Load(),
+		WedgeLeafLBPrunes:  s.wedgeLeafLBPrunes.Load(),
+		FFTRejects:         s.fftRejects.Load(),
+		FFTRejectedMembers: s.fftRejectedMembers.Load(),
+		FFTFallbacks:       s.fftFallbacks.Load(),
+		IndexCandidates:    s.indexCandidates.Load(),
+		IndexFetches:       s.indexFetches.Load(),
+		DiskReads:          s.diskReads.Load(),
+		KChanges:           s.kChanges.Load(),
+	}
+	maxLevel := -1
+	for i := range s.wedgePruneByLevel {
+		if s.wedgePruneByLevel[i].Load() != 0 {
+			maxLevel = i
+		}
+	}
+	if maxLevel >= 0 {
+		snap.WedgePrunesByLevel = make([]int64, maxLevel+1)
+		for i := range snap.WedgePrunesByLevel {
+			snap.WedgePrunesByLevel[i] = s.wedgePruneByLevel[i].Load()
+		}
+	}
+	s.mu.Lock()
+	if len(s.kTraj) > 0 {
+		snap.KTrajectory = append([]KChange(nil), s.kTraj...)
+	}
+	s.mu.Unlock()
+	if snap.Rotations > 0 {
+		snap.PruneRate = 1 - float64(snap.FullDistEvals)/float64(snap.Rotations)
+	}
+	if snap.Comparisons > 0 {
+		snap.StepsPerComparison = float64(snap.Steps) / float64(snap.Comparisons)
+	}
+	snap.StepsHistogram = s.stepsHist.Buckets()
+	return snap
+}
+
+// Reconciles reports whether the outcome buckets account for every rotation
+// covered — the invariant all four strategies maintain.
+func (sn Snapshot) Reconciles() bool {
+	return sn.Rotations == sn.FullDistEvals+sn.EarlyAbandons+
+		sn.WedgePrunedMembers+sn.WedgeLeafLBPrunes+sn.FFTRejectedMembers
+}

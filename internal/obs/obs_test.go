@@ -1,0 +1,250 @@
+package obs
+
+import (
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestNilSinkIsSafeAndFree(t *testing.T) {
+	var st *SearchStats
+	exercise := func() {
+		st.AddComparison(8)
+		st.AddSteps(100)
+		st.ObserveComparisonSteps(100)
+		st.CountFullDist()
+		st.CountAbandon()
+		st.CountNodeVisit()
+		st.CountLeafVisit()
+		st.CountWedgePrune(3, 4)
+		st.CountLeafLBPrune()
+		st.CountFFTReject(8)
+		st.CountFFTFallback()
+		st.CountIndexCandidate()
+		st.CountIndexFetch()
+		st.CountDiskRead()
+		st.RecordKChange(4, 8)
+		st.Reset()
+	}
+	exercise()
+	if st.Steps() != 0 || st.Comparisons() != 0 {
+		t.Fatal("nil sink reported nonzero totals")
+	}
+	if allocs := testing.AllocsPerRun(100, exercise); allocs != 0 {
+		t.Fatalf("nil sink allocated %.1f times per run, want 0", allocs)
+	}
+	var h *Histogram
+	if allocs := testing.AllocsPerRun(100, func() { h.Observe(42) }); allocs != 0 {
+		t.Fatalf("nil histogram allocated %.1f times per run, want 0", allocs)
+	}
+	var c *Counter
+	if allocs := testing.AllocsPerRun(100, func() { c.Add(1) }); allocs != 0 {
+		t.Fatalf("nil counter allocated %.1f times per run, want 0", allocs)
+	}
+}
+
+func TestSnapshotReconciles(t *testing.T) {
+	var st SearchStats
+	st.AddComparison(10) // 10 rotations to account for
+	st.CountFullDist()
+	st.CountFullDist()
+	st.CountAbandon()
+	st.CountWedgePrune(2, 4)
+	st.CountLeafLBPrune()
+	st.CountFFTReject(2)
+	sn := st.Snapshot()
+	if sn.Rotations != 10 {
+		t.Fatalf("Rotations = %d, want 10", sn.Rotations)
+	}
+	if !sn.Reconciles() {
+		t.Fatalf("snapshot does not reconcile: %+v", sn)
+	}
+	// Per-level buckets count prune events; member totals are aggregate only.
+	if sn.WedgePrunesByLevel[2] != 1 {
+		t.Fatalf("level-2 prunes = %v, want 1", sn.WedgePrunesByLevel)
+	}
+	if want := 1 - 2.0/10; sn.PruneRate != want {
+		t.Fatalf("PruneRate = %v, want %v", sn.PruneRate, want)
+	}
+	st.Reset()
+	if sn := st.Snapshot(); sn.Rotations != 0 || len(sn.WedgePrunesByLevel) != 0 {
+		t.Fatalf("Reset left data behind: %+v", sn)
+	}
+}
+
+func TestKTrajectoryBounded(t *testing.T) {
+	var st SearchStats
+	for i := 0; i < 2*maxKTrajectory; i++ {
+		st.RecordKChange(i, i+1)
+	}
+	sn := st.Snapshot()
+	if sn.KChanges != 2*maxKTrajectory {
+		t.Fatalf("KChanges = %d, want %d", sn.KChanges, 2*maxKTrajectory)
+	}
+	if len(sn.KTrajectory) != maxKTrajectory {
+		t.Fatalf("trajectory length = %d, want cap %d", len(sn.KTrajectory), maxKTrajectory)
+	}
+}
+
+func TestHistogramBucketBoundaries(t *testing.T) {
+	cases := []struct {
+		value  int64
+		bucket int
+	}{
+		{0, 0}, {1, 0}, // bucket 0: v <= 1
+		{2, 1},         // (1, 2]
+		{3, 2}, {4, 2}, // (2, 4]
+		{5, 3}, {8, 3}, // (4, 8]
+		{9, 4},          // (8, 16]
+		{1 << 39, 39},   // top regular bucket boundary
+		{1<<39 + 1, 40}, // overflow
+		{1 << 60, 40},   // overflow
+	}
+	for _, c := range cases {
+		if got := bucketIndex(c.value); got != c.bucket {
+			t.Errorf("bucketIndex(%d) = %d, want %d", c.value, got, c.bucket)
+		}
+	}
+	if BucketBound(0) != 1 || BucketBound(3) != 8 {
+		t.Fatalf("BucketBound boundaries wrong: %d, %d", BucketBound(0), BucketBound(3))
+	}
+	if BucketBound(HistogramBuckets) != -1 {
+		t.Fatal("overflow bucket should report bound -1")
+	}
+
+	var h Histogram
+	for _, v := range []int64{1, 2, 3, 4, 5, 1 << 60} {
+		h.Observe(v)
+	}
+	if h.Count() != 6 {
+		t.Fatalf("Count = %d, want 6", h.Count())
+	}
+	want := map[int64]int64{1: 1, 2: 1, 4: 2, 8: 1, -1: 1}
+	got := map[int64]int64{}
+	for _, b := range h.Buckets() {
+		got[b.UpperBound] = b.Count
+	}
+	for ub, n := range want {
+		if got[ub] != n {
+			t.Fatalf("bucket le=%d count %d, want %d (all: %v)", ub, got[ub], n, got)
+		}
+	}
+}
+
+func TestHistogramConcurrent(t *testing.T) {
+	var h Histogram
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := int64(1); i <= 1000; i++ {
+				h.Observe(i)
+			}
+		}()
+	}
+	wg.Wait()
+	if h.Count() != 8000 {
+		t.Fatalf("Count = %d, want 8000", h.Count())
+	}
+	if want := int64(8) * 1000 * 1001 / 2; h.Sum() != want {
+		t.Fatalf("Sum = %d, want %d", h.Sum(), want)
+	}
+}
+
+func TestSearchStatsConcurrent(t *testing.T) {
+	var st SearchStats
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 1000; i++ {
+				st.AddComparison(4)
+				st.CountFullDist()
+				st.CountAbandon()
+				st.CountWedgePrune(1, 2)
+				st.ObserveComparisonSteps(int64(i + 1))
+			}
+		}()
+	}
+	wg.Wait()
+	sn := st.Snapshot()
+	if sn.Comparisons != 8000 || sn.Rotations != 32000 {
+		t.Fatalf("comparisons=%d rotations=%d", sn.Comparisons, sn.Rotations)
+	}
+	if !sn.Reconciles() {
+		t.Fatalf("concurrent updates broke reconciliation: %+v", sn)
+	}
+}
+
+func TestRegistryPrometheusText(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("test_total", "a counter")
+	c.Add(7)
+	h := r.Histogram("test_steps", "a histogram")
+	h.Observe(3)
+	h.Observe(300)
+	var st SearchStats
+	st.AddComparison(2)
+	st.CountFullDist()
+	st.CountAbandon()
+	st.CountWedgePrune(0, 0)
+	r.SearchStats("test_search", "a search record", &st)
+
+	var sb strings.Builder
+	if err := r.WriteMetrics(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{
+		"# TYPE test_total counter\ntest_total 7\n",
+		"# TYPE test_steps histogram\n",
+		`test_steps_bucket{le="4"} 1`,
+		`test_steps_bucket{le="+Inf"} 2`,
+		"test_steps_sum 303",
+		"test_steps_count 2",
+		"test_search_comparisons 1",
+		"test_search_rotations 2",
+		"test_search_full_dist_evals 1",
+		"test_search_early_abandons 1",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("metrics output missing %q\n---\n%s", want, out)
+		}
+	}
+	if names := r.sortedStatNames(); len(names) != 3 || names[0] != "test_search" {
+		t.Fatalf("sortedStatNames = %v", names)
+	}
+
+	defer func() {
+		if recover() == nil {
+			t.Fatal("duplicate registration should panic")
+		}
+	}()
+	r.Counter("test_total", "dup")
+}
+
+func TestFuncTracer(t *testing.T) {
+	var visits, abandons, kchanges, fetches int
+	tr := &FuncTracer{
+		WedgeVisit: func(node, level int, lb float64, pruned bool) { visits++ },
+		Abandon:    func(member int) { abandons++ },
+		KChange:    func(oldK, newK int) { kchanges++ },
+		Fetch:      func(id int) { fetches++ },
+	}
+	TraceWedgeVisit(tr, 1, 0, 0.5, true)
+	TraceAbandon(tr, 3)
+	TraceKChange(tr, 4, 8)
+	TraceFetch(tr, 9)
+	if visits != 1 || abandons != 1 || kchanges != 1 || fetches != 1 {
+		t.Fatalf("events = %d %d %d %d", visits, abandons, kchanges, fetches)
+	}
+	// nil tracer and partially populated FuncTracer are both no-ops.
+	TraceWedgeVisit(nil, 0, 0, 0, false)
+	empty := &FuncTracer{}
+	empty.OnWedgeVisit(0, 0, 0, false)
+	empty.OnAbandon(0)
+	empty.OnKChange(0, 0)
+	empty.OnFetch(0)
+}

@@ -1,0 +1,240 @@
+package obs
+
+import (
+	"expvar"
+	"fmt"
+	"io"
+	"net/http"
+	"sort"
+	"sync"
+	"sync/atomic"
+)
+
+// Counter is a monotonically increasing atomic counter metric. A nil
+// *Counter is a no-op sink.
+type Counter struct {
+	v atomic.Int64
+}
+
+// Add increments the counter by n. Safe on a nil receiver.
+func (c *Counter) Add(n int64) {
+	if c != nil {
+		c.v.Add(n)
+	}
+}
+
+// Inc increments the counter by one. Safe on a nil receiver.
+func (c *Counter) Inc() { c.Add(1) }
+
+// Value reports the current count.
+func (c *Counter) Value() int64 {
+	if c == nil {
+		return 0
+	}
+	return c.v.Load()
+}
+
+// Registry holds named metrics (counters, histograms, SearchStats records)
+// and renders them in Prometheus text exposition format or as an expvar.
+// All methods are safe for concurrent use. The zero value is not usable;
+// call NewRegistry.
+type Registry struct {
+	mu     sync.Mutex
+	names  []string // registration order, for deterministic output
+	help   map[string]string
+	counts map[string]*Counter
+	hists  map[string]*Histogram
+	stats  map[string]*SearchStats
+}
+
+// NewRegistry returns an empty metric registry.
+func NewRegistry() *Registry {
+	return &Registry{
+		help:   map[string]string{},
+		counts: map[string]*Counter{},
+		hists:  map[string]*Histogram{},
+		stats:  map[string]*SearchStats{},
+	}
+}
+
+func (r *Registry) register(name, help string) {
+	if _, dup := r.help[name]; dup {
+		panic(fmt.Sprintf("obs: metric %q registered twice", name))
+	}
+	r.help[name] = help
+	r.names = append(r.names, name)
+}
+
+// Counter registers and returns a counter metric.
+func (r *Registry) Counter(name, help string) *Counter {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.register(name, help)
+	c := &Counter{}
+	r.counts[name] = c
+	return c
+}
+
+// Histogram registers and returns a fixed-bucket histogram metric.
+func (r *Registry) Histogram(name, help string) *Histogram {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.register(name, help)
+	h := &Histogram{}
+	r.hists[name] = h
+	return h
+}
+
+// SearchStats registers an existing SearchStats record; its snapshot fields
+// are exported as `<name>_<field>` gauges.
+func (r *Registry) SearchStats(name, help string, s *SearchStats) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.register(name, help)
+	r.stats[name] = s
+}
+
+// statsFields flattens a snapshot into stable name/value pairs for export.
+func statsFields(sn Snapshot) []struct {
+	Name  string
+	Value int64
+} {
+	return []struct {
+		Name  string
+		Value int64
+	}{
+		{"comparisons", sn.Comparisons},
+		{"rotations", sn.Rotations},
+		{"steps", sn.Steps},
+		{"full_dist_evals", sn.FullDistEvals},
+		{"early_abandons", sn.EarlyAbandons},
+		{"wedge_node_visits", sn.WedgeNodeVisits},
+		{"wedge_leaf_visits", sn.WedgeLeafVisits},
+		{"wedge_pruned_members", sn.WedgePrunedMembers},
+		{"wedge_leaf_lb_prunes", sn.WedgeLeafLBPrunes},
+		{"fft_rejects", sn.FFTRejects},
+		{"fft_rejected_members", sn.FFTRejectedMembers},
+		{"fft_fallbacks", sn.FFTFallbacks},
+		{"index_candidates", sn.IndexCandidates},
+		{"index_fetches", sn.IndexFetches},
+		{"disk_reads", sn.DiskReads},
+		{"k_changes", sn.KChanges},
+	}
+}
+
+// WriteMetrics renders every registered metric in Prometheus text exposition
+// format (version 0.0.4).
+func (r *Registry) WriteMetrics(w io.Writer) error {
+	r.mu.Lock()
+	names := append([]string(nil), r.names...)
+	r.mu.Unlock()
+	for _, name := range names {
+		r.mu.Lock()
+		help := r.help[name]
+		c := r.counts[name]
+		h := r.hists[name]
+		s := r.stats[name]
+		r.mu.Unlock()
+		switch {
+		case c != nil:
+			if _, err := fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s counter\n%s %d\n",
+				name, help, name, name, c.Value()); err != nil {
+				return err
+			}
+		case h != nil:
+			cum, sum, count := h.cumulative()
+			if _, err := fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s histogram\n", name, help, name); err != nil {
+				return err
+			}
+			for i, v := range cum[:HistogramBuckets] {
+				// Skip interior empty prefixes? Prometheus requires monotone
+				// buckets; emitting only buckets whose cumulative count
+				// changes (plus +Inf) keeps the output compact and valid.
+				if i > 0 && v == cum[i-1] {
+					continue
+				}
+				if _, err := fmt.Fprintf(w, "%s_bucket{le=\"%d\"} %d\n", name, BucketBound(i), v); err != nil {
+					return err
+				}
+			}
+			if _, err := fmt.Fprintf(w, "%s_bucket{le=\"+Inf\"} %d\n%s_sum %d\n%s_count %d\n",
+				name, count, name, sum, name, count); err != nil {
+				return err
+			}
+		case s != nil:
+			sn := s.Snapshot()
+			if _, err := fmt.Fprintf(w, "# HELP %s %s\n", name, help); err != nil {
+				return err
+			}
+			for _, f := range statsFields(sn) {
+				if _, err := fmt.Fprintf(w, "# TYPE %s_%s counter\n%s_%s %d\n",
+					name, f.Name, name, f.Name, f.Value); err != nil {
+					return err
+				}
+			}
+			for lvl, v := range sn.WedgePrunesByLevel {
+				if v == 0 {
+					continue
+				}
+				if _, err := fmt.Fprintf(w, "%s_wedge_prunes_by_level{level=\"%d\"} %d\n", name, lvl, v); err != nil {
+					return err
+				}
+			}
+		}
+	}
+	return nil
+}
+
+// Handler returns an http.Handler serving WriteMetrics — a Prometheus-text
+// /metrics endpoint.
+func (r *Registry) Handler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		_ = r.WriteMetrics(w)
+	})
+}
+
+// expvarPublished guards against double expvar registration (expvar.Publish
+// panics on duplicates).
+var (
+	expvarMu        sync.Mutex
+	expvarPublished = map[string]bool{}
+)
+
+// PublishExpvar exposes the registry under the given expvar name as a JSON
+// map of metric name to value (counters), {sum, count} (histograms), or the
+// full structured snapshot (SearchStats). Publishing the same name twice is
+// a no-op.
+func (r *Registry) PublishExpvar(name string) {
+	expvarMu.Lock()
+	defer expvarMu.Unlock()
+	if expvarPublished[name] {
+		return
+	}
+	expvarPublished[name] = true
+	expvar.Publish(name, expvar.Func(func() any {
+		out := map[string]any{}
+		r.mu.Lock()
+		defer r.mu.Unlock()
+		for n, c := range r.counts {
+			out[n] = c.Value()
+		}
+		for n, h := range r.hists {
+			out[n] = map[string]int64{"sum": h.Sum(), "count": h.Count()}
+		}
+		for n, s := range r.stats {
+			out[n] = s.Snapshot()
+		}
+		return out
+	}))
+}
+
+// sortedStatNames is a test helper surface: the registered names in sorted
+// order.
+func (r *Registry) sortedStatNames() []string {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := append([]string(nil), r.names...)
+	sort.Strings(out)
+	return out
+}

@@ -1,0 +1,88 @@
+package obs
+
+// Tracer receives fine-grained search events for debugging admissibility and
+// pruning behavior. Implementations must be safe for concurrent calls when
+// used with parallel scans. A nil Tracer is never invoked; callers guard
+// every hook with the helpers below so the uninstrumented path pays one
+// branch.
+type Tracer interface {
+	// OnWedgeVisit fires for every wedge whose lower bound was evaluated:
+	// node is the dendrogram node id, level its depth from the root, lb the
+	// (possibly partial) bound, and pruned whether the wedge — and every
+	// rotation under it — was excluded by the bound.
+	OnWedgeVisit(node, level int, lb float64, pruned bool)
+	// OnAbandon fires when the exact distance to rotation member was
+	// abandoned against the best-so-far.
+	OnAbandon(member int)
+	// OnKChange fires when the dynamic controller settles on a new wedge-set
+	// size.
+	OnKChange(oldK, newK int)
+	// OnFetch fires when the index layer retrieves full-resolution object id
+	// for exact verification.
+	OnFetch(id int)
+}
+
+// FuncTracer adapts free functions to the Tracer interface; nil fields are
+// skipped, so callers implement only the hooks they care about.
+type FuncTracer struct {
+	WedgeVisit func(node, level int, lb float64, pruned bool)
+	Abandon    func(member int)
+	KChange    func(oldK, newK int)
+	Fetch      func(id int)
+}
+
+// OnWedgeVisit implements Tracer.
+func (t FuncTracer) OnWedgeVisit(node, level int, lb float64, pruned bool) {
+	if t.WedgeVisit != nil {
+		t.WedgeVisit(node, level, lb, pruned)
+	}
+}
+
+// OnAbandon implements Tracer.
+func (t FuncTracer) OnAbandon(member int) {
+	if t.Abandon != nil {
+		t.Abandon(member)
+	}
+}
+
+// OnKChange implements Tracer.
+func (t FuncTracer) OnKChange(oldK, newK int) {
+	if t.KChange != nil {
+		t.KChange(oldK, newK)
+	}
+}
+
+// OnFetch implements Tracer.
+func (t FuncTracer) OnFetch(id int) {
+	if t.Fetch != nil {
+		t.Fetch(id)
+	}
+}
+
+// TraceWedgeVisit invokes t.OnWedgeVisit when t is non-nil.
+func TraceWedgeVisit(t Tracer, node, level int, lb float64, pruned bool) {
+	if t != nil {
+		t.OnWedgeVisit(node, level, lb, pruned)
+	}
+}
+
+// TraceAbandon invokes t.OnAbandon when t is non-nil.
+func TraceAbandon(t Tracer, member int) {
+	if t != nil {
+		t.OnAbandon(member)
+	}
+}
+
+// TraceKChange invokes t.OnKChange when t is non-nil.
+func TraceKChange(t Tracer, oldK, newK int) {
+	if t != nil {
+		t.OnKChange(oldK, newK)
+	}
+}
+
+// TraceFetch invokes t.OnFetch when t is non-nil.
+func TraceFetch(t Tracer, id int) {
+	if t != nil {
+		t.OnFetch(id)
+	}
+}

@@ -10,19 +10,25 @@
 // reports.
 package stats
 
+import "sync/atomic"
+
 // Counter accumulates num_steps as defined in the paper: one step per
 // real-value subtraction performed by a distance or lower-bound kernel.
 //
 // A nil *Counter is valid everywhere and records nothing, so hot kernels can
-// be called without accounting overhead mattering to the caller.
+// be called without accounting overhead mattering to the caller. Add is
+// atomic, so parallel scans may share one counter without racing; hot loops
+// that would be bound by the atomic keep a stack-local Counter and flush it
+// once per call, as the kernels already do.
 type Counter struct {
-	steps int64
+	steps atomic.Int64
 }
 
-// Add records n additional steps. It is safe to call on a nil receiver.
+// Add records n additional steps. It is safe to call on a nil receiver and
+// safe for concurrent use.
 func (c *Counter) Add(n int64) {
 	if c != nil {
-		c.steps += n
+		c.steps.Add(n)
 	}
 }
 
@@ -31,12 +37,44 @@ func (c *Counter) Steps() int64 {
 	if c == nil {
 		return 0
 	}
-	return c.steps
+	return c.steps.Load()
 }
 
 // Reset clears the counter. It is safe to call on a nil receiver.
 func (c *Counter) Reset() {
 	if c != nil {
-		c.steps = 0
+		c.steps.Store(0)
+	}
+}
+
+// Tally is the single-goroutine scratch counterpart of Counter: a plain
+// accumulator for the kernel-facing hot paths, where an atomic add per
+// distance evaluation would dominate the cost of short early-abandoned
+// kernels. A Tally must never be shared across goroutines; owners keep one
+// on the stack and flush it into a Counter (or an obs record) once per
+// comparison. A nil *Tally records nothing, mirroring Counter's contract.
+type Tally struct {
+	steps int64
+}
+
+// Add records n additional steps. Safe on a nil receiver.
+func (t *Tally) Add(n int64) {
+	if t != nil {
+		t.steps += n
+	}
+}
+
+// Steps reports the number of steps recorded so far. A nil receiver reports 0.
+func (t *Tally) Steps() int64 {
+	if t == nil {
+		return 0
+	}
+	return t.steps
+}
+
+// Reset clears the tally. Safe on a nil receiver.
+func (t *Tally) Reset() {
+	if t != nil {
+		t.steps = 0
 	}
 }

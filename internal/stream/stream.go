@@ -17,6 +17,7 @@ import (
 
 	"lbkeogh/internal/dist"
 	"lbkeogh/internal/envelope"
+	"lbkeogh/internal/obs"
 	"lbkeogh/internal/stats"
 	"lbkeogh/internal/wedge"
 )
@@ -45,7 +46,9 @@ type Monitor struct {
 	pos    int
 	seen   int // total values consumed
 
-	steps stats.Counter
+	steps stats.Tally
+	obs   obs.SearchStats // per-window pruning breakdowns
+	trace obs.Tracer      // nil: untraced
 }
 
 // NewMonitor compiles patterns (all the same length n) into a wedge
@@ -94,6 +97,15 @@ func (m *Monitor) WindowLen() int { return m.n }
 // Steps reports the cumulative num_steps spent filtering.
 func (m *Monitor) Steps() int64 { return m.steps.Steps() }
 
+// Stats returns the monitor's instrumentation record: each full window is
+// one "comparison", each pattern either wedge-pruned, abandoned, or fully
+// evaluated.
+func (m *Monitor) Stats() *obs.SearchStats { return &m.obs }
+
+// SetTracer installs a tracer receiving per-wedge filter events (nil
+// removes it).
+func (m *Monitor) SetTracer(t obs.Tracer) { m.trace = t }
+
 // window materializes the current ring buffer in stream order.
 func (m *Monitor) window() []float64 {
 	out := make([]float64, m.n)
@@ -123,6 +135,8 @@ func (m *Monitor) Push(v float64) []Match {
 	}
 	w := m.window()
 	var out []Match
+	stepsBefore := m.steps.Steps()
+	m.obs.AddComparison(int64(m.tree.Members()))
 
 	// Depth-first over the wedge hierarchy with threshold pruning.
 	d := m.tree.Dendrogram()
@@ -132,18 +146,32 @@ func (m *Monitor) Push(v float64) []Match {
 		stack = stack[:len(stack)-1]
 		node := d.Nodes[id]
 		if node.Left < 0 {
+			m.obs.CountLeafVisit()
 			dd, abandoned := m.kernel.Distance(w, m.tree.Member(id), m.threshold, &m.steps)
-			if !abandoned && dd < m.threshold {
+			if abandoned {
+				m.obs.CountAbandon()
+				obs.TraceAbandon(m.trace, id)
+				continue
+			}
+			m.obs.CountFullDist()
+			if dd < m.threshold {
 				out = append(out, Match{End: m.seen - 1, Pattern: id, Dist: dd})
 			}
 			continue
 		}
 		lb, abandoned := m.kernel.LowerBound(w, m.envs[id], m.threshold, &m.steps)
 		if abandoned || lb >= m.threshold {
+			m.obs.CountWedgePrune(m.tree.Depth(id), int64(node.Size))
+			obs.TraceWedgeVisit(m.trace, id, m.tree.Depth(id), lb, true)
 			continue
 		}
+		m.obs.CountNodeVisit()
+		obs.TraceWedgeVisit(m.trace, id, m.tree.Depth(id), lb, false)
 		stack = append(stack, node.Left, node.Right)
 	}
+	delta := m.steps.Steps() - stepsBefore
+	m.obs.AddSteps(delta)
+	m.obs.ObserveComparisonSteps(delta)
 	return out
 }
 

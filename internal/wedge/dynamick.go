@@ -22,6 +22,8 @@ type DynamicK struct {
 	bestSteps  int64
 	bestK      int
 	rearm      bool // best-so-far changed while a probe was running
+
+	onChange func(oldK, newK int) // observability hook; nil when untraced
 }
 
 // NewDynamicK returns a controller over wedge-set sizes 1..maxK with the
@@ -52,6 +54,10 @@ func (d *DynamicK) K() int {
 // Current returns the controller's settled K (ignoring any probe in flight).
 func (d *DynamicK) Current() int { return d.curK }
 
+// SetChangeHook installs a callback fired whenever the settled K moves to a
+// different value (probe traffic does not fire it). Pass nil to remove.
+func (d *DynamicK) SetChangeHook(f func(oldK, newK int)) { d.onChange = f }
+
 // Observe records the outcome of the comparison that used K(): the number of
 // steps it took and whether it improved the best-so-far. It advances the
 // probe state machine.
@@ -66,6 +72,9 @@ func (d *DynamicK) Observe(steps int64, bestChanged bool) {
 		}
 		d.probeIdx++
 		if d.probeIdx >= len(d.candidates) {
+			if d.onChange != nil && d.bestK != d.curK {
+				d.onChange(d.curK, d.bestK)
+			}
 			d.curK = d.bestK
 			d.probing = false
 			if d.rearm {

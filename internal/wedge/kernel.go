@@ -24,12 +24,12 @@ type Kernel interface {
 	// Distance returns the exact distance between q and c, abandoning once
 	// it can prove the result exceeds r (r < 0 disables abandoning). The
 	// boolean reports abandonment, in which case the distance is +Inf.
-	Distance(q, c []float64, r float64, cnt *stats.Counter) (float64, bool)
+	Distance(q, c []float64, r float64, cnt *stats.Tally) (float64, bool)
 
 	// LowerBound returns an admissible lower bound of Distance(q, m) for
 	// every member m of the wedge env, abandoning once the bound provably
 	// exceeds r. env must already include this kernel's widening (Radius).
-	LowerBound(q []float64, env envelope.Envelope, r float64, cnt *stats.Counter) (float64, bool)
+	LowerBound(q []float64, env envelope.Envelope, r float64, cnt *stats.Tally) (float64, bool)
 
 	// Radius is the envelope widening this kernel requires: 0 for Euclidean,
 	// the Sakoe-Chiba band R for DTW, the matching window delta for LCSS.
@@ -48,12 +48,12 @@ type Kernel interface {
 type ED struct{}
 
 // Distance implements Kernel using EA_Euclidean_Dist (Table 1).
-func (ED) Distance(q, c []float64, r float64, cnt *stats.Counter) (float64, bool) {
+func (ED) Distance(q, c []float64, r float64, cnt *stats.Tally) (float64, bool) {
 	return dist.EuclideanEA(q, c, r, cnt)
 }
 
 // LowerBound implements Kernel using EA_LB_Keogh (Table 5).
-func (ED) LowerBound(q []float64, env envelope.Envelope, r float64, cnt *stats.Counter) (float64, bool) {
+func (ED) LowerBound(q []float64, env envelope.Envelope, r float64, cnt *stats.Tally) (float64, bool) {
 	return envelope.LBKeogh(q, env, r, cnt)
 }
 
@@ -73,13 +73,13 @@ type DTW struct {
 }
 
 // Distance implements Kernel using early-abandoning banded DTW.
-func (k DTW) Distance(q, c []float64, r float64, cnt *stats.Counter) (float64, bool) {
+func (k DTW) Distance(q, c []float64, r float64, cnt *stats.Tally) (float64, bool) {
 	return dist.DTWEA(q, c, k.R, r, cnt)
 }
 
 // LowerBound implements Kernel using LB_KeoghDTW (Proposition 2); env must
 // be widened by R.
-func (k DTW) LowerBound(q []float64, env envelope.Envelope, r float64, cnt *stats.Counter) (float64, bool) {
+func (k DTW) LowerBound(q []float64, env envelope.Envelope, r float64, cnt *stats.Tally) (float64, bool) {
 	return envelope.LBKeogh(q, env, r, cnt)
 }
 
@@ -104,7 +104,7 @@ type LCSS struct {
 // implementation; it computes the exact value and reports abandonment if the
 // result exceeds r, which preserves correctness (abandonment is only an
 // optimization).
-func (k LCSS) Distance(q, c []float64, r float64, cnt *stats.Counter) (float64, bool) {
+func (k LCSS) Distance(q, c []float64, r float64, cnt *stats.Tally) (float64, bool) {
 	d := dist.LCSSDist(q, c, k.Delta, k.Eps, cnt)
 	if r >= 0 && d > r {
 		return dist.Inf, true
@@ -114,7 +114,7 @@ func (k LCSS) Distance(q, c []float64, r float64, cnt *stats.Counter) (float64, 
 
 // LowerBound implements Kernel: the envelope match count bounds the LCSS
 // similarity from above, so 1 - count/n bounds the distance from below.
-func (k LCSS) LowerBound(q []float64, env envelope.Envelope, r float64, cnt *stats.Counter) (float64, bool) {
+func (k LCSS) LowerBound(q []float64, env envelope.Envelope, r float64, cnt *stats.Tally) (float64, bool) {
 	ub := envelope.LCSSUpperBound(q, env, k.Eps, cnt)
 	n := len(q)
 	if n == 0 {

@@ -8,6 +8,7 @@ import (
 
 	"lbkeogh/internal/cluster"
 	"lbkeogh/internal/envelope"
+	"lbkeogh/internal/obs"
 	"lbkeogh/internal/stats"
 )
 
@@ -35,6 +36,7 @@ type Tree struct {
 	members [][]float64
 	dend    *cluster.Dendrogram
 	env     []envelope.Envelope // base (unexpanded) envelope per node
+	depth   []int               // node depth from the root (root = 0)
 
 	mu       sync.Mutex
 	expanded map[int][]envelope.Envelope // per widening radius
@@ -46,7 +48,7 @@ type Tree struct {
 // distance function, exactly as Section 4.1 prescribes. The cost of building
 // every node's envelope — the O(n²) set-up cost the paper charges to the
 // wedge strategy — is recorded on cnt (one step per sample merged).
-func Build(members [][]float64, distFn func(i, j int) float64, cnt *stats.Counter) *Tree {
+func Build(members [][]float64, distFn func(i, j int) float64, cnt *stats.Tally) *Tree {
 	if len(members) == 0 {
 		panic("wedge: Build requires at least one member")
 	}
@@ -68,10 +70,21 @@ func Build(members [][]float64, distFn func(i, j int) float64, cnt *stats.Counte
 		env[id] = envelope.Merge(env[node.Left], env[node.Right])
 		cnt.Add(int64(n))
 	}
+	// Node depths, walked top-down: dendrogram children always precede their
+	// parent, so one reverse pass suffices.
+	depth := make([]int, len(dend.Nodes))
+	for id := len(dend.Nodes) - 1; id >= 0; id-- {
+		node := dend.Nodes[id]
+		if node.Left >= 0 {
+			depth[node.Left] = depth[id] + 1
+			depth[node.Right] = depth[id] + 1
+		}
+	}
 	return &Tree{
 		members:  members,
 		dend:     dend,
 		env:      env,
+		depth:    depth,
 		expanded: map[int][]envelope.Envelope{0: env},
 		frontier: map[int][]int{},
 	}
@@ -96,7 +109,7 @@ func (t *Tree) Envelope(node int) envelope.Envelope { return t.env[node] }
 // envelopesFor returns the per-node envelopes widened by radius, building and
 // caching them on first use (the paper widens wedges by the Sakoe-Chiba R for
 // DTW, Figure 13).
-func (t *Tree) envelopesFor(radius int, cnt *stats.Counter) []envelope.Envelope {
+func (t *Tree) envelopesFor(radius int, cnt *stats.Tally) []envelope.Envelope {
 	t.mu.Lock()
 	defer t.mu.Unlock()
 	if e, ok := t.expanded[radius]; ok {
@@ -125,6 +138,9 @@ func (t *Tree) frontierFor(k int) []int {
 
 // MaxK returns the largest meaningful wedge-set size (one wedge per member).
 func (t *Tree) MaxK() int { return len(t.members) }
+
+// Depth returns the dendrogram depth of the given node (root = 0).
+func (t *Tree) Depth(node int) int { return t.depth[node] }
 
 // FrontierEnvelopes returns the envelopes of the K-wedge dendrogram cut,
 // widened by radius (0 for Euclidean, the band R for DTW). The index layer
@@ -157,11 +173,20 @@ type Result struct {
 // traversal selects stack vs best-first order. The result is exact: H-Merge
 // returns precisely what brute force over all members would, as long as the
 // caller treats Dist = +Inf as "no member beats r".
-func (t *Tree) Search(q []float64, k Kernel, K int, r float64, traversal Traversal, cnt *stats.Counter) Result {
+func (t *Tree) Search(q []float64, k Kernel, K int, r float64, traversal Traversal, cnt *stats.Tally) Result {
+	return t.SearchObs(q, k, K, r, traversal, cnt, nil, nil)
+}
+
+// SearchObs is Search with instrumentation: every rotation the walk disposes
+// of is attributed to exactly one outcome on st (internal-wedge prune
+// weighted by subtree size, singleton-wedge LB prune, early abandon, or full
+// distance evaluation), and tr receives per-wedge trace events. Both st and
+// tr may be nil; the nil path costs one branch per event.
+func (t *Tree) SearchObs(q []float64, k Kernel, K int, r float64, traversal Traversal, cnt *stats.Tally, st *obs.SearchStats, tr obs.Tracer) Result {
 	if len(q) != t.Len() {
 		panic(fmt.Sprintf("wedge: query length %d != member length %d", len(q), t.Len()))
 	}
-	var local stats.Counter
+	var local stats.Tally
 	envs := t.envelopesFor(k.Radius(), &local)
 
 	best := math.Inf(1)
@@ -171,11 +196,18 @@ func (t *Tree) Search(q []float64, k Kernel, K int, r float64, traversal Travers
 	bestMember := -1
 
 	visitLeaf := func(id int) {
+		st.CountLeafVisit()
 		if k.LeafLBIsExact() {
 			// For Euclidean, LB against the singleton wedge IS the distance;
 			// compute it once via the kernel's exact path.
 			d, abandoned := k.Distance(q, t.members[id], best, &local)
-			if !abandoned && d < best {
+			if abandoned {
+				st.CountAbandon()
+				obs.TraceAbandon(tr, id)
+				return
+			}
+			st.CountFullDist()
+			if d < best {
 				best, bestMember = d, id
 			}
 			return
@@ -184,12 +216,26 @@ func (t *Tree) Search(q []float64, k Kernel, K int, r float64, traversal Travers
 		// full distance only if the bound cannot prune.
 		lb, abandoned := k.LowerBound(q, envs[id], best, &local)
 		if abandoned || lb >= best {
+			st.CountLeafLBPrune()
+			obs.TraceWedgeVisit(tr, id, t.depth[id], lb, true)
 			return
 		}
 		d, abandoned := k.Distance(q, t.members[id], best, &local)
-		if !abandoned && d < best {
+		if abandoned {
+			st.CountAbandon()
+			obs.TraceAbandon(tr, id)
+			return
+		}
+		st.CountFullDist()
+		if d < best {
 			best, bestMember = d, id
 		}
+	}
+	// pruneNode attributes all rotations under an internal or frontier wedge
+	// to the wedge-LB-prune bucket at the wedge's dendrogram level.
+	pruneNode := func(id int, lb float64) {
+		st.CountWedgePrune(t.depth[id], int64(t.dend.Nodes[id].Size))
+		obs.TraceWedgeVisit(tr, id, t.depth[id], lb, true)
 	}
 
 	frontier := t.frontierFor(K)
@@ -200,22 +246,34 @@ func (t *Tree) Search(q []float64, k Kernel, K int, r float64, traversal Travers
 			lb, abandoned := k.LowerBound(q, envs[id], best, &local)
 			if !abandoned && lb < best {
 				heap.Push(pq, boundItem{id: id, lb: lb})
+			} else {
+				pruneNode(id, lb)
 			}
 		}
 		for pq.Len() > 0 {
 			it := heap.Pop(pq).(boundItem)
 			if it.lb >= best {
-				break // smallest outstanding bound cannot improve: done
+				// Smallest outstanding bound cannot improve: done. Everything
+				// still queued is excluded by its (stale) bound.
+				pruneNode(it.id, it.lb)
+				for _, rest := range *pq {
+					pruneNode(rest.id, rest.lb)
+				}
+				break
 			}
 			node := t.dend.Nodes[it.id]
 			if node.Left < 0 {
 				visitLeaf(it.id)
 				continue
 			}
+			st.CountNodeVisit()
+			obs.TraceWedgeVisit(tr, it.id, t.depth[it.id], it.lb, false)
 			for _, ch := range []int{node.Left, node.Right} {
 				lb, abandoned := k.LowerBound(q, envs[ch], best, &local)
 				if !abandoned && lb < best {
 					heap.Push(pq, boundItem{id: ch, lb: lb})
+				} else {
+					pruneNode(ch, lb)
 				}
 			}
 		}
@@ -232,8 +290,11 @@ func (t *Tree) Search(q []float64, k Kernel, K int, r float64, traversal Travers
 			}
 			lb, abandoned := k.LowerBound(q, envs[id], best, &local)
 			if abandoned || lb >= best {
-				continue // prune the whole wedge
+				pruneNode(id, lb) // prune the whole wedge
+				continue
 			}
+			st.CountNodeVisit()
+			obs.TraceWedgeVisit(tr, id, t.depth[id], lb, false)
 			stack = append(stack, node.Left, node.Right)
 		}
 	}

@@ -133,7 +133,7 @@ func TestSearchStepsLessThanBruteForceOnClusteredData(t *testing.T) {
 	for i := range far {
 		far[i] = 50
 	}
-	var wedgeCnt, bruteCnt stats.Counter
+	var wedgeCnt, bruteCnt stats.Tally
 	res := tree.Search(far, ED{}, 1, 1.0, LIFO, &wedgeCnt) // threshold 1: prune all
 	if !math.IsInf(res.Dist, 1) {
 		t.Fatal("far query should be pruned entirely")
@@ -187,7 +187,7 @@ func TestBuildPanicsOnEmpty(t *testing.T) {
 }
 
 func TestBuildChargesSetupCost(t *testing.T) {
-	var cnt stats.Counter
+	var cnt stats.Tally
 	rng := ts.NewRand(14)
 	members := make([][]float64, 8)
 	for i := range members {

@@ -1,0 +1,258 @@
+package lbkeogh
+
+import (
+	"expvar"
+	"fmt"
+	"io"
+	"net/http"
+	"sort"
+	"sync"
+
+	"lbkeogh/internal/obs"
+)
+
+// SearchStats is a point-in-time snapshot of a query's (or index's, or
+// monitor's) instrumentation record: where the search spent its num_steps
+// and how each rotation was disposed of. The outcome buckets reconcile —
+// for any snapshot,
+//
+//	Rotations = FullDistEvals + EarlyAbandons + WedgePrunedMembers
+//	          + WedgeLeafLBPrunes + FFTRejectedMembers
+//
+// so pruning rates per bound can be read off directly (the breakdown the
+// paper's Tables 1–3 and Section 5.3 are about). All counters are cumulative
+// since the record was created or last reset.
+type SearchStats struct {
+	// Comparisons counts rotation-invariant comparisons (one per database
+	// series matched); Rotations the rotation-matrix rows they covered.
+	Comparisons int64 `json:"comparisons"`
+	Rotations   int64 `json:"rotations"`
+	// Steps is the paper's num_steps metric: real-value subtractions.
+	Steps int64 `json:"steps"`
+
+	// FullDistEvals counts exact kernel distances computed to completion;
+	// EarlyAbandons those cut short by the best-so-far.
+	FullDistEvals int64 `json:"full_dist_evals"`
+	EarlyAbandons int64 `json:"early_abandons"`
+
+	// WedgeNodeVisits counts internal wedges whose children were explored;
+	// WedgeLeafVisits rotations H-Merge reached individually;
+	// WedgePrunedMembers rotations excluded wholesale by an internal-wedge
+	// lower bound; WedgeLeafLBPrunes rotations excluded by their
+	// singleton-wedge bound (warped measures only). WedgePrunesByLevel
+	// breaks the internal-wedge prunes down by dendrogram depth (0 = root).
+	WedgeNodeVisits    int64   `json:"wedge_node_visits"`
+	WedgeLeafVisits    int64   `json:"wedge_leaf_visits"`
+	WedgePrunedMembers int64   `json:"wedge_pruned_members"`
+	WedgeLeafLBPrunes  int64   `json:"wedge_leaf_lb_prunes"`
+	WedgePrunesByLevel []int64 `json:"wedge_prunes_by_level,omitempty"`
+
+	// FFTRejects counts comparisons the Fourier-magnitude bound rejected
+	// whole (FFTSearch only); FFTRejectedMembers the rotations they covered;
+	// FFTFallbacks the comparisons that fell through to early abandoning.
+	FFTRejects         int64 `json:"fft_rejects"`
+	FFTRejectedMembers int64 `json:"fft_rejected_members"`
+	FFTFallbacks       int64 `json:"fft_fallbacks"`
+
+	// IndexCandidates / IndexFetches / DiskReads are populated by indexed
+	// searches: candidates surviving the compressed bound, full-resolution
+	// fetches for verification, and record reads charged by the store.
+	IndexCandidates int64 `json:"index_candidates"`
+	IndexFetches    int64 `json:"index_fetches"`
+	DiskReads       int64 `json:"disk_reads"`
+
+	// KChanges counts dynamic wedge-set-size adjustments; KTrajectory is the
+	// (bounded) sequence of them.
+	KChanges    int64     `json:"k_changes"`
+	KTrajectory []KChange `json:"k_trajectory,omitempty"`
+
+	// PruneRate is the fraction of rotations disposed of without a full
+	// distance evaluation; StepsPerComparison the paper's per-comparison
+	// cost metric.
+	PruneRate          float64 `json:"prune_rate"`
+	StepsPerComparison float64 `json:"steps_per_comparison"`
+
+	// StepsHistogram is the per-comparison num_steps distribution over
+	// fixed power-of-two buckets (non-empty buckets only).
+	StepsHistogram []HistogramBucket `json:"steps_histogram,omitempty"`
+}
+
+// KChange is one dynamic-K controller adjustment: after Comparison
+// comparisons the settled wedge-set size moved From -> To.
+type KChange struct {
+	Comparison int64 `json:"comparison"`
+	From       int   `json:"from"`
+	To         int   `json:"to"`
+}
+
+// HistogramBucket is one non-empty fixed bucket of a steps histogram;
+// UpperBound is the bucket's inclusive upper bound (a power of two), or -1
+// for the overflow bucket.
+type HistogramBucket struct {
+	UpperBound int64 `json:"le"`
+	Count      int64 `json:"count"`
+}
+
+// Reconciles reports whether the snapshot's outcome buckets account for
+// every rotation covered — true for any record maintained by this library.
+func (s SearchStats) Reconciles() bool {
+	return s.Rotations == s.FullDistEvals+s.EarlyAbandons+
+		s.WedgePrunedMembers+s.WedgeLeafLBPrunes+s.FFTRejectedMembers
+}
+
+// Tracer receives fine-grained search events for debugging admissibility
+// and pruning behavior. Install one with WithTracer (queries),
+// Index.SetTracer, or Monitor.SetTracer. Implementations must be safe for
+// concurrent calls when used with SearchParallel.
+type Tracer interface {
+	// OnWedgeVisit fires for every wedge whose lower bound was evaluated:
+	// node is the wedge-hierarchy node id, level its depth below the root,
+	// lb the (possibly partial) bound, and pruned whether every rotation
+	// under the wedge was excluded.
+	OnWedgeVisit(node, level int, lb float64, pruned bool)
+	// OnAbandon fires when an exact distance computation was abandoned
+	// against the best-so-far; member is the rotation index.
+	OnAbandon(member int)
+	// OnKChange fires when the dynamic controller settles on a new
+	// wedge-set size.
+	OnKChange(oldK, newK int)
+	// OnFetch fires when an indexed search retrieves full-resolution object
+	// id for exact verification.
+	OnFetch(id int)
+}
+
+// StatsSource is anything exposing an instrumentation snapshot: *Query,
+// *Index and *Monitor all qualify.
+type StatsSource interface {
+	Stats() SearchStats
+}
+
+// MetricsHandler returns an http.Handler that renders the given sources in
+// Prometheus text exposition format, one metric family per counter named
+// `<name>_<field>` plus a `<name>_comparison_steps` histogram. Mount it at
+// /metrics to scrape live pruning telemetry:
+//
+//	http.Handle("/metrics", lbkeogh.MetricsHandler(map[string]lbkeogh.StatsSource{
+//	        "lbkeogh_query": q,
+//	}))
+func MetricsHandler(sources map[string]StatsSource) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		names := make([]string, 0, len(sources))
+		for n := range sources {
+			names = append(names, n)
+		}
+		sort.Strings(names)
+		for _, n := range names {
+			WriteMetrics(w, n, sources[n].Stats())
+		}
+	})
+}
+
+// WriteMetrics renders one stats snapshot under the given metric-name prefix
+// in Prometheus text exposition format.
+func WriteMetrics(w io.Writer, name string, s SearchStats) {
+	emit := func(field string, v int64) {
+		fmt.Fprintf(w, "# TYPE %s_%s counter\n%s_%s %d\n", name, field, name, field, v)
+	}
+	emit("comparisons", s.Comparisons)
+	emit("rotations", s.Rotations)
+	emit("steps", s.Steps)
+	emit("full_dist_evals", s.FullDistEvals)
+	emit("early_abandons", s.EarlyAbandons)
+	emit("wedge_node_visits", s.WedgeNodeVisits)
+	emit("wedge_leaf_visits", s.WedgeLeafVisits)
+	emit("wedge_pruned_members", s.WedgePrunedMembers)
+	emit("wedge_leaf_lb_prunes", s.WedgeLeafLBPrunes)
+	emit("fft_rejects", s.FFTRejects)
+	emit("fft_rejected_members", s.FFTRejectedMembers)
+	emit("fft_fallbacks", s.FFTFallbacks)
+	emit("index_candidates", s.IndexCandidates)
+	emit("index_fetches", s.IndexFetches)
+	emit("disk_reads", s.DiskReads)
+	emit("k_changes", s.KChanges)
+	for lvl, v := range s.WedgePrunesByLevel {
+		if v != 0 {
+			fmt.Fprintf(w, "%s_wedge_prunes_by_level{level=\"%d\"} %d\n", name, lvl, v)
+		}
+	}
+	if len(s.StepsHistogram) > 0 {
+		fmt.Fprintf(w, "# TYPE %s_comparison_steps histogram\n", name)
+		var cum, sum int64
+		for _, b := range s.StepsHistogram {
+			if b.UpperBound < 0 {
+				continue // overflow bucket folds into +Inf
+			}
+			cum += b.Count
+			sum += b.Count * b.UpperBound // upper-bound approximation
+			fmt.Fprintf(w, "%s_comparison_steps_bucket{le=\"%d\"} %d\n", name, b.UpperBound, cum)
+		}
+		total := cum
+		for _, b := range s.StepsHistogram {
+			if b.UpperBound < 0 {
+				total += b.Count
+			}
+		}
+		fmt.Fprintf(w, "%s_comparison_steps_bucket{le=\"+Inf\"} %d\n", name, total)
+		fmt.Fprintf(w, "%s_comparison_steps_sum %d\n%s_comparison_steps_count %d\n",
+			name, s.Steps, name, total)
+		_ = sum
+	}
+}
+
+// expvar publication bookkeeping (expvar.Publish panics on duplicates).
+var (
+	expvarMu   sync.Mutex
+	expvarSeen = map[string]bool{}
+)
+
+// PublishExpvar exposes a StatsSource under the given expvar name (visible
+// at /debug/vars once expvar's handler is mounted). Re-publishing the same
+// name is a no-op.
+func PublishExpvar(name string, src StatsSource) {
+	expvarMu.Lock()
+	defer expvarMu.Unlock()
+	if expvarSeen[name] {
+		return
+	}
+	expvarSeen[name] = true
+	expvar.Publish(name, expvar.Func(func() any { return src.Stats() }))
+}
+
+// statsFromSnapshot converts the internal snapshot to the public record.
+func statsFromSnapshot(sn obs.Snapshot) SearchStats {
+	out := SearchStats{
+		Comparisons:        sn.Comparisons,
+		Rotations:          sn.Rotations,
+		Steps:              sn.Steps,
+		FullDistEvals:      sn.FullDistEvals,
+		EarlyAbandons:      sn.EarlyAbandons,
+		WedgeNodeVisits:    sn.WedgeNodeVisits,
+		WedgeLeafVisits:    sn.WedgeLeafVisits,
+		WedgePrunedMembers: sn.WedgePrunedMembers,
+		WedgeLeafLBPrunes:  sn.WedgeLeafLBPrunes,
+		WedgePrunesByLevel: sn.WedgePrunesByLevel,
+		FFTRejects:         sn.FFTRejects,
+		FFTRejectedMembers: sn.FFTRejectedMembers,
+		FFTFallbacks:       sn.FFTFallbacks,
+		IndexCandidates:    sn.IndexCandidates,
+		IndexFetches:       sn.IndexFetches,
+		DiskReads:          sn.DiskReads,
+		KChanges:           sn.KChanges,
+		PruneRate:          sn.PruneRate,
+		StepsPerComparison: sn.StepsPerComparison,
+	}
+	if len(sn.KTrajectory) > 0 {
+		out.KTrajectory = make([]KChange, len(sn.KTrajectory))
+		for i, k := range sn.KTrajectory {
+			out.KTrajectory[i] = KChange{Comparison: k.Comparison, From: k.From, To: k.To}
+		}
+	}
+	if len(sn.StepsHistogram) > 0 {
+		out.StepsHistogram = make([]HistogramBucket, len(sn.StepsHistogram))
+		for i, b := range sn.StepsHistogram {
+			out.StepsHistogram[i] = HistogramBucket{UpperBound: b.UpperBound, Count: b.Count}
+		}
+	}
+	return out
+}

@@ -1,0 +1,230 @@
+package lbkeogh_test
+
+import (
+	"encoding/json"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"lbkeogh"
+)
+
+func obsTestDB(t *testing.T, m, n int) []lbkeogh.Series {
+	t.Helper()
+	return lbkeogh.SyntheticProjectilePoints(7, m, n)
+}
+
+func reconciles(s lbkeogh.SearchStats) bool {
+	return s.Rotations == s.FullDistEvals+s.EarlyAbandons+
+		s.WedgePrunedMembers+s.WedgeLeafLBPrunes+s.FFTRejectedMembers
+}
+
+func TestQueryStatsReconcile(t *testing.T) {
+	db := obsTestDB(t, 41, 64)
+	q, db := db[0], db[1:]
+	for _, strat := range []lbkeogh.Strategy{
+		lbkeogh.WedgeSearch, lbkeogh.BruteForceSearch,
+		lbkeogh.EarlyAbandonSearch, lbkeogh.FFTSearch,
+	} {
+		query, err := lbkeogh.NewQuery(q, lbkeogh.Euclidean(), lbkeogh.WithStrategy(strat))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := query.Search(db); err != nil {
+			t.Fatal(err)
+		}
+		st := query.Stats()
+		if st.Comparisons != int64(len(db)) {
+			t.Fatalf("strategy %v: Comparisons = %d, want %d", strat, st.Comparisons, len(db))
+		}
+		if !st.Reconciles() || !reconciles(st) {
+			t.Fatalf("strategy %v: stats do not reconcile: %+v", strat, st)
+		}
+		if st.Steps <= 0 || st.StepsPerComparison <= 0 {
+			t.Fatalf("strategy %v: no steps recorded: %+v", strat, st)
+		}
+		query.ResetStats()
+		if st := query.Stats(); st.Comparisons != 0 || st.Steps != 0 {
+			t.Fatalf("ResetStats left data: %+v", st)
+		}
+	}
+}
+
+func TestQueryStatsCoverParallelSearch(t *testing.T) {
+	db := obsTestDB(t, 101, 64)
+	q, db := db[0], db[1:]
+	query, err := lbkeogh.NewQuery(q, lbkeogh.Euclidean())
+	if err != nil {
+		t.Fatal(err)
+	}
+	serial, err := query.Search(db)
+	if err != nil {
+		t.Fatal(err)
+	}
+	query.ResetStats()
+	got, err := query.SearchParallel(db, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Index != serial.Index {
+		t.Fatalf("parallel index %d != serial %d", got.Index, serial.Index)
+	}
+	st := query.Stats()
+	if st.Comparisons < int64(len(db)) {
+		t.Fatalf("parallel scan recorded %d comparisons, want >= %d", st.Comparisons, len(db))
+	}
+	if !st.Reconciles() {
+		t.Fatalf("parallel stats do not reconcile: %+v", st)
+	}
+}
+
+func TestQueryTracerEvents(t *testing.T) {
+	db := obsTestDB(t, 31, 64)
+	q, db := db[0], db[1:]
+	var abandons, kchanges int
+	tr := traceFns{
+		abandon: func(int) { abandons++ },
+		kchange: func(int, int) { kchanges++ },
+	}
+	query, err := lbkeogh.NewQuery(q, lbkeogh.Euclidean(), lbkeogh.WithTracer(tr))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := query.Search(db); err != nil {
+		t.Fatal(err)
+	}
+	st := query.Stats()
+	if int64(abandons) != st.EarlyAbandons {
+		t.Fatalf("tracer saw %d abandons, stats %d", abandons, st.EarlyAbandons)
+	}
+	if int64(kchanges) != st.KChanges {
+		t.Fatalf("tracer saw %d K changes, stats %d", kchanges, st.KChanges)
+	}
+}
+
+// traceFns is a minimal Tracer for tests.
+type traceFns struct {
+	abandon func(int)
+	kchange func(int, int)
+}
+
+func (t traceFns) OnWedgeVisit(node, level int, lb float64, pruned bool) {}
+func (t traceFns) OnAbandon(member int) {
+	if t.abandon != nil {
+		t.abandon(member)
+	}
+}
+func (t traceFns) OnKChange(oldK, newK int) {
+	if t.kchange != nil {
+		t.kchange(oldK, newK)
+	}
+}
+func (t traceFns) OnFetch(id int) {}
+
+func TestIndexStatsCountFetches(t *testing.T) {
+	db := obsTestDB(t, 61, 64)
+	q, db := db[0], db[1:]
+	ix, err := lbkeogh.NewIndex(db, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	query, err := lbkeogh.NewQuery(q, lbkeogh.Euclidean())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ix.Search(query); err != nil {
+		t.Fatal(err)
+	}
+	st := ix.Stats()
+	if st.IndexFetches == 0 {
+		t.Fatal("indexed search recorded no fetches")
+	}
+	if st.DiskReads != int64(ix.DiskReads()) {
+		t.Fatalf("stats DiskReads %d != store reads %d", st.DiskReads, ix.DiskReads())
+	}
+	if !st.Reconciles() {
+		t.Fatalf("index stats do not reconcile: %+v", st)
+	}
+	ix.ResetStats()
+	if st := ix.Stats(); st.IndexFetches != 0 {
+		t.Fatalf("ResetStats left fetches: %+v", st)
+	}
+}
+
+func TestMonitorStatsReconcile(t *testing.T) {
+	patterns := obsTestDB(t, 4, 32)
+	mon, err := lbkeogh.NewMonitor(patterns, lbkeogh.Euclidean(), 2.0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	stream := obsTestDB(t, 1, 32)[0]
+	mon.PushAll(stream)
+	mon.PushAll(stream)
+	st := mon.Stats()
+	if st.Comparisons == 0 {
+		t.Fatal("monitor recorded no window comparisons")
+	}
+	if !st.Reconciles() {
+		t.Fatalf("monitor stats do not reconcile: %+v", st)
+	}
+	if st.Steps != mon.Steps() {
+		t.Fatalf("stats steps %d != monitor steps %d", st.Steps, mon.Steps())
+	}
+	mon.ResetStats()
+	if st := mon.Stats(); st.Comparisons != 0 {
+		t.Fatalf("ResetStats left data: %+v", st)
+	}
+}
+
+func TestMetricsHandlerServesPrometheusText(t *testing.T) {
+	db := obsTestDB(t, 21, 64)
+	q, db := db[0], db[1:]
+	query, err := lbkeogh.NewQuery(q, lbkeogh.Euclidean())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := query.Search(db); err != nil {
+		t.Fatal(err)
+	}
+	h := lbkeogh.MetricsHandler(map[string]lbkeogh.StatsSource{"test_query": query})
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest("GET", "/metrics", nil))
+	if ct := rec.Header().Get("Content-Type"); !strings.HasPrefix(ct, "text/plain; version=0.0.4") {
+		t.Fatalf("Content-Type = %q", ct)
+	}
+	body := rec.Body.String()
+	for _, want := range []string{
+		"# TYPE test_query_comparisons counter",
+		"test_query_comparisons 20",
+		"# TYPE test_query_comparison_steps histogram",
+		`test_query_comparison_steps_bucket{le="+Inf"} 20`,
+		"test_query_comparison_steps_count 20",
+	} {
+		if !strings.Contains(body, want) {
+			t.Errorf("metrics body missing %q\n---\n%s", want, body)
+		}
+	}
+}
+
+func TestStatsJSONRoundTrip(t *testing.T) {
+	db := obsTestDB(t, 21, 64)
+	q, db := db[0], db[1:]
+	query, err := lbkeogh.NewQuery(q, lbkeogh.Euclidean())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := query.Search(db); err != nil {
+		t.Fatal(err)
+	}
+	data, err := json.Marshal(query.Stats())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back lbkeogh.SearchStats
+	if err := json.Unmarshal(data, &back); err != nil {
+		t.Fatal(err)
+	}
+	if back.Comparisons != 20 || !back.Reconciles() {
+		t.Fatalf("round-tripped stats wrong: %+v", back)
+	}
+}

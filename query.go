@@ -5,6 +5,7 @@ import (
 	"math"
 
 	"lbkeogh/internal/core"
+	"lbkeogh/internal/obs"
 	"lbkeogh/internal/stats"
 	"lbkeogh/internal/wedge"
 )
@@ -67,6 +68,7 @@ type queryConfig struct {
 	fixedK    int
 	traversal wedge.Traversal
 	intervals int
+	tracer    Tracer
 }
 
 // QueryOption customizes NewQuery.
@@ -110,6 +112,13 @@ func WithBestFirstTraversal() QueryOption {
 	return func(c *queryConfig) { c.traversal = wedge.BestFirst }
 }
 
+// WithTracer installs a Tracer receiving fine-grained search events (wedge
+// visits, early abandons, dynamic-K changes). Tracing is for debugging and
+// pruning analysis; it slows the hot path in proportion to the event rate.
+func WithTracer(t Tracer) QueryOption {
+	return func(c *queryConfig) { c.tracer = t }
+}
+
 // Query is a compiled rotation-invariant query: the expanded rotation matrix
 // of one series plus its hierarchical wedge structure. Build once (O(n²)),
 // then match against any number of candidate series. A Query is not safe for
@@ -122,6 +131,7 @@ type Query struct {
 	searchCfg core.SearcherConfig
 	n         int
 	counter   stats.Counter
+	obs       obs.SearchStats
 }
 
 // NewQuery compiles series into a rotation-invariant query under the given
@@ -157,6 +167,10 @@ func NewQuery(series Series, m Measure, opts ...QueryOption) (*Query, error) {
 		Traversal:      cfg.traversal,
 		FixedK:         cfg.fixedK,
 		ProbeIntervals: cfg.intervals,
+		Obs:            &q.obs,
+	}
+	if cfg.tracer != nil {
+		q.searchCfg.Tracer = cfg.tracer
 	}
 	q.rs = core.NewRotationSet(series, core.Options{Mirror: cfg.mirror, MaxShift: maxShift}, &q.counter)
 	q.searcher = core.NewSearcher(q.rs, m.kern, q.strategy, q.searchCfg)
@@ -178,6 +192,17 @@ func (q *Query) Steps() int64 { return q.counter.Steps() }
 // ResetSteps zeroes the step counter (construction cost included — call
 // right after NewQuery to exclude it).
 func (q *Query) ResetSteps() { q.counter.Reset() }
+
+// Stats returns a snapshot of the query's instrumentation record: the
+// pruning breakdown per bound, the per-comparison steps histogram, and the
+// dynamic-K trajectory, cumulative over every comparison this query has run
+// (including through SearchParallel). Unlike Steps, it excludes the
+// construction cost — it covers matching only.
+func (q *Query) Stats() SearchStats { return statsFromSnapshot(q.obs.Snapshot()) }
+
+// ResetStats zeroes the instrumentation record (the Steps counter is
+// independent and unaffected).
+func (q *Query) ResetStats() { q.obs.Reset() }
 
 func (q *Query) rotation(m core.Member) Rotation {
 	return Rotation{

@@ -45,6 +45,24 @@ func (mo *Monitor) WindowLen() int { return mo.m.WindowLen() }
 // Steps reports cumulative filtering cost in the paper's num_steps metric.
 func (mo *Monitor) Steps() int64 { return mo.m.Steps() }
 
+// Stats returns a snapshot of the monitor's instrumentation record: each
+// full window is one comparison, and every pattern in it was either
+// wedge-pruned, abandoned early, or fully evaluated.
+func (mo *Monitor) Stats() SearchStats { return statsFromSnapshot(mo.m.Stats().Snapshot()) }
+
+// ResetStats zeroes the instrumentation record.
+func (mo *Monitor) ResetStats() { mo.m.Stats().Reset() }
+
+// SetTracer installs a Tracer receiving per-wedge filter events (nil
+// removes it). Not safe to call concurrently with Push.
+func (mo *Monitor) SetTracer(t Tracer) {
+	if t == nil {
+		mo.m.SetTracer(nil)
+		return
+	}
+	mo.m.SetTracer(t)
+}
+
 // Push consumes one stream value and returns any patterns matching the
 // window ending at it.
 func (mo *Monitor) Push(v float64) []StreamMatch {
