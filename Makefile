@@ -1,7 +1,7 @@
 GO ?= go
 BENCH_DIR ?= bench
 
-.PHONY: all build vet test race bench bench-json ci clean
+.PHONY: all build vet lint test race bench bench-json govulncheck ci clean
 
 all: build
 
@@ -10,6 +10,11 @@ build:
 
 vet:
 	$(GO) vet ./...
+
+# Repository-specific invariant checks (internal/lint): Tally confinement,
+# nil-sink guards, float equality, hot-path allocations, squared-space bounds.
+lint:
+	$(GO) run ./cmd/lbkeoghvet ./...
 
 test:
 	$(GO) test ./...
@@ -23,10 +28,21 @@ bench:
 
 # Machine-readable per-strategy report (steps, prune rates, wall time) as
 # $(BENCH_DIR)/BENCH_<date>.json.
+# Fails (non-zero, no JSON written) if any strategy's step accounting does
+# not reconcile; see cmd/benchrun.
 bench-json:
 	$(GO) run ./cmd/benchrun -fig none -maxm 500 -queries 3 -bench-out $(BENCH_DIR)
 
-ci: vet build race bench
+# Known-vulnerability scan, skipped gracefully where the tool is not
+# installed (the container has no network to fetch it).
+govulncheck:
+	@if command -v govulncheck >/dev/null 2>&1; then \
+		govulncheck ./...; \
+	else \
+		echo "govulncheck not installed; skipping"; \
+	fi
+
+ci: build vet lint race bench govulncheck
 
 clean:
 	rm -rf $(BENCH_DIR)

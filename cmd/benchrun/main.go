@@ -242,15 +242,29 @@ func main() {
 	if *statsJSON != "" || *benchOut != "" || *serve != "" {
 		fmt.Println("==> Instrumented per-strategy scan (pruning breakdowns)")
 		rep := collectStats(min(*maxM, 500), *nProj, *queries, *seed, registry)
+		broken := 0
 		for _, s := range rep.Strategies {
+			if !s.Reconciles || !s.StepsMatchCounter {
+				broken++
+			}
 			fmt.Printf("   %-14s steps=%-12d prune_rate=%.4f reconciles=%v (%.2fs)\n",
 				s.Strategy, s.Steps, s.Stats.PruneRate, s.Reconciles && s.StepsMatchCounter, s.WallSeconds)
 		}
 		if *statsJSON != "" {
+			// The stats report is diagnostic output: write it even when
+			// reconciliation failed, so the failure can be inspected.
 			if err := writeReport(rep, *statsJSON); err != nil {
 				fmt.Fprintf(os.Stderr, "benchrun: -stats-json: %v\n", err)
 				os.Exit(1)
 			}
+		}
+		if broken > 0 {
+			// The bench JSON is a quality gate artifact; a report whose
+			// accounting does not reconcile must fail the run, not be
+			// archived as if it were a valid measurement.
+			fmt.Fprintf(os.Stderr, "benchrun: %d of %d strategies failed step reconciliation; not writing bench JSON\n",
+				broken, len(rep.Strategies))
+			os.Exit(1)
 		}
 		if *benchOut != "" {
 			path, err := writeBenchJSON(rep, *benchOut)

@@ -1,0 +1,89 @@
+// Command lbkeoghvet runs this repository's custom static-analysis suite —
+// the kernel and accounting invariant checks described in internal/lint —
+// over the given package patterns.
+//
+// Usage:
+//
+//	lbkeoghvet [-only tallyescape,nilsink] [packages]
+//
+// With no packages, ./... is checked. Exit status is 0 when the suite is
+// clean, 1 when it reports findings, and 2 on usage or load errors. It is
+// wired into `make lint` and `make ci` alongside go vet.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"lbkeogh/internal/lint"
+)
+
+func main() {
+	var (
+		only = flag.String("only", "", "comma-separated analyzer names to run (default: all)")
+		list = flag.Bool("list", false, "list the analyzers and exit")
+	)
+	flag.Parse()
+
+	analyzers := lint.DefaultAnalyzers()
+	if *list {
+		for _, a := range analyzers {
+			fmt.Printf("%-12s %s\n", a.Name, a.Doc)
+		}
+		return
+	}
+	if *only != "" {
+		keep := map[string]bool{}
+		for _, name := range strings.Split(*only, ",") {
+			keep[strings.TrimSpace(name)] = true
+		}
+		var selected []*lint.Analyzer
+		for _, a := range analyzers {
+			if keep[a.Name] {
+				selected = append(selected, a)
+				delete(keep, a.Name)
+			}
+		}
+		for name := range keep {
+			fatalf("lbkeoghvet: unknown analyzer %q (use -list)", name)
+		}
+		analyzers = selected
+	}
+
+	patterns := flag.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+
+	wd, err := os.Getwd()
+	if err != nil {
+		fatalf("lbkeoghvet: %v", err)
+	}
+	root, err := lint.FindModuleRoot(wd)
+	if err != nil {
+		fatalf("lbkeoghvet: %v", err)
+	}
+	loader, err := lint.NewLoader(root, patterns...)
+	if err != nil {
+		fatalf("lbkeoghvet: %v", err)
+	}
+	pkgs, err := loader.Packages()
+	if err != nil {
+		fatalf("lbkeoghvet: %v", err)
+	}
+
+	diags := lint.Run(pkgs, analyzers)
+	for _, d := range diags {
+		fmt.Println(d)
+	}
+	if len(diags) > 0 {
+		os.Exit(1)
+	}
+}
+
+func fatalf(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, format+"\n", args...)
+	os.Exit(2)
+}

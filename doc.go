@@ -62,4 +62,14 @@
 // attaches per-event callbacks (wedge visits, abandons, K changes, fetches),
 // and MetricsHandler / PublishExpvar export live counters in Prometheus text
 // and expvar form.
+//
+// # Static analysis
+//
+// The repository enforces its own invariants with a custom analyzer suite,
+// cmd/lbkeoghvet (see internal/lint): stats.Tally goroutine confinement,
+// nil-guarded observability sinks, no floating-point equality in the
+// admissibility-critical packages, allocation-free //lbkeogh:hotpath
+// kernels, and squared-space lower bounds outside //lbkeogh:rootspace
+// boundaries. Run it with `make lint`; it also runs inside `make ci` and,
+// via internal/lint's self-check test, inside `go test ./...`.
 package lbkeogh

@@ -106,7 +106,7 @@ func TestDTWSelfZero(t *testing.T) {
 	rng := ts.NewRand(4)
 	q := ts.RandomSeries(rng, 40)
 	for _, R := range []int{0, 1, 5, 39, -1} {
-		if d := DTW(q, q, R, nil); d != 0 {
+		if d := DTW(q, q, R, nil); d != 0 { //lint:ignore floateq self-distance is exactly 0 in IEEE arithmetic
 			t.Fatalf("DTW(q,q,R=%d) = %v, want 0", R, d)
 		}
 	}
@@ -186,7 +186,7 @@ func TestDTWEAAbandonSavesSteps(t *testing.T) {
 }
 
 func TestDTWEmpty(t *testing.T) {
-	if d := DTW(nil, nil, 3, nil); d != 0 {
+	if d := DTW(nil, nil, 3, nil); d != 0 { //lint:ignore floateq empty input returns the constant 0
 		t.Fatalf("DTW of empty = %v, want 0", d)
 	}
 }
@@ -252,7 +252,7 @@ func TestLCSSSelf(t *testing.T) {
 	if sim := LCSS(q, q, 0, 0, nil); sim != 40 {
 		t.Fatalf("LCSS(q,q) = %d, want 40", sim)
 	}
-	if d := LCSSDist(q, q, 0, 0, nil); d != 0 {
+	if d := LCSSDist(q, q, 0, 0, nil); d != 0 { //lint:ignore floateq 1 - n/n is exactly 0
 		t.Fatalf("LCSSDist(q,q) = %v, want 0", d)
 	}
 }
@@ -313,7 +313,7 @@ func TestLCSSEmpty(t *testing.T) {
 	if LCSS(nil, nil, 1, 1, nil) != 0 {
 		t.Fatal("LCSS of empty should be 0")
 	}
-	if LCSSDist(nil, nil, 1, 1, nil) != 0 {
+	if LCSSDist(nil, nil, 1, 1, nil) != 0 { //lint:ignore floateq empty input returns the constant 0
 		t.Fatal("LCSSDist of empty should be 0")
 	}
 }

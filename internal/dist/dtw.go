@@ -27,6 +27,9 @@ func DTWEA(q, c []float64, R int, r float64, cnt *stats.Tally) (float64, bool) {
 	return dtwBanded(q, c, R, r, cnt)
 }
 
+// dtwBanded is the shared rolling-row DP behind DTW and DTWEA.
+//
+//lbkeogh:hotpath
 func dtwBanded(q, c []float64, R int, r float64, cnt *stats.Tally) (float64, bool) {
 	checkSameLength(q, c)
 	n := len(q)
@@ -41,10 +44,12 @@ func dtwBanded(q, c []float64, R int, r float64, cnt *stats.Tally) (float64, boo
 		r2 = r * r
 	}
 
-	// Two rolling rows over the banded DP matrix. Cells outside the band are
-	// +Inf. Row i covers columns [i-R, i+R] ∩ [0, n-1].
-	prev := make([]float64, n)
-	curr := make([]float64, n)
+	// Two rolling rows over the banded DP matrix, borrowed from the shared
+	// pool so the kernel allocates nothing per call. Cells outside the band
+	// are +Inf. Row i covers columns [i-R, i+R] ∩ [0, n-1].
+	rows := borrowDTWRows(n)
+	defer rows.release()
+	prev, curr := rows.prev, rows.curr
 	for j := range prev {
 		prev[j] = math.Inf(1)
 	}

@@ -32,6 +32,8 @@ func checkSameLength(q, c []float64) {
 
 // Euclidean returns the Euclidean distance between q and c, which must have
 // equal length. One step per sample is charged to cnt.
+//
+//lbkeogh:hotpath
 func Euclidean(q, c []float64, cnt *stats.Tally) float64 {
 	checkSameLength(q, c)
 	var acc float64
@@ -51,6 +53,8 @@ func Euclidean(q, c []float64, cnt *stats.Tally) float64 {
 //
 // r < 0 is treated as "no threshold" (never abandons). r == 0 abandons on the
 // first nonzero discrepancy, matching a strict best-so-far of zero.
+//
+//lbkeogh:hotpath
 func EuclideanEA(q, c []float64, r float64, cnt *stats.Tally) (float64, bool) {
 	checkSameLength(q, c)
 	if r < 0 {
@@ -72,6 +76,8 @@ func EuclideanEA(q, c []float64, r float64, cnt *stats.Tally) (float64, bool) {
 
 // SquaredEuclidean returns the squared Euclidean distance (no square root).
 // Used by clustering, where only relative order matters.
+//
+//lbkeogh:hotpath
 func SquaredEuclidean(q, c []float64, cnt *stats.Tally) float64 {
 	checkSameLength(q, c)
 	var acc float64

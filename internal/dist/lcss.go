@@ -12,6 +12,8 @@ import (
 //
 // delta < 0 means an unconstrained matching window. The result is an integer
 // in [0, n] returned as int; use LCSSDist for the normalized distance form.
+//
+//lbkeogh:hotpath
 func LCSS(q, c []float64, delta int, eps float64, cnt *stats.Tally) int {
 	checkSameLength(q, c)
 	n := len(q)
@@ -21,8 +23,14 @@ func LCSS(q, c []float64, delta int, eps float64, cnt *stats.Tally) int {
 	if delta < 0 || delta > n-1 {
 		delta = n - 1
 	}
-	prev := make([]int, n+1)
-	curr := make([]int, n+1)
+	// Rolling rows from the shared pool: prev must start all-zero (row 0 of
+	// the DP), curr is rewritten for every row.
+	rows := borrowLCSSRows(n + 1)
+	defer rows.release()
+	prev, curr := rows.prev, rows.curr
+	for j := range prev {
+		prev[j] = 0
+	}
 	var steps int64
 	for i := 1; i <= n; i++ {
 		lo := i - delta

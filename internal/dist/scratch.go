@@ -1,0 +1,53 @@
+package dist
+
+import "sync"
+
+// Pooled DP-row scratch for the DTW and LCSS kernels. The two rolling rows
+// were the kernels' only per-call heap allocations; at thousands of kernel
+// invocations per rotation-invariant comparison, pooling them keeps the
+// //lbkeogh:hotpath bodies allocation-free on the steady state. Each borrow
+// reslices to the requested length and grows (amortized) only when a longer
+// series arrives.
+
+type dtwRows struct {
+	prev, curr []float64
+}
+
+var dtwRowsPool = sync.Pool{New: func() any { return new(dtwRows) }}
+
+// borrowDTWRows returns two float64 rows of length n. Contents are
+// unspecified; dtwBanded fully initializes both before reading.
+func borrowDTWRows(n int) *dtwRows {
+	r := dtwRowsPool.Get().(*dtwRows)
+	if cap(r.prev) < n {
+		r.prev = make([]float64, n)
+		r.curr = make([]float64, n)
+	}
+	r.prev = r.prev[:n]
+	r.curr = r.curr[:n]
+	return r
+}
+
+func (r *dtwRows) release() { dtwRowsPool.Put(r) }
+
+type lcssRows struct {
+	prev, curr []int
+}
+
+var lcssRowsPool = sync.Pool{New: func() any { return new(lcssRows) }}
+
+// borrowLCSSRows returns two int rows of length n. Contents are
+// unspecified; LCSS zeroes prev before the first row and rewrites curr
+// per row.
+func borrowLCSSRows(n int) *lcssRows {
+	r := lcssRowsPool.Get().(*lcssRows)
+	if cap(r.prev) < n {
+		r.prev = make([]int, n)
+		r.curr = make([]int, n)
+	}
+	r.prev = r.prev[:n]
+	r.curr = r.curr[:n]
+	return r
+}
+
+func (r *lcssRows) release() { lcssRowsPool.Put(r) }

@@ -24,13 +24,15 @@ type Envelope struct {
 
 // New builds the tightest envelope enclosing the given series, all of which
 // must share the same length. At least one series is required.
+//
+//lbkeogh:hotpath
 func New(series ...[]float64) Envelope {
 	if len(series) == 0 {
 		panic("envelope: New requires at least one series")
 	}
 	n := len(series[0])
-	u := make([]float64, n)
-	l := make([]float64, n)
+	u := make([]float64, n) //lint:ignore hotalloc result buffer, one per envelope built
+	l := make([]float64, n) //lint:ignore hotalloc result buffer, one per envelope built
 	copy(u, series[0])
 	copy(l, series[0])
 	for _, s := range series[1:] {
@@ -51,13 +53,15 @@ func New(series ...[]float64) Envelope {
 
 // Merge returns the envelope enclosing both a and b (the hierarchical wedge
 // combination of Figure 7: U_i = max(a.U_i, b.U_i), L_i = min(a.L_i, b.L_i)).
+//
+//lbkeogh:hotpath
 func Merge(a, b Envelope) Envelope {
 	if len(a.U) != len(b.U) {
 		panic(fmt.Sprintf("envelope: Merge length mismatch %d vs %d", len(a.U), len(b.U)))
 	}
 	n := len(a.U)
-	u := make([]float64, n)
-	l := make([]float64, n)
+	u := make([]float64, n) //lint:ignore hotalloc result buffer, one per merge
+	l := make([]float64, n) //lint:ignore hotalloc result buffer, one per merge
 	for i := 0; i < n; i++ {
 		u[i] = math.Max(a.U[i], b.U[i])
 		l[i] = math.Min(a.L[i], b.L[i])
@@ -102,6 +106,8 @@ func (e Envelope) Contains(s []float64, tol float64) bool {
 //
 // The expansion runs in O(n) using a monotonic-deque sliding-window
 // max/min rather than the naive O(nR) scan; the result is identical.
+//
+//lbkeogh:hotpath
 func (e Envelope) ExpandDTW(R int) Envelope {
 	n := len(e.U)
 	if R < 0 {
@@ -117,20 +123,17 @@ func (e Envelope) ExpandDTW(R int) Envelope {
 }
 
 // slidingMax computes out[i] = max (or min) of s[max(0,i-R) .. min(n-1,i+R)]
-// with a monotonic index deque.
+// with a monotonic index deque. The max/min selection is branched inline
+// rather than through a closure so the inner loop stays call-free.
+//
+//lbkeogh:hotpath
 func slidingMax(s []float64, R int, wantMax bool) []float64 {
 	n := len(s)
-	out := make([]float64, n)
+	out := make([]float64, n) //lint:ignore hotalloc result buffer, one per expansion
 	if n == 0 {
 		return out
 	}
-	better := func(a, b float64) bool {
-		if wantMax {
-			return a >= b
-		}
-		return a <= b
-	}
-	deque := make([]int, 0, n)
+	deque := make([]int, 0, n) //lint:ignore hotalloc scratch deque, one per expansion
 	// Window for position i is [i-R, i+R]; advance right edge j.
 	j := 0
 	for i := 0; i < n; i++ {
@@ -139,10 +142,14 @@ func slidingMax(s []float64, R int, wantMax bool) []float64 {
 			hi = n - 1
 		}
 		for ; j <= hi; j++ {
-			for len(deque) > 0 && better(s[j], s[deque[len(deque)-1]]) {
+			for len(deque) > 0 {
+				last := s[deque[len(deque)-1]]
+				if wantMax && s[j] < last || !wantMax && s[j] > last {
+					break
+				}
 				deque = deque[:len(deque)-1]
 			}
-			deque = append(deque, j)
+			deque = append(deque, j) //lint:ignore hotalloc deque capacity n is preallocated; never grows
 		}
 		lo := i - R
 		for len(deque) > 0 && deque[0] < lo {
@@ -161,6 +168,12 @@ func slidingMax(s []float64, R int, wantMax bool) []float64 {
 //
 // When e encloses a single series, LBKeogh degenerates to the Euclidean
 // distance (the paper's first observation about LB_Keogh).
+//
+// LBKeogh accumulates and abandons in squared space; only the final return
+// converts to root units, so it is a documented root-space API boundary.
+//
+//lbkeogh:hotpath
+//lbkeogh:rootspace
 func LBKeogh(q []float64, e Envelope, r float64, cnt *stats.Tally) (float64, bool) {
 	if len(q) != len(e.U) {
 		panic(fmt.Sprintf("envelope: LBKeogh length mismatch %d vs %d", len(q), len(e.U)))
@@ -194,6 +207,8 @@ func LBKeogh(q []float64, e Envelope, r float64, cnt *stats.Tally) (float64, boo
 // within eps of the widened envelope, so counting such points bounds the
 // similarity from above; as the paper notes, for a similarity measure the
 // inequality signs simply reverse.
+//
+//lbkeogh:hotpath
 func LCSSUpperBound(q []float64, e Envelope, eps float64, cnt *stats.Tally) int {
 	if len(q) != len(e.U) {
 		panic(fmt.Sprintf("envelope: LCSSUpperBound length mismatch %d vs %d", len(q), len(e.U)))

@@ -126,7 +126,7 @@ func TestLBKeoghInsideEnvelopeIsZero(t *testing.T) {
 	set := randomSet(6, 5, 32)
 	e := New(set...)
 	lb, abandoned := LBKeogh(set[2], e, -1, nil)
-	if abandoned || lb != 0 {
+	if abandoned || lb != 0 { //lint:ignore floateq a member incurs zero discrepancy at every sample, exactly
 		t.Fatalf("LB for a member must be 0, got (%v,%v)", lb, abandoned)
 	}
 }
@@ -208,7 +208,7 @@ func TestExpandDTWFullWindowIsGlobalMinMax(t *testing.T) {
 	s := []float64{3, -1, 4, 1, 5}
 	e := New(s).ExpandDTW(10)
 	for i := range s {
-		if e.U[i] != 5 || e.L[i] != -1 {
+		if e.U[i] != 5 || e.L[i] != -1 { //lint:ignore floateq envelope bounds are copied from the input, not computed
 			t.Fatal("full-window expansion must be global min/max everywhere")
 		}
 	}
@@ -216,7 +216,7 @@ func TestExpandDTWFullWindowIsGlobalMinMax(t *testing.T) {
 
 func TestAreaZeroForSingleton(t *testing.T) {
 	e := New([]float64{1, 2, 3})
-	if e.Area() != 0 {
+	if e.Area() != 0 { //lint:ignore floateq U == L for a singleton, so every term is exactly 0
 		t.Fatalf("singleton wedge area = %v, want 0", e.Area())
 	}
 }

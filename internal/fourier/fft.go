@@ -180,6 +180,12 @@ func Magnitudes(x []float64, D int) []float64 {
 // vectors (as produced by Magnitudes with the same D). The result lower
 // bounds ED(q, rotate(c, s)) for every shift s — and, with mirror images,
 // ED(q, rotate(mirror(c), s)) too, since reversal also preserves magnitudes.
+//
+// This is a documented root-space API boundary: callers compare the result
+// directly against root-space best-so-far distances, so the Sqrt happens
+// here, once, rather than in every caller.
+//
+//lbkeogh:rootspace
 func LowerBoundED(a, b []float64) float64 {
 	if len(a) != len(b) {
 		panic(fmt.Sprintf("fourier: feature length mismatch %d vs %d", len(a), len(b)))

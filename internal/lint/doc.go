@@ -1,0 +1,77 @@
+// Package lint implements lbkeoghvet, this repository's custom static
+// analysis suite. It enforces, at vet time, the hand-maintained conventions
+// the paper's guarantees rest on: the exactness of the LB_Keogh bounds
+// (Propositions 1–2 — no false dismissals) and the implementation-bias-free
+// num_steps accounting (Section 5.3).
+//
+// The suite is a stdlib-only reimplementation of the
+// golang.org/x/tools/go/analysis shape (this module deliberately has no
+// third-party dependencies): packages are resolved and compiled through
+// `go list -export -test -deps`, type-checked with go/types against the
+// resulting export data, and each Analyzer walks the typed syntax trees.
+// Run it with `make lint` or directly:
+//
+//	go run ./cmd/lbkeoghvet ./...
+//
+// # Analyzers
+//
+//	tallyescape  A *stats.Tally is single-goroutine scratch. It must not be
+//	             passed to or captured by a go statement, and must not be
+//	             stored in a struct field. Cross-goroutine accounting uses
+//	             the atomic *stats.Counter, flushed once per comparison.
+//	nilsink      Exported pointer-receiver methods on the stats/obs sink
+//	             types (stats.Counter, stats.Tally, obs.SearchStats,
+//	             obs.Histogram, obs.Counter) must begin with a nil-receiver
+//	             guard: a nil sink is the documented uninstrumented mode.
+//	floateq      ==/!= on floating-point operands is forbidden in
+//	             internal/dist, internal/envelope and internal/wedge
+//	             (tests included). Use epsilon helpers, or math.IsInf and
+//	             math.IsNaN for sentinels.
+//	hotalloc     Functions annotated //lbkeogh:hotpath must not contain
+//	             syntactic allocation sites: make, new, append, slice/map
+//	             composite literals, &-literals, or closures.
+//	lbguard      Functions named LB*, LowerBound* or lowerBound* must not
+//	             call math.Sqrt, keeping pruning comparisons in squared
+//	             space, unless annotated //lbkeogh:rootspace.
+//
+// # The //lbkeogh:hotpath convention
+//
+// A function is annotated hotpath when it executes once per rotation, per
+// candidate, or per DP cell inside the query loop — the distance kernels
+// (dist.Euclidean, dist.EuclideanEA, dtwBanded, dist.LCSS), the envelope
+// lower bounds (envelope.LBKeogh, envelope.LCSSUpperBound), the envelope
+// builders (envelope.New, Merge, ExpandDTW, slidingMax) and the H-Merge
+// traversal (wedge.(*Tree).SearchObs). The annotation is a standalone
+// directive line in the function's doc comment:
+//
+//	// dtwBanded computes ...
+//	//
+//	//lbkeogh:hotpath
+//	func dtwBanded(...)
+//
+// hotalloc then keeps those bodies allocation-free. Where an allocation is
+// intentional — a result buffer handed to the caller, per-search scratch
+// amortized over a whole traversal — the site carries a suppression
+// directive with a reason (see below), which doubles as documentation.
+//
+// # The //lbkeogh:rootspace convention
+//
+// Lower bounds accumulate squared discrepancies and compare against r² so
+// that early abandoning never pays a square root. The few exported bounds
+// that return distances in root units for API symmetry (envelope.LBKeogh,
+// paa.LowerBound, fourier.LowerBoundED) declare that boundary with a
+// //lbkeogh:rootspace directive line in their doc comment; lbguard flags
+// any other math.Sqrt inside a lower-bound function.
+//
+// # Suppressing a finding
+//
+// Following the staticcheck convention, a finding is suppressed in place
+// with a directive naming the analyzers and a mandatory reason:
+//
+//	out := make([]float64, n) //lint:ignore hotalloc result buffer, one per build
+//
+// A standalone //lint:ignore line suppresses the line below it; the
+// file-wide form is //lint:file-ignore. The analyzer list is
+// comma-separated, with * matching every analyzer. Directives with a
+// missing reason or an unknown analyzer name are themselves reported.
+package lint

@@ -1,0 +1,62 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// FloatEqPackages are the admissibility-critical packages where raw
+// floating-point equality is forbidden: a bound that compares distances with
+// == or != can silently lose exactness under reassociation or FMA
+// contraction, which is precisely the class of regression Propositions 1–2
+// rule out.
+var FloatEqPackages = []string{
+	"lbkeogh/internal/dist",
+	"lbkeogh/internal/envelope",
+	"lbkeogh/internal/wedge",
+}
+
+// FloatEq returns the floateq analyzer: it flags == and != where either
+// operand is floating-point (or complex). Comparisons entirely between
+// compile-time constants are exact and exempt. Sentinel checks belong to
+// math.IsInf/math.IsNaN; everything else goes through an epsilon helper.
+// The production configuration (DefaultAnalyzers) restricts the analyzer to
+// FloatEqPackages, test files included.
+func FloatEq() *Analyzer {
+	a := &Analyzer{
+		Name: "floateq",
+		Doc: "forbid ==/!= on floating-point operands in admissibility-critical packages; " +
+			"use epsilon helpers or math.IsInf/math.IsNaN",
+	}
+	a.Run = func(pass *Pass) {
+		for _, f := range pass.Files {
+			ast.Inspect(f, func(n ast.Node) bool {
+				be, ok := n.(*ast.BinaryExpr)
+				if !ok || (be.Op != token.EQL && be.Op != token.NEQ) {
+					return true
+				}
+				xt, yt := pass.TypesInfo.Types[be.X], pass.TypesInfo.Types[be.Y]
+				if !isFloatish(xt.Type) && !isFloatish(yt.Type) {
+					return true
+				}
+				if xt.Value != nil && yt.Value != nil {
+					return true // constant folding: exact at compile time
+				}
+				pass.Reportf(be.OpPos,
+					"floating-point %s comparison; use an epsilon helper (or math.IsInf/math.IsNaN for sentinels) to keep bounds admissible",
+					be.Op)
+				return true
+			})
+		}
+	}
+	return a
+}
+
+func isFloatish(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Info()&(types.IsFloat|types.IsComplex) != 0
+}

@@ -1,0 +1,95 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// HotpathDirective marks a function as a search hot path: it runs once per
+// rotation (or per DP cell) inside the query loop, so per-call heap traffic
+// is a measurable regression. See internal/lint/doc.go for the annotation
+// convention.
+const HotpathDirective = "//lbkeogh:hotpath"
+
+// HotAlloc returns the hotalloc analyzer: inside functions annotated with
+// //lbkeogh:hotpath it flags the syntactic allocation sites — make, new,
+// append (which may grow), slice/map composite literals, &-composite
+// literals, and function literals (which may escape, forcing their captures
+// to the heap). Intentional allocations (e.g. a result buffer allocated once
+// per build) carry a //lint:ignore hotalloc directive stating why.
+func HotAlloc() *Analyzer {
+	a := &Analyzer{
+		Name: "hotalloc",
+		Doc: "flag heap-allocation sites (make, new, append, slice/map/& composite literals, closures) " +
+			"inside functions annotated //lbkeogh:hotpath",
+	}
+	a.Run = func(pass *Pass) {
+		for _, f := range pass.Files {
+			for _, decl := range f.Decls {
+				fd, ok := decl.(*ast.FuncDecl)
+				if !ok || fd.Body == nil || !funcHasDirective(fd.Doc, HotpathDirective) {
+					continue
+				}
+				checkHotFunc(pass, fd)
+			}
+		}
+	}
+	return a
+}
+
+func checkHotFunc(pass *Pass, fd *ast.FuncDecl) {
+	// Composite literals reached through a unary & are reported once, at the
+	// &, so remember them to avoid double reports.
+	addrTaken := map[*ast.CompositeLit]bool{}
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.UnaryExpr:
+			if cl, ok := n.X.(*ast.CompositeLit); ok && n.Op == token.AND {
+				addrTaken[cl] = true
+				pass.Reportf(n.Pos(), "hot path %s takes the address of a composite literal, which escapes to the heap", fd.Name.Name)
+			}
+		case *ast.CompositeLit:
+			if addrTaken[n] {
+				return true
+			}
+			t := pass.TypesInfo.TypeOf(n)
+			if t == nil {
+				return true
+			}
+			switch t.Underlying().(type) {
+			case *types.Slice, *types.Map:
+				pass.Reportf(n.Pos(), "hot path %s allocates a %s literal per call", fd.Name.Name, kindName(t))
+			}
+		case *ast.FuncLit:
+			pass.Reportf(n.Pos(), "hot path %s defines a closure, which may escape and heap-allocate its captures", fd.Name.Name)
+		case *ast.CallExpr:
+			id, ok := n.Fun.(*ast.Ident)
+			if !ok {
+				return true
+			}
+			if _, isBuiltin := pass.TypesInfo.Uses[id].(*types.Builtin); !isBuiltin {
+				return true
+			}
+			switch id.Name {
+			case "make":
+				pass.Reportf(n.Pos(), "hot path %s calls make per invocation; preallocate or pool the buffer", fd.Name.Name)
+			case "new":
+				pass.Reportf(n.Pos(), "hot path %s calls new per invocation; preallocate or pool the value", fd.Name.Name)
+			case "append":
+				pass.Reportf(n.Pos(), "hot path %s appends, which may grow and reallocate; size the buffer up front", fd.Name.Name)
+			}
+		}
+		return true
+	})
+}
+
+func kindName(t types.Type) string {
+	switch t.Underlying().(type) {
+	case *types.Slice:
+		return "slice"
+	case *types.Map:
+		return "map"
+	}
+	return "composite"
+}

@@ -1,0 +1,62 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// RootspaceDirective marks a lower-bound function as a documented API
+// boundary that intentionally converts its result from squared space to
+// root ("distance") units on return. See internal/lint/doc.go.
+const RootspaceDirective = "//lbkeogh:rootspace"
+
+// LBGuard returns the lbguard analyzer: functions named LB*, LowerBound* or
+// lowerBound* must not call math.Sqrt — pruning comparisons stay in squared
+// space, where the accumulate-and-compare loop is exact and cheap — unless
+// the function's doc comment carries the //lbkeogh:rootspace directive
+// declaring it a documented API boundary that returns root-space distances.
+func LBGuard() *Analyzer {
+	a := &Analyzer{
+		Name: "lbguard",
+		Doc: "forbid math.Sqrt inside LB*/lowerBound* functions unless annotated //lbkeogh:rootspace; " +
+			"pruning comparisons belong in squared space",
+	}
+	a.Run = func(pass *Pass) {
+		for _, f := range pass.Files {
+			for _, decl := range f.Decls {
+				fd, ok := decl.(*ast.FuncDecl)
+				if !ok || fd.Body == nil || !isLowerBoundName(fd.Name.Name) {
+					continue
+				}
+				if funcHasDirective(fd.Doc, RootspaceDirective) {
+					continue
+				}
+				ast.Inspect(fd.Body, func(n ast.Node) bool {
+					if n, ok := n.(*ast.FuncLit); ok && n != nil {
+						return true // nested closures inherit the check
+					}
+					sel, ok := n.(*ast.SelectorExpr)
+					if !ok {
+						return true
+					}
+					obj, ok := pass.TypesInfo.Uses[sel.Sel].(*types.Func)
+					if !ok || obj.Pkg() == nil || obj.Pkg().Path() != "math" || obj.Name() != "Sqrt" {
+						return true
+					}
+					pass.Reportf(sel.Pos(),
+						"lower bound %s calls math.Sqrt; keep pruning comparisons in squared space, or annotate the function %s if it is a documented root-space API boundary",
+						fd.Name.Name, RootspaceDirective)
+					return true
+				})
+			}
+		}
+	}
+	return a
+}
+
+func isLowerBoundName(name string) bool {
+	return strings.HasPrefix(name, "LB") ||
+		strings.HasPrefix(name, "LowerBound") ||
+		strings.HasPrefix(name, "lowerBound")
+}

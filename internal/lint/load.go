@@ -1,0 +1,214 @@
+package lint
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// Package is one type-checked unit of analysis. In-package test files are
+// checked together with the package's regular files under the package's own
+// import path; an external test package ("package foo_test") forms its own
+// unit under the path "<importpath>_test".
+type Package struct {
+	ImportPath string
+	Dir        string
+	Fset       *token.FileSet
+	Files      []*ast.File
+	Types      *types.Package
+	Info       *types.Info
+}
+
+// Loader resolves and type-checks packages without golang.org/x/tools: it
+// shells out once to `go list -export -test -deps`, which compiles every
+// dependency (including test-only ones) and reports the build-cache export
+// files, and then feeds those to the standard library's gc importer. This
+// works fully offline; the only requirement is the go toolchain itself.
+type Loader struct {
+	moduleDir string
+	fset      *token.FileSet
+	exports   map[string]string // import path -> export data file
+	targets   []listPackage     // packages matching the requested patterns
+	imp       types.Importer
+}
+
+// listPackage is the subset of `go list -json` output the loader consumes.
+type listPackage struct {
+	Dir          string
+	ImportPath   string
+	Export       string
+	GoFiles      []string
+	TestGoFiles  []string
+	XTestGoFiles []string
+	DepOnly      bool
+	ForTest      string
+	Incomplete   bool
+	Error        *struct{ Err string }
+}
+
+// NewLoader lists patterns (e.g. "./...") relative to moduleDir and prepares
+// an importer over the resulting export data. The listing includes test
+// dependencies, so both in-package and external test files can be checked.
+func NewLoader(moduleDir string, patterns ...string) (*Loader, error) {
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	args := append([]string{
+		"list", "-e", "-export", "-test", "-deps",
+		"-json=Dir,ImportPath,Export,GoFiles,TestGoFiles,XTestGoFiles,DepOnly,ForTest,Incomplete,Error",
+	}, patterns...)
+	cmd := exec.Command("go", args...)
+	cmd.Dir = moduleDir
+	var stderr bytes.Buffer
+	cmd.Stderr = &stderr
+	out, err := cmd.Output()
+	if err != nil {
+		return nil, fmt.Errorf("go list %s: %v\n%s", strings.Join(patterns, " "), err, stderr.String())
+	}
+	l := &Loader{
+		moduleDir: moduleDir,
+		fset:      token.NewFileSet(),
+		exports:   map[string]string{},
+	}
+	dec := json.NewDecoder(bytes.NewReader(out))
+	for {
+		var p listPackage
+		if err := dec.Decode(&p); err == io.EOF {
+			break
+		} else if err != nil {
+			return nil, fmt.Errorf("go list: decoding output: %v", err)
+		}
+		if p.Error != nil {
+			return nil, fmt.Errorf("go list: %s: %s", p.ImportPath, p.Error.Err)
+		}
+		// Plain compiles only: test-variant export data shadows symbols the
+		// importer must resolve identically across units.
+		if p.Export != "" && p.ForTest == "" {
+			l.exports[p.ImportPath] = p.Export
+		}
+		if !p.DepOnly && p.ForTest == "" && !strings.HasSuffix(p.ImportPath, ".test") {
+			l.targets = append(l.targets, p)
+		}
+	}
+	l.imp = importer.ForCompiler(l.fset, "gc", func(path string) (io.ReadCloser, error) {
+		file, ok := l.exports[path]
+		if !ok {
+			return nil, fmt.Errorf("no export data for %q", path)
+		}
+		return os.Open(file)
+	})
+	return l, nil
+}
+
+// Packages parses and type-checks every target package: one unit per package
+// (regular + in-package test files) plus one per non-empty external test
+// package.
+func (l *Loader) Packages() ([]*Package, error) {
+	var pkgs []*Package
+	for _, t := range l.targets {
+		names := append(append([]string{}, t.GoFiles...), t.TestGoFiles...)
+		if len(names) > 0 {
+			pkg, err := l.check(t.ImportPath, t.Dir, names)
+			if err != nil {
+				return nil, err
+			}
+			pkgs = append(pkgs, pkg)
+		}
+		if len(t.XTestGoFiles) > 0 {
+			pkg, err := l.check(t.ImportPath+"_test", t.Dir, t.XTestGoFiles)
+			if err != nil {
+				return nil, err
+			}
+			pkgs = append(pkgs, pkg)
+		}
+	}
+	sort.Slice(pkgs, func(i, j int) bool { return pkgs[i].ImportPath < pkgs[j].ImportPath })
+	return pkgs, nil
+}
+
+// LoadDir parses every .go file directly under dir as a single package and
+// type-checks it under the given import path. Used by the analysistest-style
+// golden tests over internal/lint/testdata, whose files may import real
+// repository packages (resolved through the loader's export data).
+func (l *Loader) LoadDir(dir, importPath string) (*Package, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var names []string
+	for _, e := range entries {
+		if !e.IsDir() && strings.HasSuffix(e.Name(), ".go") {
+			names = append(names, e.Name())
+		}
+	}
+	if len(names) == 0 {
+		return nil, fmt.Errorf("lint: no .go files in %s", dir)
+	}
+	sort.Strings(names)
+	return l.check(importPath, dir, names)
+}
+
+func (l *Loader) check(importPath, dir string, fileNames []string) (*Package, error) {
+	var files []*ast.File
+	for _, name := range fileNames {
+		f, err := parser.ParseFile(l.fset, filepath.Join(dir, name), nil, parser.ParseComments)
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, f)
+	}
+	info := &types.Info{
+		Types:      map[ast.Expr]types.TypeAndValue{},
+		Defs:       map[*ast.Ident]types.Object{},
+		Uses:       map[*ast.Ident]types.Object{},
+		Selections: map[*ast.SelectorExpr]*types.Selection{},
+	}
+	var typeErrs []string
+	conf := types.Config{
+		Importer: l.imp,
+		Error: func(err error) {
+			typeErrs = append(typeErrs, err.Error())
+		},
+	}
+	pkg, _ := conf.Check(importPath, l.fset, files, info)
+	if len(typeErrs) > 0 {
+		return nil, fmt.Errorf("type checking %s:\n\t%s", importPath, strings.Join(typeErrs, "\n\t"))
+	}
+	return &Package{
+		ImportPath: importPath,
+		Dir:        dir,
+		Fset:       l.fset,
+		Files:      files,
+		Types:      pkg,
+		Info:       info,
+	}, nil
+}
+
+// FindModuleRoot walks upward from dir to the directory containing go.mod.
+func FindModuleRoot(dir string) (string, error) {
+	dir, err := filepath.Abs(dir)
+	if err != nil {
+		return "", err
+	}
+	for {
+		if _, err := os.Stat(filepath.Join(dir, "go.mod")); err == nil {
+			return dir, nil
+		}
+		parent := filepath.Dir(dir)
+		if parent == dir {
+			return "", fmt.Errorf("lint: no go.mod found above %s", dir)
+		}
+		dir = parent
+	}
+}

@@ -1,0 +1,21 @@
+package lint
+
+// DefaultAnalyzers returns the production lbkeoghvet suite, configured for
+// this repository's packages and conventions:
+//
+//	tallyescape  *stats.Tally confinement (no goroutine crossing, no fields)
+//	nilsink      nil-receiver guards on stats/obs sink methods
+//	floateq      no float ==/!= in internal/{dist,envelope,wedge}
+//	hotalloc     no allocations in //lbkeogh:hotpath functions
+//	lbguard      no math.Sqrt in LB*/lowerBound* except //lbkeogh:rootspace
+func DefaultAnalyzers() []*Analyzer {
+	floatEq := FloatEq()
+	floatEq.Applies = pkgPathIn(FloatEqPackages...)
+	return []*Analyzer{
+		TallyEscape(),
+		NilSink(),
+		floatEq,
+		HotAlloc(),
+		LBGuard(),
+	}
+}

@@ -1,0 +1,24 @@
+// Package directive exercises the //lint:ignore grammar: one well-formed
+// suppression, one directive missing its reason, one naming an unknown
+// analyzer. The malformed directives are reported and suppress nothing.
+package directive
+
+func suppressed(a, b float64) bool {
+	return a == b //lint:ignore floateq fixture for the valid-directive path
+}
+
+//lint:ignore floateq
+func missingReason(a, b float64) bool {
+	return a != b
+}
+
+//lint:ignore nosuchanalyzer the analyzer list must name known analyzers
+func unknownAnalyzer(a, b float64) bool {
+	return a != b
+}
+
+var (
+	_ = suppressed
+	_ = missingReason
+	_ = unknownAnalyzer
+)

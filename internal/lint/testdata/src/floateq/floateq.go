@@ -1,0 +1,57 @@
+// Package floateq is the golden fixture for the floateq analyzer: no ==/!=
+// where either operand is floating-point.
+package floateq
+
+import "math"
+
+func eq(a, b float64) bool {
+	return a == b // want `floating-point == comparison`
+}
+
+func neq(a, b float32) bool {
+	return a != b // want `floating-point != comparison`
+}
+
+func mixed(a float64, b int) bool {
+	return a == float64(b) // want `floating-point == comparison`
+}
+
+type meters float64
+
+func namedFloat(a, b meters) bool {
+	return a == b // want `floating-point == comparison`
+}
+
+func zeroCheck(a float64) bool {
+	return a == 0 // want `floating-point == comparison`
+}
+
+// ints compares integers; no finding.
+func ints(a, b int) bool { return a == b }
+
+const half = 0.5
+
+// constFold compares two compile-time constants; exact, exempt.
+func constFold() bool {
+	return half == 0.5
+}
+
+// sentinels use the sanctioned predicates.
+func sentinels(a float64) bool {
+	return math.IsNaN(a) || math.IsInf(a, 0)
+}
+
+// ordered comparisons are fine; only equality is unstable.
+func ordered(a, b float64) bool { return a < b }
+
+var (
+	_ = eq
+	_ = neq
+	_ = mixed
+	_ = namedFloat
+	_ = zeroCheck
+	_ = ints
+	_ = constFold
+	_ = sentinels
+	_ = ordered
+)

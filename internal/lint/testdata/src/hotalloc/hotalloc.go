@@ -1,0 +1,85 @@
+// Package hotalloc is the golden fixture for the hotalloc analyzer:
+// functions annotated //lbkeogh:hotpath must not contain syntactic
+// heap-allocation sites.
+package hotalloc
+
+// hotMake allocates a fresh buffer per call.
+//
+//lbkeogh:hotpath
+func hotMake(n int) []float64 {
+	out := make([]float64, n) // want `calls make per invocation`
+	return out
+}
+
+// hotNew allocates per call.
+//
+//lbkeogh:hotpath
+func hotNew() *int {
+	return new(int) // want `calls new per invocation`
+}
+
+// hotAppend may grow and reallocate.
+//
+//lbkeogh:hotpath
+func hotAppend(dst []int, v int) []int {
+	return append(dst, v) // want `appends, which may grow`
+}
+
+// hotSliceLit materializes a slice literal per call.
+//
+//lbkeogh:hotpath
+func hotSliceLit(a, b int) int {
+	sum := 0
+	for _, v := range []int{a, b} { // want `allocates a slice literal`
+		sum += v
+	}
+	return sum
+}
+
+// hotAddr escapes a composite literal to the heap.
+//
+//lbkeogh:hotpath
+func hotAddr() *struct{ x int } {
+	return &struct{ x int }{x: 1} // want `address of a composite literal`
+}
+
+// hotClosure defines a closure whose captures may heap-allocate.
+//
+//lbkeogh:hotpath
+func hotClosure(s []float64) float64 {
+	f := func(i int) float64 { return s[i] } // want `defines a closure`
+	return f(0)
+}
+
+// hotSuppressed documents its one intentional allocation.
+//
+//lbkeogh:hotpath
+func hotSuppressed(n int) []float64 {
+	return make([]float64, n) //lint:ignore hotalloc fixture for the suppression path
+}
+
+// hotClean works entirely in caller-provided storage; no findings.
+//
+//lbkeogh:hotpath
+func hotClean(dst, src []float64) {
+	for i := range src {
+		dst[i] = src[i] * 2
+	}
+}
+
+// coldMake is not annotated; allocations are fine outside hot paths.
+func coldMake(n int) []float64 {
+	return make([]float64, n)
+}
+
+var (
+	_ = hotMake
+	_ = hotNew
+	_ = hotAppend
+	_ = hotSliceLit
+	_ = hotAddr
+	_ = hotClosure
+	_ = hotSuppressed
+	_ = hotClean
+	_ = coldMake
+)

@@ -1,0 +1,53 @@
+// Package lbguard is the golden fixture for the lbguard analyzer: LB*,
+// LowerBound* and lowerBound* functions stay in squared space unless
+// annotated as root-space API boundaries.
+package lbguard
+
+import "math"
+
+// LBRooted takes the root inside a bound without declaring the boundary.
+func LBRooted(acc float64) float64 {
+	return math.Sqrt(acc) // want `calls math.Sqrt`
+}
+
+// lowerBoundNested hides the Sqrt in a closure; still flagged.
+func lowerBoundNested(acc float64) float64 {
+	f := func() float64 { return math.Sqrt(acc) } // want `calls math.Sqrt`
+	return f()
+}
+
+// LowerBoundBoundary is a documented root-space API boundary.
+//
+//lbkeogh:rootspace
+func LowerBoundBoundary(acc float64) float64 {
+	return math.Sqrt(acc)
+}
+
+// LBSquared is the sanctioned shape: accumulate and compare squared.
+func LBSquared(q, u, l []float64) float64 {
+	acc := 0.0
+	for i := range q {
+		switch {
+		case q[i] > u[i]:
+			d := q[i] - u[i]
+			acc += d * d
+		case q[i] < l[i]:
+			d := q[i] - l[i]
+			acc += d * d
+		}
+	}
+	return acc
+}
+
+// distance is not a lower-bound name; Sqrt is its job.
+func distance(acc float64) float64 {
+	return math.Sqrt(acc)
+}
+
+var (
+	_ = LBRooted
+	_ = lowerBoundNested
+	_ = LowerBoundBoundary
+	_ = LBSquared
+	_ = distance
+)

@@ -1,0 +1,62 @@
+// Package nilsink is the golden fixture for the nilsink analyzer: exported
+// pointer-receiver methods on the configured sink types must begin with a
+// nil-receiver guard.
+package nilsink
+
+// Sink stands in for the production stats/obs accounting records; the test
+// configures the analyzer with NilSink("nilsink_fixture.Sink").
+type Sink struct{ n int64 }
+
+// Add has the canonical leading negative guard.
+func (s *Sink) Add(d int64) {
+	if s == nil {
+		return
+	}
+	s.n += d
+}
+
+// Value guards and returns the zero value on nil.
+func (s *Sink) Value() int64 {
+	if s == nil {
+		return 0
+	}
+	return s.n
+}
+
+// Reset uses the positive wrapping guard form.
+func (s *Sink) Reset() {
+	if s != nil {
+		s.n = 0
+	}
+}
+
+// Inc forgets the guard; a nil sink would panic here.
+func (s *Sink) Inc() { // want `must begin with a nil-receiver guard`
+	s.n++
+}
+
+// Merge guards the wrong variable: the condition is not about the receiver.
+func (s *Sink) Merge(o *Sink) { // want `must begin with a nil-receiver guard`
+	if o == nil {
+		return
+	}
+	s.n += o.n
+}
+
+// Clear has an unnamed receiver, so it cannot guard it.
+func (*Sink) Clear() { // want `unnamed receiver`
+}
+
+// touch is unexported: internal call sites own the nil discipline.
+func (s *Sink) touch() { s.n++ }
+
+// Snapshot has a value receiver, which can never be nil.
+func (s Sink) Snapshot() int64 { return s.n }
+
+// Other is not a configured sink type; no guard required.
+type Other struct{ n int64 }
+
+// Bump is exported and guard-free, but Other is not a sink.
+func (o *Other) Bump() { o.n++ }
+
+var _ = (&Sink{}).touch

@@ -1,0 +1,79 @@
+// Package tallyescape is the golden fixture for the tallyescape analyzer:
+// *stats.Tally values must stay confined to one goroutine and off structs.
+package tallyescape
+
+import (
+	"sync"
+
+	"lbkeogh/internal/stats"
+)
+
+// badField parks a Tally where any goroutine holding the struct can reach it.
+type badField struct {
+	steps stats.Tally // want `struct field holds a stats.Tally`
+}
+
+// badDeepField hides the Tally behind a slice of pointers; typeContains must
+// still see it.
+type badDeepField struct {
+	tallies []*stats.Tally // want `struct field holds a stats.Tally`
+}
+
+// goodCounterField is fine: Counter is atomic and may be shared.
+type goodCounterField struct {
+	steps stats.Counter
+}
+
+func crossByCapture() {
+	var t stats.Tally
+	done := make(chan struct{})
+	go func() {
+		t.Add(1) // want `crosses into a goroutine`
+		close(done)
+	}()
+	<-done
+}
+
+func crossByArgument() {
+	var t stats.Tally
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go accumulate(&t, &wg) // want `crosses into a goroutine`
+	wg.Wait()
+}
+
+func accumulate(t *stats.Tally, wg *sync.WaitGroup) {
+	defer wg.Done()
+	t.Add(1)
+}
+
+// goroutineLocal is the sanctioned pattern: each goroutine owns its Tally and
+// flushes it into a shared atomic Counter.
+func goroutineLocal(total *stats.Counter) {
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		var local stats.Tally
+		local.Add(1)
+		total.Add(local.Steps())
+	}()
+	wg.Wait()
+}
+
+// sameGoroutine never spawns; passing a Tally down the stack is fine.
+func sameGoroutine() int64 {
+	var t stats.Tally
+	helper(&t)
+	return t.Steps()
+}
+
+func helper(t *stats.Tally) { t.Add(2) }
+
+var _ = badField{}
+var _ = badDeepField{}
+var _ = goodCounterField{}
+var _ = crossByCapture
+var _ = crossByArgument
+var _ = goroutineLocal
+var _ = sameGoroutine

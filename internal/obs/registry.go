@@ -24,7 +24,12 @@ func (c *Counter) Add(n int64) {
 }
 
 // Inc increments the counter by one. Safe on a nil receiver.
-func (c *Counter) Inc() { c.Add(1) }
+func (c *Counter) Inc() {
+	if c == nil {
+		return
+	}
+	c.Add(1)
+}
 
 // Value reports the current count.
 func (c *Counter) Value() int64 {

@@ -68,6 +68,11 @@ func ReduceEnvelope(env envelope.Envelope, D int) Box {
 // LowerBound returns the admissible lower bound of LB_Keogh(c, env) given
 // only the PAA means of c and the envelope box, for original length n.
 // cMeans and box must share the same segment count derived from (n, D).
+//
+// This is a documented root-space API boundary: the index compares the
+// returned bound against root-space distances, so the Sqrt happens here.
+//
+//lbkeogh:rootspace
 func LowerBound(cMeans []float64, box Box, n int) float64 {
 	D := len(cMeans)
 	if len(box.Lo) != D || len(box.Hi) != D {

@@ -46,7 +46,7 @@ type Monitor struct {
 	pos    int
 	seen   int // total values consumed
 
-	steps stats.Tally
+	steps stats.Counter   // cumulative num_steps; Push flushes a stack-local Tally
 	obs   obs.SearchStats // per-window pruning breakdowns
 	trace obs.Tracer      // nil: untraced
 }
@@ -135,7 +135,7 @@ func (m *Monitor) Push(v float64) []Match {
 	}
 	w := m.window()
 	var out []Match
-	stepsBefore := m.steps.Steps()
+	var local stats.Tally // kernel-facing scratch, flushed below
 	m.obs.AddComparison(int64(m.tree.Members()))
 
 	// Depth-first over the wedge hierarchy with threshold pruning.
@@ -147,7 +147,7 @@ func (m *Monitor) Push(v float64) []Match {
 		node := d.Nodes[id]
 		if node.Left < 0 {
 			m.obs.CountLeafVisit()
-			dd, abandoned := m.kernel.Distance(w, m.tree.Member(id), m.threshold, &m.steps)
+			dd, abandoned := m.kernel.Distance(w, m.tree.Member(id), m.threshold, &local)
 			if abandoned {
 				m.obs.CountAbandon()
 				obs.TraceAbandon(m.trace, id)
@@ -159,7 +159,7 @@ func (m *Monitor) Push(v float64) []Match {
 			}
 			continue
 		}
-		lb, abandoned := m.kernel.LowerBound(w, m.envs[id], m.threshold, &m.steps)
+		lb, abandoned := m.kernel.LowerBound(w, m.envs[id], m.threshold, &local)
 		if abandoned || lb >= m.threshold {
 			m.obs.CountWedgePrune(m.tree.Depth(id), int64(node.Size))
 			obs.TraceWedgeVisit(m.trace, id, m.tree.Depth(id), lb, true)
@@ -169,7 +169,8 @@ func (m *Monitor) Push(v float64) []Match {
 		obs.TraceWedgeVisit(m.trace, id, m.tree.Depth(id), lb, false)
 		stack = append(stack, node.Left, node.Right)
 	}
-	delta := m.steps.Steps() - stepsBefore
+	delta := local.Steps()
+	m.steps.Add(delta)
 	m.obs.AddSteps(delta)
 	m.obs.ObserveComparisonSteps(delta)
 	return out

@@ -48,11 +48,15 @@ type Kernel interface {
 type ED struct{}
 
 // Distance implements Kernel using EA_Euclidean_Dist (Table 1).
+//
+//lbkeogh:hotpath
 func (ED) Distance(q, c []float64, r float64, cnt *stats.Tally) (float64, bool) {
 	return dist.EuclideanEA(q, c, r, cnt)
 }
 
 // LowerBound implements Kernel using EA_LB_Keogh (Table 5).
+//
+//lbkeogh:hotpath
 func (ED) LowerBound(q []float64, env envelope.Envelope, r float64, cnt *stats.Tally) (float64, bool) {
 	return envelope.LBKeogh(q, env, r, cnt)
 }
@@ -73,12 +77,16 @@ type DTW struct {
 }
 
 // Distance implements Kernel using early-abandoning banded DTW.
+//
+//lbkeogh:hotpath
 func (k DTW) Distance(q, c []float64, r float64, cnt *stats.Tally) (float64, bool) {
 	return dist.DTWEA(q, c, k.R, r, cnt)
 }
 
 // LowerBound implements Kernel using LB_KeoghDTW (Proposition 2); env must
 // be widened by R.
+//
+//lbkeogh:hotpath
 func (k DTW) LowerBound(q []float64, env envelope.Envelope, r float64, cnt *stats.Tally) (float64, bool) {
 	return envelope.LBKeogh(q, env, r, cnt)
 }
@@ -104,6 +112,8 @@ type LCSS struct {
 // implementation; it computes the exact value and reports abandonment if the
 // result exceeds r, which preserves correctness (abandonment is only an
 // optimization).
+//
+//lbkeogh:hotpath
 func (k LCSS) Distance(q, c []float64, r float64, cnt *stats.Tally) (float64, bool) {
 	d := dist.LCSSDist(q, c, k.Delta, k.Eps, cnt)
 	if r >= 0 && d > r {
@@ -114,6 +124,8 @@ func (k LCSS) Distance(q, c []float64, r float64, cnt *stats.Tally) (float64, bo
 
 // LowerBound implements Kernel: the envelope match count bounds the LCSS
 // similarity from above, so 1 - count/n bounds the distance from below.
+//
+//lbkeogh:hotpath
 func (k LCSS) LowerBound(q []float64, env envelope.Envelope, r float64, cnt *stats.Tally) (float64, bool) {
 	ub := envelope.LCSSUpperBound(q, env, k.Eps, cnt)
 	n := len(q)

@@ -1,7 +1,6 @@
 package wedge
 
 import (
-	"container/heap"
 	"fmt"
 	"math"
 	"sync"
@@ -182,6 +181,8 @@ func (t *Tree) Search(q []float64, k Kernel, K int, r float64, traversal Travers
 // weighted by subtree size, singleton-wedge LB prune, early abandon, or full
 // distance evaluation), and tr receives per-wedge trace events. Both st and
 // tr may be nil; the nil path costs one branch per event.
+//
+//lbkeogh:hotpath
 func (t *Tree) SearchObs(q []float64, k Kernel, K int, r float64, traversal Traversal, cnt *stats.Tally, st *obs.SearchStats, tr obs.Tracer) Result {
 	if len(q) != t.Len() {
 		panic(fmt.Sprintf("wedge: query length %d != member length %d", len(q), t.Len()))
@@ -195,7 +196,7 @@ func (t *Tree) SearchObs(q []float64, k Kernel, K int, r float64, traversal Trav
 	}
 	bestMember := -1
 
-	visitLeaf := func(id int) {
+	visitLeaf := func(id int) { //lint:ignore hotalloc non-escaping closure, invoked directly below
 		st.CountLeafVisit()
 		if k.LeafLBIsExact() {
 			// For Euclidean, LB against the singleton wedge IS the distance;
@@ -233,7 +234,7 @@ func (t *Tree) SearchObs(q []float64, k Kernel, K int, r float64, traversal Trav
 	}
 	// pruneNode attributes all rotations under an internal or frontier wedge
 	// to the wedge-LB-prune bucket at the wedge's dendrogram level.
-	pruneNode := func(id int, lb float64) {
+	pruneNode := func(id int, lb float64) { //lint:ignore hotalloc non-escaping closure, invoked directly below
 		st.CountWedgePrune(t.depth[id], int64(t.dend.Nodes[id].Size))
 		obs.TraceWedgeVisit(tr, id, t.depth[id], lb, true)
 	}
@@ -241,22 +242,22 @@ func (t *Tree) SearchObs(q []float64, k Kernel, K int, r float64, traversal Trav
 	frontier := t.frontierFor(K)
 	switch traversal {
 	case BestFirst:
-		pq := &boundHeap{}
+		var pq boundHeap
 		for _, id := range frontier {
 			lb, abandoned := k.LowerBound(q, envs[id], best, &local)
 			if !abandoned && lb < best {
-				heap.Push(pq, boundItem{id: id, lb: lb})
+				pq.push(boundItem{id: id, lb: lb})
 			} else {
 				pruneNode(id, lb)
 			}
 		}
-		for pq.Len() > 0 {
-			it := heap.Pop(pq).(boundItem)
+		for len(pq) > 0 {
+			it := pq.pop()
 			if it.lb >= best {
 				// Smallest outstanding bound cannot improve: done. Everything
 				// still queued is excluded by its (stale) bound.
 				pruneNode(it.id, it.lb)
-				for _, rest := range *pq {
+				for _, rest := range pq {
 					pruneNode(rest.id, rest.lb)
 				}
 				break
@@ -268,17 +269,22 @@ func (t *Tree) SearchObs(q []float64, k Kernel, K int, r float64, traversal Trav
 			}
 			st.CountNodeVisit()
 			obs.TraceWedgeVisit(tr, it.id, t.depth[it.id], it.lb, false)
-			for _, ch := range []int{node.Left, node.Right} {
+			// Left then right, without materializing a child slice per visit.
+			for c := 0; c < 2; c++ {
+				ch := node.Left
+				if c == 1 {
+					ch = node.Right
+				}
 				lb, abandoned := k.LowerBound(q, envs[ch], best, &local)
 				if !abandoned && lb < best {
-					heap.Push(pq, boundItem{id: ch, lb: lb})
+					pq.push(boundItem{id: ch, lb: lb})
 				} else {
 					pruneNode(ch, lb)
 				}
 			}
 		}
 	default: // LIFO, the paper's Table 6
-		stack := make([]int, len(frontier))
+		stack := make([]int, len(frontier), 2*len(frontier)+2) //lint:ignore hotalloc per-search scratch, amortized over the traversal
 		copy(stack, frontier)
 		for len(stack) > 0 {
 			id := stack[len(stack)-1]
@@ -295,7 +301,7 @@ func (t *Tree) SearchObs(q []float64, k Kernel, K int, r float64, traversal Trav
 			}
 			st.CountNodeVisit()
 			obs.TraceWedgeVisit(tr, id, t.depth[id], lb, false)
-			stack = append(stack, node.Left, node.Right)
+			stack = append(stack, node.Left, node.Right) //lint:ignore hotalloc bounded by the dendrogram size; grows a few times at most
 		}
 	}
 
@@ -311,16 +317,47 @@ type boundItem struct {
 	lb float64
 }
 
+// boundHeap is a hand-rolled min-heap on lb. container/heap would box every
+// boundItem in an interface on Push and Pop; the explicit sift keeps the
+// best-first traversal allocation-free apart from amortized slice growth.
 type boundHeap []boundItem
 
-func (h boundHeap) Len() int           { return len(h) }
-func (h boundHeap) Less(i, j int) bool { return h[i].lb < h[j].lb }
-func (h boundHeap) Swap(i, j int)      { h[i], h[j] = h[j], h[i] }
-func (h *boundHeap) Push(x any)        { *h = append(*h, x.(boundItem)) }
-func (h *boundHeap) Pop() any {
-	old := *h
-	n := len(old) - 1
-	it := old[n]
-	*h = old[:n]
-	return it
+func (h *boundHeap) push(it boundItem) {
+	*h = append(*h, it)
+	s := *h
+	i := len(s) - 1
+	for i > 0 {
+		parent := (i - 1) / 2
+		if s[parent].lb <= s[i].lb {
+			break
+		}
+		s[parent], s[i] = s[i], s[parent]
+		i = parent
+	}
+}
+
+func (h *boundHeap) pop() boundItem {
+	s := *h
+	top := s[0]
+	n := len(s) - 1
+	s[0] = s[n]
+	s = s[:n]
+	*h = s
+	i := 0
+	for {
+		l, r := 2*i+1, 2*i+2
+		min := i
+		if l < n && s[l].lb < s[min].lb {
+			min = l
+		}
+		if r < n && s[r].lb < s[min].lb {
+			min = r
+		}
+		if min == i {
+			break
+		}
+		s[i], s[min] = s[min], s[i]
+		i = min
+	}
+	return top
 }
