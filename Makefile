@@ -1,7 +1,7 @@
 GO ?= go
 BENCH_DIR ?= bench
 
-.PHONY: all build vet lint test race bench bench-json govulncheck ci clean
+.PHONY: all build vet lint test race bench bench-json bench-compare smoke govulncheck ci clean
 
 all: build
 
@@ -33,6 +33,16 @@ bench:
 bench-json:
 	$(GO) run ./cmd/benchrun -fig none -maxm 500 -queries 3 -bench-out $(BENCH_DIR)
 
+# Diff the two most recent $(BENCH_DIR)/BENCH_*.json reports (steps, wall
+# time, search p50 per strategy). With a single report it prints a baseline.
+bench-compare:
+	$(GO) run ./cmd/benchrun -compare $(BENCH_DIR)
+
+# Observability smoke test: start benchrun -serve, curl /metrics and
+# /debug/lbkeogh, assert both answer 200 with parseable content.
+smoke:
+	./scripts/smoke.sh
+
 # Known-vulnerability scan, skipped gracefully where the tool is not
 # installed (the container has no network to fetch it).
 govulncheck:
@@ -42,7 +52,7 @@ govulncheck:
 		echo "govulncheck not installed; skipping"; \
 	fi
 
-ci: build vet lint race bench govulncheck
+ci: build vet lint race bench smoke govulncheck
 
 clean:
 	rm -rf $(BENCH_DIR)

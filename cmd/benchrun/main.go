@@ -11,7 +11,8 @@
 //	benchrun -fig all                # everything at the default scale
 //	benchrun -fig none -stats-json - # per-strategy pruning breakdowns as JSON
 //	benchrun -fig none -bench-out .  # machine-readable BENCH_<date>.json
-//	benchrun -fig 19 -serve :8080    # scrape /metrics and /debug/pprof/ live
+//	benchrun -compare .              # diff the two most recent BENCH files
+//	benchrun -fig 19 -serve :8080    # /metrics, /debug/lbkeogh and pprof live
 //
 // Each figure prints the same series the paper plots: the ratio of
 // num_steps per comparison against brute force (figures 19–23), the
@@ -29,7 +30,6 @@ import (
 	"text/tabwriter"
 
 	"lbkeogh/internal/experiments"
-	"lbkeogh/internal/obs"
 )
 
 func main() {
@@ -45,21 +45,30 @@ func main() {
 		seed    = flag.Int64("seed", 2006, "base RNG seed")
 		format  = flag.String("format", "table", "output format for figure series: table | csv")
 
-		serve     = flag.String("serve", "", "serve /metrics (Prometheus text), /debug/vars and /debug/pprof/ on this address (e.g. :8080) and keep running after the experiments")
+		serve     = flag.String("serve", "", "serve /metrics (Prometheus text), /debug/lbkeogh (live trace dashboard), /debug/vars and /debug/pprof/ on this address (e.g. :8080) and keep running after the experiments")
 		statsJSON = flag.String("stats-json", "", "write per-strategy pruning breakdowns as JSON to this file (\"-\" for stdout)")
-		benchOut  = flag.String("bench-out", "", "write a machine-readable BENCH_<date>.json (steps, prune rates, wall time) into this directory")
+		benchOut  = flag.String("bench-out", "", "write a machine-readable BENCH_<date>.json (steps, prune rates, stage latencies, wall time) into this directory")
+		compare   = flag.String("compare", "", "diff the two most recent BENCH_*.json files in this directory, then exit")
 	)
 	flag.Parse()
 	outputFormat = *format
 
-	var registry *obs.Registry
+	if *compare != "" {
+		if err := compareBench(*compare); err != nil {
+			fmt.Fprintf(os.Stderr, "benchrun: -compare: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
+
+	var live *liveObs
 	if *serve != "" {
-		registry = obs.NewRegistry()
-		if err := serveObs(*serve, registry); err != nil {
+		live = newLiveObs()
+		if err := serveObs(*serve, live); err != nil {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(1)
 		}
-		fmt.Printf("serving /metrics, /debug/vars and /debug/pprof/ on %s\n", *serve)
+		fmt.Printf("serving /metrics, /debug/lbkeogh, /debug/vars and /debug/pprof/ on %s\n", *serve)
 	}
 
 	run := func(name string, fn func() error) {
@@ -241,7 +250,11 @@ func main() {
 
 	if *statsJSON != "" || *benchOut != "" || *serve != "" {
 		fmt.Println("==> Instrumented per-strategy scan (pruning breakdowns)")
-		rep := collectStats(min(*maxM, 500), *nProj, *queries, *seed, registry)
+		rep, err := collectStats(min(*maxM, 500), *nProj, *queries, *seed, live)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "benchrun: instrumented scan: %v\n", err)
+			os.Exit(1)
+		}
 		broken := 0
 		for _, s := range rep.Strategies {
 			if !s.Reconciles || !s.StepsMatchCounter {

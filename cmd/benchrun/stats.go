@@ -8,28 +8,26 @@ import (
 	"net/http/pprof"
 	"os"
 	"path/filepath"
+	"sort"
 	"strings"
+	"sync"
 	"time"
 
 	"lbkeogh"
-	"lbkeogh/internal/core"
-	"lbkeogh/internal/obs"
-	"lbkeogh/internal/stats"
-	"lbkeogh/internal/wedge"
 )
 
 // strategyReport is the per-strategy instrumentation summary emitted by
 // -stats-json and -bench-out: the full pruning breakdown, the num_steps
-// total, and two reconciliation checks (the outcome buckets sum to the
-// rotations covered, and the record's step total equals the independently
-// maintained num_steps counter).
+// total, per-stage latency percentiles, and two reconciliation checks (the
+// outcome buckets sum to the rotations covered, and the record's step total
+// equals the independently maintained num_steps counter).
 type strategyReport struct {
-	Strategy          string       `json:"strategy"`
-	WallSeconds       float64      `json:"wall_seconds"`
-	Steps             int64        `json:"steps"`
-	StepsMatchCounter bool         `json:"steps_match_counter"`
-	Reconciles        bool         `json:"reconciles"`
-	Stats             obs.Snapshot `json:"stats"`
+	Strategy          string              `json:"strategy"`
+	WallSeconds       float64             `json:"wall_seconds"`
+	Steps             int64               `json:"steps"`
+	StepsMatchCounter bool                `json:"steps_match_counter"`
+	Reconciles        bool                `json:"reconciles"`
+	Stats             lbkeogh.SearchStats `json:"stats"`
 }
 
 type benchReport struct {
@@ -42,10 +40,178 @@ type benchReport struct {
 	Strategies []strategyReport `json:"strategies"`
 }
 
+// liveObs is the mutable source/log registry behind -serve: the instrumented
+// scan registers its per-strategy records and trace logs after the server is
+// already up, so a concurrent scrape or dashboard load sees them appear and
+// update live.
+type liveObs struct {
+	mu      sync.Mutex
+	sources map[string]lbkeogh.StatsSource
+	logs    map[string]*lbkeogh.TraceLog
+}
+
+func newLiveObs() *liveObs {
+	return &liveObs{
+		sources: map[string]lbkeogh.StatsSource{},
+		logs:    map[string]*lbkeogh.TraceLog{},
+	}
+}
+
+func (l *liveObs) add(name string, src lbkeogh.StatsSource, t *lbkeogh.TraceLog) {
+	if l == nil {
+		return
+	}
+	l.mu.Lock()
+	l.sources[name] = src
+	l.logs[name] = t
+	l.mu.Unlock()
+}
+
+func (l *liveObs) snapshot() (map[string]lbkeogh.StatsSource, map[string]*lbkeogh.TraceLog) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	src := make(map[string]lbkeogh.StatsSource, len(l.sources))
+	for k, v := range l.sources {
+		src[k] = v
+	}
+	logs := make(map[string]*lbkeogh.TraceLog, len(l.logs))
+	for k, v := range l.logs {
+		logs[k] = v
+	}
+	return src, logs
+}
+
+// strategyStats accumulates the records of every query one strategy has run:
+// finished queries are folded into base, the in-flight query is read live
+// (its record is safe to snapshot concurrently). Implements
+// lbkeogh.StatsSource for /metrics and the dashboard.
+type strategyStats struct {
+	mu   sync.Mutex
+	base lbkeogh.SearchStats
+	cur  *lbkeogh.Query
+	tlog *lbkeogh.TraceLog
+}
+
+func (a *strategyStats) setCurrent(q *lbkeogh.Query) {
+	a.mu.Lock()
+	a.cur = q
+	a.mu.Unlock()
+}
+
+func (a *strategyStats) fold() {
+	a.mu.Lock()
+	if a.cur != nil {
+		addStats(&a.base, a.cur.Stats())
+		a.cur = nil
+	}
+	a.mu.Unlock()
+}
+
+func (a *strategyStats) Stats() lbkeogh.SearchStats {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	out := cloneStats(a.base)
+	if a.cur != nil {
+		addStats(&out, a.cur.Stats())
+	}
+	finishStats(&out)
+	out.StageLatencies = a.tlog.StageLatencies()
+	return out
+}
+
+// cloneStats deep-copies the slice-valued fields so callers never alias the
+// accumulator's backing arrays.
+func cloneStats(s lbkeogh.SearchStats) lbkeogh.SearchStats {
+	out := s
+	out.WedgePrunesByLevel = append([]int64(nil), s.WedgePrunesByLevel...)
+	out.StepsHistogram = append([]lbkeogh.HistogramBucket(nil), s.StepsHistogram...)
+	out.KTrajectory = nil // per-query trajectories don't aggregate
+	out.StageLatencies = nil
+	return out
+}
+
+// addStats accumulates b's counters into a; derived rates are left stale
+// until finishStats.
+func addStats(a *lbkeogh.SearchStats, b lbkeogh.SearchStats) {
+	a.Comparisons += b.Comparisons
+	a.Rotations += b.Rotations
+	a.Steps += b.Steps
+	a.FullDistEvals += b.FullDistEvals
+	a.EarlyAbandons += b.EarlyAbandons
+	a.WedgeNodeVisits += b.WedgeNodeVisits
+	a.WedgeLeafVisits += b.WedgeLeafVisits
+	a.WedgePrunedMembers += b.WedgePrunedMembers
+	a.WedgeLeafLBPrunes += b.WedgeLeafLBPrunes
+	a.FFTRejects += b.FFTRejects
+	a.FFTRejectedMembers += b.FFTRejectedMembers
+	a.FFTFallbacks += b.FFTFallbacks
+	a.IndexCandidates += b.IndexCandidates
+	a.IndexFetches += b.IndexFetches
+	a.DiskReads += b.DiskReads
+	a.KChanges += b.KChanges
+	a.StepsHistogramSum += b.StepsHistogramSum
+	if len(b.WedgePrunesByLevel) > 0 {
+		if len(a.WedgePrunesByLevel) < len(b.WedgePrunesByLevel) {
+			grown := make([]int64, len(b.WedgePrunesByLevel))
+			copy(grown, a.WedgePrunesByLevel)
+			a.WedgePrunesByLevel = grown
+		}
+		for i, v := range b.WedgePrunesByLevel {
+			a.WedgePrunesByLevel[i] += v
+		}
+	}
+	if len(b.StepsHistogram) > 0 {
+		a.StepsHistogram = mergeBuckets(a.StepsHistogram, b.StepsHistogram)
+	}
+}
+
+func finishStats(a *lbkeogh.SearchStats) {
+	if a.Rotations > 0 {
+		a.PruneRate = 1 - float64(a.FullDistEvals)/float64(a.Rotations)
+	}
+	if a.Comparisons > 0 {
+		a.StepsPerComparison = float64(a.Steps) / float64(a.Comparisons)
+	}
+}
+
+// mergeBuckets sums two non-empty-bucket lists by upper bound, keeping the
+// overflow bucket (bound -1) last.
+func mergeBuckets(a, b []lbkeogh.HistogramBucket) []lbkeogh.HistogramBucket {
+	m := map[int64]int64{}
+	for _, x := range a {
+		m[x.UpperBound] += x.Count
+	}
+	for _, x := range b {
+		m[x.UpperBound] += x.Count
+	}
+	bounds := make([]int64, 0, len(m))
+	for k := range m {
+		bounds = append(bounds, k)
+	}
+	sort.Slice(bounds, func(i, j int) bool {
+		bi, bj := bounds[i], bounds[j]
+		if bi < 0 {
+			return false // overflow sorts last
+		}
+		if bj < 0 {
+			return true
+		}
+		return bi < bj
+	})
+	out := make([]lbkeogh.HistogramBucket, len(bounds))
+	for i, k := range bounds {
+		out[i] = lbkeogh.HistogramBucket{UpperBound: k, Count: m[k]}
+	}
+	return out
+}
+
 // collectStats runs every search strategy over the same projectile-point
-// workload with a live SearchStats record each, optionally registering the
-// records in reg so a concurrent -serve scrape sees them update.
-func collectStats(m, n, queries int, seed int64, reg *obs.Registry) benchReport {
+// workload through the public API, one trace log per strategy, optionally
+// registering the live records in live so a concurrent -serve scrape or
+// dashboard load sees them update. Every query is traced (sample rate 1), so
+// the reported stage latencies cover the whole scan; wall_seconds therefore
+// includes the (small) tracing overhead for every strategy equally.
+func collectStats(m, n, queries int, seed int64, live *liveObs) (benchReport, error) {
 	all := lbkeogh.SyntheticProjectilePoints(seed, m+queries, n)
 	db, qs := all[:m], all[m:]
 	rep := benchReport{
@@ -55,36 +221,46 @@ func collectStats(m, n, queries int, seed int64, reg *obs.Registry) benchReport 
 	}
 	for _, str := range []struct {
 		label string
-		s     core.Strategy
+		s     lbkeogh.Strategy
 	}{
-		{"brute", core.BruteForce},
-		{"early-abandon", core.EarlyAbandon},
-		{"fft", core.FFTFilter},
-		{"wedge", core.Wedge},
+		{"brute", lbkeogh.BruteForceSearch},
+		{"early-abandon", lbkeogh.EarlyAbandonSearch},
+		{"fft", lbkeogh.FFTSearch},
+		{"wedge", lbkeogh.WedgeSearch},
 	} {
-		rec := &obs.SearchStats{}
-		if reg != nil {
-			reg.SearchStats("lbkeogh_"+strings.ReplaceAll(str.label, "-", "_"),
-				"search breakdown for the "+str.label+" strategy", rec)
-		}
-		var cnt stats.Counter // scan cost only; construction charged separately
+		tlog := lbkeogh.NewTraceLog(
+			lbkeogh.WithSampleRate(1),
+			lbkeogh.WithSlowThreshold(10*time.Millisecond),
+		)
+		agg := &strategyStats{tlog: tlog}
+		live.add("lbkeogh_"+strings.ReplaceAll(str.label, "-", "_"), agg, tlog)
+		var counterSteps int64
 		start := time.Now()
-		for _, q := range qs {
-			rs := core.NewRotationSet(q, core.DefaultOptions(), nil)
-			sc := core.NewSearcher(rs, wedge.ED{}, str.s, core.SearcherConfig{Obs: rec})
-			sc.Scan(db, &cnt)
+		for _, series := range qs {
+			q, err := lbkeogh.NewQuery(series, lbkeogh.Euclidean(),
+				lbkeogh.WithStrategy(str.s), lbkeogh.WithTraceLog(tlog))
+			if err != nil {
+				return rep, fmt.Errorf("%s: %w", str.label, err)
+			}
+			q.ResetSteps() // charge the scan only; construction is not scan cost
+			agg.setCurrent(q)
+			if _, err := q.Search(db); err != nil {
+				return rep, fmt.Errorf("%s: %w", str.label, err)
+			}
+			counterSteps += q.Steps()
+			agg.fold()
 		}
-		sn := rec.Snapshot()
+		st := agg.Stats()
 		rep.Strategies = append(rep.Strategies, strategyReport{
 			Strategy:          str.label,
 			WallSeconds:       time.Since(start).Seconds(),
-			Steps:             sn.Steps,
-			StepsMatchCounter: sn.Steps == cnt.Steps(),
-			Reconciles:        sn.Reconciles(),
-			Stats:             sn,
+			Steps:             st.Steps,
+			StepsMatchCounter: st.Steps == counterSteps,
+			Reconciles:        st.Reconciles(),
+			Stats:             st,
 		})
 	}
-	return rep
+	return rep, nil
 }
 
 // writeReport marshals the report to path ("-" means stdout).
@@ -131,13 +307,107 @@ func writeBenchJSON(rep benchReport, dir string) (string, error) {
 	return path, writeReport(rep, path)
 }
 
-// serveObs mounts the metric registry at /metrics, expvar at /debug/vars,
-// and the pprof profiles at /debug/pprof/ on a private mux, then serves in
-// the background.
-func serveObs(addr string, reg *obs.Registry) error {
-	reg.PublishExpvar("lbkeogh")
+// stageP50 finds the p50 latency (ns) for the named stage, -1 if absent.
+func stageP50(st lbkeogh.SearchStats, stage string) int64 {
+	for _, sl := range st.StageLatencies {
+		if sl.Stage == stage {
+			return sl.P50NS
+		}
+	}
+	return -1
+}
+
+// compareBench diffs the two most recent BENCH_*.json files in dir (the
+// date-stamped names sort chronologically). With one file it prints a
+// baseline summary; with none it fails.
+func compareBench(dir string) error {
+	files, err := filepath.Glob(filepath.Join(dir, "BENCH_*.json"))
+	if err != nil {
+		return err
+	}
+	sort.Strings(files)
+	if len(files) == 0 {
+		return fmt.Errorf("no BENCH_*.json files under %s (run with -bench-out first)", dir)
+	}
+	load := func(path string) (benchReport, error) {
+		var rep benchReport
+		data, err := os.ReadFile(path)
+		if err != nil {
+			return rep, err
+		}
+		return rep, json.Unmarshal(data, &rep)
+	}
+	cur, err := load(files[len(files)-1])
+	if err != nil {
+		return err
+	}
+	if len(files) == 1 {
+		fmt.Printf("baseline %s (no earlier bench file to compare against)\n", files[0])
+		for _, s := range cur.Strategies {
+			fmt.Printf("  %-14s steps=%-12d prune_rate=%.4f wall=%.2fs search_p50=%s\n",
+				s.Strategy, s.Steps, s.Stats.PruneRate, s.WallSeconds, fmtP50(stageP50(s.Stats, "search")))
+		}
+		return nil
+	}
+	prev, err := load(files[len(files)-2])
+	if err != nil {
+		return err
+	}
+	fmt.Printf("comparing %s -> %s\n", files[len(files)-2], files[len(files)-1])
+	old := map[string]strategyReport{}
+	for _, s := range prev.Strategies {
+		old[s.Strategy] = s
+	}
+	for _, s := range cur.Strategies {
+		o, ok := old[s.Strategy]
+		if !ok {
+			fmt.Printf("  %-14s new strategy: steps=%d wall=%.2fs\n", s.Strategy, s.Steps, s.WallSeconds)
+			continue
+		}
+		fmt.Printf("  %-14s steps %d -> %d (%+.2f%%)  wall %.2fs -> %.2fs (%+.2f%%)  search_p50 %s -> %s\n",
+			s.Strategy,
+			o.Steps, s.Steps, pctDelta(float64(o.Steps), float64(s.Steps)),
+			o.WallSeconds, s.WallSeconds, pctDelta(o.WallSeconds, s.WallSeconds),
+			fmtP50(stageP50(o.Stats, "search")), fmtP50(stageP50(s.Stats, "search")))
+	}
+	return nil
+}
+
+func pctDelta(old, cur float64) float64 {
+	if old == 0 {
+		return 0
+	}
+	return (cur - old) / old * 100
+}
+
+func fmtP50(ns int64) string {
+	if ns < 0 {
+		return "n/a"
+	}
+	return time.Duration(ns).String()
+}
+
+// serveObs mounts the public metrics handler at /metrics, the live trace
+// dashboard at /debug/lbkeogh, expvar at /debug/vars, and the pprof profiles
+// at /debug/pprof/ on a private mux, then serves in the background.
+func serveObs(addr string, live *liveObs) error {
+	expvar.Publish("lbkeogh", expvar.Func(func() any {
+		src, _ := live.snapshot()
+		out := map[string]any{}
+		for n, s := range src {
+			out[n] = s.Stats()
+		}
+		return out
+	}))
 	mux := http.NewServeMux()
-	mux.Handle("/metrics", reg.Handler())
+	mux.Handle("/metrics", http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		src, _ := live.snapshot()
+		lbkeogh.MetricsHandler(src).ServeHTTP(w, r)
+	}))
+	mux.Handle("/debug/lbkeogh", http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		src, logs := live.snapshot()
+		lbkeogh.DebugHandler(src, logs).ServeHTTP(w, r)
+	}))
 	mux.Handle("/debug/vars", expvar.Handler())
 	mux.HandleFunc("/debug/pprof/", pprof.Index)
 	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)

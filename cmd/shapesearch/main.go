@@ -10,6 +10,8 @@
 //	shapesearch -db db.csv -query 4 -indexed -dims 16
 //	shapesearch -db db.csv -query 4 -stats          # pruning breakdown as JSON
 //	shapesearch -db db.csv -query 4 -pprof :8080    # serve /metrics + pprof
+//	shapesearch -db db.csv -query 4 -serve :8080    # trace the search and serve
+//	                                                # the /debug/lbkeogh dashboard
 package main
 
 import (
@@ -44,6 +46,7 @@ func main() {
 		parallel = flag.Int("parallel", 1, "worker goroutines for the linear scan (0 = GOMAXPROCS)")
 		emitStat = flag.Bool("stats", false, "print the search's pruning breakdown as JSON after the results")
 		pprofOn  = flag.String("pprof", "", "serve /metrics (Prometheus text), /debug/vars and /debug/pprof/ on this address and block after the search")
+		serveOn  = flag.String("serve", "", "like -pprof, but additionally trace the search (every query sampled) and serve the live /debug/lbkeogh dashboard")
 	)
 	flag.Parse()
 	if *dbPath == "" {
@@ -79,6 +82,15 @@ func main() {
 	if *maxDeg >= 0 {
 		opts = append(opts, lbkeogh.WithMaxRotationDegrees(*maxDeg))
 	}
+	addr := *serveOn
+	if addr == "" {
+		addr = *pprofOn
+	}
+	var tlog *lbkeogh.TraceLog
+	if *serveOn != "" {
+		tlog = lbkeogh.NewTraceLog(lbkeogh.WithSampleRate(1))
+		opts = append(opts, lbkeogh.WithTraceLog(tlog))
+	}
 
 	query := series[*queryI]
 	db := make([]lbkeogh.Series, 0, len(series)-1)
@@ -97,10 +109,10 @@ func main() {
 	}
 
 	sources := newSourceSet()
-	sources.add("shapesearch_query", q)
-	if *pprofOn != "" {
+	sources.add("shapesearch_query", q, tlog)
+	if addr != "" {
 		lbkeogh.PublishExpvar("shapesearch_query", q)
-		go serveObs(*pprofOn, sources)
+		go serveObs(addr, sources)
 	}
 
 	var results []lbkeogh.SearchResult
@@ -113,7 +125,8 @@ func main() {
 			os.Exit(1)
 		}
 		statIx = ix
-		sources.add("shapesearch_index", ix)
+		ix.SetTraceLog(tlog) // nil when untraced: a no-op attach
+		sources.add("shapesearch_index", ix, nil)
 		if *radius > 0 {
 			results, err = ix.SearchRange(q, *radius)
 		} else {
@@ -164,45 +177,61 @@ func main() {
 			os.Exit(1)
 		}
 	}
-	if *pprofOn != "" {
-		fmt.Printf("search done; serving /metrics and /debug/pprof/ on %s (interrupt to stop)\n", *pprofOn)
+	if addr != "" {
+		fmt.Printf("search done; serving /metrics, /debug/lbkeogh and /debug/pprof/ on %s (interrupt to stop)\n", addr)
 		select {}
 	}
 }
 
-// sourceSet is a mutex-guarded set of stats sources: the index source is
-// registered after the metrics server is already running.
+// sourceSet is a mutex-guarded set of stats sources and trace logs: the
+// index source is registered after the metrics server is already running.
 type sourceSet struct {
-	mu sync.Mutex
-	m  map[string]lbkeogh.StatsSource
+	mu   sync.Mutex
+	m    map[string]lbkeogh.StatsSource
+	logs map[string]*lbkeogh.TraceLog
 }
 
 func newSourceSet() *sourceSet {
-	return &sourceSet{m: map[string]lbkeogh.StatsSource{}}
+	return &sourceSet{
+		m:    map[string]lbkeogh.StatsSource{},
+		logs: map[string]*lbkeogh.TraceLog{},
+	}
 }
 
-func (s *sourceSet) add(name string, src lbkeogh.StatsSource) {
+func (s *sourceSet) add(name string, src lbkeogh.StatsSource, t *lbkeogh.TraceLog) {
 	s.mu.Lock()
 	s.m[name] = src
+	if t != nil {
+		s.logs[name] = t
+	}
 	s.mu.Unlock()
 }
 
-func (s *sourceSet) snapshot() map[string]lbkeogh.StatsSource {
+func (s *sourceSet) snapshot() (map[string]lbkeogh.StatsSource, map[string]*lbkeogh.TraceLog) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	out := make(map[string]lbkeogh.StatsSource, len(s.m))
 	for k, v := range s.m {
 		out[k] = v
 	}
-	return out
+	logs := make(map[string]*lbkeogh.TraceLog, len(s.logs))
+	for k, v := range s.logs {
+		logs[k] = v
+	}
+	return out, logs
 }
 
-// serveObs serves the public metrics handler, expvar and the pprof profiles
-// on a private mux.
+// serveObs serves the public metrics handler, the trace dashboard, expvar
+// and the pprof profiles on a private mux.
 func serveObs(addr string, sources *sourceSet) {
 	mux := http.NewServeMux()
 	mux.Handle("/metrics", http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
-		lbkeogh.MetricsHandler(sources.snapshot()).ServeHTTP(w, r)
+		src, _ := sources.snapshot()
+		lbkeogh.MetricsHandler(src).ServeHTTP(w, r)
+	}))
+	mux.Handle("/debug/lbkeogh", http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		src, logs := sources.snapshot()
+		lbkeogh.DebugHandler(src, logs).ServeHTTP(w, r)
 	}))
 	mux.Handle("/debug/vars", expvar.Handler())
 	mux.HandleFunc("/debug/pprof/", pprof.Index)
@@ -211,7 +240,7 @@ func serveObs(addr string, sources *sourceSet) {
 	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
 	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
 	if err := http.ListenAndServe(addr, mux); err != nil {
-		fmt.Fprintf(os.Stderr, "shapesearch: -pprof %s: %v\n", addr, err)
+		fmt.Fprintf(os.Stderr, "shapesearch: serve %s: %v\n", addr, err)
 		os.Exit(1)
 	}
 }

@@ -22,22 +22,37 @@ type Index struct {
 	closer func() error // set for file-backed indexes
 	obs    obs.SearchStats
 	tracer Tracer
+	tlog   *TraceLog
 }
 
 // initObserver wires the index's instrumentation record (and any tracer)
 // into the internal layer; called at construction and by SetTracer.
+// Tracer aliases the internal interface, so no adapter is needed.
 func (ix *Index) initObserver() {
-	var tr obs.Tracer
-	if ix.tracer != nil {
-		tr = ix.tracer
-	}
-	ix.ix.SetObserver(&ix.obs, tr)
+	ix.ix.SetObserver(&ix.obs, ix.tracer)
 }
 
 // Stats returns a snapshot of the index's instrumentation record,
 // cumulative over every query answered: index-level candidate and fetch
 // counts, disk reads, and the verification searches' pruning breakdowns.
-func (ix *Index) Stats() SearchStats { return statsFromSnapshot(ix.obs.Snapshot()) }
+// When a TraceLog is attached, the snapshot additionally carries the log's
+// per-stage latency summaries.
+func (ix *Index) Stats() SearchStats {
+	s := statsFromSnapshot(ix.obs.Snapshot())
+	s.StageLatencies = stageLatenciesFromInternal(ix.tlog.inner().Latencies().Snapshot())
+	return s
+}
+
+// SetTraceLog attaches a TraceLog (nil detaches): every subsequent query
+// records a span trace — index probe, per-candidate disk fetch, and the
+// verification comparisons — sampled and screened for slow queries by the
+// log. File-backed stores additionally feed per-record read durations into
+// the log's disk_read histogram. Not safe to call concurrently with
+// queries.
+func (ix *Index) SetTraceLog(t *TraceLog) {
+	ix.tlog = t
+	ix.ix.SetTraceLog(t.inner())
+}
 
 // ResetStats zeroes the instrumentation record (the DiskReads counter of
 // the underlying store is independent; see ResetDiskReads).

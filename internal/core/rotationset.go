@@ -14,6 +14,7 @@ import (
 	"fmt"
 	"math"
 
+	"lbkeogh/internal/obs/trace"
 	"lbkeogh/internal/stats"
 	"lbkeogh/internal/ts"
 	"lbkeogh/internal/wedge"
@@ -71,11 +72,20 @@ type RotationSet struct {
 // between a rotation and a mirrored rotation depends only on the sum of the
 // indices, so n + n profile entries suffice for the full matrix.
 func NewRotationSet(base []float64, opts Options, cnt *stats.Counter) *RotationSet {
+	return NewRotationSetTraced(base, opts, cnt, nil)
+}
+
+// NewRotationSetTraced is NewRotationSet with build-phase span recording:
+// the rotation-matrix expansion (including the circulant distance profiles)
+// and the wedge-hierarchy construction each get a span on rec. A nil rec is
+// the untraced path.
+func NewRotationSetTraced(base []float64, opts Options, cnt *stats.Counter, rec *trace.Recorder) *RotationSet {
 	n := len(base)
 	if n == 0 {
 		panic("core: empty query series")
 	}
 	var local stats.Tally
+	rotSpan := rec.Begin(trace.StageRotationMatrix, -1)
 
 	// Which shifts are admitted?
 	shifts := allowedShifts(n, opts.MaxShift)
@@ -127,7 +137,10 @@ func NewRotationSet(base []float64, opts Options, cnt *stats.Counter) *RotationS
 
 	rs.profSame = same
 	rs.profCross = cross
+	rec.End(rotSpan)
+	wedgeSpan := rec.Begin(trace.StageWedgeBuild, -1)
 	rs.tree = wedge.Build(rs.members, rs.memberDistance, &local)
+	rec.End(wedgeSpan)
 	rs.SetupSteps = local.Steps()
 	cnt.Add(local.Steps())
 	return rs

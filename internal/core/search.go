@@ -6,6 +6,7 @@ import (
 
 	"lbkeogh/internal/fourier"
 	"lbkeogh/internal/obs"
+	"lbkeogh/internal/obs/trace"
 	"lbkeogh/internal/stats"
 	"lbkeogh/internal/wedge"
 )
@@ -71,6 +72,8 @@ type Searcher struct {
 	queryMag  []float64
 	obs       *obs.SearchStats // nil: the no-op sink
 	tracer    obs.Tracer       // nil: untraced
+	rec       *trace.Recorder  // nil: no span recording
+	ref       int              // comparison ordinal within the current trace
 }
 
 // SearcherConfig tunes a Searcher beyond its strategy.
@@ -127,6 +130,14 @@ func NewSearcher(rs *RotationSet, kernel wedge.Kernel, strategy Strategy, cfg Se
 	return s
 }
 
+// SetRecorder attaches (or, with nil, detaches) a span recorder for the next
+// query. The comparison ordinal restarts at zero, so span refs index the scan.
+// The recorder is single-goroutine: attach it to at most one searcher.
+func (s *Searcher) SetRecorder(rec *trace.Recorder) {
+	s.rec = rec
+	s.ref = 0
+}
+
 // Kernel returns the searcher's distance kernel.
 func (s *Searcher) Kernel() wedge.Kernel { return s.kernel }
 
@@ -146,6 +157,29 @@ func (s *Searcher) CurrentK() int {
 // Match.Dist is +Inf when every rotation provably exceeds r. The num_steps
 // spent are charged to cnt.
 func (s *Searcher) MatchSeries(x []float64, r float64, cnt *stats.Counter) Match {
+	if s.rec != nil {
+		return s.matchSeriesTraced(x, r, cnt)
+	}
+	return s.matchSeries(x, r, cnt, nil)
+}
+
+// matchSeriesTraced wraps one comparison in a span carrying the counter
+// deltas it caused, with the hot-path spans (H-Merge walk, kernel evals)
+// staged through a stack-owned arena and flushed once per comparison —
+// the span analogue of the stats.Tally discipline.
+func (s *Searcher) matchSeriesTraced(x []float64, r float64, cnt *stats.Counter) Match {
+	before := s.obs.Counts()
+	comp := s.rec.Begin(trace.StageComparison, s.ref)
+	s.ref++
+	var ar trace.Arena
+	ar.Init(s.rec)
+	m := s.matchSeries(x, r, cnt, &ar)
+	s.rec.FlushArena(&ar, comp)
+	s.rec.EndAttrs(comp, s.obs.Counts().Sub(before))
+	return m
+}
+
+func (s *Searcher) matchSeries(x []float64, r float64, cnt *stats.Counter, ar *trace.Arena) Match {
 	s.rs.checkLen(x)
 	s.obs.AddComparison(int64(s.rs.Members()))
 	var local stats.Tally
@@ -156,9 +190,9 @@ func (s *Searcher) MatchSeries(x []float64, r float64, cnt *stats.Counter) Match
 	case EarlyAbandon:
 		m = s.matchEarlyAbandon(x, r, &local)
 	case FFTFilter:
-		m = s.matchFFT(x, r, &local)
+		m = s.matchFFT(x, r, &local, ar)
 	default:
-		m = s.matchWedge(x, r, &local)
+		m = s.matchWedge(x, r, &local, ar)
 	}
 	cnt.Add(local.Steps())
 	s.obs.AddSteps(local.Steps())
@@ -208,16 +242,19 @@ func (s *Searcher) matchEarlyAbandon(x []float64, r float64, cnt *stats.Tally) M
 	return Match{Dist: best, Member: s.rs.MemberID(bestIdx), found: true}
 }
 
-func (s *Searcher) matchFFT(x []float64, r float64, cnt *stats.Tally) Match {
+func (s *Searcher) matchFFT(x []float64, r float64, cnt *stats.Tally, ar *trace.Arena) Match {
 	// The magnitude filter only applies under a finite threshold; an
 	// unbounded match (r < 0) neither computes the bound nor pays for it.
 	if r >= 0 {
 		// Cost model from Section 5.3: n·log2(n) steps for the transform,
 		// plus the magnitude-space Euclidean distance.
+		ft0 := ar.Now()
 		n := s.rs.Len()
 		cnt.Add(int64(float64(n)*math.Log2(float64(n))) + int64(len(s.queryMag)))
 		xmag := fourier.Magnitudes(x, n/2)
-		if fourier.LowerBoundED(s.queryMag, xmag) >= r {
+		rejected := fourier.LowerBoundED(s.queryMag, xmag) >= r
+		ar.Emit(trace.StageFFT, -1, ft0, ar.Now()-ft0)
+		if rejected {
 			s.obs.CountFFTReject(int64(s.rs.Members()))
 			return Match{Dist: math.Inf(1)}
 		}
@@ -226,12 +263,14 @@ func (s *Searcher) matchFFT(x []float64, r float64, cnt *stats.Tally) Match {
 	return s.matchEarlyAbandon(x, r, cnt)
 }
 
-func (s *Searcher) matchWedge(x []float64, r float64, cnt *stats.Tally) Match {
+func (s *Searcher) matchWedge(x []float64, r float64, cnt *stats.Tally, ar *trace.Arena) Match {
 	K := s.fixedK
 	if K <= 0 {
 		K = s.dyn.K()
 	}
-	res := s.rs.tree.SearchObs(x, s.kernel, K, r, s.traversal, cnt, s.obs, s.tracer)
+	env := ar.Begin(trace.StageEnvelope, -1)
+	res := s.rs.tree.SearchTraced(x, s.kernel, K, r, s.traversal, cnt, s.obs, s.tracer, ar)
+	ar.End(env)
 	improved := res.BestMember >= 0
 	if s.fixedK <= 0 {
 		s.dyn.Observe(res.Steps, improved)

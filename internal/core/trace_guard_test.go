@@ -1,0 +1,108 @@
+package core
+
+import (
+	"math"
+	"os"
+	"sync"
+	"testing"
+
+	"lbkeogh/internal/obs/trace"
+	"lbkeogh/internal/stats"
+	"lbkeogh/internal/ts"
+	"lbkeogh/internal/wedge"
+)
+
+// guardWorkload is a fixed scan shared by the tracing-overhead benchmarks so
+// both sides measure identical work.
+var guardWorkload struct {
+	once sync.Once
+	rs   *RotationSet
+	db   [][]float64
+}
+
+func guardSetup() (*RotationSet, [][]float64) {
+	guardWorkload.once.Do(func() {
+		rng := ts.NewRand(11)
+		q := ts.RandomWalk(rng, 64)
+		guardWorkload.rs = NewRotationSet(q, DefaultOptions(), nil)
+		guardWorkload.db = make([][]float64, 32)
+		for i := range guardWorkload.db {
+			guardWorkload.db[i] = ts.RandomWalk(rng, 64)
+		}
+	})
+	return guardWorkload.rs, guardWorkload.db
+}
+
+// scanDirect is the untraced baseline: matchSeries with no recorder plumbing
+// at all.
+func scanDirect(b *testing.B) {
+	rs, db := guardSetup()
+	s := NewSearcher(rs, wedge.ED{}, Wedge, SearcherConfig{})
+	var cnt stats.Counter
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.matchSeries(db[i%len(db)], -1, &cnt, nil)
+	}
+}
+
+// scanNilRecorder is the production entry point with tracing disabled: one
+// nil check per comparison, nothing else.
+func scanNilRecorder(b *testing.B) {
+	rs, db := guardSetup()
+	s := NewSearcher(rs, wedge.ED{}, Wedge, SearcherConfig{})
+	s.SetRecorder(nil)
+	var cnt stats.Counter
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.MatchSeries(db[i%len(db)], -1, &cnt)
+	}
+}
+
+func BenchmarkMatchSeriesUntraced(b *testing.B)    { scanDirect(b) }
+func BenchmarkMatchSeriesNilRecorder(b *testing.B) { scanNilRecorder(b) }
+
+// BenchmarkMatchSeriesTraced shows the cost of full span recording, for
+// comparison; it is not subject to the 2% guard.
+func BenchmarkMatchSeriesTraced(b *testing.B) {
+	rs, db := guardSetup()
+	s := NewSearcher(rs, wedge.ED{}, Wedge, SearcherConfig{})
+	rec := trace.NewRecorder("bench", trace.DefaultSpanCap)
+	s.SetRecorder(rec)
+	var cnt stats.Counter
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.MatchSeries(db[i%len(db)], -1, &cnt)
+	}
+}
+
+// TestNilRecorderOverheadGuard asserts the issue's performance criterion:
+// with no recorder attached, MatchSeries must stay within 2% of the direct
+// untraced path. Wall-clock comparisons are noisy under shared CI machines,
+// so the guard runs only when LBKEOGH_PERF_GUARD is set (it is part of the
+// documented local gate, not the default test run).
+func TestNilRecorderOverheadGuard(t *testing.T) {
+	if os.Getenv("LBKEOGH_PERF_GUARD") == "" {
+		t.Skip("set LBKEOGH_PERF_GUARD=1 to run the tracing-overhead guard")
+	}
+	best := func(f func(b *testing.B)) float64 {
+		lo := math.Inf(1)
+		for i := 0; i < 5; i++ {
+			r := testing.Benchmark(f)
+			if ns := float64(r.T.Nanoseconds()) / float64(r.N); ns < lo {
+				lo = ns
+			}
+		}
+		return lo
+	}
+	// Warm both paths once so neither pays first-touch costs.
+	testing.Benchmark(scanDirect)
+	testing.Benchmark(scanNilRecorder)
+	direct := best(scanDirect)
+	nilRec := best(scanNilRecorder)
+	ratio := nilRec / direct
+	t.Logf("untraced %.0f ns/op, nil-recorder %.0f ns/op, ratio %.4f", direct, nilRec, ratio)
+	if ratio > 1.02 {
+		t.Errorf("nil-recorder path is %.2f%% slower than untraced search, budget is 2%%",
+			(ratio-1)*100)
+	}
+}

@@ -21,6 +21,7 @@ import (
 	"math"
 	"os"
 	"sync"
+	"time"
 )
 
 const (
@@ -77,13 +78,14 @@ type Store struct {
 
 	mu    sync.Mutex
 	reads int
-	hook  func(id int)
+	hook  func(id int, dur time.Duration)
 }
 
 // SetFetchHook installs a callback invoked after every successful record
-// read (nil removes it). The observability layer uses it to stream per-read
-// events; the hook must be safe for concurrent calls when fetches are.
-func (s *Store) SetFetchHook(hook func(id int)) {
+// read with the read's wall duration (nil removes it). The observability
+// layer uses it to stream per-read events and disk-latency histograms; the
+// hook must be safe for concurrent calls when fetches are.
+func (s *Store) SetFetchHook(hook func(id int, dur time.Duration)) {
 	s.mu.Lock()
 	s.hook = hook
 	s.mu.Unlock()
@@ -149,6 +151,7 @@ func (s *Store) FetchErr(id int) ([]float64, error) {
 	if id < 0 || id >= s.m {
 		return nil, fmt.Errorf("diskstore: record %d outside [0,%d)", id, s.m)
 	}
+	start := time.Now()
 	buf := make([]byte, 8*s.n)
 	off := int64(headerSize) + int64(id)*int64(s.n)*8
 	if _, err := s.f.ReadAt(buf, off); err != nil {
@@ -163,7 +166,7 @@ func (s *Store) FetchErr(id int) ([]float64, error) {
 	hook := s.hook
 	s.mu.Unlock()
 	if hook != nil {
-		hook(id)
+		hook(id, time.Since(start))
 	}
 	return out, nil
 }

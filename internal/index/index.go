@@ -13,10 +13,12 @@ import (
 	"fmt"
 	"math"
 	"sort"
+	"time"
 
 	"lbkeogh/internal/core"
 	"lbkeogh/internal/fourier"
 	"lbkeogh/internal/obs"
+	"lbkeogh/internal/obs/trace"
 	"lbkeogh/internal/paa"
 	"lbkeogh/internal/rtree"
 	"lbkeogh/internal/stats"
@@ -76,12 +78,14 @@ type Index struct {
 
 	obs    *obs.SearchStats // nil: the no-op sink
 	tracer obs.Tracer       // nil: untraced
+	tlog   *trace.Log       // nil: no trace recording
+	rec    *trace.Recorder  // the in-flight query's recorder, nil otherwise
 }
 
 // fetchHooker is implemented by stores that can report each record fetch as
-// it happens (internal/diskstore does).
+// it happens, with its duration (internal/diskstore does).
 type fetchHooker interface {
-	SetFetchHook(func(id int))
+	SetFetchHook(func(id int, dur time.Duration))
 }
 
 // SetObserver installs an instrumentation record and tracer used by every
@@ -92,15 +96,34 @@ type fetchHooker interface {
 func (ix *Index) SetObserver(st *obs.SearchStats, tr obs.Tracer) {
 	ix.obs = st
 	ix.tracer = tr
-	if h, ok := ix.store.(fetchHooker); ok {
-		if st == nil && tr == nil {
-			h.SetFetchHook(nil)
-			return
-		}
-		h.SetFetchHook(func(id int) {
-			st.CountDiskRead()
-		})
+	ix.installFetchHook()
+}
+
+// SetTraceLog attaches (or with nil detaches) a trace log: every subsequent
+// query records a span trace — index probe, per-candidate fetch, and the
+// verification comparisons — which the log samples and screens for slow
+// queries. Disk-read durations additionally feed the log's disk_read stage
+// histogram when the store supports fetch hooks. Not safe to call
+// concurrently with queries.
+func (ix *Index) SetTraceLog(l *trace.Log) {
+	ix.tlog = l
+	ix.installFetchHook()
+}
+
+func (ix *Index) installFetchHook() {
+	h, ok := ix.store.(fetchHooker)
+	if !ok {
+		return
 	}
+	if ix.obs == nil && ix.tracer == nil && ix.tlog == nil {
+		h.SetFetchHook(nil)
+		return
+	}
+	st, tlog := ix.obs, ix.tlog
+	h.SetFetchHook(func(id int, dur time.Duration) {
+		st.CountDiskRead()
+		tlog.ObserveStage(trace.StageDiskRead, int64(dur))
+	})
 }
 
 // Fetch retrieves one full series for verification, charging the access to
@@ -113,7 +136,26 @@ func (ix *Index) Fetch(id int) []float64 {
 	if _, hooked := ix.store.(fetchHooker); !hooked {
 		ix.obs.CountDiskRead()
 	}
-	return ix.store.Fetch(id)
+	sp := ix.rec.Begin(trace.StageFetch, id)
+	series := ix.store.Fetch(id)
+	ix.rec.End(sp)
+	return series
+}
+
+// startTrace begins one query's trace (a nil log yields a nil recorder, the
+// no-op path) and snapshots the counters for the whole-trace delta.
+func (ix *Index) startTrace(label string, searcher *core.Searcher) (*trace.Recorder, obs.Counts) {
+	rec := ix.tlog.StartTrace(label)
+	ix.rec = rec
+	searcher.SetRecorder(rec)
+	return rec, ix.obs.Counts()
+}
+
+// finishTrace completes the query's trace with the counter deltas as the
+// whole-trace attributes.
+func (ix *Index) finishTrace(rec *trace.Recorder, before obs.Counts) {
+	ix.tlog.Finish(rec, ix.obs.Counts().Sub(before))
+	ix.rec = nil
 }
 
 func (ix *Index) searcherConfig() core.SearcherConfig {
@@ -217,7 +259,9 @@ type Result struct {
 func (ix *Index) SearchED(rs *core.RotationSet, cnt *stats.Counter) Result {
 	qmag := fourier.Magnitudes(rs.Base(), ix.d)
 	searcher := core.NewSearcher(rs, wedge.ED{}, core.Wedge, ix.searcherConfig())
+	rec, before := ix.startTrace("index_search_ed", searcher)
 	best := Result{Index: -1, Dist: math.Inf(1)}
+	probe := rec.Begin(trace.StageVPProbe, -1)
 	ix.vpt.Search(qmag, math.Inf(1), func(id int, fd, bsf float64) float64 {
 		series := ix.Fetch(id)
 		m := searcher.MatchSeries(series, bsf, cnt)
@@ -227,6 +271,8 @@ func (ix *Index) SearchED(rs *core.RotationSet, cnt *stats.Counter) Result {
 		}
 		return bsf
 	})
+	rec.End(probe)
+	ix.finishTrace(rec, before)
 	return best
 }
 
@@ -236,7 +282,9 @@ func (ix *Index) SearchED(rs *core.RotationSet, cnt *stats.Counter) Result {
 func (ix *Index) RangeED(rs *core.RotationSet, r float64, cnt *stats.Counter) []Result {
 	qmag := fourier.Magnitudes(rs.Base(), ix.d)
 	searcher := core.NewSearcher(rs, wedge.ED{}, core.Wedge, ix.searcherConfig())
+	rec, before := ix.startTrace("index_range_ed", searcher)
 	var out []Result
+	probe := rec.Begin(trace.StageVPProbe, -1)
 	ix.vpt.Search(qmag, r, func(id int, fd, bsf float64) float64 {
 		series := ix.Fetch(id)
 		m := searcher.MatchSeries(series, r, cnt)
@@ -245,6 +293,8 @@ func (ix *Index) RangeED(rs *core.RotationSet, r float64, cnt *stats.Counter) []
 		}
 		return bsf // fixed radius: never shrink
 	})
+	rec.End(probe)
+	ix.finishTrace(rec, before)
 	sort.Slice(out, func(a, b int) bool { return out[a].Index < out[b].Index })
 	return out
 }
@@ -264,7 +314,9 @@ func (ix *Index) RangeDTW(rs *core.RotationSet, R int, wedges int, r float64, cn
 		boxes[i] = paa.ReduceEnvelope(e, ix.d)
 	}
 	searcher := core.NewSearcher(rs, wedge.DTW{R: R}, core.Wedge, ix.searcherConfig())
+	rec, before := ix.startTrace("index_range_dtw", searcher)
 	var out []Result
+	probe := rec.Begin(trace.StageRTreeProbe, -1)
 	ix.rt.Search(ix.dtwBound(boxes), r, func(id int, lb, bsf float64) float64 {
 		series := ix.Fetch(id)
 		m := searcher.MatchSeries(series, r, cnt)
@@ -273,6 +325,8 @@ func (ix *Index) RangeDTW(rs *core.RotationSet, R int, wedges int, r float64, cn
 		}
 		return bsf // fixed radius
 	})
+	rec.End(probe)
+	ix.finishTrace(rec, before)
 	sort.Slice(out, func(a, b int) bool { return out[a].Index < out[b].Index })
 	return out
 }
@@ -299,7 +353,9 @@ func (ix *Index) SearchDTW(rs *core.RotationSet, R int, wedges int, cnt *stats.C
 		boxes[i] = paa.ReduceEnvelope(e, ix.d)
 	}
 	searcher := core.NewSearcher(rs, wedge.DTW{R: R}, core.Wedge, ix.searcherConfig())
+	rec, before := ix.startTrace("index_search_dtw", searcher)
 	best := Result{Index: -1, Dist: math.Inf(1)}
+	probe := rec.Begin(trace.StageRTreeProbe, -1)
 	ix.rt.Search(ix.dtwBound(boxes), math.Inf(1), func(id int, lb, bsf float64) float64 {
 		series := ix.Fetch(id)
 		m := searcher.MatchSeries(series, bsf, cnt)
@@ -309,5 +365,7 @@ func (ix *Index) SearchDTW(rs *core.RotationSet, R int, wedges int, cnt *stats.C
 		}
 		return bsf
 	})
+	rec.End(probe)
+	ix.finishTrace(rec, before)
 	return best
 }

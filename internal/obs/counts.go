@@ -1,0 +1,112 @@
+package obs
+
+// Counts is a plain-value copy of every scalar counter in a SearchStats
+// record, cheap enough to take before and after a single comparison: one
+// atomic load per field, no allocation, no histogram or trajectory copies.
+// The trace layer attaches Counts deltas to spans so a span's attributes
+// reconcile with the record the same way a full Snapshot does.
+type Counts struct {
+	Comparisons int64 `json:"comparisons,omitempty"`
+	Rotations   int64 `json:"rotations,omitempty"`
+	Steps       int64 `json:"steps,omitempty"`
+
+	FullDistEvals int64 `json:"full_dist_evals,omitempty"`
+	EarlyAbandons int64 `json:"early_abandons,omitempty"`
+
+	WedgeNodeVisits    int64 `json:"wedge_node_visits,omitempty"`
+	WedgeLeafVisits    int64 `json:"wedge_leaf_visits,omitempty"`
+	WedgePrunedMembers int64 `json:"wedge_pruned_members,omitempty"`
+	WedgeLeafLBPrunes  int64 `json:"wedge_leaf_lb_prunes,omitempty"`
+
+	FFTRejects         int64 `json:"fft_rejects,omitempty"`
+	FFTRejectedMembers int64 `json:"fft_rejected_members,omitempty"`
+	FFTFallbacks       int64 `json:"fft_fallbacks,omitempty"`
+
+	IndexCandidates int64 `json:"index_candidates,omitempty"`
+	IndexFetches    int64 `json:"index_fetches,omitempty"`
+	DiskReads       int64 `json:"disk_reads,omitempty"`
+
+	KChanges int64 `json:"k_changes,omitempty"`
+}
+
+// Counts loads the scalar counters. A nil receiver yields a zero Counts.
+func (s *SearchStats) Counts() Counts {
+	if s == nil {
+		return Counts{}
+	}
+	return Counts{
+		Comparisons:        s.comparisons.Load(),
+		Rotations:          s.rotations.Load(),
+		Steps:              s.steps.Load(),
+		FullDistEvals:      s.fullDistEvals.Load(),
+		EarlyAbandons:      s.earlyAbandons.Load(),
+		WedgeNodeVisits:    s.wedgeNodeVisits.Load(),
+		WedgeLeafVisits:    s.wedgeLeafVisits.Load(),
+		WedgePrunedMembers: s.wedgePrunedMembers.Load(),
+		WedgeLeafLBPrunes:  s.wedgeLeafLBPrunes.Load(),
+		FFTRejects:         s.fftRejects.Load(),
+		FFTRejectedMembers: s.fftRejectedMembers.Load(),
+		FFTFallbacks:       s.fftFallbacks.Load(),
+		IndexCandidates:    s.indexCandidates.Load(),
+		IndexFetches:       s.indexFetches.Load(),
+		DiskReads:          s.diskReads.Load(),
+		KChanges:           s.kChanges.Load(),
+	}
+}
+
+// Sub returns the field-wise difference c - prev: the counter deltas spent
+// between two Counts() calls on the same record.
+func (c Counts) Sub(prev Counts) Counts {
+	return Counts{
+		Comparisons:        c.Comparisons - prev.Comparisons,
+		Rotations:          c.Rotations - prev.Rotations,
+		Steps:              c.Steps - prev.Steps,
+		FullDistEvals:      c.FullDistEvals - prev.FullDistEvals,
+		EarlyAbandons:      c.EarlyAbandons - prev.EarlyAbandons,
+		WedgeNodeVisits:    c.WedgeNodeVisits - prev.WedgeNodeVisits,
+		WedgeLeafVisits:    c.WedgeLeafVisits - prev.WedgeLeafVisits,
+		WedgePrunedMembers: c.WedgePrunedMembers - prev.WedgePrunedMembers,
+		WedgeLeafLBPrunes:  c.WedgeLeafLBPrunes - prev.WedgeLeafLBPrunes,
+		FFTRejects:         c.FFTRejects - prev.FFTRejects,
+		FFTRejectedMembers: c.FFTRejectedMembers - prev.FFTRejectedMembers,
+		FFTFallbacks:       c.FFTFallbacks - prev.FFTFallbacks,
+		IndexCandidates:    c.IndexCandidates - prev.IndexCandidates,
+		IndexFetches:       c.IndexFetches - prev.IndexFetches,
+		DiskReads:          c.DiskReads - prev.DiskReads,
+		KChanges:           c.KChanges - prev.KChanges,
+	}
+}
+
+// Add returns the field-wise sum c + other.
+func (c Counts) Add(other Counts) Counts {
+	return Counts{
+		Comparisons:        c.Comparisons + other.Comparisons,
+		Rotations:          c.Rotations + other.Rotations,
+		Steps:              c.Steps + other.Steps,
+		FullDistEvals:      c.FullDistEvals + other.FullDistEvals,
+		EarlyAbandons:      c.EarlyAbandons + other.EarlyAbandons,
+		WedgeNodeVisits:    c.WedgeNodeVisits + other.WedgeNodeVisits,
+		WedgeLeafVisits:    c.WedgeLeafVisits + other.WedgeLeafVisits,
+		WedgePrunedMembers: c.WedgePrunedMembers + other.WedgePrunedMembers,
+		WedgeLeafLBPrunes:  c.WedgeLeafLBPrunes + other.WedgeLeafLBPrunes,
+		FFTRejects:         c.FFTRejects + other.FFTRejects,
+		FFTRejectedMembers: c.FFTRejectedMembers + other.FFTRejectedMembers,
+		FFTFallbacks:       c.FFTFallbacks + other.FFTFallbacks,
+		IndexCandidates:    c.IndexCandidates + other.IndexCandidates,
+		IndexFetches:       c.IndexFetches + other.IndexFetches,
+		DiskReads:          c.DiskReads + other.DiskReads,
+		KChanges:           c.KChanges + other.KChanges,
+	}
+}
+
+// Reconciles reports whether the outcome buckets account for every rotation
+// covered — the same identity Snapshot.Reconciles checks, applied to a delta.
+func (c Counts) Reconciles() bool {
+	return c.Rotations == c.FullDistEvals+c.EarlyAbandons+
+		c.WedgePrunedMembers+c.WedgeLeafLBPrunes+c.FFTRejectedMembers
+}
+
+// IsZero reports whether every field is zero.
+func (c Counts) IsZero() bool {
+	return c == Counts{}
+}

@@ -295,6 +295,10 @@ type Snapshot struct {
 	StepsPerComparison float64 `json:"steps_per_comparison"`
 
 	StepsHistogram []HistogramBucket `json:"steps_histogram,omitempty"`
+	// StepsHistogramSum is the exact sum of all observed per-comparison
+	// num_steps values — the Prometheus `_sum` of the histogram above, which
+	// the bucket bounds alone cannot reconstruct.
+	StepsHistogramSum int64 `json:"steps_histogram_sum,omitempty"`
 }
 
 // Snapshot returns a consistent-enough copy for reporting (individual fields
@@ -346,6 +350,7 @@ func (s *SearchStats) Snapshot() Snapshot {
 		snap.StepsPerComparison = float64(snap.Steps) / float64(snap.Comparisons)
 	}
 	snap.StepsHistogram = s.stepsHist.Buckets()
+	snap.StepsHistogramSum = s.stepsHist.Sum()
 	return snap
 }
 

@@ -168,21 +168,30 @@ func (r *Registry) WriteMetrics(w io.Writer) error {
 			}
 		case s != nil:
 			sn := s.Snapshot()
-			if _, err := fmt.Fprintf(w, "# HELP %s %s\n", name, help); err != nil {
-				return err
-			}
 			for _, f := range statsFields(sn) {
-				if _, err := fmt.Fprintf(w, "# TYPE %s_%s counter\n%s_%s %d\n",
-					name, f.Name, name, f.Name, f.Value); err != nil {
+				if _, err := fmt.Fprintf(w, "# HELP %s_%s %s: %s\n# TYPE %s_%s counter\n%s_%s %d\n",
+					name, f.Name, help, f.Name, name, f.Name, name, f.Name, f.Value); err != nil {
 					return err
 				}
 			}
-			for lvl, v := range sn.WedgePrunesByLevel {
-				if v == 0 {
-					continue
+			var anyLevel bool
+			for _, v := range sn.WedgePrunesByLevel {
+				if v != 0 {
+					anyLevel = true
+					break
 				}
-				if _, err := fmt.Fprintf(w, "%s_wedge_prunes_by_level{level=\"%d\"} %d\n", name, lvl, v); err != nil {
+			}
+			if anyLevel {
+				if _, err := fmt.Fprintf(w, "# HELP %s_wedge_prunes_by_level Internal-wedge prunes by dendrogram depth (0 = root).\n# TYPE %s_wedge_prunes_by_level counter\n", name, name); err != nil {
 					return err
+				}
+				for lvl, v := range sn.WedgePrunesByLevel {
+					if v == 0 {
+						continue
+					}
+					if _, err := fmt.Fprintf(w, "%s_wedge_prunes_by_level{level=\"%d\"} %d\n", name, lvl, v); err != nil {
+						return err
+					}
 				}
 			}
 		}

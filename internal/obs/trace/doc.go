@@ -1,0 +1,50 @@
+// Package trace is the query-lifecycle span layer on top of internal/obs:
+// where the obs counters say *what* a search did (the paper's num_steps
+// accounting), trace says *when* and *how long* — which lower bound the
+// wall-clock actually went to, per query, per stage. That is the
+// observability Lemire's two-pass LB_Keogh work implies you need: which
+// bound dominates runtime shifts with data and band radius, and only a
+// per-stage timeline verifies it on a live workload.
+//
+// # Model
+//
+// A Recorder accumulates the Spans of one trace against a monotonic anchor;
+// it is single-goroutine (a Query already is) and a nil *Recorder is a
+// valid no-op sink costing one branch per call, mirroring the nil
+// *obs.SearchStats contract. Hot paths never touch the Recorder directly:
+// they write into a goroutine-confined Arena — the span analogue of
+// stats.Tally — which the owner flushes into the Recorder once per
+// comparison. Span nesting is reconstructed at flush time by interval
+// containment, so the hot loop stays free of parent bookkeeping.
+//
+// Spans carry obs.Counts deltas as attributes, so a comparison span's
+// attrs satisfy the same reconciliation identity as the query's SearchStats
+// (Rotations = FullDistEvals + EarlyAbandons + WedgePrunedMembers +
+// WedgeLeafLBPrunes + FFTRejectedMembers), and summing the comparison
+// spans of a trace reproduces the query's record.
+//
+// # Sampling and slow-query capture
+//
+// Recording and retention are separate decisions. When a Log is attached,
+// every query records spans (the recording cost is the point of opting in);
+// retention is decided at Finish time, when the duration is known:
+//
+//   - a trace whose duration is >= Config.SlowThreshold is ALWAYS retained
+//     in the slow ring (capacity Config.SlowCapacity, oldest evicted first);
+//   - independently, the trace is retained in the sampled ring (capacity
+//     Config.Capacity) with probability Config.SampleRate, decided by a
+//     seeded splitmix64 so runs are reproducible.
+//
+// Deciding at completion rather than at start is what makes slow-query
+// capture reliable: a start-time sampling decision would drop exactly the
+// outlier you wanted to keep. Every finished trace — retained or not —
+// feeds the per-stage latency histograms, so histograms and Prometheus
+// export see the full population, not the sample.
+//
+// # Export
+//
+// WriteChrome emits the Chrome trace-event format (load the file at
+// ui.perfetto.dev or chrome://tracing); WriteJSONL emits one self-describing
+// JSON object per span for jq/duckdb-style analysis. The public package
+// mounts both, plus a live waterfall, under /debug/lbkeogh.
+package trace

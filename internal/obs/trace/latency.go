@@ -1,0 +1,107 @@
+package trace
+
+import "lbkeogh/internal/obs"
+
+// StageLatencies is a fixed set of per-stage latency histograms over the
+// shared power-of-two buckets of internal/obs (nanosecond values: the 40
+// finite buckets span 1ns..~9min). Observe is lock-free and concurrent-safe;
+// a nil *StageLatencies is a no-op sink.
+type StageLatencies struct {
+	hist [NumStages]obs.Histogram
+}
+
+// Observe records one duration (in nanoseconds) for the given stage.
+func (l *StageLatencies) Observe(stage Stage, ns int64) {
+	if l == nil || stage >= NumStages {
+		return
+	}
+	if ns < 0 {
+		ns = 0
+	}
+	l.hist[stage].Observe(ns)
+}
+
+// Histogram exposes one stage's histogram (nil receiver yields nil).
+func (l *StageLatencies) Histogram(stage Stage) *obs.Histogram {
+	if l == nil || stage >= NumStages {
+		return nil
+	}
+	return &l.hist[stage]
+}
+
+// Reset zeroes every stage histogram.
+func (l *StageLatencies) Reset() {
+	if l == nil {
+		return
+	}
+	for i := range l.hist {
+		l.hist[i].Reset()
+	}
+}
+
+// StageLatency is one stage's latency summary: exact count and sum, the
+// non-empty buckets, and bucket-resolution quantiles (each quantile reports
+// the upper bound of the bucket it falls in, -1 for the overflow bucket).
+type StageLatency struct {
+	Stage   string                `json:"stage"`
+	Count   int64                 `json:"count"`
+	SumNS   int64                 `json:"sum_ns"`
+	Buckets []obs.HistogramBucket `json:"buckets,omitempty"`
+	P50NS   int64                 `json:"p50_ns"`
+	P90NS   int64                 `json:"p90_ns"`
+	P99NS   int64                 `json:"p99_ns"`
+}
+
+// Snapshot summarizes every stage with at least one observation, in stage
+// order.
+func (l *StageLatencies) Snapshot() []StageLatency {
+	if l == nil {
+		return nil
+	}
+	var out []StageLatency
+	for s := Stage(0); s < NumStages; s++ {
+		h := &l.hist[s]
+		if h.Count() == 0 {
+			continue
+		}
+		out = append(out, StageLatency{
+			Stage:   s.String(),
+			Count:   h.Count(),
+			SumNS:   h.Sum(),
+			Buckets: h.Buckets(),
+			P50NS:   Quantile(h, 0.50),
+			P90NS:   Quantile(h, 0.90),
+			P99NS:   Quantile(h, 0.99),
+		})
+	}
+	return out
+}
+
+// Quantile returns the q-quantile of a power-of-two histogram at bucket
+// resolution: the inclusive upper bound of the bucket where the cumulative
+// count first reaches q·count, or -1 when it lands in the overflow bucket.
+// q outside (0, 1] is clamped; an empty histogram reports 0.
+func Quantile(h *obs.Histogram, q float64) int64 {
+	total := h.Count()
+	if total == 0 {
+		return 0
+	}
+	if q <= 0 {
+		q = 1e-9
+	}
+	if q > 1 {
+		q = 1
+	}
+	target := int64(q * float64(total))
+	if target < 1 {
+		target = 1
+	}
+	var cum int64
+	for _, b := range h.Buckets() {
+		cum += b.Count
+		if cum >= target {
+			return b.UpperBound
+		}
+	}
+	return -1
+}

@@ -1,0 +1,438 @@
+package trace
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+	"time"
+
+	"lbkeogh/internal/obs"
+)
+
+func TestRecorderNesting(t *testing.T) {
+	r := NewRecorder("search", 16)
+	root := r.Begin(StageSearch, -1)
+	comp := r.Begin(StageComparison, 3)
+	r.Emit(StageFFT, -1, r.Now(), 0)
+	r.End(comp)
+	comp2 := r.Begin(StageComparison, 4)
+	r.EndAttrs(comp2, obs.Counts{Comparisons: 1})
+	r.End(root)
+
+	spans := r.Spans()
+	if len(spans) != 4 {
+		t.Fatalf("got %d spans, want 4", len(spans))
+	}
+	if spans[root].Parent != -1 {
+		t.Errorf("root parent = %d, want -1", spans[root].Parent)
+	}
+	if spans[comp].Parent != int32(root) {
+		t.Errorf("comparison parent = %d, want %d", spans[comp].Parent, root)
+	}
+	if spans[2].Stage != StageFFT || spans[2].Parent != int32(comp) {
+		t.Errorf("emitted span = %+v, want fft under comparison %d", spans[2], comp)
+	}
+	if spans[comp2].Parent != int32(root) {
+		t.Errorf("second comparison parent = %d, want %d (stack must have popped)", spans[comp2].Parent, root)
+	}
+	if spans[comp2].Attrs.Comparisons != 1 {
+		t.Errorf("EndAttrs did not attach attributes: %+v", spans[comp2].Attrs)
+	}
+	if spans[comp2].Ref != 4 {
+		t.Errorf("ref = %d, want 4", spans[comp2].Ref)
+	}
+}
+
+func TestRecorderUnwindsMismatchedEnds(t *testing.T) {
+	r := NewRecorder("x", 8)
+	outer := r.Begin(StageSearch, -1)
+	r.Begin(StageComparison, 0) // never explicitly ended
+	r.End(outer)                // must unwind past the open comparison
+	if next := r.Begin(StageComparison, 1); r.Spans()[next].Parent != -1 {
+		t.Errorf("after unwinding, new span parent = %d, want -1", r.Spans()[next].Parent)
+	}
+}
+
+func TestRecorderDropCounting(t *testing.T) {
+	r := NewRecorder("x", 2)
+	a := r.Begin(StageSearch, -1)
+	b := r.Begin(StageComparison, 0)
+	c := r.Begin(StageComparison, 1) // over capacity
+	if c != -1 {
+		t.Fatalf("saturated Begin = %d, want -1", c)
+	}
+	r.Emit(StageKernel, 0, 0, 1) // also dropped
+	r.End(c)                     // no-op, must not panic
+	r.End(b)
+	r.End(a)
+	if got := r.Dropped(); got != 2 {
+		t.Errorf("Dropped = %d, want 2", got)
+	}
+	if len(r.Spans()) != 2 {
+		t.Errorf("got %d spans, want 2", len(r.Spans()))
+	}
+}
+
+func TestNilRecorderIsNoop(t *testing.T) {
+	var r *Recorder
+	if id := r.Begin(StageSearch, -1); id != -1 {
+		t.Fatalf("nil Begin = %d, want -1", id)
+	}
+	r.End(-1)
+	r.EndAttrs(0, obs.Counts{})
+	r.Emit(StageKernel, 0, 0, 1)
+	r.FlushArena(nil, -1)
+	if r.Now() != 0 || r.Dropped() != 0 || r.Spans() != nil || r.Label() != "" {
+		t.Error("nil recorder accessors must return zero values")
+	}
+}
+
+func TestArenaFlushReconstructsNesting(t *testing.T) {
+	r := NewRecorder("search", 64)
+	comp := r.Begin(StageComparison, 0)
+	var ar Arena
+	ar.Init(r)
+	// Synthetic intervals: kernel ⊂ hmerge ⊂ envelope, emitted inner-first
+	// (completion order), exactly as the search hot path does.
+	ar.Emit(StageKernel, 7, 10, 5)
+	ar.Emit(StageHMerge, -1, 5, 20)
+	ar.Emit(StageEnvelope, -1, 0, 40)
+	ar.CountVisit(0)
+	ar.CountVisit(1)
+	ar.CountVisit(1)
+	r.FlushArena(&ar, comp)
+	r.End(comp)
+
+	spans := r.Spans()
+	if len(spans) != 4 {
+		t.Fatalf("got %d spans, want 4", len(spans))
+	}
+	kernel, hmerge, envelope := spans[1], spans[2], spans[3]
+	if kernel.Stage != StageKernel || kernel.Parent != 2 {
+		t.Errorf("kernel parent = %d, want 2 (the hmerge span)", kernel.Parent)
+	}
+	if hmerge.Stage != StageHMerge || hmerge.Parent != 3 {
+		t.Errorf("hmerge parent = %d, want 3 (the envelope span)", hmerge.Parent)
+	}
+	if envelope.Stage != StageEnvelope || envelope.Parent != int32(comp) {
+		t.Errorf("envelope parent = %d, want %d (the comparison)", envelope.Parent, comp)
+	}
+	if got := hmerge.VisitsByLevel; len(got) != 2 || got[0] != 1 || got[1] != 2 {
+		t.Errorf("hmerge VisitsByLevel = %v, want [1 2]", got)
+	}
+	if kernel.VisitsByLevel != nil || envelope.VisitsByLevel != nil {
+		t.Error("visit counts must attach to the hmerge span only")
+	}
+	if ar.n != 0 || ar.visited {
+		t.Error("flush must reset the arena")
+	}
+}
+
+func TestArenaBeginEndReservesSlot(t *testing.T) {
+	r := NewRecorder("search", 64)
+	var ar Arena
+	ar.Init(r)
+	slot := ar.Begin(StageEnvelope, -1)
+	if slot != 0 {
+		t.Fatalf("first Begin slot = %d, want 0", slot)
+	}
+	// Saturate the remaining capacity with kernels; the reserved slot must
+	// survive and still close correctly.
+	for i := 0; i < arenaCap+3; i++ {
+		ar.Kernel(i, ar.Now())
+	}
+	ar.End(slot)
+	if ar.spans[slot].Stage != StageEnvelope || ar.spans[slot].Dur <= 0 {
+		t.Errorf("reserved slot not closed: %+v", ar.spans[slot])
+	}
+	if ar.dropped != 4 { // arenaCap-1 kernels fit after the reservation
+		t.Errorf("dropped = %d, want 4", ar.dropped)
+	}
+	if ar.KernelEvals != int64(arenaCap)+3 {
+		t.Errorf("KernelEvals = %d, want %d (aggregates continue past the cap)", ar.KernelEvals, arenaCap+3)
+	}
+	ar.End(-1) // no-op
+}
+
+func TestArenaDisarmed(t *testing.T) {
+	var ar Arena // Init never called: disarmed
+	if ar.Begin(StageEnvelope, -1) != -1 {
+		t.Error("disarmed Begin must return -1")
+	}
+	ar.Emit(StageKernel, 0, 0, 1)
+	ar.Kernel(0, 0)
+	ar.CountVisit(1)
+	ar.End(0)
+	if ar.n != 0 || ar.KernelEvals != 0 || ar.visited {
+		t.Errorf("disarmed arena recorded state: %+v", ar)
+	}
+	var nilArena *Arena
+	nilArena.Init(NewRecorder("x", 4))
+	if nilArena.Now() != 0 {
+		t.Error("nil arena Now must be 0")
+	}
+}
+
+func TestLogSlowCaptureBypassesSampling(t *testing.T) {
+	// Negative sample rate: nothing sampled; 1ns threshold: everything slow.
+	l := NewLog(Config{SampleRate: -1, SlowThreshold: 1})
+	for i := 0; i < 5; i++ {
+		rec := l.StartTrace("search")
+		id := rec.Begin(StageSearch, -1)
+		rec.End(id)
+		if l.Finish(rec, obs.Counts{}) == 0 {
+			t.Fatal("slow trace was not retained")
+		}
+	}
+	if got := len(l.Slow()); got != 5 {
+		t.Errorf("slow ring has %d traces, want 5", got)
+	}
+	if got := len(l.Recent()); got != 0 {
+		t.Errorf("sampled ring has %d traces, want 0", got)
+	}
+	finished, sampled := l.Totals()
+	if finished != 5 || sampled != 0 {
+		t.Errorf("Totals = (%d, %d), want (5, 0)", finished, sampled)
+	}
+}
+
+func TestLogRingEviction(t *testing.T) {
+	l := NewLog(Config{Capacity: 4, SampleRate: 1, SlowThreshold: -1})
+	for i := 0; i < 10; i++ {
+		rec := l.StartTrace("search")
+		rec.End(rec.Begin(StageSearch, -1))
+		l.Finish(rec, obs.Counts{})
+	}
+	got := l.Recent()
+	if len(got) != 4 {
+		t.Fatalf("ring has %d traces, want 4", len(got))
+	}
+	for i, tr := range got {
+		if want := int64(7 + i); tr.ID != want {
+			t.Errorf("ring[%d].ID = %d, want %d (oldest first)", i, tr.ID, want)
+		}
+		if tr.Slow {
+			t.Errorf("trace %d marked slow with slow capture disabled", tr.ID)
+		}
+	}
+	if _, ok := l.Get(10); !ok {
+		t.Error("Get must find a retained trace")
+	}
+	if _, ok := l.Get(1); ok {
+		t.Error("Get must miss an evicted trace")
+	}
+}
+
+func TestLogSamplingRate(t *testing.T) {
+	l := NewLog(Config{Capacity: 2000, SampleRate: 0.25, SlowThreshold: -1, Seed: 42})
+	const n = 2000
+	for i := 0; i < n; i++ {
+		rec := l.StartTrace("search")
+		rec.End(rec.Begin(StageSearch, -1))
+		l.Finish(rec, obs.Counts{})
+	}
+	_, sampled := l.Totals()
+	// Binomial(2000, 0.25): mean 500, sd ~19. Accept ±6 sd.
+	if sampled < 380 || sampled > 620 {
+		t.Errorf("sampled %d of %d at rate 0.25, want ~500", sampled, n)
+	}
+}
+
+func TestLogFeedsHistogramsForUnretainedTraces(t *testing.T) {
+	l := NewLog(Config{SampleRate: -1, SlowThreshold: -1}) // retain nothing
+	rec := l.StartTrace("search")
+	rec.End(rec.Begin(StageSearch, -1))
+	if id := l.Finish(rec, obs.Counts{}); id != 0 {
+		t.Fatalf("Finish = %d, want 0 (not retained)", id)
+	}
+	if got := l.Latencies().Histogram(StageSearch).Count(); got != 1 {
+		t.Errorf("search histogram count = %d, want 1 (histograms see every trace)", got)
+	}
+}
+
+func TestLogObserveStageAndNil(t *testing.T) {
+	l := NewLog(Config{})
+	l.ObserveStage(StageDiskRead, 1234)
+	if got := l.Latencies().Histogram(StageDiskRead).Count(); got != 1 {
+		t.Errorf("disk_read count = %d, want 1", got)
+	}
+	var nilLog *Log
+	if nilLog.StartTrace("x") != nil {
+		t.Error("nil log must start nil recorders")
+	}
+	nilLog.ObserveStage(StageDiskRead, 1)
+	nilLog.Finish(nil, obs.Counts{})
+	if nilLog.Recent() != nil || nilLog.Slow() != nil || nilLog.Latencies() != nil {
+		t.Error("nil log accessors must return nil")
+	}
+	if th := nilLog.SlowThreshold(); th != 0 {
+		t.Errorf("nil SlowThreshold = %v, want 0", th)
+	}
+}
+
+func TestStageLatenciesSnapshotAndQuantile(t *testing.T) {
+	var lat StageLatencies
+	for i := 0; i < 50; i++ {
+		lat.Observe(StageKernel, 1)
+	}
+	for i := 0; i < 50; i++ {
+		lat.Observe(StageKernel, 1000)
+	}
+	lat.Observe(StageHMerge, 7)
+	snap := lat.Snapshot()
+	if len(snap) != 2 {
+		t.Fatalf("snapshot has %d stages, want 2", len(snap))
+	}
+	// Stage order: hmerge (7) precedes kernel (8)? No — snapshot walks the
+	// enum, and StageHMerge < StageKernel.
+	if snap[0].Stage != "hmerge" || snap[1].Stage != "kernel" {
+		t.Fatalf("snapshot order = %s, %s", snap[0].Stage, snap[1].Stage)
+	}
+	k := snap[1]
+	if k.Count != 100 || k.SumNS != 50*1+50*1000 {
+		t.Errorf("kernel count/sum = %d/%d, want 100/%d", k.Count, k.SumNS, 50+50*1000)
+	}
+	if k.P50NS != 1 {
+		t.Errorf("p50 = %d, want 1", k.P50NS)
+	}
+	if k.P90NS != 1024 || k.P99NS != 1024 {
+		t.Errorf("p90/p99 = %d/%d, want 1024/1024 (bucket resolution)", k.P90NS, k.P99NS)
+	}
+	lat.Reset()
+	if lat.Snapshot() != nil {
+		t.Error("snapshot after Reset must be empty")
+	}
+
+	var overflow obs.Histogram
+	overflow.Observe(1 << 62)
+	if got := Quantile(&overflow, 0.5); got != -1 {
+		t.Errorf("overflow quantile = %d, want -1", got)
+	}
+	var empty obs.Histogram
+	if got := Quantile(&empty, 0.5); got != 0 {
+		t.Errorf("empty quantile = %d, want 0", got)
+	}
+	var nilLat *StageLatencies
+	nilLat.Observe(StageKernel, 1)
+	if nilLat.Snapshot() != nil || nilLat.Histogram(StageKernel) != nil {
+		t.Error("nil StageLatencies must be a no-op sink")
+	}
+}
+
+func TestStageNames(t *testing.T) {
+	for s := Stage(0); s < NumStages; s++ {
+		name := s.String()
+		if name == "" || name == "unknown" {
+			t.Errorf("stage %d has no name", s)
+		}
+		if got := StageFromName(name); got != s {
+			t.Errorf("StageFromName(%q) = %v, want %v", name, got, s)
+		}
+	}
+	if NumStages.String() != "unknown" {
+		t.Error("out-of-range stage must print unknown")
+	}
+	if StageFromName("nope") != NumStages {
+		t.Error("unknown name must map to NumStages")
+	}
+}
+
+func sampleTrace() Trace {
+	return Trace{
+		ID:    7,
+		Label: "search",
+		Wall:  time.Unix(0, 0),
+		DurNS: 100_000,
+		Slow:  true,
+		Attrs: obs.Counts{Comparisons: 2, Rotations: 10, FullDistEvals: 10},
+		Spans: []Span{
+			{Parent: -1, Stage: StageComparison, Ref: 0, Start: 0, Dur: 50_000, Attrs: obs.Counts{Comparisons: 1}},
+			{Parent: 0, Stage: StageHMerge, Ref: -1, Start: 1_000, Dur: 40_000, VisitsByLevel: []int64{1, 2}},
+			{Parent: 1, Stage: StageKernel, Ref: 3, Start: 2_000, Dur: 10_000},
+		},
+	}
+}
+
+func TestWriteChrome(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteChrome(&buf, sampleTrace()); err != nil {
+		t.Fatal(err)
+	}
+	var f chromeTraceFile
+	if err := json.Unmarshal(buf.Bytes(), &f); err != nil {
+		t.Fatalf("export is not valid JSON: %v", err)
+	}
+	if len(f.TraceEvents) != 4 { // root + 3 spans
+		t.Fatalf("got %d events, want 4", len(f.TraceEvents))
+	}
+	root := f.TraceEvents[0]
+	if root.Name != "search" || root.Ph != "X" || root.Dur != 100 { // 100_000ns = 100µs
+		t.Errorf("root event = %+v", root)
+	}
+	kernel := f.TraceEvents[3]
+	if kernel.Name != "kernel" || kernel.Ts != 2 || kernel.Dur != 10 {
+		t.Errorf("kernel event = %+v", kernel)
+	}
+	if kernel.Args["ref"] == nil {
+		t.Error("kernel event must carry its ref arg")
+	}
+	if f.TraceEvents[1].Args["counts"] == nil {
+		t.Error("comparison event must carry its counts arg")
+	}
+	if f.TraceEvents[2].Args["visits_by_level"] == nil {
+		t.Error("hmerge event must carry visits_by_level")
+	}
+}
+
+func TestWriteJSONL(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteJSONL(&buf, sampleTrace()); err != nil {
+		t.Fatal(err)
+	}
+	sc := bufio.NewScanner(&buf)
+	var lines []map[string]any
+	for sc.Scan() {
+		var m map[string]any
+		if err := json.Unmarshal(sc.Bytes(), &m); err != nil {
+			t.Fatalf("line %d is not valid JSON: %v", len(lines)+1, err)
+		}
+		lines = append(lines, m)
+	}
+	if len(lines) != 4 { // header + 3 spans
+		t.Fatalf("got %d lines, want 4", len(lines))
+	}
+	if lines[0]["spans"] != float64(3) || lines[0]["slow"] != true {
+		t.Errorf("header = %v", lines[0])
+	}
+	if lines[2]["stage"] != "hmerge" || lines[2]["parent"] != float64(0) {
+		t.Errorf("second span line = %v", lines[2])
+	}
+}
+
+func TestWriteChromeAll(t *testing.T) {
+	a, b := sampleTrace(), sampleTrace()
+	b.ID = 8
+	var buf bytes.Buffer
+	if err := WriteChromeAll(&buf, []Trace{a, b}); err != nil {
+		t.Fatal(err)
+	}
+	var f chromeTraceFile
+	if err := json.Unmarshal(buf.Bytes(), &f); err != nil {
+		t.Fatal(err)
+	}
+	if len(f.TraceEvents) != 8 {
+		t.Fatalf("got %d events, want 8", len(f.TraceEvents))
+	}
+	if !strings.HasPrefix(f.TraceEvents[0].Name, "search#") {
+		t.Errorf("multi-trace root name = %q, want a #id suffix", f.TraceEvents[0].Name)
+	}
+	tids := map[int64]bool{}
+	for _, e := range f.TraceEvents {
+		tids[e.Tid] = true
+	}
+	if len(tids) != 2 {
+		t.Errorf("got %d distinct tids, want 2 (one track per trace)", len(tids))
+	}
+}

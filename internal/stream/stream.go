@@ -14,10 +14,12 @@ package stream
 
 import (
 	"fmt"
+	"time"
 
 	"lbkeogh/internal/dist"
 	"lbkeogh/internal/envelope"
 	"lbkeogh/internal/obs"
+	"lbkeogh/internal/obs/trace"
 	"lbkeogh/internal/stats"
 	"lbkeogh/internal/wedge"
 )
@@ -49,6 +51,7 @@ type Monitor struct {
 	steps stats.Counter   // cumulative num_steps; Push flushes a stack-local Tally
 	obs   obs.SearchStats // per-window pruning breakdowns
 	trace obs.Tracer      // nil: untraced
+	tlog  *trace.Log      // nil: no filter-latency histograms
 }
 
 // NewMonitor compiles patterns (all the same length n) into a wedge
@@ -106,6 +109,12 @@ func (m *Monitor) Stats() *obs.SearchStats { return &m.obs }
 // removes it).
 func (m *Monitor) SetTracer(t obs.Tracer) { m.trace = t }
 
+// SetTraceLog attaches a trace log whose monitor_filter stage histogram
+// receives the wall duration of every full-window filter pass (nil removes
+// it). Per-window spans are deliberately not recorded — a monitor pushes
+// millions of values; the histogram is the useful granularity.
+func (m *Monitor) SetTraceLog(l *trace.Log) { m.tlog = l }
+
 // window materializes the current ring buffer in stream order.
 func (m *Monitor) window() []float64 {
 	out := make([]float64, m.n)
@@ -132,6 +141,10 @@ func (m *Monitor) Push(v float64) []Match {
 		if m.filled < m.n {
 			return nil
 		}
+	}
+	var t0 time.Time
+	if m.tlog != nil {
+		t0 = time.Now()
 	}
 	w := m.window()
 	var out []Match
@@ -173,6 +186,9 @@ func (m *Monitor) Push(v float64) []Match {
 	m.steps.Add(delta)
 	m.obs.AddSteps(delta)
 	m.obs.ObserveComparisonSteps(delta)
+	if m.tlog != nil {
+		m.tlog.ObserveStage(trace.StageMonitorFilter, int64(time.Since(t0)))
+	}
 	return out
 }
 

@@ -8,6 +8,7 @@ import (
 	"lbkeogh/internal/cluster"
 	"lbkeogh/internal/envelope"
 	"lbkeogh/internal/obs"
+	"lbkeogh/internal/obs/trace"
 	"lbkeogh/internal/stats"
 )
 
@@ -181,9 +182,19 @@ func (t *Tree) Search(q []float64, k Kernel, K int, r float64, traversal Travers
 // weighted by subtree size, singleton-wedge LB prune, early abandon, or full
 // distance evaluation), and tr receives per-wedge trace events. Both st and
 // tr may be nil; the nil path costs one branch per event.
+func (t *Tree) SearchObs(q []float64, k Kernel, K int, r float64, traversal Traversal, cnt *stats.Tally, st *obs.SearchStats, tr obs.Tracer) Result {
+	return t.SearchTraced(q, k, K, r, traversal, cnt, st, tr, nil)
+}
+
+// SearchTraced is SearchObs plus span recording: the H-Merge walk, the exact
+// kernel evaluations at surviving leaves and the per-level node-visit counts
+// land in the goroutine-confined arena ar, which the caller flushes into its
+// trace recorder after the comparison. ar may be nil (or disarmed) — the
+// untraced path costs one predictable branch per event, like the nil st/tr
+// paths.
 //
 //lbkeogh:hotpath
-func (t *Tree) SearchObs(q []float64, k Kernel, K int, r float64, traversal Traversal, cnt *stats.Tally, st *obs.SearchStats, tr obs.Tracer) Result {
+func (t *Tree) SearchTraced(q []float64, k Kernel, K int, r float64, traversal Traversal, cnt *stats.Tally, st *obs.SearchStats, tr obs.Tracer, ar *trace.Arena) Result {
 	if len(q) != t.Len() {
 		panic(fmt.Sprintf("wedge: query length %d != member length %d", len(q), t.Len()))
 	}
@@ -201,7 +212,9 @@ func (t *Tree) SearchObs(q []float64, k Kernel, K int, r float64, traversal Trav
 		if k.LeafLBIsExact() {
 			// For Euclidean, LB against the singleton wedge IS the distance;
 			// compute it once via the kernel's exact path.
+			kt0 := ar.Now()
 			d, abandoned := k.Distance(q, t.members[id], best, &local)
+			ar.Kernel(id, kt0)
 			if abandoned {
 				st.CountAbandon()
 				obs.TraceAbandon(tr, id)
@@ -221,7 +234,9 @@ func (t *Tree) SearchObs(q []float64, k Kernel, K int, r float64, traversal Trav
 			obs.TraceWedgeVisit(tr, id, t.depth[id], lb, true)
 			return
 		}
+		kt0 := ar.Now()
 		d, abandoned := k.Distance(q, t.members[id], best, &local)
+		ar.Kernel(id, kt0)
 		if abandoned {
 			st.CountAbandon()
 			obs.TraceAbandon(tr, id)
@@ -240,6 +255,7 @@ func (t *Tree) SearchObs(q []float64, k Kernel, K int, r float64, traversal Trav
 	}
 
 	frontier := t.frontierFor(K)
+	hm := ar.Begin(trace.StageHMerge, -1)
 	switch traversal {
 	case BestFirst:
 		var pq boundHeap
@@ -268,6 +284,7 @@ func (t *Tree) SearchObs(q []float64, k Kernel, K int, r float64, traversal Trav
 				continue
 			}
 			st.CountNodeVisit()
+			ar.CountVisit(t.depth[it.id])
 			obs.TraceWedgeVisit(tr, it.id, t.depth[it.id], it.lb, false)
 			// Left then right, without materializing a child slice per visit.
 			for c := 0; c < 2; c++ {
@@ -300,11 +317,13 @@ func (t *Tree) SearchObs(q []float64, k Kernel, K int, r float64, traversal Trav
 				continue
 			}
 			st.CountNodeVisit()
+			ar.CountVisit(t.depth[id])
 			obs.TraceWedgeVisit(tr, id, t.depth[id], lb, false)
 			stack = append(stack, node.Left, node.Right) //lint:ignore hotalloc bounded by the dendrogram size; grows a few times at most
 		}
 	}
 
+	ar.End(hm)
 	cnt.Add(local.Steps())
 	if bestMember < 0 {
 		return Result{Dist: math.Inf(1), BestMember: -1, Steps: local.Steps()}

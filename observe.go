@@ -73,8 +73,17 @@ type SearchStats struct {
 	StepsPerComparison float64 `json:"steps_per_comparison"`
 
 	// StepsHistogram is the per-comparison num_steps distribution over
-	// fixed power-of-two buckets (non-empty buckets only).
-	StepsHistogram []HistogramBucket `json:"steps_histogram,omitempty"`
+	// fixed power-of-two buckets (non-empty buckets only);
+	// StepsHistogramSum its exact sum of observations, which the bucket
+	// bounds alone cannot reconstruct. It can differ from Steps: the
+	// histogram only sees per-comparison costs, while Steps also counts
+	// work outside any comparison.
+	StepsHistogram    []HistogramBucket `json:"steps_histogram,omitempty"`
+	StepsHistogramSum int64             `json:"steps_histogram_sum,omitempty"`
+
+	// StageLatencies holds per-stage wall-clock latency summaries, present
+	// when a TraceLog is attached to the source.
+	StageLatencies []StageLatency `json:"stage_latencies,omitempty"`
 }
 
 // KChange is one dynamic-K controller adjustment: after Comparison
@@ -101,25 +110,21 @@ func (s SearchStats) Reconciles() bool {
 }
 
 // Tracer receives fine-grained search events for debugging admissibility
-// and pruning behavior. Install one with WithTracer (queries),
-// Index.SetTracer, or Monitor.SetTracer. Implementations must be safe for
-// concurrent calls when used with SearchParallel.
-type Tracer interface {
-	// OnWedgeVisit fires for every wedge whose lower bound was evaluated:
-	// node is the wedge-hierarchy node id, level its depth below the root,
-	// lb the (possibly partial) bound, and pruned whether every rotation
-	// under the wedge was excluded.
-	OnWedgeVisit(node, level int, lb float64, pruned bool)
-	// OnAbandon fires when an exact distance computation was abandoned
-	// against the best-so-far; member is the rotation index.
-	OnAbandon(member int)
-	// OnKChange fires when the dynamic controller settles on a new
-	// wedge-set size.
-	OnKChange(oldK, newK int)
-	// OnFetch fires when an indexed search retrieves full-resolution object
-	// id for exact verification.
-	OnFetch(id int)
-}
+// and pruning behavior: OnWedgeVisit for every wedge whose lower bound was
+// evaluated, OnAbandon when an exact distance computation was cut short,
+// OnKChange when the dynamic controller settles on a new wedge-set size,
+// and OnFetch when an indexed search retrieves a full-resolution object.
+// Install one with WithTracer (queries), Index.SetTracer, or
+// Monitor.SetTracer. Implementations must be safe for concurrent calls when
+// used with SearchParallel.
+//
+// Tracer is an alias of the internal interface, so a single implementation
+// satisfies every layer and the public API needs no adapter types.
+type Tracer = obs.Tracer
+
+// Compile-time check: the alias really is the interface the internal layers
+// consume (a Tracer value is an obs.Tracer value with no conversion).
+var _ obs.Tracer = Tracer(nil)
 
 // StatsSource is anything exposing an instrumentation snapshot: *Query,
 // *Index and *Monitor all qualify.
@@ -150,53 +155,80 @@ func MetricsHandler(sources map[string]StatsSource) http.Handler {
 }
 
 // WriteMetrics renders one stats snapshot under the given metric-name prefix
-// in Prometheus text exposition format.
+// in Prometheus text exposition format: every family carries # HELP and
+// # TYPE lines, histograms emit cumulative buckets with a +Inf bucket equal
+// to _count, and _sum values are the exact observed sums.
 func WriteMetrics(w io.Writer, name string, s SearchStats) {
-	emit := func(field string, v int64) {
-		fmt.Fprintf(w, "# TYPE %s_%s counter\n%s_%s %d\n", name, field, name, field, v)
+	emit := func(field, help string, v int64) {
+		fmt.Fprintf(w, "# HELP %s_%s %s\n# TYPE %s_%s counter\n%s_%s %d\n",
+			name, field, help, name, field, name, field, v)
 	}
-	emit("comparisons", s.Comparisons)
-	emit("rotations", s.Rotations)
-	emit("steps", s.Steps)
-	emit("full_dist_evals", s.FullDistEvals)
-	emit("early_abandons", s.EarlyAbandons)
-	emit("wedge_node_visits", s.WedgeNodeVisits)
-	emit("wedge_leaf_visits", s.WedgeLeafVisits)
-	emit("wedge_pruned_members", s.WedgePrunedMembers)
-	emit("wedge_leaf_lb_prunes", s.WedgeLeafLBPrunes)
-	emit("fft_rejects", s.FFTRejects)
-	emit("fft_rejected_members", s.FFTRejectedMembers)
-	emit("fft_fallbacks", s.FFTFallbacks)
-	emit("index_candidates", s.IndexCandidates)
-	emit("index_fetches", s.IndexFetches)
-	emit("disk_reads", s.DiskReads)
-	emit("k_changes", s.KChanges)
-	for lvl, v := range s.WedgePrunesByLevel {
+	emit("comparisons", "Rotation-invariant comparisons (one per database series matched).", s.Comparisons)
+	emit("rotations", "Rotation-matrix rows covered by the comparisons.", s.Rotations)
+	emit("steps", "num_steps spent: real-value subtractions, the paper's cost metric.", s.Steps)
+	emit("full_dist_evals", "Exact kernel distances computed to completion.", s.FullDistEvals)
+	emit("early_abandons", "Exact distance computations cut short by the best-so-far.", s.EarlyAbandons)
+	emit("wedge_node_visits", "Internal wedges whose children were explored.", s.WedgeNodeVisits)
+	emit("wedge_leaf_visits", "Rotations H-Merge reached individually.", s.WedgeLeafVisits)
+	emit("wedge_pruned_members", "Rotations excluded wholesale by an internal-wedge lower bound.", s.WedgePrunedMembers)
+	emit("wedge_leaf_lb_prunes", "Rotations excluded by their singleton-wedge lower bound.", s.WedgeLeafLBPrunes)
+	emit("fft_rejects", "Comparisons rejected whole by the Fourier-magnitude bound.", s.FFTRejects)
+	emit("fft_rejected_members", "Rotations covered by FFT-rejected comparisons.", s.FFTRejectedMembers)
+	emit("fft_fallbacks", "Comparisons falling through the FFT filter to early abandoning.", s.FFTFallbacks)
+	emit("index_candidates", "Index candidates surviving the compressed lower bound.", s.IndexCandidates)
+	emit("index_fetches", "Full-resolution fetches for exact verification.", s.IndexFetches)
+	emit("disk_reads", "Record reads charged by the series store.", s.DiskReads)
+	emit("k_changes", "Dynamic wedge-set-size adjustments.", s.KChanges)
+	var anyLevel bool
+	for _, v := range s.WedgePrunesByLevel {
 		if v != 0 {
-			fmt.Fprintf(w, "%s_wedge_prunes_by_level{level=\"%d\"} %d\n", name, lvl, v)
+			anyLevel = true
+			break
+		}
+	}
+	if anyLevel {
+		fmt.Fprintf(w, "# HELP %s_wedge_prunes_by_level Internal-wedge prunes by dendrogram depth (0 = root).\n", name)
+		fmt.Fprintf(w, "# TYPE %s_wedge_prunes_by_level counter\n", name)
+		for lvl, v := range s.WedgePrunesByLevel {
+			if v != 0 {
+				fmt.Fprintf(w, "%s_wedge_prunes_by_level{level=\"%d\"} %d\n", name, lvl, v)
+			}
 		}
 	}
 	if len(s.StepsHistogram) > 0 {
+		fmt.Fprintf(w, "# HELP %s_comparison_steps Per-comparison num_steps distribution.\n", name)
 		fmt.Fprintf(w, "# TYPE %s_comparison_steps histogram\n", name)
-		var cum, sum int64
+		var cum, total int64
+		for _, b := range s.StepsHistogram {
+			total += b.Count
+		}
 		for _, b := range s.StepsHistogram {
 			if b.UpperBound < 0 {
 				continue // overflow bucket folds into +Inf
 			}
 			cum += b.Count
-			sum += b.Count * b.UpperBound // upper-bound approximation
 			fmt.Fprintf(w, "%s_comparison_steps_bucket{le=\"%d\"} %d\n", name, b.UpperBound, cum)
-		}
-		total := cum
-		for _, b := range s.StepsHistogram {
-			if b.UpperBound < 0 {
-				total += b.Count
-			}
 		}
 		fmt.Fprintf(w, "%s_comparison_steps_bucket{le=\"+Inf\"} %d\n", name, total)
 		fmt.Fprintf(w, "%s_comparison_steps_sum %d\n%s_comparison_steps_count %d\n",
-			name, s.Steps, name, total)
-		_ = sum
+			name, s.StepsHistogramSum, name, total)
+	}
+	if len(s.StageLatencies) > 0 {
+		fmt.Fprintf(w, "# HELP %s_stage_latency_ns Per-stage query latency in nanoseconds.\n", name)
+		fmt.Fprintf(w, "# TYPE %s_stage_latency_ns histogram\n", name)
+		for _, sl := range s.StageLatencies {
+			var cum int64
+			for _, b := range sl.Buckets {
+				if b.UpperBound < 0 {
+					continue
+				}
+				cum += b.Count
+				fmt.Fprintf(w, "%s_stage_latency_ns_bucket{stage=%q,le=\"%d\"} %d\n", name, sl.Stage, b.UpperBound, cum)
+			}
+			fmt.Fprintf(w, "%s_stage_latency_ns_bucket{stage=%q,le=\"+Inf\"} %d\n", name, sl.Stage, sl.Count)
+			fmt.Fprintf(w, "%s_stage_latency_ns_sum{stage=%q} %d\n", name, sl.Stage, sl.SumNS)
+			fmt.Fprintf(w, "%s_stage_latency_ns_count{stage=%q} %d\n", name, sl.Stage, sl.Count)
+		}
 	}
 }
 
@@ -253,6 +285,7 @@ func statsFromSnapshot(sn obs.Snapshot) SearchStats {
 		for i, b := range sn.StepsHistogram {
 			out.StepsHistogram[i] = HistogramBucket{UpperBound: b.UpperBound, Count: b.Count}
 		}
+		out.StepsHistogramSum = sn.StepsHistogramSum
 	}
 	return out
 }

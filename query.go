@@ -6,6 +6,7 @@ import (
 
 	"lbkeogh/internal/core"
 	"lbkeogh/internal/obs"
+	"lbkeogh/internal/obs/trace"
 	"lbkeogh/internal/stats"
 	"lbkeogh/internal/wedge"
 )
@@ -69,6 +70,7 @@ type queryConfig struct {
 	traversal wedge.Traversal
 	intervals int
 	tracer    Tracer
+	tlog      *TraceLog
 }
 
 // QueryOption customizes NewQuery.
@@ -119,6 +121,17 @@ func WithTracer(t Tracer) QueryOption {
 	return func(c *queryConfig) { c.tracer = t }
 }
 
+// WithTraceLog attaches a TraceLog: the query's construction and every
+// subsequent search record a span trace — rotation-matrix and wedge builds,
+// per-comparison H-Merge walks, kernel evaluations — which the log samples,
+// screens for slow queries, and aggregates into per-stage latency
+// histograms (surfaced through Stats). The log is safe to share across
+// queries, including concurrent ones — each query records into its own
+// buffer and only completed traces enter the log.
+func WithTraceLog(t *TraceLog) QueryOption {
+	return func(c *queryConfig) { c.tlog = t }
+}
+
 // Query is a compiled rotation-invariant query: the expanded rotation matrix
 // of one series plus its hierarchical wedge structure. Build once (O(n²)),
 // then match against any number of candidate series. A Query is not safe for
@@ -132,6 +145,7 @@ type Query struct {
 	n         int
 	counter   stats.Counter
 	obs       obs.SearchStats
+	tlog      *trace.Log // nil: untraced
 }
 
 // NewQuery compiles series into a rotation-invariant query under the given
@@ -161,20 +175,48 @@ func NewQuery(series Series, m Measure, opts ...QueryOption) (*Query, error) {
 	if cfg.strategy == FFTSearch && m.Name() != "euclidean" {
 		return nil, fmt.Errorf("lbkeogh: FFTSearch supports only the Euclidean measure (the magnitude bound is not admissible for %s)", m.Name())
 	}
-	q := &Query{measure: m, n: len(series)}
+	q := &Query{measure: m, n: len(series), tlog: cfg.tlog.inner()}
 	q.strategy = cfg.strategy.internal()
 	q.searchCfg = core.SearcherConfig{
 		Traversal:      cfg.traversal,
 		FixedK:         cfg.fixedK,
 		ProbeIntervals: cfg.intervals,
 		Obs:            &q.obs,
+		Tracer:         cfg.tracer, // Tracer aliases obs.Tracer: no conversion
 	}
-	if cfg.tracer != nil {
-		q.searchCfg.Tracer = cfg.tracer
-	}
-	q.rs = core.NewRotationSet(series, core.Options{Mirror: cfg.mirror, MaxShift: maxShift}, &q.counter)
+	rec := q.tlog.StartTrace("build")
+	buildSpan := rec.Begin(trace.StageBuild, -1)
+	q.rs = core.NewRotationSetTraced(series, core.Options{Mirror: cfg.mirror, MaxShift: maxShift}, &q.counter, rec)
 	q.searcher = core.NewSearcher(q.rs, m.kern, q.strategy, q.searchCfg)
+	rec.End(buildSpan)
+	q.tlog.Finish(rec, obs.Counts{})
 	return q, nil
+}
+
+// startTrace begins one traced operation: a recorder with a root span of the
+// given stage, attached to the searcher so comparisons record under it. On
+// an untraced query everything is nil/no-op.
+func (q *Query) startTrace(label string, stage trace.Stage) (*trace.Recorder, trace.SpanID, obs.Counts) {
+	rec := q.tlog.StartTrace(label)
+	if rec == nil {
+		return nil, -1, obs.Counts{}
+	}
+	before := q.obs.Counts()
+	root := rec.Begin(stage, -1)
+	q.searcher.SetRecorder(rec)
+	return rec, root, before
+}
+
+// finishTrace closes the root span with the operation's counter deltas and
+// hands the trace to the log for sampling and slow-query screening.
+func (q *Query) finishTrace(rec *trace.Recorder, root trace.SpanID, before obs.Counts) {
+	if rec == nil {
+		return
+	}
+	q.searcher.SetRecorder(nil)
+	delta := q.obs.Counts().Sub(before)
+	rec.EndAttrs(root, delta)
+	q.tlog.Finish(rec, delta)
 }
 
 // Len returns the query's series length; every candidate must match it.
@@ -197,8 +239,13 @@ func (q *Query) ResetSteps() { q.counter.Reset() }
 // pruning breakdown per bound, the per-comparison steps histogram, and the
 // dynamic-K trajectory, cumulative over every comparison this query has run
 // (including through SearchParallel). Unlike Steps, it excludes the
-// construction cost — it covers matching only.
-func (q *Query) Stats() SearchStats { return statsFromSnapshot(q.obs.Snapshot()) }
+// construction cost — it covers matching only. When a TraceLog is attached,
+// the snapshot additionally carries the log's per-stage latency summaries.
+func (q *Query) Stats() SearchStats {
+	s := statsFromSnapshot(q.obs.Snapshot())
+	s.StageLatencies = stageLatenciesFromInternal(q.tlog.Latencies().Snapshot())
+	return s
+}
 
 // ResetStats zeroes the instrumentation record (the Steps counter is
 // independent and unaffected).
@@ -226,7 +273,9 @@ func (q *Query) Distance(x Series) (float64, Rotation, error) {
 	if err := q.checkSeries(x); err != nil {
 		return 0, Rotation{}, err
 	}
+	rec, root, before := q.startTrace("distance", trace.StageSearch)
 	m := q.searcher.MatchSeries(x, -1, &q.counter)
+	q.finishTrace(rec, root, before)
 	return m.Dist, q.rotation(m.Member), nil
 }
 
@@ -238,7 +287,9 @@ func (q *Query) Match(x Series, threshold float64) (dist float64, rot Rotation, 
 	if err := q.checkSeries(x); err != nil {
 		return 0, Rotation{}, false, err
 	}
+	rec, root, before := q.startTrace("match", trace.StageSearch)
 	m := q.searcher.MatchSeries(x, threshold, &q.counter)
+	q.finishTrace(rec, root, before)
 	if !m.Found() {
 		return math.Inf(1), Rotation{}, false, nil
 	}
@@ -267,7 +318,9 @@ func (q *Query) Search(db []Series) (SearchResult, error) {
 			return SearchResult{}, fmt.Errorf("lbkeogh: database series %d length %d != query length %d", i, len(x), q.n)
 		}
 	}
+	rec, root, before := q.startTrace("search", trace.StageSearch)
 	r := q.searcher.Scan(db, &q.counter)
+	q.finishTrace(rec, root, before)
 	return SearchResult{Index: r.Index, Dist: r.Dist, Rotation: q.rotation(r.Member)}, nil
 }
 
@@ -285,7 +338,12 @@ func (q *Query) SearchParallel(db []Series, workers int) (SearchResult, error) {
 			return SearchResult{}, fmt.Errorf("lbkeogh: database series %d length %d != query length %d", i, len(x), q.n)
 		}
 	}
+	// Parallel scans record the root span only: a Recorder is
+	// single-goroutine, and the per-worker searchers are built from the
+	// config, recorder-less.
+	rec, root, before := q.startTrace("search_parallel", trace.StageSearch)
 	r := core.ScanParallel(q.rs, q.measure.kern, q.strategy, q.searchCfg, db, workers, &q.counter)
+	q.finishTrace(rec, root, before)
 	if r.Index < 0 {
 		return SearchResult{}, fmt.Errorf("lbkeogh: parallel scan found no result")
 	}
@@ -306,7 +364,9 @@ func (q *Query) SearchTopK(db []Series, k int) ([]SearchResult, error) {
 	if k > len(db) {
 		k = len(db)
 	}
+	rec, root, before := q.startTrace("search_topk", trace.StageSearch)
 	rs := q.searcher.ScanTopK(db, k, &q.counter)
+	q.finishTrace(rec, root, before)
 	out := make([]SearchResult, len(rs))
 	for i, r := range rs {
 		out[i] = SearchResult{Index: r.Index, Dist: r.Dist, Rotation: q.rotation(r.Member)}

@@ -1,0 +1,85 @@
+#!/bin/sh
+# Observability smoke test: run benchrun -serve on a tiny workload, then
+# assert that /metrics serves parseable Prometheus text, /debug/lbkeogh
+# serves the dashboard, and the Chrome trace export is well-formed.
+set -eu
+
+GO=${GO:-go}
+tmp=$(mktemp -d)
+pid=""
+cleanup() {
+	[ -n "$pid" ] && kill "$pid" 2>/dev/null || true
+	rm -rf "$tmp"
+}
+trap cleanup EXIT INT TERM
+
+if ! command -v curl >/dev/null 2>&1; then
+	echo "smoke: curl not installed" >&2
+	exit 1
+fi
+
+$GO build -o "$tmp/benchrun" ./cmd/benchrun
+
+# Try a few ports in case one is taken; wait for the post-experiment
+# "still serving" line so the instrumented scan has populated the logs.
+ok=""
+for try in 0 1 2 3 4; do
+	addr="127.0.0.1:$((18621 + try))"
+	"$tmp/benchrun" -fig none -maxm 100 -queries 2 -serve "$addr" >"$tmp/serve.log" 2>&1 &
+	pid=$!
+	i=0
+	while [ $i -lt 100 ]; do
+		if ! kill -0 "$pid" 2>/dev/null; then
+			break # died; likely the port was in use
+		fi
+		if grep -q "still serving" "$tmp/serve.log"; then
+			ok=1
+			break
+		fi
+		sleep 0.2
+		i=$((i + 1))
+	done
+	[ -n "$ok" ] && break
+	kill "$pid" 2>/dev/null || true
+	wait "$pid" 2>/dev/null || true
+	pid=""
+done
+if [ -z "$ok" ]; then
+	echo "smoke: benchrun -serve failed to start" >&2
+	cat "$tmp/serve.log" >&2
+	exit 1
+fi
+
+fail() {
+	echo "smoke: $1" >&2
+	exit 1
+}
+
+curl -fsS "http://$addr/metrics" >"$tmp/metrics.txt" ||
+	fail "/metrics did not answer 200"
+grep -q '^# HELP lbkeogh_wedge_comparisons ' "$tmp/metrics.txt" ||
+	fail "/metrics is missing the wedge HELP line"
+grep -q '^# TYPE lbkeogh_wedge_comparisons counter$' "$tmp/metrics.txt" ||
+	fail "/metrics is missing the wedge TYPE line"
+grep -q 'stage_latency_ns_bucket{stage="hmerge"' "$tmp/metrics.txt" ||
+	fail "/metrics is missing the hmerge stage-latency histogram"
+
+curl -fsS "http://$addr/debug/lbkeogh" >"$tmp/dash.html" ||
+	fail "/debug/lbkeogh did not answer 200"
+grep -q '<h1>lbkeogh observability</h1>' "$tmp/dash.html" ||
+	fail "dashboard HTML is missing its heading"
+grep -q 'trace log: lbkeogh_wedge' "$tmp/dash.html" ||
+	fail "dashboard is missing the wedge trace log"
+
+curl -fsS "http://$addr/debug/lbkeogh?log=lbkeogh_wedge&format=chrome" >"$tmp/trace.json" ||
+	fail "Chrome trace export did not answer 200"
+grep -q '"traceEvents"' "$tmp/trace.json" ||
+	fail "Chrome trace export is missing traceEvents"
+grep -q '"name":"hmerge"' "$tmp/trace.json" ||
+	fail "Chrome trace export is missing hmerge spans"
+if command -v python3 >/dev/null 2>&1; then
+	python3 -m json.tool "$tmp/trace.json" >/dev/null ||
+		fail "Chrome trace export is not valid JSON"
+fi
+
+echo "smoke: ok ($addr: /metrics, /debug/lbkeogh, chrome export)"

@@ -20,7 +20,8 @@ type StreamMatch struct {
 // a brute-force sliding-window scan would, typically at a small fraction of
 // the cost.
 type Monitor struct {
-	m *stream.Monitor
+	m    *stream.Monitor
+	tlog *TraceLog
 }
 
 // NewMonitor compiles the patterns (equal length n) for streaming threshold
@@ -47,21 +48,29 @@ func (mo *Monitor) Steps() int64 { return mo.m.Steps() }
 
 // Stats returns a snapshot of the monitor's instrumentation record: each
 // full window is one comparison, and every pattern in it was either
-// wedge-pruned, abandoned early, or fully evaluated.
-func (mo *Monitor) Stats() SearchStats { return statsFromSnapshot(mo.m.Stats().Snapshot()) }
+// wedge-pruned, abandoned early, or fully evaluated. When a TraceLog is
+// attached, the snapshot additionally carries the monitor_filter latency
+// summary.
+func (mo *Monitor) Stats() SearchStats {
+	s := statsFromSnapshot(mo.m.Stats().Snapshot())
+	s.StageLatencies = stageLatenciesFromInternal(mo.tlog.inner().Latencies().Snapshot())
+	return s
+}
+
+// SetTraceLog attaches a TraceLog whose monitor_filter stage histogram
+// receives the wall duration of every full-window filter pass (nil
+// detaches). Not safe to call concurrently with Push.
+func (mo *Monitor) SetTraceLog(t *TraceLog) {
+	mo.tlog = t
+	mo.m.SetTraceLog(t.inner())
+}
 
 // ResetStats zeroes the instrumentation record.
 func (mo *Monitor) ResetStats() { mo.m.Stats().Reset() }
 
 // SetTracer installs a Tracer receiving per-wedge filter events (nil
 // removes it). Not safe to call concurrently with Push.
-func (mo *Monitor) SetTracer(t Tracer) {
-	if t == nil {
-		mo.m.SetTracer(nil)
-		return
-	}
-	mo.m.SetTracer(t)
-}
+func (mo *Monitor) SetTracer(t Tracer) { mo.m.SetTracer(t) }
 
 // Push consumes one stream value and returns any patterns matching the
 // window ending at it.

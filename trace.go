@@ -1,0 +1,260 @@
+package lbkeogh
+
+import (
+	"fmt"
+	"io"
+	"time"
+
+	"lbkeogh/internal/obs"
+	"lbkeogh/internal/obs/trace"
+)
+
+// TraceOption customizes NewTraceLog.
+type TraceOption func(*trace.Config)
+
+// WithTraceCapacity sets the sampled-trace ring size (default 64).
+func WithTraceCapacity(n int) TraceOption {
+	return func(c *trace.Config) { c.Capacity = n }
+}
+
+// WithSlowTraceCapacity sets the slow-trace ring size (default 32).
+func WithSlowTraceCapacity(n int) TraceOption {
+	return func(c *trace.Config) { c.SlowCapacity = n }
+}
+
+// WithSampleRate sets the probability a completed trace is retained in the
+// sampled ring (default 0.25; >= 1 keeps everything; <= 0 keeps only slow
+// traces). Sampling never affects slow-query capture or the latency
+// histograms, which see every traced query.
+func WithSampleRate(rate float64) TraceOption {
+	return func(c *trace.Config) {
+		if rate <= 0 {
+			rate = -1 // the log's "slow traces only" sentinel
+		}
+		c.SampleRate = rate
+	}
+}
+
+// WithSlowThreshold sets the duration at or above which a query trace is
+// always captured, bypassing sampling (default 50ms; d < 0 disables slow
+// capture).
+func WithSlowThreshold(d time.Duration) TraceOption {
+	return func(c *trace.Config) {
+		if d == 0 {
+			d = -1
+		}
+		c.SlowThreshold = d
+	}
+}
+
+// WithTraceSpanCap bounds the spans recorded per trace (default 512); spans
+// beyond the cap are dropped and counted, never reallocated.
+func WithTraceSpanCap(n int) TraceOption {
+	return func(c *trace.Config) { c.SpanCap = n }
+}
+
+// WithTraceSeed seeds the sampling RNG. The default seed is fixed, so runs
+// are reproducible unless a varying seed is supplied.
+func WithTraceSeed(seed uint64) TraceOption {
+	return func(c *trace.Config) { c.Seed = seed }
+}
+
+// TraceLog collects query-lifecycle traces: per-stage latency histograms
+// over every traced query, a bounded ring of sampled traces, and a separate
+// ring of slow queries (always captured at or above the slow threshold —
+// retention is decided when the query finishes, so outliers cannot be
+// sampled away). Attach one to queries with WithTraceLog, to indexes with
+// Index.SetTraceLog, and to monitors with Monitor.SetTraceLog; one log may
+// serve several sources. A nil *TraceLog is a valid no-op everywhere.
+type TraceLog struct {
+	log *trace.Log
+}
+
+// NewTraceLog returns a trace log with the given options.
+func NewTraceLog(opts ...TraceOption) *TraceLog {
+	var cfg trace.Config
+	for _, o := range opts {
+		o(&cfg)
+	}
+	return &TraceLog{log: trace.NewLog(cfg)}
+}
+
+// inner returns the internal log (nil-safe).
+func (t *TraceLog) inner() *trace.Log {
+	if t == nil {
+		return nil
+	}
+	return t.log
+}
+
+// TraceSummary describes one retained query trace.
+type TraceSummary struct {
+	// ID identifies the trace within its log (stable across ring eviction).
+	ID int64 `json:"id"`
+	// Label names the traced operation (e.g. "search", "index_search_ed").
+	Label string `json:"label"`
+	// Start is the wall-clock time the trace began.
+	Start time.Time `json:"start"`
+	// Duration is the traced operation's total wall time.
+	Duration time.Duration `json:"duration"`
+	// Slow reports whether the trace met the slow-query threshold.
+	Slow bool `json:"slow"`
+	// Spans is the number of recorded spans; DroppedSpans how many the span
+	// cap discarded.
+	Spans        int   `json:"spans"`
+	DroppedSpans int64 `json:"dropped_spans,omitempty"`
+	// Stats holds the counter deltas attributable to this query alone; its
+	// outcome buckets reconcile exactly like cumulative SearchStats.
+	Stats SearchStats `json:"stats"`
+}
+
+func summarize(tr trace.Trace) TraceSummary {
+	return TraceSummary{
+		ID:           tr.ID,
+		Label:        tr.Label,
+		Start:        tr.Wall,
+		Duration:     time.Duration(tr.DurNS),
+		Slow:         tr.Slow,
+		Spans:        len(tr.Spans),
+		DroppedSpans: tr.Dropped,
+		Stats:        statsFromCounts(tr.Attrs),
+	}
+}
+
+func summarizeAll(trs []trace.Trace) []TraceSummary {
+	if len(trs) == 0 {
+		return nil
+	}
+	out := make([]TraceSummary, len(trs))
+	for i, tr := range trs {
+		out[i] = summarize(tr)
+	}
+	return out
+}
+
+// Recent summarizes the retained sampled traces, oldest first.
+func (t *TraceLog) Recent() []TraceSummary { return summarizeAll(t.inner().Recent()) }
+
+// Slow summarizes the retained slow traces, oldest first.
+func (t *TraceLog) Slow() []TraceSummary { return summarizeAll(t.inner().Slow()) }
+
+// Totals reports how many traces have finished and how many the sampled
+// ring retained since the log was created.
+func (t *TraceLog) Totals() (finished, sampled int64) { return t.inner().Totals() }
+
+// SlowThreshold reports the effective slow-capture threshold.
+func (t *TraceLog) SlowThreshold() time.Duration { return t.inner().SlowThreshold() }
+
+// StageLatencies summarizes the per-stage latency histograms across every
+// traced query (sampled away or not), in stage order, stages with at least
+// one observation only.
+func (t *TraceLog) StageLatencies() []StageLatency {
+	return stageLatenciesFromInternal(t.inner().Latencies().Snapshot())
+}
+
+// WriteChromeTrace writes the identified trace in Chrome trace-event JSON —
+// load the output at ui.perfetto.dev or chrome://tracing to see the span
+// waterfall. The trace must still be retained in a ring.
+func (t *TraceLog) WriteChromeTrace(w io.Writer, id int64) error {
+	tr, ok := t.inner().Get(id)
+	if !ok {
+		return fmt.Errorf("lbkeogh: trace %d not retained", id)
+	}
+	return trace.WriteChrome(w, tr)
+}
+
+// WriteChromeTraces writes every retained trace (sampled then slow, minus
+// duplicates) into one Chrome trace-event file, one track per trace.
+func (t *TraceLog) WriteChromeTraces(w io.Writer) error {
+	l := t.inner()
+	traces := l.Recent()
+	seen := make(map[int64]bool, len(traces))
+	for _, tr := range traces {
+		seen[tr.ID] = true
+	}
+	for _, tr := range l.Slow() {
+		if !seen[tr.ID] {
+			traces = append(traces, tr)
+		}
+	}
+	return trace.WriteChromeAll(w, traces)
+}
+
+// WriteTraceJSONL writes the identified trace as JSON Lines: a header object
+// followed by one flat span object per line, for jq-style analysis.
+func (t *TraceLog) WriteTraceJSONL(w io.Writer, id int64) error {
+	tr, ok := t.inner().Get(id)
+	if !ok {
+		return fmt.Errorf("lbkeogh: trace %d not retained", id)
+	}
+	return trace.WriteJSONL(w, tr)
+}
+
+// StageLatency is one pipeline stage's latency summary: exact observation
+// count and nanosecond sum, the non-empty power-of-two buckets, and
+// bucket-resolution quantiles (the bucket upper bound each quantile falls
+// in; -1 means the overflow bucket).
+type StageLatency struct {
+	Stage   string            `json:"stage"`
+	Count   int64             `json:"count"`
+	SumNS   int64             `json:"sum_ns"`
+	Buckets []HistogramBucket `json:"buckets,omitempty"`
+	P50NS   int64             `json:"p50_ns"`
+	P90NS   int64             `json:"p90_ns"`
+	P99NS   int64             `json:"p99_ns"`
+}
+
+func stageLatenciesFromInternal(in []trace.StageLatency) []StageLatency {
+	if len(in) == 0 {
+		return nil
+	}
+	out := make([]StageLatency, len(in))
+	for i, sl := range in {
+		pub := StageLatency{
+			Stage: sl.Stage,
+			Count: sl.Count,
+			SumNS: sl.SumNS,
+			P50NS: sl.P50NS,
+			P90NS: sl.P90NS,
+			P99NS: sl.P99NS,
+		}
+		if len(sl.Buckets) > 0 {
+			pub.Buckets = make([]HistogramBucket, len(sl.Buckets))
+			for j, b := range sl.Buckets {
+				pub.Buckets[j] = HistogramBucket{UpperBound: b.UpperBound, Count: b.Count}
+			}
+		}
+		out[i] = pub
+	}
+	return out
+}
+
+// statsFromCounts lifts a per-trace (or per-span) counter delta into the
+// public record; the same Reconciles identity holds for the result.
+func statsFromCounts(c obs.Counts) SearchStats {
+	s := SearchStats{
+		Comparisons:        c.Comparisons,
+		Rotations:          c.Rotations,
+		Steps:              c.Steps,
+		FullDistEvals:      c.FullDistEvals,
+		EarlyAbandons:      c.EarlyAbandons,
+		WedgeNodeVisits:    c.WedgeNodeVisits,
+		WedgeLeafVisits:    c.WedgeLeafVisits,
+		WedgePrunedMembers: c.WedgePrunedMembers,
+		WedgeLeafLBPrunes:  c.WedgeLeafLBPrunes,
+		FFTRejects:         c.FFTRejects,
+		FFTRejectedMembers: c.FFTRejectedMembers,
+		FFTFallbacks:       c.FFTFallbacks,
+		IndexCandidates:    c.IndexCandidates,
+		IndexFetches:       c.IndexFetches,
+		DiskReads:          c.DiskReads,
+		KChanges:           c.KChanges,
+	}
+	if c.Rotations > 0 {
+		s.PruneRate = 1 - float64(c.FullDistEvals)/float64(c.Rotations)
+	}
+	if c.Comparisons > 0 {
+		s.StepsPerComparison = float64(c.Steps) / float64(c.Comparisons)
+	}
+	return s
+}

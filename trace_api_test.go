@@ -1,0 +1,519 @@
+package lbkeogh_test
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http/httptest"
+	"reflect"
+	"sort"
+	"strconv"
+	"strings"
+	"testing"
+
+	"lbkeogh"
+	"lbkeogh/internal/obs"
+)
+
+// tracedSearch runs one fully-sampled traced search and returns the query,
+// its trace log, and the retained search trace.
+func tracedSearch(t *testing.T, opts ...lbkeogh.QueryOption) (*lbkeogh.Query, *lbkeogh.TraceLog, lbkeogh.TraceSummary) {
+	t.Helper()
+	db := lbkeogh.SyntheticProjectilePoints(3, 24, 32)
+	tlog := lbkeogh.NewTraceLog(lbkeogh.WithSampleRate(1))
+	opts = append(opts, lbkeogh.WithTraceLog(tlog))
+	q, err := lbkeogh.NewQuery(db[0], lbkeogh.Euclidean(), opts...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := q.Search(db[1:]); err != nil {
+		t.Fatal(err)
+	}
+	for _, tr := range tlog.Recent() {
+		if tr.Label == "search" {
+			return q, tlog, tr
+		}
+	}
+	t.Fatal("no search trace retained at sample rate 1")
+	return nil, nil, lbkeogh.TraceSummary{}
+}
+
+// chromeEvent mirrors one Chrome trace-event as exported by WriteChromeTrace;
+// ts/dur are microseconds.
+type chromeEvent struct {
+	Name string                     `json:"name"`
+	Ph   string                     `json:"ph"`
+	Ts   float64                    `json:"ts"`
+	Dur  float64                    `json:"dur"`
+	Pid  int64                      `json:"pid"`
+	Tid  int64                      `json:"tid"`
+	Args map[string]json.RawMessage `json:"args"`
+}
+
+// traceCounts is the per-span counter-delta attribute, decoded with the same
+// JSON names SearchStats uses — the Reconciles identity must hold span-wise.
+type traceCounts struct {
+	Comparisons        int64 `json:"comparisons"`
+	Rotations          int64 `json:"rotations"`
+	FullDistEvals      int64 `json:"full_dist_evals"`
+	EarlyAbandons      int64 `json:"early_abandons"`
+	WedgePrunedMembers int64 `json:"wedge_pruned_members"`
+	WedgeLeafLBPrunes  int64 `json:"wedge_leaf_lb_prunes"`
+	FFTRejectedMembers int64 `json:"fft_rejected_members"`
+}
+
+func (c traceCounts) reconciles() bool {
+	return c.Rotations == c.FullDistEvals+c.EarlyAbandons+
+		c.WedgePrunedMembers+c.WedgeLeafLBPrunes+c.FFTRejectedMembers
+}
+
+func eventContains(outer, inner chromeEvent) bool {
+	const eps = 1e-6 // µs; ns→µs conversion is exact well past this
+	return outer.Ts <= inner.Ts+eps && inner.Ts+inner.Dur <= outer.Ts+outer.Dur+eps
+}
+
+// TestChromeExportNestsStagesAndReconciles is the issue's acceptance check: a
+// traced Query.Search exports a Chrome trace-event JSON whose span tree nests
+// envelope -> H-Merge -> kernel stages, and whose per-span counter attributes
+// satisfy the same Reconciles identity as SearchStats.
+func TestChromeExportNestsStagesAndReconciles(t *testing.T) {
+	_, tlog, tr := tracedSearch(t)
+	var buf bytes.Buffer
+	if err := tlog.WriteChromeTrace(&buf, tr.ID); err != nil {
+		t.Fatal(err)
+	}
+	var file struct {
+		TraceEvents     []chromeEvent `json:"traceEvents"`
+		DisplayTimeUnit string        `json:"displayTimeUnit"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &file); err != nil {
+		t.Fatalf("chrome export is not valid JSON: %v", err)
+	}
+	if len(file.TraceEvents) < 5 {
+		t.Fatalf("only %d events exported", len(file.TraceEvents))
+	}
+
+	byStage := map[string][]chromeEvent{}
+	for _, e := range file.TraceEvents {
+		if e.Ph != "X" {
+			t.Fatalf("event %q has phase %q, want complete events (X)", e.Name, e.Ph)
+		}
+		byStage[e.Name] = append(byStage[e.Name], e)
+	}
+	for _, stage := range []string{"search", "comparison", "envelope", "hmerge", "kernel"} {
+		if len(byStage[stage]) == 0 {
+			t.Fatalf("export has no %q spans (stages present: %v)", stage, stageNamesOf(byStage))
+		}
+	}
+
+	// The root event duplicates the search span; take the shorter "search"
+	// event as the search span proper.
+	search := byStage["search"][0]
+	for _, e := range byStage["search"][1:] {
+		if e.Dur < search.Dur {
+			search = e
+		}
+	}
+
+	// Span-tree nesting, checked structurally by interval containment (the
+	// Chrome format has no parent field — nesting IS containment per track).
+	requireNested := func(innerStage, outerStage string) {
+		t.Helper()
+		for _, in := range byStage[innerStage] {
+			found := false
+			for _, out := range byStage[outerStage] {
+				if eventContains(out, in) {
+					found = true
+					break
+				}
+			}
+			if !found {
+				t.Fatalf("%s span at ts=%v is not nested in any %s span", innerStage, in.Ts, outerStage)
+			}
+		}
+	}
+	requireNested("comparison", "search")
+	requireNested("envelope", "comparison")
+	requireNested("hmerge", "envelope")
+	requireNested("kernel", "hmerge")
+
+	// Counter attributes: the root reconciles, every comparison reconciles,
+	// and the comparisons sum back to the root — the SearchStats identity.
+	decodeCounts := func(e chromeEvent) (traceCounts, bool) {
+		raw, ok := e.Args["counts"]
+		if !ok {
+			return traceCounts{}, false
+		}
+		var c traceCounts
+		if err := json.Unmarshal(raw, &c); err != nil {
+			t.Fatalf("counts arg does not decode: %v", err)
+		}
+		return c, true
+	}
+	root, ok := decodeCounts(file.TraceEvents[0])
+	if !ok {
+		t.Fatal("root event has no counts attribute")
+	}
+	if !root.reconciles() {
+		t.Fatalf("root counts do not reconcile: %+v", root)
+	}
+	if root.Rotations != tr.Stats.Rotations || root.FullDistEvals != tr.Stats.FullDistEvals {
+		t.Fatalf("root counts %+v disagree with the trace summary stats %+v", root, tr.Stats)
+	}
+	var sum traceCounts
+	for _, e := range byStage["comparison"] {
+		c, ok := decodeCounts(e)
+		if !ok {
+			t.Fatalf("comparison span at ts=%v has no counts attribute", e.Ts)
+		}
+		if !c.reconciles() {
+			t.Fatalf("comparison counts do not reconcile: %+v", c)
+		}
+		sum.Comparisons += c.Comparisons
+		sum.Rotations += c.Rotations
+		sum.FullDistEvals += c.FullDistEvals
+		sum.EarlyAbandons += c.EarlyAbandons
+		sum.WedgePrunedMembers += c.WedgePrunedMembers
+		sum.WedgeLeafLBPrunes += c.WedgeLeafLBPrunes
+		sum.FFTRejectedMembers += c.FFTRejectedMembers
+	}
+	if sum != root {
+		t.Fatalf("per-comparison counts sum to %+v, root has %+v", sum, root)
+	}
+
+	// The summary layer agrees too.
+	if !tr.Stats.Reconciles() {
+		t.Fatal("trace summary stats do not reconcile")
+	}
+	if tr.Slow {
+		t.Error("trace marked slow under the default 50ms threshold")
+	}
+}
+
+func stageNamesOf(m map[string][]chromeEvent) []string {
+	names := make([]string, 0, len(m))
+	for n := range m {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+func TestTraceLogStageLatencies(t *testing.T) {
+	_, tlog, _ := tracedSearch(t)
+	lats := tlog.StageLatencies()
+	got := map[string]lbkeogh.StageLatency{}
+	for _, sl := range lats {
+		got[sl.Stage] = sl
+	}
+	for _, stage := range []string{"search", "comparison", "envelope", "hmerge", "kernel"} {
+		sl, ok := got[stage]
+		if !ok {
+			t.Fatalf("no latency histogram for stage %q", stage)
+		}
+		if sl.Count <= 0 || sl.SumNS <= 0 || len(sl.Buckets) == 0 {
+			t.Errorf("stage %q latency summary is empty: %+v", stage, sl)
+		}
+		var bucketTotal int64
+		for _, b := range sl.Buckets {
+			bucketTotal += b.Count
+		}
+		if bucketTotal != sl.Count {
+			t.Errorf("stage %q buckets sum to %d, count is %d", stage, bucketTotal, sl.Count)
+		}
+	}
+	// The query's Stats carries the same summaries once a log is attached.
+	q, _, _ := tracedSearch(t)
+	if len(q.Stats().StageLatencies) == 0 {
+		t.Error("Query.Stats() does not surface stage latencies with a TraceLog attached")
+	}
+}
+
+// Tracer must be a true alias of the internal interface: one implementation
+// satisfies every layer, with no conversion and no adapter types.
+func TestTracerIsAliasOfInternalInterface(t *testing.T) {
+	pub := reflect.TypeOf((*lbkeogh.Tracer)(nil)).Elem()
+	internal := reflect.TypeOf((*obs.Tracer)(nil)).Elem()
+	if pub != internal {
+		t.Fatalf("lbkeogh.Tracer (%v) is not an alias of obs.Tracer (%v)", pub, internal)
+	}
+	// Assignability both ways without conversion, checked by compilation.
+	var ft obs.FuncTracer
+	var asPublic lbkeogh.Tracer = &ft
+	var asInternal obs.Tracer = asPublic
+	_ = asInternal
+}
+
+// expoSample is one parsed Prometheus text-format sample.
+type expoSample struct {
+	name   string
+	labels map[string]string
+	value  float64
+}
+
+// parseExposition is a minimal Prometheus text-format (0.0.4) parser that
+// enforces: every sample's family has # HELP and # TYPE lines before its
+// first sample, and sample lines are `name[{labels}] value`.
+func parseExposition(t *testing.T, body string) (samples []expoSample, types map[string]string) {
+	t.Helper()
+	help := map[string]bool{}
+	types = map[string]string{}
+	seen := map[string]bool{}
+	family := func(name string) string {
+		for _, suffix := range []string{"_bucket", "_sum", "_count"} {
+			base := strings.TrimSuffix(name, suffix)
+			if base != name && types[base] == "histogram" {
+				return base
+			}
+		}
+		return name
+	}
+	for ln, line := range strings.Split(body, "\n") {
+		line = strings.TrimSpace(line)
+		if line == "" {
+			continue
+		}
+		if strings.HasPrefix(line, "# HELP ") {
+			parts := strings.SplitN(line[len("# HELP "):], " ", 2)
+			if len(parts) != 2 || parts[1] == "" {
+				t.Fatalf("line %d: HELP without text: %q", ln+1, line)
+			}
+			help[parts[0]] = true
+			continue
+		}
+		if strings.HasPrefix(line, "# TYPE ") {
+			parts := strings.Fields(line[len("# TYPE "):])
+			if len(parts) != 2 {
+				t.Fatalf("line %d: malformed TYPE: %q", ln+1, line)
+			}
+			types[parts[0]] = parts[1]
+			continue
+		}
+		if strings.HasPrefix(line, "#") {
+			continue
+		}
+		sp := strings.LastIndex(line, " ")
+		if sp < 0 {
+			t.Fatalf("line %d: malformed sample: %q", ln+1, line)
+		}
+		nameLabels, valStr := line[:sp], line[sp+1:]
+		val, err := strconv.ParseFloat(valStr, 64)
+		if err != nil {
+			t.Fatalf("line %d: bad sample value %q: %v", ln+1, valStr, err)
+		}
+		s := expoSample{labels: map[string]string{}, value: val}
+		if i := strings.Index(nameLabels, "{"); i >= 0 {
+			s.name = nameLabels[:i]
+			inner := strings.TrimSuffix(nameLabels[i+1:], "}")
+			for _, pair := range strings.Split(inner, ",") {
+				if pair == "" {
+					continue
+				}
+				kv := strings.SplitN(pair, "=", 2)
+				if len(kv) != 2 {
+					t.Fatalf("line %d: malformed label %q", ln+1, pair)
+				}
+				s.labels[kv[0]] = strings.Trim(kv[1], `"`)
+			}
+		} else {
+			s.name = nameLabels
+		}
+		fam := family(s.name)
+		if !seen[fam] {
+			if !help[fam] {
+				t.Fatalf("line %d: sample for %s before its # HELP", ln+1, fam)
+			}
+			if types[fam] == "" {
+				t.Fatalf("line %d: sample for %s before its # TYPE", ln+1, fam)
+			}
+			seen[fam] = true
+		}
+		samples = append(samples, s)
+	}
+	return samples, types
+}
+
+// TestMetricsExpositionWellFormed validates the full /metrics output with a
+// text-format parser: HELP/TYPE precede samples, histogram buckets are
+// cumulative and monotone, the +Inf bucket equals _count, and the steps
+// histogram's _sum is the exact observed sum (not the global Steps counter).
+func TestMetricsExpositionWellFormed(t *testing.T) {
+	q, tlog, _ := tracedSearch(t)
+	_ = tlog
+	h := lbkeogh.MetricsHandler(map[string]lbkeogh.StatsSource{"lbkeogh_query": q})
+	rr := httptest.NewRecorder()
+	h.ServeHTTP(rr, httptest.NewRequest("GET", "/metrics", nil))
+	if rr.Code != 200 {
+		t.Fatalf("status %d", rr.Code)
+	}
+	if ct := rr.Header().Get("Content-Type"); !strings.Contains(ct, "version=0.0.4") {
+		t.Errorf("content type %q is not the text exposition format", ct)
+	}
+	samples, types := parseExposition(t, rr.Body.String())
+	if len(samples) == 0 {
+		t.Fatal("no samples parsed")
+	}
+
+	// Histogram invariants, per (family, non-le labelset).
+	type key struct{ fam, labels string }
+	buckets := map[key][]expoSample{}
+	counts := map[key]float64{}
+	sums := map[key]float64{}
+	nonLE := func(s expoSample) string {
+		var parts []string
+		for k, v := range s.labels {
+			if k != "le" {
+				parts = append(parts, k+"="+v)
+			}
+		}
+		sort.Strings(parts)
+		return strings.Join(parts, ",")
+	}
+	for _, s := range samples {
+		switch {
+		case strings.HasSuffix(s.name, "_bucket"):
+			k := key{strings.TrimSuffix(s.name, "_bucket"), nonLE(s)}
+			buckets[k] = append(buckets[k], s)
+		case strings.HasSuffix(s.name, "_count") && types[strings.TrimSuffix(s.name, "_count")] == "histogram":
+			counts[key{strings.TrimSuffix(s.name, "_count"), nonLE(s)}] = s.value
+		case strings.HasSuffix(s.name, "_sum") && types[strings.TrimSuffix(s.name, "_sum")] == "histogram":
+			sums[key{strings.TrimSuffix(s.name, "_sum"), nonLE(s)}] = s.value
+		}
+	}
+	if len(buckets) == 0 {
+		t.Fatal("no histogram buckets in the exposition")
+	}
+	for k, bs := range buckets {
+		prevLE, prevV := -1.0, -1.0
+		for i, b := range bs {
+			leStr := b.labels["le"]
+			le := -1.0
+			if leStr == "+Inf" {
+				if i != len(bs)-1 {
+					t.Errorf("%v: +Inf bucket is not last", k)
+				}
+			} else {
+				var err error
+				if le, err = strconv.ParseFloat(leStr, 64); err != nil {
+					t.Fatalf("%v: bad le %q", k, leStr)
+				}
+				if le <= prevLE {
+					t.Errorf("%v: le %v not increasing after %v", k, le, prevLE)
+				}
+				prevLE = le
+			}
+			if b.value < prevV {
+				t.Errorf("%v: bucket value %v decreased from %v (not cumulative)", k, b.value, prevV)
+			}
+			prevV = b.value
+		}
+		last := bs[len(bs)-1]
+		if last.labels["le"] != "+Inf" {
+			t.Errorf("%v: histogram has no +Inf bucket", k)
+		}
+		if c, ok := counts[k]; !ok || last.value != c {
+			t.Errorf("%v: +Inf bucket %v != _count %v", k, last.value, c)
+		}
+		if _, ok := sums[k]; !ok {
+			t.Errorf("%v: histogram has no _sum", k)
+		}
+	}
+
+	// The steps histogram _sum must be the exact observed sum.
+	st := q.Stats()
+	k := key{"lbkeogh_query_comparison_steps", ""}
+	if got := sums[k]; got != float64(st.StepsHistogramSum) {
+		t.Errorf("comparison_steps_sum = %v, want the exact StepsHistogramSum %d", got, st.StepsHistogramSum)
+	}
+	if st.StepsHistogramSum == st.Steps {
+		t.Log("note: StepsHistogramSum equals Steps on this workload; the distinction is untested here")
+	}
+
+	// Stage-latency histograms must appear with the stage label.
+	if _, ok := buckets[key{"lbkeogh_query_stage_latency_ns", "stage=hmerge"}]; !ok {
+		t.Error("no stage_latency_ns histogram for stage=hmerge")
+	}
+}
+
+type staticStats lbkeogh.SearchStats
+
+func (s staticStats) Stats() lbkeogh.SearchStats { return lbkeogh.SearchStats(s) }
+
+func TestPublishExpvarRepublishIsNoop(t *testing.T) {
+	src := staticStats{Comparisons: 1}
+	lbkeogh.PublishExpvar("lbkeogh_test_republish", src)
+	// A second publication under the same name must not panic (expvar.Publish
+	// panics on duplicates; the wrapper must swallow the re-publish).
+	lbkeogh.PublishExpvar("lbkeogh_test_republish", staticStats{Comparisons: 2})
+}
+
+func TestMetricsHandlerEmptyAndNilSources(t *testing.T) {
+	for _, sources := range []map[string]lbkeogh.StatsSource{nil, {}} {
+		rr := httptest.NewRecorder()
+		lbkeogh.MetricsHandler(sources).ServeHTTP(rr, httptest.NewRequest("GET", "/metrics", nil))
+		if rr.Code != 200 {
+			t.Errorf("sources=%v: status %d, want 200", sources, rr.Code)
+		}
+		if rr.Body.Len() != 0 {
+			t.Errorf("sources=%v: non-empty body %q", sources, rr.Body.String())
+		}
+	}
+}
+
+func TestDebugHandlerRoutes(t *testing.T) {
+	q, tlog, tr := tracedSearch(t)
+	h := lbkeogh.DebugHandler(
+		map[string]lbkeogh.StatsSource{"test_query": q},
+		map[string]*lbkeogh.TraceLog{"test_query": tlog},
+	)
+	get := func(target string) *httptest.ResponseRecorder {
+		rr := httptest.NewRecorder()
+		h.ServeHTTP(rr, httptest.NewRequest("GET", target, nil))
+		return rr
+	}
+
+	rr := get("/debug/lbkeogh")
+	if rr.Code != 200 {
+		t.Fatalf("dashboard: status %d", rr.Code)
+	}
+	body := rr.Body.String()
+	for _, want := range []string{"<h1>lbkeogh observability</h1>", "test_query", "hmerge"} {
+		if !strings.Contains(body, want) {
+			t.Errorf("dashboard HTML is missing %q", want)
+		}
+	}
+
+	rr = get("/debug/lbkeogh?log=test_query&format=chrome")
+	if rr.Code != 200 {
+		t.Fatalf("chrome export: status %d: %s", rr.Code, rr.Body.String())
+	}
+	var all struct {
+		TraceEvents []chromeEvent `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(rr.Body.Bytes(), &all); err != nil {
+		t.Fatalf("chrome export is not valid JSON: %v", err)
+	}
+	if len(all.TraceEvents) == 0 {
+		t.Fatal("chrome export has no events")
+	}
+
+	rr = get("/debug/lbkeogh?log=test_query&trace=" + strconv.FormatInt(tr.ID, 10) + "&format=jsonl")
+	if rr.Code != 200 {
+		t.Fatalf("jsonl export: status %d: %s", rr.Code, rr.Body.String())
+	}
+	for i, line := range strings.Split(strings.TrimSpace(rr.Body.String()), "\n") {
+		var m map[string]any
+		if err := json.Unmarshal([]byte(line), &m); err != nil {
+			t.Fatalf("jsonl line %d is not valid JSON: %v", i+1, err)
+		}
+	}
+
+	if rr := get("/debug/lbkeogh?log=nope"); rr.Code != 404 {
+		t.Errorf("unknown log: status %d, want 404", rr.Code)
+	}
+	if rr := get("/debug/lbkeogh?log=test_query&format=bogus"); rr.Code != 400 {
+		t.Errorf("bad format: status %d, want 400", rr.Code)
+	}
+	if rr := get("/debug/lbkeogh?log=test_query&format=jsonl"); rr.Code != 400 {
+		t.Errorf("jsonl without trace id: status %d, want 400", rr.Code)
+	}
+}
