@@ -15,7 +15,6 @@
 package main
 
 import (
-	"bufio"
 	"encoding/json"
 	"expvar"
 	"flag"
@@ -23,11 +22,10 @@ import (
 	"net/http"
 	"net/http/pprof"
 	"os"
-	"strconv"
-	"strings"
 	"sync"
 
 	"lbkeogh"
+	"lbkeogh/internal/seriesio"
 )
 
 func main() {
@@ -53,7 +51,7 @@ func main() {
 		fmt.Fprintln(os.Stderr, "shapesearch: -db is required")
 		os.Exit(2)
 	}
-	labels, series, err := readCSV(*dbPath)
+	labels, series, err := seriesio.ReadCSV(*dbPath)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "shapesearch: %v\n", err)
 		os.Exit(1)
@@ -243,47 +241,4 @@ func serveObs(addr string, sources *sourceSet) {
 		fmt.Fprintf(os.Stderr, "shapesearch: serve %s: %v\n", addr, err)
 		os.Exit(1)
 	}
-}
-
-func readCSV(path string) ([]int, []lbkeogh.Series, error) {
-	f, err := os.Open(path)
-	if err != nil {
-		return nil, nil, err
-	}
-	defer f.Close()
-	var labels []int
-	var series []lbkeogh.Series
-	sc := bufio.NewScanner(f)
-	sc.Buffer(make([]byte, 1<<20), 1<<24)
-	for line := 1; sc.Scan(); line++ {
-		text := strings.TrimSpace(sc.Text())
-		if text == "" {
-			continue
-		}
-		fields := strings.Split(text, ",")
-		if len(fields) < 3 {
-			return nil, nil, fmt.Errorf("%s:%d: need label plus >= 2 values", path, line)
-		}
-		label, err := strconv.Atoi(strings.TrimSpace(fields[0]))
-		if err != nil {
-			return nil, nil, fmt.Errorf("%s:%d: bad label: %v", path, line, err)
-		}
-		row := make(lbkeogh.Series, len(fields)-1)
-		for i, fstr := range fields[1:] {
-			v, err := strconv.ParseFloat(strings.TrimSpace(fstr), 64)
-			if err != nil {
-				return nil, nil, fmt.Errorf("%s:%d: bad value %d: %v", path, line, i, err)
-			}
-			row[i] = v
-		}
-		labels = append(labels, label)
-		series = append(series, row)
-	}
-	if err := sc.Err(); err != nil {
-		return nil, nil, err
-	}
-	if len(series) < 2 {
-		return nil, nil, fmt.Errorf("%s: need at least 2 rows", path)
-	}
-	return labels, series, nil
 }

@@ -1,0 +1,140 @@
+// Command shapeserver serves rotation-invariant shape search over HTTP: load
+// a CSV database (as written by mkdata) or a synthetic one, then answer
+// nearest-neighbour, top-K, and range queries as JSON, each response carrying
+// its own pruning breakdown. The server bounds concurrency with admission
+// control (429 once the wait queue fills), bounds every search with a
+// deadline wired into the library's cooperative cancellation (504 on
+// expiry), pools compiled query sessions so repeated queries skip the O(n²)
+// rotation-set build, and drains gracefully on SIGINT/SIGTERM.
+//
+// Usage:
+//
+//	mkdata -dataset projectile -m 500 > db.csv
+//	shapeserver -db db.csv
+//	shapeserver -synthetic 400,128 -addr :8321
+//
+//	curl -s localhost:8321/v1/search -d '{"query_index":0}'
+//	curl -s localhost:8321/v1/topk   -d '{"series":[...], "k":5, "measure":"dtw", "r":5}'
+//	curl -s localhost:8321/v1/range  -d '{"query_index":3, "threshold":2.5}'
+//	curl -s localhost:8321/healthz
+//	curl -s localhost:8321/metrics
+//
+// The live dashboard is at /debug/lbkeogh (traces downloadable as Chrome
+// trace-event JSON for ui.perfetto.dev), expvar at /debug/vars, and pprof at
+// /debug/pprof/.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"os/signal"
+	"strconv"
+	"strings"
+	"syscall"
+	"time"
+
+	"lbkeogh"
+	"lbkeogh/internal/seriesio"
+	"lbkeogh/internal/server"
+)
+
+func main() {
+	var (
+		addr      = flag.String("addr", ":8321", "listen address")
+		dbPath    = flag.String("db", "", "CSV database file (label,v0,v1,...)")
+		synthetic = flag.String("synthetic", "", "generate a synthetic database instead: m,n (series,samples)")
+		seed      = flag.Int64("seed", 42, "synthetic dataset seed")
+		inflight  = flag.Int("inflight", 4, "max concurrent searches")
+		queue     = flag.Int("queue", 16, "max requests waiting beyond the in-flight slots (then 429)")
+		pool      = flag.Int("pool", 32, "max idle query sessions kept for reuse")
+		timeout   = flag.Duration("timeout", 10*time.Second, "default per-request search deadline")
+		maxTO     = flag.Duration("max-timeout", 60*time.Second, "cap on client-requested timeout_ms")
+		grace     = flag.Duration("grace", 15*time.Second, "shutdown grace period for draining in-flight requests")
+		notrace   = flag.Bool("notrace", false, "disable query tracing (smaller overhead, empty dashboard)")
+	)
+	flag.Parse()
+
+	var labels []int
+	var db []lbkeogh.Series
+	switch {
+	case *dbPath != "" && *synthetic != "":
+		fmt.Fprintln(os.Stderr, "shapeserver: -db and -synthetic are mutually exclusive")
+		os.Exit(2)
+	case *dbPath != "":
+		var rows [][]float64
+		var err error
+		labels, rows, err = seriesio.ReadCSV(*dbPath)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "shapeserver: %v\n", err)
+			os.Exit(1)
+		}
+		db = make([]lbkeogh.Series, len(rows))
+		for i, r := range rows {
+			db[i] = r
+		}
+	case *synthetic != "":
+		parts := strings.Split(*synthetic, ",")
+		var m, n int
+		var err1, err2 error
+		if len(parts) == 2 {
+			m, err1 = strconv.Atoi(strings.TrimSpace(parts[0]))
+			n, err2 = strconv.Atoi(strings.TrimSpace(parts[1]))
+		}
+		if len(parts) != 2 || err1 != nil || err2 != nil || m < 2 || n < 2 {
+			fmt.Fprintf(os.Stderr, "shapeserver: -synthetic wants m,n with m,n >= 2, got %q\n", *synthetic)
+			os.Exit(2)
+		}
+		db = lbkeogh.SyntheticProjectilePoints(*seed, m, n)
+	default:
+		fmt.Fprintln(os.Stderr, "shapeserver: one of -db or -synthetic is required")
+		os.Exit(2)
+	}
+
+	var tlog *lbkeogh.TraceLog
+	if !*notrace {
+		tlog = lbkeogh.NewTraceLog()
+	}
+	srv, err := server.New(server.Config{
+		DB:             db,
+		Labels:         labels,
+		MaxInflight:    *inflight,
+		MaxQueue:       *queue,
+		PoolSize:       *pool,
+		DefaultTimeout: *timeout,
+		MaxTimeout:     *maxTO,
+		TraceLog:       tlog,
+	})
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "shapeserver: %v\n", err)
+		os.Exit(1)
+	}
+	lbkeogh.PublishExpvar("shapeserver", srv)
+
+	httpSrv := &http.Server{Addr: *addr, Handler: srv.Handler()}
+	errCh := make(chan error, 1)
+	go func() { errCh <- httpSrv.ListenAndServe() }()
+	fmt.Printf("shapeserver: serving %d series of length %d on %s (/v1/search /v1/topk /v1/range /healthz /metrics /debug/lbkeogh)\n",
+		len(db), srv.Len(), *addr)
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	select {
+	case err := <-errCh:
+		fmt.Fprintf(os.Stderr, "shapeserver: %v\n", err)
+		os.Exit(1)
+	case s := <-sig:
+		fmt.Printf("shapeserver: %v: draining (grace %v)\n", s, *grace)
+	}
+	srv.BeginDrain()
+	ctx, cancel := context.WithTimeout(context.Background(), *grace)
+	defer cancel()
+	if err := httpSrv.Shutdown(ctx); err != nil && !errors.Is(err, http.ErrServerClosed) {
+		fmt.Fprintf(os.Stderr, "shapeserver: shutdown: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Println("shapeserver: drained")
+}

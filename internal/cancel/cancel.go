@@ -1,0 +1,76 @@
+// Package cancel implements the cooperative-cancellation checkpoint used by
+// the search hot paths. A rotation-invariant DTW scan — the paper's worst
+// case (Table 5) — can run for seconds; the serving layer needs to bound it
+// with a deadline without the kernel loops paying a context poll per
+// rotation. A Checker amortizes ctx.Err() over a fixed number of checkpoint
+// hits, so the hot loops pay one predictable branch per hit and one real
+// context poll per interval.
+//
+// A Checker is single-goroutine scratch, like *stats.Tally: each scan (and
+// each parallel-scan worker) owns its own. A nil *Checker is the documented
+// "never cancelled" mode — the uninstrumented path costs one nil check.
+package cancel
+
+import "context"
+
+// DefaultInterval is the checkpoint interval: the number of Stop calls
+// between consecutive ctx.Err() polls. The scan loops call Stop once per
+// comparison and the H-Merge walk once per wedge visit, so a cancellation
+// is observed after at most DefaultInterval such steps — a few kernel
+// evaluations — while the poll cost is amortized to ~zero.
+const DefaultInterval = 16
+
+// Checker polls a context's error at an amortized interval. The zero of the
+// type is not useful; construct with New. A nil receiver never cancels.
+type Checker struct {
+	ctx      context.Context
+	interval int
+	left     int
+	err      error
+}
+
+// New returns a Checker polling ctx every interval checkpoint hits
+// (interval <= 0 selects DefaultInterval). A nil or never-cancellable
+// context (Done() == nil, e.g. context.Background) yields a nil Checker, so
+// the uncancellable path stays free. An already-expired context is observed
+// immediately: the first Stop call reports it.
+func New(ctx context.Context, interval int) *Checker {
+	if ctx == nil || ctx.Done() == nil {
+		return nil
+	}
+	if interval <= 0 {
+		interval = DefaultInterval
+	}
+	// left = 1 makes the first checkpoint poll for real, so an
+	// already-cancelled context never starts an interval's worth of work.
+	return &Checker{ctx: ctx, interval: interval, left: 1}
+}
+
+// Stop is the checkpoint: it returns a non-nil error once the context is
+// cancelled or past its deadline, polling ctx.Err() only every interval-th
+// call. The error is sticky — once observed, every subsequent Stop (and Err)
+// call returns it without polling again.
+func (c *Checker) Stop() error {
+	if c == nil {
+		return nil
+	}
+	if c.err != nil {
+		return c.err
+	}
+	c.left--
+	if c.left > 0 {
+		return nil
+	}
+	c.left = c.interval
+	c.err = c.ctx.Err()
+	return c.err
+}
+
+// Err reports the sticky error observed by a previous Stop, without
+// advancing the checkpoint counter or polling the context.
+func (c *Checker) Err() error {
+	if c == nil {
+		return nil
+	}
+	return c.err
+}

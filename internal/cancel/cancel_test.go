@@ -1,0 +1,90 @@
+package cancel
+
+import (
+	"context"
+	"errors"
+	"testing"
+)
+
+func TestNilCheckerNeverCancels(t *testing.T) {
+	var c *Checker
+	for i := 0; i < 100; i++ {
+		if err := c.Stop(); err != nil {
+			t.Fatalf("nil checker returned %v", err)
+		}
+	}
+	if err := c.Err(); err != nil {
+		t.Fatalf("nil checker Err = %v", err)
+	}
+}
+
+func TestBackgroundContextYieldsNilChecker(t *testing.T) {
+	if c := New(context.Background(), 8); c != nil {
+		t.Fatalf("New(Background) = %v, want nil", c)
+	}
+	if c := New(nil, 8); c != nil {
+		t.Fatalf("New(nil) = %v, want nil", c)
+	}
+}
+
+func TestAlreadyCancelledObservedOnFirstStop(t *testing.T) {
+	ctx, cancelFn := context.WithCancel(context.Background())
+	cancelFn()
+	c := New(ctx, 64)
+	if err := c.Stop(); !errors.Is(err, context.Canceled) {
+		t.Fatalf("first Stop = %v, want Canceled", err)
+	}
+}
+
+// pollCountCtx counts Err() polls so the amortization interval is testable.
+type pollCountCtx struct {
+	context.Context
+	polls int
+	fail  bool
+}
+
+func (p *pollCountCtx) Err() error {
+	p.polls++
+	if p.fail {
+		return context.Canceled
+	}
+	return nil
+}
+
+func TestStopPollsEveryInterval(t *testing.T) {
+	base, cancelFn := context.WithCancel(context.Background())
+	defer cancelFn()
+	p := &pollCountCtx{Context: base}
+	c := New(p, 10)
+	// First call polls (left starts at 1), then every 10th.
+	for i := 0; i < 31; i++ {
+		if err := c.Stop(); err != nil {
+			t.Fatalf("Stop %d = %v", i, err)
+		}
+	}
+	if p.polls != 4 { // calls 1, 11, 21, 31
+		t.Fatalf("polls = %d, want 4", p.polls)
+	}
+}
+
+func TestErrorIsSticky(t *testing.T) {
+	base, cancelFn := context.WithCancel(context.Background())
+	defer cancelFn()
+	p := &pollCountCtx{Context: base, fail: true}
+	c := New(p, 5)
+	if err := c.Stop(); !errors.Is(err, context.Canceled) {
+		t.Fatalf("Stop = %v, want Canceled", err)
+	}
+	polls := p.polls
+	for i := 0; i < 20; i++ {
+		if err := c.Stop(); !errors.Is(err, context.Canceled) {
+			t.Fatalf("sticky Stop = %v", err)
+		}
+	}
+	if p.polls != polls {
+		t.Fatalf("sticky error re-polled the context: %d -> %d", polls, p.polls)
+	}
+	if !errors.Is(c.Err(), context.Canceled) {
+		t.Fatalf("Err = %v, want Canceled", c.Err())
+	}
+}

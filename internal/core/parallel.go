@@ -1,10 +1,12 @@
 package core
 
 import (
+	"context"
 	"math"
 	"runtime"
 	"sync"
 
+	"lbkeogh/internal/cancel"
 	"lbkeogh/internal/stats"
 	"lbkeogh/internal/wedge"
 )
@@ -21,6 +23,17 @@ import (
 // the same mutex that guards the best-so-far; the per-item work dwarfs the
 // coordination cost.
 func ScanParallel(rs *RotationSet, kernel wedge.Kernel, strategy Strategy, cfg SearcherConfig, db [][]float64, workers int, cnt *stats.Counter) ScanResult {
+	r, _ := ScanParallelContext(context.Background(), rs, kernel, strategy, cfg, db, workers, cnt) // uncancellable: never errs
+	return r
+}
+
+// ScanParallelContext is ScanParallel bounded by ctx. Every worker owns its
+// cancellation checkpoint (a checker, like the searcher it feeds, is
+// single-goroutine) and polls it per comparison, so a cancellation stops
+// all workers within one checkpoint interval each; the WaitGroup then joins
+// them before the error is returned — a cancelled scan leaks no goroutines.
+// An uncancelled ScanParallelContext is identical to ScanParallel.
+func ScanParallelContext(ctx context.Context, rs *RotationSet, kernel wedge.Kernel, strategy Strategy, cfg SearcherConfig, db [][]float64, workers int, cnt *stats.Counter) (ScanResult, error) {
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
@@ -29,7 +42,13 @@ func ScanParallel(rs *RotationSet, kernel wedge.Kernel, strategy Strategy, cfg S
 	}
 	if workers <= 1 {
 		s := NewSearcher(rs, kernel, strategy, cfg)
-		return s.Scan(db, cnt)
+		return s.ScanContext(ctx, db, cnt)
+	}
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	if err := ctx.Err(); err != nil {
+		return ScanResult{Index: -1, Dist: math.Inf(1)}, err
 	}
 
 	const chunk = 16
@@ -44,8 +63,11 @@ func ScanParallel(rs *RotationSet, kernel wedge.Kernel, strategy Strategy, cfg S
 			defer wg.Done()
 			// Workers share cnt (atomic) and any cfg.Obs record directly;
 			// MatchSeries flushes its stack-local counter once per series, so
-			// the shared atomics are touched O(1) times per comparison.
+			// the shared atomics are touched O(1) times per comparison. Each
+			// worker owns its checkpoint (single-goroutine, like the searcher).
 			searcher := NewSearcher(rs, kernel, strategy, cfg)
+			chk := cancel.New(ctx, CancelCheckInterval)
+			searcher.SetCancelChecker(chk)
 			for {
 				mu.Lock()
 				lo := next
@@ -60,7 +82,13 @@ func ScanParallel(rs *RotationSet, kernel wedge.Kernel, strategy Strategy, cfg S
 					hi = len(db)
 				}
 				for i := lo; i < hi; i++ {
+					if chk.Stop() != nil {
+						return
+					}
 					m := searcher.MatchSeries(db[i], threshold, cnt)
+					if chk.Err() != nil {
+						return
+					}
 					if !m.Found() {
 						continue
 					}
@@ -76,8 +104,11 @@ func ScanParallel(rs *RotationSet, kernel wedge.Kernel, strategy Strategy, cfg S
 	}
 	wg.Wait()
 
+	if err := ctx.Err(); err != nil {
+		return ScanResult{Index: -1, Dist: math.Inf(1)}, err
+	}
 	if best.Index < 0 {
-		return best
+		return best, nil
 	}
 	// Ties at exactly equal distance across workers may resolve to a higher
 	// index than the serial scan would report, because a worker that found
@@ -85,12 +116,16 @@ func ScanParallel(rs *RotationSet, kernel wedge.Kernel, strategy Strategy, cfg S
 	// threshold comparison is strict). Resolve by re-checking all earlier
 	// items at an epsilon-loosened threshold.
 	searcher := NewSearcher(rs, kernel, strategy, cfg)
+	searcher.SetCancelChecker(cancel.New(ctx, CancelCheckInterval))
 	for i := 0; i < best.Index; i++ {
+		if err := ctx.Err(); err != nil {
+			return ScanResult{Index: -1, Dist: math.Inf(1)}, err
+		}
 		m := searcher.MatchSeries(db[i], best.Dist*(1+1e-12)+1e-300, cnt)
 		if m.Found() && m.Dist <= best.Dist {
 			best = ScanResult{Index: i, Dist: m.Dist, Member: m.Member}
 			break
 		}
 	}
-	return best
+	return best, nil
 }

@@ -1,15 +1,26 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"math"
+	"sort"
 
+	"lbkeogh/internal/cancel"
 	"lbkeogh/internal/fourier"
 	"lbkeogh/internal/obs"
 	"lbkeogh/internal/obs/trace"
 	"lbkeogh/internal/stats"
 	"lbkeogh/internal/wedge"
 )
+
+// CancelCheckInterval is the cooperative-cancellation checkpoint interval:
+// the scan loops and the per-rotation strategy loops poll the context's
+// error once per this many checkpoint hits (comparisons at the scan level,
+// rotations or wedge visits within one). A cancellation is therefore
+// observed within one interval — at most a few kernel evaluations — while
+// the uncancelled hot path pays one predictable branch per hit.
+const CancelCheckInterval = cancel.DefaultInterval
 
 // Strategy selects how a RotationSet is matched against database series.
 type Strategy int
@@ -51,13 +62,18 @@ func (s Strategy) String() string {
 // set: the exact minimum distance over all admitted rotations (or +Inf if a
 // threshold proved unbeatable) and the minimizing rotation.
 type Match struct {
-	Dist   float64
-	Member Member
-	found  bool
+	Dist    float64
+	Member  Member
+	found   bool
+	aborted bool
 }
 
 // Found reports whether any rotation beat the threshold.
 func (m Match) Found() bool { return m.found }
+
+// Aborted reports whether a cancellation checkpoint stopped the comparison
+// before every rotation was disposed of.
+func (m Match) Aborted() bool { return m.aborted }
 
 // Searcher matches database series against one query's rotation set under a
 // fixed kernel and strategy. It carries the dynamic-K state across calls so
@@ -74,6 +90,7 @@ type Searcher struct {
 	tracer    obs.Tracer       // nil: untraced
 	rec       *trace.Recorder  // nil: no span recording
 	ref       int              // comparison ordinal within the current trace
+	chk       *cancel.Checker  // nil: uncancellable
 }
 
 // SearcherConfig tunes a Searcher beyond its strategy.
@@ -137,6 +154,14 @@ func (s *Searcher) SetRecorder(rec *trace.Recorder) {
 	s.rec = rec
 	s.ref = 0
 }
+
+// SetCancelChecker attaches (or, with nil, detaches) a cooperative
+// cancellation checkpoint. Like the Searcher itself, the checker is
+// single-goroutine: attach it to at most one searcher. While attached, the
+// strategy loops poll it per rotation (or per wedge visit) and abort the
+// comparison once it trips; the undisposed rotations are attributed to the
+// cancelled outcome bucket so the record still reconciles.
+func (s *Searcher) SetCancelChecker(chk *cancel.Checker) { s.chk = chk }
 
 // Kernel returns the searcher's distance kernel.
 func (s *Searcher) Kernel() wedge.Kernel { return s.kernel }
@@ -204,6 +229,11 @@ func (s *Searcher) matchBrute(x []float64, r float64, cnt *stats.Tally) Match {
 	best := math.Inf(1)
 	bestIdx := -1
 	for i := 0; i < s.rs.Members(); i++ {
+		if s.chk.Stop() != nil {
+			s.obs.AddOutcomes(int64(i), 0)
+			s.obs.CountCancelled(int64(s.rs.Members() - i))
+			return Match{Dist: math.Inf(1), aborted: true}
+		}
 		d, _ := s.kernel.Distance(x, s.rs.Member(i), -1, cnt)
 		if d < best {
 			best, bestIdx = d, i
@@ -224,6 +254,11 @@ func (s *Searcher) matchEarlyAbandon(x []float64, r float64, cnt *stats.Tally) M
 	bestIdx := -1
 	var fullDist, abandons int64 // batched into the record once per comparison
 	for i := 0; i < s.rs.Members(); i++ {
+		if s.chk.Stop() != nil {
+			s.obs.AddOutcomes(fullDist, abandons)
+			s.obs.CountCancelled(int64(s.rs.Members() - i))
+			return Match{Dist: math.Inf(1), aborted: true}
+		}
 		d, abandoned := s.kernel.Distance(x, s.rs.Member(i), best, cnt)
 		if abandoned {
 			abandons++
@@ -269,8 +304,14 @@ func (s *Searcher) matchWedge(x []float64, r float64, cnt *stats.Tally, ar *trac
 		K = s.dyn.K()
 	}
 	env := ar.Begin(trace.StageEnvelope, -1)
-	res := s.rs.tree.SearchTraced(x, s.kernel, K, r, s.traversal, cnt, s.obs, s.tracer, ar)
+	res := s.rs.tree.SearchTraced(x, s.kernel, K, r, s.traversal, cnt, s.obs, s.tracer, ar, s.chk)
 	ar.End(env)
+	if res.Aborted {
+		// A cancelled comparison must not feed the dynamic-K controller:
+		// its partial step count would bias the wedge-set size and leave the
+		// query in a different adaptive state than an uncancelled run.
+		return Match{Dist: math.Inf(1), aborted: true}
+	}
 	improved := res.BestMember >= 0
 	if s.fixedK <= 0 {
 		s.dyn.Observe(res.Steps, improved)
@@ -293,22 +334,73 @@ type ScanResult struct {
 // finds the database series with the smallest rotation-invariant distance to
 // the query, propagating the best-so-far as the early-abandon threshold.
 func (s *Searcher) Scan(db [][]float64, cnt *stats.Counter) ScanResult {
-	best := ScanResult{Index: -1, Dist: math.Inf(1)}
+	r, _ := s.ScanContext(context.Background(), db, cnt) // uncancellable: never errs
+	return r
+}
+
+// beginScan installs a checkpoint for one context-bounded scan and reports
+// an already-expired context before any work is done. The returned checker
+// is nil (free) for uncancellable contexts.
+func (s *Searcher) beginScan(ctx context.Context) (*cancel.Checker, error) {
+	if ctx != nil {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+	}
+	chk := cancel.New(ctx, CancelCheckInterval)
+	s.chk = chk
+	return chk, nil
+}
+
+// endScan detaches the scan's checkpoint.
+func (s *Searcher) endScan() { s.chk = nil }
+
+// ScanContext is Scan bounded by ctx: the loop polls a cancellation
+// checkpoint once per comparison (and the strategy loops poll it per
+// rotation or wedge visit), so ctx.Err() is returned within one checkpoint
+// interval of the cancellation. An already-expired ctx returns immediately
+// without scanning. An uncancelled ScanContext is bit-identical to Scan.
+func (s *Searcher) ScanContext(ctx context.Context, db [][]float64, cnt *stats.Counter) (ScanResult, error) {
+	none := ScanResult{Index: -1, Dist: math.Inf(1)}
+	chk, err := s.beginScan(ctx)
+	if err != nil {
+		return none, err
+	}
+	defer s.endScan()
+	best := none
 	for i, x := range db {
+		if err := chk.Stop(); err != nil {
+			return none, err
+		}
 		m := s.MatchSeries(x, best.Dist, cnt)
+		if err := chk.Err(); err != nil {
+			return none, err
+		}
 		if m.Found() && m.Dist < best.Dist {
 			best = ScanResult{Index: i, Dist: m.Dist, Member: m.Member}
 		}
 	}
-	return best
+	return best, nil
 }
 
 // ScanTopK returns the k nearest database series in ascending distance
 // order, using the k-th best as the abandoning threshold.
 func (s *Searcher) ScanTopK(db [][]float64, k int, cnt *stats.Counter) []ScanResult {
+	rs, _ := s.ScanTopKContext(context.Background(), db, k, cnt) // uncancellable: never errs
+	return rs
+}
+
+// ScanTopKContext is ScanTopK bounded by ctx, with the same checkpoint
+// semantics as ScanContext.
+func (s *Searcher) ScanTopKContext(ctx context.Context, db [][]float64, k int, cnt *stats.Counter) ([]ScanResult, error) {
 	if k < 1 {
 		k = 1
 	}
+	chk, err := s.beginScan(ctx)
+	if err != nil {
+		return nil, err
+	}
+	defer s.endScan()
 	var heapRes []ScanResult // sorted ascending, max len k
 	threshold := func() float64 {
 		if len(heapRes) < k {
@@ -317,7 +409,13 @@ func (s *Searcher) ScanTopK(db [][]float64, k int, cnt *stats.Counter) []ScanRes
 		return heapRes[len(heapRes)-1].Dist
 	}
 	for i, x := range db {
+		if err := chk.Stop(); err != nil {
+			return nil, err
+		}
 		m := s.MatchSeries(x, threshold(), cnt)
+		if err := chk.Err(); err != nil {
+			return nil, err
+		}
 		if !m.Found() || m.Dist >= threshold() {
 			continue
 		}
@@ -333,5 +431,33 @@ func (s *Searcher) ScanTopK(db [][]float64, k int, cnt *stats.Counter) []ScanRes
 			heapRes = heapRes[:k]
 		}
 	}
-	return heapRes
+	return heapRes, nil
+}
+
+// ScanRangeContext returns every database series whose rotation-invariant
+// distance is strictly below threshold, in ascending distance order (ties
+// towards the lower index), bounded by ctx with the same checkpoint
+// semantics as ScanContext. The fixed threshold serves as the early-abandon
+// bound for every comparison.
+func (s *Searcher) ScanRangeContext(ctx context.Context, db [][]float64, threshold float64, cnt *stats.Counter) ([]ScanResult, error) {
+	chk, err := s.beginScan(ctx)
+	if err != nil {
+		return nil, err
+	}
+	defer s.endScan()
+	var out []ScanResult
+	for i, x := range db {
+		if err := chk.Stop(); err != nil {
+			return nil, err
+		}
+		m := s.MatchSeries(x, threshold, cnt)
+		if err := chk.Err(); err != nil {
+			return nil, err
+		}
+		if m.Found() && m.Dist < threshold {
+			out = append(out, ScanResult{Index: i, Dist: m.Dist, Member: m.Member})
+		}
+	}
+	sort.SliceStable(out, func(a, b int) bool { return out[a].Dist < out[b].Dist })
+	return out, nil
 }

@@ -1,0 +1,161 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// CtxCheck returns the ctxcheck analyzer, enforcing the repository's two
+// context conventions:
+//
+//  1. Exported functions and methods that accept a context.Context take it
+//     as their first parameter (the standard Go signature shape — SearchContext,
+//     ScanParallelContext and friends all follow it).
+//  2. Inside //lbkeogh:hotpath functions, a loop must not call ctx.Err() on
+//     every iteration: polling the context involves an atomic load (and for
+//     deadline contexts a mutex), which is exactly the per-step overhead the
+//     hot path bans. The poll must sit behind an amortizing counter — an
+//     integer-guarded branch like internal/cancel.Checker's — so its cost
+//     spreads over the checkpoint interval.
+func CtxCheck() *Analyzer {
+	a := &Analyzer{
+		Name: "ctxcheck",
+		Doc: "exported functions take context.Context first; //lbkeogh:hotpath loops " +
+			"must amortize ctx.Err() polls behind an integer-guarded checkpoint",
+	}
+	a.Run = func(pass *Pass) {
+		for _, f := range pass.Files {
+			for _, decl := range f.Decls {
+				fd, ok := decl.(*ast.FuncDecl)
+				if !ok {
+					continue
+				}
+				checkCtxParamOrder(pass, fd)
+				if fd.Body != nil && funcHasDirective(fd.Doc, HotpathDirective) {
+					scanHotpathPolls(pass, fd.Body, false, false)
+				}
+			}
+		}
+	}
+	return a
+}
+
+// checkCtxParamOrder flags context.Context parameters of exported functions
+// at any position but the first.
+func checkCtxParamOrder(pass *Pass, fd *ast.FuncDecl) {
+	if !fd.Name.IsExported() || fd.Type.Params == nil {
+		return
+	}
+	idx := 0
+	for _, field := range fd.Type.Params.List {
+		n := len(field.Names)
+		if n == 0 {
+			n = 1 // unnamed parameter still occupies one position
+		}
+		if isContextType(pass.TypesInfo.TypeOf(field.Type)) && idx > 0 {
+			pass.Reportf(field.Pos(),
+				"exported %s takes context.Context at parameter %d; contexts go first (as in SearchContext)",
+				fd.Name.Name, idx)
+		}
+		idx += n
+	}
+}
+
+// scanHotpathPolls walks a hotpath function body tracking whether the
+// current node executes once per loop iteration (inLoop) and whether an
+// enclosing if condition mentions an integer variable (guarded) — the
+// amortizing-counter shape. An unguarded per-iteration ctx.Err() call is
+// reported.
+func scanHotpathPolls(pass *Pass, n ast.Node, inLoop, guarded bool) {
+	root := n
+	ast.Inspect(n, func(m ast.Node) bool {
+		if m == nil || m == root {
+			return true
+		}
+		switch s := m.(type) {
+		case *ast.ForStmt:
+			if s.Init != nil {
+				scanHotpathPolls(pass, s.Init, inLoop, guarded)
+			}
+			// Cond and Post re-execute on every iteration, like the body.
+			if s.Cond != nil {
+				scanHotpathPolls(pass, s.Cond, true, guarded)
+			}
+			if s.Post != nil {
+				scanHotpathPolls(pass, s.Post, true, guarded)
+			}
+			scanHotpathPolls(pass, s.Body, true, guarded)
+			return false
+		case *ast.RangeStmt:
+			if s.X != nil {
+				scanHotpathPolls(pass, s.X, inLoop, guarded) // evaluated once
+			}
+			scanHotpathPolls(pass, s.Body, true, guarded)
+			return false
+		case *ast.IfStmt:
+			scanIf(pass, s, inLoop, guarded)
+			return false
+		case *ast.CallExpr:
+			if inLoop && !guarded && isCtxErrCall(pass, s) {
+				pass.Reportf(s.Pos(),
+					"hotpath loop polls ctx.Err() on every iteration; amortize the poll behind an integer checkpoint counter (see internal/cancel.Checker)")
+			}
+			return true
+		}
+		return true
+	})
+}
+
+// scanIf handles one if statement (and any else-if chain) explicitly: a
+// condition mentioning an integer-typed variable marks the whole statement —
+// condition included, so `i%16 == 0 && ctx.Err() != nil` passes — as an
+// amortized checkpoint.
+func scanIf(pass *Pass, s *ast.IfStmt, inLoop, guarded bool) {
+	g := guarded || mentionsIntVar(pass, s.Cond)
+	if s.Init != nil {
+		scanHotpathPolls(pass, s.Init, inLoop, g)
+	}
+	scanHotpathPolls(pass, s.Cond, inLoop, g)
+	scanHotpathPolls(pass, s.Body, inLoop, g)
+	switch e := s.Else.(type) {
+	case nil:
+	case *ast.IfStmt:
+		scanIf(pass, e, inLoop, guarded) // the chained condition guards itself
+	default:
+		scanHotpathPolls(pass, e, inLoop, g)
+	}
+}
+
+// mentionsIntVar reports whether the expression references an integer-typed
+// identifier (the checkpoint countdown of an amortized poll).
+func mentionsIntVar(pass *Pass, expr ast.Expr) bool {
+	found := false
+	ast.Inspect(expr, func(m ast.Node) bool {
+		id, ok := m.(*ast.Ident)
+		if !ok || found {
+			return !found
+		}
+		t := pass.TypesInfo.TypeOf(id)
+		if t == nil {
+			return true
+		}
+		if b, ok := t.Underlying().(*types.Basic); ok && b.Info()&types.IsInteger != 0 {
+			found = true
+		}
+		return !found
+	})
+	return found
+}
+
+// isCtxErrCall reports whether the call is ctx.Err() on a context.Context.
+func isCtxErrCall(pass *Pass, call *ast.CallExpr) bool {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok || sel.Sel.Name != "Err" || len(call.Args) != 0 {
+		return false
+	}
+	return isContextType(pass.TypesInfo.TypeOf(sel.X))
+}
+
+func isContextType(t types.Type) bool {
+	return t != nil && namedTypeKey(t) == "context.Context"
+}

@@ -33,6 +33,11 @@
 //	lbguard      Functions named LB*, LowerBound* or lowerBound* must not
 //	             call math.Sqrt, keeping pruning comparisons in squared
 //	             space, unless annotated //lbkeogh:rootspace.
+//	ctxcheck     Exported functions that accept a context.Context take it
+//	             as the first parameter, and //lbkeogh:hotpath loops never
+//	             call ctx.Err() on every iteration — cancellation polls are
+//	             amortized behind an integer checkpoint counter (the
+//	             internal/cancel.Checker shape).
 //
 // # The //lbkeogh:hotpath convention
 //

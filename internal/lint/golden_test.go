@@ -160,6 +160,10 @@ func TestLBGuardGolden(t *testing.T) {
 	runGolden(t, loadFixture(t, "lbguard", "lbguard_fixture"), LBGuard())
 }
 
+func TestCtxCheckGolden(t *testing.T) {
+	runGolden(t, loadFixture(t, "ctxcheck", "ctxcheck_fixture"), CtxCheck())
+}
+
 // TestDirectiveGrammar checks the //lint:ignore grammar end to end on the
 // directive fixture: a well-formed directive suppresses its finding, while a
 // directive missing its reason or naming an unknown analyzer is itself

@@ -8,6 +8,8 @@ package lint
 //	floateq      no float ==/!= in internal/{dist,envelope,wedge}
 //	hotalloc     no allocations in //lbkeogh:hotpath functions
 //	lbguard      no math.Sqrt in LB*/lowerBound* except //lbkeogh:rootspace
+//	ctxcheck     context.Context first in exported signatures; no
+//	             per-iteration ctx.Err() polls in //lbkeogh:hotpath loops
 func DefaultAnalyzers() []*Analyzer {
 	floatEq := FloatEq()
 	floatEq.Applies = pkgPathIn(FloatEqPackages...)
@@ -17,5 +19,6 @@ func DefaultAnalyzers() []*Analyzer {
 		floatEq,
 		HotAlloc(),
 		LBGuard(),
+		CtxCheck(),
 	}
 }

@@ -1,0 +1,114 @@
+// Package ctxcheck is the golden fixture for the ctxcheck analyzer:
+// exported functions take context.Context first, and //lbkeogh:hotpath loops
+// amortize ctx.Err() polls behind an integer checkpoint counter.
+package ctxcheck
+
+import "context"
+
+// SearchContext takes its context first: clean.
+func SearchContext(ctx context.Context, db []float64) error { return ctx.Err() }
+
+// SearchLate buries the context behind the data.
+func SearchLate(db []float64, ctx context.Context) error { return ctx.Err() } // want `contexts go first`
+
+type scanner struct{}
+
+// ScanContext is a method; the receiver does not count as a parameter.
+func (scanner) ScanContext(ctx context.Context, n int) error { return ctx.Err() }
+
+// ScanLate is a method with a misplaced context.
+func (scanner) ScanLate(n int, ctx context.Context) error { return ctx.Err() } // want `contexts go first`
+
+// Grouped declares the context in a shared parameter group, still late.
+func Grouped(a, b int, c, ctx context.Context) error { return ctx.Err() } // want `contexts go first`
+
+// unexportedLate is not part of the API surface: not checked.
+func unexportedLate(n int, ctx context.Context) error { return ctx.Err() }
+
+// hotUnamortized polls the context on every iteration of a hot loop.
+//
+//lbkeogh:hotpath
+func hotUnamortized(ctx context.Context, xs []float64) float64 {
+	s := 0.0
+	for _, x := range xs {
+		if ctx.Err() != nil { // want `amortize the poll`
+			return s
+		}
+		s += x
+	}
+	return s
+}
+
+// hotCondPoll hides the per-iteration poll in the loop condition.
+//
+//lbkeogh:hotpath
+func hotCondPoll(ctx context.Context, n int) int {
+	i := 0
+	for ctx.Err() == nil { // want `amortize the poll`
+		i++
+		if i == n {
+			break
+		}
+	}
+	return i
+}
+
+// hotAmortized counts down to its polls: the checkpoint shape.
+//
+//lbkeogh:hotpath
+func hotAmortized(ctx context.Context, xs []float64) float64 {
+	s := 0.0
+	left := 16
+	for _, x := range xs {
+		left--
+		if left == 0 {
+			left = 16
+			if ctx.Err() != nil {
+				return s
+			}
+		}
+		s += x
+	}
+	return s
+}
+
+// hotInlineGuard amortizes inside one condition: the integer operand marks
+// the whole condition as a checkpoint.
+//
+//lbkeogh:hotpath
+func hotInlineGuard(ctx context.Context, xs []float64) float64 {
+	s := 0.0
+	for i, x := range xs {
+		if i%16 == 0 && ctx.Err() != nil {
+			return s
+		}
+		s += x
+	}
+	return s
+}
+
+// hotEntryPoll polls once outside any loop: fine.
+//
+//lbkeogh:hotpath
+func hotEntryPoll(ctx context.Context, xs []float64) float64 {
+	if ctx.Err() != nil {
+		return 0
+	}
+	s := 0.0
+	for _, x := range xs {
+		s += x
+	}
+	return s
+}
+
+// coldLoop is not a hot path; it may poll every iteration.
+func coldLoop(ctx context.Context, xs []float64) float64 {
+	s := 0.0
+	for _, x := range xs {
+		if ctx.Err() != nil {
+			return s
+		}
+		s += x
+	}
+	return s
+}

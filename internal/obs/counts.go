@@ -22,6 +22,8 @@ type Counts struct {
 	FFTRejectedMembers int64 `json:"fft_rejected_members,omitempty"`
 	FFTFallbacks       int64 `json:"fft_fallbacks,omitempty"`
 
+	CancelledMembers int64 `json:"cancelled_members,omitempty"`
+
 	IndexCandidates int64 `json:"index_candidates,omitempty"`
 	IndexFetches    int64 `json:"index_fetches,omitempty"`
 	DiskReads       int64 `json:"disk_reads,omitempty"`
@@ -47,6 +49,7 @@ func (s *SearchStats) Counts() Counts {
 		FFTRejects:         s.fftRejects.Load(),
 		FFTRejectedMembers: s.fftRejectedMembers.Load(),
 		FFTFallbacks:       s.fftFallbacks.Load(),
+		CancelledMembers:   s.cancelledMembers.Load(),
 		IndexCandidates:    s.indexCandidates.Load(),
 		IndexFetches:       s.indexFetches.Load(),
 		DiskReads:          s.diskReads.Load(),
@@ -70,6 +73,7 @@ func (c Counts) Sub(prev Counts) Counts {
 		FFTRejects:         c.FFTRejects - prev.FFTRejects,
 		FFTRejectedMembers: c.FFTRejectedMembers - prev.FFTRejectedMembers,
 		FFTFallbacks:       c.FFTFallbacks - prev.FFTFallbacks,
+		CancelledMembers:   c.CancelledMembers - prev.CancelledMembers,
 		IndexCandidates:    c.IndexCandidates - prev.IndexCandidates,
 		IndexFetches:       c.IndexFetches - prev.IndexFetches,
 		DiskReads:          c.DiskReads - prev.DiskReads,
@@ -92,6 +96,7 @@ func (c Counts) Add(other Counts) Counts {
 		FFTRejects:         c.FFTRejects + other.FFTRejects,
 		FFTRejectedMembers: c.FFTRejectedMembers + other.FFTRejectedMembers,
 		FFTFallbacks:       c.FFTFallbacks + other.FFTFallbacks,
+		CancelledMembers:   c.CancelledMembers + other.CancelledMembers,
 		IndexCandidates:    c.IndexCandidates + other.IndexCandidates,
 		IndexFetches:       c.IndexFetches + other.IndexFetches,
 		DiskReads:          c.DiskReads + other.DiskReads,
@@ -103,7 +108,8 @@ func (c Counts) Add(other Counts) Counts {
 // covered — the same identity Snapshot.Reconciles checks, applied to a delta.
 func (c Counts) Reconciles() bool {
 	return c.Rotations == c.FullDistEvals+c.EarlyAbandons+
-		c.WedgePrunedMembers+c.WedgeLeafLBPrunes+c.FFTRejectedMembers
+		c.WedgePrunedMembers+c.WedgeLeafLBPrunes+c.FFTRejectedMembers+
+		c.CancelledMembers
 }
 
 // IsZero reports whether every field is zero.

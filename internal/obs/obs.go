@@ -6,10 +6,13 @@
 // outcome bucket. The buckets reconcile: for any sequence of comparisons,
 //
 //	Rotations = FullDistEvals + EarlyAbandons + WedgePrunedMembers
-//	          + WedgeLeafLBPrunes + FFTRejectedMembers
+//	          + WedgeLeafLBPrunes + FFTRejectedMembers + CancelledMembers
 //
 // which is the per-bound pruning-rate telemetry that tuning cascaded lower
-// bounds requires (cf. Lemire's two-pass LB_Keogh work).
+// bounds requires (cf. Lemire's two-pass LB_Keogh work). CancelledMembers
+// is the serving-layer term: rotations left undisposed when a cooperative
+// cancellation checkpoint stopped a scan mid-comparison, so even a
+// deadline-bounded search accounts for every rotation it covered.
 //
 // Everything here is safe for concurrent use: counters are atomics, the
 // histogram buckets are atomics, and the dynamic-K trajectory is guarded by
@@ -60,6 +63,8 @@ type SearchStats struct {
 	fftRejects         atomic.Int64 // comparisons rejected whole by the magnitude bound
 	fftRejectedMembers atomic.Int64 // rotations those rejections covered
 	fftFallbacks       atomic.Int64 // comparisons that fell through to early abandoning
+
+	cancelledMembers atomic.Int64 // rotations left undisposed by a cancelled scan
 
 	indexCandidates atomic.Int64 // index-level bound evaluations that survived
 	indexFetches    atomic.Int64 // full-resolution fetches for exact verification
@@ -170,6 +175,15 @@ func (s *SearchStats) CountFFTReject(members int64) {
 	s.fftRejectedMembers.Add(members)
 }
 
+// CountCancelled records members rotations left undisposed when a
+// cancellation checkpoint aborted a comparison mid-walk, keeping the
+// outcome buckets reconciled under cooperative cancellation.
+func (s *SearchStats) CountCancelled(members int64) {
+	if s != nil {
+		s.cancelledMembers.Add(members)
+	}
+}
+
 // CountFFTFallback records one comparison the magnitude bound could not
 // reject.
 func (s *SearchStats) CountFFTFallback() {
@@ -251,6 +265,7 @@ func (s *SearchStats) Reset() {
 	s.fftRejects.Store(0)
 	s.fftRejectedMembers.Store(0)
 	s.fftFallbacks.Store(0)
+	s.cancelledMembers.Store(0)
 	s.indexCandidates.Store(0)
 	s.indexFetches.Store(0)
 	s.diskReads.Store(0)
@@ -281,6 +296,8 @@ type Snapshot struct {
 	FFTRejects         int64 `json:"fft_rejects"`
 	FFTRejectedMembers int64 `json:"fft_rejected_members"`
 	FFTFallbacks       int64 `json:"fft_fallbacks"`
+
+	CancelledMembers int64 `json:"cancelled_members,omitempty"`
 
 	IndexCandidates int64 `json:"index_candidates"`
 	IndexFetches    int64 `json:"index_fetches"`
@@ -321,6 +338,7 @@ func (s *SearchStats) Snapshot() Snapshot {
 		FFTRejects:         s.fftRejects.Load(),
 		FFTRejectedMembers: s.fftRejectedMembers.Load(),
 		FFTFallbacks:       s.fftFallbacks.Load(),
+		CancelledMembers:   s.cancelledMembers.Load(),
 		IndexCandidates:    s.indexCandidates.Load(),
 		IndexFetches:       s.indexFetches.Load(),
 		DiskReads:          s.diskReads.Load(),
@@ -358,5 +376,6 @@ func (s *SearchStats) Snapshot() Snapshot {
 // covered — the invariant all four strategies maintain.
 func (sn Snapshot) Reconciles() bool {
 	return sn.Rotations == sn.FullDistEvals+sn.EarlyAbandons+
-		sn.WedgePrunedMembers+sn.WedgeLeafLBPrunes+sn.FFTRejectedMembers
+		sn.WedgePrunedMembers+sn.WedgeLeafLBPrunes+sn.FFTRejectedMembers+
+		sn.CancelledMembers
 }

@@ -1,0 +1,93 @@
+package server
+
+import (
+	"context"
+	"errors"
+	"sync/atomic"
+)
+
+// ErrSaturated is returned by Admission.Acquire when both the in-flight
+// slots and the wait queue are full; the HTTP layer maps it to 429.
+var ErrSaturated = errors.New("server: saturated: in-flight slots and wait queue full")
+
+// Admission is the server's load shedder: a bounded set of in-flight slots
+// plus a bounded wait queue in front of them. A request either gets a slot
+// immediately, waits in the queue until one frees (or its context expires),
+// or — when the queue itself is full — is rejected at once, so a saturated
+// server answers cheaply instead of accumulating work.
+type Admission struct {
+	slots    chan struct{}
+	maxQueue int64
+
+	waiting  atomic.Int64
+	inflight atomic.Int64
+	rejected atomic.Int64
+	admitted atomic.Int64
+}
+
+// NewAdmission sizes the shedder: maxInflight concurrent searches (min 1)
+// and up to maxQueue waiters beyond them (0 means reject as soon as every
+// slot is busy).
+func NewAdmission(maxInflight, maxQueue int) *Admission {
+	if maxInflight < 1 {
+		maxInflight = 1
+	}
+	if maxQueue < 0 {
+		maxQueue = 0
+	}
+	return &Admission{slots: make(chan struct{}, maxInflight), maxQueue: int64(maxQueue)}
+}
+
+// Acquire claims an in-flight slot, waiting in the bounded queue if
+// necessary. It returns ErrSaturated when the queue is full, or the
+// context's error if it expires while queued. On nil return the caller owns
+// a slot and must Release it.
+func (a *Admission) Acquire(ctx context.Context) error {
+	select {
+	case a.slots <- struct{}{}:
+		a.admitted.Add(1)
+		a.inflight.Add(1)
+		return nil
+	default:
+	}
+	if a.waiting.Add(1) > a.maxQueue {
+		a.waiting.Add(-1)
+		a.rejected.Add(1)
+		return ErrSaturated
+	}
+	defer a.waiting.Add(-1)
+	select {
+	case a.slots <- struct{}{}:
+		a.admitted.Add(1)
+		a.inflight.Add(1)
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+// Release returns a slot claimed by a successful Acquire.
+func (a *Admission) Release() {
+	a.inflight.Add(-1)
+	<-a.slots
+}
+
+// AdmissionStats is a point-in-time view of the shedder.
+type AdmissionStats struct {
+	// Inflight and Waiting are current occupancy gauges; Admitted and
+	// Rejected cumulative totals since the server started.
+	Inflight int64 `json:"inflight"`
+	Waiting  int64 `json:"waiting"`
+	Admitted int64 `json:"admitted"`
+	Rejected int64 `json:"rejected"`
+}
+
+// Stats snapshots the shedder's gauges and totals.
+func (a *Admission) Stats() AdmissionStats {
+	return AdmissionStats{
+		Inflight: a.inflight.Load(),
+		Waiting:  a.waiting.Load(),
+		Admitted: a.admitted.Load(),
+		Rejected: a.rejected.Load(),
+	}
+}

@@ -1,0 +1,49 @@
+package server
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+)
+
+func TestAdmissionImmediateAndQueue(t *testing.T) {
+	a := NewAdmission(1, 1)
+	if err := a.Acquire(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	// Slot busy: one waiter is allowed, the second is shed.
+	done := make(chan error, 1)
+	go func() { done <- a.Acquire(context.Background()) }()
+	for a.Stats().Waiting == 0 {
+		time.Sleep(time.Millisecond)
+	}
+	if err := a.Acquire(context.Background()); !errors.Is(err, ErrSaturated) {
+		t.Fatalf("third acquire: want ErrSaturated, got %v", err)
+	}
+	a.Release()
+	if err := <-done; err != nil {
+		t.Fatalf("queued acquire: %v", err)
+	}
+	a.Release()
+	st := a.Stats()
+	if st.Admitted != 2 || st.Rejected != 1 || st.Inflight != 0 || st.Waiting != 0 {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+func TestAdmissionQueuedContextExpiry(t *testing.T) {
+	a := NewAdmission(1, 4)
+	if err := a.Acquire(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Millisecond)
+	defer cancel()
+	if err := a.Acquire(ctx); !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("want DeadlineExceeded, got %v", err)
+	}
+	a.Release()
+	if st := a.Stats(); st.Waiting != 0 || st.Inflight != 0 {
+		t.Fatalf("gauges not restored: %+v", st)
+	}
+}

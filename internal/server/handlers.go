@@ -1,0 +1,360 @@
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"time"
+
+	"lbkeogh"
+)
+
+// searchKind selects which search a /v1 endpoint runs.
+type searchKind int
+
+const (
+	kindNearest searchKind = iota
+	kindTopK
+	kindRange
+)
+
+// SearchRequest is the JSON body of the /v1 search endpoints. Exactly one of
+// Series and QueryIndex identifies the query shape; the rest parameterize
+// the measure, invariances, strategy, and the endpoint-specific knobs.
+type SearchRequest struct {
+	// Series is the query signature (must match the database series length).
+	Series []float64 `json:"series,omitempty"`
+	// QueryIndex selects a database row as the query instead.
+	QueryIndex *int `json:"query_index,omitempty"`
+
+	// Measure is euclidean (default), dtw, or lcss; R is the DTW Sakoe-Chiba
+	// radius / LCSS window (default 5), Eps the LCSS threshold (default 0.25).
+	Measure string  `json:"measure,omitempty"`
+	R       *int    `json:"r,omitempty"`
+	Eps     float64 `json:"eps,omitempty"`
+
+	// Mirror enables mirror-image invariance; MaxDegrees limits rotations to
+	// ±deg of the original orientation.
+	Mirror     bool     `json:"mirror,omitempty"`
+	MaxDegrees *float64 `json:"max_degrees,omitempty"`
+
+	// Strategy is wedge (default), brute, early_abandon, or fft.
+	Strategy string `json:"strategy,omitempty"`
+
+	// K is the neighbour count for /v1/topk (default 1); Threshold the
+	// strict distance cutoff for /v1/range (required there); Parallel the
+	// worker count for /v1/search (0 or 1: serial).
+	K         int     `json:"k,omitempty"`
+	Threshold float64 `json:"threshold,omitempty"`
+	Parallel  int     `json:"parallel,omitempty"`
+
+	// TimeoutMS bounds this request's search; 0 uses the server default, and
+	// values above the server maximum are clamped to it.
+	TimeoutMS int `json:"timeout_ms,omitempty"`
+}
+
+// Hit is one search result row.
+type Hit struct {
+	Index    int     `json:"index"`
+	Label    *int    `json:"label,omitempty"`
+	Dist     float64 `json:"dist"`
+	Shift    int     `json:"shift"`
+	Degrees  float64 `json:"degrees"`
+	Mirrored bool    `json:"mirrored,omitempty"`
+}
+
+// SearchResponse is the JSON body of a successful search.
+type SearchResponse struct {
+	Results []Hit `json:"results"`
+	// Stats is this request's own pruning breakdown (its outcome buckets
+	// reconcile); the server-wide aggregate lives at /metrics.
+	Stats lbkeogh.SearchStats `json:"stats"`
+	// PoolHit reports whether a pooled session served the request (the
+	// rotation-set build was skipped).
+	PoolHit   bool    `json:"pool_hit"`
+	ElapsedMS float64 `json:"elapsed_ms"`
+}
+
+type errorResponse struct {
+	Error string `json:"error"`
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(v) //nolint:errcheck // nothing left to do on a broken client connection
+}
+
+func writeError(w http.ResponseWriter, code int, format string, args ...any) {
+	writeJSON(w, code, errorResponse{Error: fmt.Sprintf(format, args...)})
+}
+
+// parse validates the body and resolves it into the query series, its pool
+// spec, and the request deadline.
+func (s *Server) parse(r *http.Request, kind searchKind) (SearchRequest, QuerySpec, time.Duration, error) {
+	var req SearchRequest
+	dec := json.NewDecoder(http.MaxBytesReader(nil, r.Body, 64<<20))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&req); err != nil {
+		return req, QuerySpec{}, 0, fmt.Errorf("bad request body: %v", err)
+	}
+	if (req.Series == nil) == (req.QueryIndex == nil) {
+		return req, QuerySpec{}, 0, fmt.Errorf("exactly one of series and query_index is required")
+	}
+	series := req.Series
+	if req.QueryIndex != nil {
+		qi := *req.QueryIndex
+		if qi < 0 || qi >= len(s.cfg.DB) {
+			return req, QuerySpec{}, 0, fmt.Errorf("query_index %d outside [0,%d)", qi, len(s.cfg.DB))
+		}
+		series = s.cfg.DB[qi]
+	}
+	if len(series) != s.n {
+		return req, QuerySpec{}, 0, fmt.Errorf("series length %d != database series length %d", len(series), s.n)
+	}
+	if req.Measure == "" {
+		req.Measure = "euclidean"
+	}
+	switch req.Measure {
+	case "euclidean", "dtw", "lcss":
+	default:
+		return req, QuerySpec{}, 0, fmt.Errorf("unknown measure %q", req.Measure)
+	}
+	if req.Strategy == "" {
+		req.Strategy = "wedge"
+	}
+	switch req.Strategy {
+	case "wedge", "brute", "early_abandon", "fft":
+	default:
+		return req, QuerySpec{}, 0, fmt.Errorf("unknown strategy %q", req.Strategy)
+	}
+	if kind == kindRange && !(req.Threshold > 0) {
+		return req, QuerySpec{}, 0, fmt.Errorf("range search requires threshold > 0")
+	}
+	if req.TimeoutMS < 0 {
+		return req, QuerySpec{}, 0, fmt.Errorf("timeout_ms must be >= 0")
+	}
+	radius := 5
+	if req.R != nil {
+		radius = *req.R
+	}
+	eps := req.Eps
+	if eps == 0 {
+		eps = 0.25
+	}
+	maxDeg := -1.0
+	if req.MaxDegrees != nil {
+		maxDeg = *req.MaxDegrees
+	}
+	timeout := s.cfg.DefaultTimeout
+	if req.TimeoutMS > 0 {
+		timeout = time.Duration(req.TimeoutMS) * time.Millisecond
+		if timeout > s.cfg.MaxTimeout {
+			timeout = s.cfg.MaxTimeout
+		}
+	}
+	spec := QuerySpec{
+		Measure:  req.Measure,
+		R:        radius,
+		Eps:      eps,
+		Mirror:   req.Mirror,
+		MaxDeg:   maxDeg,
+		Strategy: req.Strategy,
+		Series:   series,
+	}
+	return req, spec, timeout, nil
+}
+
+// buildQuery compiles the spec into a query session, tracing it through the
+// server's log when one is configured.
+func (s *Server) buildQuery(spec QuerySpec) (*lbkeogh.Query, error) {
+	var m lbkeogh.Measure
+	switch spec.Measure {
+	case "dtw":
+		m = lbkeogh.DTW(spec.R)
+	case "lcss":
+		m = lbkeogh.LCSS(spec.R, spec.Eps)
+	default:
+		m = lbkeogh.Euclidean()
+	}
+	var strat lbkeogh.Strategy
+	switch spec.Strategy {
+	case "brute":
+		strat = lbkeogh.BruteForceSearch
+	case "early_abandon":
+		strat = lbkeogh.EarlyAbandonSearch
+	case "fft":
+		strat = lbkeogh.FFTSearch
+	default:
+		strat = lbkeogh.WedgeSearch
+	}
+	opts := []lbkeogh.QueryOption{lbkeogh.WithStrategy(strat)}
+	if spec.Mirror {
+		opts = append(opts, lbkeogh.WithMirrorInvariance())
+	}
+	if spec.MaxDeg >= 0 {
+		opts = append(opts, lbkeogh.WithMaxRotationDegrees(spec.MaxDeg))
+	}
+	if s.cfg.TraceLog != nil {
+		opts = append(opts, lbkeogh.WithTraceLog(s.cfg.TraceLog))
+	}
+	return lbkeogh.NewQuery(spec.Series, m, opts...)
+}
+
+// searchEndpoint returns the handler for one /v1 endpoint: admission, pool
+// checkout, the deadline-bounded search, and the stats-bearing response.
+func (s *Server) searchEndpoint(kind searchKind) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		if r.Method != http.MethodPost {
+			w.Header().Set("Allow", http.MethodPost)
+			writeError(w, http.StatusMethodNotAllowed, "use POST")
+			return
+		}
+		if s.Draining() {
+			s.drained.Add(1)
+			writeError(w, http.StatusServiceUnavailable, "server is draining")
+			return
+		}
+		req, spec, timeout, err := s.parse(r, kind)
+		if err != nil {
+			writeError(w, http.StatusBadRequest, "%v", err)
+			return
+		}
+		ctx, cancel := context.WithTimeout(r.Context(), timeout)
+		defer cancel()
+
+		if err := s.adm.Acquire(ctx); err != nil {
+			switch {
+			case errors.Is(err, ErrSaturated):
+				w.Header().Set("Retry-After", "1")
+				writeError(w, http.StatusTooManyRequests, "%v", err)
+			case errors.Is(err, context.DeadlineExceeded):
+				s.timeouts.Add(1)
+				writeError(w, http.StatusGatewayTimeout, "deadline expired while queued for admission")
+			default: // client went away while queued
+				s.timeouts.Add(1)
+				writeError(w, http.StatusServiceUnavailable, "request cancelled while queued")
+			}
+			return
+		}
+		defer s.adm.Release()
+		s.requests.Add(1)
+
+		sess, hit, err := s.pool.Checkout(spec, func() (*lbkeogh.Query, error) { return s.buildQuery(spec) })
+		if err != nil {
+			// The only build failures left after parse are option conflicts
+			// (e.g. fft with a non-Euclidean measure): the client's fault.
+			writeError(w, http.StatusBadRequest, "%v", err)
+			return
+		}
+		// A cancelled search leaves the session reusable (the library
+		// guarantees its adaptive state is not polluted), so it goes back to
+		// the pool on every path.
+		defer s.pool.Checkin(sess)
+
+		q := sess.Q
+		q.ResetStats() // per-request delta: the response carries only this search
+		start := time.Now()
+		results, err := s.runSearch(ctx, q, kind, req)
+		elapsed := time.Since(start)
+		stats := q.Stats()
+		stats.StageLatencies = nil // log-global, not per-request; see /metrics
+		s.record(stats)
+		if err != nil {
+			switch {
+			case errors.Is(err, context.DeadlineExceeded):
+				s.timeouts.Add(1)
+				writeError(w, http.StatusGatewayTimeout, "search exceeded its %v deadline", timeout)
+			case errors.Is(err, context.Canceled):
+				s.timeouts.Add(1)
+				writeError(w, http.StatusServiceUnavailable, "search cancelled")
+			default:
+				writeError(w, http.StatusBadRequest, "%v", err)
+			}
+			return
+		}
+		resp := SearchResponse{
+			Results:   s.hits(results),
+			Stats:     stats,
+			PoolHit:   hit,
+			ElapsedMS: float64(elapsed.Microseconds()) / 1000,
+		}
+		writeJSON(w, http.StatusOK, resp)
+	}
+}
+
+func (s *Server) runSearch(ctx context.Context, q *lbkeogh.Query, kind searchKind, req SearchRequest) ([]lbkeogh.SearchResult, error) {
+	switch kind {
+	case kindTopK:
+		k := req.K
+		if k <= 0 {
+			k = 1
+		}
+		return q.SearchTopKContext(ctx, s.cfg.DB, k)
+	case kindRange:
+		return q.SearchRangeContext(ctx, s.cfg.DB, req.Threshold)
+	default:
+		if req.Parallel > 1 { // serial unless explicitly parallel
+			res, err := q.SearchParallelContext(ctx, s.cfg.DB, req.Parallel)
+			if err != nil {
+				return nil, err
+			}
+			return []lbkeogh.SearchResult{res}, nil
+		}
+		res, err := q.SearchContext(ctx, s.cfg.DB)
+		if err != nil {
+			return nil, err
+		}
+		return []lbkeogh.SearchResult{res}, nil
+	}
+}
+
+func (s *Server) hits(results []lbkeogh.SearchResult) []Hit {
+	out := make([]Hit, len(results))
+	for i, r := range results {
+		h := Hit{
+			Index:    r.Index,
+			Dist:     r.Dist,
+			Shift:    r.Rotation.Shift,
+			Degrees:  r.Rotation.Degrees,
+			Mirrored: r.Rotation.Mirrored,
+		}
+		if s.cfg.Labels != nil {
+			label := s.cfg.Labels[r.Index]
+			h.Label = &label
+		}
+		out[i] = h
+	}
+	return out
+}
+
+// healthResponse is the /healthz body.
+type healthResponse struct {
+	Status    string         `json:"status"` // "ok" or "draining"
+	SeriesLen int            `json:"series_len"`
+	DBSize    int            `json:"db_size"`
+	Admission AdmissionStats `json:"admission"`
+	Pool      PoolStats      `json:"pool"`
+	Requests  int64          `json:"requests"`
+	Timeouts  int64          `json:"timeouts"`
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	status := "ok"
+	if s.Draining() {
+		status = "draining"
+	}
+	writeJSON(w, http.StatusOK, healthResponse{
+		Status:    status,
+		SeriesLen: s.n,
+		DBSize:    len(s.cfg.DB),
+		Admission: s.adm.Stats(),
+		Pool:      s.pool.Stats(),
+		Requests:  s.requests.Load(),
+		Timeouts:  s.timeouts.Load(),
+	})
+}

@@ -1,0 +1,235 @@
+// Package server implements the shape-search serving layer: an HTTP/JSON
+// front end over a loaded series database, with per-request deadlines wired
+// into the library's cooperative cancellation, admission control (a bounded
+// in-flight set plus a bounded wait queue, shedding load with 429s once both
+// fill), and an LRU pool of compiled query sessions so repeated queries skip
+// the O(n²) rotation-set build. Every response carries the request's own
+// pruning breakdown (SearchStats), and the server aggregates those into a
+// record served at /metrics and /debug/lbkeogh.
+package server
+
+import (
+	"expvar"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/pprof"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"lbkeogh"
+)
+
+// Config sizes a Server. The zero value of any field selects its default.
+type Config struct {
+	// DB is the series database searched by every request; all rows must
+	// share one length. Labels optionally carries a class label per row.
+	DB     []lbkeogh.Series
+	Labels []int
+
+	// MaxInflight bounds concurrent searches (default 4); MaxQueue bounds
+	// requests waiting for a slot beyond them (default 16; above it the
+	// server answers 429 immediately).
+	MaxInflight int
+	MaxQueue    int
+
+	// PoolSize bounds the idle query-session pool (default 32 sessions).
+	PoolSize int
+
+	// DefaultTimeout bounds requests that set no timeout_ms (default 10s);
+	// MaxTimeout caps what a request may ask for (default 60s).
+	DefaultTimeout time.Duration
+	MaxTimeout     time.Duration
+
+	// TraceLog, when set, traces every pooled query session; the dashboard
+	// and Perfetto export at /debug/lbkeogh read from it.
+	TraceLog *lbkeogh.TraceLog
+}
+
+func (c *Config) fillDefaults() {
+	if c.MaxInflight <= 0 {
+		c.MaxInflight = 4
+	}
+	if c.MaxQueue < 0 {
+		c.MaxQueue = 0
+	} else if c.MaxQueue == 0 {
+		c.MaxQueue = 16
+	}
+	if c.PoolSize <= 0 {
+		c.PoolSize = 32
+	}
+	if c.DefaultTimeout <= 0 {
+		c.DefaultTimeout = 10 * time.Second
+	}
+	if c.MaxTimeout <= 0 {
+		c.MaxTimeout = 60 * time.Second
+	}
+}
+
+// Server serves rotation-invariant shape searches over one database.
+// Create with New, mount Handler, and call BeginDrain before shutting the
+// http.Server down so in-flight requests finish while new ones get 503s.
+type Server struct {
+	cfg  Config
+	n    int // series length every query must match
+	pool *Pool
+	adm  *Admission
+	mux  *http.ServeMux
+
+	draining atomic.Bool
+	requests atomic.Int64 // /v1/* requests accepted for processing
+	timeouts atomic.Int64 // requests ended by deadline or client cancel
+	drained  atomic.Int64 // requests refused because the server was draining
+
+	mu  sync.Mutex
+	agg lbkeogh.SearchStats // per-request deltas, summed
+}
+
+// New validates the database and builds the server.
+func New(cfg Config) (*Server, error) {
+	if len(cfg.DB) == 0 {
+		return nil, fmt.Errorf("server: empty database")
+	}
+	n := len(cfg.DB[0])
+	if n < 2 {
+		return nil, fmt.Errorf("server: database series need >= 2 samples, got %d", n)
+	}
+	for i, row := range cfg.DB {
+		if len(row) != n {
+			return nil, fmt.Errorf("server: database series %d length %d != %d", i, len(row), n)
+		}
+	}
+	if cfg.Labels != nil && len(cfg.Labels) != len(cfg.DB) {
+		return nil, fmt.Errorf("server: %d labels for %d series", len(cfg.Labels), len(cfg.DB))
+	}
+	cfg.fillDefaults()
+	s := &Server{
+		cfg:  cfg,
+		n:    n,
+		pool: NewPool(cfg.PoolSize),
+		adm:  NewAdmission(cfg.MaxInflight, cfg.MaxQueue),
+	}
+	s.mux = s.buildMux()
+	return s, nil
+}
+
+// Len returns the series length every query must match.
+func (s *Server) Len() int { return s.n }
+
+// Handler returns the server's full mux: the /v1 search endpoints, healthz,
+// and the observability surface (/metrics, /debug/lbkeogh, /debug/vars,
+// /debug/pprof/).
+func (s *Server) Handler() http.Handler { return s.mux }
+
+// BeginDrain puts the server into draining mode: search endpoints answer 503
+// immediately while already-admitted requests run to completion. Call it
+// right before http.Server.Shutdown.
+func (s *Server) BeginDrain() { s.draining.Store(true) }
+
+// Draining reports whether BeginDrain has been called.
+func (s *Server) Draining() bool { return s.draining.Load() }
+
+// Stats returns the server's cumulative search record: the sum of every
+// served request's pruning breakdown (so the same reconciling outcome
+// buckets as a single query's stats), with the trace log's per-stage
+// latencies attached when tracing is on. Server implements
+// lbkeogh.StatsSource, so it plugs straight into MetricsHandler and
+// DebugHandler.
+func (s *Server) Stats() lbkeogh.SearchStats {
+	s.mu.Lock()
+	out := s.agg
+	s.mu.Unlock()
+	if out.Rotations > 0 {
+		out.PruneRate = 1 - float64(out.FullDistEvals)/float64(out.Rotations)
+	}
+	if out.Comparisons > 0 {
+		out.StepsPerComparison = float64(out.Steps) / float64(out.Comparisons)
+	}
+	if s.cfg.TraceLog != nil {
+		out.StageLatencies = s.cfg.TraceLog.StageLatencies()
+	}
+	return out
+}
+
+// record folds one request's stats delta into the server aggregate.
+func (s *Server) record(d lbkeogh.SearchStats) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	a := &s.agg
+	a.Comparisons += d.Comparisons
+	a.Rotations += d.Rotations
+	a.Steps += d.Steps
+	a.FullDistEvals += d.FullDistEvals
+	a.EarlyAbandons += d.EarlyAbandons
+	a.WedgeNodeVisits += d.WedgeNodeVisits
+	a.WedgeLeafVisits += d.WedgeLeafVisits
+	a.WedgePrunedMembers += d.WedgePrunedMembers
+	a.WedgeLeafLBPrunes += d.WedgeLeafLBPrunes
+	a.FFTRejects += d.FFTRejects
+	a.FFTRejectedMembers += d.FFTRejectedMembers
+	a.FFTFallbacks += d.FFTFallbacks
+	a.CancelledMembers += d.CancelledMembers
+	a.IndexCandidates += d.IndexCandidates
+	a.IndexFetches += d.IndexFetches
+	a.DiskReads += d.DiskReads
+	a.KChanges += d.KChanges
+	for len(a.WedgePrunesByLevel) < len(d.WedgePrunesByLevel) {
+		a.WedgePrunesByLevel = append(a.WedgePrunesByLevel, 0)
+	}
+	for i, v := range d.WedgePrunesByLevel {
+		a.WedgePrunesByLevel[i] += v
+	}
+}
+
+func (s *Server) buildMux() *http.ServeMux {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/v1/search", s.searchEndpoint(kindNearest))
+	mux.HandleFunc("/v1/topk", s.searchEndpoint(kindTopK))
+	mux.HandleFunc("/v1/range", s.searchEndpoint(kindRange))
+	mux.HandleFunc("/healthz", s.handleHealthz)
+	sources := map[string]lbkeogh.StatsSource{"shapeserver": s}
+	logs := map[string]*lbkeogh.TraceLog{}
+	if s.cfg.TraceLog != nil {
+		logs["shapeserver"] = s.cfg.TraceLog
+	}
+	mux.Handle("/metrics", http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		lbkeogh.MetricsHandler(sources).ServeHTTP(w, r)
+		s.writeServerMetrics(w)
+	}))
+	mux.Handle("/debug/lbkeogh", lbkeogh.DebugHandler(sources, logs))
+	mux.Handle("/debug/vars", expvar.Handler())
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return mux
+}
+
+// writeServerMetrics appends the serving-layer families (admission, pool,
+// request outcomes) to the Prometheus text the library already wrote.
+func (s *Server) writeServerMetrics(w io.Writer) {
+	emit := func(field, kind, help string, v int64) {
+		fmt.Fprintf(w, "# HELP shapeserver_%s %s\n# TYPE shapeserver_%s %s\nshapeserver_%s %d\n",
+			field, help, field, kind, field, v)
+	}
+	ad := s.adm.Stats()
+	emit("inflight", "gauge", "Searches currently executing.", ad.Inflight)
+	emit("queue_waiting", "gauge", "Requests waiting for an in-flight slot.", ad.Waiting)
+	emit("admitted_total", "counter", "Requests granted an in-flight slot.", ad.Admitted)
+	emit("rejected_total", "counter", "Requests shed with 429 (queue full).", ad.Rejected)
+	pl := s.pool.Stats()
+	emit("pool_idle", "gauge", "Idle query sessions in the pool.", int64(pl.Idle))
+	emit("pool_hits_total", "counter", "Checkouts served by a pooled session.", pl.Hits)
+	emit("pool_misses_total", "counter", "Checkouts that built a fresh session.", pl.Misses)
+	emit("pool_evictions_total", "counter", "Idle sessions evicted by the pool cap.", pl.Evictions)
+	emit("requests_total", "counter", "Search requests accepted for processing.", s.requests.Load())
+	emit("timeouts_total", "counter", "Requests ended by deadline or client cancellation.", s.timeouts.Load())
+	emit("drained_total", "counter", "Requests refused while draining.", s.drained.Load())
+	drainingVal := int64(0)
+	if s.Draining() {
+		drainingVal = 1
+	}
+	emit("draining", "gauge", "1 while the server is draining.", drainingVal)
+}

@@ -1,0 +1,323 @@
+package server
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"lbkeogh"
+)
+
+func newTestServer(t *testing.T, cfg Config) (*Server, *httptest.Server) {
+	t.Helper()
+	if cfg.DB == nil {
+		cfg.DB = lbkeogh.SyntheticProjectilePoints(7, 20, 32)
+		labels := make([]int, len(cfg.DB))
+		for i := range labels {
+			labels[i] = i % 3
+		}
+		cfg.Labels = labels
+	}
+	srv, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(srv.Handler())
+	t.Cleanup(ts.Close)
+	return srv, ts
+}
+
+func post(t *testing.T, ts *httptest.Server, path, body string) (int, SearchResponse, string) {
+	t.Helper()
+	resp, err := http.Post(ts.URL+path, "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	raw, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sr SearchResponse
+	if resp.StatusCode == http.StatusOK {
+		if err := json.Unmarshal(raw, &sr); err != nil {
+			t.Fatalf("%s: bad response JSON: %v\n%s", path, err, raw)
+		}
+	}
+	return resp.StatusCode, sr, string(raw)
+}
+
+func TestServerSearchBasicAndPoolHit(t *testing.T) {
+	_, ts := newTestServer(t, Config{TraceLog: lbkeogh.NewTraceLog(lbkeogh.WithSampleRate(1))})
+	code, sr, raw := post(t, ts, "/v1/search", `{"query_index":0}`)
+	if code != http.StatusOK {
+		t.Fatalf("status %d: %s", code, raw)
+	}
+	if len(sr.Results) != 1 || sr.Results[0].Index != 0 || sr.Results[0].Dist > 1e-9 {
+		t.Fatalf("self search results = %+v", sr.Results)
+	}
+	if sr.Results[0].Label == nil || *sr.Results[0].Label != 0 {
+		t.Fatalf("label = %v, want 0", sr.Results[0].Label)
+	}
+	if !sr.Stats.Reconciles() || sr.Stats.Comparisons == 0 {
+		t.Fatalf("per-request stats bad: %+v", sr.Stats)
+	}
+	if sr.PoolHit {
+		t.Fatal("first request cannot be a pool hit")
+	}
+	code, sr2, raw := post(t, ts, "/v1/search", `{"query_index":0}`)
+	if code != http.StatusOK || !sr2.PoolHit {
+		t.Fatalf("second request: status %d pool_hit %v (%s)", code, sr2.PoolHit, raw)
+	}
+	// Per-request stats cover only this search, not the cumulative session.
+	if sr2.Stats.Comparisons != sr.Stats.Comparisons {
+		t.Fatalf("per-request comparisons drifted: %d then %d", sr.Stats.Comparisons, sr2.Stats.Comparisons)
+	}
+	// The parallel path answers identically.
+	code, sp, raw := post(t, ts, "/v1/search", `{"query_index":0,"parallel":2}`)
+	if code != http.StatusOK || sp.Results[0].Index != 0 {
+		t.Fatalf("parallel search: status %d %+v (%s)", code, sp.Results, raw)
+	}
+}
+
+func TestServerTopKAndRange(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	code, tk, raw := post(t, ts, "/v1/topk", `{"query_index":2,"k":5}`)
+	if code != http.StatusOK || len(tk.Results) != 5 {
+		t.Fatalf("topk: status %d, %d results (%s)", code, len(tk.Results), raw)
+	}
+	for i := 1; i < len(tk.Results); i++ {
+		if tk.Results[i-1].Dist > tk.Results[i].Dist {
+			t.Fatalf("topk not ascending: %+v", tk.Results)
+		}
+	}
+	threshold := tk.Results[3].Dist
+	code, rg, raw := post(t, ts, "/v1/range", fmt.Sprintf(`{"query_index":2,"threshold":%g}`, threshold))
+	if code != http.StatusOK {
+		t.Fatalf("range: status %d (%s)", code, raw)
+	}
+	if len(rg.Results) != 3 {
+		t.Fatalf("range below %g returned %d hits, want 3: %+v", threshold, len(rg.Results), rg.Results)
+	}
+	for i, h := range rg.Results {
+		if h.Index != tk.Results[i].Index || h.Dist != tk.Results[i].Dist {
+			t.Fatalf("range hit %d = %+v, want %+v", i, h, tk.Results[i])
+		}
+	}
+}
+
+func TestServerBadRequests(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	cases := []struct {
+		path, body string
+		want       int
+	}{
+		{"/v1/search", `{}`, http.StatusBadRequest},
+		{"/v1/search", `{"query_index":0,"series":[1,2,3]}`, http.StatusBadRequest},
+		{"/v1/search", `{"query_index":99}`, http.StatusBadRequest},
+		{"/v1/search", `{"series":[1,2,3]}`, http.StatusBadRequest}, // length mismatch
+		{"/v1/search", `{"query_index":0,"measure":"cosine"}`, http.StatusBadRequest},
+		{"/v1/search", `{"query_index":0,"strategy":"magic"}`, http.StatusBadRequest},
+		{"/v1/search", `{"query_index":0,"measure":"dtw","strategy":"fft"}`, http.StatusBadRequest},
+		{"/v1/search", `{"query_index":0,"timeout_ms":-5}`, http.StatusBadRequest},
+		{"/v1/search", `{"query_index":0,"bogus_field":1}`, http.StatusBadRequest},
+		{"/v1/search", `not json`, http.StatusBadRequest},
+		{"/v1/range", `{"query_index":0}`, http.StatusBadRequest}, // no threshold
+	}
+	for _, c := range cases {
+		if code, _, raw := post(t, ts, c.path, c.body); code != c.want {
+			t.Fatalf("%s %s: status %d, want %d (%s)", c.path, c.body, code, c.want, raw)
+		}
+	}
+	resp, err := http.Get(ts.URL + "/v1/search")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusMethodNotAllowed {
+		t.Fatalf("GET /v1/search: status %d, want 405", resp.StatusCode)
+	}
+}
+
+// TestServerDeadline exercises the 504 path: a deliberately hopeless
+// deadline on a brute-force DTW scan. The cancelled search's undisposed
+// rotations must land in the server aggregate's CancelledMembers bucket.
+func TestServerDeadline(t *testing.T) {
+	srv, ts := newTestServer(t, Config{DB: lbkeogh.SyntheticProjectilePoints(11, 150, 64)})
+	code, _, raw := post(t, ts, "/v1/search", `{"query_index":0,"measure":"dtw","strategy":"brute","timeout_ms":1}`)
+	if code != http.StatusGatewayTimeout {
+		t.Fatalf("status %d, want 504 (%s)", code, raw)
+	}
+	if !strings.Contains(raw, "deadline") {
+		t.Fatalf("error body should mention the deadline: %s", raw)
+	}
+	agg := srv.Stats()
+	if agg.CancelledMembers == 0 || !agg.Reconciles() {
+		t.Fatalf("aggregate after timeout: %+v", agg)
+	}
+	if srv.timeouts.Load() == 0 {
+		t.Fatal("timeout counter not bumped")
+	}
+	// The pooled session survived the cancellation: the same spec without a
+	// deadline must succeed (and reuse the session).
+	code, sr, raw := post(t, ts, "/v1/search", `{"query_index":0,"measure":"dtw","strategy":"brute"}`)
+	if code != http.StatusOK || !sr.PoolHit || sr.Results[0].Index != 0 {
+		t.Fatalf("post-timeout reuse: status %d pool_hit %v %+v (%s)", code, sr.PoolHit, sr.Results, raw)
+	}
+}
+
+// TestServerConcurrentSaturation drives the admission controller from 12
+// parallel clients against a single in-flight slot with a one-deep queue:
+// some requests must succeed, the overflow must be shed with 429, and the
+// books must balance. Run under -race this doubles as the serving layer's
+// data-race check.
+func TestServerConcurrentSaturation(t *testing.T) {
+	srv, ts := newTestServer(t, Config{
+		DB:          lbkeogh.SyntheticProjectilePoints(13, 120, 64),
+		MaxInflight: 1,
+		MaxQueue:    1,
+	})
+	const clients = 12
+	codes := make([]int, clients)
+	var start, done sync.WaitGroup
+	start.Add(1)
+	done.Add(clients)
+	for i := 0; i < clients; i++ {
+		go func(i int) {
+			defer done.Done()
+			start.Wait()
+			// brute DTW is slow enough (tens of ms) that simultaneous
+			// requests genuinely overlap even on one CPU.
+			resp, err := http.Post(ts.URL+"/v1/search", "application/json",
+				strings.NewReader(`{"query_index":0,"measure":"dtw","strategy":"brute"}`))
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			io.Copy(io.Discard, resp.Body) //nolint:errcheck
+			resp.Body.Close()
+			codes[i] = resp.StatusCode
+		}(i)
+	}
+	start.Done()
+	done.Wait()
+	var ok200, rej429, other int
+	for _, c := range codes {
+		switch c {
+		case http.StatusOK:
+			ok200++
+		case http.StatusTooManyRequests:
+			rej429++
+		default:
+			other++
+		}
+	}
+	if other != 0 {
+		t.Fatalf("unexpected statuses: %v", codes)
+	}
+	if ok200 == 0 || rej429 == 0 {
+		t.Fatalf("want both successes and 429s under saturation, got %d ok / %d rejected", ok200, rej429)
+	}
+	ad := srv.adm.Stats()
+	if ad.Rejected != int64(rej429) {
+		t.Fatalf("admission counted %d rejections, clients saw %d", ad.Rejected, rej429)
+	}
+	if ad.Inflight != 0 || ad.Waiting != 0 {
+		t.Fatalf("gauges not drained: %+v", ad)
+	}
+	if agg := srv.Stats(); !agg.Reconciles() {
+		t.Fatalf("aggregate does not reconcile after concurrent load: %+v", agg)
+	}
+}
+
+func TestServerDrain(t *testing.T) {
+	srv, ts := newTestServer(t, Config{})
+	if code, _, _ := post(t, ts, "/v1/search", `{"query_index":0}`); code != http.StatusOK {
+		t.Fatalf("pre-drain search failed: %d", code)
+	}
+	srv.BeginDrain()
+	code, _, raw := post(t, ts, "/v1/search", `{"query_index":0}`)
+	if code != http.StatusServiceUnavailable {
+		t.Fatalf("draining search: status %d, want 503 (%s)", code, raw)
+	}
+	resp, err := http.Get(ts.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var h healthResponse
+	if err := json.NewDecoder(resp.Body).Decode(&h); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if h.Status != "draining" || h.Requests != 1 {
+		t.Fatalf("healthz = %+v", h)
+	}
+	if srv.drained.Load() == 0 {
+		t.Fatal("drained counter not bumped")
+	}
+}
+
+func TestServerMetricsAndDebug(t *testing.T) {
+	_, ts := newTestServer(t, Config{TraceLog: lbkeogh.NewTraceLog(lbkeogh.WithSampleRate(1))})
+	if code, _, _ := post(t, ts, "/v1/search", `{"query_index":1}`); code != http.StatusOK {
+		t.Fatalf("search failed: %d", code)
+	}
+	resp, err := http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	for _, want := range []string{
+		"shapeserver_comparisons", "shapeserver_requests_total",
+		"shapeserver_pool_misses_total", "shapeserver_rejected_total",
+		"shapeserver_inflight", "shapeserver_draining",
+	} {
+		if !strings.Contains(string(body), want) {
+			t.Fatalf("/metrics missing %q:\n%s", want, body)
+		}
+	}
+	resp, err = http.Get(ts.URL + "/debug/lbkeogh")
+	if err != nil {
+		t.Fatal(err)
+	}
+	dash, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK || !strings.Contains(string(dash), "shapeserver") {
+		t.Fatalf("/debug/lbkeogh: status %d", resp.StatusCode)
+	}
+}
+
+func TestServerConfigValidation(t *testing.T) {
+	if _, err := New(Config{}); err == nil {
+		t.Fatal("want error for empty database")
+	}
+	if _, err := New(Config{DB: []lbkeogh.Series{{1, 2, 3}, {1, 2}}}); err == nil {
+		t.Fatal("want error for ragged database")
+	}
+	if _, err := New(Config{DB: []lbkeogh.Series{{1, 2, 3}, {4, 5, 6}}, Labels: []int{1}}); err == nil {
+		t.Fatal("want error for label count mismatch")
+	}
+}
+
+func TestServerDefaultTimeoutApplies(t *testing.T) {
+	// A tiny server-wide default deadline must bound requests that ask for
+	// nothing — and clamp ones that ask for more than the maximum.
+	_, ts := newTestServer(t, Config{
+		DB:             lbkeogh.SyntheticProjectilePoints(17, 150, 64),
+		DefaultTimeout: time.Millisecond,
+		MaxTimeout:     2 * time.Millisecond,
+	})
+	if code, _, raw := post(t, ts, "/v1/search", `{"query_index":0,"measure":"dtw","strategy":"brute"}`); code != http.StatusGatewayTimeout {
+		t.Fatalf("default deadline: status %d, want 504 (%s)", code, raw)
+	}
+	if code, _, raw := post(t, ts, "/v1/search", `{"query_index":0,"measure":"dtw","strategy":"brute","timeout_ms":60000}`); code != http.StatusGatewayTimeout {
+		t.Fatalf("clamped deadline: status %d, want 504 (%s)", code, raw)
+	}
+}

@@ -5,6 +5,7 @@ import (
 	"math"
 	"sync"
 
+	"lbkeogh/internal/cancel"
 	"lbkeogh/internal/cluster"
 	"lbkeogh/internal/envelope"
 	"lbkeogh/internal/obs"
@@ -165,6 +166,11 @@ type Result struct {
 	BestMember int
 	// Steps is the number of num_steps charged by this call.
 	Steps int64
+	// Aborted reports that a cancellation checkpoint stopped the walk before
+	// every member was disposed of; Dist and BestMember are meaningless. The
+	// undisposed members have been attributed to the cancelled bucket, so the
+	// instrumentation record still reconciles.
+	Aborted bool
 }
 
 // Search runs H-Merge (Table 6): it returns the exact minimum distance from
@@ -183,18 +189,22 @@ func (t *Tree) Search(q []float64, k Kernel, K int, r float64, traversal Travers
 // distance evaluation), and tr receives per-wedge trace events. Both st and
 // tr may be nil; the nil path costs one branch per event.
 func (t *Tree) SearchObs(q []float64, k Kernel, K int, r float64, traversal Traversal, cnt *stats.Tally, st *obs.SearchStats, tr obs.Tracer) Result {
-	return t.SearchTraced(q, k, K, r, traversal, cnt, st, tr, nil)
+	return t.SearchTraced(q, k, K, r, traversal, cnt, st, tr, nil, nil)
 }
 
-// SearchTraced is SearchObs plus span recording: the H-Merge walk, the exact
-// kernel evaluations at surviving leaves and the per-level node-visit counts
-// land in the goroutine-confined arena ar, which the caller flushes into its
-// trace recorder after the comparison. ar may be nil (or disarmed) — the
-// untraced path costs one predictable branch per event, like the nil st/tr
-// paths.
+// SearchTraced is SearchObs plus span recording and cooperative
+// cancellation: the H-Merge walk, the exact kernel evaluations at surviving
+// leaves and the per-level node-visit counts land in the goroutine-confined
+// arena ar, which the caller flushes into its trace recorder after the
+// comparison. The walk polls chk once per wedge visit — a cancellation is
+// observed within one checkpoint interval of visits, at which point every
+// undisposed member is attributed to the cancelled bucket and the Result
+// comes back Aborted. ar and chk may be nil (or disarmed) — the untraced,
+// uncancellable path costs one predictable branch per event, like the nil
+// st/tr paths.
 //
 //lbkeogh:hotpath
-func (t *Tree) SearchTraced(q []float64, k Kernel, K int, r float64, traversal Traversal, cnt *stats.Tally, st *obs.SearchStats, tr obs.Tracer, ar *trace.Arena) Result {
+func (t *Tree) SearchTraced(q []float64, k Kernel, K int, r float64, traversal Traversal, cnt *stats.Tally, st *obs.SearchStats, tr obs.Tracer, ar *trace.Arena, chk *cancel.Checker) Result {
 	if len(q) != t.Len() {
 		panic(fmt.Sprintf("wedge: query length %d != member length %d", len(q), t.Len()))
 	}
@@ -256,10 +266,23 @@ func (t *Tree) SearchTraced(q []float64, k Kernel, K int, r float64, traversal T
 
 	frontier := t.frontierFor(K)
 	hm := ar.Begin(trace.StageHMerge, -1)
+	aborted := false
 	switch traversal {
 	case BestFirst:
 		var pq boundHeap
-		for _, id := range frontier {
+		for fi, id := range frontier {
+			if chk.Stop() != nil {
+				// Cancelled while seeding: everything not yet bounded plus
+				// everything already queued is undisposed.
+				for _, rest := range frontier[fi:] {
+					st.CountCancelled(int64(t.dend.Nodes[rest].Size))
+				}
+				for _, it := range pq {
+					st.CountCancelled(int64(t.dend.Nodes[it.id].Size))
+				}
+				aborted = true
+				break
+			}
 			lb, abandoned := k.LowerBound(q, envs[id], best, &local)
 			if !abandoned && lb < best {
 				pq.push(boundItem{id: id, lb: lb})
@@ -267,7 +290,14 @@ func (t *Tree) SearchTraced(q []float64, k Kernel, K int, r float64, traversal T
 				pruneNode(id, lb)
 			}
 		}
-		for len(pq) > 0 {
+		for !aborted && len(pq) > 0 {
+			if chk.Stop() != nil {
+				for _, it := range pq {
+					st.CountCancelled(int64(t.dend.Nodes[it.id].Size))
+				}
+				aborted = true
+				break
+			}
 			it := pq.pop()
 			if it.lb >= best {
 				// Smallest outstanding bound cannot improve: done. Everything
@@ -304,6 +334,16 @@ func (t *Tree) SearchTraced(q []float64, k Kernel, K int, r float64, traversal T
 		stack := make([]int, len(frontier), 2*len(frontier)+2) //lint:ignore hotalloc per-search scratch, amortized over the traversal
 		copy(stack, frontier)
 		for len(stack) > 0 {
+			if chk.Stop() != nil {
+				// Cancelled mid-walk: every member under a node still on the
+				// stack is undisposed (pops either dispose or push children,
+				// so the stack is exactly the undisposed partition).
+				for _, rest := range stack {
+					st.CountCancelled(int64(t.dend.Nodes[rest].Size))
+				}
+				aborted = true
+				break
+			}
 			id := stack[len(stack)-1]
 			stack = stack[:len(stack)-1]
 			node := t.dend.Nodes[id]
@@ -325,6 +365,9 @@ func (t *Tree) SearchTraced(q []float64, k Kernel, K int, r float64, traversal T
 
 	ar.End(hm)
 	cnt.Add(local.Steps())
+	if aborted {
+		return Result{Dist: math.Inf(1), BestMember: -1, Steps: local.Steps(), Aborted: true}
+	}
 	if bestMember < 0 {
 		return Result{Dist: math.Inf(1), BestMember: -1, Steps: local.Steps()}
 	}

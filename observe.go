@@ -17,7 +17,7 @@ import (
 // for any snapshot,
 //
 //	Rotations = FullDistEvals + EarlyAbandons + WedgePrunedMembers
-//	          + WedgeLeafLBPrunes + FFTRejectedMembers
+//	          + WedgeLeafLBPrunes + FFTRejectedMembers + CancelledMembers
 //
 // so pruning rates per bound can be read off directly (the breakdown the
 // paper's Tables 1–3 and Section 5.3 are about). All counters are cumulative
@@ -53,6 +53,11 @@ type SearchStats struct {
 	FFTRejects         int64 `json:"fft_rejects"`
 	FFTRejectedMembers int64 `json:"fft_rejected_members"`
 	FFTFallbacks       int64 `json:"fft_fallbacks"`
+
+	// CancelledMembers counts rotations left undisposed when a context
+	// cancellation (or deadline) stopped a Search*Context scan mid-way;
+	// zero for uncancelled searches.
+	CancelledMembers int64 `json:"cancelled_members,omitempty"`
 
 	// IndexCandidates / IndexFetches / DiskReads are populated by indexed
 	// searches: candidates surviving the compressed bound, full-resolution
@@ -106,7 +111,8 @@ type HistogramBucket struct {
 // every rotation covered — true for any record maintained by this library.
 func (s SearchStats) Reconciles() bool {
 	return s.Rotations == s.FullDistEvals+s.EarlyAbandons+
-		s.WedgePrunedMembers+s.WedgeLeafLBPrunes+s.FFTRejectedMembers
+		s.WedgePrunedMembers+s.WedgeLeafLBPrunes+s.FFTRejectedMembers+
+		s.CancelledMembers
 }
 
 // Tracer receives fine-grained search events for debugging admissibility
@@ -175,6 +181,7 @@ func WriteMetrics(w io.Writer, name string, s SearchStats) {
 	emit("fft_rejects", "Comparisons rejected whole by the Fourier-magnitude bound.", s.FFTRejects)
 	emit("fft_rejected_members", "Rotations covered by FFT-rejected comparisons.", s.FFTRejectedMembers)
 	emit("fft_fallbacks", "Comparisons falling through the FFT filter to early abandoning.", s.FFTFallbacks)
+	emit("cancelled_members", "Rotations left undisposed by cancelled or deadline-bounded searches.", s.CancelledMembers)
 	emit("index_candidates", "Index candidates surviving the compressed lower bound.", s.IndexCandidates)
 	emit("index_fetches", "Full-resolution fetches for exact verification.", s.IndexFetches)
 	emit("disk_reads", "Record reads charged by the series store.", s.DiskReads)
@@ -267,6 +274,7 @@ func statsFromSnapshot(sn obs.Snapshot) SearchStats {
 		FFTRejects:         sn.FFTRejects,
 		FFTRejectedMembers: sn.FFTRejectedMembers,
 		FFTFallbacks:       sn.FFTFallbacks,
+		CancelledMembers:   sn.CancelledMembers,
 		IndexCandidates:    sn.IndexCandidates,
 		IndexFetches:       sn.IndexFetches,
 		DiskReads:          sn.DiskReads,

@@ -1,6 +1,7 @@
 package lbkeogh
 
 import (
+	"context"
 	"fmt"
 	"math"
 
@@ -306,21 +307,58 @@ type SearchResult struct {
 	Rotation Rotation
 }
 
+// validateDB rejects an empty database and any series whose length differs
+// from the query's, with the offending index in the error.
+func (q *Query) validateDB(db []Series) error {
+	if len(db) == 0 {
+		return fmt.Errorf("lbkeogh: empty database")
+	}
+	for i, x := range db {
+		if len(x) != q.n {
+			return fmt.Errorf("lbkeogh: database series %d length %d != query length %d", i, len(x), q.n)
+		}
+	}
+	return nil
+}
+
+// checkCtx is the Search*Context entry fast path: an already-expired context
+// fails before any validation, tracing, or scanning happens. A nil ctx is
+// treated as context.Background (uncancellable).
+func checkCtx(ctx context.Context) (context.Context, error) {
+	if ctx == nil {
+		return context.Background(), nil
+	}
+	return ctx, ctx.Err()
+}
+
 // Search scans db linearly and returns the exact nearest neighbour under
 // the query's measure and invariances (Table 3 of the paper, with the
 // query's strategy deciding how each comparison is accelerated).
 func (q *Query) Search(db []Series) (SearchResult, error) {
-	if len(db) == 0 {
-		return SearchResult{}, fmt.Errorf("lbkeogh: empty database")
+	return q.SearchContext(context.Background(), db)
+}
+
+// SearchContext is Search bounded by ctx: the scan checks for cancellation
+// at amortized checkpoints (at least once per database comparison, and every
+// core.CancelCheckInterval'th rotation within one) and returns ctx.Err() as
+// soon as one trips. A cancelled search leaves the query valid and reusable;
+// the rotations it never disposed of are reported in
+// SearchStats.CancelledMembers, so the stats record still reconciles. With
+// an uncancelled ctx the result is identical to Search.
+func (q *Query) SearchContext(ctx context.Context, db []Series) (SearchResult, error) {
+	ctx, err := checkCtx(ctx)
+	if err != nil {
+		return SearchResult{}, err
 	}
-	for i, x := range db {
-		if len(x) != q.n {
-			return SearchResult{}, fmt.Errorf("lbkeogh: database series %d length %d != query length %d", i, len(x), q.n)
-		}
+	if err := q.validateDB(db); err != nil {
+		return SearchResult{}, err
 	}
 	rec, root, before := q.startTrace("search", trace.StageSearch)
-	r := q.searcher.Scan(db, &q.counter)
+	r, err := q.searcher.ScanContext(ctx, db, &q.counter)
 	q.finishTrace(rec, root, before)
+	if err != nil {
+		return SearchResult{}, err
+	}
 	return SearchResult{Index: r.Index, Dist: r.Dist, Rotation: q.rotation(r.Member)}, nil
 }
 
@@ -330,22 +368,35 @@ func (q *Query) Search(db []Series) (SearchResult, error) {
 // adaptive search state, and all workers prune against the shared
 // best-so-far. The result is identical to Search.
 func (q *Query) SearchParallel(db []Series, workers int) (SearchResult, error) {
-	if len(db) == 0 {
-		return SearchResult{}, fmt.Errorf("lbkeogh: empty database")
+	return q.SearchParallelContext(context.Background(), db, workers)
+}
+
+// SearchParallelContext is SearchParallel bounded by ctx. Each worker polls
+// its own amortized checkpoint, so a cancellation stops every worker within
+// one checkpoint interval; the workers are joined before the error returns,
+// so a cancelled search leaks no goroutines and leaves the query reusable.
+func (q *Query) SearchParallelContext(ctx context.Context, db []Series, workers int) (SearchResult, error) {
+	ctx, err := checkCtx(ctx)
+	if err != nil {
+		return SearchResult{}, err
 	}
-	for i, x := range db {
-		if len(x) != q.n {
-			return SearchResult{}, fmt.Errorf("lbkeogh: database series %d length %d != query length %d", i, len(x), q.n)
-		}
+	if err := q.validateDB(db); err != nil {
+		return SearchResult{}, err
 	}
 	// Parallel scans record the root span only: a Recorder is
 	// single-goroutine, and the per-worker searchers are built from the
 	// config, recorder-less.
 	rec, root, before := q.startTrace("search_parallel", trace.StageSearch)
-	r := core.ScanParallel(q.rs, q.measure.kern, q.strategy, q.searchCfg, db, workers, &q.counter)
+	r, err := core.ScanParallelContext(ctx, q.rs, q.measure.kern, q.strategy, q.searchCfg, db, workers, &q.counter)
 	q.finishTrace(rec, root, before)
+	if err != nil {
+		return SearchResult{}, err
+	}
 	if r.Index < 0 {
-		return SearchResult{}, fmt.Errorf("lbkeogh: parallel scan found no result")
+		// Unreachable through the public API: validateDB guarantees a
+		// non-empty database of query-length series, and an uncancelled
+		// exact scan of such a database always yields a finite minimum.
+		return SearchResult{}, fmt.Errorf("lbkeogh: internal invariant violated: uncancelled parallel scan over %d series returned no result", len(db))
 	}
 	return SearchResult{Index: r.Index, Dist: r.Dist, Rotation: q.rotation(r.Member)}, nil
 }
@@ -353,20 +404,59 @@ func (q *Query) SearchParallel(db []Series, workers int) (SearchResult, error) {
 // SearchTopK returns the k exact nearest neighbours in ascending distance
 // order (k is clamped to len(db)).
 func (q *Query) SearchTopK(db []Series, k int) ([]SearchResult, error) {
-	if len(db) == 0 {
-		return nil, fmt.Errorf("lbkeogh: empty database")
+	return q.SearchTopKContext(context.Background(), db, k)
+}
+
+// SearchTopKContext is SearchTopK bounded by ctx, with the same cancellation
+// semantics as SearchContext.
+func (q *Query) SearchTopKContext(ctx context.Context, db []Series, k int) ([]SearchResult, error) {
+	ctx, err := checkCtx(ctx)
+	if err != nil {
+		return nil, err
 	}
-	for i, x := range db {
-		if len(x) != q.n {
-			return nil, fmt.Errorf("lbkeogh: database series %d length %d != query length %d", i, len(x), q.n)
-		}
+	if err := q.validateDB(db); err != nil {
+		return nil, err
 	}
 	if k > len(db) {
 		k = len(db)
 	}
 	rec, root, before := q.startTrace("search_topk", trace.StageSearch)
-	rs := q.searcher.ScanTopK(db, k, &q.counter)
+	rs, err := q.searcher.ScanTopKContext(ctx, db, k, &q.counter)
 	q.finishTrace(rec, root, before)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]SearchResult, len(rs))
+	for i, r := range rs {
+		out[i] = SearchResult{Index: r.Index, Dist: r.Dist, Rotation: q.rotation(r.Member)}
+	}
+	return out, nil
+}
+
+// SearchRange returns every database series whose exact rotation-invariant
+// distance is strictly below threshold, in ascending distance order. The
+// threshold doubles as the early-abandoning bound, so tight ranges are far
+// cheaper than a full nearest-neighbour scan.
+func (q *Query) SearchRange(db []Series, threshold float64) ([]SearchResult, error) {
+	return q.SearchRangeContext(context.Background(), db, threshold)
+}
+
+// SearchRangeContext is SearchRange bounded by ctx, with the same
+// cancellation semantics as SearchContext.
+func (q *Query) SearchRangeContext(ctx context.Context, db []Series, threshold float64) ([]SearchResult, error) {
+	ctx, err := checkCtx(ctx)
+	if err != nil {
+		return nil, err
+	}
+	if err := q.validateDB(db); err != nil {
+		return nil, err
+	}
+	rec, root, before := q.startTrace("search_range", trace.StageSearch)
+	rs, err := q.searcher.ScanRangeContext(ctx, db, threshold, &q.counter)
+	q.finishTrace(rec, root, before)
+	if err != nil {
+		return nil, err
+	}
 	out := make([]SearchResult, len(rs))
 	for i, r := range rs {
 		out[i] = SearchResult{Index: r.Index, Dist: r.Dist, Rotation: q.rotation(r.Member)}

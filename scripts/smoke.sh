@@ -1,14 +1,19 @@
 #!/bin/sh
-# Observability smoke test: run benchrun -serve on a tiny workload, then
-# assert that /metrics serves parseable Prometheus text, /debug/lbkeogh
-# serves the dashboard, and the Chrome trace export is well-formed.
+# Observability and serving smoke test. Part 1: run benchrun -serve on a
+# tiny workload, then assert that /metrics serves parseable Prometheus text,
+# /debug/lbkeogh serves the dashboard, and the Chrome trace export is
+# well-formed. Part 2: boot shapeserver on a synthetic database, exercise
+# nearest-neighbour and top-K search plus a deliberately timed-out request,
+# and verify the server drains gracefully on SIGTERM.
 set -eu
 
 GO=${GO:-go}
 tmp=$(mktemp -d)
 pid=""
+spid=""
 cleanup() {
 	[ -n "$pid" ] && kill "$pid" 2>/dev/null || true
+	[ -n "$spid" ] && kill "$spid" 2>/dev/null || true
 	rm -rf "$tmp"
 }
 trap cleanup EXIT INT TERM
@@ -83,3 +88,84 @@ if command -v python3 >/dev/null 2>&1; then
 fi
 
 echo "smoke: ok ($addr: /metrics, /debug/lbkeogh, chrome export)"
+
+# ---- Part 2: the shapeserver serving layer -------------------------------
+
+$GO build -o "$tmp/shapeserver" ./cmd/shapeserver
+
+sok=""
+for try in 0 1 2 3 4; do
+	saddr="127.0.0.1:$((18651 + try))"
+	"$tmp/shapeserver" -addr "$saddr" -synthetic 400,128 -seed 7 >"$tmp/shapeserver.log" 2>&1 &
+	spid=$!
+	i=0
+	while [ $i -lt 100 ]; do
+		if ! kill -0 "$spid" 2>/dev/null; then
+			break # died; likely the port was in use
+		fi
+		if curl -fsS "http://$saddr/healthz" >"$tmp/health.json" 2>/dev/null; then
+			sok=1
+			break
+		fi
+		sleep 0.2
+		i=$((i + 1))
+	done
+	[ -n "$sok" ] && break
+	kill "$spid" 2>/dev/null || true
+	wait "$spid" 2>/dev/null || true
+	spid=""
+done
+if [ -z "$sok" ]; then
+	echo "smoke: shapeserver failed to start" >&2
+	cat "$tmp/shapeserver.log" >&2
+	exit 1
+fi
+grep -q '"status": "ok"' "$tmp/health.json" ||
+	fail "healthz is not ok"
+
+# Nearest neighbour: a database row queried against the database matches
+# itself at distance 0, and the response carries the pruning stats.
+curl -fsS "http://$saddr/v1/search" -d '{"query_index":3}' >"$tmp/search.json" ||
+	fail "/v1/search did not answer 200"
+grep -q '"index": 3' "$tmp/search.json" ||
+	fail "/v1/search did not return the self-match"
+grep -q '"comparisons": 400' "$tmp/search.json" ||
+	fail "/v1/search response is missing its SearchStats"
+
+# The same query again must hit the session pool.
+curl -fsS "http://$saddr/v1/search" -d '{"query_index":3}' >"$tmp/search2.json" ||
+	fail "repeated /v1/search did not answer 200"
+grep -q '"pool_hit": true' "$tmp/search2.json" ||
+	fail "repeated query did not reuse the pooled session"
+
+# Top-K returns k ascending hits.
+curl -fsS "http://$saddr/v1/topk" -d '{"query_index":3,"k":3}' >"$tmp/topk.json" ||
+	fail "/v1/topk did not answer 200"
+[ "$(grep -c '"index":' "$tmp/topk.json")" = 3 ] ||
+	fail "/v1/topk did not return 3 hits"
+
+# A hopeless deadline on a brute-force DTW scan must come back 504, promptly.
+code=$(curl -s -o "$tmp/timeout.json" -w '%{http_code}' "http://$saddr/v1/search" \
+	-d '{"query_index":0,"measure":"dtw","strategy":"brute","timeout_ms":1}')
+[ "$code" = 504 ] ||
+	fail "timed-out search answered $code, want 504"
+grep -q 'deadline' "$tmp/timeout.json" ||
+	fail "504 body does not mention the deadline"
+
+curl -fsS "http://$saddr/metrics" >"$tmp/smetrics.txt" ||
+	fail "shapeserver /metrics did not answer 200"
+grep -q '^shapeserver_requests_total ' "$tmp/smetrics.txt" ||
+	fail "shapeserver /metrics is missing requests_total"
+grep -q '^shapeserver_timeouts_total 1$' "$tmp/smetrics.txt" ||
+	fail "shapeserver /metrics did not count the timeout"
+curl -fsS "http://$saddr/debug/lbkeogh" >/dev/null ||
+	fail "shapeserver dashboard did not answer 200"
+
+# Graceful shutdown: SIGTERM drains and the process reports it.
+kill -TERM "$spid"
+wait "$spid" 2>/dev/null || fail "shapeserver exited non-zero on SIGTERM"
+spid=""
+grep -q 'shapeserver: drained' "$tmp/shapeserver.log" ||
+	fail "shapeserver did not report a clean drain"
+
+echo "smoke: ok ($saddr: search, topk, pool hit, 504 deadline, drain)"

@@ -245,6 +245,7 @@ func statsFromCounts(c obs.Counts) SearchStats {
 		FFTRejects:         c.FFTRejects,
 		FFTRejectedMembers: c.FFTRejectedMembers,
 		FFTFallbacks:       c.FFTFallbacks,
+		CancelledMembers:   c.CancelledMembers,
 		IndexCandidates:    c.IndexCandidates,
 		IndexFetches:       c.IndexFetches,
 		DiskReads:          c.DiskReads,
