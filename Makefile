@@ -34,7 +34,8 @@ bench-json:
 	$(GO) run ./cmd/benchrun -fig none -maxm 500 -queries 3 -bench-out $(BENCH_DIR)
 
 # Diff the two most recent $(BENCH_DIR)/BENCH_*.json reports (steps, wall
-# time, search p50 per strategy). With a single report it prints a baseline.
+# time, search p50/p99 per strategy). Fails when the trajectory has fewer
+# than 2 points or a strategy's search-stage p99 regressed >25%.
 bench-compare:
 	$(GO) run ./cmd/benchrun -compare $(BENCH_DIR)
 

@@ -30,6 +30,7 @@ import (
 	"text/tabwriter"
 
 	"lbkeogh/internal/experiments"
+	"lbkeogh/internal/obs/ops"
 )
 
 func main() {
@@ -49,13 +50,17 @@ func main() {
 		statsJSON = flag.String("stats-json", "", "write per-strategy pruning breakdowns as JSON to this file (\"-\" for stdout)")
 		benchOut  = flag.String("bench-out", "", "write a machine-readable BENCH_<date>.json (steps, prune rates, stage latencies, wall time) into this directory")
 		compare   = flag.String("compare", "", "diff the two most recent BENCH_*.json files in this directory, then exit")
+		logLevel  = flag.String("log-level", "info", "stderr diagnostic log level: debug, info, warn, error")
 	)
 	flag.Parse()
 	outputFormat = *format
+	// Result tables go to stdout; diagnostics go to stderr as structured
+	// text log lines, so scripted callers can separate the two streams.
+	diag := ops.NewLogger(os.Stderr, "text", *logLevel)
 
 	if *compare != "" {
 		if err := compareBench(*compare); err != nil {
-			fmt.Fprintf(os.Stderr, "benchrun: -compare: %v\n", err)
+			diag.Error("bench comparison failed", "dir", *compare, "error", err)
 			os.Exit(1)
 		}
 		return
@@ -65,7 +70,7 @@ func main() {
 	if *serve != "" {
 		live = newLiveObs()
 		if err := serveObs(*serve, live); err != nil {
-			fmt.Fprintln(os.Stderr, err)
+			diag.Error("serve failed", "addr", *serve, "error", err)
 			os.Exit(1)
 		}
 		fmt.Printf("serving /metrics, /debug/lbkeogh, /debug/vars and /debug/pprof/ on %s\n", *serve)
@@ -77,7 +82,7 @@ func main() {
 		}
 		fmt.Printf("==> %s\n", title(name))
 		if err := fn(); err != nil {
-			fmt.Fprintf(os.Stderr, "benchrun: %s: %v\n", name, err)
+			diag.Error("experiment failed", "fig", name, "error", err)
 			os.Exit(1)
 		}
 		fmt.Println()
@@ -244,7 +249,7 @@ func main() {
 	})
 
 	if !ran(*fig) {
-		fmt.Fprintf(os.Stderr, "benchrun: unknown -fig %q (want 19|20|21|22|23|24|table8|exponent|none|all)\n", *fig)
+		diag.Error("unknown -fig (want 19|20|21|22|23|24|table8|exponent|none|all)", "fig", *fig)
 		os.Exit(2)
 	}
 
@@ -252,7 +257,7 @@ func main() {
 		fmt.Println("==> Instrumented per-strategy scan (pruning breakdowns)")
 		rep, err := collectStats(min(*maxM, 500), *nProj, *queries, *seed, live)
 		if err != nil {
-			fmt.Fprintf(os.Stderr, "benchrun: instrumented scan: %v\n", err)
+			diag.Error("instrumented scan failed", "error", err)
 			os.Exit(1)
 		}
 		broken := 0
@@ -267,7 +272,7 @@ func main() {
 			// The stats report is diagnostic output: write it even when
 			// reconciliation failed, so the failure can be inspected.
 			if err := writeReport(rep, *statsJSON); err != nil {
-				fmt.Fprintf(os.Stderr, "benchrun: -stats-json: %v\n", err)
+				diag.Error("stats-json write failed", "path", *statsJSON, "error", err)
 				os.Exit(1)
 			}
 		}
@@ -275,14 +280,14 @@ func main() {
 			// The bench JSON is a quality gate artifact; a report whose
 			// accounting does not reconcile must fail the run, not be
 			// archived as if it were a valid measurement.
-			fmt.Fprintf(os.Stderr, "benchrun: %d of %d strategies failed step reconciliation; not writing bench JSON\n",
-				broken, len(rep.Strategies))
+			diag.Error("step reconciliation failed; not writing bench JSON",
+				"broken", broken, "strategies", len(rep.Strategies))
 			os.Exit(1)
 		}
 		if *benchOut != "" {
 			path, err := writeBenchJSON(rep, *benchOut)
 			if err != nil {
-				fmt.Fprintf(os.Stderr, "benchrun: -bench-out: %v\n", err)
+				diag.Error("bench-out write failed", "dir", *benchOut, "error", err)
 				os.Exit(1)
 			}
 			fmt.Printf("   wrote %s\n", path)

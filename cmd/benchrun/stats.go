@@ -317,9 +317,27 @@ func stageP50(st lbkeogh.SearchStats, stage string) int64 {
 	return -1
 }
 
+// stageP99 finds the p99 latency (ns) for the named stage, -1 if absent.
+func stageP99(st lbkeogh.SearchStats, stage string) int64 {
+	for _, sl := range st.StageLatencies {
+		if sl.Stage == stage {
+			return sl.P99NS
+		}
+	}
+	return -1
+}
+
+// p99RegressionLimit fails the comparison when a strategy's search-stage p99
+// grows beyond this factor. The latencies sit in power-of-two buckets, so a
+// genuine move is at least 2x and always trips this; the check is a tripwire
+// for real regressions, not a precision gate.
+const p99RegressionLimit = 1.25
+
 // compareBench diffs the two most recent BENCH_*.json files in dir (the
-// date-stamped names sort chronologically). With one file it prints a
-// baseline summary; with none it fails.
+// date-stamped names sort chronologically). It fails with fewer than two
+// trajectory points — a "comparison" against nothing passing silently is how
+// perf regressions slip through CI — and fails when any strategy's
+// search-stage p99 regressed beyond p99RegressionLimit.
 func compareBench(dir string) error {
 	files, err := filepath.Glob(filepath.Join(dir, "BENCH_*.json"))
 	if err != nil {
@@ -342,12 +360,12 @@ func compareBench(dir string) error {
 		return err
 	}
 	if len(files) == 1 {
-		fmt.Printf("baseline %s (no earlier bench file to compare against)\n", files[0])
+		fmt.Printf("baseline %s only\n", files[0])
 		for _, s := range cur.Strategies {
 			fmt.Printf("  %-14s steps=%-12d prune_rate=%.4f wall=%.2fs search_p50=%s\n",
 				s.Strategy, s.Steps, s.Stats.PruneRate, s.WallSeconds, fmtP50(stageP50(s.Stats, "search")))
 		}
-		return nil
+		return fmt.Errorf("bench trajectory has 1 point; a comparison needs >= 2 (run bench-json again on another day or commit)")
 	}
 	prev, err := load(files[len(files)-2])
 	if err != nil {
@@ -358,17 +376,28 @@ func compareBench(dir string) error {
 	for _, s := range prev.Strategies {
 		old[s.Strategy] = s
 	}
+	var regressions []string
 	for _, s := range cur.Strategies {
 		o, ok := old[s.Strategy]
 		if !ok {
 			fmt.Printf("  %-14s new strategy: steps=%d wall=%.2fs\n", s.Strategy, s.Steps, s.WallSeconds)
 			continue
 		}
-		fmt.Printf("  %-14s steps %d -> %d (%+.2f%%)  wall %.2fs -> %.2fs (%+.2f%%)  search_p50 %s -> %s\n",
+		oldP99, curP99 := stageP99(o.Stats, "search"), stageP99(s.Stats, "search")
+		fmt.Printf("  %-14s steps %d -> %d (%+.2f%%)  wall %.2fs -> %.2fs (%+.2f%%)  search_p50 %s -> %s  search_p99 %s -> %s\n",
 			s.Strategy,
 			o.Steps, s.Steps, pctDelta(float64(o.Steps), float64(s.Steps)),
 			o.WallSeconds, s.WallSeconds, pctDelta(o.WallSeconds, s.WallSeconds),
-			fmtP50(stageP50(o.Stats, "search")), fmtP50(stageP50(s.Stats, "search")))
+			fmtP50(stageP50(o.Stats, "search")), fmtP50(stageP50(s.Stats, "search")),
+			fmtP50(oldP99), fmtP50(curP99))
+		if oldP99 > 0 && curP99 > 0 && float64(curP99) > float64(oldP99)*p99RegressionLimit {
+			regressions = append(regressions, fmt.Sprintf("%s search p99 %s -> %s (%+.2f%%)",
+				s.Strategy, fmtP50(oldP99), fmtP50(curP99), pctDelta(float64(oldP99), float64(curP99))))
+		}
+	}
+	if len(regressions) > 0 {
+		return fmt.Errorf("search-stage p99 regressed beyond %.0f%%:\n  %s",
+			(p99RegressionLimit-1)*100, strings.Join(regressions, "\n  "))
 	}
 	return nil
 }

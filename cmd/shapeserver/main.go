@@ -16,66 +16,98 @@
 //	curl -s localhost:8321/v1/search -d '{"query_index":0}'
 //	curl -s localhost:8321/v1/topk   -d '{"series":[...], "k":5, "measure":"dtw", "r":5}'
 //	curl -s localhost:8321/v1/range  -d '{"query_index":3, "threshold":2.5}'
-//	curl -s localhost:8321/healthz
+//	curl -s localhost:8321/readyz
 //	curl -s localhost:8321/metrics
 //
-// The live dashboard is at /debug/lbkeogh (traces downloadable as Chrome
+// The process emits a structured request log (JSON by default; see -log and
+// -log-level), binds the listener before the database load so /livez answers
+// immediately (/readyz stays 503 until the database is in), and keeps a
+// continuous-profiling ring at /debug/profiles (see -profile-interval). The
+// live dashboard is at /debug/lbkeogh (traces downloadable as Chrome
 // trace-event JSON for ui.perfetto.dev), expvar at /debug/vars, and pprof at
 // /debug/pprof/.
 package main
 
 import (
 	"context"
+	"encoding/json"
 	"errors"
 	"flag"
-	"fmt"
+	"net"
 	"net/http"
 	"os"
 	"os/signal"
 	"strconv"
 	"strings"
+	"sync/atomic"
 	"syscall"
 	"time"
 
 	"lbkeogh"
+	"lbkeogh/internal/obs/ops"
 	"lbkeogh/internal/seriesio"
 	"lbkeogh/internal/server"
 )
 
 func main() {
 	var (
-		addr      = flag.String("addr", ":8321", "listen address")
-		dbPath    = flag.String("db", "", "CSV database file (label,v0,v1,...)")
-		synthetic = flag.String("synthetic", "", "generate a synthetic database instead: m,n (series,samples)")
-		seed      = flag.Int64("seed", 42, "synthetic dataset seed")
-		inflight  = flag.Int("inflight", 4, "max concurrent searches")
-		queue     = flag.Int("queue", 16, "max requests waiting beyond the in-flight slots (then 429)")
-		pool      = flag.Int("pool", 32, "max idle query sessions kept for reuse")
-		timeout   = flag.Duration("timeout", 10*time.Second, "default per-request search deadline")
-		maxTO     = flag.Duration("max-timeout", 60*time.Second, "cap on client-requested timeout_ms")
-		grace     = flag.Duration("grace", 15*time.Second, "shutdown grace period for draining in-flight requests")
-		notrace   = flag.Bool("notrace", false, "disable query tracing (smaller overhead, empty dashboard)")
+		addr        = flag.String("addr", ":8321", "listen address")
+		dbPath      = flag.String("db", "", "CSV database file (label,v0,v1,...)")
+		synthetic   = flag.String("synthetic", "", "generate a synthetic database instead: m,n (series,samples)")
+		seed        = flag.Int64("seed", 42, "synthetic dataset seed")
+		inflight    = flag.Int("inflight", 4, "max concurrent searches")
+		queue       = flag.Int("queue", 16, "max requests waiting beyond the in-flight slots (then 429)")
+		pool        = flag.Int("pool", 32, "max idle query sessions kept for reuse")
+		timeout     = flag.Duration("timeout", 10*time.Second, "default per-request search deadline")
+		maxTO       = flag.Duration("max-timeout", 60*time.Second, "cap on client-requested timeout_ms")
+		grace       = flag.Duration("grace", 15*time.Second, "shutdown grace period for draining in-flight requests")
+		drainWait   = flag.Duration("drain-wait", 2*time.Second, "pause between flipping /readyz and closing the listener, so load balancers observe the flip")
+		notrace     = flag.Bool("notrace", false, "disable query tracing (smaller overhead, empty dashboard)")
+		traceSample = flag.Float64("trace-sample", 1.0, "fraction of non-slow traces the trace log retains")
+		logFormat   = flag.String("log", "json", "structured log format: json or text")
+		logLevel    = flag.String("log-level", "info", "log level: debug, info, warn, error")
+		profEvery   = flag.Duration("profile-interval", 60*time.Second, "continuous-profiling capture interval (0 disables the ring)")
+		profCPU     = flag.Duration("profile-cpu", 2*time.Second, "CPU profile duration per capture round")
+		profKeep    = flag.Int("profile-keep", 16, "profile captures retained in the ring")
 	)
 	flag.Parse()
+	logger := ops.NewLogger(os.Stderr, *logFormat, *logLevel)
+
+	// Bind before loading the database: /livez answers as soon as the
+	// process is up, while /readyz reports "loading" until the real handler
+	// is swapped in. The swap is one atomic store — no requests are dropped.
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		logger.Error("listen failed", "addr", *addr, "error", err)
+		os.Exit(1)
+	}
+	var handler atomic.Value // of http.Handler
+	handler.Store(loadingHandler())
+	httpSrv := &http.Server{Handler: http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		handler.Load().(http.Handler).ServeHTTP(w, r)
+	})}
+	errCh := make(chan error, 1)
+	go func() { errCh <- httpSrv.Serve(ln) }()
+	logger.Info("listening", "addr", ln.Addr().String())
 
 	var labels []int
 	var db []lbkeogh.Series
 	switch {
 	case *dbPath != "" && *synthetic != "":
-		fmt.Fprintln(os.Stderr, "shapeserver: -db and -synthetic are mutually exclusive")
+		logger.Error("-db and -synthetic are mutually exclusive")
 		os.Exit(2)
 	case *dbPath != "":
 		var rows [][]float64
-		var err error
 		labels, rows, err = seriesio.ReadCSV(*dbPath)
 		if err != nil {
-			fmt.Fprintf(os.Stderr, "shapeserver: %v\n", err)
+			logger.Error("database load failed", "path", *dbPath, "error", err)
 			os.Exit(1)
 		}
 		db = make([]lbkeogh.Series, len(rows))
 		for i, r := range rows {
 			db[i] = r
 		}
+		logger.Info("database loaded", "path", *dbPath, "series", len(db))
 	case *synthetic != "":
 		parts := strings.Split(*synthetic, ",")
 		var m, n int
@@ -85,18 +117,30 @@ func main() {
 			n, err2 = strconv.Atoi(strings.TrimSpace(parts[1]))
 		}
 		if len(parts) != 2 || err1 != nil || err2 != nil || m < 2 || n < 2 {
-			fmt.Fprintf(os.Stderr, "shapeserver: -synthetic wants m,n with m,n >= 2, got %q\n", *synthetic)
+			logger.Error("-synthetic wants m,n with m,n >= 2", "got", *synthetic)
 			os.Exit(2)
 		}
 		db = lbkeogh.SyntheticProjectilePoints(*seed, m, n)
+		logger.Info("database generated", "series", m, "samples", n, "seed", *seed)
 	default:
-		fmt.Fprintln(os.Stderr, "shapeserver: one of -db or -synthetic is required")
+		logger.Error("one of -db or -synthetic is required")
 		os.Exit(2)
 	}
 
 	var tlog *lbkeogh.TraceLog
 	if !*notrace {
-		tlog = lbkeogh.NewTraceLog()
+		tlog = lbkeogh.NewTraceLog(lbkeogh.WithSampleRate(*traceSample))
+	}
+	var profiler *ops.Profiler
+	if *profEvery > 0 {
+		profiler = ops.NewProfiler(ops.ProfilerConfig{
+			Interval:    *profEvery,
+			CPUDuration: *profCPU,
+			MaxCaptures: *profKeep,
+			Logger:      logger,
+		})
+		profiler.Start()
+		defer profiler.Stop()
 	}
 	srv, err := server.New(server.Config{
 		DB:             db,
@@ -107,34 +151,57 @@ func main() {
 		DefaultTimeout: *timeout,
 		MaxTimeout:     *maxTO,
 		TraceLog:       tlog,
+		Logger:         logger,
+		Profiler:       profiler,
 	})
 	if err != nil {
-		fmt.Fprintf(os.Stderr, "shapeserver: %v\n", err)
+		logger.Error("server build failed", "error", err)
 		os.Exit(1)
 	}
 	lbkeogh.PublishExpvar("shapeserver", srv)
-
-	httpSrv := &http.Server{Addr: *addr, Handler: srv.Handler()}
-	errCh := make(chan error, 1)
-	go func() { errCh <- httpSrv.ListenAndServe() }()
-	fmt.Printf("shapeserver: serving %d series of length %d on %s (/v1/search /v1/topk /v1/range /healthz /metrics /debug/lbkeogh)\n",
-		len(db), srv.Len(), *addr)
+	handler.Store(srv.Handler())
+	logger.Info("serving",
+		"series", len(db), "series_len", srv.Len(), "addr", ln.Addr().String(),
+		"endpoints", "/v1/search /v1/topk /v1/range /livez /readyz /metrics /debug/lbkeogh /debug/profiles")
 
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
 	select {
 	case err := <-errCh:
-		fmt.Fprintf(os.Stderr, "shapeserver: %v\n", err)
+		logger.Error("serve failed", "error", err)
 		os.Exit(1)
 	case s := <-sig:
-		fmt.Printf("shapeserver: %v: draining (grace %v)\n", s, *grace)
+		logger.Info("signal received", "signal", s.String(), "grace", grace.String(), "drain_wait", drainWait.String())
 	}
+	// Flip readiness first and leave the listener open for drainWait so
+	// probes observe the 503 before connections stop being accepted; then
+	// Shutdown waits out in-flight requests up to the grace period.
 	srv.BeginDrain()
+	time.Sleep(*drainWait)
 	ctx, cancel := context.WithTimeout(context.Background(), *grace)
 	defer cancel()
 	if err := httpSrv.Shutdown(ctx); err != nil && !errors.Is(err, http.ErrServerClosed) {
-		fmt.Fprintf(os.Stderr, "shapeserver: shutdown: %v\n", err)
+		logger.Error("shutdown failed", "error", err)
 		os.Exit(1)
 	}
-	fmt.Println("shapeserver: drained")
+	logger.Info("drained")
+}
+
+// loadingHandler answers probes while the database loads: alive but not
+// ready. Everything else gets a 503 with Retry-After.
+func loadingHandler() http.Handler {
+	mux := http.NewServeMux()
+	alive := func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		json.NewEncoder(w).Encode(map[string]string{"status": "ok", "phase": "loading"}) //nolint:errcheck // probe body
+	}
+	mux.HandleFunc("/livez", alive)
+	mux.HandleFunc("/healthz", alive)
+	mux.HandleFunc("/", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Retry-After", "1")
+		w.Header().Set("Content-Type", "application/json")
+		w.WriteHeader(http.StatusServiceUnavailable)
+		json.NewEncoder(w).Encode(map[string]string{"status": "loading"}) //nolint:errcheck // probe body
+	})
+	return mux
 }

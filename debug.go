@@ -27,12 +27,29 @@ import (
 // Chrome trace-event file (Perfetto-loadable); adding &trace=<id> narrows to
 // one trace; &format=jsonl emits one span per line. Either map may be nil.
 func DebugHandler(stats map[string]StatsSource, logs map[string]*TraceLog) http.Handler {
+	return DebugHandlerWithPanels(stats, logs)
+}
+
+// DebugPanel is an extra dashboard section rendered between the counter
+// tables and the trace logs. HTML is called per request, so panels can show
+// live state; the serving layer uses this to splice its RED/SLO and
+// pruning-power windows into the same page.
+type DebugPanel struct {
+	Title string
+	HTML  func() template.HTML
+}
+
+// DebugHandlerWithPanels is DebugHandler with extra dashboard panels.
+func DebugHandlerWithPanels(stats map[string]StatsSource, logs map[string]*TraceLog, panels ...DebugPanel) http.Handler {
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
 		if name := r.URL.Query().Get("log"); name != "" {
 			serveTraceExport(w, r, logs[name])
 			return
 		}
 		page := buildDebugPage(stats, logs)
+		for _, p := range panels {
+			page.Panels = append(page.Panels, debugPanel{Title: p.Title, Body: p.HTML()})
+		}
 		w.Header().Set("Content-Type", "text/html; charset=utf-8")
 		if err := debugTemplate.Execute(w, page); err != nil {
 			// Headers are already out; all we can do is log into the body.
@@ -91,7 +108,13 @@ const maxWaterfallRows = 96
 type debugPage struct {
 	Generated time.Time
 	Sources   []debugSource
+	Panels    []debugPanel
 	Logs      []debugLog
+}
+
+type debugPanel struct {
+	Title string
+	Body  template.HTML
 }
 
 type debugSource struct {
@@ -271,6 +294,11 @@ summary { cursor: pointer; }
 <td>{{.Stats.FFTRejectedMembers}}</td><td>{{printf "%.4f" .Stats.PruneRate}}</td>
 <td>{{.Stats.IndexFetches}}</td><td>{{.Stats.DiskReads}}</td></tr>
 </table>
+{{end}}
+
+{{range .Panels}}
+<h2>{{.Title}}</h2>
+{{.Body}}
 {{end}}
 
 {{range .Logs}}

@@ -164,6 +164,10 @@ func TestCtxCheckGolden(t *testing.T) {
 	runGolden(t, loadFixture(t, "ctxcheck", "ctxcheck_fixture"), CtxCheck())
 }
 
+func TestMetricNamesGolden(t *testing.T) {
+	runGolden(t, loadFixture(t, "metricnames", "metricnames_fixture"), MetricNames())
+}
+
 // TestDirectiveGrammar checks the //lint:ignore grammar end to end on the
 // directive fixture: a well-formed directive suppresses its finding, while a
 // directive missing its reason or naming an unknown analyzer is itself

@@ -10,6 +10,9 @@ package lint
 //	lbguard      no math.Sqrt in LB*/lowerBound* except //lbkeogh:rootspace
 //	ctxcheck     context.Context first in exported signatures; no
 //	             per-iteration ctx.Err() polls in //lbkeogh:hotpath loops
+//	metricnames  metric names registered via obs/ops are snake_case,
+//	             lbkeogh_/shapeserver_-namespaced, counters end _total,
+//	             units are base units (_seconds, _bytes) placed last
 func DefaultAnalyzers() []*Analyzer {
 	floatEq := FloatEq()
 	floatEq.Applies = pkgPathIn(FloatEqPackages...)
@@ -20,5 +23,6 @@ func DefaultAnalyzers() []*Analyzer {
 		HotAlloc(),
 		LBGuard(),
 		CtxCheck(),
+		MetricNames(),
 	}
 }

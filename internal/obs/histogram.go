@@ -34,6 +34,11 @@ func bucketIndex(v int64) int {
 	return i
 }
 
+// BucketIndex returns the bucket index value v falls in — the inverse of
+// BucketBound, shared with the ops rolling windows so every layer buckets
+// identically.
+func BucketIndex(v int64) int { return bucketIndex(v) }
+
 // BucketBound returns the inclusive upper bound of bucket i (2^i); the
 // overflow bucket has no finite bound and reports -1.
 func BucketBound(i int) int64 {

@@ -180,9 +180,9 @@ func TestSearchStatsConcurrent(t *testing.T) {
 
 func TestRegistryPrometheusText(t *testing.T) {
 	r := NewRegistry()
-	c := r.Counter("test_total", "a counter")
+	c := r.Counter("lbkeogh_test_total", "a counter")
 	c.Add(7)
-	h := r.Histogram("test_steps", "a histogram")
+	h := r.Histogram("lbkeogh_test_steps", "a histogram")
 	h.Observe(3)
 	h.Observe(300)
 	var st SearchStats
@@ -190,7 +190,7 @@ func TestRegistryPrometheusText(t *testing.T) {
 	st.CountFullDist()
 	st.CountAbandon()
 	st.CountWedgePrune(0, 0)
-	r.SearchStats("test_search", "a search record", &st)
+	r.SearchStats("lbkeogh_test_search", "a search record", &st)
 
 	var sb strings.Builder
 	if err := r.WriteMetrics(&sb); err != nil {
@@ -198,22 +198,22 @@ func TestRegistryPrometheusText(t *testing.T) {
 	}
 	out := sb.String()
 	for _, want := range []string{
-		"# TYPE test_total counter\ntest_total 7\n",
-		"# TYPE test_steps histogram\n",
-		`test_steps_bucket{le="4"} 1`,
-		`test_steps_bucket{le="+Inf"} 2`,
-		"test_steps_sum 303",
-		"test_steps_count 2",
-		"test_search_comparisons 1",
-		"test_search_rotations 2",
-		"test_search_full_dist_evals 1",
-		"test_search_early_abandons 1",
+		"# TYPE lbkeogh_test_total counter\nlbkeogh_test_total 7\n",
+		"# TYPE lbkeogh_test_steps histogram\n",
+		`lbkeogh_test_steps_bucket{le="4"} 1`,
+		`lbkeogh_test_steps_bucket{le="+Inf"} 2`,
+		"lbkeogh_test_steps_sum 303",
+		"lbkeogh_test_steps_count 2",
+		"lbkeogh_test_search_comparisons 1",
+		"lbkeogh_test_search_rotations 2",
+		"lbkeogh_test_search_full_dist_evals 1",
+		"lbkeogh_test_search_early_abandons 1",
 	} {
 		if !strings.Contains(out, want) {
 			t.Errorf("metrics output missing %q\n---\n%s", want, out)
 		}
 	}
-	if names := r.sortedStatNames(); len(names) != 3 || names[0] != "test_search" {
+	if names := r.sortedStatNames(); len(names) != 3 || names[0] != "lbkeogh_test_search" {
 		t.Fatalf("sortedStatNames = %v", names)
 	}
 
@@ -222,7 +222,7 @@ func TestRegistryPrometheusText(t *testing.T) {
 			t.Fatal("duplicate registration should panic")
 		}
 	}()
-	r.Counter("test_total", "dup")
+	r.Counter("lbkeogh_test_total", "dup")
 }
 
 func TestFuncTracer(t *testing.T) {

@@ -1,0 +1,41 @@
+package ops
+
+import (
+	"fmt"
+	"io"
+	"strconv"
+)
+
+// WriteFamily writes one family's # HELP and # TYPE header in Prometheus
+// text exposition format (0.0.4). Sample lines follow from the caller. Every
+// family the serving layer exports funnels its name through WriteFamily or
+// one of the Write* helpers below; the metricnames analyzer checks the name
+// literal at each call site.
+func WriteFamily(w io.Writer, name, kind, help string) {
+	fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s %s\n", name, help, name, kind)
+}
+
+// WriteCounter writes a complete single-sample counter family.
+func WriteCounter(w io.Writer, name, help string, v int64) {
+	WriteFamily(w, name, "counter", help)
+	fmt.Fprintf(w, "%s %d\n", name, v)
+}
+
+// WriteGaugeInt writes a complete single-sample integer gauge family.
+func WriteGaugeInt(w io.Writer, name, help string, v int64) {
+	WriteFamily(w, name, "gauge", help)
+	fmt.Fprintf(w, "%s %d\n", name, v)
+}
+
+// WriteGaugeFloat writes a complete single-sample float gauge family.
+func WriteGaugeFloat(w io.Writer, name, help string, v float64) {
+	WriteFamily(w, name, "gauge", help)
+	fmt.Fprintf(w, "%s %s\n", name, FormatFloat(v))
+}
+
+// FormatFloat renders a sample value the exposition parsers accept,
+// including NaN (used for histogram sums that have no exact value, matching
+// the Prometheus client convention for runtime/metrics histograms).
+func FormatFloat(v float64) string {
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}

@@ -1,0 +1,288 @@
+package ops
+
+import (
+	"archive/tar"
+	"bytes"
+	"compress/gzip"
+	"fmt"
+	"html/template"
+	"log/slog"
+	"net/http"
+	"runtime/pprof"
+	"sort"
+	"strconv"
+	"sync"
+	"time"
+)
+
+// ProfilerConfig sizes a Profiler. Zero fields select the defaults noted.
+type ProfilerConfig struct {
+	// Interval is the wall time between capture rounds (default 60s). Each
+	// round takes one CPU profile of CPUDuration (default 2s, clamped to
+	// half the interval) and one heap profile.
+	Interval    time.Duration
+	CPUDuration time.Duration
+	// MaxCaptures bounds the retention ring (default 16 captures; older
+	// ones are dropped).
+	MaxCaptures int
+	// Logger receives capture failures (e.g. a CPU profile already running
+	// via /debug/pprof/profile); nil discards them.
+	Logger *slog.Logger
+}
+
+func (c ProfilerConfig) withDefaults() ProfilerConfig {
+	if c.Interval <= 0 {
+		c.Interval = 60 * time.Second
+	}
+	if c.CPUDuration <= 0 {
+		c.CPUDuration = 2 * time.Second
+	}
+	if c.CPUDuration > c.Interval/2 {
+		c.CPUDuration = c.Interval / 2
+	}
+	if c.MaxCaptures <= 0 {
+		c.MaxCaptures = 16
+	}
+	c.Logger = Or(c.Logger)
+	return c
+}
+
+// Capture is one retained pprof profile.
+type Capture struct {
+	ID    int64     `json:"id"`
+	Kind  string    `json:"kind"` // "cpu" or "heap"
+	Taken time.Time `json:"taken"`
+	Size  int       `json:"size"`
+	data  []byte
+}
+
+// Profiler keeps a bounded ring of periodic CPU and heap pprof captures so
+// the profile covering an incident is already on the server when the
+// dashboard points at it. Start launches the capture loop; Stop ends it. A
+// nil *Profiler is a no-op and its Handler serves an explanatory 404.
+type Profiler struct {
+	cfg ProfilerConfig
+
+	mu       sync.Mutex
+	captures []Capture
+	nextID   int64
+	stop     chan struct{}
+}
+
+// NewProfiler returns an idle profiler; nothing is captured until Start.
+func NewProfiler(cfg ProfilerConfig) *Profiler {
+	return &Profiler{cfg: cfg.withDefaults()}
+}
+
+// Start takes an immediate heap capture (so the ring is never empty while
+// running) and launches the periodic capture loop. Start on a started or nil
+// profiler is a no-op.
+func (p *Profiler) Start() {
+	if p == nil {
+		return
+	}
+	p.mu.Lock()
+	if p.stop != nil {
+		p.mu.Unlock()
+		return
+	}
+	p.stop = make(chan struct{})
+	stop := p.stop
+	p.mu.Unlock()
+	p.captureHeap()
+	go p.loop(stop)
+}
+
+// Stop ends the capture loop; retained captures stay browsable.
+func (p *Profiler) Stop() {
+	if p == nil {
+		return
+	}
+	p.mu.Lock()
+	if p.stop != nil {
+		close(p.stop)
+		p.stop = nil
+	}
+	p.mu.Unlock()
+}
+
+func (p *Profiler) loop(stop chan struct{}) {
+	t := time.NewTicker(p.cfg.Interval)
+	defer t.Stop()
+	for {
+		select {
+		case <-stop:
+			return
+		case <-t.C:
+			p.captureCPU(stop)
+			p.captureHeap()
+		}
+	}
+}
+
+func (p *Profiler) captureHeap() {
+	var buf bytes.Buffer
+	if err := pprof.Lookup("heap").WriteTo(&buf, 0); err != nil {
+		p.cfg.Logger.Warn("heap profile failed", "error", err)
+		return
+	}
+	p.retain("heap", buf.Bytes())
+}
+
+func (p *Profiler) captureCPU(stop chan struct{}) {
+	var buf bytes.Buffer
+	if err := pprof.StartCPUProfile(&buf); err != nil {
+		// Most likely a concurrent /debug/pprof/profile; skip this round.
+		p.cfg.Logger.Warn("cpu profile skipped", "error", err)
+		return
+	}
+	select {
+	case <-stop:
+	case <-time.After(p.cfg.CPUDuration):
+	}
+	pprof.StopCPUProfile()
+	p.retain("cpu", buf.Bytes())
+}
+
+func (p *Profiler) retain(kind string, data []byte) {
+	p.mu.Lock()
+	p.nextID++
+	p.captures = append(p.captures, Capture{
+		ID: p.nextID, Kind: kind, Taken: time.Now(), Size: len(data), data: data,
+	})
+	if over := len(p.captures) - p.cfg.MaxCaptures; over > 0 {
+		p.captures = append(p.captures[:0:0], p.captures[over:]...)
+	}
+	p.mu.Unlock()
+}
+
+// Captures lists the retained captures, oldest first (profile bytes are
+// served through the Handler, not copied here).
+func (p *Profiler) Captures() []Capture {
+	if p == nil {
+		return nil
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	out := make([]Capture, len(p.captures))
+	copy(out, p.captures)
+	for i := range out {
+		out[i].data = nil
+	}
+	return out
+}
+
+func (p *Profiler) capture(id int64) (Capture, bool) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	for _, c := range p.captures {
+		if c.ID == id {
+			return c, true
+		}
+	}
+	return Capture{}, false
+}
+
+// Handler serves the capture ring: an HTML listing by default, one raw
+// profile with ?id=N, and a tar.gz of everything with ?bundle=1.
+func (p *Profiler) Handler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if p == nil {
+			http.Error(w, "continuous profiling is not enabled", http.StatusNotFound)
+			return
+		}
+		switch {
+		case r.URL.Query().Get("id") != "":
+			p.serveOne(w, r)
+		case r.URL.Query().Get("bundle") != "":
+			p.serveBundle(w)
+		default:
+			p.serveList(w)
+		}
+	})
+}
+
+func (p *Profiler) serveOne(w http.ResponseWriter, r *http.Request) {
+	id, err := strconv.ParseInt(r.URL.Query().Get("id"), 10, 64)
+	if err != nil {
+		http.Error(w, "bad capture id", http.StatusBadRequest)
+		return
+	}
+	c, ok := p.capture(id)
+	if !ok {
+		http.Error(w, "capture not retained (the ring is bounded)", http.StatusNotFound)
+		return
+	}
+	w.Header().Set("Content-Type", "application/octet-stream")
+	w.Header().Set("Content-Disposition", fmt.Sprintf("attachment; filename=%q", captureName(c)))
+	w.Write(c.data) //nolint:errcheck // nothing left to do on a broken client connection
+}
+
+func (p *Profiler) serveBundle(w http.ResponseWriter) {
+	p.mu.Lock()
+	caps := make([]Capture, len(p.captures))
+	copy(caps, p.captures)
+	p.mu.Unlock()
+	sort.Slice(caps, func(i, j int) bool { return caps[i].ID < caps[j].ID })
+	w.Header().Set("Content-Type", "application/gzip")
+	w.Header().Set("Content-Disposition", `attachment; filename="profiles.tar.gz"`)
+	gz := gzip.NewWriter(w)
+	tw := tar.NewWriter(gz)
+	for _, c := range caps {
+		hdr := &tar.Header{
+			Name:    captureName(c),
+			Mode:    0o644,
+			Size:    int64(len(c.data)),
+			ModTime: c.Taken,
+		}
+		if tw.WriteHeader(hdr) != nil {
+			break
+		}
+		if _, err := tw.Write(c.data); err != nil {
+			break
+		}
+	}
+	tw.Close() //nolint:errcheck // broken client connection
+	gz.Close() //nolint:errcheck // broken client connection
+}
+
+func captureName(c Capture) string {
+	return fmt.Sprintf("%s-%s-%d.pprof", c.Taken.UTC().Format("20060102T150405Z"), c.Kind, c.ID)
+}
+
+func (p *Profiler) serveList(w http.ResponseWriter) {
+	w.Header().Set("Content-Type", "text/html; charset=utf-8")
+	data := struct {
+		Captures []Capture
+		Interval time.Duration
+		Keep     int
+	}{p.Captures(), p.cfg.Interval, p.cfg.MaxCaptures}
+	// Newest first reads better in a live ring.
+	for i, j := 0, len(data.Captures)-1; i < j; i, j = i+1, j-1 {
+		data.Captures[i], data.Captures[j] = data.Captures[j], data.Captures[i]
+	}
+	if err := profileListTemplate.Execute(w, data); err != nil {
+		fmt.Fprintf(w, "<!-- render error: %v -->", err)
+	}
+}
+
+var profileListTemplate = template.Must(template.New("profiles").Parse(`<!DOCTYPE html>
+<html><head><title>lbkeogh profiles</title><style>
+body { font: 13px/1.5 system-ui, sans-serif; margin: 1.5em; color: #222; }
+table { border-collapse: collapse; } th, td { border: 1px solid #ccc; padding: 2px 8px; }
+th { background: #f2f2f2; }
+</style></head><body>
+<h1>continuous profiling ring</h1>
+<p>capture interval {{.Interval}}, keeping the last {{.Keep}} captures &middot;
+<a href="?bundle=1">download all as tar.gz</a></p>
+<table>
+<tr><th>id</th><th>kind</th><th>taken</th><th>bytes</th><th></th></tr>
+{{range .Captures}}
+<tr><td>{{.ID}}</td><td>{{.Kind}}</td><td>{{.Taken.Format "2006-01-02 15:04:05"}}</td>
+<td>{{.Size}}</td><td><a href="?id={{.ID}}">download</a></td></tr>
+{{else}}
+<tr><td colspan="5">no captures yet</td></tr>
+{{end}}
+</table>
+</body></html>
+`))

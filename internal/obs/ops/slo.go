@@ -1,0 +1,74 @@
+package ops
+
+import (
+	"time"
+
+	"lbkeogh/internal/obs"
+)
+
+// SLO holds the service objectives the rolling windows are judged against.
+// The zero value selects the defaults below.
+type SLO struct {
+	// LatencyObjective is the duration a request should finish within
+	// (default 250ms); LatencyTarget the fraction of requests that must
+	// (default 0.99).
+	LatencyObjective time.Duration
+	LatencyTarget    float64
+
+	// ErrorTarget is the fraction of requests that must not fail with a
+	// server-attributable class — rejected, timeout, or server (default
+	// 0.999). Client errors never count against the budget.
+	ErrorTarget float64
+}
+
+// WithDefaults fills zero fields with the default objectives.
+func (s SLO) WithDefaults() SLO {
+	if s.LatencyObjective <= 0 {
+		s.LatencyObjective = 250 * time.Millisecond
+	}
+	if s.LatencyTarget <= 0 || s.LatencyTarget >= 1 {
+		s.LatencyTarget = 0.99
+	}
+	if s.ErrorTarget <= 0 || s.ErrorTarget >= 1 {
+		s.ErrorTarget = 0.999
+	}
+	return s
+}
+
+// Burn is the burn-rate view of one window against an SLO: BadFraction is
+// the observed violating fraction, BurnRate that fraction divided by the
+// budget (1 - target). A burn rate of 1.0 consumes the error budget exactly
+// as fast as the SLO allows; sustained rates above ~10 page.
+type Burn struct {
+	LatencyBadFraction float64
+	LatencyBurnRate    float64
+	ErrorBadFraction   float64
+	ErrorBurnRate      float64
+}
+
+// Burn computes the burn rates of one RED snapshot. The latency cut is made
+// at bucket resolution: a request counts as within-objective when its whole
+// bucket fits under the objective, so the reported bad fraction is an upper
+// bound (conservative by at most one power-of-two bucket).
+func (s SLO) Burn(snap REDSnapshot) Burn {
+	s = s.WithDefaults()
+	var b Burn
+	total := snap.Requests
+	if total <= 0 {
+		return b
+	}
+	objNS := s.LatencyObjective.Nanoseconds()
+	var good int64
+	for i, c := range snap.Buckets {
+		if bound := obs.BucketBound(i); bound >= 0 && bound <= objNS {
+			good += c
+		}
+	}
+	b.LatencyBadFraction = 1 - float64(good)/float64(total)
+	b.LatencyBurnRate = b.LatencyBadFraction / (1 - s.LatencyTarget)
+
+	bad := snap.Classes["rejected"] + snap.Classes["timeout"] + snap.Classes["server"]
+	b.ErrorBadFraction = float64(bad) / float64(total)
+	b.ErrorBurnRate = b.ErrorBadFraction / (1 - s.ErrorTarget)
+	return b
+}

@@ -9,6 +9,7 @@ import (
 	"time"
 
 	"lbkeogh"
+	"lbkeogh/internal/obs/ops"
 )
 
 // searchKind selects which search a /v1 endpoint runs.
@@ -75,6 +76,9 @@ type SearchResponse struct {
 	// rotation-set build was skipped).
 	PoolHit   bool    `json:"pool_hit"`
 	ElapsedMS float64 `json:"elapsed_ms"`
+	// TraceID is the retained trace of this search (0 when tracing is off or
+	// the sampler dropped it); resolve it at /debug/lbkeogh.
+	TraceID int64 `json:"trace_id"`
 }
 
 type errorResponse struct {
@@ -207,24 +211,47 @@ func (s *Server) buildQuery(spec QuerySpec) (*lbkeogh.Query, error) {
 
 // searchEndpoint returns the handler for one /v1 endpoint: admission, pool
 // checkout, the deadline-bounded search, and the stats-bearing response.
+// Every terminal outcome is logged with the request ID (echoed in the
+// X-Request-ID header) and folded into the endpoint's rolling RED window.
 func (s *Server) searchEndpoint(kind searchKind) http.HandlerFunc {
+	ep := endpointName(kind)
 	return func(w http.ResponseWriter, r *http.Request) {
+		began := time.Now()
+		rid := s.tel.ids.Next()
+		w.Header().Set("X-Request-ID", rid)
+		lg := s.tel.logger.With("request_id", rid, "endpoint", ep)
+		ctx := ops.WithLogger(r.Context(), lg)
+		// finish is every terminal outcome's single exit: one RED
+		// observation and one log line per request.
+		finish := func(status int, traceID int64, msg string, attrs ...any) {
+			s.tel.observeRequest(ep, status, time.Since(began), traceID)
+			attrs = append(attrs, "status", status, "dur_ms", float64(time.Since(began).Microseconds())/1000)
+			if status >= 400 {
+				lg.Warn(msg, attrs...)
+			} else {
+				lg.Info(msg, attrs...)
+			}
+		}
 		if r.Method != http.MethodPost {
 			w.Header().Set("Allow", http.MethodPost)
 			writeError(w, http.StatusMethodNotAllowed, "use POST")
+			finish(http.StatusMethodNotAllowed, 0, "method not allowed", "method", r.Method)
 			return
 		}
 		if s.Draining() {
 			s.drained.Add(1)
 			writeError(w, http.StatusServiceUnavailable, "server is draining")
+			finish(http.StatusServiceUnavailable, 0, "refused: draining")
 			return
 		}
 		req, spec, timeout, err := s.parse(r, kind)
 		if err != nil {
 			writeError(w, http.StatusBadRequest, "%v", err)
+			finish(http.StatusBadRequest, 0, "bad request", "error", err.Error())
 			return
 		}
-		ctx, cancel := context.WithTimeout(r.Context(), timeout)
+		lg = lg.With("strategy", spec.Strategy, "measure", spec.Measure)
+		ctx, cancel := context.WithTimeout(ctx, timeout)
 		defer cancel()
 
 		if err := s.adm.Acquire(ctx); err != nil {
@@ -232,12 +259,15 @@ func (s *Server) searchEndpoint(kind searchKind) http.HandlerFunc {
 			case errors.Is(err, ErrSaturated):
 				w.Header().Set("Retry-After", "1")
 				writeError(w, http.StatusTooManyRequests, "%v", err)
+				finish(http.StatusTooManyRequests, 0, "shed: admission queue full")
 			case errors.Is(err, context.DeadlineExceeded):
 				s.timeouts.Add(1)
 				writeError(w, http.StatusGatewayTimeout, "deadline expired while queued for admission")
+				finish(http.StatusGatewayTimeout, 0, "timeout while queued")
 			default: // client went away while queued
 				s.timeouts.Add(1)
 				writeError(w, http.StatusServiceUnavailable, "request cancelled while queued")
+				finish(http.StatusServiceUnavailable, 0, "client gone while queued")
 			}
 			return
 		}
@@ -249,7 +279,11 @@ func (s *Server) searchEndpoint(kind searchKind) http.HandlerFunc {
 			// The only build failures left after parse are option conflicts
 			// (e.g. fft with a non-Euclidean measure): the client's fault.
 			writeError(w, http.StatusBadRequest, "%v", err)
+			finish(http.StatusBadRequest, 0, "session build failed", "error", err.Error())
 			return
+		}
+		if !hit {
+			lg.Debug("built fresh query session")
 		}
 		// A cancelled search leaves the session reusable (the library
 		// guarantees its adaptive state is not polluted), so it goes back to
@@ -264,16 +298,25 @@ func (s *Server) searchEndpoint(kind searchKind) http.HandlerFunc {
 		stats := q.Stats()
 		stats.StageLatencies = nil // log-global, not per-request; see /metrics
 		s.record(stats)
+		traceID := q.LastTraceID()
+		searchDone := func(status int, msg string, attrs ...any) {
+			s.tel.observeSearch(spec.Strategy, status, elapsed, traceID, stats)
+			attrs = append(attrs, "trace_id", traceID, "pool_hit", hit, "comparisons", stats.Comparisons)
+			finish(status, traceID, msg, attrs...)
+		}
 		if err != nil {
 			switch {
 			case errors.Is(err, context.DeadlineExceeded):
 				s.timeouts.Add(1)
 				writeError(w, http.StatusGatewayTimeout, "search exceeded its %v deadline", timeout)
+				searchDone(http.StatusGatewayTimeout, "search deadline exceeded", "timeout", timeout.String())
 			case errors.Is(err, context.Canceled):
 				s.timeouts.Add(1)
 				writeError(w, http.StatusServiceUnavailable, "search cancelled")
+				searchDone(http.StatusServiceUnavailable, "search cancelled")
 			default:
 				writeError(w, http.StatusBadRequest, "%v", err)
+				searchDone(http.StatusBadRequest, "search failed", "error", err.Error())
 			}
 			return
 		}
@@ -282,8 +325,10 @@ func (s *Server) searchEndpoint(kind searchKind) http.HandlerFunc {
 			Stats:     stats,
 			PoolHit:   hit,
 			ElapsedMS: float64(elapsed.Microseconds()) / 1000,
+			TraceID:   traceID,
 		}
 		writeJSON(w, http.StatusOK, resp)
+		searchDone(http.StatusOK, "search served", "results", len(resp.Results))
 	}
 }
 
@@ -332,9 +377,10 @@ func (s *Server) hits(results []lbkeogh.SearchResult) []Hit {
 	return out
 }
 
-// healthResponse is the /healthz body.
+// healthResponse is the /livez (and aliased /healthz) body.
 type healthResponse struct {
-	Status    string         `json:"status"` // "ok" or "draining"
+	Status    string         `json:"status"` // always "ok": liveness, not readiness
+	Draining  bool           `json:"draining"`
 	SeriesLen int            `json:"series_len"`
 	DBSize    int            `json:"db_size"`
 	Admission AdmissionStats `json:"admission"`
@@ -343,13 +389,13 @@ type healthResponse struct {
 	Timeouts  int64          `json:"timeouts"`
 }
 
-func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
-	status := "ok"
-	if s.Draining() {
-		status = "draining"
-	}
+// handleLivez is the liveness probe: 200 for as long as the process can
+// serve HTTP at all, draining included — restarting a draining server would
+// defeat the drain. Routing decisions belong to /readyz.
+func (s *Server) handleLivez(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, healthResponse{
-		Status:    status,
+		Status:    "ok",
+		Draining:  s.Draining(),
 		SeriesLen: s.n,
 		DBSize:    len(s.cfg.DB),
 		Admission: s.adm.Stats(),
@@ -357,4 +403,19 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 		Requests:  s.requests.Load(),
 		Timeouts:  s.timeouts.Load(),
 	})
+}
+
+// readyResponse is the /readyz body.
+type readyResponse struct {
+	Status string `json:"status"` // "ready" or "draining"
+}
+
+// handleReadyz is the readiness probe: 503 once the server is draining so
+// load balancers route new work elsewhere while in-flight requests finish.
+func (s *Server) handleReadyz(w http.ResponseWriter, r *http.Request) {
+	if s.Draining() {
+		writeJSON(w, http.StatusServiceUnavailable, readyResponse{Status: "draining"})
+		return
+	}
+	writeJSON(w, http.StatusOK, readyResponse{Status: "ready"})
 }

@@ -12,6 +12,7 @@ import (
 	"expvar"
 	"fmt"
 	"io"
+	"log/slog"
 	"net/http"
 	"net/http/pprof"
 	"sync"
@@ -19,6 +20,7 @@ import (
 	"time"
 
 	"lbkeogh"
+	"lbkeogh/internal/obs/ops"
 )
 
 // Config sizes a Server. The zero value of any field selects its default.
@@ -45,6 +47,24 @@ type Config struct {
 	// TraceLog, when set, traces every pooled query session; the dashboard
 	// and Perfetto export at /debug/lbkeogh read from it.
 	TraceLog *lbkeogh.TraceLog
+
+	// Logger receives the structured request log (one line per terminal
+	// outcome, carrying request and trace IDs). Nil discards it.
+	Logger *slog.Logger
+
+	// SLO sets the objectives the rolling latency/error windows are judged
+	// against; the zero value selects the ops defaults (250ms @ 99%, 99.9%
+	// non-error).
+	SLO ops.SLO
+
+	// WindowSlots and WindowSlotDur size the rolling telemetry windows
+	// (default 60 slots of 1s — a smoothly rolling minute).
+	WindowSlots   int
+	WindowSlotDur time.Duration
+
+	// Profiler, when set, is browsable at /debug/profiles. The server does
+	// not start or stop it; the owning process does.
+	Profiler *ops.Profiler
 }
 
 func (c *Config) fillDefaults() {
@@ -76,6 +96,7 @@ type Server struct {
 	pool *Pool
 	adm  *Admission
 	mux  *http.ServeMux
+	tel  *telemetry
 
 	draining atomic.Bool
 	requests atomic.Int64 // /v1/* requests accepted for processing
@@ -109,6 +130,7 @@ func New(cfg Config) (*Server, error) {
 		n:    n,
 		pool: NewPool(cfg.PoolSize),
 		adm:  NewAdmission(cfg.MaxInflight, cfg.MaxQueue),
+		tel:  newTelemetry(cfg),
 	}
 	s.mux = s.buildMux()
 	return s, nil
@@ -123,9 +145,14 @@ func (s *Server) Len() int { return s.n }
 func (s *Server) Handler() http.Handler { return s.mux }
 
 // BeginDrain puts the server into draining mode: search endpoints answer 503
-// immediately while already-admitted requests run to completion. Call it
-// right before http.Server.Shutdown.
-func (s *Server) BeginDrain() { s.draining.Store(true) }
+// immediately, /readyz flips to 503 (so load balancers stop routing here),
+// and already-admitted requests run to completion. Call it before
+// http.Server.Shutdown, leaving readiness probes time to observe the flip.
+func (s *Server) BeginDrain() {
+	if !s.draining.Swap(true) {
+		s.tel.logger.Info("drain started")
+	}
+}
 
 // Draining reports whether BeginDrain has been called.
 func (s *Server) Draining() bool { return s.draining.Load() }
@@ -187,7 +214,13 @@ func (s *Server) buildMux() *http.ServeMux {
 	mux.HandleFunc("/v1/search", s.searchEndpoint(kindNearest))
 	mux.HandleFunc("/v1/topk", s.searchEndpoint(kindTopK))
 	mux.HandleFunc("/v1/range", s.searchEndpoint(kindRange))
-	mux.HandleFunc("/healthz", s.handleHealthz)
+	// Kubernetes-style probe split: /livez answers 200 for as long as the
+	// process can serve HTTP at all, /readyz drops to 503 once draining (or
+	// before the database is swapped in — see cmd/shapeserver). /healthz is
+	// a backwards-compatible alias for liveness.
+	mux.HandleFunc("/livez", s.handleLivez)
+	mux.HandleFunc("/healthz", s.handleLivez)
+	mux.HandleFunc("/readyz", s.handleReadyz)
 	sources := map[string]lbkeogh.StatsSource{"shapeserver": s}
 	logs := map[string]*lbkeogh.TraceLog{}
 	if s.cfg.TraceLog != nil {
@@ -196,8 +229,10 @@ func (s *Server) buildMux() *http.ServeMux {
 	mux.Handle("/metrics", http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
 		lbkeogh.MetricsHandler(sources).ServeHTTP(w, r)
 		s.writeServerMetrics(w)
+		s.tel.writeMetrics(w)
 	}))
-	mux.Handle("/debug/lbkeogh", lbkeogh.DebugHandler(sources, logs))
+	mux.Handle("/debug/lbkeogh", lbkeogh.DebugHandlerWithPanels(sources, logs, s.tel.panel()))
+	mux.Handle("/debug/profiles", s.cfg.Profiler.Handler())
 	mux.Handle("/debug/vars", expvar.Handler())
 	mux.HandleFunc("/debug/pprof/", pprof.Index)
 	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
@@ -210,26 +245,22 @@ func (s *Server) buildMux() *http.ServeMux {
 // writeServerMetrics appends the serving-layer families (admission, pool,
 // request outcomes) to the Prometheus text the library already wrote.
 func (s *Server) writeServerMetrics(w io.Writer) {
-	emit := func(field, kind, help string, v int64) {
-		fmt.Fprintf(w, "# HELP shapeserver_%s %s\n# TYPE shapeserver_%s %s\nshapeserver_%s %d\n",
-			field, help, field, kind, field, v)
-	}
 	ad := s.adm.Stats()
-	emit("inflight", "gauge", "Searches currently executing.", ad.Inflight)
-	emit("queue_waiting", "gauge", "Requests waiting for an in-flight slot.", ad.Waiting)
-	emit("admitted_total", "counter", "Requests granted an in-flight slot.", ad.Admitted)
-	emit("rejected_total", "counter", "Requests shed with 429 (queue full).", ad.Rejected)
+	ops.WriteGaugeInt(w, "shapeserver_inflight", "Searches currently executing.", ad.Inflight)
+	ops.WriteGaugeInt(w, "shapeserver_queue_waiting", "Requests waiting for an in-flight slot.", ad.Waiting)
+	ops.WriteCounter(w, "shapeserver_admitted_total", "Requests granted an in-flight slot.", ad.Admitted)
+	ops.WriteCounter(w, "shapeserver_rejected_total", "Requests shed with 429 (queue full).", ad.Rejected)
 	pl := s.pool.Stats()
-	emit("pool_idle", "gauge", "Idle query sessions in the pool.", int64(pl.Idle))
-	emit("pool_hits_total", "counter", "Checkouts served by a pooled session.", pl.Hits)
-	emit("pool_misses_total", "counter", "Checkouts that built a fresh session.", pl.Misses)
-	emit("pool_evictions_total", "counter", "Idle sessions evicted by the pool cap.", pl.Evictions)
-	emit("requests_total", "counter", "Search requests accepted for processing.", s.requests.Load())
-	emit("timeouts_total", "counter", "Requests ended by deadline or client cancellation.", s.timeouts.Load())
-	emit("drained_total", "counter", "Requests refused while draining.", s.drained.Load())
+	ops.WriteGaugeInt(w, "shapeserver_pool_idle", "Idle query sessions in the pool.", int64(pl.Idle))
+	ops.WriteCounter(w, "shapeserver_pool_hits_total", "Checkouts served by a pooled session.", pl.Hits)
+	ops.WriteCounter(w, "shapeserver_pool_misses_total", "Checkouts that built a fresh session.", pl.Misses)
+	ops.WriteCounter(w, "shapeserver_pool_evictions_total", "Idle sessions evicted by the pool cap.", pl.Evictions)
+	ops.WriteCounter(w, "shapeserver_requests_total", "Search requests accepted for processing.", s.requests.Load())
+	ops.WriteCounter(w, "shapeserver_timeouts_total", "Requests ended by deadline or client cancellation.", s.timeouts.Load())
+	ops.WriteCounter(w, "shapeserver_drained_total", "Requests refused while draining.", s.drained.Load())
 	drainingVal := int64(0)
 	if s.Draining() {
 		drainingVal = 1
 	}
-	emit("draining", "gauge", "1 while the server is draining.", drainingVal)
+	ops.WriteGaugeInt(w, "shapeserver_draining", "1 while the server is draining.", drainingVal)
 }

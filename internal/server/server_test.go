@@ -255,7 +255,9 @@ func TestServerDrain(t *testing.T) {
 		t.Fatal(err)
 	}
 	resp.Body.Close()
-	if h.Status != "draining" || h.Requests != 1 {
+	// /healthz aliases liveness: it stays "ok" (200) through a drain and
+	// reports the drain as a flag; routing decisions belong to /readyz.
+	if h.Status != "ok" || !h.Draining || h.Requests != 1 {
 		t.Fatalf("healthz = %+v", h)
 	}
 	if srv.drained.Load() == 0 {

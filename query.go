@@ -146,7 +146,12 @@ type Query struct {
 	n         int
 	counter   stats.Counter
 	obs       obs.SearchStats
-	tlog      *trace.Log // nil: untraced
+	// lastTraceID is the retained trace ID of the most recently finished
+	// operation (0 when untraced or sampled away). Queries are single-use
+	// per operation — the server pool checks sessions out exclusively — so
+	// a plain field is race-free.
+	lastTraceID int64
+	tlog        *trace.Log // nil: untraced
 }
 
 // NewQuery compiles series into a rotation-invariant query under the given
@@ -217,8 +222,14 @@ func (q *Query) finishTrace(rec *trace.Recorder, root trace.SpanID, before obs.C
 	q.searcher.SetRecorder(nil)
 	delta := q.obs.Counts().Sub(before)
 	rec.EndAttrs(root, delta)
-	q.tlog.Finish(rec, delta)
+	q.lastTraceID = q.tlog.Finish(rec, delta)
 }
+
+// LastTraceID returns the retained trace ID of the query's most recently
+// finished operation, or 0 when the operation was untraced or not retained
+// by the trace log's sampler. Serving layers attach it to responses and
+// histogram exemplars so a slow request can be chased to its trace.
+func (q *Query) LastTraceID() int64 { return q.lastTraceID }
 
 // Len returns the query's series length; every candidate must match it.
 func (q *Query) Len() int { return q.n }

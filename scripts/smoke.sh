@@ -4,7 +4,9 @@
 # /debug/lbkeogh serves the dashboard, and the Chrome trace export is
 # well-formed. Part 2: boot shapeserver on a synthetic database, exercise
 # nearest-neighbour and top-K search plus a deliberately timed-out request,
-# and verify the server drains gracefully on SIGTERM.
+# check the structured request log correlates with response trace IDs, the
+# profiling ring serves captures, and /readyz flips while the server drains
+# gracefully on SIGTERM.
 set -eu
 
 GO=${GO:-go}
@@ -93,17 +95,22 @@ echo "smoke: ok ($addr: /metrics, /debug/lbkeogh, chrome export)"
 
 $GO build -o "$tmp/shapeserver" ./cmd/shapeserver
 
+# Wait on /readyz, not /healthz: the listener binds before the database
+# loads, and during that window /healthz already answers 200 (alive) while
+# /readyz stays 503 until the real handler is in.
 sok=""
 for try in 0 1 2 3 4; do
 	saddr="127.0.0.1:$((18651 + try))"
-	"$tmp/shapeserver" -addr "$saddr" -synthetic 400,128 -seed 7 >"$tmp/shapeserver.log" 2>&1 &
+	"$tmp/shapeserver" -addr "$saddr" -synthetic 400,128 -seed 7 \
+		-drain-wait 2s -profile-interval 1s -profile-cpu 200ms \
+		>"$tmp/shapeserver.log" 2>&1 &
 	spid=$!
 	i=0
 	while [ $i -lt 100 ]; do
 		if ! kill -0 "$spid" 2>/dev/null; then
 			break # died; likely the port was in use
 		fi
-		if curl -fsS "http://$saddr/healthz" >"$tmp/health.json" 2>/dev/null; then
+		if curl -fsS "http://$saddr/readyz" >"$tmp/ready.json" 2>/dev/null; then
 			sok=1
 			break
 		fi
@@ -120,17 +127,33 @@ if [ -z "$sok" ]; then
 	cat "$tmp/shapeserver.log" >&2
 	exit 1
 fi
+grep -q '"status": "ready"' "$tmp/ready.json" ||
+	fail "readyz is not ready"
+curl -fsS "http://$saddr/healthz" >"$tmp/health.json" ||
+	fail "healthz did not answer 200"
 grep -q '"status": "ok"' "$tmp/health.json" ||
 	fail "healthz is not ok"
 
 # Nearest neighbour: a database row queried against the database matches
-# itself at distance 0, and the response carries the pruning stats.
-curl -fsS "http://$saddr/v1/search" -d '{"query_index":3}' >"$tmp/search.json" ||
+# itself at distance 0, and the response carries the pruning stats. Capture
+# the response headers too, for the request-log correlation check below.
+curl -fsS -D "$tmp/hdrs.txt" "http://$saddr/v1/search" -d '{"query_index":3}' >"$tmp/search.json" ||
 	fail "/v1/search did not answer 200"
 grep -q '"index": 3' "$tmp/search.json" ||
 	fail "/v1/search did not return the self-match"
 grep -q '"comparisons": 400' "$tmp/search.json" ||
 	fail "/v1/search response is missing its SearchStats"
+
+# Structured request log: the X-Request-ID header and the response trace_id
+# must land together on one JSON log line.
+rid=$(awk 'tolower($1) == "x-request-id:" {print $2}' "$tmp/hdrs.txt" | tr -d '\r')
+[ -n "$rid" ] ||
+	fail "/v1/search response has no X-Request-ID header"
+tid=$(grep -o '"trace_id": *[0-9]*' "$tmp/search.json" | grep -o '[0-9]*$')
+[ -n "$tid" ] && [ "$tid" != 0 ] ||
+	fail "/v1/search response has no trace_id"
+grep "\"request_id\":\"$rid\"" "$tmp/shapeserver.log" | grep -q "\"trace_id\":$tid" ||
+	fail "no log line carries both request_id $rid and trace_id $tid"
 
 # The same query again must hit the session pool.
 curl -fsS "http://$saddr/v1/search" -d '{"query_index":3}' >"$tmp/search2.json" ||
@@ -161,11 +184,31 @@ grep -q '^shapeserver_timeouts_total 1$' "$tmp/smetrics.txt" ||
 curl -fsS "http://$saddr/debug/lbkeogh" >/dev/null ||
 	fail "shapeserver dashboard did not answer 200"
 
-# Graceful shutdown: SIGTERM drains and the process reports it.
+# The profiling ring captures a heap profile immediately on start.
+curl -fsS "http://$saddr/debug/profiles" >"$tmp/profiles.html" ||
+	fail "/debug/profiles did not answer 200"
+grep -q 'heap' "$tmp/profiles.html" ||
+	fail "/debug/profiles lists no heap capture"
+
+# Graceful shutdown: SIGTERM flips /readyz to 503 (the -drain-wait window),
+# then the process drains and reports it in the log.
 kill -TERM "$spid"
+i=0
+drained=""
+while [ $i -lt 50 ]; do
+	code=$(curl -s -o /dev/null -w '%{http_code}' "http://$saddr/readyz" || true)
+	if [ "$code" = 503 ]; then
+		drained=1
+		break
+	fi
+	sleep 0.1
+	i=$((i + 1))
+done
+[ -n "$drained" ] ||
+	fail "/readyz did not flip to 503 during the drain window"
 wait "$spid" 2>/dev/null || fail "shapeserver exited non-zero on SIGTERM"
 spid=""
-grep -q 'shapeserver: drained' "$tmp/shapeserver.log" ||
+grep -q '"msg":"drained"' "$tmp/shapeserver.log" ||
 	fail "shapeserver did not report a clean drain"
 
-echo "smoke: ok ($saddr: search, topk, pool hit, 504 deadline, drain)"
+echo "smoke: ok ($saddr: search, topk, pool hit, 504 deadline, log correlation, profiles, readyz drain)"

@@ -243,11 +243,14 @@ func TestTracerIsAliasOfInternalInterface(t *testing.T) {
 	_ = asInternal
 }
 
-// expoSample is one parsed Prometheus text-format sample.
+// expoSample is one parsed Prometheus text-format sample. exemplar holds the
+// OpenMetrics exemplar labels (e.g. trace_id) when the line carries a
+// `# {labels} value [timestamp]` suffix, nil otherwise.
 type expoSample struct {
-	name   string
-	labels map[string]string
-	value  float64
+	name     string
+	labels   map[string]string
+	value    float64
+	exemplar map[string]string
 }
 
 // parseExposition is a minimal Prometheus text-format (0.0.4) parser that
@@ -291,6 +294,39 @@ func parseExposition(t *testing.T, body string) (samples []expoSample, types map
 		if strings.HasPrefix(line, "#") {
 			continue
 		}
+		// An OpenMetrics exemplar rides after the sample value as
+		// ` # {labels} value [timestamp]`; split it off before the value
+		// parse below (whose LastIndex would otherwise grab the exemplar's
+		// trailing timestamp).
+		var exemplar map[string]string
+		if i := strings.Index(line, " # {"); i >= 0 {
+			ex := line[i+len(" # "):]
+			end := strings.Index(ex, "}")
+			if end < 0 {
+				t.Fatalf("line %d: unterminated exemplar labels: %q", ln+1, line)
+			}
+			exemplar = map[string]string{}
+			for _, pair := range strings.Split(ex[1:end], ",") {
+				if pair == "" {
+					continue
+				}
+				kv := strings.SplitN(pair, "=", 2)
+				if len(kv) != 2 {
+					t.Fatalf("line %d: malformed exemplar label %q", ln+1, pair)
+				}
+				exemplar[kv[0]] = strings.Trim(kv[1], `"`)
+			}
+			fields := strings.Fields(ex[end+1:])
+			if len(fields) < 1 || len(fields) > 2 {
+				t.Fatalf("line %d: exemplar wants `value [timestamp]`, got %q", ln+1, ex[end+1:])
+			}
+			for _, f := range fields {
+				if _, err := strconv.ParseFloat(f, 64); err != nil {
+					t.Fatalf("line %d: bad exemplar number %q: %v", ln+1, f, err)
+				}
+			}
+			line = strings.TrimSpace(line[:i])
+		}
 		sp := strings.LastIndex(line, " ")
 		if sp < 0 {
 			t.Fatalf("line %d: malformed sample: %q", ln+1, line)
@@ -300,7 +336,7 @@ func parseExposition(t *testing.T, body string) (samples []expoSample, types map
 		if err != nil {
 			t.Fatalf("line %d: bad sample value %q: %v", ln+1, valStr, err)
 		}
-		s := expoSample{labels: map[string]string{}, value: val}
+		s := expoSample{labels: map[string]string{}, value: val, exemplar: exemplar}
 		if i := strings.Index(nameLabels, "{"); i >= 0 {
 			s.name = nameLabels[:i]
 			inner := strings.TrimSuffix(nameLabels[i+1:], "}")
