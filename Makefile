@@ -1,7 +1,7 @@
 GO ?= go
 BENCH_DIR ?= bench
 
-.PHONY: all build vet lint test race bench bench-json bench-compare smoke govulncheck ci clean
+.PHONY: all build vet lint test race bench bench-json bench-record bench-compare load-record smoke govulncheck ci clean
 
 all: build
 
@@ -33,11 +33,23 @@ bench:
 bench-json:
 	$(GO) run ./cmd/benchrun -fig none -maxm 500 -queries 3 -bench-out $(BENCH_DIR)
 
+# Append a fresh point to the committed bench trajectory. Same run as
+# bench-json; the separate name marks the intent: record a point you mean to
+# commit, so bench-compare always has a previous point to diff against.
+bench-record: bench-json
+
 # Diff the two most recent $(BENCH_DIR)/BENCH_*.json reports (steps, wall
 # time, search p50/p99 per strategy). Fails when the trajectory has fewer
-# than 2 points or a strategy's search-stage p99 regressed >25%.
+# than 2 points or a strategy's search-stage p99 regressed >25%. Also prints
+# the LOAD_*.json capacity trajectory when shapeload has recorded one.
 bench-compare:
 	$(GO) run ./cmd/benchrun -compare $(BENCH_DIR)
+
+# Record a capacity point: boot a synthetic shapeserver, run the shapeload
+# saturation search against it, and write $(BENCH_DIR)/LOAD_<date>.json.
+# Knobs (addr, workload size, SLO) live in the script.
+load-record:
+	./scripts/load-record.sh $(BENCH_DIR)
 
 # Observability smoke test: start benchrun -serve, curl /metrics and
 # /debug/lbkeogh, assert both answer 200 with parseable content.

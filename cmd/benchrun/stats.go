@@ -399,7 +399,59 @@ func compareBench(dir string) error {
 		return fmt.Errorf("search-stage p99 regressed beyond %.0f%%:\n  %s",
 			(p99RegressionLimit-1)*100, strings.Join(regressions, "\n  "))
 	}
+	loadTrajectory(dir)
 	return nil
+}
+
+// loadTrajectory summarizes the LOAD_*.json capacity reports shapeload has
+// recorded alongside the BENCH_*.json points. Informational: the load
+// trajectory is optional (it needs a booted server), so its absence never
+// fails the bench comparison — but when points exist, a shrinking knee QPS
+// between the two most recent ones is called out so a capacity regression is
+// visible in the same place as a microbenchmark one.
+func loadTrajectory(dir string) {
+	files, err := filepath.Glob(filepath.Join(dir, "LOAD_*.json"))
+	if err != nil || len(files) == 0 {
+		return
+	}
+	sort.Strings(files)
+	fmt.Printf("load trajectory (%d point(s)):\n", len(files))
+	type loadPoint struct {
+		Date    string  `json:"date"`
+		Mode    string  `json:"mode"`
+		KneeQPS float64 `json:"knee_qps"`
+		Fixed   *struct {
+			OfferedQPS  float64 `json:"offered_qps"`
+			AchievedQPS float64 `json:"achieved_qps"`
+			Overall     struct {
+				P99MS float64 `json:"p99_ms"`
+			} `json:"overall"`
+		} `json:"fixed"`
+	}
+	var prevKnee, curKnee float64
+	for _, f := range files {
+		data, err := os.ReadFile(f)
+		if err != nil {
+			continue
+		}
+		var p loadPoint
+		if err := json.Unmarshal(data, &p); err != nil {
+			fmt.Printf("  %s: unparseable (%v)\n", f, err)
+			continue
+		}
+		switch {
+		case p.Mode == "ramp":
+			fmt.Printf("  %s  knee %.1f qps\n", p.Date, p.KneeQPS)
+			prevKnee, curKnee = curKnee, p.KneeQPS
+		case p.Fixed != nil:
+			fmt.Printf("  %s  fixed %.1f qps (achieved %.1f), p99 %.1fms\n",
+				p.Date, p.Fixed.OfferedQPS, p.Fixed.AchievedQPS, p.Fixed.Overall.P99MS)
+		}
+	}
+	if prevKnee > 0 && curKnee > 0 && curKnee < prevKnee {
+		fmt.Printf("  NOTE: knee QPS shrank %.1f -> %.1f (%+.2f%%); check for a capacity regression\n",
+			prevKnee, curKnee, pctDelta(prevKnee, curKnee))
+	}
 }
 
 func pctDelta(old, cur float64) float64 {

@@ -1,0 +1,195 @@
+// Command shapeload drives a running shapeserver with open-loop
+// (Poisson-arrival, coordinated-omission-safe) load and writes an SLO report
+// into the bench trajectory as bench/LOAD_<date>.json.
+//
+// Two modes:
+//
+//	-mode fixed  one run at -qps for -duration
+//	-mode ramp   saturation search: double the rate until the SLO breaks,
+//	             then bisect the bracket to find the knee QPS
+//
+// Every run is scraped before and after through the server's /metrics, and
+// the client's per-endpoint, per-class outcome counts must reconcile with
+// the server's cumulative counters (shapeserver_endpoint_requests_total)
+// within -count-tol; shapeload exits non-zero when they disagree, because a
+// capacity number derived from unreconciled telemetry is worse than none.
+//
+// Typical session:
+//
+//	shapeserver -addr :8321 -synthetic 2000,256 &
+//	shapeload -target http://127.0.0.1:8321 -mode ramp -out bench
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"strconv"
+	"strings"
+	"syscall"
+	"time"
+
+	"lbkeogh/internal/loadgen"
+)
+
+func main() {
+	var (
+		target   = flag.String("target", "http://127.0.0.1:8321", "shapeserver base URL")
+		mode     = flag.String("mode", "ramp", "fixed: one run at -qps; ramp: saturation search for the knee QPS")
+		mixSpec  = flag.String("mix", "search=1", "endpoint mix as op=weight pairs, e.g. search=2,topk=1,range=1")
+		repeat   = flag.Float64("repeat", 0.5, "fraction of requests repeating one query spec (session-pool hits)")
+		timeout  = flag.Duration("timeout", 2*time.Second, "per-request server-side deadline (timeout_ms)")
+		seed     = flag.Int64("seed", 1, "seed for the arrival process and workload draws")
+		qps      = flag.Float64("qps", 50, "offered rate for -mode fixed")
+		duration = flag.Duration("duration", 10*time.Second, "run length for -mode fixed")
+		startQPS = flag.Float64("start-qps", 4, "ramp: initial probe rate")
+		maxQPS   = flag.Float64("max-qps", 4096, "ramp: rate cap (reaching it without an SLO failure ends the search)")
+		stepDur  = flag.Duration("step", 3*time.Second, "ramp: duration of each probe")
+		relTol   = flag.Float64("rel-tol", 0.2, "ramp: stop bisecting once the knee bracket is this tight (relative)")
+		sloP99   = flag.Duration("slo-p99", 250*time.Millisecond, "SLO: client-observed overall p99 bound")
+		sloErr   = flag.Float64("slo-errors", 0.01, "SLO: max fraction of arrivals ending rejected/timeout/server/network/dropped")
+		countTol = flag.Int64("count-tol", 0, "allowed absolute client/server disagreement per endpoint+class count")
+		outDir   = flag.String("out", "bench", "directory for the LOAD_<date>.json report (empty: stdout summary only)")
+	)
+	flag.Parse()
+	if err := run(*target, *mode, *mixSpec, *repeat, *timeout, *seed, *qps, *duration,
+		*startQPS, *maxQPS, *stepDur, *relTol, *sloP99, *sloErr, *countTol, *outDir); err != nil {
+		fmt.Fprintf(os.Stderr, "shapeload: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+// parseMix turns "search=2,topk=1" into mix entries.
+func parseMix(spec string) ([]loadgen.MixEntry, error) {
+	var mix []loadgen.MixEntry
+	for _, part := range strings.Split(spec, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		op, weight, found := strings.Cut(part, "=")
+		w := 1.0
+		if found {
+			var err error
+			if w, err = strconv.ParseFloat(weight, 64); err != nil {
+				return nil, fmt.Errorf("mix entry %q: %w", part, err)
+			}
+		}
+		mix = append(mix, loadgen.MixEntry{Op: loadgen.Op(op), Weight: w})
+	}
+	if len(mix) == 0 {
+		return nil, fmt.Errorf("empty mix %q", spec)
+	}
+	return mix, nil
+}
+
+func run(target, mode, mixSpec string, repeat float64, timeout time.Duration, seed int64,
+	qps float64, duration time.Duration, startQPS, maxQPS float64, stepDur time.Duration,
+	relTol float64, sloP99 time.Duration, sloErr float64, countTol int64, outDir string) error {
+
+	mix, err := parseMix(mixSpec)
+	if err != nil {
+		return err
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	dbSize, seriesLen, err := loadgen.Discover(ctx, target, nil)
+	if err != nil {
+		return fmt.Errorf("target %s not answering /livez: %w", target, err)
+	}
+	fmt.Printf("target %s: db_size=%d series_len=%d\n", target, dbSize, seriesLen)
+
+	g, err := loadgen.New(loadgen.Config{
+		Target:         target,
+		Mix:            mix,
+		RepeatFraction: repeat,
+		DBSize:         dbSize,
+		TimeoutMS:      int(timeout.Milliseconds()),
+		Seed:           seed,
+	})
+	if err != nil {
+		return err
+	}
+
+	slo := loadgen.SLO{P99: sloP99, MaxErrorFraction: sloErr}
+	now := time.Now()
+	rep := &loadgen.Report{
+		Date:   now.UTC().Format("2006-01-02"),
+		Target: target,
+		Mode:   mode,
+		Workload: loadgen.Workload{
+			Mix:            g.Mix(),
+			RepeatFraction: repeat,
+			TimeoutMS:      int(timeout.Milliseconds()),
+			DBSize:         dbSize,
+			SeriesLen:      seriesLen,
+			Seed:           seed,
+		},
+		SLO: loadgen.SLOReport{
+			P99MS:            float64(sloP99) / float64(time.Millisecond),
+			MaxErrorFraction: sloErr,
+		},
+	}
+
+	switch mode {
+	case "fixed":
+		fmt.Printf("fixed run: %.1f qps for %v\n", qps, duration)
+		res, err := g.RunValidated(ctx, qps, duration, countTol)
+		if err != nil {
+			return err
+		}
+		res.SLOViolations = slo.Check(res)
+		rep.Fixed = &res
+		fmt.Printf("achieved %.1f qps, overall p50 %.1fms p99 %.1fms p999 %.1fms, classes %v\n",
+			res.AchievedQPS, res.Overall.P50MS, res.Overall.P99MS, res.Overall.P999MS, res.Overall.Classes)
+		if len(res.SLOViolations) > 0 {
+			fmt.Printf("SLO violations: %v\n", res.SLOViolations)
+		}
+		if err := writeOut(rep, outDir, now); err != nil {
+			return err
+		}
+		if !res.CrossValidation.CountsAgree {
+			return fmt.Errorf("client/server counts disagree: %v", res.CrossValidation.Mismatches)
+		}
+	case "ramp":
+		fmt.Printf("saturation search: %v steps from %.1f qps (cap %.1f), SLO p99<=%v errors<=%.4f\n",
+			stepDur, startQPS, maxQPS, sloP99, sloErr)
+		sat, err := g.FindKnee(ctx, loadgen.SaturationConfig{
+			StartQPS:       startQPS,
+			MaxQPS:         maxQPS,
+			StepDuration:   stepDur,
+			SLO:            slo,
+			RelTolerance:   relTol,
+			CountTolerance: countTol,
+		}, func(format string, args ...any) { fmt.Printf(format+"\n", args...) })
+		// Keep whatever steps completed in the report even when the search
+		// aborted, so the failure is diagnosable from the artifact.
+		rep.Saturation = &sat
+		rep.KneeQPS = sat.KneeQPS
+		if werr := writeOut(rep, outDir, now); werr != nil && err == nil {
+			err = werr
+		}
+		if err != nil {
+			return err
+		}
+	default:
+		return fmt.Errorf("unknown -mode %q (fixed or ramp)", mode)
+	}
+	return nil
+}
+
+func writeOut(rep *loadgen.Report, outDir string, now time.Time) error {
+	if outDir == "" {
+		return nil
+	}
+	path := loadgen.ReportPath(outDir, now)
+	if err := loadgen.WriteReport(path, rep); err != nil {
+		return err
+	}
+	fmt.Printf("wrote %s\n", path)
+	return nil
+}

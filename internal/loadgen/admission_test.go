@@ -1,0 +1,160 @@
+package loadgen_test
+
+import (
+	"context"
+	"encoding/json"
+	"net/http"
+	"testing"
+	"time"
+
+	"lbkeogh"
+	"lbkeogh/internal/loadgen"
+	"lbkeogh/internal/server"
+)
+
+// livezAdmission polls /livez until pred accepts the admission stats (or the
+// deadline kills the test).
+func livezAdmission(t *testing.T, url string, pred func(inflight, waiting int64) bool, what string) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		resp, err := http.Get(url + "/livez")
+		if err != nil {
+			t.Fatal(err)
+		}
+		var health struct {
+			Admission struct {
+				Inflight int64 `json:"inflight"`
+				Waiting  int64 `json:"waiting"`
+			} `json:"admission"`
+		}
+		err = json.NewDecoder(resp.Body).Decode(&health)
+		resp.Body.Close()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if pred(health.Admission.Inflight, health.Admission.Waiting) {
+			return
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("timed out waiting for %s (inflight %d, waiting %d)",
+				what, health.Admission.Inflight, health.Admission.Waiting)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}
+
+// TestAdmissionSemanticsUnderLoad drives the real server past its admission
+// bounds with the loadgen request path and pins the full contract:
+// queue-full requests get 429 with Retry-After, queued requests whose
+// deadline expires get 504, released requests complete, and afterwards the
+// server's cumulative counters reconcile exactly with what the client saw.
+// Run under -race this also exercises the loadgen recorder and the server's
+// admission bookkeeping concurrently.
+func TestAdmissionSemanticsUnderLoad(t *testing.T) {
+	started := make(chan struct{}, 8)
+	gate := make(chan struct{})
+	ts, _ := newTestServer(t, server.Config{
+		DB:          lbkeogh.SyntheticProjectilePoints(3, 12, 32),
+		MaxInflight: 2,
+		MaxQueue:    2,
+		BeforeSearchHook: func() {
+			started <- struct{}{}
+			<-gate
+		},
+	})
+	g, err := loadgen.New(loadgen.Config{Target: ts.URL, DBSize: 12})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+	before, err := g.Scrape(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Two requests fill the in-flight slots and block inside the hook.
+	blockers := make(chan loadgen.Outcome, 2)
+	for i := 0; i < 2; i++ {
+		go func() {
+			blockers <- g.Do(ctx, loadgen.OpSearch, g.RequestBody(loadgen.OpSearch, 0, 10000), time.Now())
+		}()
+	}
+	for i := 0; i < 2; i++ {
+		select {
+		case <-started:
+		case <-time.After(5 * time.Second):
+			t.Fatal("blockers never reached the search hook")
+		}
+	}
+
+	// Two more requests with short deadlines occupy the wait queue.
+	queued := make(chan loadgen.Outcome, 2)
+	for i := 0; i < 2; i++ {
+		go func() {
+			queued <- g.Do(ctx, loadgen.OpSearch, g.RequestBody(loadgen.OpSearch, 1, 400), time.Now())
+		}()
+	}
+	livezAdmission(t, ts.URL, func(inflight, waiting int64) bool {
+		return inflight == 2 && waiting == 2
+	}, "slots and queue to fill")
+
+	// With slots and queue full, further requests must be shed immediately:
+	// 429 plus a Retry-After hint.
+	for i := 0; i < 6; i++ {
+		out := g.Do(ctx, loadgen.OpSearch, g.RequestBody(loadgen.OpSearch, 2, 400), time.Now())
+		if out.Status != http.StatusTooManyRequests || out.Class != "rejected" {
+			t.Fatalf("shed request %d: status %d class %q", i, out.Status, out.Class)
+		}
+		if out.RetryAfter == "" {
+			t.Errorf("429 without Retry-After")
+		}
+	}
+
+	// The queued pair's deadlines expire while still waiting: 504.
+	for i := 0; i < 2; i++ {
+		out := <-queued
+		if out.Status != http.StatusGatewayTimeout || out.Class != "timeout" {
+			t.Fatalf("queued request: status %d class %q (want 504/timeout)", out.Status, out.Class)
+		}
+	}
+
+	// Release the gate; the blocked pair completes normally.
+	close(gate)
+	for i := 0; i < 2; i++ {
+		out := <-blockers
+		if out.Status != http.StatusOK || out.Class != "ok" {
+			t.Fatalf("released request: status %d class %q err %v", out.Status, out.Class, out.Err)
+		}
+	}
+	livezAdmission(t, ts.URL, func(inflight, waiting int64) bool {
+		return inflight == 0 && waiting == 0
+	}, "server to drain")
+
+	// Reconcile: the server's cumulative counters must agree exactly with
+	// the ten outcomes the client observed.
+	after, err := g.ScrapeSettled(ctx, before, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := loadgen.RunResult{
+		Intended:  10,
+		Completed: 10,
+		Endpoints: map[string]loadgen.EndpointReport{
+			"search": {
+				Requests: 10,
+				Classes:  map[string]int64{"ok": 2, "rejected": 6, "timeout": 2},
+			},
+		},
+	}
+	cv := loadgen.CrossValidate(before, after, res, 0)
+	if !cv.CountsAgree {
+		t.Errorf("counter reconciliation failed: %v", cv.Mismatches)
+	}
+	if d := after.Admitted - before.Admitted; d != 2 {
+		t.Errorf("admitted delta = %d, want 2", d)
+	}
+	if d := after.Rejected - before.Rejected; d != 6 {
+		t.Errorf("rejected delta = %d, want 6", d)
+	}
+}

@@ -1,0 +1,94 @@
+package loadgen
+
+import (
+	"context"
+	"fmt"
+	"math/rand"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Run offers open-loop load at qps for d. Arrivals are Poisson (exponential
+// inter-arrival gaps drawn from the seeded generator) and every request's
+// latency is charged from its intended arrival time, so a stalled server
+// shows up as long latencies, not as a quietly reduced request count.
+//
+// Run waits for every in-flight request to finish before returning, so the
+// result accounts for each intended arrival exactly once (completed, network
+// error, or dropped). The context cancels the arrival process early; already
+// launched requests still run to their own deadlines.
+func (g *Generator) Run(ctx context.Context, qps float64, d time.Duration) (RunResult, error) {
+	if qps <= 0 {
+		return RunResult{}, fmt.Errorf("loadgen: offered rate %v <= 0", qps)
+	}
+	if d <= 0 {
+		return RunResult{}, fmt.Errorf("loadgen: duration %v <= 0", d)
+	}
+
+	rec := newRecorder()
+	// One seeded source drives both the arrival process and the workload
+	// draws, all from the scheduler goroutine — reproducible without locks.
+	rng := rand.New(rand.NewSource(g.cfg.Seed))
+
+	var (
+		wg          sync.WaitGroup
+		outstanding atomic.Int64
+		intended    int64
+	)
+	start := time.Now()
+	var offset time.Duration // intended arrival offset from start
+	for {
+		// Exponential gap with mean 1/qps: a Poisson arrival process.
+		offset += time.Duration(rng.ExpFloat64() / qps * float64(time.Second))
+		if offset >= d {
+			break
+		}
+		intendedAt := start.Add(offset)
+		if sleep := time.Until(intendedAt); sleep > 0 {
+			select {
+			case <-time.After(sleep):
+			case <-ctx.Done():
+			}
+		}
+		if ctx.Err() != nil {
+			break
+		}
+		intended++
+
+		// Draw the workload for this arrival on the scheduler goroutine so
+		// the sequence depends only on the seed, not on goroutine timing.
+		op := g.mixOps[len(g.mixOps)-1]
+		u := rng.Float64()
+		for i, c := range g.cum {
+			if u < c {
+				op = g.mixOps[i]
+				break
+			}
+		}
+		queryIndex := 0
+		if g.cfg.RepeatFraction < 1 && (g.cfg.RepeatFraction == 0 || rng.Float64() >= g.cfg.RepeatFraction) {
+			if g.cfg.DBSize > 1 {
+				queryIndex = 1 + rng.Intn(g.cfg.DBSize-1)
+			}
+		}
+		body := g.RequestBody(op, queryIndex, g.cfg.TimeoutMS)
+
+		if outstanding.Load() >= int64(g.cfg.MaxOutstanding) {
+			// The client itself is saturated. Shedding here keeps the
+			// generator honest (it never silently slows the arrival process)
+			// but the run is flagged via Dropped.
+			rec.drop()
+			continue
+		}
+		outstanding.Add(1)
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			defer outstanding.Add(-1)
+			rec.observe(g.Do(ctx, op, body, intendedAt))
+		}()
+	}
+	wg.Wait()
+	return rec.result(qps, time.Since(start), intended), nil
+}

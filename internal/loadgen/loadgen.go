@@ -1,0 +1,420 @@
+// Package loadgen drives a shapeserver with open-loop load and verifies the
+// server's own telemetry against what the client observed.
+//
+// Open-loop means arrivals follow a Poisson process at a configured offered
+// rate, independent of how fast the server answers: a slow server does not
+// slow the generator down, it accumulates queueing — exactly what real
+// traffic does to a saturated service. Closed-loop generators (fixed worker
+// pools that wait for each response) silently throttle themselves at
+// saturation and report flattering latencies; this package exists to measure
+// the unflattering truth.
+//
+// Latency is coordinated-omission-safe: every request has an intended start
+// time drawn from the arrival process, and its latency is measured from that
+// intended start, not from when the request actually went out. Scheduler
+// delay — client-side or server-side — is charged to the measurement instead
+// of being quietly dropped.
+//
+// Each run can be cross-validated against the server's /metrics: the
+// cumulative shapeserver_endpoint_requests_total counters are scraped before
+// and after (through internal/obs/expofmt) and their deltas must agree with
+// the client's own per-endpoint, per-class tallies. A disagreement beyond
+// the stated tolerance is a loud failure — it means the telemetry layer the
+// operations runbooks depend on is lying.
+package loadgen
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"sort"
+	"sync"
+	"time"
+
+	"lbkeogh/internal/obs"
+	"lbkeogh/internal/obs/ops"
+)
+
+// Op names one shapeserver /v1 endpoint.
+type Op string
+
+// The three search endpoints a workload mix draws from.
+const (
+	OpSearch Op = "search"
+	OpTopK   Op = "topk"
+	OpRange  Op = "range"
+)
+
+// ClassNetwork is the client-only error class for requests that got no HTTP
+// response at all (connection refused, client-side timeout). The server may
+// still have counted such a request under its own classes, so count
+// cross-validation treats network errors as slack, not as a mismatch.
+const ClassNetwork = "network"
+
+// MixEntry weights one endpoint inside a workload mix.
+type MixEntry struct {
+	Op     Op
+	Weight float64
+}
+
+// Config describes the workload shape; Run and FindKnee add the rate.
+type Config struct {
+	// Target is the server base URL, e.g. "http://127.0.0.1:8321".
+	Target string
+
+	// Mix is the endpoint mix, normalized by total weight (default: all
+	// /v1/search).
+	Mix []MixEntry
+
+	// RepeatFraction is the fraction of requests that reuse one fixed query
+	// spec (query_index 0) and therefore hit the session pool after its
+	// first build; the rest draw a random query_index in [1, DBSize), mostly
+	// missing the pool. Zero means every request draws randomly.
+	RepeatFraction float64
+
+	// DBSize is the number of rows query_index may address (Discover fills
+	// it from /livez).
+	DBSize int
+
+	// TimeoutMS is the per-request deadline passed to the server as
+	// timeout_ms (0: server default). The HTTP client allows an extra grace
+	// on top before declaring a network error.
+	TimeoutMS int
+
+	// K and Threshold parameterize the topk and range endpoints (defaults 3
+	// and 2.0; range hits are irrelevant to load, only the work matters).
+	K         int
+	Threshold float64
+
+	// Seed makes the arrival process and workload draws reproducible
+	// (default 1).
+	Seed int64
+
+	// MaxOutstanding bounds concurrent in-flight requests to protect the
+	// client process (default 4096). Arrivals beyond it are dropped and
+	// reported — a dropped arrival means the generator, not the server, was
+	// the bottleneck, and the run's numbers understate the offered load.
+	MaxOutstanding int
+
+	// Client overrides the HTTP client (tests). The default client pools
+	// aggressively so connection churn does not pollute the latency signal.
+	Client *http.Client
+}
+
+// Generator produces open-loop load for one workload shape.
+type Generator struct {
+	cfg    Config
+	client *http.Client
+	cum    []float64 // cumulative normalized mix weights
+	mixOps []Op
+}
+
+// New validates the config and builds a generator.
+func New(cfg Config) (*Generator, error) {
+	if cfg.Target == "" {
+		return nil, fmt.Errorf("loadgen: empty target")
+	}
+	if len(cfg.Mix) == 0 {
+		cfg.Mix = []MixEntry{{Op: OpSearch, Weight: 1}}
+	}
+	var total float64
+	for _, m := range cfg.Mix {
+		switch m.Op {
+		case OpSearch, OpTopK, OpRange:
+		default:
+			return nil, fmt.Errorf("loadgen: unknown endpoint %q in mix", m.Op)
+		}
+		if m.Weight < 0 {
+			return nil, fmt.Errorf("loadgen: negative weight for %q", m.Op)
+		}
+		total += m.Weight
+	}
+	if total <= 0 {
+		return nil, fmt.Errorf("loadgen: mix weights sum to zero")
+	}
+	if cfg.RepeatFraction < 0 || cfg.RepeatFraction > 1 {
+		return nil, fmt.Errorf("loadgen: repeat fraction %v outside [0,1]", cfg.RepeatFraction)
+	}
+	if cfg.DBSize < 1 {
+		cfg.DBSize = 1
+	}
+	if cfg.K <= 0 {
+		cfg.K = 3
+	}
+	if cfg.Threshold <= 0 {
+		cfg.Threshold = 2.0
+	}
+	if cfg.Seed == 0 {
+		cfg.Seed = 1
+	}
+	if cfg.MaxOutstanding <= 0 {
+		cfg.MaxOutstanding = 4096
+	}
+	g := &Generator{cfg: cfg, client: cfg.Client}
+	if g.client == nil {
+		grace := 10 * time.Second
+		if cfg.TimeoutMS > 0 {
+			grace += time.Duration(cfg.TimeoutMS) * time.Millisecond
+		} else {
+			grace += 60 * time.Second // server default cap
+		}
+		g.client = &http.Client{
+			Timeout: grace,
+			Transport: &http.Transport{
+				MaxIdleConns:        4096,
+				MaxIdleConnsPerHost: 1024,
+				IdleConnTimeout:     90 * time.Second,
+			},
+		}
+	}
+	var cum float64
+	for _, m := range cfg.Mix {
+		cum += m.Weight / total
+		g.cum = append(g.cum, cum)
+		g.mixOps = append(g.mixOps, m.Op)
+	}
+	return g, nil
+}
+
+// Mix returns the normalized endpoint mix (for reports).
+func (g *Generator) Mix() map[string]float64 {
+	out := map[string]float64{}
+	prev := 0.0
+	for i, op := range g.mixOps {
+		out[string(op)] += g.cum[i] - prev
+		prev = g.cum[i]
+	}
+	return out
+}
+
+// RequestBody builds the JSON body of one request against op. queryIndex
+// selects the query shape; timeoutMS > 0 sets the server-side deadline.
+func (g *Generator) RequestBody(op Op, queryIndex, timeoutMS int) []byte {
+	m := map[string]any{"query_index": queryIndex}
+	if timeoutMS > 0 {
+		m["timeout_ms"] = timeoutMS
+	}
+	switch op {
+	case OpTopK:
+		m["k"] = g.cfg.K
+	case OpRange:
+		m["threshold"] = g.cfg.Threshold
+	}
+	b, err := json.Marshal(m)
+	if err != nil {
+		panic(err) // map of scalars: cannot fail
+	}
+	return b
+}
+
+// Outcome is one finished request as the client saw it.
+type Outcome struct {
+	Op     Op
+	Status int // 0 when no HTTP response arrived
+	// Class is the ops error-class vocabulary plus ClassNetwork.
+	Class string
+	// Latency runs from the intended start (the arrival-process time) to
+	// full response receipt — queueing anywhere in between is charged here.
+	Latency    time.Duration
+	RetryAfter string // Retry-After header, 429 shed responses carry it
+	Err        error  // transport error, nil otherwise
+}
+
+// Do executes one request against op with the given body, charging latency
+// from intended. It is the single request path for both the open-loop engine
+// and targeted integration tests.
+func (g *Generator) Do(ctx context.Context, op Op, body []byte, intended time.Time) Outcome {
+	out := Outcome{Op: op}
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost,
+		g.cfg.Target+"/v1/"+string(op), bytes.NewReader(body))
+	if err != nil {
+		out.Class, out.Err, out.Latency = ClassNetwork, err, time.Since(intended)
+		return out
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := g.client.Do(req)
+	if err != nil {
+		out.Class, out.Err, out.Latency = ClassNetwork, err, time.Since(intended)
+		return out
+	}
+	// Latency covers the full response body: a result the client has not
+	// received yet is not served.
+	io.Copy(io.Discard, resp.Body) //nolint:errcheck // body errors surface as latency truth, not failures
+	resp.Body.Close()
+	out.Latency = time.Since(intended)
+	out.Status = resp.StatusCode
+	out.Class = ops.ErrorClass(resp.StatusCode)
+	out.RetryAfter = resp.Header.Get("Retry-After")
+	return out
+}
+
+// endpointRec accumulates one endpoint's outcomes during a run.
+type endpointRec struct {
+	hist     *obs.Histogram
+	classes  map[string]int64
+	requests int64
+	maxNS    int64
+	sumNS    int64
+}
+
+func newEndpointRec() *endpointRec {
+	return &endpointRec{hist: &obs.Histogram{}, classes: map[string]int64{}}
+}
+
+// recorder gathers a run's outcomes. One mutex per observation is fine here:
+// this is per-request accounting at load-generator rates, not a hot kernel.
+type recorder struct {
+	mu          sync.Mutex
+	eps         map[Op]*endpointRec
+	overall     *endpointRec
+	networkErrs int64
+	dropped     int64
+}
+
+func newRecorder() *recorder {
+	return &recorder{eps: map[Op]*endpointRec{}, overall: newEndpointRec()}
+}
+
+func (r *recorder) observe(out Outcome) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	ep := r.eps[out.Op]
+	if ep == nil {
+		ep = newEndpointRec()
+		r.eps[out.Op] = ep
+	}
+	ns := out.Latency.Nanoseconds()
+	if ns < 0 {
+		ns = 0
+	}
+	for _, rec := range [2]*endpointRec{ep, r.overall} {
+		rec.requests++
+		rec.classes[out.Class]++
+		rec.hist.Observe(ns)
+		rec.sumNS += ns
+		if ns > rec.maxNS {
+			rec.maxNS = ns
+		}
+	}
+	if out.Class == ClassNetwork {
+		r.networkErrs++
+	}
+}
+
+func (r *recorder) drop() {
+	r.mu.Lock()
+	r.dropped++
+	r.mu.Unlock()
+}
+
+// EndpointReport summarizes one endpoint's client-observed outcomes.
+type EndpointReport struct {
+	Requests int64            `json:"requests"`
+	Classes  map[string]int64 `json:"classes"`
+	// Quantiles are bucket-resolution (power-of-two bounds, the same
+	// bucketing as the server's RED windows), measured from intended start.
+	P50MS  float64 `json:"p50_ms"`
+	P99MS  float64 `json:"p99_ms"`
+	P999MS float64 `json:"p999_ms"`
+	MeanMS float64 `json:"mean_ms"`
+	MaxMS  float64 `json:"max_ms"`
+}
+
+// quantileNS returns the nearest-rank q-quantile bound (ns) of h; the
+// overflow bucket resolves to maxNS so a blown-out tail still reports a
+// finite number.
+func quantileNS(h *obs.Histogram, maxNS int64, q float64) int64 {
+	total := h.Count()
+	if total <= 0 {
+		return 0
+	}
+	rank := int64(q*float64(total) + 0.5)
+	if rank < 1 {
+		rank = 1
+	}
+	var cum int64
+	for _, b := range h.Buckets() {
+		cum += b.Count
+		if cum >= rank {
+			if b.UpperBound < 0 {
+				return maxNS
+			}
+			return b.UpperBound
+		}
+	}
+	return maxNS
+}
+
+func (e *endpointRec) report() EndpointReport {
+	rep := EndpointReport{
+		Requests: e.requests,
+		Classes:  map[string]int64{},
+		P50MS:    float64(quantileNS(e.hist, e.maxNS, 0.50)) / 1e6,
+		P99MS:    float64(quantileNS(e.hist, e.maxNS, 0.99)) / 1e6,
+		P999MS:   float64(quantileNS(e.hist, e.maxNS, 0.999)) / 1e6,
+		MaxMS:    float64(e.maxNS) / 1e6,
+	}
+	for k, v := range e.classes {
+		rep.Classes[k] = v
+	}
+	if e.requests > 0 {
+		rep.MeanMS = float64(e.sumNS) / float64(e.requests) / 1e6
+	}
+	return rep
+}
+
+// RunResult is one completed run at a fixed offered rate.
+type RunResult struct {
+	OfferedQPS  float64 `json:"offered_qps"`
+	DurationSec float64 `json:"duration_sec"`
+	// Intended counts scheduled arrivals; Completed the requests that ran to
+	// a terminal outcome (an HTTP response or a network error — so Intended
+	// == Completed + Dropped); Dropped the arrivals shed client-side by
+	// MaxOutstanding (generator saturation — treat the run as invalid for
+	// capacity claims when non-zero).
+	Intended      int64 `json:"intended"`
+	Completed     int64 `json:"completed"`
+	Dropped       int64 `json:"dropped,omitempty"`
+	NetworkErrors int64 `json:"network_errors,omitempty"`
+	// AchievedQPS is completed requests over the measurement window.
+	AchievedQPS float64                   `json:"achieved_qps"`
+	Endpoints   map[string]EndpointReport `json:"endpoints"`
+	Overall     EndpointReport            `json:"overall"`
+	// SLOViolations lists which objectives this run broke (empty: passed).
+	SLOViolations []string `json:"slo_violations,omitempty"`
+	// ServerDelta and CrossValidation are attached when the run was scraped
+	// before and after; see CrossValidate.
+	ServerDelta     *ServerDelta     `json:"server_delta,omitempty"`
+	CrossValidation *CrossValidation `json:"cross_validation,omitempty"`
+}
+
+func (r *recorder) result(qps float64, elapsed time.Duration, intended int64) RunResult {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	res := RunResult{
+		OfferedQPS:    qps,
+		DurationSec:   elapsed.Seconds(),
+		Intended:      intended,
+		Dropped:       r.dropped,
+		NetworkErrors: r.networkErrs,
+		Endpoints:     map[string]EndpointReport{},
+	}
+	ops := make([]Op, 0, len(r.eps))
+	for op := range r.eps {
+		ops = append(ops, op)
+	}
+	sort.Slice(ops, func(i, j int) bool { return ops[i] < ops[j] })
+	for _, op := range ops {
+		ep := r.eps[op]
+		res.Endpoints[string(op)] = ep.report()
+		res.Completed += ep.requests
+	}
+	res.Overall = r.overall.report()
+	if elapsed > 0 {
+		res.AchievedQPS = float64(res.Completed) / elapsed.Seconds()
+	}
+	return res
+}

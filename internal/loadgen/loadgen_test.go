@@ -1,0 +1,323 @@
+package loadgen
+
+import (
+	"context"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"path/filepath"
+	"testing"
+	"time"
+)
+
+func TestNewValidation(t *testing.T) {
+	cases := []struct {
+		name string
+		cfg  Config
+	}{
+		{"empty target", Config{}},
+		{"unknown op", Config{Target: "http://x", Mix: []MixEntry{{Op: "delete", Weight: 1}}}},
+		{"negative weight", Config{Target: "http://x", Mix: []MixEntry{{Op: OpSearch, Weight: -1}}}},
+		{"zero weights", Config{Target: "http://x", Mix: []MixEntry{{Op: OpSearch, Weight: 0}}}},
+		{"repeat fraction", Config{Target: "http://x", RepeatFraction: 1.5}},
+	}
+	for _, tc := range cases {
+		if _, err := New(tc.cfg); err == nil {
+			t.Errorf("%s: want error, got nil", tc.name)
+		}
+	}
+	g, err := New(Config{Target: "http://x"})
+	if err != nil {
+		t.Fatalf("minimal config: %v", err)
+	}
+	if g.cfg.MaxOutstanding != 4096 || g.cfg.K != 3 || g.cfg.Seed != 1 {
+		t.Errorf("defaults not filled: %+v", g.cfg)
+	}
+	mix := g.Mix()
+	if mix["search"] != 1 {
+		t.Errorf("default mix = %v, want all search", mix)
+	}
+}
+
+func TestMixNormalization(t *testing.T) {
+	g, err := New(Config{Target: "http://x", Mix: []MixEntry{
+		{Op: OpSearch, Weight: 6},
+		{Op: OpTopK, Weight: 3},
+		{Op: OpRange, Weight: 1},
+	}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	mix := g.Mix()
+	for op, want := range map[string]float64{"search": 0.6, "topk": 0.3, "range": 0.1} {
+		if got := mix[op]; got < want-1e-9 || got > want+1e-9 {
+			t.Errorf("mix[%s] = %v, want %v", op, got, want)
+		}
+	}
+}
+
+func TestRequestBody(t *testing.T) {
+	g, err := New(Config{Target: "http://x", K: 5, Threshold: 1.25})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var m map[string]any
+	if err := json.Unmarshal(g.RequestBody(OpSearch, 7, 250), &m); err != nil {
+		t.Fatal(err)
+	}
+	if m["query_index"] != float64(7) || m["timeout_ms"] != float64(250) {
+		t.Errorf("search body = %v", m)
+	}
+	if _, ok := m["k"]; ok {
+		t.Errorf("search body carries k: %v", m)
+	}
+	m = nil // Unmarshal merges into a live map; start fresh per body
+	if err := json.Unmarshal(g.RequestBody(OpTopK, 0, 0), &m); err != nil {
+		t.Fatal(err)
+	}
+	if m["k"] != float64(5) {
+		t.Errorf("topk body = %v", m)
+	}
+	if _, ok := m["timeout_ms"]; ok {
+		t.Errorf("zero timeout emitted: %v", m)
+	}
+	m = nil
+	if err := json.Unmarshal(g.RequestBody(OpRange, 0, 0), &m); err != nil {
+		t.Fatal(err)
+	}
+	if m["threshold"] != 1.25 {
+		t.Errorf("range body = %v", m)
+	}
+}
+
+// TestDoChargesFromIntended pins the coordinated-omission guarantee: latency
+// is measured from the intended arrival time, so scheduling delay between
+// intended and actual send shows up in the number.
+func TestDoChargesFromIntended(t *testing.T) {
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Write([]byte(`{"results":[]}`))
+	}))
+	defer srv.Close()
+	g, err := New(Config{Target: srv.URL})
+	if err != nil {
+		t.Fatal(err)
+	}
+	intended := time.Now().Add(-100 * time.Millisecond)
+	out := g.Do(context.Background(), OpSearch, g.RequestBody(OpSearch, 0, 0), intended)
+	if out.Err != nil {
+		t.Fatalf("Do: %v", out.Err)
+	}
+	if out.Status != 200 || out.Class != "ok" {
+		t.Errorf("status %d class %q", out.Status, out.Class)
+	}
+	if out.Latency < 100*time.Millisecond {
+		t.Errorf("latency %v charged from send, not intended start (want >= 100ms)", out.Latency)
+	}
+}
+
+func TestDoNetworkError(t *testing.T) {
+	// A closed server: connection refused, no HTTP status.
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {}))
+	srv.Close()
+	g, err := New(Config{Target: srv.URL})
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := g.Do(context.Background(), OpSearch, nil, time.Now())
+	if out.Err == nil || out.Class != ClassNetwork || out.Status != 0 {
+		t.Errorf("outcome = %+v, want network error", out)
+	}
+}
+
+func TestRecorderReport(t *testing.T) {
+	rec := newRecorder()
+	for i := 0; i < 99; i++ {
+		rec.observe(Outcome{Op: OpSearch, Status: 200, Class: "ok", Latency: time.Millisecond})
+	}
+	rec.observe(Outcome{Op: OpSearch, Status: 429, Class: "rejected", Latency: 900 * time.Millisecond})
+	rec.observe(Outcome{Op: OpTopK, Status: 0, Class: ClassNetwork, Latency: 10 * time.Millisecond, Err: context.DeadlineExceeded})
+	rec.drop()
+
+	res := rec.result(50, 2*time.Second, 102)
+	if res.Completed != 101 || res.Intended != 102 || res.Dropped != 1 || res.NetworkErrors != 1 {
+		t.Errorf("counts: %+v", res)
+	}
+	if res.AchievedQPS < 50 || res.AchievedQPS > 51 {
+		t.Errorf("achieved qps = %v", res.AchievedQPS)
+	}
+	search := res.Endpoints["search"]
+	if search.Requests != 100 || search.Classes["ok"] != 99 || search.Classes["rejected"] != 1 {
+		t.Errorf("search report: %+v", search)
+	}
+	// p50 of 99x1ms + 1x900ms sits in the 1ms power-of-two bucket (bound
+	// 2^20ns ≈ 1.05ms); so does p99 (rank 99 of 100), while p999 (rank 100)
+	// must reach the 900ms outlier's bucket.
+	if search.P50MS > 2 {
+		t.Errorf("p50 = %vms, want ~1ms bucket", search.P50MS)
+	}
+	if search.P99MS > 2 {
+		t.Errorf("p99 = %vms, want ~1ms bucket (rank 99 of 100)", search.P99MS)
+	}
+	if search.P999MS < 500 {
+		t.Errorf("p999 = %vms, want the 900ms outlier's bucket", search.P999MS)
+	}
+	if search.MaxMS < 899 || search.MaxMS > 901 {
+		t.Errorf("max = %vms", search.MaxMS)
+	}
+	if res.Overall.Requests != 101 || res.Overall.Classes[ClassNetwork] != 1 {
+		t.Errorf("overall: %+v", res.Overall)
+	}
+}
+
+func snap(counts map[string]map[string]int64, admitted, rejected int64) *ServerSnapshot {
+	return &ServerSnapshot{Counts: counts, Admitted: admitted, Rejected: rejected, WindowP99S: map[string]float64{}}
+}
+
+func TestCrossValidateAgreement(t *testing.T) {
+	before := snap(map[string]map[string]int64{"search": {"ok": 10}}, 10, 0)
+	after := snap(map[string]map[string]int64{"search": {"ok": 110, "rejected": 5}}, 110, 5)
+	res := RunResult{
+		Intended:  105,
+		Completed: 105,
+		Endpoints: map[string]EndpointReport{
+			"search": {Requests: 105, Classes: map[string]int64{"ok": 100, "rejected": 5}},
+		},
+	}
+	cv := CrossValidate(before, after, res, 0)
+	if !cv.CountsAgree {
+		t.Errorf("want agreement, got mismatches %v", cv.Mismatches)
+	}
+}
+
+func TestCrossValidateMismatch(t *testing.T) {
+	before := snap(map[string]map[string]int64{"search": {}}, 0, 0)
+	after := snap(map[string]map[string]int64{"search": {"ok": 90}}, 90, 0)
+	res := RunResult{
+		Intended:  100,
+		Completed: 100,
+		Endpoints: map[string]EndpointReport{
+			"search": {Requests: 100, Classes: map[string]int64{"ok": 100}},
+		},
+	}
+	cv := CrossValidate(before, after, res, 2)
+	if cv.CountsAgree {
+		t.Error("10 missing requests beyond tolerance 2: want mismatch")
+	}
+	if len(cv.Mismatches) == 0 {
+		t.Error("mismatch list empty")
+	}
+}
+
+func TestCrossValidateNetworkSlack(t *testing.T) {
+	// The client wrote 3 requests off as network errors; the server saw and
+	// counted them as ok. Counts must still reconcile via the slack.
+	before := snap(map[string]map[string]int64{"search": {}}, 0, 0)
+	after := snap(map[string]map[string]int64{"search": {"ok": 100}}, 100, 0)
+	res := RunResult{
+		Intended:      100,
+		Completed:     100,
+		NetworkErrors: 3,
+		Endpoints: map[string]EndpointReport{
+			"search": {Requests: 100, Classes: map[string]int64{"ok": 97, ClassNetwork: 3}},
+		},
+	}
+	cv := CrossValidate(before, after, res, 0)
+	if !cv.CountsAgree {
+		t.Errorf("network slack not applied: %v", cv.Mismatches)
+	}
+}
+
+func TestCrossValidateLatency(t *testing.T) {
+	before := snap(map[string]map[string]int64{"search": {}}, 0, 0)
+	after := snap(map[string]map[string]int64{"search": {"ok": 50}}, 50, 0)
+	after.WindowP99S["search"] = 0.010 // 10ms
+	res := RunResult{
+		Intended:  50,
+		Completed: 50,
+		Endpoints: map[string]EndpointReport{
+			"search": {Requests: 50, Classes: map[string]int64{"ok": 50}, P99MS: 16},
+		},
+	}
+	cv := CrossValidate(before, after, res, 0)
+	if !cv.LatencyChecked || !cv.LatencyAgree {
+		t.Errorf("16ms client vs 10ms server should agree: %+v", cv)
+	}
+
+	res.Endpoints["search"] = EndpointReport{
+		Requests: 50, Classes: map[string]int64{"ok": 50}, P99MS: 200,
+	}
+	cv = CrossValidate(before, after, res, 0)
+	if !cv.LatencyChecked || cv.LatencyAgree {
+		t.Errorf("200ms client vs 10ms server window: want latency mismatch, got %+v", cv)
+	}
+
+	// Error classes disqualify the endpoint from the latency check.
+	res.Endpoints["search"] = EndpointReport{
+		Requests: 50, Classes: map[string]int64{"ok": 49, "rejected": 1}, P99MS: 200,
+	}
+	after.Counts["search"] = map[string]int64{"ok": 49, "rejected": 1}
+	cv = CrossValidate(before, after, res, 0)
+	if cv.LatencyChecked {
+		t.Errorf("endpoint with rejects must skip the latency check: %+v", cv)
+	}
+}
+
+func TestSLOCheck(t *testing.T) {
+	slo := SLO{P99: 50 * time.Millisecond, MaxErrorFraction: 0.01}
+	good := RunResult{
+		Intended: 1000,
+		Overall:  EndpointReport{Requests: 1000, Classes: map[string]int64{"ok": 1000}, P99MS: 20},
+	}
+	if v := slo.Check(good); len(v) != 0 {
+		t.Errorf("clean run violates: %v", v)
+	}
+	slow := good
+	slow.Overall.P99MS = 80
+	if v := slo.Check(slow); len(v) != 1 {
+		t.Errorf("slow run: %v", v)
+	}
+	shed := RunResult{
+		Intended: 1000,
+		Overall:  EndpointReport{Requests: 1000, Classes: map[string]int64{"ok": 900, "rejected": 100}, P99MS: 20},
+	}
+	if v := slo.Check(shed); len(v) != 1 {
+		t.Errorf("10%% rejected run: %v", v)
+	}
+	// Client-side drops count against the error budget too.
+	dropped := RunResult{
+		Intended: 1000,
+		Dropped:  100,
+		Overall:  EndpointReport{Requests: 900, Classes: map[string]int64{"ok": 900}, P99MS: 20},
+	}
+	if v := slo.Check(dropped); len(v) != 1 {
+		t.Errorf("dropped-arrivals run: %v", v)
+	}
+}
+
+func TestReportRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	date := time.Date(2026, 8, 7, 12, 0, 0, 0, time.UTC)
+	path := ReportPath(dir, date)
+	if want := filepath.Join(dir, "LOAD_2026-08-07.json"); path != want {
+		t.Fatalf("path = %s, want %s", path, want)
+	}
+	rep := &Report{
+		Date:    "2026-08-07",
+		Target:  "http://127.0.0.1:8321",
+		Mode:    "ramp",
+		KneeQPS: 96,
+		Saturation: &SaturationResult{
+			Found: true, KneeQPS: 96, FirstFailQPS: 128, RejectedFractionAtFail: 0.11,
+		},
+	}
+	if err := WriteReport(path, rep); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadReport(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.KneeQPS != 96 || !got.Saturation.Found || got.Saturation.RejectedFractionAtFail != 0.11 {
+		t.Errorf("round trip: %+v", got)
+	}
+}

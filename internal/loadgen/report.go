@@ -1,0 +1,94 @@
+package loadgen
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"time"
+)
+
+// Workload records the workload shape a report was produced under, so a
+// trajectory of LOAD_*.json files is comparable point to point.
+type Workload struct {
+	Mix            map[string]float64 `json:"mix"`
+	RepeatFraction float64            `json:"repeat_fraction"`
+	TimeoutMS      int                `json:"timeout_ms"`
+	DBSize         int                `json:"db_size"`
+	SeriesLen      int                `json:"series_len"`
+	Seed           int64              `json:"seed"`
+}
+
+// SLOReport is the objective a report's runs were judged against, in
+// JSON-friendly units.
+type SLOReport struct {
+	P99MS            float64 `json:"p99_ms"`
+	MaxErrorFraction float64 `json:"max_error_fraction"`
+}
+
+// Report is one shapeload run's SLO report — the bench/LOAD_<date>.json
+// schema. Exactly one of Fixed and Saturation is set, per Mode.
+type Report struct {
+	Date     string    `json:"date"` // UTC YYYY-MM-DD
+	Target   string    `json:"target"`
+	Mode     string    `json:"mode"` // "fixed" or "ramp"
+	Workload Workload  `json:"workload"`
+	SLO      SLOReport `json:"slo"`
+
+	// Fixed holds the single run of -mode fixed.
+	Fixed *RunResult `json:"fixed,omitempty"`
+	// Saturation holds the knee search of -mode ramp; KneeQPS duplicates
+	// its headline number at the top level for trajectory tooling.
+	Saturation *SaturationResult `json:"saturation,omitempty"`
+	KneeQPS    float64           `json:"knee_qps,omitempty"`
+}
+
+// ReportPath names the report file for a date inside dir: LOAD_<date>.json.
+func ReportPath(dir string, date time.Time) string {
+	return filepath.Join(dir, "LOAD_"+date.UTC().Format("2006-01-02")+".json")
+}
+
+// WriteReport writes the report atomically (temp file + rename) so a
+// concurrent reader never sees a torn JSON document.
+func WriteReport(path string, rep *Report) error {
+	data, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		return err
+	}
+	data = append(data, '\n')
+	dir := filepath.Dir(path)
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	tmp, err := os.CreateTemp(dir, ".load-*.json.tmp")
+	if err != nil {
+		return err
+	}
+	if _, err := tmp.Write(data); err != nil {
+		tmp.Close()
+		os.Remove(tmp.Name())
+		return err
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(tmp.Name())
+		return err
+	}
+	if err := os.Rename(tmp.Name(), path); err != nil {
+		os.Remove(tmp.Name())
+		return err
+	}
+	return nil
+}
+
+// ReadReport loads a LOAD_*.json report.
+func ReadReport(path string) (*Report, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var rep Report
+	if err := json.Unmarshal(data, &rep); err != nil {
+		return nil, fmt.Errorf("loadgen: parse %s: %w", path, err)
+	}
+	return &rep, nil
+}

@@ -1,0 +1,238 @@
+package loadgen_test
+
+import (
+	"context"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"lbkeogh"
+	"lbkeogh/internal/loadgen"
+	"lbkeogh/internal/server"
+)
+
+func newTestServer(t *testing.T, cfg server.Config) (*httptest.Server, *server.Server) {
+	t.Helper()
+	if cfg.DB == nil {
+		cfg.DB = lbkeogh.SyntheticProjectilePoints(3, 12, 32)
+	}
+	srv, err := server.New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(srv.Handler())
+	t.Cleanup(ts.Close)
+	return ts, srv
+}
+
+// TestRunAgainstServer drives a real server in-process with a mixed workload
+// and requires the client/server cross-validation to reconcile exactly.
+func TestRunAgainstServer(t *testing.T) {
+	ts, _ := newTestServer(t, server.Config{})
+	dbSize, seriesLen, err := loadgen.Discover(context.Background(), ts.URL, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dbSize != 12 || seriesLen != 32 {
+		t.Fatalf("discover: db_size %d series_len %d", dbSize, seriesLen)
+	}
+	g, err := loadgen.New(loadgen.Config{
+		Target: ts.URL,
+		Mix: []loadgen.MixEntry{
+			{Op: loadgen.OpSearch, Weight: 2},
+			{Op: loadgen.OpTopK, Weight: 1},
+			{Op: loadgen.OpRange, Weight: 1},
+		},
+		RepeatFraction: 0.5,
+		DBSize:         dbSize,
+		TimeoutMS:      5000,
+		Seed:           7,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	ctx := context.Background()
+	before, err := g.Scrape(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := g.Run(ctx, 60, 500*time.Millisecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Completed == 0 {
+		t.Fatal("no requests completed")
+	}
+	if res.Completed+res.Dropped != res.Intended {
+		t.Errorf("accounting: intended %d != completed %d + dropped %d",
+			res.Intended, res.Completed, res.Dropped)
+	}
+	if res.Overall.Classes["ok"] != res.Completed {
+		t.Errorf("unhealthy outcomes against an idle server: %v", res.Overall.Classes)
+	}
+	if len(res.Endpoints) != 3 {
+		t.Errorf("endpoints driven: %v (want all three)", res.Endpoints)
+	}
+
+	after, err := g.ScrapeSettled(ctx, before, res.Completed-res.NetworkErrors)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cv := loadgen.CrossValidate(before, after, res, 0)
+	if !cv.CountsAgree {
+		t.Errorf("client/server counts disagree: %v", cv.Mismatches)
+	}
+}
+
+// TestRunDeterministicWorkload pins that the seed fixes the arrival count's
+// workload draws: two runs with one seed hit the same endpoints in the same
+// proportions (the schedule itself depends on wall-clock only for pacing).
+func TestRunDeterministicWorkload(t *testing.T) {
+	var mu sync.Mutex
+	counts := map[string]int{}
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		mu.Lock()
+		counts[r.URL.Path]++
+		mu.Unlock()
+		w.Write([]byte(`{}`))
+	}))
+	defer srv.Close()
+
+	run := func() map[string]int {
+		mu.Lock()
+		for k := range counts {
+			delete(counts, k)
+		}
+		mu.Unlock()
+		g, err := loadgen.New(loadgen.Config{
+			Target: srv.URL,
+			Mix:    []loadgen.MixEntry{{Op: loadgen.OpSearch, Weight: 1}, {Op: loadgen.OpTopK, Weight: 1}},
+			Seed:   42,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := g.Run(context.Background(), 200, 250*time.Millisecond); err != nil {
+			t.Fatal(err)
+		}
+		mu.Lock()
+		defer mu.Unlock()
+		out := map[string]int{}
+		for k, v := range counts {
+			out[k] = v
+		}
+		return out
+	}
+	a, b := run(), run()
+	for path := range a {
+		if a[path] != b[path] {
+			t.Errorf("seeded runs diverge at %s: %d vs %d", path, a[path], b[path])
+		}
+	}
+}
+
+// tokenBucketServer fakes a shapeserver with a crisp capacity: requests are
+// admitted from a token bucket refilled at rate qps (burst capacity burst)
+// and answered instantly; everything else is shed with 429. It exposes the
+// same /metrics counter families the real server does, so Scrape and the
+// knee search run against it unchanged — with a capacity known in advance.
+type tokenBucketServer struct {
+	mu       sync.Mutex
+	tokens   float64
+	last     time.Time
+	rate     float64
+	burst    float64
+	ok       atomic.Int64
+	rejected atomic.Int64
+}
+
+func (s *tokenBucketServer) handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/v1/search", func(w http.ResponseWriter, r *http.Request) {
+		s.mu.Lock()
+		now := time.Now()
+		if !s.last.IsZero() {
+			s.tokens += now.Sub(s.last).Seconds() * s.rate
+			if s.tokens > s.burst {
+				s.tokens = s.burst
+			}
+		}
+		s.last = now
+		admit := s.tokens >= 1
+		if admit {
+			s.tokens--
+		}
+		s.mu.Unlock()
+		if !admit {
+			s.rejected.Add(1)
+			w.Header().Set("Retry-After", "1")
+			w.WriteHeader(http.StatusTooManyRequests)
+			return
+		}
+		s.ok.Add(1)
+		w.Write([]byte(`{"results":[]}`))
+	})
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
+		ok, rej := s.ok.Load(), s.rejected.Load()
+		fmt.Fprintf(w, "# HELP shapeserver_endpoint_requests_total Terminal request outcomes.\n")
+		fmt.Fprintf(w, "# TYPE shapeserver_endpoint_requests_total counter\n")
+		fmt.Fprintf(w, "shapeserver_endpoint_requests_total{endpoint=\"search\",class=\"ok\"} %d\n", ok)
+		fmt.Fprintf(w, "shapeserver_endpoint_requests_total{endpoint=\"search\",class=\"rejected\"} %d\n", rej)
+		fmt.Fprintf(w, "# HELP shapeserver_admitted_total Requests granted a slot.\n")
+		fmt.Fprintf(w, "# TYPE shapeserver_admitted_total counter\n")
+		fmt.Fprintf(w, "shapeserver_admitted_total %d\n", ok)
+		fmt.Fprintf(w, "# HELP shapeserver_rejected_total Requests shed with 429.\n")
+		fmt.Fprintf(w, "# TYPE shapeserver_rejected_total counter\n")
+		fmt.Fprintf(w, "shapeserver_rejected_total %d\n", rej)
+	})
+	return mux
+}
+
+// TestFindKneeBracketsCapacity runs the full ramp-and-bisect search against
+// a fake server whose capacity is known (a 50 qps token bucket) and checks
+// the reported knee brackets it, every step cross-validates, and the first
+// failing step shows non-zero shedding.
+func TestFindKneeBracketsCapacity(t *testing.T) {
+	fake := &tokenBucketServer{rate: 50, burst: 10, tokens: 10}
+	ts := httptest.NewServer(fake.handler())
+	defer ts.Close()
+
+	g, err := loadgen.New(loadgen.Config{Target: ts.URL, Seed: 11})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sat, err := g.FindKnee(context.Background(), loadgen.SaturationConfig{
+		StartQPS:     8,
+		MaxQPS:       512,
+		StepDuration: 500 * time.Millisecond,
+		SLO:          loadgen.SLO{MaxErrorFraction: 0.05},
+		RelTolerance: 0.5,
+	}, t.Logf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !sat.Found {
+		t.Fatalf("knee not found: %+v", sat)
+	}
+	// The bucket admits 50/s steady state: rates well under pass, well over
+	// fail. The bracket must straddle the true capacity.
+	if sat.KneeQPS < 16 || sat.KneeQPS > 80 {
+		t.Errorf("knee %.1f qps implausible for a 50 qps bucket", sat.KneeQPS)
+	}
+	if sat.FirstFailQPS <= sat.KneeQPS {
+		t.Errorf("bracket inverted: knee %.1f, first fail %.1f", sat.KneeQPS, sat.FirstFailQPS)
+	}
+	if sat.RejectedFractionAtFail <= 0 {
+		t.Errorf("first failing step shows no 429s: %+v", sat)
+	}
+	for i, step := range sat.Steps {
+		if step.CrossValidation == nil || !step.CrossValidation.CountsAgree {
+			t.Errorf("step %d failed cross-validation: %+v", i, step.CrossValidation)
+		}
+	}
+}

@@ -1,0 +1,204 @@
+package loadgen
+
+import (
+	"context"
+	"fmt"
+	"time"
+)
+
+// SLO is the pass/fail objective a load step is judged against.
+type SLO struct {
+	// P99 bounds the overall client-observed p99 latency (intended-start
+	// accounting, so queueing counts). Zero disables the latency check.
+	P99 time.Duration
+	// MaxErrorFraction bounds the fraction of intended arrivals that ended
+	// badly: server-attributable classes (rejected, timeout, server),
+	// network errors, and client-side drops. Zero means any bad outcome
+	// fails the step.
+	MaxErrorFraction float64
+}
+
+// Check judges one run against the SLO, returning one violation string per
+// broken objective (empty: the run passed).
+func (s SLO) Check(res RunResult) []string {
+	var out []string
+	if s.P99 > 0 {
+		p99 := time.Duration(res.Overall.P99MS * float64(time.Millisecond))
+		if p99 > s.P99 {
+			out = append(out, fmt.Sprintf("p99 %.1fms > objective %.1fms",
+				res.Overall.P99MS, float64(s.P99)/float64(time.Millisecond)))
+		}
+	}
+	bad := res.Overall.Classes["rejected"] + res.Overall.Classes["timeout"] +
+		res.Overall.Classes["server"] + res.Overall.Classes[ClassNetwork] + res.Dropped
+	if res.Intended > 0 {
+		frac := float64(bad) / float64(res.Intended)
+		if frac > s.MaxErrorFraction {
+			out = append(out, fmt.Sprintf("error fraction %.4f > objective %.4f (%d bad of %d intended)",
+				frac, s.MaxErrorFraction, bad, res.Intended))
+		}
+	}
+	return out
+}
+
+// SaturationConfig shapes a knee search.
+type SaturationConfig struct {
+	// StartQPS seeds the ramp (default 4); MaxQPS caps it (default 4096) —
+	// hitting the cap without an SLO failure means the server's knee is
+	// beyond what this client can measure.
+	StartQPS float64
+	MaxQPS   float64
+	// StepDuration is how long each probe runs (default 3s). Short steps
+	// ramp fast but sample the tail thinly; capacity reports should use
+	// at least ~10s.
+	StepDuration time.Duration
+	// SLO judges each step.
+	SLO SLO
+	// RelTolerance stops the bisection once (fail-pass)/pass is below it
+	// (default 0.2 — knee known to within 20%).
+	RelTolerance float64
+	// CountTolerance is passed through to each step's cross-validation.
+	CountTolerance int64
+}
+
+func (c SaturationConfig) withDefaults() SaturationConfig {
+	if c.StartQPS <= 0 {
+		c.StartQPS = 4
+	}
+	if c.MaxQPS <= 0 {
+		c.MaxQPS = 4096
+	}
+	if c.StepDuration <= 0 {
+		c.StepDuration = 3 * time.Second
+	}
+	if c.RelTolerance <= 0 {
+		c.RelTolerance = 0.2
+	}
+	return c
+}
+
+// SaturationResult is the outcome of a knee search.
+type SaturationResult struct {
+	// Found is true when the search bracketed the knee: KneeQPS is the
+	// highest probed rate that passed the SLO, FirstFailQPS the lowest that
+	// failed. False means every rate up to the cap passed (KneeQPS then
+	// holds the cap, a lower bound on capacity).
+	Found        bool    `json:"found"`
+	KneeQPS      float64 `json:"knee_qps"`
+	FirstFailQPS float64 `json:"first_fail_qps,omitempty"`
+	// RejectedFractionAtFail is the 429 share of intended arrivals at the
+	// first failing rate — non-zero confirms the knee is admission-control
+	// shedding rather than a client artifact.
+	RejectedFractionAtFail float64 `json:"rejected_fraction_at_fail,omitempty"`
+	// Steps records every probe in execution order, each with its scrape
+	// delta and cross-validation attached.
+	Steps []RunResult `json:"steps"`
+}
+
+// RunValidated runs one rate bracketed by /metrics scrapes and attaches the
+// server delta and the client/server cross-validation to the result. This is
+// the unit FindKnee probes with, and the whole of -mode fixed.
+func (g *Generator) RunValidated(ctx context.Context, qps float64, d time.Duration, tol int64) (RunResult, error) {
+	before, err := g.Scrape(ctx)
+	if err != nil {
+		return RunResult{}, err
+	}
+	res, err := g.Run(ctx, qps, d)
+	if err != nil {
+		return RunResult{}, err
+	}
+	after, err := g.ScrapeSettled(ctx, before, res.Completed-res.NetworkErrors)
+	if err != nil {
+		return RunResult{}, err
+	}
+	res.ServerDelta = deltaSnapshots(before, after)
+	res.CrossValidation = CrossValidate(before, after, res, tol)
+	return res, nil
+}
+
+// FindKnee searches for the maximum sustainable rate under the SLO: a
+// doubling ramp from StartQPS until the first failing rate, then bisection
+// of the bracket down to RelTolerance. Every step is scraped and
+// cross-validated against the server's counters; a count disagreement aborts
+// the search, because a capacity number derived from telemetry that does not
+// reconcile is worse than no number.
+//
+// log, when non-nil, receives one line per step (Printf-style).
+func (g *Generator) FindKnee(ctx context.Context, sc SaturationConfig, logf func(format string, args ...any)) (SaturationResult, error) {
+	sc = sc.withDefaults()
+	if logf == nil {
+		logf = func(string, ...any) {}
+	}
+	var sat SaturationResult
+
+	step := func(qps float64) (RunResult, bool, error) {
+		res, err := g.RunValidated(ctx, qps, sc.StepDuration, sc.CountTolerance)
+		if err != nil {
+			return RunResult{}, false, err
+		}
+		res.SLOViolations = sc.SLO.Check(res)
+		sat.Steps = append(sat.Steps, res)
+		pass := len(res.SLOViolations) == 0
+		verdict := "pass"
+		if !pass {
+			verdict = fmt.Sprintf("FAIL (%v)", res.SLOViolations)
+		}
+		logf("step %.1f qps: achieved %.1f, p99 %.1fms, classes %v: %s",
+			qps, res.AchievedQPS, res.Overall.P99MS, res.Overall.Classes, verdict)
+		if !res.CrossValidation.CountsAgree {
+			return res, pass, fmt.Errorf(
+				"loadgen: client/server count mismatch at %.1f qps: %v",
+				qps, res.CrossValidation.Mismatches)
+		}
+		return res, pass, nil
+	}
+
+	// Ramp: double until the SLO breaks or the cap is reached.
+	lo, hi := 0.0, 0.0 // lo: last passing rate, hi: first failing rate
+	var failRes RunResult
+	for qps := sc.StartQPS; ; qps *= 2 {
+		if qps > sc.MaxQPS {
+			qps = sc.MaxQPS
+		}
+		res, pass, err := step(qps)
+		if err != nil {
+			return sat, err
+		}
+		if pass {
+			lo = qps
+			if qps >= sc.MaxQPS {
+				sat.KneeQPS = lo
+				logf("no SLO failure up to cap %.1f qps; knee is beyond measurement range", sc.MaxQPS)
+				return sat, nil
+			}
+			continue
+		}
+		hi, failRes = qps, res
+		break
+	}
+
+	// Bisect the bracket. lo == 0 means even StartQPS failed; report that
+	// honestly rather than probing below it.
+	for lo > 0 && (hi-lo)/lo > sc.RelTolerance {
+		mid := (lo + hi) / 2
+		res, pass, err := step(mid)
+		if err != nil {
+			return sat, err
+		}
+		if pass {
+			lo = mid
+		} else {
+			hi, failRes = mid, res
+		}
+	}
+
+	sat.Found = true
+	sat.KneeQPS = lo
+	sat.FirstFailQPS = hi
+	if failRes.Intended > 0 {
+		sat.RejectedFractionAtFail = float64(failRes.Overall.Classes["rejected"]) / float64(failRes.Intended)
+	}
+	logf("knee: %.1f qps passes, %.1f qps fails (rejected fraction at fail %.4f)",
+		sat.KneeQPS, sat.FirstFailQPS, sat.RejectedFractionAtFail)
+	return sat, nil
+}

@@ -1,0 +1,289 @@
+package loadgen
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"sort"
+	"time"
+
+	"lbkeogh/internal/obs/expofmt"
+	"lbkeogh/internal/obs/ops"
+)
+
+// ServerSnapshot is one scrape of the server's cumulative request counters
+// and rolling-window latency view, parsed from /metrics through expofmt.
+type ServerSnapshot struct {
+	// Counts is shapeserver_endpoint_requests_total by endpoint then error
+	// class — cumulative since process start, so two snapshots delta exactly.
+	Counts map[string]map[string]int64
+	// Admitted and Rejected are the admission-control lifetime counters.
+	Admitted int64
+	Rejected int64
+	// WindowP99S holds the rolling window's bucket-resolution p99 (seconds)
+	// per endpoint, +Inf when the window's tail blew past the finite buckets,
+	// absent when the window saw no requests.
+	WindowP99S map[string]float64
+}
+
+// Total sums every endpoint/class count.
+func (s *ServerSnapshot) Total() int64 {
+	var t int64
+	for _, classes := range s.Counts {
+		for _, v := range classes {
+			t += v
+		}
+	}
+	return t
+}
+
+// Scrape fetches and parses the server's /metrics.
+func (g *Generator) Scrape(ctx context.Context) (*ServerSnapshot, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, g.cfg.Target+"/metrics", nil)
+	if err != nil {
+		return nil, err
+	}
+	resp, err := g.client.Do(req)
+	if err != nil {
+		return nil, fmt.Errorf("loadgen: scrape: %w", err)
+	}
+	body, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		return nil, fmt.Errorf("loadgen: scrape read: %w", err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("loadgen: scrape: status %d", resp.StatusCode)
+	}
+	e, err := expofmt.Parse(string(body))
+	if err != nil {
+		return nil, fmt.Errorf("loadgen: scrape parse: %w", err)
+	}
+	snap := &ServerSnapshot{
+		Counts:     map[string]map[string]int64{},
+		WindowP99S: map[string]float64{},
+	}
+	for _, s := range e.Find("shapeserver_endpoint_requests_total") {
+		ep := s.Labels["endpoint"]
+		if snap.Counts[ep] == nil {
+			snap.Counts[ep] = map[string]int64{}
+		}
+		snap.Counts[ep][s.Labels["class"]] = int64(s.Value)
+	}
+	if len(snap.Counts) == 0 {
+		return nil, fmt.Errorf("loadgen: scrape: shapeserver_endpoint_requests_total missing from exposition")
+	}
+	snap.Admitted = e.Counter("shapeserver_admitted_total", nil)
+	snap.Rejected = e.Counter("shapeserver_rejected_total", nil)
+	for ep := range snap.Counts {
+		if p99, ok := e.HistogramQuantile("shapeserver_request_duration_seconds",
+			map[string]string{"endpoint": ep}, 0.99); ok {
+			snap.WindowP99S[ep] = p99
+		}
+	}
+	return snap, nil
+}
+
+// ScrapeSettled scrapes until the server's counters have advanced by at
+// least want over before (or the deadline passes, returning the last scrape
+// anyway). The server observes a request's terminal outcome after writing
+// its response, so a client that has just read its last response body can
+// race a scrape by a scheduler quantum; polling absorbs that without
+// papering over real disagreement.
+func (g *Generator) ScrapeSettled(ctx context.Context, before *ServerSnapshot, want int64) (*ServerSnapshot, error) {
+	deadline := time.Now().Add(2 * time.Second)
+	for {
+		after, err := g.Scrape(ctx)
+		if err != nil {
+			return nil, err
+		}
+		if after.Total()-before.Total() >= want || time.Now().After(deadline) {
+			return after, nil
+		}
+		select {
+		case <-time.After(50 * time.Millisecond):
+		case <-ctx.Done():
+			return after, nil
+		}
+	}
+}
+
+// ServerDelta is the change in server-side counters across one run.
+type ServerDelta struct {
+	Counts   map[string]map[string]int64 `json:"counts"`
+	Admitted int64                       `json:"admitted"`
+	Rejected int64                       `json:"rejected"`
+	// WindowP99MS is the rolling-window p99 per endpoint at the after-scrape
+	// (ms; the window is wall-time trailing, so this reflects the run only
+	// when the run fits inside it).
+	WindowP99MS map[string]float64 `json:"window_p99_ms"`
+}
+
+func deltaSnapshots(before, after *ServerSnapshot) *ServerDelta {
+	d := &ServerDelta{
+		Counts:      map[string]map[string]int64{},
+		Admitted:    after.Admitted - before.Admitted,
+		Rejected:    after.Rejected - before.Rejected,
+		WindowP99MS: map[string]float64{},
+	}
+	for ep, classes := range after.Counts {
+		for class, v := range classes {
+			dv := v - before.Counts[ep][class]
+			if dv != 0 {
+				if d.Counts[ep] == nil {
+					d.Counts[ep] = map[string]int64{}
+				}
+				d.Counts[ep][class] = dv
+			}
+		}
+	}
+	for ep, v := range after.WindowP99S {
+		d.WindowP99MS[ep] = v * 1e3
+	}
+	return d
+}
+
+// CrossValidation is the verdict of comparing client-observed outcomes
+// against the server's own counter deltas for the same run.
+type CrossValidation struct {
+	// CountsAgree is false when any per-endpoint, per-class count disagrees
+	// beyond the tolerance; Mismatches names each disagreement.
+	CountsAgree bool     `json:"counts_agree"`
+	Mismatches  []string `json:"mismatches,omitempty"`
+	// LatencyChecked is true when some endpoint qualified for the p99
+	// comparison (clean outcomes, enough samples); LatencyAgree then reports
+	// whether every checked endpoint's client p99 sits within the stated
+	// bucket tolerance of the server's window p99.
+	LatencyChecked bool `json:"latency_checked"`
+	LatencyAgree   bool `json:"latency_agree"`
+	// ClientP99MS / ServerWindowP99MS carry the compared values per checked
+	// endpoint.
+	ClientP99MS       map[string]float64 `json:"client_p99_ms,omitempty"`
+	ServerWindowP99MS map[string]float64 `json:"server_window_p99_ms,omitempty"`
+}
+
+// latencyMinRequests is the sample floor below which a bucket-resolution p99
+// comparison is noise.
+const latencyMinRequests = 20
+
+// CrossValidate reconciles a run's client tallies against the server counter
+// delta between before and after.
+//
+// Counts: for each endpoint the client drove, every error class must match
+// within tol — except that requests the client wrote off as network errors
+// may have reached the server and been counted there (typically as "ok" or
+// "server" when the client connection dropped mid-response), so per-class
+// and total comparisons get NetworkErrors of slack in that direction.
+//
+// Latency: endpoints with only "ok" outcomes and at least latencyMinRequests
+// samples are compared p99-to-p99 against the server's rolling window. Both
+// sides bucket into the same power-of-two bounds, but they measure different
+// spans — the client from intended start to body receipt (queueing and
+// network included), the server from admission to response write — so the
+// comparison allows three buckets (a factor of 8) of client-over-server
+// spread and flags server-over-client beyond one bucket, which would mean
+// the client is under-reporting. Only meaningful when the run fits inside
+// the server's rolling window; callers at saturation should expect
+// LatencyChecked == false because error classes disqualify the endpoints.
+func CrossValidate(before, after *ServerSnapshot, res RunResult, tol int64) *CrossValidation {
+	cv := &CrossValidation{
+		CountsAgree:       true,
+		LatencyAgree:      true,
+		ClientP99MS:       map[string]float64{},
+		ServerWindowP99MS: map[string]float64{},
+	}
+	delta := deltaSnapshots(before, after)
+	slack := res.NetworkErrors
+
+	eps := make([]string, 0, len(res.Endpoints))
+	for ep := range res.Endpoints {
+		eps = append(eps, ep)
+	}
+	sort.Strings(eps)
+	for _, ep := range eps {
+		rep := res.Endpoints[ep]
+		for _, class := range ops.ClassNames() {
+			clientN := rep.Classes[class]
+			serverN := delta.Counts[ep][class]
+			diff := serverN - clientN
+			lo, hi := -tol, tol
+			// Network write-offs may surface server-side in any class, so
+			// the server may exceed the client by up to the slack.
+			hi += slack
+			if diff < lo || diff > hi {
+				cv.CountsAgree = false
+				cv.Mismatches = append(cv.Mismatches, fmt.Sprintf(
+					"endpoint %s class %s: client %d vs server %d (tol %d, network slack %d)",
+					ep, class, clientN, serverN, tol, slack))
+			}
+		}
+
+		clean := rep.Requests >= latencyMinRequests && rep.Classes["ok"] == rep.Requests
+		serverP99S, haveServer := after.WindowP99S[ep]
+		if clean && haveServer && serverP99S > 0 {
+			cv.LatencyChecked = true
+			cv.ClientP99MS[ep] = rep.P99MS
+			cv.ServerWindowP99MS[ep] = serverP99S * 1e3
+			clientMS, serverMS := rep.P99MS, serverP99S*1e3
+			// Three power-of-two buckets of client-over-server spread, one
+			// of server-over-client.
+			if clientMS > serverMS*8 || clientMS < serverMS/2 {
+				cv.LatencyAgree = false
+				cv.Mismatches = append(cv.Mismatches, fmt.Sprintf(
+					"endpoint %s p99: client %.2fms vs server window %.2fms outside [x0.5, x8]",
+					ep, clientMS, serverMS))
+			}
+		}
+	}
+
+	// Totals, including classes the client never saw (they would have been
+	// caught above only for endpoints the client drove).
+	var clientTotal int64
+	for _, rep := range res.Endpoints {
+		clientTotal += rep.Requests
+	}
+	clientTotal -= res.NetworkErrors // network errors may not have reached the server
+	var serverTotal int64
+	for _, classes := range delta.Counts {
+		for _, v := range classes {
+			serverTotal += v
+		}
+	}
+	if d := serverTotal - clientTotal; d < -tol || d > tol+slack {
+		cv.CountsAgree = false
+		cv.Mismatches = append(cv.Mismatches, fmt.Sprintf(
+			"total: client %d (minus %d network) vs server %d (tol %d)",
+			clientTotal+res.NetworkErrors, res.NetworkErrors, serverTotal, tol))
+	}
+	return cv
+}
+
+// Discover reads the server's /livez to size the workload: how many series
+// the database holds (bounds query_index) and their length.
+func Discover(ctx context.Context, target string, client *http.Client) (dbSize, seriesLen int, err error) {
+	if client == nil {
+		client = http.DefaultClient
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, target+"/livez", nil)
+	if err != nil {
+		return 0, 0, err
+	}
+	resp, err := client.Do(req)
+	if err != nil {
+		return 0, 0, fmt.Errorf("loadgen: discover: %w", err)
+	}
+	defer resp.Body.Close()
+	var health struct {
+		SeriesLen int `json:"series_len"`
+		DBSize    int `json:"db_size"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&health); err != nil {
+		return 0, 0, fmt.Errorf("loadgen: discover decode: %w", err)
+	}
+	if health.DBSize <= 0 {
+		return 0, 0, fmt.Errorf("loadgen: discover: server reports db_size %d", health.DBSize)
+	}
+	return health.DBSize, health.SeriesLen, nil
+}

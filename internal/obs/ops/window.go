@@ -55,6 +55,11 @@ var classNames = [numClasses]string{"ok", "client", "rejected", "timeout", "serv
 // ErrorClass buckets an HTTP status code into its error-class label.
 func ErrorClass(status int) string { return classNames[classIndex(status)] }
 
+// ClassNames returns the error-class label vocabulary in emission order, so
+// layers that pre-create one counter per class (the serving telemetry, the
+// load generator's cross-validation) share this exact vocabulary.
+func ClassNames() []string { return append([]string(nil), classNames[:]...) }
+
 func classIndex(status int) int {
 	switch {
 	case status == 429:

@@ -290,6 +290,9 @@ func (s *Server) searchEndpoint(kind searchKind) http.HandlerFunc {
 		// the pool on every path.
 		defer s.pool.Checkin(sess)
 
+		if hook := s.cfg.BeforeSearchHook; hook != nil {
+			hook()
+		}
 		q := sess.Q
 		q.ResetStats() // per-request delta: the response carries only this search
 		start := time.Now()

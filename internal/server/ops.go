@@ -7,6 +7,7 @@ import (
 	"log/slog"
 	"sort"
 	"strings"
+	"sync/atomic"
 	"time"
 
 	"lbkeogh"
@@ -49,6 +50,13 @@ type telemetry struct {
 	endpoints  map[string]*ops.RED
 	strategies map[string]*ops.RED
 	prune      map[string]*ops.PruneWindow
+
+	// reqTotals counts every terminal request outcome since process start,
+	// by endpoint and error class. Unlike the rolling windows these are
+	// cumulative, so an external scraper can delta two scrapes and compare
+	// against its own accounting exactly — the seam shapeload's client/server
+	// cross-validation hangs off.
+	reqTotals map[string]map[string]*atomic.Int64
 }
 
 func newTelemetry(cfg Config) *telemetry {
@@ -60,9 +68,14 @@ func newTelemetry(cfg Config) *telemetry {
 		endpoints:  map[string]*ops.RED{},
 		strategies: map[string]*ops.RED{},
 		prune:      map[string]*ops.PruneWindow{},
+		reqTotals:  map[string]map[string]*atomic.Int64{},
 	}
 	for _, ep := range telemetryEndpoints {
 		t.endpoints[ep] = ops.NewRED(wcfg)
+		t.reqTotals[ep] = map[string]*atomic.Int64{}
+		for _, class := range ops.ClassNames() {
+			t.reqTotals[ep][class] = &atomic.Int64{}
+		}
 	}
 	for _, st := range telemetryStrategies {
 		t.strategies[st] = ops.NewRED(wcfg)
@@ -71,9 +84,11 @@ func newTelemetry(cfg Config) *telemetry {
 	return t
 }
 
-// observeRequest folds one terminal request outcome into its endpoint window.
+// observeRequest folds one terminal request outcome into its endpoint window
+// and the cumulative endpoint/class totals.
 func (t *telemetry) observeRequest(endpoint string, status int, dur time.Duration, traceID int64) {
 	t.endpoints[endpoint].Observe(status, dur, traceID)
+	t.reqTotals[endpoint][ops.ErrorClass(status)].Add(1)
 }
 
 // observeSearch folds one executed search into its strategy's RED and
@@ -130,6 +145,15 @@ func (t *telemetry) writeMetrics(w io.Writer) {
 		"Request latency over the trailing window, by endpoint; buckets carry trace-ID exemplars.")
 	for _, ep := range eps {
 		writeREDHistogram(w, "shapeserver_request_duration_seconds", ep, snaps[ep])
+	}
+
+	ops.WriteFamily(w, "shapeserver_endpoint_requests_total", "counter",
+		"Terminal request outcomes since process start, by endpoint and error class (the cumulative counters shapeload cross-validates against).")
+	for _, ep := range eps {
+		for _, class := range ops.ClassNames() {
+			fmt.Fprintf(w, "shapeserver_endpoint_requests_total{endpoint=%q,class=%q} %d\n",
+				ep, class, t.reqTotals[ep][class].Load())
+		}
 	}
 
 	ops.WriteFamily(w, "shapeserver_window_requests", "gauge",

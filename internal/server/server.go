@@ -65,6 +65,14 @@ type Config struct {
 	// Profiler, when set, is browsable at /debug/profiles. The server does
 	// not start or stop it; the owning process does.
 	Profiler *ops.Profiler
+
+	// BeforeSearchHook, when non-nil, runs after a request is admitted and
+	// its session checked out, immediately before the search executes. It is
+	// a test seam: integration tests block inside it to hold in-flight slots
+	// open and pin the admission-control semantics (429 on queue overflow,
+	// 504 on queued-deadline expiry) deterministically. Leave nil in
+	// production.
+	BeforeSearchHook func()
 }
 
 func (c *Config) fillDefaults() {

@@ -69,10 +69,11 @@ func TestServerMetricsExemplarCorrelation(t *testing.T) {
 		"shapeserver_window_requests",
 		"shapeserver_slo_latency_burn_rate",
 		"shapeserver_window_prune_rate",
+		"shapeserver_endpoint_requests_total",
 	} {
 		found := false
 		for _, s := range samples {
-			if s.name == fam {
+			if s.Name == fam {
 				found = true
 				break
 			}
@@ -86,13 +87,13 @@ func TestServerMetricsExemplarCorrelation(t *testing.T) {
 	// exemplar of the single request served so far.
 	var exTrace string
 	for _, s := range samples {
-		if s.name == "shapeserver_request_duration_seconds_bucket" &&
-			s.labels["endpoint"] == "search" && s.exemplar != nil {
+		if s.Name == "shapeserver_request_duration_seconds_bucket" &&
+			s.Labels["endpoint"] == "search" && s.Exemplar != nil {
 			if exTrace != "" {
 				t.Fatalf("two buckets carry exemplars after one request (%s and %s)",
-					exTrace, s.exemplar["trace_id"])
+					exTrace, s.Exemplar["trace_id"])
 			}
-			exTrace = s.exemplar["trace_id"]
+			exTrace = s.Exemplar["trace_id"]
 		}
 	}
 	if exTrace == "" {

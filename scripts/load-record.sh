@@ -1,0 +1,67 @@
+#!/bin/sh
+# Record a capacity point into the bench trajectory: boot shapeserver on a
+# synthetic database, run the shapeload saturation search against it, and
+# leave bench/LOAD_<date>.json behind. Used by `make load-record`; commit the
+# report so the load trajectory grows alongside the BENCH_*.json one.
+#
+# The serving shape (one in-flight search, a two-deep wait queue over a
+# 2000x256 synthetic database) is chosen so the knee manifests as 429
+# shedding at a rate a single-core CI box can comfortably offer: a deep
+# queue or a high in-flight bound turns overload into queueing latency
+# first — some of it upstream of admission when client and server share
+# cores — which hides the admission controller from the saturation search.
+set -eu
+
+BENCH_DIR=${1:-bench}
+GO=${GO:-go}
+tmp=$(mktemp -d)
+spid=""
+cleanup() {
+	[ -n "$spid" ] && kill "$spid" 2>/dev/null || true
+	rm -rf "$tmp"
+}
+trap cleanup EXIT INT TERM
+
+$GO build -o "$tmp/shapeserver" ./cmd/shapeserver
+$GO build -o "$tmp/shapeload" ./cmd/shapeload
+
+sok=""
+for try in 0 1 2 3 4; do
+	saddr="127.0.0.1:$((18681 + try))"
+	"$tmp/shapeserver" -addr "$saddr" -synthetic 2000,256 -seed 7 \
+		-inflight 1 -queue 2 \
+		>"$tmp/shapeserver.log" 2>&1 &
+	spid=$!
+	i=0
+	while [ $i -lt 100 ]; do
+		if ! kill -0 "$spid" 2>/dev/null; then
+			break # died; likely the port was in use
+		fi
+		if curl -fsS "http://$saddr/readyz" >/dev/null 2>&1; then
+			sok=1
+			break
+		fi
+		sleep 0.2
+		i=$((i + 1))
+	done
+	[ -n "$sok" ] && break
+	kill "$spid" 2>/dev/null || true
+	wait "$spid" 2>/dev/null || true
+	spid=""
+done
+if [ -z "$sok" ]; then
+	echo "load-record: shapeserver failed to start" >&2
+	cat "$tmp/shapeserver.log" >&2
+	exit 1
+fi
+
+"$tmp/shapeload" -target "http://$saddr" -mode ramp \
+	-mix search=2,topk=1,range=1 -repeat 0.5 -timeout 2s \
+	-start-qps 8 -max-qps 512 -step 2s \
+	-slo-p99 250ms -slo-errors 0.01 \
+	-out "$BENCH_DIR"
+
+kill -TERM "$spid" 2>/dev/null || true
+wait "$spid" 2>/dev/null || true
+spid=""
+echo "load-record: done"

@@ -6,7 +6,10 @@
 # nearest-neighbour and top-K search plus a deliberately timed-out request,
 # check the structured request log correlates with response trace IDs, the
 # profiling ring serves captures, and /readyz flips while the server drains
-# gracefully on SIGTERM.
+# gracefully on SIGTERM. Part 3: boot a fresh shapeserver and fire a short
+# shapeload burst at it, asserting the SLO report is written, parses, and
+# the client's request counts reconciled against the server's /metrics
+# counters (shapeload exits non-zero when they disagree).
 set -eu
 
 GO=${GO:-go}
@@ -212,3 +215,66 @@ grep -q '"msg":"drained"' "$tmp/shapeserver.log" ||
 	fail "shapeserver did not report a clean drain"
 
 echo "smoke: ok ($saddr: search, topk, pool hit, 504 deadline, log correlation, profiles, readyz drain)"
+
+# ---- Part 3: shapeload capacity burst ------------------------------------
+
+$GO build -o "$tmp/shapeload" ./cmd/shapeload
+
+lok=""
+for try in 0 1 2 3 4; do
+	laddr="127.0.0.1:$((18711 + try))"
+	"$tmp/shapeserver" -addr "$laddr" -synthetic 200,128 -seed 7 \
+		>"$tmp/loadserver.log" 2>&1 &
+	spid=$!
+	i=0
+	while [ $i -lt 100 ]; do
+		if ! kill -0 "$spid" 2>/dev/null; then
+			break # died; likely the port was in use
+		fi
+		if curl -fsS "http://$laddr/readyz" >/dev/null 2>&1; then
+			lok=1
+			break
+		fi
+		sleep 0.2
+		i=$((i + 1))
+	done
+	[ -n "$lok" ] && break
+	kill "$spid" 2>/dev/null || true
+	wait "$spid" 2>/dev/null || true
+	spid=""
+done
+[ -n "$lok" ] || {
+	echo "smoke: shapeserver for the load burst failed to start" >&2
+	cat "$tmp/loadserver.log" >&2
+	exit 1
+}
+
+# A ~2s mixed burst well under capacity. shapeload itself exits non-zero if
+# the client/server counter reconciliation fails, so the burst succeeding is
+# already the cross-validation assertion; the greps below pin the artifact.
+"$tmp/shapeload" -target "http://$laddr" -mode fixed -qps 40 -duration 2s \
+	-mix search=2,topk=1,range=1 -repeat 0.5 -timeout 2s \
+	-out "$tmp/loadbench" >"$tmp/shapeload.log" 2>&1 ||
+	{
+		cat "$tmp/shapeload.log" >&2
+		fail "shapeload burst failed (client/server counters disagree?)"
+	}
+report=$(ls "$tmp"/loadbench/LOAD_*.json 2>/dev/null | head -1)
+[ -n "$report" ] ||
+	fail "shapeload wrote no LOAD_*.json report"
+if command -v python3 >/dev/null 2>&1; then
+	python3 -m json.tool "$report" >/dev/null ||
+		fail "SLO report is not valid JSON"
+fi
+grep -q '"counts_agree": true' "$report" ||
+	fail "SLO report does not record client/server count agreement"
+grep -q '"offered_qps": 40' "$report" ||
+	fail "SLO report is missing the offered load"
+grep -q '"p99_ms"' "$report" ||
+	fail "SLO report is missing latency quantiles"
+
+kill -TERM "$spid" 2>/dev/null || true
+wait "$spid" 2>/dev/null || true
+spid=""
+
+echo "smoke: ok ($laddr: shapeload burst, SLO report written, client/server counts reconcile)"

@@ -12,6 +12,7 @@ import (
 
 	"lbkeogh"
 	"lbkeogh/internal/obs"
+	"lbkeogh/internal/obs/expofmt"
 )
 
 // tracedSearch runs one fully-sampled traced search and returns the query,
@@ -243,129 +244,16 @@ func TestTracerIsAliasOfInternalInterface(t *testing.T) {
 	_ = asInternal
 }
 
-// expoSample is one parsed Prometheus text-format sample. exemplar holds the
-// OpenMetrics exemplar labels (e.g. trace_id) when the line carries a
-// `# {labels} value [timestamp]` suffix, nil otherwise.
-type expoSample struct {
-	name     string
-	labels   map[string]string
-	value    float64
-	exemplar map[string]string
-}
-
-// parseExposition is a minimal Prometheus text-format (0.0.4) parser that
-// enforces: every sample's family has # HELP and # TYPE lines before its
-// first sample, and sample lines are `name[{labels}] value`.
-func parseExposition(t *testing.T, body string) (samples []expoSample, types map[string]string) {
+// parseExposition parses a /metrics body through internal/obs/expofmt — the
+// supported parser this helper was promoted into — failing the test on any
+// format violation (HELP/TYPE ordering, malformed samples or exemplars).
+func parseExposition(t *testing.T, body string) (samples []expofmt.Sample, types map[string]string) {
 	t.Helper()
-	help := map[string]bool{}
-	types = map[string]string{}
-	seen := map[string]bool{}
-	family := func(name string) string {
-		for _, suffix := range []string{"_bucket", "_sum", "_count"} {
-			base := strings.TrimSuffix(name, suffix)
-			if base != name && types[base] == "histogram" {
-				return base
-			}
-		}
-		return name
+	e, err := expofmt.Parse(body)
+	if err != nil {
+		t.Fatal(err)
 	}
-	for ln, line := range strings.Split(body, "\n") {
-		line = strings.TrimSpace(line)
-		if line == "" {
-			continue
-		}
-		if strings.HasPrefix(line, "# HELP ") {
-			parts := strings.SplitN(line[len("# HELP "):], " ", 2)
-			if len(parts) != 2 || parts[1] == "" {
-				t.Fatalf("line %d: HELP without text: %q", ln+1, line)
-			}
-			help[parts[0]] = true
-			continue
-		}
-		if strings.HasPrefix(line, "# TYPE ") {
-			parts := strings.Fields(line[len("# TYPE "):])
-			if len(parts) != 2 {
-				t.Fatalf("line %d: malformed TYPE: %q", ln+1, line)
-			}
-			types[parts[0]] = parts[1]
-			continue
-		}
-		if strings.HasPrefix(line, "#") {
-			continue
-		}
-		// An OpenMetrics exemplar rides after the sample value as
-		// ` # {labels} value [timestamp]`; split it off before the value
-		// parse below (whose LastIndex would otherwise grab the exemplar's
-		// trailing timestamp).
-		var exemplar map[string]string
-		if i := strings.Index(line, " # {"); i >= 0 {
-			ex := line[i+len(" # "):]
-			end := strings.Index(ex, "}")
-			if end < 0 {
-				t.Fatalf("line %d: unterminated exemplar labels: %q", ln+1, line)
-			}
-			exemplar = map[string]string{}
-			for _, pair := range strings.Split(ex[1:end], ",") {
-				if pair == "" {
-					continue
-				}
-				kv := strings.SplitN(pair, "=", 2)
-				if len(kv) != 2 {
-					t.Fatalf("line %d: malformed exemplar label %q", ln+1, pair)
-				}
-				exemplar[kv[0]] = strings.Trim(kv[1], `"`)
-			}
-			fields := strings.Fields(ex[end+1:])
-			if len(fields) < 1 || len(fields) > 2 {
-				t.Fatalf("line %d: exemplar wants `value [timestamp]`, got %q", ln+1, ex[end+1:])
-			}
-			for _, f := range fields {
-				if _, err := strconv.ParseFloat(f, 64); err != nil {
-					t.Fatalf("line %d: bad exemplar number %q: %v", ln+1, f, err)
-				}
-			}
-			line = strings.TrimSpace(line[:i])
-		}
-		sp := strings.LastIndex(line, " ")
-		if sp < 0 {
-			t.Fatalf("line %d: malformed sample: %q", ln+1, line)
-		}
-		nameLabels, valStr := line[:sp], line[sp+1:]
-		val, err := strconv.ParseFloat(valStr, 64)
-		if err != nil {
-			t.Fatalf("line %d: bad sample value %q: %v", ln+1, valStr, err)
-		}
-		s := expoSample{labels: map[string]string{}, value: val, exemplar: exemplar}
-		if i := strings.Index(nameLabels, "{"); i >= 0 {
-			s.name = nameLabels[:i]
-			inner := strings.TrimSuffix(nameLabels[i+1:], "}")
-			for _, pair := range strings.Split(inner, ",") {
-				if pair == "" {
-					continue
-				}
-				kv := strings.SplitN(pair, "=", 2)
-				if len(kv) != 2 {
-					t.Fatalf("line %d: malformed label %q", ln+1, pair)
-				}
-				s.labels[kv[0]] = strings.Trim(kv[1], `"`)
-			}
-		} else {
-			s.name = nameLabels
-		}
-		fam := family(s.name)
-		if !seen[fam] {
-			if !help[fam] {
-				t.Fatalf("line %d: sample for %s before its # HELP", ln+1, fam)
-			}
-			if types[fam] == "" {
-				t.Fatalf("line %d: sample for %s before its # TYPE", ln+1, fam)
-			}
-			seen[fam] = true
-		}
-		samples = append(samples, s)
-	}
-	return samples, types
+	return e.Samples, e.Types
 }
 
 // TestMetricsExpositionWellFormed validates the full /metrics output with a
@@ -391,12 +279,12 @@ func TestMetricsExpositionWellFormed(t *testing.T) {
 
 	// Histogram invariants, per (family, non-le labelset).
 	type key struct{ fam, labels string }
-	buckets := map[key][]expoSample{}
+	buckets := map[key][]expofmt.Sample{}
 	counts := map[key]float64{}
 	sums := map[key]float64{}
-	nonLE := func(s expoSample) string {
+	nonLE := func(s expofmt.Sample) string {
 		var parts []string
-		for k, v := range s.labels {
+		for k, v := range s.Labels {
 			if k != "le" {
 				parts = append(parts, k+"="+v)
 			}
@@ -406,13 +294,13 @@ func TestMetricsExpositionWellFormed(t *testing.T) {
 	}
 	for _, s := range samples {
 		switch {
-		case strings.HasSuffix(s.name, "_bucket"):
-			k := key{strings.TrimSuffix(s.name, "_bucket"), nonLE(s)}
+		case strings.HasSuffix(s.Name, "_bucket"):
+			k := key{strings.TrimSuffix(s.Name, "_bucket"), nonLE(s)}
 			buckets[k] = append(buckets[k], s)
-		case strings.HasSuffix(s.name, "_count") && types[strings.TrimSuffix(s.name, "_count")] == "histogram":
-			counts[key{strings.TrimSuffix(s.name, "_count"), nonLE(s)}] = s.value
-		case strings.HasSuffix(s.name, "_sum") && types[strings.TrimSuffix(s.name, "_sum")] == "histogram":
-			sums[key{strings.TrimSuffix(s.name, "_sum"), nonLE(s)}] = s.value
+		case strings.HasSuffix(s.Name, "_count") && types[strings.TrimSuffix(s.Name, "_count")] == "histogram":
+			counts[key{strings.TrimSuffix(s.Name, "_count"), nonLE(s)}] = s.Value
+		case strings.HasSuffix(s.Name, "_sum") && types[strings.TrimSuffix(s.Name, "_sum")] == "histogram":
+			sums[key{strings.TrimSuffix(s.Name, "_sum"), nonLE(s)}] = s.Value
 		}
 	}
 	if len(buckets) == 0 {
@@ -421,7 +309,7 @@ func TestMetricsExpositionWellFormed(t *testing.T) {
 	for k, bs := range buckets {
 		prevLE, prevV := -1.0, -1.0
 		for i, b := range bs {
-			leStr := b.labels["le"]
+			leStr := b.Labels["le"]
 			le := -1.0
 			if leStr == "+Inf" {
 				if i != len(bs)-1 {
@@ -437,17 +325,17 @@ func TestMetricsExpositionWellFormed(t *testing.T) {
 				}
 				prevLE = le
 			}
-			if b.value < prevV {
-				t.Errorf("%v: bucket value %v decreased from %v (not cumulative)", k, b.value, prevV)
+			if b.Value < prevV {
+				t.Errorf("%v: bucket value %v decreased from %v (not cumulative)", k, b.Value, prevV)
 			}
-			prevV = b.value
+			prevV = b.Value
 		}
 		last := bs[len(bs)-1]
-		if last.labels["le"] != "+Inf" {
+		if last.Labels["le"] != "+Inf" {
 			t.Errorf("%v: histogram has no +Inf bucket", k)
 		}
-		if c, ok := counts[k]; !ok || last.value != c {
-			t.Errorf("%v: +Inf bucket %v != _count %v", k, last.value, c)
+		if c, ok := counts[k]; !ok || last.Value != c {
+			t.Errorf("%v: +Inf bucket %v != _count %v", k, last.Value, c)
 		}
 		if _, ok := sums[k]; !ok {
 			t.Errorf("%v: histogram has no _sum", k)
