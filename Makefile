@@ -1,7 +1,7 @@
 GO ?= go
 BENCH_DIR ?= bench
 
-.PHONY: all build vet lint test race bench bench-json bench-record bench-compare load-record smoke govulncheck ci clean
+.PHONY: all build vet lint bce-baseline test race race-concurrency bench bench-json bench-record bench-compare load-record smoke govulncheck ci clean
 
 all: build
 
@@ -12,15 +12,29 @@ vet:
 	$(GO) vet ./...
 
 # Repository-specific invariant checks (internal/lint): Tally confinement,
-# nil-sink guards, float equality, hot-path allocations, squared-space bounds.
+# nil-sink guards, float equality, hot-path allocations, squared-space bounds,
+# atomic/plain access mixes, lock ordering, lower-bound admissibility, and the
+# BCE baseline. -timing prints per-analyzer finding counts and wall time.
 lint:
-	$(GO) run ./cmd/lbkeoghvet ./...
+	$(GO) run ./cmd/lbkeoghvet -timing ./...
+
+# Regenerate the committed bounds-check baseline for //lbkeogh:hotpath
+# functions after a deliberate kernel change, then commit the file it names.
+bce-baseline:
+	$(GO) run ./cmd/lbkeoghvet -bce-update ./...
 
 test:
 	$(GO) test ./...
 
 race:
 	$(GO) test -race ./...
+
+# Focused race pass over the concurrency-heavy packages (server admission and
+# session pooling, open-loop load generation, streaming ingest, rolling
+# telemetry windows): -count=2 reruns shake out init-order-dependent
+# interleavings that a single -race pass can miss.
+race-concurrency:
+	$(GO) test -race -count=2 ./internal/server/... ./internal/loadgen/... ./internal/stream/... ./internal/obs/...
 
 # Short benchmark pass: one iteration of every benchmark, no unit tests.
 bench:
@@ -65,7 +79,7 @@ govulncheck:
 		echo "govulncheck not installed; skipping"; \
 	fi
 
-ci: build vet lint race bench smoke govulncheck
+ci: build vet lint race race-concurrency bench smoke govulncheck
 
 clean:
 	rm -rf $(BENCH_DIR)

@@ -65,7 +65,7 @@ func dtwBanded(q, c []float64, R int, r float64, cnt *stats.Tally) (float64, boo
 			hi = n - 1
 		}
 		rowMin := math.Inf(1)
-		for j := 0; j < n; j++ {
+		for j := range curr {
 			curr[j] = math.Inf(1)
 		}
 		for j := lo; j <= hi; j++ {

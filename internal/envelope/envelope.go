@@ -56,15 +56,19 @@ func New(series ...[]float64) Envelope {
 //
 //lbkeogh:hotpath
 func Merge(a, b Envelope) Envelope {
-	if len(a.U) != len(b.U) {
-		panic(fmt.Sprintf("envelope: Merge length mismatch %d vs %d", len(a.U), len(b.U)))
+	// Locals let the compiler prove the four length equalities below and
+	// drop every per-iteration bounds check in the loop (ssa/check_bce).
+	au, al, bu, bl := a.U, a.L, b.U, b.L
+	if len(au) != len(bu) || len(al) != len(au) || len(bl) != len(au) {
+		panic(fmt.Sprintf("envelope: Merge length mismatch U %d/%d L %d/%d",
+			len(au), len(bu), len(al), len(bl)))
 	}
-	n := len(a.U)
+	n := len(au)
 	u := make([]float64, n) //lint:ignore hotalloc result buffer, one per merge
 	l := make([]float64, n) //lint:ignore hotalloc result buffer, one per merge
-	for i := 0; i < n; i++ {
-		u[i] = math.Max(a.U[i], b.U[i])
-		l[i] = math.Min(a.L[i], b.L[i])
+	for i := range u {
+		u[i] = math.Max(au[i], bu[i])
+		l[i] = math.Min(al[i], bl[i])
 	}
 	return Envelope{U: u, L: l}
 }
@@ -174,9 +178,13 @@ func slidingMax(s []float64, R int, wantMax bool) []float64 {
 //
 //lbkeogh:hotpath
 //lbkeogh:rootspace
+//lbkeogh:lowerbound
 func LBKeogh(q []float64, e Envelope, r float64, cnt *stats.Tally) (float64, bool) {
-	if len(q) != len(e.U) {
-		panic(fmt.Sprintf("envelope: LBKeogh length mismatch %d vs %d", len(q), len(e.U)))
+	// Locals + a combined length check make u[i]/l[i] provably in bounds for
+	// every i < len(q), so the inner loop carries no bounds checks.
+	u, l := e.U, e.L
+	if len(q) != len(u) || len(l) != len(u) {
+		panic(fmt.Sprintf("envelope: LBKeogh length mismatch q %d vs U %d L %d", len(q), len(u), len(l)))
 	}
 	r2 := math.Inf(1)
 	if r >= 0 {
@@ -184,11 +192,11 @@ func LBKeogh(q []float64, e Envelope, r float64, cnt *stats.Tally) (float64, boo
 	}
 	var acc float64
 	for i, v := range q {
-		if v > e.U[i] {
-			d := v - e.U[i]
+		if v > u[i] {
+			d := v - u[i]
 			acc += d * d
-		} else if v < e.L[i] {
-			d := v - e.L[i]
+		} else if v < l[i] {
+			d := v - l[i]
 			acc += d * d
 		}
 		if acc > r2 {
@@ -210,12 +218,13 @@ func LBKeogh(q []float64, e Envelope, r float64, cnt *stats.Tally) (float64, boo
 //
 //lbkeogh:hotpath
 func LCSSUpperBound(q []float64, e Envelope, eps float64, cnt *stats.Tally) int {
-	if len(q) != len(e.U) {
-		panic(fmt.Sprintf("envelope: LCSSUpperBound length mismatch %d vs %d", len(q), len(e.U)))
+	u, l := e.U, e.L
+	if len(q) != len(u) || len(l) != len(u) {
+		panic(fmt.Sprintf("envelope: LCSSUpperBound length mismatch q %d vs U %d L %d", len(q), len(u), len(l)))
 	}
 	matches := 0
 	for i, v := range q {
-		if v <= e.U[i]+eps && v >= e.L[i]-eps {
+		if v <= u[i]+eps && v >= l[i]-eps {
 			matches++
 		}
 	}

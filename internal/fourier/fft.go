@@ -186,6 +186,7 @@ func Magnitudes(x []float64, D int) []float64 {
 // here, once, rather than in every caller.
 //
 //lbkeogh:rootspace
+//lbkeogh:lowerbound
 func LowerBoundED(a, b []float64) float64 {
 	if len(a) != len(b) {
 		panic(fmt.Sprintf("fourier: feature length mismatch %d vs %d", len(a), len(b)))

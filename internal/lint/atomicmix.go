@@ -1,0 +1,353 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// AtomicMix returns the atomicmix analyzer, the concurrency-hygiene gate the
+// scale arc (sharded scatter-gather, cross-shard best-so-far broadcast)
+// depends on. It enforces three invariants per package:
+//
+//  1. A struct field accessed through a sync/atomic function anywhere in the
+//     package must be accessed through sync/atomic everywhere: one plain
+//     load or store next to atomic ones is a data race the race detector
+//     only catches when the interleaving happens to fire. (Typed atomics —
+//     atomic.Int64 and friends — make this mistake unrepresentable and are
+//     the preferred fix.)
+//  2. Values whose type contains a sync lock (Mutex, RWMutex, WaitGroup,
+//     Once, Cond) must not be copied: value receivers, by-value parameters
+//     and results, and plain assignments that copy a lock all split the
+//     lock state in two.
+//  3. sync.WaitGroup.Add must not run inside the goroutine it gates: the
+//     spawned goroutine races with Wait, which may return before Add runs.
+func AtomicMix() *Analyzer {
+	a := &Analyzer{
+		Name: "atomicmix",
+		Doc: "flag struct fields accessed both atomically (sync/atomic) and plainly, " +
+			"sync locks copied by value, and WaitGroup.Add inside the goroutine it gates",
+	}
+	a.Run = func(pass *Pass) {
+		checkAtomicPlainMix(pass)
+		for _, f := range pass.Files {
+			ast.Inspect(f, func(n ast.Node) bool {
+				switch n := n.(type) {
+				case *ast.FuncDecl:
+					checkLockReceiver(pass, n)
+				case *ast.FuncType:
+					checkLockSignature(pass, n)
+				case *ast.AssignStmt:
+					checkLockAssign(pass, n)
+				case *ast.GoStmt:
+					checkGoWaitGroupAdd(pass, n)
+				}
+				return true
+			})
+		}
+	}
+	return a
+}
+
+// checkAtomicPlainMix collects every struct field whose address is passed to
+// a sync/atomic function, then reports each remaining plain (non-atomic) use
+// of the same field in the package.
+func checkAtomicPlainMix(pass *Pass) {
+	atomicFields := map[*types.Var]token.Position{}
+	// Selectors consumed by an atomic call (the &x.f argument) must not be
+	// re-reported as plain uses.
+	atomicSites := map[*ast.SelectorExpr]bool{}
+
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok || !isSyncAtomicCall(pass, call) {
+				return true
+			}
+			for _, arg := range call.Args {
+				un, ok := arg.(*ast.UnaryExpr)
+				if !ok || un.Op != token.AND {
+					continue
+				}
+				sel, ok := un.X.(*ast.SelectorExpr)
+				if !ok {
+					continue
+				}
+				field := selectedField(pass, sel)
+				if field == nil {
+					continue
+				}
+				if _, seen := atomicFields[field]; !seen {
+					atomicFields[field] = pass.Fset.Position(un.Pos())
+				}
+				atomicSites[sel] = true
+			}
+			return true
+		})
+	}
+	if len(atomicFields) == 0 {
+		return
+	}
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			sel, ok := n.(*ast.SelectorExpr)
+			if !ok || atomicSites[sel] {
+				return true
+			}
+			field := selectedField(pass, sel)
+			if field == nil {
+				return true
+			}
+			atomicAt, ok := atomicFields[field]
+			if !ok {
+				return true
+			}
+			pass.Reportf(sel.Pos(),
+				"field %s is accessed via sync/atomic at %s but plainly here; every access must be atomic (or use the typed atomic.%s)",
+				field.Name(), shortPosition(atomicAt), suggestTypedAtomic(field.Type()))
+			return true
+		})
+	}
+}
+
+// selectedField resolves a selector expression to the struct field it
+// denotes, or nil for methods, package qualifiers and non-field selections.
+func selectedField(pass *Pass, sel *ast.SelectorExpr) *types.Var {
+	s, ok := pass.TypesInfo.Selections[sel]
+	if !ok || s.Kind() != types.FieldVal {
+		return nil
+	}
+	v, _ := s.Obj().(*types.Var)
+	return v
+}
+
+func isSyncAtomicCall(pass *Pass, call *ast.CallExpr) bool {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	fn, ok := pass.TypesInfo.Uses[sel.Sel].(*types.Func)
+	return ok && fn.Pkg() != nil && fn.Pkg().Path() == "sync/atomic"
+}
+
+// suggestTypedAtomic names the typed atomic replacing a plain field.
+func suggestTypedAtomic(t types.Type) string {
+	if b, ok := t.Underlying().(*types.Basic); ok {
+		switch b.Kind() {
+		case types.Int32:
+			return "Int32"
+		case types.Int64:
+			return "Int64"
+		case types.Uint32:
+			return "Uint32"
+		case types.Uint64:
+			return "Uint64"
+		case types.Uintptr:
+			return "Uintptr"
+		case types.Bool:
+			return "Bool"
+		}
+	}
+	return "Value"
+}
+
+func shortPosition(p token.Position) string {
+	name := p.Filename
+	if i := strings.LastIndexByte(name, '/'); i >= 0 {
+		name = name[i+1:]
+	}
+	return fmt.Sprintf("%s:%d", name, p.Line)
+}
+
+// lockKinds are the sync types whose values must never be copied once used.
+var lockKinds = map[string]bool{
+	"sync.Mutex":     true,
+	"sync.RWMutex":   true,
+	"sync.WaitGroup": true,
+	"sync.Once":      true,
+	"sync.Cond":      true,
+}
+
+// typeHasLock reports whether t contains a sync lock by value (not behind a
+// pointer: copying a pointer to a lock is fine).
+func typeHasLock(t types.Type) bool {
+	seen := map[types.Type]bool{}
+	var walk func(types.Type) bool
+	walk = func(t types.Type) bool {
+		if t == nil || seen[t] {
+			return false
+		}
+		seen[t] = true
+		if lockKinds[namedTypeKeyNoPtr(t)] {
+			return true
+		}
+		switch u := t.Underlying().(type) {
+		case *types.Struct:
+			for i := 0; i < u.NumFields(); i++ {
+				if walk(u.Field(i).Type()) {
+					return true
+				}
+			}
+		case *types.Array:
+			return walk(u.Elem())
+		}
+		return false
+	}
+	return walk(t)
+}
+
+// namedTypeKeyNoPtr is namedTypeKey without the pointer unwrap: a *sync.Mutex
+// field is shareable, only the value form is a copy hazard.
+func namedTypeKeyNoPtr(t types.Type) string {
+	named, ok := t.(*types.Named)
+	if !ok {
+		return ""
+	}
+	obj := named.Obj()
+	if obj.Pkg() == nil {
+		return obj.Name()
+	}
+	return obj.Pkg().Path() + "." + obj.Name()
+}
+
+func lockTypeName(t types.Type) string {
+	if s := namedTypeKeyNoPtr(t); s != "" {
+		return s
+	}
+	return t.String()
+}
+
+// checkLockReceiver flags value receivers on types containing a lock: every
+// call copies the lock.
+func checkLockReceiver(pass *Pass, fd *ast.FuncDecl) {
+	if fd.Recv == nil || len(fd.Recv.List) == 0 {
+		return
+	}
+	t := pass.TypesInfo.TypeOf(fd.Recv.List[0].Type)
+	if t == nil {
+		return
+	}
+	if _, isPtr := t.(*types.Pointer); isPtr {
+		return
+	}
+	if typeHasLock(t) {
+		pass.Reportf(fd.Recv.List[0].Pos(),
+			"method %s has a value receiver of type %s, which contains a lock; every call copies it — use a pointer receiver",
+			fd.Name.Name, lockTypeName(t))
+	}
+}
+
+// checkLockSignature flags by-value lock parameters and results.
+func checkLockSignature(pass *Pass, ft *ast.FuncType) {
+	report := func(fl *ast.FieldList, what string) {
+		if fl == nil {
+			return
+		}
+		for _, field := range fl.List {
+			t := pass.TypesInfo.TypeOf(field.Type)
+			if t == nil {
+				continue
+			}
+			if _, isPtr := t.(*types.Pointer); isPtr {
+				continue
+			}
+			if typeHasLock(t) {
+				pass.Reportf(field.Pos(),
+					"%s of type %s passes a lock by value; pass a pointer so both sides share one lock state",
+					what, lockTypeName(t))
+			}
+		}
+	}
+	report(ft.Params, "parameter")
+	report(ft.Results, "result")
+}
+
+// checkLockAssign flags assignments that copy a lock-containing value from an
+// existing variable, field, element or dereference. Composite literals and
+// zero-value declarations initialize rather than copy and stay allowed.
+func checkLockAssign(pass *Pass, as *ast.AssignStmt) {
+	for i, rhs := range as.Rhs {
+		if i >= len(as.Lhs) {
+			break
+		}
+		// Assigning to the blank identifier evaluates but discards: no second
+		// live lock comes into existence.
+		if id, ok := as.Lhs[i].(*ast.Ident); ok && id.Name == "_" {
+			continue
+		}
+		switch rhs.(type) {
+		case *ast.Ident, *ast.SelectorExpr, *ast.StarExpr, *ast.IndexExpr:
+		default:
+			continue // literals, calls, conversions: not a copy of a live lock
+		}
+		t := pass.TypesInfo.TypeOf(rhs)
+		if t == nil {
+			continue
+		}
+		if _, isPtr := t.(*types.Pointer); isPtr {
+			continue
+		}
+		if typeHasLock(t) {
+			pass.Reportf(rhs.Pos(),
+				"assignment copies a value of type %s, which contains a lock; copy a pointer instead",
+				lockTypeName(t))
+		}
+	}
+}
+
+// checkGoWaitGroupAdd flags wg.Add calls lexically inside a go statement when
+// wg is declared outside it: the new goroutine races with Wait, which may
+// observe a zero counter and return before Add runs. Add belongs on the
+// spawning goroutine, before the go statement.
+func checkGoWaitGroupAdd(pass *Pass, g *ast.GoStmt) {
+	ast.Inspect(g.Call, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		sel, ok := call.Fun.(*ast.SelectorExpr)
+		if !ok || sel.Sel.Name != "Add" {
+			return true
+		}
+		fn, ok := pass.TypesInfo.Uses[sel.Sel].(*types.Func)
+		if !ok || fn.Pkg() == nil || fn.Pkg().Path() != "sync" {
+			return true
+		}
+		recv := rootIdent(sel.X)
+		if recv == nil {
+			return true
+		}
+		v, ok := pass.TypesInfo.Uses[recv].(*types.Var)
+		if !ok {
+			return true
+		}
+		if v.Pos() >= g.Pos() && v.Pos() <= g.End() {
+			return true // goroutine-local WaitGroup gating nested work
+		}
+		pass.Reportf(call.Pos(),
+			"%s.Add inside the goroutine it gates races with Wait; call Add on the spawning goroutine, before the go statement",
+			recv.Name)
+		return true
+	})
+}
+
+// rootIdent returns the leftmost identifier of a selector chain (wg in
+// wg.Add, s in s.wg.Add), or nil.
+func rootIdent(e ast.Expr) *ast.Ident {
+	for {
+		switch x := e.(type) {
+		case *ast.Ident:
+			return x
+		case *ast.SelectorExpr:
+			e = x.X
+		case *ast.ParenExpr:
+			e = x.X
+		case *ast.StarExpr:
+			e = x.X
+		default:
+			return nil
+		}
+	}
+}

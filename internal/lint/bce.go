@@ -1,0 +1,250 @@
+package lint
+
+import (
+	"bufio"
+	"bytes"
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// The bcebaseline check proves bounds-check elimination instead of guessing
+// at it: it drives `go build -gcflags=-d=ssa/check_bce` over every package
+// that contains a //lbkeogh:hotpath function, maps the compiler's "Found
+// IsInBounds"/"Found IsSliceInBounds" positions into those functions, and
+// diffs the per-function counts against a committed baseline. A NEW bounds
+// check in a hot path — the kind that quietly kills vectorization — fails
+// lbkeoghvet; an eliminated one is reported as a stale-baseline notice so
+// the improvement gets committed via `make bce-baseline`.
+//
+// Unlike the AST analyzers this check shells out to the compiler, so it runs
+// as a separate step in cmd/lbkeoghvet rather than through lint.Run. The
+// gcflags debug output is part of the compile's cached output and is
+// replayed verbatim on cache hits, so repeated runs stay cheap and
+// deterministic.
+
+// BCEBaselineName is the analyzer name bcebaseline diagnostics carry, used
+// by //lint:ignore directives and -only filters.
+const BCEBaselineName = "bcebaseline"
+
+// bceFunc is one //lbkeogh:hotpath function eligible for baseline tracking.
+type bceFunc struct {
+	key       string // pkgpath.Func or (pkgpath.Type).Method
+	file      string // absolute path
+	startLine int
+	endLine   int
+	pos       token.Position
+	count     int
+}
+
+// bceResult is the outcome of one baseline comparison.
+type bceResult struct {
+	Diagnostics []Diagnostic
+	// Stale lists baseline entries whose function improved or disappeared:
+	// not a failure, but the baseline should be regenerated and committed.
+	Stale []string
+}
+
+// collectHotpathFuncs finds every //lbkeogh:hotpath function in the loaded
+// packages, keyed for the baseline and carrying its file/line extent.
+// Functions in _test.go files are skipped: `go build` never compiles them.
+func collectHotpathFuncs(pkgs []*Package) []*bceFunc {
+	var funcs []*bceFunc
+	seen := map[string]bool{}
+	for _, pkg := range pkgs {
+		for _, f := range pkg.Files {
+			name := pkg.Fset.Position(f.Pos()).Filename
+			if strings.HasSuffix(name, "_test.go") {
+				continue
+			}
+			for _, decl := range f.Decls {
+				fd, ok := decl.(*ast.FuncDecl)
+				if !ok || fd.Body == nil || !funcHasDirective(fd.Doc, HotpathDirective) {
+					continue
+				}
+				fn, ok := pkg.Info.Defs[fd.Name].(*types.Func)
+				if !ok {
+					continue
+				}
+				key := fn.FullName()
+				if seen[key] {
+					continue
+				}
+				seen[key] = true
+				start := pkg.Fset.Position(fd.Pos())
+				end := pkg.Fset.Position(fd.End())
+				funcs = append(funcs, &bceFunc{
+					key:       key,
+					file:      start.Filename,
+					startLine: start.Line,
+					endLine:   end.Line,
+					pos:       start,
+				})
+			}
+		}
+	}
+	sort.Slice(funcs, func(i, j int) bool { return funcs[i].key < funcs[j].key })
+	return funcs
+}
+
+// bceCounts compiles the packages owning hotpath functions with the
+// check_bce debug flag and fills in each function's bounds-check count.
+func bceCounts(moduleDir string, funcs []*bceFunc) error {
+	dirs := map[string]bool{}
+	for _, fn := range funcs {
+		dirs[filepath.Dir(fn.file)] = true
+	}
+	if len(dirs) == 0 {
+		return nil
+	}
+	args := []string{"build", "-gcflags=-d=ssa/check_bce"}
+	var sorted []string
+	for d := range dirs {
+		sorted = append(sorted, d)
+	}
+	sort.Strings(sorted)
+	for _, d := range sorted {
+		rel, err := filepath.Rel(moduleDir, d)
+		if err != nil {
+			return fmt.Errorf("bcebaseline: package dir %s outside module: %v", d, err)
+		}
+		args = append(args, "./"+filepath.ToSlash(rel))
+	}
+	cmd := exec.Command("go", args...)
+	cmd.Dir = moduleDir
+	var stderr bytes.Buffer
+	cmd.Stderr = &stderr
+	if err := cmd.Run(); err != nil {
+		return fmt.Errorf("bcebaseline: go %s: %v\n%s", strings.Join(args, " "), err, stderr.String())
+	}
+	// Index functions by file for the position walk.
+	byFile := map[string][]*bceFunc{}
+	for _, fn := range funcs {
+		byFile[fn.file] = append(byFile[fn.file], fn)
+	}
+	sc := bufio.NewScanner(&stderr)
+	for sc.Scan() {
+		line := sc.Text()
+		if !strings.HasSuffix(line, "Found IsInBounds") && !strings.HasSuffix(line, "Found IsSliceInBounds") {
+			continue
+		}
+		// path:line:col: Found Is[Slice]InBounds, path relative to moduleDir.
+		parts := strings.SplitN(line, ":", 4)
+		if len(parts) < 4 || strings.HasPrefix(parts[0], "<") {
+			continue
+		}
+		lineNo, err := strconv.Atoi(parts[1])
+		if err != nil {
+			continue
+		}
+		abs := parts[0]
+		if !filepath.IsAbs(abs) {
+			abs = filepath.Join(moduleDir, abs)
+		}
+		for _, fn := range byFile[abs] {
+			if lineNo >= fn.startLine && lineNo <= fn.endLine {
+				fn.count++
+				break
+			}
+		}
+	}
+	return sc.Err()
+}
+
+// readBCEBaseline parses "key count" lines, ignoring blanks and # comments.
+func readBCEBaseline(path string) (map[string]int, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	baseline := map[string]int{}
+	for i, line := range strings.Split(string(data), "\n") {
+		line = strings.TrimSpace(line)
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		fields := strings.Fields(line)
+		if len(fields) != 2 {
+			return nil, fmt.Errorf("%s:%d: want \"<function> <count>\", got %q", path, i+1, line)
+		}
+		n, err := strconv.Atoi(fields[1])
+		if err != nil {
+			return nil, fmt.Errorf("%s:%d: bad count %q: %v", path, i+1, fields[1], err)
+		}
+		baseline[fields[0]] = n
+	}
+	return baseline, nil
+}
+
+// RunBCE measures the current bounds-check counts of every hotpath function
+// in pkgs and compares them to the committed baseline. New or increased
+// counts become diagnostics; decreased or vanished entries become stale
+// notices.
+func RunBCE(moduleDir string, pkgs []*Package, baselinePath string) (bceResult, error) {
+	var res bceResult
+	funcs := collectHotpathFuncs(pkgs)
+	if len(funcs) == 0 {
+		return res, nil
+	}
+	if err := bceCounts(moduleDir, funcs); err != nil {
+		return res, err
+	}
+	baseline, err := readBCEBaseline(baselinePath)
+	if err != nil {
+		return res, fmt.Errorf("bcebaseline: reading %s (run `make bce-baseline` to create it): %w", baselinePath, err)
+	}
+	current := map[string]bool{}
+	for _, fn := range funcs {
+		current[fn.key] = true
+		base, known := baseline[fn.key]
+		switch {
+		case !known && fn.count > 0:
+			res.Diagnostics = append(res.Diagnostics, Diagnostic{
+				Pos:      fn.pos,
+				Analyzer: BCEBaselineName,
+				Message: fmt.Sprintf("hotpath function %s has %d bounds checks but no baseline entry; eliminate them (re-slice to a constant bound the prove pass can see) or record them via `make bce-baseline`",
+					fn.key, fn.count),
+			})
+		case known && fn.count > base:
+			res.Diagnostics = append(res.Diagnostics, Diagnostic{
+				Pos:      fn.pos,
+				Analyzer: BCEBaselineName,
+				Message: fmt.Sprintf("hotpath function %s grew from %d to %d bounds checks; a new check in a hot loop blocks vectorization — eliminate it or consciously rebaseline via `make bce-baseline`",
+					fn.key, base, fn.count),
+			})
+		case known && fn.count < base:
+			res.Stale = append(res.Stale, fmt.Sprintf("%s improved from %d to %d bounds checks; run `make bce-baseline` and commit the result", fn.key, base, fn.count))
+		}
+	}
+	for key := range baseline {
+		if !current[key] {
+			res.Stale = append(res.Stale, fmt.Sprintf("%s is in the baseline but no longer a hotpath function; run `make bce-baseline`", key))
+		}
+	}
+	sort.Strings(res.Stale)
+	return res, nil
+}
+
+// WriteBCEBaseline regenerates the baseline file from the current compiler
+// output.
+func WriteBCEBaseline(moduleDir string, pkgs []*Package, baselinePath string) error {
+	funcs := collectHotpathFuncs(pkgs)
+	if err := bceCounts(moduleDir, funcs); err != nil {
+		return err
+	}
+	var b strings.Builder
+	b.WriteString("# BCE baseline: bounds checks the compiler still emits inside //lbkeogh:hotpath\n")
+	b.WriteString("# functions (go build -gcflags=-d=ssa/check_bce). lbkeoghvet fails on any NEW\n")
+	b.WriteString("# check relative to this file. Regenerate with `make bce-baseline` and commit.\n")
+	for _, fn := range funcs {
+		fmt.Fprintf(&b, "%s %d\n", fn.key, fn.count)
+	}
+	return os.WriteFile(baselinePath, []byte(b.String()), 0o644)
+}

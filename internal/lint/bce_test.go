@@ -1,0 +1,89 @@
+package lint
+
+import (
+	"os"
+	"path/filepath"
+	"regexp"
+	"strings"
+	"testing"
+)
+
+// TestBCEFixtureFlagsInjectedBoundsCheck is the acceptance check for the
+// bcebaseline analyzer: the fixture package carries a hotpath function with
+// a deliberately un-eliminable bounds check (gatherAt) that the committed
+// fixture baseline does not record, and RunBCE must fail on exactly it while
+// leaving the clean function (sumClean) alone.
+func TestBCEFixtureFlagsInjectedBoundsCheck(t *testing.T) {
+	pkg := loadFixture(t, "bcebaseline", "bcebaseline_fixture")
+	baseline := filepath.Join(sharedRoot, "internal", "lint", "testdata", "src", "bcebaseline", "bce_baseline.txt")
+	res, err := RunBCE(sharedRoot, []*Package{pkg}, baseline)
+	if err != nil {
+		t.Fatalf("RunBCE: %v", err)
+	}
+	if len(res.Diagnostics) != 1 {
+		t.Fatalf("diagnostics = %d, want exactly 1 (the injected check in gatherAt):\n%s", len(res.Diagnostics), format(res.Diagnostics))
+	}
+	d := res.Diagnostics[0]
+	want := regexp.MustCompile(`hotpath function bcebaseline_fixture\.gatherAt has \d+ bounds checks but no baseline entry`)
+	if !want.MatchString(d.Message) {
+		t.Errorf("diagnostic %q does not match %q", d.Message, want)
+	}
+	if d.Analyzer != BCEBaselineName {
+		t.Errorf("analyzer = %q, want %q", d.Analyzer, BCEBaselineName)
+	}
+	for _, s := range res.Stale {
+		if strings.Contains(s, "sumClean") {
+			t.Errorf("clean function reported stale: %s", s)
+		}
+	}
+}
+
+// TestBCERepositoryBaseline is the whole-repo self-check: the committed
+// bce_baseline.txt must exactly match what the compiler emits today — no new
+// hot-path bounds checks (diagnostics) and no stale entries (someone
+// improved a kernel without committing the tighter baseline).
+func TestBCERepositoryBaseline(t *testing.T) {
+	l := moduleLoader(t)
+	pkgs, err := l.Packages()
+	if err != nil {
+		t.Fatalf("type-checking module: %v", err)
+	}
+	baseline := filepath.Join(sharedRoot, "internal", "lint", "testdata", "bce_baseline.txt")
+	res, err := RunBCE(sharedRoot, pkgs, baseline)
+	if err != nil {
+		t.Fatalf("RunBCE: %v", err)
+	}
+	for _, d := range res.Diagnostics {
+		t.Errorf("%s", d)
+	}
+	for _, s := range res.Stale {
+		t.Errorf("stale baseline: %s", s)
+	}
+}
+
+// TestBCEBaselineParser covers the baseline file grammar.
+func TestBCEBaselineParser(t *testing.T) {
+	dir := t.TempDir()
+	write := func(name, content string) string {
+		t.Helper()
+		path := filepath.Join(dir, name)
+		if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return path
+	}
+	good := write("good.txt", "# comment\n\npkg.F 2\n(pkg.T).M 0\n")
+	m, err := readBCEBaseline(good)
+	if err != nil {
+		t.Fatalf("readBCEBaseline: %v", err)
+	}
+	if m["pkg.F"] != 2 || m["(pkg.T).M"] != 0 || len(m) != 2 {
+		t.Errorf("parsed %v, want pkg.F=2 (pkg.T).M=0", m)
+	}
+	if _, err := readBCEBaseline(write("badfields.txt", "pkg.F\n")); err == nil {
+		t.Error("missing count accepted")
+	}
+	if _, err := readBCEBaseline(write("badcount.txt", "pkg.F many\n")); err == nil {
+		t.Error("non-integer count accepted")
+	}
+}

@@ -38,6 +38,33 @@
 //	             call ctx.Err() on every iteration — cancellation polls are
 //	             amortized behind an integer checkpoint counter (the
 //	             internal/cancel.Checker shape).
+//	metricnames  Metric names registered through obs.Registry or written
+//	             through ops.Write* are snake_case, namespaced, and keep
+//	             counter/unit suffixes last.
+//	atomicmix    A struct field accessed through sync/atomic anywhere must
+//	             be accessed through sync/atomic everywhere (typed atomics
+//	             make the mistake unrepresentable); values containing sync
+//	             locks are never copied (value receivers, by-value
+//	             params/results, plain assignments); WaitGroup.Add never
+//	             runs inside the goroutine it gates.
+//	lockorder    Builds a per-package lock-acquisition graph over
+//	             sync.Mutex/RWMutex fields: inconsistent acquisition order
+//	             between two locks (a deadlock-shaped cycle), re-entrant
+//	             acquisition of a lock already held (including through a
+//	             same-package callee), and channel sends or time.Sleep
+//	             executed while a lock is held.
+//	lbmono       Functions annotated //lbkeogh:lowerbound may only compose
+//	             monotone-admissible operations: other annotated lower
+//	             bounds under max(), no upper-bound-named callees, no
+//	             unannotated float-returning callees, and math.Sqrt at an
+//	             exported boundary only together with //lbkeogh:rootspace.
+//	bcebaseline  Not an AST analyzer: cmd/lbkeoghvet drives the compiler
+//	             with -gcflags=-d=ssa/check_bce over every package that
+//	             contains a //lbkeogh:hotpath function and diffs the
+//	             surviving bounds checks against the committed baseline
+//	             (internal/lint/testdata/bce_baseline.txt). Any NEW check
+//	             in a hot-path function fails; regenerate deliberately with
+//	             `make bce-baseline`.
 //
 // # The //lbkeogh:hotpath convention
 //
@@ -67,6 +94,20 @@
 // paa.LowerBound, fourier.LowerBoundED) declare that boundary with a
 // //lbkeogh:rootspace directive line in their doc comment; lbguard flags
 // any other math.Sqrt inside a lower-bound function.
+//
+// # The //lbkeogh:lowerbound convention
+//
+// A function is annotated lowerbound when its return value must lower-bound
+// an exact distance for every series a wedge encloses — the no-false-dismissal
+// contract of Propositions 1–3. The annotation declares membership in the
+// admissible family; lbmono then checks, across packages, that annotated
+// functions only compose operations that preserve admissibility: the max of
+// admissible bounds is admissible, the min is admissible for unions, but one
+// upper bound or one unvetted estimate mixed into the cascade silently breaks
+// exactness (false dismissals, which no test that checks only *found* matches
+// will catch). Inverting an upper bound into a lower bound — the paper's
+// LCSS similarity-to-distance flip — is legal but must be audited and
+// carries a //lint:ignore lbmono suppression explaining the inversion.
 //
 // # Suppressing a finding
 //

@@ -168,6 +168,18 @@ func TestMetricNamesGolden(t *testing.T) {
 	runGolden(t, loadFixture(t, "metricnames", "metricnames_fixture"), MetricNames())
 }
 
+func TestAtomicMixGolden(t *testing.T) {
+	runGolden(t, loadFixture(t, "atomicmix", "atomicmix_fixture"), AtomicMix())
+}
+
+func TestLockOrderGolden(t *testing.T) {
+	runGolden(t, loadFixture(t, "lockorder", "lockorder_fixture"), LockOrder())
+}
+
+func TestLBMonoGolden(t *testing.T) {
+	runGolden(t, loadFixture(t, "lbmono", "lbmono_fixture"), LBMono())
+}
+
 // TestDirectiveGrammar checks the //lint:ignore grammar end to end on the
 // directive fixture: a well-formed directive suppresses its finding, while a
 // directive missing its reason or naming an unknown analyzer is itself

@@ -7,6 +7,7 @@ import (
 	"go/types"
 	"sort"
 	"strings"
+	"time"
 )
 
 // Analyzer is one named invariant check. It mirrors the shape of
@@ -25,6 +26,12 @@ type Analyzer struct {
 	// external test packages under "<path>_test", so filters should match
 	// with the "_test" suffix stripped (see pkgPathIn).
 	Applies func(pkgPath string) bool
+	// Prepare, if non-nil, runs once over the whole package set before any
+	// per-package pass, so an analyzer can build module-wide state — e.g. a
+	// cross-package table of annotated functions. Per-package passes only see
+	// dependency packages through export data (no ASTs, no comments), so
+	// directive-driven cross-package checks need this hook.
+	Prepare func(pkgs []*Package)
 	// Run reports findings on one type-checked package via pass.Reportf.
 	Run func(pass *Pass)
 }
@@ -65,10 +72,35 @@ func (d Diagnostic) String() string {
 // and returns the rest sorted by position. Malformed directives are reported
 // as findings of the pseudo-analyzer "directive".
 func Run(pkgs []*Package, analyzers []*Analyzer) []Diagnostic {
+	diags, _ := RunWithStats(pkgs, analyzers)
+	return diags
+}
+
+// AnalyzerStats is one analyzer's cost and yield over a RunWithStats call.
+type AnalyzerStats struct {
+	Name     string
+	Findings int // post-suppression diagnostics attributed to the analyzer
+	Elapsed  time.Duration
+}
+
+// RunWithStats is Run plus per-analyzer accounting: wall time (Prepare
+// included) and surviving finding counts, in suite order, with a trailing
+// "directive" entry when malformed //lint directives were reported.
+func RunWithStats(pkgs []*Package, analyzers []*Analyzer) ([]Diagnostic, []AnalyzerStats) {
+	elapsed := map[string]time.Duration{}
+	findings := map[string]int{}
+	for _, a := range analyzers {
+		if a.Prepare != nil {
+			start := time.Now()
+			a.Prepare(pkgs)
+			elapsed[a.Name] += time.Since(start)
+		}
+	}
 	var diags []Diagnostic
 	for _, pkg := range pkgs {
 		sup := newSuppressions(pkg.Fset, pkg.Files, analyzerNames(analyzers))
 		diags = append(diags, sup.malformed...)
+		findings["directive"] += len(sup.malformed)
 		var raw []Diagnostic
 		for _, a := range analyzers {
 			if a.Applies != nil && !a.Applies(strings.TrimSuffix(pkg.ImportPath, "_test")) {
@@ -82,13 +114,23 @@ func Run(pkgs []*Package, analyzers []*Analyzer) []Diagnostic {
 				TypesInfo: pkg.Info,
 				diags:     &raw,
 			}
+			start := time.Now()
 			a.Run(pass)
+			elapsed[a.Name] += time.Since(start)
 		}
 		for _, d := range raw {
 			if !sup.suppressed(d) {
 				diags = append(diags, d)
+				findings[d.Analyzer]++
 			}
 		}
+	}
+	stats := make([]AnalyzerStats, 0, len(analyzers)+1)
+	for _, a := range analyzers {
+		stats = append(stats, AnalyzerStats{Name: a.Name, Findings: findings[a.Name], Elapsed: elapsed[a.Name]})
+	}
+	if findings["directive"] > 0 {
+		stats = append(stats, AnalyzerStats{Name: "directive", Findings: findings["directive"]})
 	}
 	sort.Slice(diags, func(i, j int) bool {
 		a, b := diags[i].Pos, diags[j].Pos
@@ -103,7 +145,7 @@ func Run(pkgs []*Package, analyzers []*Analyzer) []Diagnostic {
 		}
 		return diags[i].Analyzer < diags[j].Analyzer
 	})
-	return diags
+	return diags, stats
 }
 
 func analyzerNames(analyzers []*Analyzer) map[string]bool {

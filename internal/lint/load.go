@@ -55,6 +55,7 @@ type listPackage struct {
 	ForTest      string
 	Incomplete   bool
 	Error        *struct{ Err string }
+	DepsErrors   []*struct{ Err string }
 }
 
 // NewLoader lists patterns (e.g. "./...") relative to moduleDir and prepares
@@ -66,7 +67,7 @@ func NewLoader(moduleDir string, patterns ...string) (*Loader, error) {
 	}
 	args := append([]string{
 		"list", "-e", "-export", "-test", "-deps",
-		"-json=Dir,ImportPath,Export,GoFiles,TestGoFiles,XTestGoFiles,DepOnly,ForTest,Incomplete,Error",
+		"-json=Dir,ImportPath,Export,GoFiles,TestGoFiles,XTestGoFiles,DepOnly,ForTest,Incomplete,Error,DepsErrors",
 	}, patterns...)
 	cmd := exec.Command("go", args...)
 	cmd.Dir = moduleDir
@@ -81,7 +82,16 @@ func NewLoader(moduleDir string, patterns ...string) (*Loader, error) {
 		fset:      token.NewFileSet(),
 		exports:   map[string]string{},
 	}
+	// Collect EVERY failing package before erroring, so a broken build names
+	// all culprits in one shot instead of the first in list order. `go list
+	// -e` reports errors three ways — Error on the broken package itself,
+	// DepsErrors on its importers, and a bare Incomplete flag — and a load
+	// that swallows any of them would silently analyze a stale or partial
+	// package set.
 	dec := json.NewDecoder(bytes.NewReader(out))
+	var loadErrs []string
+	var incompleteOnly []string
+	seenErr := map[string]bool{}
 	for {
 		var p listPackage
 		if err := dec.Decode(&p); err == io.EOF {
@@ -89,8 +99,25 @@ func NewLoader(moduleDir string, patterns ...string) (*Loader, error) {
 		} else if err != nil {
 			return nil, fmt.Errorf("go list: decoding output: %v", err)
 		}
-		if p.Error != nil {
-			return nil, fmt.Errorf("go list: %s: %s", p.ImportPath, p.Error.Err)
+		switch {
+		case p.Error != nil:
+			if !seenErr[p.ImportPath] {
+				seenErr[p.ImportPath] = true
+				loadErrs = append(loadErrs, fmt.Sprintf("%s: %s", p.ImportPath, p.Error.Err))
+			}
+		case len(p.DepsErrors) > 0:
+			for _, de := range p.DepsErrors {
+				key := p.ImportPath + "\x00" + de.Err
+				if !seenErr[key] {
+					seenErr[key] = true
+					loadErrs = append(loadErrs, fmt.Sprintf("%s: dependency error: %s", p.ImportPath, de.Err))
+				}
+			}
+		case p.Incomplete:
+			// Incomplete without its own message: usually redundant with a
+			// dependency's Error entry, but if nothing else explains the
+			// failure this is the only signal — never swallow it.
+			incompleteOnly = append(incompleteOnly, p.ImportPath)
 		}
 		// Plain compiles only: test-variant export data shadows symbols the
 		// importer must resolve identically across units.
@@ -100,6 +127,12 @@ func NewLoader(moduleDir string, patterns ...string) (*Loader, error) {
 		if !p.DepOnly && p.ForTest == "" && !strings.HasSuffix(p.ImportPath, ".test") {
 			l.targets = append(l.targets, p)
 		}
+	}
+	if len(loadErrs) == 0 && len(incompleteOnly) > 0 {
+		loadErrs = append(loadErrs, fmt.Sprintf("packages marked incomplete by go list with no error detail: %s", strings.Join(incompleteOnly, ", ")))
+	}
+	if len(loadErrs) > 0 {
+		return nil, fmt.Errorf("go list: %d package(s) failed to load:\n\t%s", len(loadErrs), strings.Join(loadErrs, "\n\t"))
 	}
 	l.imp = importer.ForCompiler(l.fset, "gc", func(path string) (io.ReadCloser, error) {
 		file, ok := l.exports[path]

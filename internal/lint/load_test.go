@@ -1,0 +1,110 @@
+package lint
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// brokenModule lays out a throwaway module for loader failure tests.
+func brokenModule(t *testing.T, files map[string]string) string {
+	t.Helper()
+	dir := t.TempDir()
+	files["go.mod"] = "module brokentest\n\ngo 1.24\n"
+	for name, content := range files {
+		path := filepath.Join(dir, name)
+		if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return dir
+}
+
+// TestLoaderHardFailsOnBrokenPackage pins the load-error contract behind
+// lbkeoghvet's exit 2: a package that cannot be listed or compiled must fail
+// NewLoader with the failing package named — never degrade into analyzing a
+// partial package set.
+func TestLoaderHardFailsOnBrokenPackage(t *testing.T) {
+	cases := []struct {
+		name     string
+		files    map[string]string
+		wantPkg  string
+		wantText string
+	}{
+		{
+			name: "type error in package",
+			files: map[string]string{
+				"bad/bad.go": "package bad\n\nfunc f() int { return \"not an int\" }\n",
+			},
+			wantPkg: "brokentest/bad",
+		},
+		{
+			name: "missing import",
+			files: map[string]string{
+				"needs/needs.go": "package needs\n\nimport \"brokentest/nonexistent\"\n\nvar _ = nonexistent.X\n",
+			},
+			wantPkg: "brokentest/needs",
+		},
+		{
+			name: "type error in test file",
+			files: map[string]string{
+				"ok/ok.go":      "package ok\n\nfunc F() int { return 1 }\n",
+				"ok/ok_test.go": "package ok\n\nimport \"testing\"\n\nfunc TestF(t *testing.T) { var x int = F(1) }\n",
+			},
+			wantPkg: "brokentest/ok",
+		},
+		{
+			name: "two broken packages both named",
+			files: map[string]string{
+				"bad1/a.go": "package bad1\n\nfunc f() int { return \"\" }\n",
+				"bad2/b.go": "package bad2\n\nfunc g() string { return 0 }\n",
+			},
+			wantPkg:  "brokentest/bad1",
+			wantText: "brokentest/bad2",
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			dir := brokenModule(t, tc.files)
+			l, err := NewLoader(dir, "./...")
+			if err == nil {
+				// Some failures (in-package test type errors) surface at the
+				// type-check stage rather than go list; both paths must be
+				// hard errors.
+				_, err = l.Packages()
+			}
+			if err == nil {
+				t.Fatal("broken module loaded without error")
+			}
+			if !strings.Contains(err.Error(), tc.wantPkg) {
+				t.Errorf("error does not name %s:\n%v", tc.wantPkg, err)
+			}
+			if tc.wantText != "" && !strings.Contains(err.Error(), tc.wantText) {
+				t.Errorf("error does not name %s:\n%v", tc.wantText, err)
+			}
+		})
+	}
+}
+
+// TestLoaderCleanModuleLoads is the control: a healthy throwaway module
+// loads and yields its packages.
+func TestLoaderCleanModuleLoads(t *testing.T) {
+	dir := brokenModule(t, map[string]string{
+		"good/good.go": "package good\n\nfunc F() int { return 1 }\n",
+	})
+	l, err := NewLoader(dir, "./...")
+	if err != nil {
+		t.Fatalf("NewLoader: %v", err)
+	}
+	pkgs, err := l.Packages()
+	if err != nil {
+		t.Fatalf("Packages: %v", err)
+	}
+	if len(pkgs) != 1 || pkgs[0].ImportPath != "brokentest/good" {
+		t.Fatalf("pkgs = %v, want exactly brokentest/good", pkgs)
+	}
+}

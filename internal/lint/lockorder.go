@@ -1,0 +1,544 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+)
+
+// LockOrder returns the lockorder analyzer. It builds a per-package
+// lock-acquisition graph — an edge A→B means lock B was acquired (directly,
+// or through a same-package callee) while lock A was held — and reports:
+//
+//   - ordering cycles (A taken under B somewhere, B taken under A elsewhere),
+//     the static shadow of an AB/BA deadlock;
+//   - acquiring a lock that is already held (recursive locking, or two
+//     instances of the same lock field taken without an ordering rule);
+//   - channel sends while a lock is held, unless the enclosing select has a
+//     default case (a blocked receiver would deadlock every contender);
+//   - time.Sleep while a lock is held (stalls every contender).
+//
+// Locks are identified type-level: every instance of the same struct's mutex
+// field is one node, so an ordering violation between two objects of one
+// type is caught. Goroutine bodies and deferred/stored function literals are
+// analyzed with an empty held-set — they run on another goroutine or at an
+// unknown time.
+func LockOrder() *Analyzer {
+	a := &Analyzer{
+		Name: "lockorder",
+		Doc: "build a per-package lock-acquisition graph and flag ordering cycles, " +
+			"re-entrant acquisition, and channel sends or time.Sleep while a lock is held",
+	}
+	a.Run = func(pass *Pass) {
+		g := &lockGraph{
+			pass:    pass,
+			names:   map[types.Object]string{},
+			edges:   map[types.Object]map[types.Object]token.Pos{},
+			direct:  map[*types.Func]map[types.Object]bool{},
+			callees: map[*types.Func][]*types.Func{},
+			decls:   map[*types.Func]*ast.FuncDecl{},
+		}
+		g.collect()
+		g.fixpoint()
+		g.walkAll()
+		g.reportCycles()
+	}
+	return a
+}
+
+type lockGraph struct {
+	pass  *Pass
+	names map[types.Object]string
+	// edges[a][b] = first position where b was acquired while a was held.
+	edges map[types.Object]map[types.Object]token.Pos
+	// direct[f] = locks f acquires in its own body; callees[f] = same-package
+	// functions f calls; acquires[f] = transitive closure of the two.
+	direct   map[*types.Func]map[types.Object]bool
+	callees  map[*types.Func][]*types.Func
+	acquires map[*types.Func]map[types.Object]bool
+	decls    map[*types.Func]*ast.FuncDecl
+}
+
+// syncLockMethods classifies the sync.Mutex/RWMutex methods.
+var syncLockMethods = map[string]bool{"Lock": true, "RLock": true}
+var syncUnlockMethods = map[string]bool{"Unlock": true, "RUnlock": true}
+
+// lockCall decomposes a call into (lock object, acquire?) if it is a
+// sync Mutex/RWMutex method call on a resolvable lock.
+func (g *lockGraph) lockCall(call *ast.CallExpr) (types.Object, bool, bool) {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return nil, false, false
+	}
+	fn, ok := g.pass.TypesInfo.Uses[sel.Sel].(*types.Func)
+	if !ok || fn.Pkg() == nil || fn.Pkg().Path() != "sync" {
+		return nil, false, false
+	}
+	acquire := syncLockMethods[fn.Name()]
+	if !acquire && !syncUnlockMethods[fn.Name()] {
+		return nil, false, false
+	}
+	obj, name := g.resolveLock(sel.X)
+	if obj == nil {
+		return nil, false, false
+	}
+	if _, seen := g.names[obj]; !seen {
+		g.names[obj] = name
+	}
+	return obj, acquire, true
+}
+
+// resolveLock names the lock denoted by the receiver expression of a
+// Lock/Unlock call. Struct fields resolve to the field object — one node per
+// field declaration, shared by every instance of the type — and plain
+// variables to the variable object.
+func (g *lockGraph) resolveLock(e ast.Expr) (types.Object, string) {
+	for {
+		switch x := e.(type) {
+		case *ast.ParenExpr:
+			e = x.X
+		case *ast.StarExpr:
+			e = x.X
+		case *ast.UnaryExpr:
+			if x.Op != token.AND {
+				return nil, ""
+			}
+			e = x.X
+		case *ast.SelectorExpr:
+			if s, ok := g.pass.TypesInfo.Selections[x]; ok && s.Kind() == types.FieldVal {
+				owner := namedTypeKey(s.Recv())
+				if owner == "" {
+					owner = "struct"
+				}
+				return s.Obj(), owner + "." + s.Obj().Name()
+			}
+			// Package-qualified variable (pkg.mu).
+			if v, ok := g.pass.TypesInfo.Uses[x.Sel].(*types.Var); ok {
+				return v, x.Sel.Name
+			}
+			return nil, ""
+		case *ast.Ident:
+			if v, ok := g.pass.TypesInfo.Uses[x].(*types.Var); ok {
+				return v, x.Name
+			}
+			return nil, ""
+		default:
+			return nil, ""
+		}
+	}
+}
+
+// calleeFunc resolves a call to a same-package function or method with a
+// declaration in this package.
+func (g *lockGraph) calleeFunc(call *ast.CallExpr) *types.Func {
+	var id *ast.Ident
+	switch fun := call.Fun.(type) {
+	case *ast.Ident:
+		id = fun
+	case *ast.SelectorExpr:
+		id = fun.Sel
+	default:
+		return nil
+	}
+	fn, ok := g.pass.TypesInfo.Uses[id].(*types.Func)
+	if !ok || fn.Pkg() != g.pass.Pkg {
+		return nil
+	}
+	return fn
+}
+
+// collect records, per function declaration, the locks it acquires directly
+// and the same-package functions it calls (goroutine bodies excluded: their
+// acquisitions happen on another goroutine).
+func (g *lockGraph) collect() {
+	for _, f := range g.pass.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			fn, ok := g.pass.TypesInfo.Defs[fd.Name].(*types.Func)
+			if !ok {
+				continue
+			}
+			g.decls[fn] = fd
+			acq := map[types.Object]bool{}
+			ast.Inspect(fd.Body, func(n ast.Node) bool {
+				if _, ok := n.(*ast.GoStmt); ok {
+					return false
+				}
+				call, ok := n.(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				if obj, acquire, isLock := g.lockCall(call); isLock {
+					if acquire {
+						acq[obj] = true
+					}
+					return true
+				}
+				if callee := g.calleeFunc(call); callee != nil {
+					g.callees[fn] = append(g.callees[fn], callee)
+				}
+				return true
+			})
+			g.direct[fn] = acq
+		}
+	}
+}
+
+// fixpoint computes acquires(f) = direct(f) ∪ ⋃ acquires(callee) to a fixed
+// point, giving one-hop-and-beyond interprocedural lock summaries within the
+// package.
+func (g *lockGraph) fixpoint() {
+	g.acquires = map[*types.Func]map[types.Object]bool{}
+	for fn, d := range g.direct {
+		cp := map[types.Object]bool{}
+		for o := range d {
+			cp[o] = true
+		}
+		g.acquires[fn] = cp
+	}
+	for changed := true; changed; {
+		changed = false
+		for fn, callees := range g.callees {
+			acc := g.acquires[fn]
+			if acc == nil {
+				acc = map[types.Object]bool{}
+				g.acquires[fn] = acc
+			}
+			for _, c := range callees {
+				for o := range g.acquires[c] {
+					if !acc[o] {
+						acc[o] = true
+						changed = true
+					}
+				}
+			}
+		}
+	}
+}
+
+func (g *lockGraph) addEdge(from, to types.Object, pos token.Pos) {
+	m := g.edges[from]
+	if m == nil {
+		m = map[types.Object]token.Pos{}
+		g.edges[from] = m
+	}
+	if _, ok := m[to]; !ok {
+		m[to] = pos
+	}
+}
+
+// walkAll runs the held-set walk over every function body and every function
+// literal (the latter with an empty held-set).
+func (g *lockGraph) walkAll() {
+	for _, fd := range g.decls {
+		g.walkBody(fd.Body, map[types.Object]token.Pos{})
+		ast.Inspect(fd.Body, func(n ast.Node) bool {
+			if lit, ok := n.(*ast.FuncLit); ok {
+				g.walkBody(lit.Body, map[types.Object]token.Pos{})
+			}
+			return true
+		})
+	}
+}
+
+func copyHeld(held map[types.Object]token.Pos) map[types.Object]token.Pos {
+	cp := make(map[types.Object]token.Pos, len(held))
+	for k, v := range held {
+		cp[k] = v
+	}
+	return cp
+}
+
+// walkBody processes a statement list sequentially, mutating held; nested
+// control flow gets a copy so branch-local acquisitions don't leak out.
+func (g *lockGraph) walkBody(b *ast.BlockStmt, held map[types.Object]token.Pos) {
+	if b == nil {
+		return
+	}
+	for _, s := range b.List {
+		g.walkStmt(s, held)
+	}
+}
+
+func (g *lockGraph) walkStmt(s ast.Stmt, held map[types.Object]token.Pos) {
+	switch s := s.(type) {
+	case *ast.ExprStmt:
+		g.walkExpr(s.X, held)
+	case *ast.SendStmt:
+		g.reportSend(s.Pos(), held)
+		g.walkExpr(s.Chan, held)
+		g.walkExpr(s.Value, held)
+	case *ast.AssignStmt:
+		for _, e := range s.Rhs {
+			g.walkExpr(e, held)
+		}
+		for _, e := range s.Lhs {
+			g.walkExpr(e, held)
+		}
+	case *ast.DeclStmt:
+		ast.Inspect(s, func(n ast.Node) bool {
+			if _, ok := n.(*ast.FuncLit); ok {
+				return false
+			}
+			if call, ok := n.(*ast.CallExpr); ok {
+				g.handleCall(call, held)
+			}
+			return true
+		})
+	case *ast.ReturnStmt:
+		for _, e := range s.Results {
+			g.walkExpr(e, held)
+		}
+	case *ast.DeferStmt:
+		// A deferred Unlock keeps the lock held to the end of the function:
+		// leave it in the held-set. Other deferred calls run at an unknown
+		// held-state; skip them.
+	case *ast.GoStmt:
+		// The goroutine body runs with its own empty held-set; walkAll covers
+		// its function literal. Arguments are evaluated here, though.
+		for _, arg := range s.Call.Args {
+			g.walkExpr(arg, held)
+		}
+	case *ast.BlockStmt:
+		g.walkBody(s, copyHeld(held))
+	case *ast.IfStmt:
+		if s.Init != nil {
+			g.walkStmt(s.Init, held)
+		}
+		g.walkExpr(s.Cond, held)
+		g.walkBody(s.Body, copyHeld(held))
+		if s.Else != nil {
+			g.walkStmt(s.Else, copyHeld(held))
+		}
+	case *ast.ForStmt:
+		inner := copyHeld(held)
+		if s.Init != nil {
+			g.walkStmt(s.Init, inner)
+		}
+		if s.Cond != nil {
+			g.walkExpr(s.Cond, inner)
+		}
+		g.walkBody(s.Body, inner)
+		if s.Post != nil {
+			g.walkStmt(s.Post, inner)
+		}
+	case *ast.RangeStmt:
+		inner := copyHeld(held)
+		g.walkExpr(s.X, inner)
+		g.walkBody(s.Body, inner)
+	case *ast.SwitchStmt:
+		if s.Init != nil {
+			g.walkStmt(s.Init, held)
+		}
+		if s.Tag != nil {
+			g.walkExpr(s.Tag, held)
+		}
+		for _, c := range s.Body.List {
+			if cc, ok := c.(*ast.CaseClause); ok {
+				inner := copyHeld(held)
+				for _, st := range cc.Body {
+					g.walkStmt(st, inner)
+				}
+			}
+		}
+	case *ast.TypeSwitchStmt:
+		for _, c := range s.Body.List {
+			if cc, ok := c.(*ast.CaseClause); ok {
+				inner := copyHeld(held)
+				for _, st := range cc.Body {
+					g.walkStmt(st, inner)
+				}
+			}
+		}
+	case *ast.SelectStmt:
+		hasDefault := false
+		for _, c := range s.Body.List {
+			if cc, ok := c.(*ast.CommClause); ok && cc.Comm == nil {
+				hasDefault = true
+			}
+		}
+		for _, c := range s.Body.List {
+			cc, ok := c.(*ast.CommClause)
+			if !ok {
+				continue
+			}
+			if send, ok := cc.Comm.(*ast.SendStmt); ok && !hasDefault {
+				g.reportSend(send.Pos(), held)
+			}
+			inner := copyHeld(held)
+			for _, st := range cc.Body {
+				g.walkStmt(st, inner)
+			}
+		}
+	case *ast.LabeledStmt:
+		g.walkStmt(s.Stmt, held)
+	}
+}
+
+// walkExpr finds calls inside an expression and applies lock semantics;
+// function literal bodies are skipped (walkAll analyzes them with an empty
+// held-set).
+func (g *lockGraph) walkExpr(e ast.Expr, held map[types.Object]token.Pos) {
+	if e == nil {
+		return
+	}
+	ast.Inspect(e, func(n ast.Node) bool {
+		if _, ok := n.(*ast.FuncLit); ok {
+			return false
+		}
+		if call, ok := n.(*ast.CallExpr); ok {
+			g.handleCall(call, held)
+		}
+		return true
+	})
+}
+
+func (g *lockGraph) handleCall(call *ast.CallExpr, held map[types.Object]token.Pos) {
+	if obj, acquire, isLock := g.lockCall(call); isLock {
+		if !acquire {
+			delete(held, obj)
+			return
+		}
+		if _, already := held[obj]; already {
+			g.pass.Reportf(call.Pos(),
+				"lock %s acquired while already held; recursive locking (or two instances locked with no ordering rule) deadlocks",
+				g.names[obj])
+		}
+		for h := range held {
+			if h != obj {
+				g.addEdge(h, obj, call.Pos())
+			}
+		}
+		held[obj] = call.Pos()
+		return
+	}
+	if isTimeSleep(g.pass, call) && len(held) > 0 {
+		g.pass.Reportf(call.Pos(),
+			"time.Sleep while holding %s stalls every goroutine contending for the lock; release it before sleeping",
+			g.heldNames(held))
+		return
+	}
+	if callee := g.calleeFunc(call); callee != nil && len(held) > 0 {
+		for l := range g.acquires[callee] {
+			if _, already := held[l]; already && g.directlyLocks(callee, l) {
+				g.pass.Reportf(call.Pos(),
+					"call to %s acquires %s, which is already held here; this deadlocks",
+					callee.Name(), g.names[l])
+				continue
+			}
+			for h := range held {
+				if h != l {
+					g.addEdge(h, l, call.Pos())
+				}
+			}
+		}
+	}
+}
+
+// directlyLocks reports whether fn itself (not a callee) acquires l — the
+// precise case worth a hard re-entrancy diagnostic at the call site.
+func (g *lockGraph) directlyLocks(fn *types.Func, l types.Object) bool {
+	return g.direct[fn][l]
+}
+
+func (g *lockGraph) reportSend(pos token.Pos, held map[types.Object]token.Pos) {
+	if len(held) == 0 {
+		return
+	}
+	g.pass.Reportf(pos,
+		"channel send while holding %s; if no receiver is ready this blocks with the lock held — send outside the critical section or use a select with default",
+		g.heldNames(held))
+}
+
+func (g *lockGraph) heldNames(held map[types.Object]token.Pos) string {
+	names := make([]string, 0, len(held))
+	for o := range held {
+		names = append(names, g.names[o])
+	}
+	sort.Strings(names)
+	out := ""
+	for i, n := range names {
+		if i > 0 {
+			out += ", "
+		}
+		out += n
+	}
+	return out
+}
+
+func isTimeSleep(pass *Pass, call *ast.CallExpr) bool {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok || sel.Sel.Name != "Sleep" {
+		return false
+	}
+	fn, ok := pass.TypesInfo.Uses[sel.Sel].(*types.Func)
+	return ok && fn.Pkg() != nil && fn.Pkg().Path() == "time"
+}
+
+// reportCycles reports each unordered lock pair {a,b} where a is acquired
+// under b and, transitively, b under a. Edges are visited in file order so
+// the report lands deterministically on the first offending acquisition.
+func (g *lockGraph) reportCycles() {
+	type edge struct {
+		from, to types.Object
+		pos      token.Pos
+	}
+	var all []edge
+	for a, outs := range g.edges {
+		for b, pos := range outs {
+			all = append(all, edge{a, b, pos})
+		}
+	}
+	sort.Slice(all, func(i, j int) bool {
+		pi, pj := g.pass.Fset.Position(all[i].pos), g.pass.Fset.Position(all[j].pos)
+		if pi.Filename != pj.Filename {
+			return pi.Filename < pj.Filename
+		}
+		return pi.Offset < pj.Offset
+	})
+	reported := map[string]bool{}
+	for _, e := range all {
+		if !g.reaches(e.to, e.from) {
+			continue
+		}
+		na, nb := g.names[e.from], g.names[e.to]
+		key := na + "\x00" + nb
+		if nb < na {
+			key = nb + "\x00" + na
+		}
+		if reported[key] {
+			continue
+		}
+		reported[key] = true
+		g.pass.Reportf(e.pos,
+			"lock ordering cycle: %s is acquired while holding %s here, but elsewhere %s is (transitively) acquired while holding %s; pick one order",
+			nb, na, na, nb)
+	}
+}
+
+// reaches reports whether `to` is reachable from `from` in the acquisition
+// graph.
+func (g *lockGraph) reaches(from, to types.Object) bool {
+	seen := map[types.Object]bool{}
+	var dfs func(types.Object) bool
+	dfs = func(o types.Object) bool {
+		if o == to {
+			return true
+		}
+		if seen[o] {
+			return false
+		}
+		seen[o] = true
+		for next := range g.edges[o] {
+			if dfs(next) {
+				return true
+			}
+		}
+		return false
+	}
+	return dfs(from)
+}

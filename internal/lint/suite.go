@@ -13,6 +13,16 @@ package lint
 //	metricnames  metric names registered via obs/ops are snake_case,
 //	             lbkeogh_/shapeserver_-namespaced, counters end _total,
 //	             units are base units (_seconds, _bytes) placed last
+//	atomicmix    no mixed atomic/plain field access, no locks copied by
+//	             value, no WaitGroup.Add inside the goroutine it gates
+//	lockorder    no lock-ordering cycles, re-entrant acquisition, or
+//	             channel sends / time.Sleep while a lock is held
+//	lbmono       //lbkeogh:lowerbound functions compose only annotated
+//	             lower bounds and monotone-safe operations
+//
+// The bcebaseline check (bounds-check-elimination regression against a
+// committed baseline) shells out to the compiler rather than walking ASTs;
+// cmd/lbkeoghvet runs it as a separate step (see bce.go).
 func DefaultAnalyzers() []*Analyzer {
 	floatEq := FloatEq()
 	floatEq.Applies = pkgPathIn(FloatEqPackages...)
@@ -24,5 +34,8 @@ func DefaultAnalyzers() []*Analyzer {
 		LBGuard(),
 		CtxCheck(),
 		MetricNames(),
+		AtomicMix(),
+		LockOrder(),
+		LBMono(),
 	}
 }

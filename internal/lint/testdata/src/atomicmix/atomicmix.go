@@ -1,0 +1,127 @@
+// Package atomicmix_fixture is the golden fixture for the atomicmix
+// analyzer: mixed atomic/plain field access, locks copied by value, and
+// WaitGroup.Add inside the goroutine it gates, each next to a clean
+// counterpart that must stay silent.
+package atomicmix_fixture
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// mixedCounter increments hits atomically but reads it plainly: the classic
+// prune-accounting race.
+type mixedCounter struct {
+	hits int64
+	name string
+}
+
+func (m *mixedCounter) Inc() {
+	atomic.AddInt64(&m.hits, 1)
+}
+
+func (m *mixedCounter) Snapshot() int64 {
+	return m.hits // want `field hits is accessed via sync/atomic at atomicmix\.go:\d+ but plainly here`
+}
+
+func (m *mixedCounter) Reset() {
+	m.hits = 0  // want `field hits is accessed via sync/atomic`
+	m.name = "" // plain-only field: fine
+}
+
+// typedCounter is the clean counterpart: the typed atomic makes a plain
+// access unrepresentable.
+type typedCounter struct {
+	hits atomic.Int64
+}
+
+func (t *typedCounter) Inc() { t.hits.Add(1) }
+
+func (t *typedCounter) Snapshot() int64 { return t.hits.Load() }
+
+// suppressedMix documents a deliberate single-writer read with a reason.
+type suppressedMix struct {
+	gen uint64
+}
+
+func (s *suppressedMix) Bump() { atomic.AddUint64(&s.gen, 1) }
+
+func (s *suppressedMix) Gen() uint64 {
+	//lint:ignore atomicmix read happens before any goroutine is spawned
+	return s.gen
+}
+
+// guarded copies a lock via a value receiver.
+type guarded struct {
+	mu sync.Mutex
+	n  int
+}
+
+func (g guarded) Bad() int { // want `method Bad has a value receiver of type atomicmix_fixture\.guarded, which contains a lock`
+	return g.n
+}
+
+func (g *guarded) Good() int {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return g.n
+}
+
+// takesLock passes a mutex-bearing struct by value.
+func takesLock(g guarded) int { // want `parameter of type atomicmix_fixture\.guarded passes a lock by value`
+	return g.n
+}
+
+func takesLockPtr(g *guarded) int { return g.n }
+
+func copiesLock(src *guarded) {
+	cp := *src // want `assignment copies a value of type atomicmix_fixture\.guarded, which contains a lock`
+	_ = cp
+	fresh := guarded{} // composite literal: initialization, not a copy
+	_ = fresh
+	ptr := src // pointer copy shares the lock: fine
+	_ = ptr
+}
+
+// addInsideGoroutine calls wg.Add on the goroutine Wait is waiting for.
+func addInsideGoroutine() {
+	var wg sync.WaitGroup
+	go func() {
+		wg.Add(1) // want `wg\.Add inside the goroutine it gates races with Wait`
+		defer wg.Done()
+	}()
+	wg.Wait()
+}
+
+// addBeforeGoroutine is the correct shape.
+func addBeforeGoroutine() {
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+	}()
+	wg.Wait()
+}
+
+// nestedOwnWaitGroup declares the WaitGroup inside the goroutine: gating
+// nested work from there is fine.
+func nestedOwnWaitGroup() {
+	go func() {
+		var inner sync.WaitGroup
+		inner.Add(1)
+		go func() { inner.Done() }()
+		inner.Wait()
+	}()
+}
+
+var (
+	_ = (&mixedCounter{}).Snapshot
+	_ = (&typedCounter{}).Snapshot
+	_ = (&suppressedMix{}).Gen
+	_ = takesLock
+	_ = takesLockPtr
+	_ = copiesLock
+	_ = addInsideGoroutine
+	_ = addBeforeGoroutine
+	_ = nestedOwnWaitGroup
+)

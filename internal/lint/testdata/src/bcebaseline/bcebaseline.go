@@ -1,0 +1,35 @@
+// Package bcebaseline_fixture is the golden fixture for the bcebaseline
+// check. gatherAt indexes through an arbitrary index slice, a bounds check
+// the prove pass cannot eliminate — the injected regression the check must
+// flag, since the committed fixture baseline records only sumClean.
+// sumClean ranges directly and compiles bounds-check-free.
+package bcebaseline_fixture
+
+// gatherAt sums xs at the given positions. xs[i] needs a runtime bounds
+// check: i comes from data.
+//
+//lbkeogh:hotpath
+func gatherAt(xs []float64, idx []int) float64 {
+	s := 0.0
+	for _, i := range idx {
+		s += xs[i]
+	}
+	return s
+}
+
+// sumClean is the clean counterpart: ranging over the slice itself proves
+// every access in bounds.
+//
+//lbkeogh:hotpath
+func sumClean(xs []float64) float64 {
+	s := 0.0
+	for _, x := range xs {
+		s += x
+	}
+	return s
+}
+
+var (
+	_ = gatherAt
+	_ = sumClean
+)

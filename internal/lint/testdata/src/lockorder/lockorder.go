@@ -1,0 +1,158 @@
+// Package lockorder_fixture is the golden fixture for the lockorder
+// analyzer: an AB/BA ordering cycle, re-entrant acquisition (direct and
+// through a same-package callee), channel sends and time.Sleep under a lock,
+// each next to a clean counterpart that must stay silent.
+package lockorder_fixture
+
+import (
+	"sync"
+	"time"
+)
+
+// pair carries two locks that two functions below take in opposite orders.
+type pair struct {
+	a, b sync.Mutex
+	n    int
+}
+
+func lockAB(p *pair) {
+	p.a.Lock()
+	p.b.Lock() // want `lock ordering cycle: lockorder_fixture\.pair\.b is acquired while holding lockorder_fixture\.pair\.a`
+	p.n++
+	p.b.Unlock()
+	p.a.Unlock()
+}
+
+func lockBA(p *pair) {
+	p.b.Lock()
+	p.a.Lock() // reverse order: the cycle is reported once, at the first edge
+	p.n++
+	p.a.Unlock()
+	p.b.Unlock()
+}
+
+// ordered always takes first before second: a consistent order is silent.
+type ordered struct {
+	first, second sync.Mutex
+	n             int
+}
+
+func lockConsistently(o *ordered) {
+	o.first.Lock()
+	o.second.Lock()
+	o.n++
+	o.second.Unlock()
+	o.first.Unlock()
+}
+
+func lockConsistentlyAgain(o *ordered) {
+	o.first.Lock()
+	defer o.first.Unlock()
+	o.second.Lock()
+	defer o.second.Unlock()
+	o.n--
+}
+
+// cache exercises re-entrancy, sends and sleeps under its mutex.
+type cache struct {
+	mu sync.Mutex
+	n  int
+}
+
+func (c *cache) locked() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.n
+}
+
+func (c *cache) relockDirect() {
+	c.mu.Lock()
+	c.mu.Lock() // want `lock lockorder_fixture\.cache\.mu acquired while already held`
+	c.mu.Unlock()
+	c.mu.Unlock()
+}
+
+func (c *cache) relockViaCallee() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.locked() // want `call to locked acquires lockorder_fixture\.cache\.mu, which is already held`
+}
+
+func (c *cache) relockReleasedFirst() int {
+	c.mu.Lock()
+	c.n++
+	c.mu.Unlock()
+	return c.locked() // released before the call: fine
+}
+
+func (c *cache) sendUnderLock(ch chan int) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	ch <- c.n // want `channel send while holding lockorder_fixture\.cache\.mu`
+}
+
+func (c *cache) sendAfterUnlock(ch chan int) {
+	c.mu.Lock()
+	n := c.n
+	c.mu.Unlock()
+	ch <- n
+}
+
+func (c *cache) trySendUnderLock(ch chan int) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	select {
+	case ch <- c.n: // non-blocking: the default case keeps this silent
+	default:
+	}
+}
+
+func (c *cache) suppressedSend(ch chan int) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	//lint:ignore lockorder ch is buffered to the worker count and drained by a dedicated goroutine
+	ch <- c.n
+}
+
+func (c *cache) sleepUnderLock() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	time.Sleep(time.Millisecond) // want `time\.Sleep while holding lockorder_fixture\.cache\.mu`
+}
+
+func (c *cache) sleepOutsideLock() {
+	time.Sleep(time.Millisecond)
+	c.mu.Lock()
+	c.n++
+	c.mu.Unlock()
+}
+
+// spawnWorker holds the lock while starting a goroutine; the goroutine body
+// runs with its own empty held-set, so its sleep and locking are fine.
+func (c *cache) spawnWorker() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	go func() {
+		time.Sleep(time.Millisecond)
+		c.mu.Lock()
+		c.n++
+		c.mu.Unlock()
+	}()
+}
+
+var (
+	_ = lockAB
+	_ = lockBA
+	_ = lockConsistently
+	_ = lockConsistentlyAgain
+	_ = (&cache{}).relockDirect
+	_ = (&cache{}).relockViaCallee
+	_ = (&cache{}).relockReleasedFirst
+	_ = (&cache{}).sendUnderLock
+	_ = (&cache{}).sendAfterUnlock
+	_ = (&cache{}).trySendUnderLock
+	_ = (&cache{}).suppressedSend
+	_ = (&cache{}).sleepUnderLock
+	_ = (&cache{}).sleepOutsideLock
+	_ = (&cache{}).spawnWorker
+)

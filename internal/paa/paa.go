@@ -73,6 +73,7 @@ func ReduceEnvelope(env envelope.Envelope, D int) Box {
 // returned bound against root-space distances, so the Sqrt happens here.
 //
 //lbkeogh:rootspace
+//lbkeogh:lowerbound
 func LowerBound(cMeans []float64, box Box, n int) float64 {
 	D := len(cMeans)
 	if len(box.Lo) != D || len(box.Hi) != D {
@@ -95,7 +96,10 @@ func LowerBound(cMeans []float64, box Box, n int) float64 {
 
 // MinLowerBound returns the smallest LowerBound of cMeans against each box —
 // the index-space bound against a whole wedge set W (the paper: "search for
-// the best match to K envelopes in the wedge set W").
+// the best match to K envelopes in the wedge set W"). The min of admissible
+// lower bounds is itself admissible for every member of every box.
+//
+//lbkeogh:lowerbound
 func MinLowerBound(cMeans []float64, boxes []Box, n int) float64 {
 	best := math.Inf(1)
 	for _, bx := range boxes {

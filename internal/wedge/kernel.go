@@ -57,6 +57,7 @@ func (ED) Distance(q, c []float64, r float64, cnt *stats.Tally) (float64, bool) 
 // LowerBound implements Kernel using EA_LB_Keogh (Table 5).
 //
 //lbkeogh:hotpath
+//lbkeogh:lowerbound
 func (ED) LowerBound(q []float64, env envelope.Envelope, r float64, cnt *stats.Tally) (float64, bool) {
 	return envelope.LBKeogh(q, env, r, cnt)
 }
@@ -87,6 +88,7 @@ func (k DTW) Distance(q, c []float64, r float64, cnt *stats.Tally) (float64, boo
 // be widened by R.
 //
 //lbkeogh:hotpath
+//lbkeogh:lowerbound
 func (k DTW) LowerBound(q []float64, env envelope.Envelope, r float64, cnt *stats.Tally) (float64, bool) {
 	return envelope.LBKeogh(q, env, r, cnt)
 }
@@ -126,7 +128,9 @@ func (k LCSS) Distance(q, c []float64, r float64, cnt *stats.Tally) (float64, bo
 // similarity from above, so 1 - count/n bounds the distance from below.
 //
 //lbkeogh:hotpath
+//lbkeogh:lowerbound
 func (k LCSS) LowerBound(q []float64, env envelope.Envelope, r float64, cnt *stats.Tally) (float64, bool) {
+	//lint:ignore lbmono intentional inversion, audited: LCSS is a similarity, so the envelope match-count UPPER bound converts to an admissible distance lower bound via 1 - count/n (the paper's "reversing some inequality signs")
 	ub := envelope.LCSSUpperBound(q, env, k.Eps, cnt)
 	n := len(q)
 	if n == 0 {
