@@ -28,6 +28,11 @@ type strategyReport struct {
 	StepsMatchCounter bool                `json:"steps_match_counter"`
 	Reconciles        bool                `json:"reconciles"`
 	Stats             lbkeogh.SearchStats `json:"stats"`
+	// Tightness is the sampled bound-tightness summary (per-bound ratio
+	// quantiles and false-positive fractions), one row per waterfall stage.
+	// It comes from a separate untimed pass over the same queries, so the
+	// wall/latency numbers above never include measurement cost.
+	Tightness []lbkeogh.BoundTightness `json:"tightness,omitempty"`
 }
 
 type benchReport struct {
@@ -205,6 +210,43 @@ func mergeBuckets(a, b []lbkeogh.HistogramBucket) []lbkeogh.HistogramBucket {
 	return out
 }
 
+// benchSampleInterval is the bound-tightness sampling interval for the bench
+// scans: every 16th candidate comparison gets the full waterfall measured,
+// plenty for stable p50/p90 ratios over a few hundred comparisons.
+const benchSampleInterval = 16
+
+// tightnessSummary extracts the per-bound summaries, dropping the bucket
+// arrays — the trajectory file tracks quantiles, not full histograms.
+func tightnessSummary(sampler *lbkeogh.BoundSampler) []lbkeogh.BoundTightness {
+	snap := sampler.Snapshot()
+	out := make([]lbkeogh.BoundTightness, len(snap.Bounds))
+	for i, bt := range snap.Bounds {
+		bt.Buckets = nil
+		out[i] = bt
+	}
+	return out
+}
+
+// sampleTightness reruns the strategy's queries untimed with a BoundSampler
+// attached. A waterfall measurement costs roughly one brute-force comparison,
+// so it must stay out of the timed scan — wall_seconds and the traced stage
+// latencies keep measuring the search alone, and the tightness pass sees the
+// identical workload.
+func sampleTightness(db, qs []lbkeogh.Series, s lbkeogh.Strategy) ([]lbkeogh.BoundTightness, error) {
+	sampler := lbkeogh.NewBoundSampler(benchSampleInterval)
+	for _, series := range qs {
+		q, err := lbkeogh.NewQuery(series, lbkeogh.Euclidean(), lbkeogh.WithStrategy(s))
+		if err != nil {
+			return nil, err
+		}
+		q.SetBoundSampler(sampler)
+		if _, err := q.Search(db); err != nil {
+			return nil, err
+		}
+	}
+	return tightnessSummary(sampler), nil
+}
+
 // collectStats runs every search strategy over the same projectile-point
 // workload through the public API, one trace log per strategy, optionally
 // registering the live records in live so a concurrent -serve scrape or
@@ -250,14 +292,20 @@ func collectStats(m, n, queries int, seed int64, live *liveObs) (benchReport, er
 			counterSteps += q.Steps()
 			agg.fold()
 		}
+		wall := time.Since(start).Seconds()
 		st := agg.Stats()
+		tightness, err := sampleTightness(db, qs, str.s)
+		if err != nil {
+			return rep, fmt.Errorf("%s: %w", str.label, err)
+		}
 		rep.Strategies = append(rep.Strategies, strategyReport{
 			Strategy:          str.label,
-			WallSeconds:       time.Since(start).Seconds(),
+			WallSeconds:       wall,
 			Steps:             st.Steps,
 			StepsMatchCounter: st.Steps == counterSteps,
 			Reconciles:        st.Reconciles(),
 			Stats:             st,
+			Tightness:         tightness,
 		})
 	}
 	return rep, nil
@@ -394,6 +442,7 @@ func compareBench(dir string) error {
 			regressions = append(regressions, fmt.Sprintf("%s search p99 %s -> %s (%+.2f%%)",
 				s.Strategy, fmtP50(oldP99), fmtP50(curP99), pctDelta(float64(oldP99), float64(curP99))))
 		}
+		warnTightnessErosion(s.Strategy, o.Tightness, s.Tightness)
 	}
 	if len(regressions) > 0 {
 		return fmt.Errorf("search-stage p99 regressed beyond %.0f%%:\n  %s",
@@ -401,6 +450,33 @@ func compareBench(dir string) error {
 	}
 	loadTrajectory(dir)
 	return nil
+}
+
+// tightnessErosionLimit flags a bound whose median tightness ratio shrank by
+// more than this fraction between trajectory points. A looser bound means
+// weaker pruning at the same workload — worth a look, but quantiles are
+// bucket-resolution (0.05), so this warns rather than fails.
+const tightnessErosionLimit = 0.10
+
+// warnTightnessErosion compares per-bound p50 tightness ratios between two
+// trajectory points and prints a warning for every bound that eroded beyond
+// tightnessErosionLimit. Informational only: older points predate tightness
+// recording, and a sampling wobble should not fail CI.
+func warnTightnessErosion(strategy string, old, cur []lbkeogh.BoundTightness) {
+	prev := map[string]lbkeogh.BoundTightness{}
+	for _, bt := range old {
+		prev[bt.Bound] = bt
+	}
+	for _, bt := range cur {
+		o, ok := prev[bt.Bound]
+		if !ok || o.Samples == 0 || bt.Samples == 0 || o.P50Ratio <= 0 {
+			continue
+		}
+		if bt.P50Ratio < o.P50Ratio*(1-tightnessErosionLimit) {
+			fmt.Printf("  WARNING: %s %s bound tightness eroded: p50 ratio %.2f -> %.2f (%+.2f%%)\n",
+				strategy, bt.Bound, o.P50Ratio, bt.P50Ratio, pctDelta(o.P50Ratio, bt.P50Ratio))
+		}
+	}
 }
 
 // loadTrajectory summarizes the LOAD_*.json capacity reports shapeload has

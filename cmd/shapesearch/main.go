@@ -43,6 +43,8 @@ func main() {
 		radius   = flag.Float64("radius", -1, "range query: report all matches within this distance (with -indexed)")
 		parallel = flag.Int("parallel", 1, "worker goroutines for the linear scan (0 = GOMAXPROCS)")
 		emitStat = flag.Bool("stats", false, "print the search's pruning breakdown as JSON after the results")
+		explain  = flag.Bool("explain", false, "run the search in EXPLAIN mode and print the structured plan (stage waterfall, bound tightness, survivors) as JSON; not supported with -indexed")
+		health   = flag.Bool("index-health", false, "print the index structural health report (VP-tree, R-tree, wedge hierarchy) as JSON; builds the index if -indexed is off")
 		pprofOn  = flag.String("pprof", "", "serve /metrics (Prometheus text), /debug/vars and /debug/pprof/ on this address and block after the search")
 		serveOn  = flag.String("serve", "", "like -pprof, but additionally trace the search (every query sampled) and serve the live /debug/lbkeogh dashboard")
 	)
@@ -105,6 +107,13 @@ func main() {
 		fmt.Fprintf(os.Stderr, "shapesearch: %v\n", err)
 		os.Exit(1)
 	}
+	if *explain {
+		if *indexed {
+			fmt.Fprintln(os.Stderr, "shapesearch: -explain is not supported with -indexed (the index runs its own searchers)")
+			os.Exit(2)
+		}
+		q.SetExplain(true)
+	}
 
 	sources := newSourceSet()
 	sources.add("shapesearch_query", q, tlog)
@@ -163,21 +172,52 @@ func main() {
 			rank+1, dbRows[res.Index], labels[dbRows[res.Index]], res.Dist, res.Rotation.Degrees, mir)
 	}
 
+	if *explain {
+		plan := q.Explain()
+		if plan == nil {
+			fmt.Fprintln(os.Stderr, "shapesearch: -explain: no plan recorded")
+			os.Exit(1)
+		}
+		fmt.Printf("explain plan (waterfall reconciles: %v):\n", plan.Waterfall.Reconciles())
+		emitJSON("-explain", plan)
+	}
+	if *health {
+		ix := statIx
+		if ix == nil {
+			ix, err = lbkeogh.NewIndex(db, *dims)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "shapesearch: -index-health: %v\n", err)
+				os.Exit(1)
+			}
+		}
+		report := struct {
+			Dims  int                    `json:"dims"`
+			Index lbkeogh.IndexHealth    `json:"index"`
+			Wedge lbkeogh.WedgeTreeStats `json:"wedge"`
+		}{Dims: ix.Dims(), Index: ix.Health(), Wedge: q.WedgeStats()}
+		fmt.Println("index health:")
+		emitJSON("-index-health", report)
+	}
 	if *emitStat {
 		st := q.Stats()
 		if statIx != nil {
 			st = statIx.Stats() // indexed searches record into the index
 		}
-		enc := json.NewEncoder(os.Stdout)
-		enc.SetIndent("", "  ")
-		if err := enc.Encode(st); err != nil {
-			fmt.Fprintf(os.Stderr, "shapesearch: -stats: %v\n", err)
-			os.Exit(1)
-		}
+		emitJSON("-stats", st)
 	}
 	if addr != "" {
 		fmt.Printf("search done; serving /metrics, /debug/lbkeogh and /debug/pprof/ on %s (interrupt to stop)\n", addr)
 		select {}
+	}
+}
+
+// emitJSON prints v as indented JSON, exiting on encoding failure.
+func emitJSON(what string, v any) {
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(v); err != nil {
+		fmt.Fprintf(os.Stderr, "shapesearch: %s: %v\n", what, err)
+		os.Exit(1)
 	}
 }
 

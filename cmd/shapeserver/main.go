@@ -69,6 +69,7 @@ func main() {
 		profEvery   = flag.Duration("profile-interval", 60*time.Second, "continuous-profiling capture interval (0 disables the ring)")
 		profCPU     = flag.Duration("profile-cpu", 2*time.Second, "CPU profile duration per capture round")
 		profKeep    = flag.Int("profile-keep", 16, "profile captures retained in the ring")
+		expSample   = flag.Int("explain-sample-interval", 0, "measure the full bound waterfall for one in N comparisons (0 = default 512, negative disables the sampler)")
 	)
 	flag.Parse()
 	logger := ops.NewLogger(os.Stderr, *logFormat, *logLevel)
@@ -153,6 +154,8 @@ func main() {
 		TraceLog:       tlog,
 		Logger:         logger,
 		Profiler:       profiler,
+
+		ExplainSampleInterval: *expSample,
 	})
 	if err != nil {
 		logger.Error("server build failed", "error", err)
@@ -162,7 +165,7 @@ func main() {
 	handler.Store(srv.Handler())
 	logger.Info("serving",
 		"series", len(db), "series_len", srv.Len(), "addr", ln.Addr().String(),
-		"endpoints", "/v1/search /v1/topk /v1/range /livez /readyz /metrics /debug/lbkeogh /debug/profiles")
+		"endpoints", "/v1/search /v1/topk /v1/range /livez /readyz /metrics /debug/lbkeogh /debug/index /debug/profiles")
 
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)

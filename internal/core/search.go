@@ -9,6 +9,7 @@ import (
 	"lbkeogh/internal/cancel"
 	"lbkeogh/internal/fourier"
 	"lbkeogh/internal/obs"
+	"lbkeogh/internal/obs/explain"
 	"lbkeogh/internal/obs/trace"
 	"lbkeogh/internal/stats"
 	"lbkeogh/internal/wedge"
@@ -91,6 +92,8 @@ type Searcher struct {
 	rec       *trace.Recorder  // nil: no span recording
 	ref       int              // comparison ordinal within the current trace
 	chk       *cancel.Checker  // nil: uncancellable
+	exp       *explain.Op      // nil: no explain sampling
+	expCtx    *explain.QueryContext
 }
 
 // SearcherConfig tunes a Searcher beyond its strategy.
@@ -155,6 +158,23 @@ func (s *Searcher) SetRecorder(rec *trace.Recorder) {
 	s.ref = 0
 }
 
+// SetExplain attaches (or, with nil, detaches) explain state: sampled
+// bound-waterfall measurement before comparisons and, when the op has
+// attribution on, per-comparison counter-delta recording. Like the recorder,
+// the op is single-goroutine: attach it to at most one searcher. A detached
+// searcher pays one nil check per comparison.
+func (s *Searcher) SetExplain(op *explain.Op) { s.exp = op }
+
+// ExplainContext lazily builds (and caches) the measurement context explain
+// ops need for this searcher's query: rotation members, root envelope and
+// compressed-space features under the searcher's kernel.
+func (s *Searcher) ExplainContext() *explain.QueryContext {
+	if s.expCtx == nil {
+		s.expCtx = explain.NewQueryContext(s.rs.Base(), s.rs.Members(), s.rs.Member, s.rs.tree, s.kernel)
+	}
+	return s.expCtx
+}
+
 // SetCancelChecker attaches (or, with nil, detaches) a cooperative
 // cancellation checkpoint. Like the Searcher itself, the checker is
 // single-goroutine: attach it to at most one searcher. While attached, the
@@ -182,10 +202,37 @@ func (s *Searcher) CurrentK() int {
 // Match.Dist is +Inf when every rotation provably exceeds r. The num_steps
 // spent are charged to cnt.
 func (s *Searcher) MatchSeries(x []float64, r float64, cnt *stats.Counter) Match {
+	if s.exp != nil {
+		return s.matchSeriesExplained(x, r, cnt)
+	}
 	if s.rec != nil {
 		return s.matchSeriesTraced(x, r, cnt)
 	}
 	return s.matchSeries(x, r, cnt, nil)
+}
+
+// matchSeriesExplained wraps one comparison with explain sampling: the op
+// decides whether to measure the full bound waterfall for this candidate
+// (never charging the query's counters), and under attribution the
+// comparison's own counter delta is recorded for the plan's survivor
+// annotations.
+func (s *Searcher) matchSeriesExplained(x []float64, r float64, cnt *stats.Counter) Match {
+	s.exp.BeforeComparison(x, r)
+	if !s.exp.Attribution() {
+		if s.rec != nil {
+			return s.matchSeriesTraced(x, r, cnt)
+		}
+		return s.matchSeries(x, r, cnt, nil)
+	}
+	before := s.obs.Counts()
+	var m Match
+	if s.rec != nil {
+		m = s.matchSeriesTraced(x, r, cnt)
+	} else {
+		m = s.matchSeries(x, r, cnt, nil)
+	}
+	s.exp.RecordComparison(s.obs.Counts().Sub(before), m.Dist, m.Found(), m.Aborted())
+	return m
 }
 
 // matchSeriesTraced wraps one comparison in a span carrying the counter

@@ -58,8 +58,24 @@ func scanNilRecorder(b *testing.B) {
 	}
 }
 
+// scanNilExplain is the production entry point with BOTH diagnostics hooks
+// explicitly disabled: the explain nil check plus the recorder nil check,
+// exactly what every steady-state comparison pays.
+func scanNilExplain(b *testing.B) {
+	rs, db := guardSetup()
+	s := NewSearcher(rs, wedge.ED{}, Wedge, SearcherConfig{})
+	s.SetRecorder(nil)
+	s.SetExplain(nil)
+	var cnt stats.Counter
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.MatchSeries(db[i%len(db)], -1, &cnt)
+	}
+}
+
 func BenchmarkMatchSeriesUntraced(b *testing.B)    { scanDirect(b) }
 func BenchmarkMatchSeriesNilRecorder(b *testing.B) { scanNilRecorder(b) }
+func BenchmarkMatchSeriesNilExplain(b *testing.B)  { scanNilExplain(b) }
 
 // BenchmarkMatchSeriesTraced shows the cost of full span recording, for
 // comparison; it is not subject to the 2% guard.
@@ -94,15 +110,25 @@ func TestNilRecorderOverheadGuard(t *testing.T) {
 		}
 		return lo
 	}
-	// Warm both paths once so neither pays first-touch costs.
+	// Warm all paths once so none pays first-touch costs.
 	testing.Benchmark(scanDirect)
 	testing.Benchmark(scanNilRecorder)
+	testing.Benchmark(scanNilExplain)
 	direct := best(scanDirect)
 	nilRec := best(scanNilRecorder)
 	ratio := nilRec / direct
 	t.Logf("untraced %.0f ns/op, nil-recorder %.0f ns/op, ratio %.4f", direct, nilRec, ratio)
 	if ratio > 1.02 {
 		t.Errorf("nil-recorder path is %.2f%% slower than untraced search, budget is 2%%",
+			(ratio-1)*100)
+	}
+	// The explain hook rides the same dispatch: with sampling disabled it must
+	// stay one nil check, inside the same 2% budget.
+	nilExp := best(scanNilExplain)
+	ratio = nilExp / direct
+	t.Logf("untraced %.0f ns/op, nil-explain %.0f ns/op, ratio %.4f", direct, nilExp, ratio)
+	if ratio > 1.02 {
+		t.Errorf("disabled-explain path is %.2f%% slower than untraced search, budget is 2%%",
 			(ratio-1)*100)
 	}
 }

@@ -1,0 +1,99 @@
+package rtree
+
+// Health is a structural self-report of a built tree, serving the index
+// introspection endpoint. The diagnostic that matters for pruning power is
+// sibling-MBR overlap: heavily overlapping siblings force the best-first
+// search to descend both sides.
+type Health struct {
+	// Points, Nodes, Leaves and Height size the structure.
+	Points int `json:"points"`
+	Nodes  int `json:"nodes"`
+	Leaves int `json:"leaves"`
+	Height int `json:"height"`
+	// Leaf occupancy (points per leaf). Bulk loading keeps this tight; a wide
+	// spread would indicate a degenerate split.
+	MinLeafOccupancy  int     `json:"min_leaf_occupancy"`
+	MaxLeafOccupancy  int     `json:"max_leaf_occupancy"`
+	MeanLeafOccupancy float64 `json:"mean_leaf_occupancy"`
+	// Sibling overlap: for each internal node, the overlap fraction between
+	// its two children's MBRs, averaged over dimensions (per dimension:
+	// intersection length / union length, 1 when the union is a point).
+	// 0 = disjoint siblings everywhere, 1 = identical boxes.
+	MeanSiblingOverlap float64 `json:"mean_sibling_overlap"`
+	MaxSiblingOverlap  float64 `json:"max_sibling_overlap"`
+}
+
+// siblingOverlap computes the dimension-averaged overlap fraction of two
+// boxes.
+func siblingOverlap(a, b node) float64 {
+	var acc float64
+	d := len(a.lo)
+	for k := 0; k < d; k++ {
+		un := max64(a.hi[k], b.hi[k]) - min64(a.lo[k], b.lo[k])
+		if un <= 0 {
+			// Both intervals collapse to the same point: total overlap.
+			acc++
+			continue
+		}
+		ov := min64(a.hi[k], b.hi[k]) - max64(a.lo[k], b.lo[k])
+		if ov > 0 {
+			acc += ov / un
+		}
+	}
+	return acc / float64(d)
+}
+
+func min64(a, b float64) float64 {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+func max64(a, b float64) float64 {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// Inspect walks the tree once and returns its structural health report.
+func (t *Tree) Inspect() Health {
+	h := Health{Points: len(t.points), Nodes: len(t.nodes), Height: t.Height()}
+	var (
+		leafItems  int
+		overlapSum float64
+		internal   int
+	)
+	var walk func(id int)
+	walk = func(id int) {
+		nd := t.nodes[id]
+		if nd.left < 0 {
+			h.Leaves++
+			leafItems += len(nd.items)
+			if h.MinLeafOccupancy == 0 || len(nd.items) < h.MinLeafOccupancy {
+				h.MinLeafOccupancy = len(nd.items)
+			}
+			if len(nd.items) > h.MaxLeafOccupancy {
+				h.MaxLeafOccupancy = len(nd.items)
+			}
+			return
+		}
+		internal++
+		ov := siblingOverlap(t.nodes[nd.left], t.nodes[nd.right])
+		overlapSum += ov
+		if ov > h.MaxSiblingOverlap {
+			h.MaxSiblingOverlap = ov
+		}
+		walk(nd.left)
+		walk(nd.right)
+	}
+	walk(t.root)
+	if h.Leaves > 0 {
+		h.MeanLeafOccupancy = float64(leafItems) / float64(h.Leaves)
+	}
+	if internal > 0 {
+		h.MeanSiblingOverlap = overlapSum / float64(internal)
+	}
+	return h
+}

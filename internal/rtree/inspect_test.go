@@ -1,0 +1,70 @@
+package rtree
+
+import (
+	"testing"
+
+	"lbkeogh/internal/ts"
+)
+
+func TestInspect(t *testing.T) {
+	rng := ts.NewRand(5)
+	points := make([][]float64, 150)
+	for i := range points {
+		p := make([]float64, 4)
+		for j := range p {
+			p[j] = rng.Float64()
+		}
+		points[i] = p
+	}
+	tr := New(points, 16)
+	h := tr.Inspect()
+	if h.Points != 150 || h.Nodes != len(tr.nodes) {
+		t.Errorf("Points/Nodes = %d/%d, want 150/%d", h.Points, h.Nodes, len(tr.nodes))
+	}
+	if h.Height != tr.Height() {
+		t.Errorf("Height = %d, want %d", h.Height, tr.Height())
+	}
+	if h.Leaves == 0 {
+		t.Fatal("no leaves")
+	}
+	var items int
+	for _, nd := range tr.nodes {
+		items += len(nd.items)
+	}
+	if int(h.MeanLeafOccupancy*float64(h.Leaves)+0.5) != items {
+		t.Errorf("mean occupancy %v over %d leaves != %d items", h.MeanLeafOccupancy, h.Leaves, items)
+	}
+	if h.MinLeafOccupancy <= 0 || h.MinLeafOccupancy > h.MaxLeafOccupancy || h.MaxLeafOccupancy > 16 {
+		t.Errorf("occupancy range [%d,%d] broken", h.MinLeafOccupancy, h.MaxLeafOccupancy)
+	}
+	if h.MeanSiblingOverlap < 0 || h.MeanSiblingOverlap > h.MaxSiblingOverlap || h.MaxSiblingOverlap > 1 {
+		t.Errorf("overlap mean %v max %v outside [0, max] / [0,1]",
+			h.MeanSiblingOverlap, h.MaxSiblingOverlap)
+	}
+}
+
+func TestSiblingOverlap(t *testing.T) {
+	a := node{lo: []float64{0, 0}, hi: []float64{1, 1}}
+	b := node{lo: []float64{2, 0}, hi: []float64{3, 1}}
+	// Disjoint in dim 0 (overlap 0), identical in dim 1 (overlap 1).
+	if got := siblingOverlap(a, b); got != 0.5 {
+		t.Errorf("siblingOverlap = %v, want 0.5", got)
+	}
+	// Identical boxes overlap fully.
+	if got := siblingOverlap(a, a); got != 1 {
+		t.Errorf("identical boxes overlap = %v, want 1", got)
+	}
+	// Point boxes at the same spot: union length 0 counts as total overlap.
+	p := node{lo: []float64{5, 5}, hi: []float64{5, 5}}
+	if got := siblingOverlap(p, p); got != 1 {
+		t.Errorf("coincident point boxes overlap = %v, want 1", got)
+	}
+}
+
+func TestInspectSingleLeaf(t *testing.T) {
+	tr := New([][]float64{{1, 2}, {3, 4}}, 16)
+	h := tr.Inspect()
+	if h.Leaves != 1 || h.Height != 1 || h.MeanSiblingOverlap != 0 {
+		t.Errorf("single-leaf health = %+v", h)
+	}
+}

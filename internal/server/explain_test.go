@@ -1,0 +1,197 @@
+package server
+
+import (
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"lbkeogh/internal/obs/explain"
+	"lbkeogh/internal/obs/expofmt"
+)
+
+func scrapeMetrics(t *testing.T, ts *httptest.Server) *expofmt.Exposition {
+	t.Helper()
+	code, body := getStatus(t, ts.URL+"/metrics")
+	if code != http.StatusOK {
+		t.Fatalf("/metrics: %d", code)
+	}
+	exp, err := expofmt.Parse(body)
+	if err != nil {
+		t.Fatalf("/metrics does not parse: %v", err)
+	}
+	return exp
+}
+
+func waterfallCounters(t *testing.T, ts *httptest.Server) (rot, surv, canc int64, stages map[string]int64) {
+	t.Helper()
+	exp := scrapeMetrics(t, ts)
+	stages = map[string]int64{}
+	for _, s := range exp.Find("shapeserver_pruning_waterfall_members_total") {
+		stages[s.Labels["stage"]] = int64(s.Value)
+	}
+	return exp.Counter("shapeserver_pruning_waterfall_rotations_total", nil),
+		exp.Counter("shapeserver_pruning_waterfall_survivors_total", nil),
+		exp.Counter("shapeserver_pruning_waterfall_cancelled_total", nil),
+		stages
+}
+
+// TestServerExplainSearch: an explain:true request returns a plan whose
+// waterfall reconciles exactly with the response's own per-request stats AND
+// with the /metrics waterfall counter deltas for that request.
+func TestServerExplainSearch(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	rot0, surv0, canc0, st0 := waterfallCounters(t, ts)
+
+	code, sr, raw := post(t, ts, "/v1/search", `{"query_index":1,"explain":true}`)
+	if code != http.StatusOK {
+		t.Fatalf("status %d: %s", code, raw)
+	}
+	if sr.Plan == nil {
+		t.Fatalf("explain:true returned no plan: %s", raw)
+	}
+	wf := sr.Plan.Waterfall
+	if !wf.Reconciles() {
+		t.Fatalf("plan waterfall does not reconcile: %+v", wf)
+	}
+	st := sr.Stats
+	if wf.Rotations != st.Rotations || wf.Comparisons != st.Comparisons {
+		t.Fatalf("waterfall rotations/comparisons %d/%d != stats %d/%d",
+			wf.Rotations, wf.Comparisons, st.Rotations, st.Comparisons)
+	}
+	if got := wf.Stage(explain.StageFFT); got != st.FFTRejectedMembers {
+		t.Errorf("fft stage %d != FFTRejectedMembers %d", got, st.FFTRejectedMembers)
+	}
+	if got := wf.Stage(explain.StageEnvelope); got != st.WedgePrunedMembers+st.WedgeLeafLBPrunes {
+		t.Errorf("envelope stage %d != wedge prunes %d", got, st.WedgePrunedMembers+st.WedgeLeafLBPrunes)
+	}
+	if got := wf.Stage(explain.StageKernel); got != st.EarlyAbandons {
+		t.Errorf("kernel stage %d != EarlyAbandons %d", got, st.EarlyAbandons)
+	}
+	if wf.Survivors != st.FullDistEvals || wf.Cancelled != st.CancelledMembers {
+		t.Errorf("survivors/cancelled %d/%d != stats %d/%d",
+			wf.Survivors, wf.Cancelled, st.FullDistEvals, st.CancelledMembers)
+	}
+	if len(sr.Plan.Survivors) == 0 {
+		t.Error("1-NN explain plan has no survivor annotations")
+	}
+
+	// The /metrics waterfall counters moved by exactly this search.
+	rot1, surv1, canc1, st1 := waterfallCounters(t, ts)
+	if rot1-rot0 != wf.Rotations || surv1-surv0 != wf.Survivors || canc1-canc0 != wf.Cancelled {
+		t.Errorf("metrics deltas rot/surv/canc %d/%d/%d != plan %d/%d/%d",
+			rot1-rot0, surv1-surv0, canc1-canc0, wf.Rotations, wf.Survivors, wf.Cancelled)
+	}
+	for _, stage := range wf.Eliminated {
+		if got := st1[stage.Stage] - st0[stage.Stage]; got != stage.Members {
+			t.Errorf("stage %q metrics delta %d != plan %d", stage.Stage, got, stage.Members)
+		}
+	}
+
+	// A pooled re-use of the same session without explain must NOT carry a
+	// plan (the per-request arm/disarm contract).
+	code, sr2, raw := post(t, ts, "/v1/search", `{"query_index":1}`)
+	if code != http.StatusOK || !sr2.PoolHit {
+		t.Fatalf("second request: status %d pool_hit %v (%s)", code, sr2.PoolHit, raw)
+	}
+	if sr2.Plan != nil {
+		t.Fatal("plan leaked into a non-explain request on a pooled session")
+	}
+}
+
+// TestServerExplainTopKAndRange: the other search flavours carry reconciling
+// plans too.
+func TestServerExplainTopKAndRange(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	code, tk, raw := post(t, ts, "/v1/topk", `{"query_index":2,"k":4,"explain":true}`)
+	if code != http.StatusOK || tk.Plan == nil || !tk.Plan.Waterfall.Reconciles() {
+		t.Fatalf("topk explain: status %d plan %+v (%s)", code, tk.Plan, raw)
+	}
+	if tk.Plan.Waterfall.Rotations != tk.Stats.Rotations {
+		t.Fatalf("topk plan rotations %d != stats %d", tk.Plan.Waterfall.Rotations, tk.Stats.Rotations)
+	}
+	code, rg, raw := post(t, ts, "/v1/range", `{"query_index":2,"threshold":5,"explain":true}`)
+	if code != http.StatusOK || rg.Plan == nil || !rg.Plan.Waterfall.Reconciles() {
+		t.Fatalf("range explain: status %d plan %+v (%s)", code, rg.Plan, raw)
+	}
+}
+
+// TestServerExplainSamplerMetrics: the server-owned sampler feeds from
+// ordinary (non-explain) requests and its families appear on /metrics.
+func TestServerExplainSamplerMetrics(t *testing.T) {
+	_, ts := newTestServer(t, Config{ExplainSampleInterval: 1})
+	for i := 0; i < 3; i++ {
+		if code, _, raw := post(t, ts, "/v1/search", `{"query_index":3}`); code != http.StatusOK {
+			t.Fatalf("search %d: %d (%s)", i, code, raw)
+		}
+	}
+	exp := scrapeMetrics(t, ts)
+	if exp.Counter("lbkeogh_explain_samples_total", nil) == 0 {
+		t.Fatal("interval-1 server sampler measured nothing")
+	}
+	if got := exp.Types["lbkeogh_explain_bound_tightness_ratio"]; got != "histogram" {
+		t.Fatalf("tightness family type = %q, want histogram", got)
+	}
+	// Negative interval disables the sampler; families must be absent, and
+	// explain requests still work off the query-local aggregate.
+	_, tsOff := newTestServer(t, Config{ExplainSampleInterval: -1})
+	expOff := scrapeMetrics(t, tsOff)
+	if len(expOff.Find("lbkeogh_explain_samples_total")) != 0 {
+		t.Fatal("disabled sampler still exports explain families")
+	}
+	if code, sr, raw := post(t, tsOff, "/v1/search", `{"query_index":0,"explain":true}`); code != http.StatusOK || sr.Plan == nil {
+		t.Fatalf("explain without sampler: status %d plan %v (%s)", code, sr.Plan, raw)
+	}
+}
+
+// TestServerDebugIndex: the introspection endpoint serves a stable JSON
+// report of the structural health of both index trees and the wedge
+// hierarchy.
+func TestServerDebugIndex(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	code, body := getStatus(t, ts.URL+"/debug/index")
+	if code != http.StatusOK {
+		t.Fatalf("/debug/index: %d (%s)", code, body)
+	}
+	var rep IndexReport
+	if err := json.Unmarshal([]byte(body), &rep); err != nil {
+		t.Fatalf("/debug/index JSON: %v\n%s", err, body)
+	}
+	if rep.Dims != introspectDims {
+		t.Errorf("dims = %d, want %d", rep.Dims, introspectDims)
+	}
+	if rep.Index.Objects != 20 || rep.Index.VPTree.Points != 20 || rep.Index.RTree.Points != 20 {
+		t.Errorf("tree point counts = %d/%d/%d, want 20 each",
+			rep.Index.Objects, rep.Index.VPTree.Points, rep.Index.RTree.Points)
+	}
+	if rep.Wedge.Members == 0 || rep.Wedge.RootArea <= 0 || len(rep.Wedge.KProfiles) == 0 {
+		t.Errorf("wedge stats incomplete: %+v", rep.Wedge)
+	}
+	// Built once, served verbatim after.
+	code2, body2 := getStatus(t, ts.URL+"/debug/index")
+	if code2 != http.StatusOK || body2 != body {
+		t.Error("second /debug/index response differs from the first")
+	}
+}
+
+// TestDebugPanelShowsTightness: the /debug/lbkeogh page carries the bound
+// tightness panel in both sampler states.
+func TestDebugPanelShowsTightness(t *testing.T) {
+	_, ts := newTestServer(t, Config{ExplainSampleInterval: 1})
+	if code, _, raw := post(t, ts, "/v1/search", `{"query_index":0}`); code != http.StatusOK {
+		t.Fatalf("search: %d (%s)", code, raw)
+	}
+	code, body := getStatus(t, ts.URL+"/debug/lbkeogh")
+	if code != http.StatusOK || !strings.Contains(body, "bound tightness") {
+		t.Fatalf("/debug/lbkeogh missing tightness panel: %d", code)
+	}
+	if !strings.Contains(body, "envelope") {
+		t.Error("tightness panel lists no envelope bound after a sampled search")
+	}
+	_, tsOff := newTestServer(t, Config{ExplainSampleInterval: -1})
+	code, body = getStatus(t, tsOff.URL+"/debug/lbkeogh")
+	if code != http.StatusOK || !strings.Contains(body, "sampling is disabled") {
+		t.Fatalf("disabled-sampler panel wrong: %d", code)
+	}
+}

@@ -54,6 +54,13 @@ type SearchRequest struct {
 	// TimeoutMS bounds this request's search; 0 uses the server default, and
 	// values above the server maximum are clamped to it.
 	TimeoutMS int `json:"timeout_ms,omitempty"`
+
+	// Explain runs the search in EXPLAIN mode: the response additionally
+	// carries a structured plan (stage waterfall, sampled bound tightness,
+	// survivors annotated with the admitting bound). Costs roughly one extra
+	// waterfall measurement every few comparisons; meant for diagnostics, not
+	// steady-state traffic.
+	Explain bool `json:"explain,omitempty"`
 }
 
 // Hit is one search result row.
@@ -79,6 +86,9 @@ type SearchResponse struct {
 	// TraceID is the retained trace of this search (0 when tracing is off or
 	// the sampler dropped it); resolve it at /debug/lbkeogh.
 	TraceID int64 `json:"trace_id"`
+	// Plan is the structured EXPLAIN output, present only when the request
+	// set explain. Its waterfall counts reconcile with Stats exactly.
+	Plan *lbkeogh.ExplainPlan `json:"plan,omitempty"`
 }
 
 type errorResponse struct {
@@ -206,7 +216,14 @@ func (s *Server) buildQuery(spec QuerySpec) (*lbkeogh.Query, error) {
 	if s.cfg.TraceLog != nil {
 		opts = append(opts, lbkeogh.WithTraceLog(s.cfg.TraceLog))
 	}
-	return lbkeogh.NewQuery(spec.Series, m, opts...)
+	q, err := lbkeogh.NewQuery(spec.Series, m, opts...)
+	if err != nil {
+		return nil, err
+	}
+	// Every pooled session feeds the server-owned bound-tightness sampler
+	// (a nil sampler detaches, costing one nil check per comparison).
+	q.SetBoundSampler(s.sampler)
+	return q, nil
 }
 
 // searchEndpoint returns the handler for one /v1 endpoint: admission, pool
@@ -289,6 +306,12 @@ func (s *Server) searchEndpoint(kind searchKind) http.HandlerFunc {
 		// guarantees its adaptive state is not polluted), so it goes back to
 		// the pool on every path.
 		defer s.pool.Checkin(sess)
+		if req.Explain {
+			sess.Q.SetExplain(true)
+			// Disarm before Checkin (defers run LIFO) so a pooled session
+			// never carries EXPLAIN cost into another request.
+			defer sess.Q.SetExplain(false)
+		}
 
 		if hook := s.cfg.BeforeSearchHook; hook != nil {
 			hook()
@@ -329,6 +352,9 @@ func (s *Server) searchEndpoint(kind searchKind) http.HandlerFunc {
 			PoolHit:   hit,
 			ElapsedMS: float64(elapsed.Microseconds()) / 1000,
 			TraceID:   traceID,
+		}
+		if req.Explain {
+			resp.Plan = q.Explain()
 		}
 		writeJSON(w, http.StatusOK, resp)
 		searchDone(http.StatusOK, "search served", "results", len(resp.Results))

@@ -1,0 +1,99 @@
+package server
+
+// This file holds index-health introspection and the explain dashboard
+// panel: /debug/index serves a structural report of the rotation-invariant
+// index built over the serving database (VP-tree shape, R-tree overlap,
+// wedge-hierarchy merge quality), and the /debug/lbkeogh explain panel
+// renders the bound-tightness sampler's aggregate.
+
+import (
+	"fmt"
+	"html/template"
+	"net/http"
+	"strings"
+
+	"lbkeogh"
+)
+
+// introspectDims is the compressed dimensionality the introspection index is
+// built with — the paper's default operating point (D = 8).
+const introspectDims = 8
+
+// IndexReport is the /debug/index body: the index structures' health plus a
+// representative wedge hierarchy (the one a query for database row 0 builds,
+// since wedge sets are per-query).
+type IndexReport struct {
+	Dims  int                    `json:"dims"`
+	Index lbkeogh.IndexHealth    `json:"index"`
+	Wedge lbkeogh.WedgeTreeStats `json:"wedge"`
+}
+
+// buildIntrospection builds the index and a representative query once; the
+// serving database is immutable, so the report never goes stale.
+func (s *Server) buildIntrospection() (IndexReport, error) {
+	ix, err := lbkeogh.NewIndex(s.cfg.DB, introspectDims)
+	if err != nil {
+		return IndexReport{}, fmt.Errorf("building introspection index: %w", err)
+	}
+	q, err := lbkeogh.NewQuery(s.cfg.DB[0], lbkeogh.Euclidean())
+	if err != nil {
+		return IndexReport{}, fmt.Errorf("building representative query: %w", err)
+	}
+	return IndexReport{Dims: ix.Dims(), Index: ix.Health(), Wedge: q.WedgeStats()}, nil
+}
+
+// handleDebugIndex serves the lazily built index-health report as JSON. The
+// first request pays the index build; later ones are free.
+func (s *Server) handleDebugIndex(w http.ResponseWriter, r *http.Request) {
+	s.ixOnce.Do(func() { s.ixReport, s.ixErr = s.buildIntrospection() })
+	if s.ixErr != nil {
+		writeError(w, http.StatusInternalServerError, "%v", s.ixErr)
+		return
+	}
+	writeJSON(w, http.StatusOK, s.ixReport)
+}
+
+// explainPanel renders the bound-tightness sampler on /debug/lbkeogh.
+func (s *Server) explainPanel() lbkeogh.DebugPanel {
+	return lbkeogh.DebugPanel{
+		Title: "bound tightness (sampled waterfalls)",
+		HTML:  s.explainPanelHTML,
+	}
+}
+
+type explainPanelData struct {
+	Off  bool
+	Snap lbkeogh.BoundSamplerSnapshot
+}
+
+func (s *Server) explainPanelHTML() template.HTML {
+	data := explainPanelData{Off: s.sampler == nil}
+	if s.sampler != nil {
+		data.Snap = s.sampler.Snapshot()
+	}
+	var b strings.Builder
+	if err := explainPanelTemplate.Execute(&b, data); err != nil {
+		return template.HTML(template.HTMLEscapeString(err.Error()))
+	}
+	return template.HTML(b.String())
+}
+
+var explainPanelTemplate = template.Must(template.New("explain").Parse(`
+{{if .Off}}<p class="meta">bound-tightness sampling is disabled (ExplainSampleInterval &lt; 0)</p>{{else}}
+<p class="meta">{{.Snap.Sampled}} of {{.Snap.Seen}} comparisons sampled (interval {{.Snap.Interval}}) &middot;
+{{.Snap.Survived}} survived every stage &middot; {{.Snap.KernelKills}} killed only by the exact kernel</p>
+{{if .Snap.Bounds}}
+<table>
+<tr><th class="l">bound</th><th>checks</th><th>ratio p50</th><th>ratio p90</th><th>mean</th>
+<th>false pos</th><th>fp fraction</th><th>eliminated</th></tr>
+{{range .Snap.Bounds}}
+<tr><td class="l">{{.Bound}}</td><td>{{.Checks}}</td>
+<td>{{printf "%.2f" .P50Ratio}}</td><td>{{printf "%.2f" .P90Ratio}}</td><td>{{printf "%.3f" .MeanRatio}}</td>
+<td>{{.FalsePositives}}</td><td>{{printf "%.4f" .FalsePositiveFraction}}</td><td>{{.Eliminated}}</td></tr>
+{{end}}
+</table>
+<p class="meta">ratio = lower bound / true rotation-invariant distance (1 = perfectly tight) &middot;
+full histograms with trace-ID exemplars on /metrics &middot;
+index structure health at <a href="/debug/index">/debug/index</a></p>
+{{end}}{{end}}
+`))

@@ -20,6 +20,7 @@ import (
 	"time"
 
 	"lbkeogh"
+	"lbkeogh/internal/obs/explain"
 	"lbkeogh/internal/obs/ops"
 )
 
@@ -66,6 +67,14 @@ type Config struct {
 	// not start or stop it; the owning process does.
 	Profiler *ops.Profiler
 
+	// ExplainSampleInterval is the bound-tightness sampling interval: one of
+	// every N candidate comparisons across all requests gets its full bound
+	// waterfall measured (FFT, PAA, envelope lower bounds vs the true
+	// distance), feeding the tightness histograms on /metrics and the
+	// explain panel on /debug/lbkeogh. Default 512; negative disables the
+	// sampler entirely.
+	ExplainSampleInterval int
+
 	// BeforeSearchHook, when non-nil, runs after a request is admitted and
 	// its session checked out, immediately before the search executes. It is
 	// a test seam: integration tests block inside it to hold in-flight slots
@@ -93,6 +102,9 @@ func (c *Config) fillDefaults() {
 	if c.MaxTimeout <= 0 {
 		c.MaxTimeout = 60 * time.Second
 	}
+	if c.ExplainSampleInterval == 0 {
+		c.ExplainSampleInterval = 512
+	}
 }
 
 // Server serves rotation-invariant shape searches over one database.
@@ -105,6 +117,15 @@ type Server struct {
 	adm  *Admission
 	mux  *http.ServeMux
 	tel  *telemetry
+
+	// sampler is the server-owned bound-tightness sink, armed on every
+	// pooled query session (nil when ExplainSampleInterval < 0).
+	sampler *lbkeogh.BoundSampler
+
+	// Lazily built index introspection report behind /debug/index.
+	ixOnce   sync.Once
+	ixReport IndexReport
+	ixErr    error
 
 	draining atomic.Bool
 	requests atomic.Int64 // /v1/* requests accepted for processing
@@ -139,6 +160,9 @@ func New(cfg Config) (*Server, error) {
 		pool: NewPool(cfg.PoolSize),
 		adm:  NewAdmission(cfg.MaxInflight, cfg.MaxQueue),
 		tel:  newTelemetry(cfg),
+	}
+	if cfg.ExplainSampleInterval > 0 {
+		s.sampler = lbkeogh.NewBoundSampler(cfg.ExplainSampleInterval)
 	}
 	s.mux = s.buildMux()
 	return s, nil
@@ -237,9 +261,14 @@ func (s *Server) buildMux() *http.ServeMux {
 	mux.Handle("/metrics", http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
 		lbkeogh.MetricsHandler(sources).ServeHTTP(w, r)
 		s.writeServerMetrics(w)
+		s.writeWaterfallMetrics(w)
+		if s.sampler != nil {
+			s.sampler.WriteMetrics(w)
+		}
 		s.tel.writeMetrics(w)
 	}))
-	mux.Handle("/debug/lbkeogh", lbkeogh.DebugHandlerWithPanels(sources, logs, s.tel.panel()))
+	mux.Handle("/debug/lbkeogh", lbkeogh.DebugHandlerWithPanels(sources, logs, s.tel.panel(), s.explainPanel()))
+	mux.HandleFunc("/debug/index", s.handleDebugIndex)
 	mux.Handle("/debug/profiles", s.cfg.Profiler.Handler())
 	mux.Handle("/debug/vars", expvar.Handler())
 	mux.HandleFunc("/debug/pprof/", pprof.Index)
@@ -271,4 +300,24 @@ func (s *Server) writeServerMetrics(w io.Writer) {
 		drainingVal = 1
 	}
 	ops.WriteGaugeInt(w, "shapeserver_draining", "1 while the server is draining.", drainingVal)
+}
+
+// writeWaterfallMetrics appends the cumulative pruning-waterfall breakdown:
+// every rotation covered by every served search, attributed to the stage
+// that disposed of it. The stage members plus survivors plus cancelled sum
+// to the rotations counter — the same reconciliation a single request's
+// stats satisfy.
+func (s *Server) writeWaterfallMetrics(w io.Writer) {
+	wf := explain.FromCounts(countsFromStats(s.Stats()))
+	ops.WriteCounter(w, "shapeserver_pruning_waterfall_rotations_total",
+		"Rotations covered by served searches (waterfall denominator).", wf.Rotations)
+	ops.WriteFamily(w, "shapeserver_pruning_waterfall_members_total", "counter",
+		"Rotations eliminated per waterfall stage across served searches.")
+	for _, st := range wf.Eliminated {
+		fmt.Fprintf(w, "shapeserver_pruning_waterfall_members_total{stage=%q} %d\n", st.Stage, st.Members)
+	}
+	ops.WriteCounter(w, "shapeserver_pruning_waterfall_survivors_total",
+		"Rotations that survived every stage into a full distance evaluation.", wf.Survivors)
+	ops.WriteCounter(w, "shapeserver_pruning_waterfall_cancelled_total",
+		"Rotations left undisposed by cancelled searches.", wf.Cancelled)
 }

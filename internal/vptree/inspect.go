@@ -1,0 +1,84 @@
+package vptree
+
+import "sort"
+
+// Health is a structural self-report of a built tree, serving the index
+// introspection endpoint: a skewed or radius-degenerate VP-tree prunes
+// poorly, and these aggregates surface that without re-running queries.
+type Health struct {
+	// Points, Nodes and Leaves size the structure.
+	Points int `json:"points"`
+	Nodes  int `json:"nodes"`
+	Leaves int `json:"leaves"`
+	// LeafSize is the configured leaf capacity; MeanLeafFill is the average
+	// leaf payload over that capacity (degenerate duplicate-point splits can
+	// push individual leaves above 1).
+	LeafSize     int     `json:"leaf_size"`
+	MeanLeafFill float64 `json:"mean_leaf_fill"`
+	// MaxDepth and MeanLeafDepth describe the shape (root depth 0); Balance
+	// is the mean, over internal nodes, of the smaller child subtree's share
+	// of the node's split points (0.5 = perfectly balanced).
+	MaxDepth      int     `json:"max_depth"`
+	MeanLeafDepth float64 `json:"mean_leaf_depth"`
+	Balance       float64 `json:"balance"`
+	// RadiusMin/P50/Max summarize the vantage-ball radii of internal nodes.
+	// A collapsed distribution (min ≈ max ≈ 0) means the feature vectors are
+	// near-duplicates and the tree cannot separate them.
+	RadiusMin float64 `json:"radius_min"`
+	RadiusP50 float64 `json:"radius_p50"`
+	RadiusMax float64 `json:"radius_max"`
+}
+
+// Inspect walks the tree once and returns its structural health report.
+func (t *Tree) Inspect() Health {
+	h := Health{Points: len(t.points), Nodes: len(t.nodes), LeafSize: t.leafSize}
+	var (
+		leafItems    int
+		leafDepthSum int
+		balanceSum   float64
+		internal     int
+		radii        []float64
+	)
+	// walk returns the number of points in the subtree (internal nodes hold
+	// their vantage point in addition to both child subtrees).
+	var walk func(id, depth int) int
+	walk = func(id, depth int) int {
+		if depth > h.MaxDepth {
+			h.MaxDepth = depth
+		}
+		nd := t.nodes[id]
+		if nd.vp < 0 {
+			h.Leaves++
+			leafItems += len(nd.items)
+			leafDepthSum += depth
+			return len(nd.items)
+		}
+		internal++
+		radii = append(radii, nd.median)
+		in := walk(nd.inner, depth+1)
+		out := walk(nd.outer, depth+1)
+		lo, hi := in, out
+		if lo > hi {
+			lo, hi = hi, lo
+		}
+		if hi > 0 {
+			balanceSum += float64(lo) / float64(lo+hi)
+		}
+		return 1 + in + out
+	}
+	walk(t.root, 0)
+	if h.Leaves > 0 {
+		h.MeanLeafDepth = float64(leafDepthSum) / float64(h.Leaves)
+		if t.leafSize > 0 {
+			h.MeanLeafFill = float64(leafItems) / float64(h.Leaves) / float64(t.leafSize)
+		}
+	}
+	if internal > 0 {
+		h.Balance = balanceSum / float64(internal)
+		sort.Float64s(radii)
+		h.RadiusMin = radii[0]
+		h.RadiusP50 = radii[len(radii)/2]
+		h.RadiusMax = radii[len(radii)-1]
+	}
+	return h
+}

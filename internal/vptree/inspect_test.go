@@ -1,0 +1,65 @@
+package vptree
+
+import (
+	"testing"
+
+	"lbkeogh/internal/ts"
+)
+
+func TestInspect(t *testing.T) {
+	rng := ts.NewRand(3)
+	points := make([][]float64, 200)
+	for i := range points {
+		p := make([]float64, 8)
+		for j := range p {
+			p[j] = rng.Float64()
+		}
+		points[i] = p
+	}
+	tr := New(points, 16, 0x5eed)
+	h := tr.Inspect()
+	if h.Points != 200 {
+		t.Errorf("Points = %d, want 200", h.Points)
+	}
+	if h.Nodes != len(tr.nodes) {
+		t.Errorf("Nodes = %d, want %d", h.Nodes, len(tr.nodes))
+	}
+	if h.Leaves == 0 || h.LeafSize != 16 {
+		t.Errorf("Leaves/LeafSize = %d/%d, want >0/16", h.Leaves, h.LeafSize)
+	}
+	if h.MaxDepth < 1 {
+		t.Errorf("MaxDepth = %d, want >= 1 for 200 points at leaf size 16", h.MaxDepth)
+	}
+	if h.MeanLeafDepth <= 0 || h.MeanLeafDepth > float64(h.MaxDepth) {
+		t.Errorf("MeanLeafDepth = %v outside (0, %d]", h.MeanLeafDepth, h.MaxDepth)
+	}
+	if h.Balance <= 0 || h.Balance > 0.5 {
+		t.Errorf("Balance = %v outside (0, 0.5]", h.Balance)
+	}
+	if h.RadiusMin <= 0 || h.RadiusMin > h.RadiusP50 || h.RadiusP50 > h.RadiusMax {
+		t.Errorf("radius distribution broken: min %v p50 %v max %v",
+			h.RadiusMin, h.RadiusP50, h.RadiusMax)
+	}
+	if h.MeanLeafFill <= 0 || h.MeanLeafFill > 1.01 {
+		t.Errorf("MeanLeafFill = %v outside (0, 1]", h.MeanLeafFill)
+	}
+	// The walk must account for every point exactly once.
+	var items int
+	for _, nd := range tr.nodes {
+		if nd.vp >= 0 {
+			items++ // vantage point
+		}
+		items += len(nd.items)
+	}
+	if items != h.Points {
+		t.Errorf("tree holds %d points, health says %d", items, h.Points)
+	}
+}
+
+func TestInspectSingleLeaf(t *testing.T) {
+	tr := New([][]float64{{1, 2}, {3, 4}}, 16, 1)
+	h := tr.Inspect()
+	if h.Leaves != 1 || h.MaxDepth != 0 || h.Balance != 0 {
+		t.Errorf("single-leaf health = %+v", h)
+	}
+}

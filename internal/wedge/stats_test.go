@@ -1,0 +1,96 @@
+package wedge
+
+import (
+	"math"
+	"testing"
+
+	"lbkeogh/internal/stats"
+	"lbkeogh/internal/ts"
+)
+
+func buildStatsTree(t *testing.T, m, n int) *Tree {
+	t.Helper()
+	rng := ts.NewRand(11)
+	members := make([][]float64, m)
+	for i := range members {
+		s := make([]float64, n)
+		for j := range s {
+			s[j] = rng.Float64()*2 - 1
+		}
+		members[i] = s
+	}
+	var tally stats.Tally
+	return Build(members, func(i, j int) float64 {
+		var acc float64
+		for k := range members[i] {
+			d := members[i][k] - members[j][k]
+			acc += d * d
+		}
+		return math.Sqrt(acc)
+	}, &tally)
+}
+
+func TestTreeStats(t *testing.T) {
+	const m, n = 40, 32
+	tr := buildStatsTree(t, m, n)
+	st := tr.Stats()
+	if st.Members != m || st.Len != n {
+		t.Errorf("Members/Len = %d/%d, want %d/%d", st.Members, st.Len, m, n)
+	}
+	if st.Nodes != 2*m-1 {
+		t.Errorf("Nodes = %d, want %d", st.Nodes, 2*m-1)
+	}
+	if st.MaxDepth < 1 {
+		t.Errorf("MaxDepth = %d, want >= 1", st.MaxDepth)
+	}
+	if st.RootArea <= 0 {
+		t.Errorf("RootArea = %v, want > 0", st.RootArea)
+	}
+	if st.MeanMergeInflation <= 0 || st.MaxMergeInflation < st.MeanMergeInflation {
+		t.Errorf("merge inflation mean %v max %v broken",
+			st.MeanMergeInflation, st.MaxMergeInflation)
+	}
+	// K profiles: powers of two then MaxK, each cut no wider than K, areas
+	// shrinking per wedge as K grows (finer wedges bound tighter).
+	if len(st.KProfiles) == 0 {
+		t.Fatal("no K profiles")
+	}
+	last := st.KProfiles[len(st.KProfiles)-1]
+	if last.K != m || last.Wedges != m || last.MaxMembers != 1 {
+		t.Errorf("final profile = %+v, want the all-singletons cut", last)
+	}
+	for i, p := range st.KProfiles {
+		if p.Wedges > p.K {
+			t.Errorf("profile %d: %d wedges for K=%d", i, p.Wedges, p.K)
+		}
+		if p.MaxMembers < 1 {
+			t.Errorf("profile %d: MaxMembers = %d", i, p.MaxMembers)
+		}
+		if i > 0 && p.MeanArea > st.KProfiles[i-1].MeanArea+1e-9 {
+			t.Errorf("profile %d: mean area %v grew over coarser cut's %v",
+				i, p.MeanArea, st.KProfiles[i-1].MeanArea)
+		}
+	}
+	// K=1 is the root wedge.
+	if st.KProfiles[0].K != 1 || math.Abs(st.KProfiles[0].TotalArea-st.RootArea) > 1e-9 {
+		t.Errorf("K=1 profile %+v != root area %v", st.KProfiles[0], st.RootArea)
+	}
+	// Singleton wedges are degenerate envelopes with zero area.
+	if last.TotalArea > 1e-12 {
+		t.Errorf("singleton cut total area = %v, want 0", last.TotalArea)
+	}
+}
+
+func TestTreeStatsSingleMember(t *testing.T) {
+	tr := buildStatsTree(t, 1, 8)
+	st := tr.Stats()
+	if st.Members != 1 || st.Nodes != 1 || st.MaxDepth != 0 {
+		t.Errorf("single-member stats = %+v", st)
+	}
+	if st.MeanMergeInflation > 1e-12 || st.MaxMergeInflation > 1e-12 {
+		t.Errorf("no merges, inflation = %v/%v", st.MeanMergeInflation, st.MaxMergeInflation)
+	}
+	if len(st.KProfiles) != 1 || st.KProfiles[0].K != 1 {
+		t.Errorf("single-member profiles = %+v", st.KProfiles)
+	}
+}

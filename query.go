@@ -7,6 +7,7 @@ import (
 
 	"lbkeogh/internal/core"
 	"lbkeogh/internal/obs"
+	"lbkeogh/internal/obs/explain"
 	"lbkeogh/internal/obs/trace"
 	"lbkeogh/internal/stats"
 	"lbkeogh/internal/wedge"
@@ -152,6 +153,17 @@ type Query struct {
 	// a plain field is race-free.
 	lastTraceID int64
 	tlog        *trace.Log // nil: untraced
+
+	// Explain state (see explain.go): the per-operation op, the shared
+	// tightness sink, and the last operation's counter delta from which the
+	// plan's waterfall is derived.
+	exp        *explain.Op
+	expSink    *explain.Recorder
+	explainOn  bool
+	expBefore  obs.Counts
+	expDelta   obs.Counts
+	expTraceID int64
+	expValid   bool
 }
 
 // NewQuery compiles series into a rotation-invariant query under the given
@@ -203,6 +215,7 @@ func NewQuery(series Series, m Measure, opts ...QueryOption) (*Query, error) {
 // given stage, attached to the searcher so comparisons record under it. On
 // an untraced query everything is nil/no-op.
 func (q *Query) startTrace(label string, stage trace.Stage) (*trace.Recorder, trace.SpanID, obs.Counts) {
+	q.beginExplainOp()
 	rec := q.tlog.StartTrace(label)
 	if rec == nil {
 		return nil, -1, obs.Counts{}
@@ -214,15 +227,19 @@ func (q *Query) startTrace(label string, stage trace.Stage) (*trace.Recorder, tr
 }
 
 // finishTrace closes the root span with the operation's counter deltas and
-// hands the trace to the log for sampling and slow-query screening.
+// hands the trace to the log for sampling and slow-query screening. The
+// explain op (when armed) finishes here too, so its waterfall delta and
+// exemplar correlation cover exactly the traced operation.
 func (q *Query) finishTrace(rec *trace.Recorder, root trace.SpanID, before obs.Counts) {
-	if rec == nil {
-		return
+	var tid int64
+	if rec != nil {
+		q.searcher.SetRecorder(nil)
+		delta := q.obs.Counts().Sub(before)
+		rec.EndAttrs(root, delta)
+		q.lastTraceID = q.tlog.Finish(rec, delta)
+		tid = q.lastTraceID
 	}
-	q.searcher.SetRecorder(nil)
-	delta := q.obs.Counts().Sub(before)
-	rec.EndAttrs(root, delta)
-	q.lastTraceID = q.tlog.Finish(rec, delta)
+	q.endExplainOp(tid)
 }
 
 // LastTraceID returns the retained trace ID of the query's most recently

@@ -9,7 +9,10 @@
 # gracefully on SIGTERM. Part 3: boot a fresh shapeserver and fire a short
 # shapeload burst at it, asserting the SLO report is written, parses, and
 # the client's request counts reconciled against the server's /metrics
-# counters (shapeload exits non-zero when they disagree).
+# counters (shapeload exits non-zero when they disagree). Part 4: boot a
+# shapeserver, run an EXPLAIN search, and assert the plan parses, its stage
+# waterfall reconciles exactly with the /metrics pruning-waterfall counter
+# deltas, and /debug/index serves the index-health report.
 set -eu
 
 GO=${GO:-go}
@@ -278,3 +281,104 @@ wait "$spid" 2>/dev/null || true
 spid=""
 
 echo "smoke: ok ($laddr: shapeload burst, SLO report written, client/server counts reconcile)"
+# ---- Part 4: query EXPLAIN and index introspection -----------------------
+
+eok=""
+for try in 0 1 2 3 4; do
+	eaddr="127.0.0.1:$((18771 + try))"
+	"$tmp/shapeserver" -addr "$eaddr" -synthetic 400,128 -seed 7 \
+		>"$tmp/explainserver.log" 2>&1 &
+	spid=$!
+	i=0
+	while [ $i -lt 100 ]; do
+		if ! kill -0 "$spid" 2>/dev/null; then
+			break # died; likely the port was in use
+		fi
+		if curl -fsS "http://$eaddr/readyz" >/dev/null 2>&1; then
+			eok=1
+			break
+		fi
+		sleep 0.2
+		i=$((i + 1))
+	done
+	[ -n "$eok" ] && break
+	kill "$spid" 2>/dev/null || true
+	wait "$spid" 2>/dev/null || true
+	spid=""
+done
+[ -n "$eok" ] || {
+	echo "smoke: shapeserver for the explain checks failed to start" >&2
+	cat "$tmp/explainserver.log" >&2
+	exit 1
+}
+
+# Snapshot the pruning-waterfall counters, run one EXPLAIN search, snapshot
+# again: the plan's stage counts must equal the counter deltas exactly.
+curl -fsS "http://$eaddr/metrics" >"$tmp/wf_before.txt" ||
+	fail "explain server /metrics did not answer 200"
+curl -fsS "http://$eaddr/v1/search" -d '{"query_index":5,"explain":true}' >"$tmp/explain.json" ||
+	fail "explain search did not answer 200"
+curl -fsS "http://$eaddr/metrics" >"$tmp/wf_after.txt" ||
+	fail "explain server /metrics did not answer 200 after the search"
+
+grep -q '"plan":' "$tmp/explain.json" ||
+	fail "explain:true response carries no plan"
+grep -q '"waterfall":' "$tmp/explain.json" ||
+	fail "explain plan carries no waterfall"
+grep -q '"admitted_by":' "$tmp/explain.json" ||
+	fail "explain plan carries no survivor annotations"
+grep -q '^# TYPE shapeserver_pruning_waterfall_members_total counter$' "$tmp/wf_after.txt" ||
+	fail "/metrics is missing the pruning-waterfall family"
+
+if command -v python3 >/dev/null 2>&1; then
+	python3 - "$tmp/explain.json" "$tmp/wf_before.txt" "$tmp/wf_after.txt" <<'PY' || fail "explain plan does not reconcile with the /metrics waterfall deltas"
+import json, sys
+
+plan = json.load(open(sys.argv[1]))["plan"]
+wf = plan["waterfall"]
+
+def counters(path):
+    out = {}
+    for line in open(path):
+        if line.startswith("shapeserver_pruning_waterfall_"):
+            name, value = line.rsplit(None, 1)
+            out[name] = out.get(name, 0) + int(value)
+    return out
+
+before, after = counters(sys.argv[2]), counters(sys.argv[3])
+def delta(name):
+    return after.get(name, 0) - before.get(name, 0)
+
+stages = {s["stage"]: s["members"] for s in wf["eliminated"]}
+eliminated = sum(stages.values())
+total = eliminated + wf["survivors"] + wf.get("cancelled", 0)
+assert total == wf["rotations"], f"plan waterfall does not reconcile: {wf}"
+assert delta("shapeserver_pruning_waterfall_rotations_total") == wf["rotations"]
+assert delta("shapeserver_pruning_waterfall_survivors_total") == wf["survivors"]
+for stage, members in stages.items():
+    got = delta('shapeserver_pruning_waterfall_members_total{stage="%s"}' % stage)
+    assert got == members, f"stage {stage}: metrics delta {got} != plan {members}"
+print(f"explain waterfall reconciles: {wf['rotations']} rotations, "
+      f"{eliminated} eliminated, {wf['survivors']} survivors")
+PY
+fi
+
+# Index-health introspection serves a structural report of both trees.
+curl -fsS "http://$eaddr/debug/index" >"$tmp/index.json" ||
+	fail "/debug/index did not answer 200"
+grep -q '"vp_tree":' "$tmp/index.json" ||
+	fail "/debug/index is missing the VP-tree report"
+grep -q '"r_tree":' "$tmp/index.json" ||
+	fail "/debug/index is missing the R-tree report"
+grep -q '"k_profiles":' "$tmp/index.json" ||
+	fail "/debug/index is missing the wedge K profiles"
+if command -v python3 >/dev/null 2>&1; then
+	python3 -m json.tool "$tmp/index.json" >/dev/null ||
+		fail "/debug/index is not valid JSON"
+fi
+
+kill -TERM "$spid" 2>/dev/null || true
+wait "$spid" 2>/dev/null || true
+spid=""
+
+echo "smoke: ok ($eaddr: explain plan reconciles with /metrics, /debug/index serves)"
