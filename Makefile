@@ -1,7 +1,7 @@
 GO ?= go
 BENCH_DIR ?= bench
 
-.PHONY: all build vet lint bce-baseline test race race-concurrency bench bench-json bench-record bench-compare load-record smoke govulncheck ci clean
+.PHONY: all build vet lint bce-baseline test race race-concurrency bench bench-json bench-record bench-compare load-record smoke ingest-smoke govulncheck ci clean
 
 all: build
 
@@ -41,11 +41,12 @@ bench:
 	$(GO) test -run '^$$' -bench . -benchtime 1x ./...
 
 # Machine-readable per-strategy report (steps, prune rates, wall time) as
-# $(BENCH_DIR)/BENCH_<date>.json.
-# Fails (non-zero, no JSON written) if any strategy's step accounting does
-# not reconcile; see cmd/benchrun.
+# $(BENCH_DIR)/BENCH_<date>.json, plus a disk-resident segment-store block at
+# m=100k (ingest throughput, mmap size, index fetch fraction).
+# Fails (non-zero, no JSON written) if any strategy's step accounting or the
+# segment store's disk-read accounting does not reconcile; see cmd/benchrun.
 bench-json:
-	$(GO) run ./cmd/benchrun -fig none -maxm 500 -queries 3 -bench-out $(BENCH_DIR)
+	$(GO) run ./cmd/benchrun -fig none -maxm 500 -queries 3 -segment-m 100000 -bench-out $(BENCH_DIR)
 
 # Append a fresh point to the committed bench trajectory. Same run as
 # bench-json; the separate name marks the intent: record a point you mean to
@@ -66,9 +67,16 @@ load-record:
 	./scripts/load-record.sh $(BENCH_DIR)
 
 # Observability smoke test: start benchrun -serve, curl /metrics and
-# /debug/lbkeogh, assert both answer 200 with parseable content.
+# /debug/lbkeogh, assert both answer 200 with parseable content. Part 5 runs
+# the segment-store ingest smoke (ingest-smoke below).
 smoke:
 	./scripts/smoke.sh
+
+# Segment-store end-to-end: shapeingest 50k shapes, serve the store with
+# shapeserver -segments, search, online-ingest, compact, and assert the
+# record counts on /livez and /metrics reconcile at every step.
+ingest-smoke:
+	./scripts/ingest-smoke.sh
 
 # Known-vulnerability scan, skipped gracefully where the tool is not
 # installed (the container has no network to fetch it).

@@ -48,6 +48,7 @@ func main() {
 
 		serve     = flag.String("serve", "", "serve /metrics (Prometheus text), /debug/lbkeogh (live trace dashboard), /debug/vars and /debug/pprof/ on this address (e.g. :8080) and keep running after the experiments")
 		statsJSON = flag.String("stats-json", "", "write per-strategy pruning breakdowns as JSON to this file (\"-\" for stdout)")
+		segmentM  = flag.Int("segment-m", 0, "also benchmark a disk-resident segment store at this size (bulk ingest, mmap, index fetch fraction); 0 disables")
 		benchOut  = flag.String("bench-out", "", "write a machine-readable BENCH_<date>.json (steps, prune rates, stage latencies, wall time) into this directory")
 		compare   = flag.String("compare", "", "diff the two most recent BENCH_*.json files in this directory, then exit")
 		logLevel  = flag.String("log-level", "info", "stderr diagnostic log level: debug, info, warn, error")
@@ -283,6 +284,22 @@ func main() {
 			diag.Error("step reconciliation failed; not writing bench JSON",
 				"broken", broken, "strategies", len(rep.Strategies))
 			os.Exit(1)
+		}
+		if *segmentM > 0 {
+			fmt.Println("==> Segment-store scan (mmap-backed, index fetch fraction)")
+			sr, err := collectSegmentBench(*segmentM, 64, *queries, *seed)
+			if err != nil {
+				diag.Error("segment bench failed", "error", err)
+				os.Exit(1)
+			}
+			printSegmentReport(sr)
+			if !sr.ReadsReconcile {
+				// Same admissibility standard as the step counters: a fetch
+				// count the stats layer cannot reproduce is not a measurement.
+				diag.Error("segment disk-read accounting does not reconcile; not writing bench JSON")
+				os.Exit(1)
+			}
+			rep.Segment = sr
 		}
 		if *benchOut != "" {
 			path, err := writeBenchJSON(rep, *benchOut)

@@ -1,0 +1,150 @@
+package main
+
+// Segment-store benchmark (-segment-m): the disk-resident counterpart to the
+// in-heap instrumented scan. It bulk-writes m synthetic shapes into a
+// temporary mmap-backed segment store, builds the rotation-invariant index
+// from the store's precomputed feature columns, and answers queries through
+// the index — reporting the fraction of records actually fetched (the
+// paper's Figure 24 metric, here at six-figure scale) alongside ingest and
+// build throughput. The block rides in BENCH_<date>.json next to the
+// in-heap strategies, so bench-compare tracks both trajectories.
+
+import (
+	"fmt"
+	"os"
+	"time"
+
+	"lbkeogh"
+	"lbkeogh/internal/segment"
+)
+
+// segmentReport is the machine-readable segment-store block of a BENCH file.
+type segmentReport struct {
+	M           int   `json:"m"`
+	N           int   `json:"n"`
+	Dims        int   `json:"dims"`
+	Segments    int   `json:"segments"`
+	ZeroCopy    bool  `json:"zero_copy"`
+	DiskBytes   int64 `json:"disk_bytes"`
+	MappedBytes int64 `json:"mapped_bytes"`
+
+	IngestSeconds     float64 `json:"ingest_seconds"`
+	IngestRowsPerSec  float64 `json:"ingest_rows_per_sec"`
+	IndexBuildSeconds float64 `json:"index_build_seconds"`
+
+	Queries        int     `json:"queries"`
+	QuerySeconds   float64 `json:"query_seconds"`
+	AvgDiskReads   float64 `json:"avg_disk_reads"`
+	FetchFraction  float64 `json:"fetch_fraction"`  // avg reads / m — Figure 24 at scale
+	ReadsReconcile bool    `json:"reads_reconcile"` // SearchStats.DiskReads == store fetch counter
+}
+
+// segmentDims is the compressed dimensionality of the stored feature columns
+// and the index built from them — the paper's default operating point.
+const segmentDims = 8
+
+// collectSegmentBench ingests m shapes into a throwaway segment store and
+// measures the full disk-resident query path.
+func collectSegmentBench(m, n, queries int, seed int64) (*segmentReport, error) {
+	dir, err := os.MkdirTemp("", "lbkeogh-segbench-*")
+	if err != nil {
+		return nil, err
+	}
+	defer os.RemoveAll(dir)
+
+	all := lbkeogh.SyntheticProjectilePoints(seed, m+queries, n)
+	rows, qs := all[:m], all[m:]
+
+	// Bulk ingest with precomputed features, rolled into several segments so
+	// the query path exercises cross-segment ID location.
+	perSegment := int64(m/4 + 1)
+	ingestStart := time.Now()
+	bw, err := segment.NewBulkWriter(dir, n, segmentDims, perSegment)
+	if err != nil {
+		return nil, err
+	}
+	for id, row := range rows {
+		mags, paas := segment.Features(row, segmentDims)
+		if err := bw.AddPrecomputed(row, mags, paas, int64(id)); err != nil {
+			bw.Abort()
+			return nil, err
+		}
+	}
+	if err := bw.Close(); err != nil {
+		return nil, err
+	}
+	ingestSecs := time.Since(ingestStart).Seconds()
+
+	buildStart := time.Now()
+	ix, err := lbkeogh.OpenSegmentIndex(dir, segmentDims)
+	if err != nil {
+		return nil, err
+	}
+	defer ix.Close()
+	buildSecs := time.Since(buildStart).Seconds()
+
+	var diskBytes int64
+	if entries, err := os.ReadDir(dir); err == nil {
+		for _, e := range entries {
+			if info, err := e.Info(); err == nil {
+				diskBytes += info.Size()
+			}
+		}
+	}
+
+	var totalReads int64
+	reconcile := true
+	queryStart := time.Now()
+	for _, series := range qs {
+		q, err := lbkeogh.NewQuery(series, lbkeogh.Euclidean())
+		if err != nil {
+			return nil, err
+		}
+		ix.ResetDiskReads()
+		ix.ResetStats()
+		if _, err := ix.Search(q); err != nil {
+			return nil, err
+		}
+		reads := ix.DiskReads()
+		totalReads += int64(reads)
+		if ix.Stats().DiskReads != int64(reads) {
+			reconcile = false
+		}
+	}
+	querySecs := time.Since(queryStart).Seconds()
+
+	db, err := segment.OpenDB(dir, segmentDims)
+	if err != nil {
+		return nil, err
+	}
+	st := db.Stats()
+	db.Close()
+
+	avgReads := float64(totalReads) / float64(queries)
+	return &segmentReport{
+		M:                 m,
+		N:                 n,
+		Dims:              segmentDims,
+		Segments:          len(st.Segments),
+		ZeroCopy:          st.ZeroCopy,
+		DiskBytes:         diskBytes,
+		MappedBytes:       st.MappedBytes,
+		IngestSeconds:     ingestSecs,
+		IngestRowsPerSec:  float64(m) / ingestSecs,
+		IndexBuildSeconds: buildSecs,
+		Queries:           queries,
+		QuerySeconds:      querySecs,
+		AvgDiskReads:      avgReads,
+		FetchFraction:     avgReads / float64(m),
+		ReadsReconcile:    reconcile,
+	}, nil
+}
+
+func printSegmentReport(sr *segmentReport) {
+	fmt.Printf("   segment store: m=%d n=%d D=%d in %d segments (%.1f MB on disk, zero_copy=%v)\n",
+		sr.M, sr.N, sr.Dims, sr.Segments, float64(sr.DiskBytes)/(1<<20), sr.ZeroCopy)
+	fmt.Printf("   ingest %.2fs (%.0f rows/s)   index build %.2fs   %d queries in %.2fs\n",
+		sr.IngestSeconds, sr.IngestRowsPerSec, sr.IndexBuildSeconds, sr.Queries, sr.QuerySeconds)
+	fmt.Printf("   avg disk reads/query %.1f -> fetch fraction %.5f   reads reconcile=%v\n",
+		sr.AvgDiskReads, sr.FetchFraction, sr.ReadsReconcile)
+}

@@ -43,6 +43,10 @@ type benchReport struct {
 	Queries    int              `json:"queries"`
 	Seed       int64            `json:"seed"`
 	Strategies []strategyReport `json:"strategies"`
+	// Segment is the disk-resident counterpart (-segment-m): the same
+	// workload served through a memory-mapped segment store and its index.
+	// Absent from points recorded before the segment store existed.
+	Segment *segmentReport `json:"segment,omitempty"`
 }
 
 // liveObs is the mutable source/log registry behind -serve: the instrumented
@@ -448,8 +452,29 @@ func compareBench(dir string) error {
 		return fmt.Errorf("search-stage p99 regressed beyond %.0f%%:\n  %s",
 			(p99RegressionLimit-1)*100, strings.Join(regressions, "\n  "))
 	}
+	compareSegment(prev.Segment, cur.Segment)
 	loadTrajectory(dir)
 	return nil
+}
+
+// compareSegment diffs the segment-store blocks of two trajectory points.
+// Informational: older points predate the segment store, and the fetch
+// fraction is workload-determined, so drift warns rather than fails.
+func compareSegment(old, cur *segmentReport) {
+	switch {
+	case cur == nil:
+		return
+	case old == nil:
+		fmt.Printf("  segment (new)   m=%d fetch_fraction=%.5f ingest %.0f rows/s build %.2fs\n",
+			cur.M, cur.FetchFraction, cur.IngestRowsPerSec, cur.IndexBuildSeconds)
+	default:
+		fmt.Printf("  segment         fetch_fraction %.5f -> %.5f (%+.2f%%)  ingest %.0f -> %.0f rows/s  build %.2fs -> %.2fs\n",
+			old.FetchFraction, cur.FetchFraction, pctDelta(old.FetchFraction, cur.FetchFraction),
+			old.IngestRowsPerSec, cur.IngestRowsPerSec, old.IndexBuildSeconds, cur.IndexBuildSeconds)
+		if old.FetchFraction > 0 && cur.FetchFraction > old.FetchFraction*1.25 && cur.M == old.M {
+			fmt.Printf("  WARNING: segment fetch fraction grew >25%% at the same m; the index is pruning less\n")
+		}
+	}
 }
 
 // tightnessErosionLimit flags a bound whose median tightness ratio shrank by

@@ -1,0 +1,231 @@
+// Command shapeingest bulk-loads synthetic shapes into a memory-mapped
+// segment store (internal/segment) — the ingest half of the million-shape
+// serving path. Workers generate batches and precompute the compressed
+// feature columns (FFT magnitudes, PAA means) in parallel; a single writer
+// goroutine streams records into segment files, cutting a new segment every
+// -segment-records rows, and commits the whole load with one atomic
+// manifest swap.
+//
+// By default indexes are deferred (-defer-indexes): the load writes raw and
+// feature columns only, and the VP-tree/R-tree are built later — at server
+// start, on first query, or here with -defer-indexes=false, which reports
+// the build time separately. This is the two-phase pattern of large-scale
+// loaders: sequential ingest first, index construction off the load path.
+//
+// Typical sessions:
+//
+//	shapeingest -dir /data/shapes -count 1000000 -n 64
+//	shapeingest -dir /data/shapes -count 50000 -n 64 -defer-indexes=false -verify
+//	shapeserver -addr :8321 -segments /data/shapes
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"sync"
+	"time"
+
+	"lbkeogh"
+	"lbkeogh/internal/segment"
+	"lbkeogh/internal/synth"
+)
+
+func main() {
+	var (
+		dir        = flag.String("dir", "", "segment store directory (required)")
+		count      = flag.Int64("count", 50000, "shapes to generate and ingest")
+		n          = flag.Int("n", 64, "series length per shape")
+		dims       = flag.Int("dims", 8, "feature dims stored per record (clamped to n/2)")
+		batch      = flag.Int("batch", 1024, "shapes per generator batch")
+		workers    = flag.Int("workers", runtime.GOMAXPROCS(0), "feature-computation workers")
+		segRecords = flag.Int64("segment-records", 1<<17, "records per segment file")
+		maxRows    = flag.Int64("max-rows", 10_000_000, "safety cap on total store rows after the load")
+		dataset    = flag.String("dataset", "projectile", "generator: projectile | heterogeneous")
+		seed       = flag.Int64("seed", 1, "generator seed")
+		deferIx    = flag.Bool("defer-indexes", true, "skip index build; raw+feature columns only")
+		progress   = flag.Duration("progress", 2*time.Second, "progress report interval (0 disables)")
+		verify     = flag.Bool("verify", false, "reopen the store with full checksum verification after the load")
+	)
+	flag.Parse()
+	if err := run(*dir, *count, *n, *dims, *batch, *workers, *segRecords, *maxRows,
+		*dataset, *seed, *deferIx, *progress, *verify); err != nil {
+		fmt.Fprintf(os.Stderr, "shapeingest: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+// genBatch is one worker's output: a contiguous run of records with features
+// precomputed, keyed by batch index so the writer commits in global order.
+type genBatch struct {
+	idx    int
+	rows   [][]float64
+	mags   [][]float64
+	paas   [][]float64
+	labels []int64
+}
+
+func run(dir string, count int64, n, dims int, batch int, workers int, segRecords, maxRows int64,
+	dataset string, seed int64, deferIx bool, progress time.Duration, verify bool) error {
+	if dir == "" {
+		return fmt.Errorf("-dir is required")
+	}
+	if count < 1 {
+		return fmt.Errorf("-count must be >= 1")
+	}
+	if n < 2 {
+		return fmt.Errorf("-n must be >= 2")
+	}
+	if batch < 1 || workers < 1 {
+		return fmt.Errorf("-batch and -workers must be >= 1")
+	}
+	var gen func(seed int64, m, n int) [][]float64
+	switch dataset {
+	case "projectile":
+		gen = synth.ProjectilePoints
+	case "heterogeneous":
+		gen = synth.Heterogeneous
+	default:
+		return fmt.Errorf("unknown -dataset %q (projectile | heterogeneous)", dataset)
+	}
+	d := dims
+	if d < 1 {
+		d = 8
+	}
+	if d > n/2 {
+		d = n / 2
+	}
+
+	b, err := segment.NewBulkWriter(dir, n, d, segRecords)
+	if err != nil {
+		return err
+	}
+	if have := b.Total(); have+count > maxRows {
+		b.Abort()
+		return fmt.Errorf("load would put the store at %d rows, over the -max-rows cap %d", have+count, maxRows)
+	}
+	firstID := b.Total()
+
+	// Parallel generate+featurize, ordered single-writer commit. Workers pull
+	// batch indexes, push completed batches; the writer drains them in index
+	// order so global IDs are deterministic for a given seed.
+	numBatches := int((count + int64(batch) - 1) / int64(batch))
+	idxCh := make(chan int, workers)
+	outCh := make(chan genBatch, workers)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for idx := range idxCh {
+				size := batch
+				if rem := count - int64(idx)*int64(batch); rem < int64(size) {
+					size = int(rem)
+				}
+				// Each batch draws from its own deterministic stream, so the
+				// load is reproducible at any worker count.
+				rows := gen(seed+int64(idx), size, n)
+				gb := genBatch{
+					idx:    idx,
+					rows:   rows,
+					mags:   make([][]float64, size),
+					paas:   make([][]float64, size),
+					labels: make([]int64, size),
+				}
+				for i, row := range rows {
+					gb.mags[i], gb.paas[i] = segment.Features(row, d)
+					gb.labels[i] = firstID + int64(idx)*int64(batch) + int64(i)
+				}
+				outCh <- gb
+			}
+		}()
+	}
+	go func() {
+		for idx := 0; idx < numBatches; idx++ {
+			idxCh <- idx
+		}
+		close(idxCh)
+		wg.Wait()
+		close(outCh)
+	}()
+
+	start := time.Now()
+	lastReport := start
+	var written int64
+	pending := make(map[int]genBatch)
+	nextIdx := 0
+	for gb := range outCh {
+		pending[gb.idx] = gb
+		for {
+			cur, ok := pending[nextIdx]
+			if !ok {
+				break
+			}
+			delete(pending, nextIdx)
+			for i := range cur.rows {
+				if err := b.AddPrecomputed(cur.rows[i], cur.mags[i], cur.paas[i], cur.labels[i]); err != nil {
+					b.Abort()
+					return err
+				}
+			}
+			written += int64(len(cur.rows))
+			nextIdx++
+		}
+		if progress > 0 && time.Since(lastReport) >= progress {
+			lastReport = time.Now()
+			elapsed := time.Since(start).Seconds()
+			fmt.Printf("ingested %d/%d rows (%.0f rows/s)\n", written, count, float64(written)/elapsed)
+		}
+	}
+	if written != count {
+		b.Abort()
+		return fmt.Errorf("wrote %d of %d rows", written, count)
+	}
+	if err := b.Close(); err != nil {
+		return err
+	}
+	ingestSecs := time.Since(start).Seconds()
+	fmt.Printf("ingest complete: %d rows in %.1fs (%.0f rows/s), store now %d rows, dir %s\n",
+		count, ingestSecs, float64(count)/ingestSecs, firstID+count, dir)
+
+	if verify {
+		vStart := time.Now()
+		m, ok, err := segment.LoadManifest(dir)
+		if err != nil || !ok {
+			return fmt.Errorf("verify: manifest: ok=%v err=%v", ok, err)
+		}
+		var total int64
+		for _, ms := range m.Segments {
+			r, err := segment.Open(dir + "/" + ms.File) // full CRC verification
+			if err != nil {
+				return fmt.Errorf("verify: %w", err)
+			}
+			if int64(r.Len()) != ms.Records {
+				r.Close()
+				return fmt.Errorf("verify: %s holds %d records, manifest says %d", ms.File, r.Len(), ms.Records)
+			}
+			total += ms.Records
+			r.Close()
+		}
+		if total != firstID+count {
+			return fmt.Errorf("verify: store holds %d rows, want %d", total, firstID+count)
+		}
+		fmt.Printf("verify complete: %d segments, %d rows, all checksums good (%.1fs)\n",
+			len(m.Segments), total, time.Since(vStart).Seconds())
+	}
+
+	if !deferIx {
+		ixStart := time.Now()
+		ix, err := lbkeogh.OpenSegmentIndex(dir, d)
+		if err != nil {
+			return fmt.Errorf("index build: %w", err)
+		}
+		defer ix.Close()
+		fmt.Printf("index build complete: m=%d dims=%d in %.1fs\n",
+			ix.Len(), ix.Dims(), time.Since(ixStart).Seconds())
+	} else {
+		fmt.Println("indexes deferred: build at serve time or rerun with -defer-indexes=false")
+	}
+	return nil
+}

@@ -12,6 +12,7 @@
 //	mkdata -dataset projectile -m 500 > db.csv
 //	shapeserver -db db.csv
 //	shapeserver -synthetic 400,128 -addr :8321
+//	shapeserver -segments /data/shapes     # mmap a segment store (see shapeingest)
 //
 //	curl -s localhost:8321/v1/search -d '{"query_index":0}'
 //	curl -s localhost:8321/v1/topk   -d '{"series":[...], "k":5, "measure":"dtw", "r":5}'
@@ -45,6 +46,7 @@ import (
 
 	"lbkeogh"
 	"lbkeogh/internal/obs/ops"
+	"lbkeogh/internal/segment"
 	"lbkeogh/internal/seriesio"
 	"lbkeogh/internal/server"
 )
@@ -53,6 +55,9 @@ func main() {
 	var (
 		addr        = flag.String("addr", ":8321", "listen address")
 		dbPath      = flag.String("db", "", "CSV database file (label,v0,v1,...)")
+		segments    = flag.String("segments", "", "memory-mapped segment store directory (see shapeingest); enables /v1/ingest and /v1/compact")
+		segDims     = flag.Int("segment-dims", 8, "feature dims for segments created by online ingest into an empty store")
+		segVerify   = flag.Bool("verify-on-open", false, "recompute every segment section CRC while mapping the store (faults the whole file in; default trusts shapeingest -verify and checks headers only)")
 		synthetic   = flag.String("synthetic", "", "generate a synthetic database instead: m,n (series,samples)")
 		seed        = flag.Int64("seed", 42, "synthetic dataset seed")
 		inflight    = flag.Int("inflight", 4, "max concurrent searches")
@@ -83,7 +88,9 @@ func main() {
 		os.Exit(1)
 	}
 	var handler atomic.Value // of http.Handler
-	handler.Store(loadingHandler())
+	var phase atomic.Value   // "loading" → "mapping" → swapped out by the real mux
+	phase.Store("loading")
+	handler.Store(loadingHandler(&phase))
 	httpSrv := &http.Server{Handler: http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
 		handler.Load().(http.Handler).ServeHTTP(w, r)
 	})}
@@ -93,10 +100,38 @@ func main() {
 
 	var labels []int
 	var db []lbkeogh.Series
+	var store *segment.DB
+	sources := 0
+	for _, set := range []bool{*dbPath != "", *synthetic != "", *segments != ""} {
+		if set {
+			sources++
+		}
+	}
 	switch {
-	case *dbPath != "" && *synthetic != "":
-		logger.Error("-db and -synthetic are mutually exclusive")
+	case sources > 1:
+		logger.Error("-db, -synthetic, and -segments are mutually exclusive")
 		os.Exit(2)
+	case *segments != "":
+		// Distinct readiness phase: mapping a large store is not the same
+		// wait as parsing a CSV, and probes can tell them apart.
+		phase.Store("mapping")
+		// Headers and section tables are always verified; skipping the data
+		// CRCs keeps the open a true map — RSS grows with the pages queries
+		// touch, not with store size.
+		openOpts := []segment.OpenOption{segment.WithoutDataCRC()}
+		if *segVerify {
+			openOpts = nil
+		}
+		store, err = segment.OpenDB(*segments, *segDims, openOpts...)
+		if err != nil {
+			logger.Error("segment store open failed", "dir", *segments, "error", err)
+			os.Exit(1)
+		}
+		defer store.Close()
+		st := store.Stats()
+		logger.Info("segment store mapped", "dir", *segments,
+			"generation", st.Generation, "segments", len(st.Segments),
+			"records", st.Records, "mapped_bytes", st.MappedBytes, "zero_copy", st.ZeroCopy)
 	case *dbPath != "":
 		var rows [][]float64
 		labels, rows, err = seriesio.ReadCSV(*dbPath)
@@ -124,7 +159,7 @@ func main() {
 		db = lbkeogh.SyntheticProjectilePoints(*seed, m, n)
 		logger.Info("database generated", "series", m, "samples", n, "seed", *seed)
 	default:
-		logger.Error("one of -db or -synthetic is required")
+		logger.Error("one of -db, -synthetic, or -segments is required")
 		os.Exit(2)
 	}
 
@@ -146,6 +181,7 @@ func main() {
 	srv, err := server.New(server.Config{
 		DB:             db,
 		Labels:         labels,
+		Store:          store,
 		MaxInflight:    *inflight,
 		MaxQueue:       *queue,
 		PoolSize:       *pool,
@@ -163,9 +199,13 @@ func main() {
 	}
 	lbkeogh.PublishExpvar("shapeserver", srv)
 	handler.Store(srv.Handler())
+	size := len(db)
+	if store != nil {
+		size = store.Len()
+	}
 	logger.Info("serving",
-		"series", len(db), "series_len", srv.Len(), "addr", ln.Addr().String(),
-		"endpoints", "/v1/search /v1/topk /v1/range /livez /readyz /metrics /debug/lbkeogh /debug/index /debug/profiles")
+		"series", size, "series_len", srv.Len(), "addr", ln.Addr().String(),
+		"endpoints", "/v1/search /v1/topk /v1/range /v1/ingest /v1/compact /livez /readyz /metrics /debug/lbkeogh /debug/index /debug/profiles")
 
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
@@ -190,13 +230,16 @@ func main() {
 	logger.Info("drained")
 }
 
-// loadingHandler answers probes while the database loads: alive but not
-// ready. Everything else gets a 503 with Retry-After.
-func loadingHandler() http.Handler {
+// loadingHandler answers probes while the database comes up: alive but not
+// ready, with the current startup phase ("loading" a CSV / synthetic build,
+// "mapping" a segment store) as the unready reason so a slow start is never a
+// bare 503. Everything else gets a 503 with Retry-After.
+func loadingHandler(phase *atomic.Value) http.Handler {
+	reason := func() string { return phase.Load().(string) }
 	mux := http.NewServeMux()
 	alive := func(w http.ResponseWriter, r *http.Request) {
 		w.Header().Set("Content-Type", "application/json")
-		json.NewEncoder(w).Encode(map[string]string{"status": "ok", "phase": "loading"}) //nolint:errcheck // probe body
+		json.NewEncoder(w).Encode(map[string]string{"status": "ok", "phase": reason()}) //nolint:errcheck // probe body
 	}
 	mux.HandleFunc("/livez", alive)
 	mux.HandleFunc("/healthz", alive)
@@ -204,7 +247,7 @@ func loadingHandler() http.Handler {
 		w.Header().Set("Retry-After", "1")
 		w.Header().Set("Content-Type", "application/json")
 		w.WriteHeader(http.StatusServiceUnavailable)
-		json.NewEncoder(w).Encode(map[string]string{"status": "loading"}) //nolint:errcheck // probe body
+		json.NewEncoder(w).Encode(map[string]string{"status": "unready", "reason": reason()}) //nolint:errcheck // probe body
 	})
 	return mux
 }

@@ -7,6 +7,7 @@ import (
 	"lbkeogh/internal/diskstore"
 	"lbkeogh/internal/index"
 	"lbkeogh/internal/obs"
+	"lbkeogh/internal/segment"
 	"lbkeogh/internal/wedge"
 )
 
@@ -117,6 +118,45 @@ func OpenIndexFile(path string, dims int) (*Index, error) {
 		return nil, err
 	}
 	out := &Index{ix: inner, n: store.SeriesLen(), m: store.Len(), closer: store.Close}
+	out.initObserver()
+	return out, nil
+}
+
+// OpenSegmentIndex opens a memory-mapped segment store directory (written by
+// shapeingest, diskstore.Migrate, or the server's ingest API) and builds a
+// rotation-invariant index over the generation current at open time. The
+// stored feature columns — FFT magnitudes and PAA means computed once at
+// ingest — are reused directly, so the build never re-reads the raw series;
+// queries fetch only the records their compressed bounds cannot exclude,
+// through the mapping rather than a heap copy of the database.
+//
+// dims is used only when the manifest does not fix one (it always does for
+// stores written by this codebase); the store's own dimensionality wins.
+// Records ingested into dir after the open are not visible — reopen to see
+// them. Call Close when done.
+func OpenSegmentIndex(dir string, dims int) (*Index, error) {
+	store, err := segment.OpenDB(dir, dims)
+	if err != nil {
+		return nil, err
+	}
+	if store.Len() == 0 {
+		store.Close()
+		return nil, fmt.Errorf("lbkeogh: segment store %s is empty", dir)
+	}
+	// Pin the open-time generation: the index's feature rows are views into
+	// these mappings, so they must outlive every query.
+	snap := store.Acquire()
+	mags, paas := snap.Features()
+	inner, err := index.BuildFromColumns(store, store.SeriesLen(), store.Dims(), mags, paas)
+	if err != nil {
+		snap.Release()
+		store.Close()
+		return nil, err
+	}
+	out := &Index{ix: inner, n: store.SeriesLen(), m: store.Len(), closer: func() error {
+		snap.Release()
+		return store.Close()
+	}}
 	out.initObserver()
 	return out, nil
 }

@@ -1,13 +1,23 @@
 // Package diskstore implements a real file-backed series store for the
 // rotation-invariant index — the disk the paper's Section 4.2 is about.
 //
+// Deprecated: diskstore is the single-file, raw-series-only predecessor of
+// the columnar segment store (internal/segment), which adds memory mapping,
+// precomputed feature columns, and online ingest/compaction. New code should
+// use segment; this package stays for existing LBKS files, and Migrate
+// converts one into a segment store directory.
+//
 // File format (little endian):
 //
 //	offset 0:  magic "LBKS" (4 bytes)
-//	offset 4:  uint32 version (1)
+//	offset 4:  uint32 version (1 or 2)
 //	offset 8:  uint32 n  — series length
 //	offset 12: uint32 m  — series count
 //	offset 16: m × n float64 records, row major
+//	footer:    uint32 CRC32 (IEEE) of everything before it — version 2 only
+//
+// Write emits version 2; Open accepts both, verifying the footer when
+// present.
 //
 // Fetch reads one record with a positioned read (ReadAt), so concurrent
 // fetches are safe and the OS page cache — not this package — decides what
@@ -18,6 +28,8 @@ package diskstore
 import (
 	"encoding/binary"
 	"fmt"
+	"hash/crc32"
+	"io"
 	"math"
 	"os"
 	"sync"
@@ -26,12 +38,14 @@ import (
 
 const (
 	magic      = "LBKS"
-	version    = 1
+	version1   = 1
+	version2   = 2
 	headerSize = 16
+	footerSize = 4
 )
 
 // Write creates (or truncates) path with the given series collection, all of
-// one length.
+// one length, as a version-2 file (CRC32 footer over header and records).
 func Write(path string, series [][]float64) error {
 	if len(series) == 0 {
 		return fmt.Errorf("diskstore: nothing to write")
@@ -51,12 +65,14 @@ func Write(path string, series [][]float64) error {
 	}
 	defer f.Close()
 
+	crc := crc32.NewIEEE()
+	w := io.MultiWriter(f, crc)
 	header := make([]byte, headerSize)
 	copy(header, magic)
-	binary.LittleEndian.PutUint32(header[4:], version)
+	binary.LittleEndian.PutUint32(header[4:], version2)
 	binary.LittleEndian.PutUint32(header[8:], uint32(n))
 	binary.LittleEndian.PutUint32(header[12:], uint32(len(series)))
-	if _, err := f.Write(header); err != nil {
+	if _, err := w.Write(header); err != nil {
 		return fmt.Errorf("diskstore: %w", err)
 	}
 	buf := make([]byte, 8*n)
@@ -64,9 +80,13 @@ func Write(path string, series [][]float64) error {
 		for i, v := range s {
 			binary.LittleEndian.PutUint64(buf[8*i:], math.Float64bits(v))
 		}
-		if _, err := f.Write(buf); err != nil {
+		if _, err := w.Write(buf); err != nil {
 			return fmt.Errorf("diskstore: %w", err)
 		}
+	}
+	binary.LittleEndian.PutUint32(buf, crc.Sum32())
+	if _, err := f.Write(buf[:footerSize]); err != nil {
+		return fmt.Errorf("diskstore: %w", err)
 	}
 	return f.Sync()
 }
@@ -106,7 +126,8 @@ func Open(path string) (*Store, error) {
 		f.Close()
 		return nil, fmt.Errorf("diskstore: %s is not a series file (bad magic)", path)
 	}
-	if v := binary.LittleEndian.Uint32(header[4:]); v != version {
+	v := binary.LittleEndian.Uint32(header[4:])
+	if v != version1 && v != version2 {
 		f.Close()
 		return nil, fmt.Errorf("diskstore: unsupported version %d", v)
 	}
@@ -121,11 +142,38 @@ func Open(path string) (*Store, error) {
 		f.Close()
 		return nil, fmt.Errorf("diskstore: %w", err)
 	}
-	if want := int64(headerSize) + int64(m)*int64(n)*8; info.Size() < want {
+	want := int64(headerSize) + int64(m)*int64(n)*8
+	if v == version2 {
+		want += footerSize
+	}
+	if info.Size() < want {
 		f.Close()
 		return nil, fmt.Errorf("diskstore: file truncated: %d bytes, want %d", info.Size(), want)
 	}
+	if v == version2 {
+		if err := verifyFooter(f, want); err != nil {
+			f.Close()
+			return nil, err
+		}
+	}
 	return &Store{f: f, n: n, m: m}, nil
+}
+
+// verifyFooter recomputes the CRC32 of everything before the footer and
+// compares it with the stored value. size includes the footer.
+func verifyFooter(f *os.File, size int64) error {
+	crc := crc32.NewIEEE()
+	if _, err := io.Copy(crc, io.NewSectionReader(f, 0, size-footerSize)); err != nil {
+		return fmt.Errorf("diskstore: checksumming: %w", err)
+	}
+	var foot [footerSize]byte
+	if _, err := f.ReadAt(foot[:], size-footerSize); err != nil {
+		return fmt.Errorf("diskstore: reading footer: %w", err)
+	}
+	if got, stored := crc.Sum32(), binary.LittleEndian.Uint32(foot[:]); got != stored {
+		return fmt.Errorf("diskstore: CRC mismatch (file %#x, computed %#x)", stored, got)
+	}
+	return nil
 }
 
 // Len returns the number of stored series.

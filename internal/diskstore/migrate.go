@@ -1,0 +1,67 @@
+package diskstore
+
+import (
+	"fmt"
+	"os"
+
+	"lbkeogh/internal/segment"
+)
+
+// migrateSegmentRecords caps how many records one migrated segment holds so
+// very large LBKS files land as several compactable segments.
+const migrateSegmentRecords = 1 << 17
+
+// Migrate converts the LBKS series file at path (version 1 or 2) into a
+// segment store rooted at dir, computing the feature columns (FFT
+// magnitudes, PAA means at dims dimensions; dims < 1 picks 8, clamped to
+// n/2) that the old format never carried. dir must not already hold a
+// store. Returns the number of records migrated; the source file is left
+// untouched.
+func Migrate(path, dir string, dims int) (int, error) {
+	s, err := Open(path)
+	if err != nil {
+		return 0, err
+	}
+	defer s.Close()
+
+	if _, ok, err := segment.LoadManifest(dir); err != nil {
+		return 0, err
+	} else if ok {
+		return 0, fmt.Errorf("diskstore: %s already holds a segment store", dir)
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return 0, fmt.Errorf("diskstore: %w", err)
+	}
+
+	n := s.SeriesLen()
+	d := dims
+	if d < 1 {
+		d = 8
+	}
+	if d > n/2 {
+		d = n / 2
+	}
+	perSeg := int64(migrateSegmentRecords)
+	if int64(s.Len()) < perSeg {
+		perSeg = int64(s.Len())
+	}
+	b, err := segment.NewBulkWriter(dir, n, d, perSeg)
+	if err != nil {
+		return 0, err
+	}
+	for id := 0; id < s.Len(); id++ {
+		row, err := s.FetchErr(id)
+		if err != nil {
+			b.Abort()
+			return 0, err
+		}
+		if err := b.Add(row, 0); err != nil {
+			b.Abort()
+			return 0, err
+		}
+	}
+	if err := b.Close(); err != nil {
+		return 0, err
+	}
+	return s.Len(), nil
+}

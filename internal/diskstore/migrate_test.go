@@ -1,0 +1,115 @@
+package diskstore
+
+import (
+	"encoding/binary"
+	"math"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"lbkeogh/internal/segment"
+	"lbkeogh/internal/ts"
+)
+
+// writeV1 hand-builds a version-1 file (no footer), the format existing
+// stores on disk still use.
+func writeV1(t *testing.T, path string, db [][]float64) {
+	t.Helper()
+	n := len(db[0])
+	buf := make([]byte, headerSize+len(db)*n*8)
+	copy(buf, magic)
+	binary.LittleEndian.PutUint32(buf[4:], version1)
+	binary.LittleEndian.PutUint32(buf[8:], uint32(n))
+	binary.LittleEndian.PutUint32(buf[12:], uint32(len(db)))
+	off := headerSize
+	for _, s := range db {
+		for _, v := range s {
+			binary.LittleEndian.PutUint64(buf[off:], math.Float64bits(v))
+			off += 8
+		}
+	}
+	if err := os.WriteFile(path, buf, 0o644); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestOpenVersion1Compat(t *testing.T) {
+	path := tempFile(t)
+	db := sampleDB(3, 9, 16)
+	writeV1(t, path, db)
+	s, err := Open(path)
+	if err != nil {
+		t.Fatalf("v1 open: %v", err)
+	}
+	defer s.Close()
+	for i, want := range db {
+		if !ts.Equal(s.Fetch(i), want, 0) {
+			t.Fatalf("v1 record %d mismatch", i)
+		}
+	}
+}
+
+func TestOpenVersion2FooterCheck(t *testing.T) {
+	path := tempFile(t)
+	db := sampleDB(4, 9, 16)
+	if err := Write(path, db); err != nil {
+		t.Fatal(err)
+	}
+	buf, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Flip a record byte: v2 open must notice.
+	buf[headerSize+40] ^= 0xff
+	if err := os.WriteFile(path, buf, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Open(path); err == nil || !strings.Contains(err.Error(), "CRC") {
+		t.Fatalf("want CRC mismatch, got %v", err)
+	}
+}
+
+func TestMigrate(t *testing.T) {
+	path := tempFile(t)
+	db := sampleDB(5, 40, 32)
+	writeV1(t, path, db) // migrating the legacy version is the point
+	dir := filepath.Join(t.TempDir(), "store")
+
+	moved, err := Migrate(path, dir, 8)
+	if err != nil {
+		t.Fatalf("Migrate: %v", err)
+	}
+	if moved != len(db) {
+		t.Fatalf("migrated %d, want %d", moved, len(db))
+	}
+
+	seg, err := segment.OpenDB(dir, 8)
+	if err != nil {
+		t.Fatalf("opening migrated store: %v", err)
+	}
+	defer seg.Close()
+	if seg.Len() != len(db) || seg.SeriesLen() != 32 || seg.Dims() != 8 {
+		t.Fatalf("migrated shape: m=%d n=%d d=%d", seg.Len(), seg.SeriesLen(), seg.Dims())
+	}
+	snap := seg.Acquire()
+	defer snap.Release()
+	for i, want := range db {
+		if !ts.Equal(snap.Series(i), want, 0) {
+			t.Fatalf("migrated record %d mismatch", i)
+		}
+		wm, wp := segment.Features(want, 8)
+		if !ts.Equal(snap.Rows()[i], want, 0) {
+			t.Fatalf("migrated row %d mismatch", i)
+		}
+		mags, paas := snap.Features()
+		if !ts.Equal(mags[i], wm, 0) || !ts.Equal(paas[i], wp, 0) {
+			t.Fatalf("migrated features %d mismatch", i)
+		}
+	}
+
+	// A second migrate into the same dir must refuse.
+	if _, err := Migrate(path, dir, 8); err == nil {
+		t.Fatal("migrate over an existing store accepted")
+	}
+}

@@ -210,14 +210,48 @@ func buildFeatures(store SeriesStore, n, D int, db [][]float64) *Index {
 		ix.mags[i] = fourier.Magnitudes(s, D)
 		ix.paas[i] = paa.Reduce(s, D)
 	}
+	ix.buildTrees()
+	return ix
+}
+
+// BuildFromColumns constructs the index over a store whose compressed
+// feature columns already exist — the segment-store path, where FFT
+// magnitudes and PAA means were computed once at ingest time and are mapped,
+// not recomputed, at index build. mags and paas are row views (one D-length
+// row per record, in global ID order) and must stay valid for the index's
+// lifetime; the caller pins the backing snapshot.
+func BuildFromColumns(store SeriesStore, n, D int, mags, paas [][]float64) (*Index, error) {
+	if store.Len() == 0 {
+		return nil, fmt.Errorf("index: empty store")
+	}
+	if D < 1 {
+		return nil, fmt.Errorf("index: D must be positive")
+	}
+	if len(mags) != store.Len() || len(paas) != store.Len() {
+		return nil, fmt.Errorf("index: %d/%d feature rows for %d records",
+			len(mags), len(paas), store.Len())
+	}
+	for i := range mags {
+		if len(mags[i]) != D || len(paas[i]) != D {
+			return nil, fmt.Errorf("index: feature row %d has dims %d/%d, want %d",
+				i, len(mags[i]), len(paas[i]), D)
+		}
+	}
+	ix := &Index{store: store, n: n, d: D, mags: mags, paas: paas}
+	ix.buildTrees()
+	return ix, nil
+}
+
+// buildTrees raises the search structures over already-populated feature
+// columns.
+func (ix *Index) buildTrees() {
 	ix.vpt = vptree.New(ix.mags, 16, 0x5eed)
 	ix.rt = rtree.New(ix.paas, 16)
-	bounds := paa.Bounds(n, D)
+	bounds := paa.Bounds(ix.n, ix.d)
 	ix.segW = make([]float64, len(bounds)-1)
 	for s := range ix.segW {
 		ix.segW[s] = float64(bounds[s+1] - bounds[s])
 	}
-	return ix
 }
 
 // dtwBound returns the admissible R-tree bound function for a query wedge

@@ -1,0 +1,13 @@
+//go:build !(amd64 || arm64 || 386 || arm || riscv64 || loong64 || ppc64le || mips64le || mipsle || wasm)
+
+package segment
+
+// canViewFloats is false on big-endian (or unknown-endian) architectures:
+// records must be decoded, not viewed.
+const canViewFloats = false
+
+// floatsOf decodes by copying on architectures whose byte order does not
+// match the little-endian file encoding.
+func floatsOf(b []byte, n int) []float64 {
+	return decodeFloats(b, n)
+}

@@ -1,0 +1,16 @@
+//go:build amd64 || arm64 || 386 || arm || riscv64 || loong64 || ppc64le || mips64le || mipsle || wasm
+
+package segment
+
+import "unsafe"
+
+// canViewFloats reports that this architecture is little-endian, matching the
+// on-disk encoding, so a mapped record can be reinterpreted in place.
+const canViewFloats = true
+
+// floatsOf reinterprets n little-endian float64s at b without copying. The
+// caller guarantees b comes from a 64-byte-aligned section of a page-aligned
+// mapping, so the data is 8-byte aligned.
+func floatsOf(b []byte, n int) []float64 {
+	return unsafe.Slice((*float64)(unsafe.Pointer(unsafe.SliceData(b))), n)
+}

@@ -1,0 +1,11 @@
+//go:build !unix || lbkeogh_pread
+
+package segment
+
+import "os"
+
+// openBackend on non-Unix platforms (or under the lbkeogh_pread build tag)
+// always uses positioned reads.
+func openBackend(f *os.File, size int64) (backend, error) {
+	return newPreadBackend(f, size), nil
+}

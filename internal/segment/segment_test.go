@@ -1,0 +1,279 @@
+package segment
+
+import (
+	"math"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"lbkeogh/internal/fourier"
+	"lbkeogh/internal/paa"
+)
+
+// testSeries builds a deterministic series for a record ID so readers can
+// verify content integrity without reference to the writer's inputs.
+func testSeries(id, n int) []float64 {
+	s := make([]float64, n)
+	for j := range s {
+		s[j] = math.Sin(float64(id)*0.1+float64(j)*0.05) + float64(id)
+	}
+	return s
+}
+
+func floatsEqual(a, b []float64) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func writeTestSegment(t *testing.T, path string, n, d, count int) {
+	t.Helper()
+	w, err := NewWriter(path, n, d)
+	if err != nil {
+		t.Fatalf("NewWriter: %v", err)
+	}
+	for i := 0; i < count; i++ {
+		if err := w.Add(testSeries(i, n), int64(i%7)); err != nil {
+			t.Fatalf("Add(%d): %v", i, err)
+		}
+	}
+	if err := w.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+}
+
+func TestWriterReaderRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "seg-000000.lbseg")
+	const n, d, count = 32, 8, 57
+	writeTestSegment(t, path, n, d, count)
+
+	r, err := Open(path)
+	if err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+	defer r.Close()
+	if r.Len() != count || r.SeriesLen() != n || r.Dims() != d {
+		t.Fatalf("shape: len=%d n=%d d=%d, want %d/%d/%d", r.Len(), r.SeriesLen(), r.Dims(), count, n, d)
+	}
+	for i := 0; i < count; i++ {
+		want := testSeries(i, n)
+		if got := r.Series(i); !floatsEqual(got, want) {
+			t.Fatalf("Series(%d) mismatch", i)
+		}
+		if got := r.CopySeries(i, nil); !floatsEqual(got, want) {
+			t.Fatalf("CopySeries(%d) mismatch", i)
+		}
+		if got := r.Magnitudes(i); !floatsEqual(got, fourier.Magnitudes(want, d)) {
+			t.Fatalf("Magnitudes(%d) mismatch", i)
+		}
+		if got := r.PAA(i); !floatsEqual(got, paa.Reduce(want, d)) {
+			t.Fatalf("PAA(%d) mismatch", i)
+		}
+		if got := r.Label(i); got != int64(i%7) {
+			t.Fatalf("Label(%d) = %d, want %d", i, got, i%7)
+		}
+	}
+	if r.ZeroCopy() && r.MappedBytes() == 0 {
+		t.Fatal("zero-copy reader reports no mapped bytes")
+	}
+
+	// Spill and assembly temp files must all be gone.
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range ents {
+		if strings.HasPrefix(e.Name(), ".lbseg-") {
+			t.Fatalf("leftover temp file %s", e.Name())
+		}
+	}
+}
+
+func TestWriterRejectsBadShapes(t *testing.T) {
+	dir := t.TempDir()
+	if _, err := NewWriter(filepath.Join(dir, "a.lbseg"), 1, 1); err == nil {
+		t.Fatal("n=1 accepted")
+	}
+	if _, err := NewWriter(filepath.Join(dir, "a.lbseg"), 32, 17); err == nil {
+		t.Fatal("d>n/2 accepted")
+	}
+	w, err := NewWriter(filepath.Join(dir, "a.lbseg"), 32, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Add(make([]float64, 31), 0); err == nil {
+		t.Fatal("wrong-length series accepted")
+	}
+	if err := w.Close(); err == nil {
+		t.Fatal("empty segment accepted")
+	}
+	if _, err := os.Stat(filepath.Join(dir, "a.lbseg")); !os.IsNotExist(err) {
+		t.Fatal("failed close left a segment file")
+	}
+}
+
+func TestOpenRejectsCorruption(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "seg.lbseg")
+	writeTestSegment(t, path, 16, 4, 20)
+
+	flip := func(t *testing.T, off int64) string {
+		t.Helper()
+		cp := filepath.Join(t.TempDir(), "corrupt.lbseg")
+		buf, err := os.ReadFile(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		buf[off] ^= 0xff
+		if err := os.WriteFile(cp, buf, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return cp
+	}
+
+	t.Run("header", func(t *testing.T) {
+		if _, err := Open(flip(t, 17)); err == nil || !strings.Contains(err.Error(), "CRC") {
+			t.Fatalf("want header CRC error, got %v", err)
+		}
+	})
+	t.Run("table", func(t *testing.T) {
+		if _, err := Open(flip(t, headerSize+9)); err == nil || !strings.Contains(err.Error(), "CRC") {
+			t.Fatalf("want table CRC error, got %v", err)
+		}
+	})
+	t.Run("section-data", func(t *testing.T) {
+		cp := flip(t, 300) // inside the raw section (first section starts at 256)
+		if _, err := Open(cp); err == nil || !strings.Contains(err.Error(), "CRC") {
+			t.Fatalf("want section CRC error, got %v", err)
+		}
+		// WithoutDataCRC skips only the data checksums.
+		r, err := Open(cp, WithoutDataCRC())
+		if err != nil {
+			t.Fatalf("WithoutDataCRC open: %v", err)
+		}
+		r.Close()
+	})
+	t.Run("truncated", func(t *testing.T) {
+		cp := filepath.Join(t.TempDir(), "short.lbseg")
+		buf, err := os.ReadFile(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(cp, buf[:len(buf)/2], 0o644); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := Open(cp); err == nil {
+			t.Fatal("truncated file accepted")
+		}
+	})
+	t.Run("not-a-segment", func(t *testing.T) {
+		cp := filepath.Join(t.TempDir(), "junk.lbseg")
+		if err := os.WriteFile(cp, []byte("not a segment file at all, sorry"), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := Open(cp); err == nil {
+			t.Fatal("junk file accepted")
+		}
+	})
+}
+
+func TestDecodeFloatsMatchesView(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "seg.lbseg")
+	writeTestSegment(t, path, 16, 4, 5)
+	r, err := Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Close()
+	raw, err := r.be.record(r.secs[0].off, 16*8, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, want := decodeFloats(raw, 16), r.Series(0); !floatsEqual(got, want) {
+		t.Fatal("decodeFloats disagrees with the platform view")
+	}
+}
+
+func TestBulkWriter(t *testing.T) {
+	dir := t.TempDir()
+	const n, d = 24, 6
+	b, err := NewBulkWriter(dir, n, d, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const first = 250
+	for i := 0; i < first; i++ {
+		if err := b.Add(testSeries(i, n), int64(i)); err != nil {
+			t.Fatalf("Add(%d): %v", i, err)
+		}
+	}
+	if got := b.Count(); got != first {
+		t.Fatalf("Count = %d, want %d", got, first)
+	}
+	if err := b.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	m, ok, err := LoadManifest(dir)
+	if err != nil || !ok {
+		t.Fatalf("LoadManifest: ok=%v err=%v", ok, err)
+	}
+	if m.Generation != 1 || m.SeriesLen != n || m.Dims != d {
+		t.Fatalf("manifest %+v", m)
+	}
+	if want := (first + 63) / 64; len(m.Segments) != want {
+		t.Fatalf("%d segments, want %d", len(m.Segments), want)
+	}
+
+	// Append run: shapes must match, IDs continue, generation bumps.
+	if _, err := NewBulkWriter(dir, n+1, d, 64); err == nil {
+		t.Fatal("mismatched series length accepted")
+	}
+	b2, err := NewBulkWriter(dir, n, d, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const second = 30
+	for i := 0; i < second; i++ {
+		if err := b2.Add(testSeries(first+i, n), int64(first+i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := b2.Count(); got != second {
+		t.Fatalf("append-run Count = %d, want %d", got, second)
+	}
+	if err := b2.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	db, err := OpenDB(dir, d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db.Close()
+	if db.Len() != first+second {
+		t.Fatalf("Len = %d, want %d", db.Len(), first+second)
+	}
+	if db.Generation() != 2 {
+		t.Fatalf("generation = %d, want 2", db.Generation())
+	}
+	s := db.Acquire()
+	defer s.Release()
+	for _, id := range []int{0, 63, 64, first - 1, first, first + second - 1} {
+		if !floatsEqual(s.Series(id), testSeries(id, n)) {
+			t.Fatalf("record %d mismatch", id)
+		}
+		if s.Label(id) != int64(id) {
+			t.Fatalf("label %d mismatch", id)
+		}
+	}
+}

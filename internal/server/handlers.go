@@ -10,6 +10,7 @@ import (
 
 	"lbkeogh"
 	"lbkeogh/internal/obs/ops"
+	"lbkeogh/internal/segment"
 )
 
 // searchKind selects which search a /v1 endpoint runs.
@@ -108,8 +109,9 @@ func writeError(w http.ResponseWriter, code int, format string, args ...any) {
 }
 
 // parse validates the body and resolves it into the query series, its pool
-// spec, and the request deadline.
-func (s *Server) parse(r *http.Request, kind searchKind) (SearchRequest, QuerySpec, time.Duration, error) {
+// spec, and the request deadline. rows is the request's database view (for
+// query_index resolution against the same generation the search will scan).
+func (s *Server) parse(r *http.Request, kind searchKind, rows []lbkeogh.Series) (SearchRequest, QuerySpec, time.Duration, error) {
 	var req SearchRequest
 	dec := json.NewDecoder(http.MaxBytesReader(nil, r.Body, 64<<20))
 	dec.DisallowUnknownFields()
@@ -122,13 +124,18 @@ func (s *Server) parse(r *http.Request, kind searchKind) (SearchRequest, QuerySp
 	series := req.Series
 	if req.QueryIndex != nil {
 		qi := *req.QueryIndex
-		if qi < 0 || qi >= len(s.cfg.DB) {
-			return req, QuerySpec{}, 0, fmt.Errorf("query_index %d outside [0,%d)", qi, len(s.cfg.DB))
+		if qi < 0 || qi >= len(rows) {
+			return req, QuerySpec{}, 0, fmt.Errorf("query_index %d outside [0,%d)", qi, len(rows))
 		}
-		series = s.cfg.DB[qi]
+		series = rows[qi]
+		if s.store != nil {
+			// The row is a view into the request's snapshot, but the spec (and
+			// the pooled session built from it) outlives the snapshot: copy.
+			series = append(lbkeogh.Series(nil), series...)
+		}
 	}
-	if len(series) != s.n {
-		return req, QuerySpec{}, 0, fmt.Errorf("series length %d != database series length %d", len(series), s.n)
+	if n := s.seriesLen(); len(series) != n {
+		return req, QuerySpec{}, 0, fmt.Errorf("series length %d != database series length %d", len(series), n)
 	}
 	if req.Measure == "" {
 		req.Measure = "euclidean"
@@ -261,7 +268,17 @@ func (s *Server) searchEndpoint(kind searchKind) http.HandlerFunc {
 			finish(http.StatusServiceUnavailable, 0, "refused: draining")
 			return
 		}
-		req, spec, timeout, err := s.parse(r, kind)
+		// Pin this request's database view: in store mode a refcounted
+		// snapshot whose mappings survive any concurrent compaction; the
+		// search, query_index resolution, and labels all read one generation.
+		view := s.acquireView()
+		defer view.release()
+		if len(view.rows) == 0 {
+			writeError(w, http.StatusServiceUnavailable, "store is empty: ingest data first")
+			finish(http.StatusServiceUnavailable, 0, "refused: empty store")
+			return
+		}
+		req, spec, timeout, err := s.parse(r, kind, view.rows)
 		if err != nil {
 			writeError(w, http.StatusBadRequest, "%v", err)
 			finish(http.StatusBadRequest, 0, "bad request", "error", err.Error())
@@ -319,7 +336,7 @@ func (s *Server) searchEndpoint(kind searchKind) http.HandlerFunc {
 		q := sess.Q
 		q.ResetStats() // per-request delta: the response carries only this search
 		start := time.Now()
-		results, err := s.runSearch(ctx, q, kind, req)
+		results, err := s.runSearch(ctx, q, kind, req, view.rows)
 		elapsed := time.Since(start)
 		stats := q.Stats()
 		stats.StageLatencies = nil // log-global, not per-request; see /metrics
@@ -347,7 +364,7 @@ func (s *Server) searchEndpoint(kind searchKind) http.HandlerFunc {
 			return
 		}
 		resp := SearchResponse{
-			Results:   s.hits(results),
+			Results:   s.hits(results, view.labels),
 			Stats:     stats,
 			PoolHit:   hit,
 			ElapsedMS: float64(elapsed.Microseconds()) / 1000,
@@ -361,25 +378,25 @@ func (s *Server) searchEndpoint(kind searchKind) http.HandlerFunc {
 	}
 }
 
-func (s *Server) runSearch(ctx context.Context, q *lbkeogh.Query, kind searchKind, req SearchRequest) ([]lbkeogh.SearchResult, error) {
+func (s *Server) runSearch(ctx context.Context, q *lbkeogh.Query, kind searchKind, req SearchRequest, rows []lbkeogh.Series) ([]lbkeogh.SearchResult, error) {
 	switch kind {
 	case kindTopK:
 		k := req.K
 		if k <= 0 {
 			k = 1
 		}
-		return q.SearchTopKContext(ctx, s.cfg.DB, k)
+		return q.SearchTopKContext(ctx, rows, k)
 	case kindRange:
-		return q.SearchRangeContext(ctx, s.cfg.DB, req.Threshold)
+		return q.SearchRangeContext(ctx, rows, req.Threshold)
 	default:
 		if req.Parallel > 1 { // serial unless explicitly parallel
-			res, err := q.SearchParallelContext(ctx, s.cfg.DB, req.Parallel)
+			res, err := q.SearchParallelContext(ctx, rows, req.Parallel)
 			if err != nil {
 				return nil, err
 			}
 			return []lbkeogh.SearchResult{res}, nil
 		}
-		res, err := q.SearchContext(ctx, s.cfg.DB)
+		res, err := q.SearchContext(ctx, rows)
 		if err != nil {
 			return nil, err
 		}
@@ -387,7 +404,7 @@ func (s *Server) runSearch(ctx context.Context, q *lbkeogh.Query, kind searchKin
 	}
 }
 
-func (s *Server) hits(results []lbkeogh.SearchResult) []Hit {
+func (s *Server) hits(results []lbkeogh.SearchResult, labels []int) []Hit {
 	out := make([]Hit, len(results))
 	for i, r := range results {
 		h := Hit{
@@ -397,8 +414,8 @@ func (s *Server) hits(results []lbkeogh.SearchResult) []Hit {
 			Degrees:  r.Rotation.Degrees,
 			Mirrored: r.Rotation.Mirrored,
 		}
-		if s.cfg.Labels != nil {
-			label := s.cfg.Labels[r.Index]
+		if labels != nil {
+			label := labels[r.Index]
 			h.Label = &label
 		}
 		out[i] = h
@@ -416,35 +433,52 @@ type healthResponse struct {
 	Pool      PoolStats      `json:"pool"`
 	Requests  int64          `json:"requests"`
 	Timeouts  int64          `json:"timeouts"`
+	// Store is present only in segment-store mode.
+	Store *segment.Stats `json:"store,omitempty"`
 }
 
 // handleLivez is the liveness probe: 200 for as long as the process can
 // serve HTTP at all, draining included — restarting a draining server would
 // defeat the drain. Routing decisions belong to /readyz.
 func (s *Server) handleLivez(w http.ResponseWriter, r *http.Request) {
-	writeJSON(w, http.StatusOK, healthResponse{
+	resp := healthResponse{
 		Status:    "ok",
 		Draining:  s.Draining(),
-		SeriesLen: s.n,
-		DBSize:    len(s.cfg.DB),
+		SeriesLen: s.seriesLen(),
+		DBSize:    s.dbSize(),
 		Admission: s.adm.Stats(),
 		Pool:      s.pool.Stats(),
 		Requests:  s.requests.Load(),
 		Timeouts:  s.timeouts.Load(),
-	})
+	}
+	if s.store != nil {
+		st := s.store.Stats()
+		resp.Store = &st
+	}
+	writeJSON(w, http.StatusOK, resp)
 }
 
-// readyResponse is the /readyz body.
+// readyResponse is the /readyz body. Reason always explains the status —
+// "serving" or "ingesting" when ready, "draining" (or, from the process
+// wrapper before the database is swapped in, "loading" / "mapping") when not —
+// so probes and operators never see a bare 503.
 type readyResponse struct {
-	Status string `json:"status"` // "ready" or "draining"
+	Status string `json:"status"` // "ready" or "unready"
+	Reason string `json:"reason"`
 }
 
 // handleReadyz is the readiness probe: 503 once the server is draining so
 // load balancers route new work elsewhere while in-flight requests finish.
+// A store mutation in flight does not unready the server — searches keep
+// serving the previous snapshot — but the reason surfaces it as "ingesting".
 func (s *Server) handleReadyz(w http.ResponseWriter, r *http.Request) {
 	if s.Draining() {
-		writeJSON(w, http.StatusServiceUnavailable, readyResponse{Status: "draining"})
+		writeJSON(w, http.StatusServiceUnavailable, readyResponse{Status: "unready", Reason: "draining"})
 		return
 	}
-	writeJSON(w, http.StatusOK, readyResponse{Status: "ready"})
+	reason := "serving"
+	if s.store != nil && (s.store.Busy() || s.mutationsIn.Load() > 0) {
+		reason = "ingesting"
+	}
+	writeJSON(w, http.StatusOK, readyResponse{Status: "ready", Reason: reason})
 }

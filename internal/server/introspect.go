@@ -19,38 +19,98 @@ import (
 // built with — the paper's default operating point (D = 8).
 const introspectDims = 8
 
+// introspectMaxRows caps how many rows the introspection index is built over.
+// The report measures structural health (tree balance, overlap, merge
+// quality), which a uniform stride sample preserves, so a million-shape store
+// never pays a million-row index build for a debug endpoint.
+const introspectMaxRows = 20000
+
 // IndexReport is the /debug/index body: the index structures' health plus a
 // representative wedge hierarchy (the one a query for database row 0 builds,
 // since wedge sets are per-query).
 type IndexReport struct {
-	Dims  int                    `json:"dims"`
-	Index lbkeogh.IndexHealth    `json:"index"`
-	Wedge lbkeogh.WedgeTreeStats `json:"wedge"`
+	Dims int `json:"dims"`
+	Rows int `json:"rows"` // rows the report was built over
+	// SampledFrom is the full database size when Rows is a sample of it
+	// (store mode over a large store); 0 when the report covers every row.
+	SampledFrom int                    `json:"sampled_from,omitempty"`
+	Generation  int64                  `json:"generation,omitempty"` // store generation (store mode)
+	Index       lbkeogh.IndexHealth    `json:"index"`
+	Wedge       lbkeogh.WedgeTreeStats `json:"wedge"`
 }
 
-// buildIntrospection builds the index and a representative query once; the
-// serving database is immutable, so the report never goes stale.
+// introspectRows picks the rows the report is built over: the whole database
+// when it fits, else a uniform stride sample of the pinned view.
+func introspectRows(rows []lbkeogh.Series) (sample []lbkeogh.Series, sampledFrom int) {
+	if len(rows) <= introspectMaxRows {
+		return rows, 0
+	}
+	stride := (len(rows) + introspectMaxRows - 1) / introspectMaxRows
+	sample = make([]lbkeogh.Series, 0, len(rows)/stride+1)
+	for i := 0; i < len(rows); i += stride {
+		sample = append(sample, rows[i])
+	}
+	return sample, len(rows)
+}
+
+// buildIntrospection builds the report over the current database view.
 func (s *Server) buildIntrospection() (IndexReport, error) {
-	ix, err := lbkeogh.NewIndex(s.cfg.DB, introspectDims)
+	view := s.acquireView()
+	defer view.release()
+	if len(view.rows) == 0 {
+		return IndexReport{}, fmt.Errorf("store is empty: nothing to introspect")
+	}
+	rows, sampledFrom := introspectRows(view.rows)
+	ix, err := lbkeogh.NewIndex(rows, introspectDims)
 	if err != nil {
 		return IndexReport{}, fmt.Errorf("building introspection index: %w", err)
 	}
-	q, err := lbkeogh.NewQuery(s.cfg.DB[0], lbkeogh.Euclidean())
+	q, err := lbkeogh.NewQuery(rows[0], lbkeogh.Euclidean())
 	if err != nil {
 		return IndexReport{}, fmt.Errorf("building representative query: %w", err)
 	}
-	return IndexReport{Dims: ix.Dims(), Index: ix.Health(), Wedge: q.WedgeStats()}, nil
+	rep := IndexReport{
+		Dims:        ix.Dims(),
+		Rows:        len(rows),
+		SampledFrom: sampledFrom,
+		Index:       ix.Health(),
+		Wedge:       q.WedgeStats(),
+	}
+	if s.store != nil {
+		rep.Generation = s.store.Generation()
+	}
+	return rep, nil
+}
+
+// invalidateIntrospection marks the cached report stale after a store
+// mutation; the next /debug/index request rebuilds it.
+func (s *Server) invalidateIntrospection() {
+	s.ixMu.Lock()
+	s.ixBuilt = false
+	s.ixMu.Unlock()
 }
 
 // handleDebugIndex serves the lazily built index-health report as JSON. The
-// first request pays the index build; later ones are free.
+// first request pays the index build; later ones are free until an ingest or
+// compaction moves the store generation, which invalidates the cache.
 func (s *Server) handleDebugIndex(w http.ResponseWriter, r *http.Request) {
-	s.ixOnce.Do(func() { s.ixReport, s.ixErr = s.buildIntrospection() })
-	if s.ixErr != nil {
-		writeError(w, http.StatusInternalServerError, "%v", s.ixErr)
+	s.ixMu.Lock()
+	stale := !s.ixBuilt
+	if s.store != nil && s.ixGen != s.store.Generation() {
+		stale = true
+	}
+	if stale {
+		s.ixReport, s.ixErr = s.buildIntrospection()
+		s.ixBuilt = true
+		s.ixGen = s.ixReport.Generation
+	}
+	report, err := s.ixReport, s.ixErr
+	s.ixMu.Unlock()
+	if err != nil {
+		writeError(w, http.StatusInternalServerError, "%v", err)
 		return
 	}
-	writeJSON(w, http.StatusOK, s.ixReport)
+	writeJSON(w, http.StatusOK, report)
 }
 
 // explainPanel renders the bound-tightness sampler on /debug/lbkeogh.

@@ -19,7 +19,7 @@ import (
 // keeps every family present on /metrics from the first scrape, so absence
 // never has to be disambiguated from zero.
 var (
-	telemetryEndpoints  = []string{"search", "topk", "range"}
+	telemetryEndpoints  = []string{"search", "topk", "range", "ingest", "compact"}
 	telemetryStrategies = []string{"wedge", "brute", "early_abandon", "fft"}
 )
 

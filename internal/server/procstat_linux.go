@@ -1,0 +1,55 @@
+//go:build linux
+
+package server
+
+import (
+	"os"
+	"strconv"
+	"strings"
+)
+
+// procStat is the slice of /proc/self/stat the serving metrics care about:
+// fault counters and resident set size, the runtime evidence that a mapped
+// store is paged on demand rather than held on heap.
+type procStat struct {
+	MinorFaults int64
+	MajorFaults int64
+	RSSBytes    int64
+}
+
+// readProcStat parses /proc/self/stat. The comm field (2) may contain spaces
+// and parentheses, so fields are counted after the last ')'. Field numbers
+// (1-based, per proc(5)): minflt=10, majflt=12, rss=24 (pages).
+func readProcStat() (procStat, bool) {
+	buf, err := os.ReadFile("/proc/self/stat")
+	if err != nil {
+		return procStat{}, false
+	}
+	line := string(buf)
+	close := strings.LastIndexByte(line, ')')
+	if close < 0 {
+		return procStat{}, false
+	}
+	rest := strings.Fields(line[close+1:])
+	// rest[0] is field 3 (state); field k lives at rest[k-3].
+	field := func(k int) int64 {
+		i := k - 3
+		if i < 0 || i >= len(rest) {
+			return -1
+		}
+		v, err := strconv.ParseInt(rest[i], 10, 64)
+		if err != nil {
+			return -1
+		}
+		return v
+	}
+	minflt, majflt, rssPages := field(10), field(12), field(24)
+	if minflt < 0 || majflt < 0 || rssPages < 0 {
+		return procStat{}, false
+	}
+	return procStat{
+		MinorFaults: minflt,
+		MajorFaults: majflt,
+		RSSBytes:    rssPages * int64(os.Getpagesize()),
+	}, true
+}

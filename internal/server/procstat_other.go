@@ -1,0 +1,16 @@
+//go:build !linux
+
+package server
+
+// procStat mirrors the linux build's struct; see procstat_linux.go.
+type procStat struct {
+	MinorFaults int64
+	MajorFaults int64
+	RSSBytes    int64
+}
+
+// readProcStat has no portable source off linux; the page-fault metric
+// families are simply absent there.
+func readProcStat() (procStat, bool) {
+	return procStat{}, false
+}

@@ -22,14 +22,26 @@ import (
 	"lbkeogh"
 	"lbkeogh/internal/obs/explain"
 	"lbkeogh/internal/obs/ops"
+	"lbkeogh/internal/segment"
 )
 
 // Config sizes a Server. The zero value of any field selects its default.
 type Config struct {
 	// DB is the series database searched by every request; all rows must
 	// share one length. Labels optionally carries a class label per row.
+	// Mutually exclusive with Store.
 	DB     []lbkeogh.Series
 	Labels []int
+
+	// Store serves searches from a memory-mapped segment store instead of a
+	// heap-resident DB: every request reads through a reference-counted
+	// snapshot of the store's current generation, so /v1/ingest and
+	// /v1/compact (only available in this mode) can grow and reorganize the
+	// database online with zero failed queries. An empty store is allowed —
+	// the ingest-first workflow — and searches answer 503 until the first
+	// ingest fixes the series length. Labels come from the store's metadata
+	// column; Config.Labels must be nil.
+	Store *segment.DB
 
 	// MaxInflight bounds concurrent searches (default 4); MaxQueue bounds
 	// requests waiting for a slot beyond them (default 16; above it the
@@ -111,26 +123,33 @@ func (c *Config) fillDefaults() {
 // Create with New, mount Handler, and call BeginDrain before shutting the
 // http.Server down so in-flight requests finish while new ones get 503s.
 type Server struct {
-	cfg  Config
-	n    int // series length every query must match
-	pool *Pool
-	adm  *Admission
-	mux  *http.ServeMux
-	tel  *telemetry
+	cfg   Config
+	n     int         // series length every query must match (static mode)
+	store *segment.DB // nil in static (heap DB) mode
+	pool  *Pool
+	adm   *Admission
+	mux   *http.ServeMux
+	tel   *telemetry
 
 	// sampler is the server-owned bound-tightness sink, armed on every
 	// pooled query session (nil when ExplainSampleInterval < 0).
 	sampler *lbkeogh.BoundSampler
 
-	// Lazily built index introspection report behind /debug/index.
-	ixOnce   sync.Once
+	// Lazily built index introspection report behind /debug/index,
+	// invalidated when the store generation moves.
+	ixMu     sync.Mutex
+	ixBuilt  bool
+	ixGen    int64
 	ixReport IndexReport
 	ixErr    error
 
-	draining atomic.Bool
-	requests atomic.Int64 // /v1/* requests accepted for processing
-	timeouts atomic.Int64 // requests ended by deadline or client cancel
-	drained  atomic.Int64 // requests refused because the server was draining
+	draining    atomic.Bool
+	requests    atomic.Int64 // /v1/* requests accepted for processing
+	timeouts    atomic.Int64 // requests ended by deadline or client cancel
+	drained     atomic.Int64 // requests refused because the server was draining
+	ingestRows  atomic.Int64 // rows accepted through /v1/ingest
+	compactOps  atomic.Int64 // /v1/compact requests that merged segments
+	mutationsIn atomic.Int64 // in-flight ingest/compact handlers (readyz reason)
 
 	mu  sync.Mutex
 	agg lbkeogh.SearchStats // per-request deltas, summed
@@ -138,28 +157,40 @@ type Server struct {
 
 // New validates the database and builds the server.
 func New(cfg Config) (*Server, error) {
-	if len(cfg.DB) == 0 {
-		return nil, fmt.Errorf("server: empty database")
-	}
-	n := len(cfg.DB[0])
-	if n < 2 {
-		return nil, fmt.Errorf("server: database series need >= 2 samples, got %d", n)
-	}
-	for i, row := range cfg.DB {
-		if len(row) != n {
-			return nil, fmt.Errorf("server: database series %d length %d != %d", i, len(row), n)
+	var n int
+	if cfg.Store != nil {
+		if cfg.DB != nil {
+			return nil, fmt.Errorf("server: Config.DB and Config.Store are mutually exclusive")
 		}
-	}
-	if cfg.Labels != nil && len(cfg.Labels) != len(cfg.DB) {
-		return nil, fmt.Errorf("server: %d labels for %d series", len(cfg.Labels), len(cfg.DB))
+		if cfg.Labels != nil {
+			return nil, fmt.Errorf("server: Config.Labels is unused in store mode (labels live in the store)")
+		}
+		n = cfg.Store.SeriesLen() // 0 for an empty store: fixed by the first ingest
+	} else {
+		if len(cfg.DB) == 0 {
+			return nil, fmt.Errorf("server: empty database")
+		}
+		n = len(cfg.DB[0])
+		if n < 2 {
+			return nil, fmt.Errorf("server: database series need >= 2 samples, got %d", n)
+		}
+		for i, row := range cfg.DB {
+			if len(row) != n {
+				return nil, fmt.Errorf("server: database series %d length %d != %d", i, len(row), n)
+			}
+		}
+		if cfg.Labels != nil && len(cfg.Labels) != len(cfg.DB) {
+			return nil, fmt.Errorf("server: %d labels for %d series", len(cfg.Labels), len(cfg.DB))
+		}
 	}
 	cfg.fillDefaults()
 	s := &Server{
-		cfg:  cfg,
-		n:    n,
-		pool: NewPool(cfg.PoolSize),
-		adm:  NewAdmission(cfg.MaxInflight, cfg.MaxQueue),
-		tel:  newTelemetry(cfg),
+		cfg:   cfg,
+		n:     n,
+		store: cfg.Store,
+		pool:  NewPool(cfg.PoolSize),
+		adm:   NewAdmission(cfg.MaxInflight, cfg.MaxQueue),
+		tel:   newTelemetry(cfg),
 	}
 	if cfg.ExplainSampleInterval > 0 {
 		s.sampler = lbkeogh.NewBoundSampler(cfg.ExplainSampleInterval)
@@ -168,8 +199,44 @@ func New(cfg Config) (*Server, error) {
 	return s, nil
 }
 
-// Len returns the series length every query must match.
-func (s *Server) Len() int { return s.n }
+// Len returns the series length every query must match (0 while a
+// store-backed server is still empty).
+func (s *Server) Len() int { return s.seriesLen() }
+
+// seriesLen is the live series length: fixed at construction in static mode,
+// read from the store (which an ingest may have just fixed) in store mode.
+func (s *Server) seriesLen() int {
+	if s.store != nil {
+		return s.store.SeriesLen()
+	}
+	return s.n
+}
+
+// dbSize is the live row count.
+func (s *Server) dbSize() int {
+	if s.store != nil {
+		return s.store.Len()
+	}
+	return len(s.cfg.DB)
+}
+
+// dbView is one request's stable view of the database: in static mode the
+// config slices, in store mode a pinned snapshot's zero-copy rows. release
+// must be called when the request is done with the rows.
+type dbView struct {
+	rows    []lbkeogh.Series
+	labels  []int
+	release func()
+}
+
+// acquireView pins the database for one request.
+func (s *Server) acquireView() dbView {
+	if s.store == nil {
+		return dbView{rows: s.cfg.DB, labels: s.cfg.Labels, release: func() {}}
+	}
+	snap := s.store.Acquire()
+	return dbView{rows: snap.Rows(), labels: snap.Labels(), release: snap.Release}
+}
 
 // Handler returns the server's full mux: the /v1 search endpoints, healthz,
 // and the observability surface (/metrics, /debug/lbkeogh, /debug/vars,
@@ -246,6 +313,8 @@ func (s *Server) buildMux() *http.ServeMux {
 	mux.HandleFunc("/v1/search", s.searchEndpoint(kindNearest))
 	mux.HandleFunc("/v1/topk", s.searchEndpoint(kindTopK))
 	mux.HandleFunc("/v1/range", s.searchEndpoint(kindRange))
+	mux.HandleFunc("/v1/ingest", s.handleIngest)
+	mux.HandleFunc("/v1/compact", s.handleCompact)
 	// Kubernetes-style probe split: /livez answers 200 for as long as the
 	// process can serve HTTP at all, /readyz drops to 503 once draining (or
 	// before the database is swapped in — see cmd/shapeserver). /healthz is
@@ -300,6 +369,44 @@ func (s *Server) writeServerMetrics(w io.Writer) {
 		drainingVal = 1
 	}
 	ops.WriteGaugeInt(w, "shapeserver_draining", "1 while the server is draining.", drainingVal)
+	s.writeStoreMetrics(w)
+}
+
+// writeStoreMetrics appends the segment-store families (store mode only):
+// per-segment record counts, mapped bytes, generation, the store's own fetch
+// counter, and page-fault-adjacent process stats — the numbers that show a
+// mapped million-shape database being paged, not heaped.
+func (s *Server) writeStoreMetrics(w io.Writer) {
+	if s.store == nil {
+		return
+	}
+	st := s.store.Stats()
+	ops.WriteGaugeInt(w, "shapeserver_store_generation", "Manifest generation currently serving.", st.Generation)
+	ops.WriteGaugeInt(w, "shapeserver_store_segments", "Live segment files in the current generation.", int64(len(st.Segments)))
+	ops.WriteGaugeInt(w, "shapeserver_store_records", "Records visible in the current generation.", int64(st.Records))
+	ops.WriteGaugeInt(w, "shapeserver_store_mapped_bytes", "Bytes of segment data currently memory-mapped.", st.MappedBytes)
+	busy := int64(0)
+	if st.Busy || s.mutationsIn.Load() > 0 {
+		busy = 1
+	}
+	ops.WriteGaugeInt(w, "shapeserver_store_busy", "1 while an ingest or compaction is in flight.", busy)
+	ops.WriteCounter(w, "shapeserver_store_reads_total", "Record fetches served by the segment store.", st.Reads)
+	ops.WriteCounter(w, "shapeserver_store_ingests_total", "Online ingests applied to the store.", st.Ingests)
+	ops.WriteCounter(w, "shapeserver_store_compactions_total", "Compactions applied to the store.", st.Compactions)
+	ops.WriteCounter(w, "shapeserver_store_ingested_records_total", "Records appended through online ingest.", st.IngestedRecords)
+	ops.WriteFamily(w, "shapeserver_store_segment_records", "gauge",
+		"Records per live segment file.")
+	for _, seg := range st.Segments {
+		fmt.Fprintf(w, "shapeserver_store_segment_records{segment=%q} %d\n", seg.File, seg.Records)
+	}
+	if ps, ok := readProcStat(); ok {
+		ops.WriteFamily(w, "shapeserver_page_faults_total", "counter",
+			"Process page faults since start, by kind (major faults hit the disk — the mmap serving cost).")
+		fmt.Fprintf(w, "shapeserver_page_faults_total{kind=\"minor\"} %d\n", ps.MinorFaults)
+		fmt.Fprintf(w, "shapeserver_page_faults_total{kind=\"major\"} %d\n", ps.MajorFaults)
+		ops.WriteGaugeInt(w, "shapeserver_rss_bytes",
+			"Resident set size (stays well under mapped bytes when serving from page cache).", ps.RSSBytes)
+	}
 }
 
 // writeWaterfallMetrics appends the cumulative pruning-waterfall breakdown:

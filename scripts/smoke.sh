@@ -382,3 +382,7 @@ wait "$spid" 2>/dev/null || true
 spid=""
 
 echo "smoke: ok ($eaddr: explain plan reconciles with /metrics, /debug/index serves)"
+
+# ---- Part 5: segment-store ingest, serve, compact ------------------------
+
+./scripts/ingest-smoke.sh || fail "segment-store ingest smoke failed"
