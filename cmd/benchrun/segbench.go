@@ -15,6 +15,7 @@ import (
 	"time"
 
 	"lbkeogh"
+	"lbkeogh/internal/obs/storeobs"
 	"lbkeogh/internal/segment"
 )
 
@@ -37,6 +38,18 @@ type segmentReport struct {
 	AvgDiskReads   float64 `json:"avg_disk_reads"`
 	FetchFraction  float64 `json:"fetch_fraction"`  // avg reads / m — Figure 24 at scale
 	ReadsReconcile bool    `json:"reads_reconcile"` // SearchStats.DiskReads == store fetch counter
+
+	// Storage-plane observability block (storeobs attached to the store):
+	// cold = first-touch page-fault fetches, warm = page-cache hits; read
+	// amplification = faulted page bytes / requested bytes. Zero-valued in
+	// trajectory files that predate the recorder.
+	ColdFetches       int64   `json:"cold_fetches,omitempty"`
+	WarmFetches       int64   `json:"warm_fetches,omitempty"`
+	ReadAmplification float64 `json:"read_amplification,omitempty"`
+	FetchesReconcile  bool    `json:"fetches_reconcile,omitempty"` // recorder fetches == store reads
+	// ResidentFraction is the post-query mincore sample of the mapping, -1
+	// where residency sampling is unsupported (non-Linux or pread fallback).
+	ResidentFraction float64 `json:"resident_fraction,omitempty"`
 }
 
 // segmentDims is the compressed dimensionality of the stored feature columns
@@ -83,6 +96,11 @@ func collectSegmentBench(m, n, queries int, seed int64) (*segmentReport, error) 
 	defer ix.Close()
 	buildSecs := time.Since(buildStart).Seconds()
 
+	// Storage-plane observability over the query phase: cold/warm fetch
+	// split, read amplification, and (where supported) page residency.
+	rec := storeobs.NewRecorder(storeobs.Config{})
+	ix.SegmentStore().SetObserver(rec)
+
 	var diskBytes int64
 	if entries, err := os.ReadDir(dir); err == nil {
 		for _, e := range entries {
@@ -113,6 +131,23 @@ func collectSegmentBench(m, n, queries int, seed int64) (*segmentReport, error) 
 	}
 	querySecs := time.Since(queryStart).Seconds()
 
+	totals := rec.Totals()
+	residentFraction := -1.0
+	if samples := segment.ProbeResidency(ix.SegmentStore())(); len(samples) > 0 {
+		var mapped, resident int64
+		supported := false
+		for _, s := range samples {
+			if s.Err == "" {
+				supported = true
+				mapped += s.MappedBytes
+				resident += s.ResidentBytes
+			}
+		}
+		if supported && mapped > 0 {
+			residentFraction = float64(resident) / float64(mapped)
+		}
+	}
+
 	db, err := segment.OpenDB(dir, segmentDims)
 	if err != nil {
 		return nil, err
@@ -137,6 +172,11 @@ func collectSegmentBench(m, n, queries int, seed int64) (*segmentReport, error) 
 		AvgDiskReads:      avgReads,
 		FetchFraction:     avgReads / float64(m),
 		ReadsReconcile:    reconcile,
+		ColdFetches:       totals.ColdFetches,
+		WarmFetches:       totals.WarmFetches,
+		ReadAmplification: totals.ReadAmplification(),
+		FetchesReconcile:  totals.Fetches() == totalReads,
+		ResidentFraction:  residentFraction,
 	}, nil
 }
 
@@ -147,4 +187,10 @@ func printSegmentReport(sr *segmentReport) {
 		sr.IngestSeconds, sr.IngestRowsPerSec, sr.IndexBuildSeconds, sr.Queries, sr.QuerySeconds)
 	fmt.Printf("   avg disk reads/query %.1f -> fetch fraction %.5f   reads reconcile=%v\n",
 		sr.AvgDiskReads, sr.FetchFraction, sr.ReadsReconcile)
+	resident := "n/a (unsupported)"
+	if sr.ResidentFraction >= 0 {
+		resident = fmt.Sprintf("%.1f%%", 100*sr.ResidentFraction)
+	}
+	fmt.Printf("   fetches cold=%d warm=%d   read amplification %.2fx   resident %s   fetches reconcile=%v\n",
+		sr.ColdFetches, sr.WarmFetches, sr.ReadAmplification, resident, sr.FetchesReconcile)
 }

@@ -474,6 +474,16 @@ func compareSegment(old, cur *segmentReport) {
 		if old.FetchFraction > 0 && cur.FetchFraction > old.FetchFraction*1.25 && cur.M == old.M {
 			fmt.Printf("  WARNING: segment fetch fraction grew >25%% at the same m; the index is pruning less\n")
 		}
+		// Storage-plane block: absent (all-zero) in trajectory files written
+		// before the recorder existed, so only diff when both points carry it.
+		if old.ReadAmplification > 0 && cur.ReadAmplification > 0 {
+			fmt.Printf("  segment i/o     read_amplification %.2fx -> %.2fx  cold %d -> %d  warm %d -> %d\n",
+				old.ReadAmplification, cur.ReadAmplification,
+				old.ColdFetches, cur.ColdFetches, old.WarmFetches, cur.WarmFetches)
+			if cur.ReadAmplification > old.ReadAmplification*1.5 && cur.M == old.M {
+				fmt.Printf("  WARNING: segment read amplification grew >50%% at the same m; fetches are touching more cold pages per byte\n")
+			}
+		}
 	}
 }
 

@@ -12,6 +12,13 @@
 // the build time separately. This is the two-phase pattern of large-scale
 // loaders: sequential ingest first, index construction off the load path.
 //
+// Progress is reported as structured log events on stderr (JSON by default;
+// see -log): every sealed segment and the final manifest swap come from the
+// storage event journal, interleaved with periodic row-count progress. On
+// success the process prints a single-line JSON run summary to stdout —
+// rows, throughput, bytes written, per-stage durations, and the journal's
+// per-kind event counts — for scripts to consume.
+//
 // Typical sessions:
 //
 //	shapeingest -dir /data/shapes -count 1000000 -n 64
@@ -20,14 +27,18 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
+	"log/slog"
 	"os"
 	"runtime"
 	"sync"
 	"time"
 
 	"lbkeogh"
+	"lbkeogh/internal/obs/ops"
+	"lbkeogh/internal/obs/storeobs"
 	"lbkeogh/internal/segment"
 	"lbkeogh/internal/synth"
 )
@@ -47,11 +58,14 @@ func main() {
 		deferIx    = flag.Bool("defer-indexes", true, "skip index build; raw+feature columns only")
 		progress   = flag.Duration("progress", 2*time.Second, "progress report interval (0 disables)")
 		verify     = flag.Bool("verify", false, "reopen the store with full checksum verification after the load")
+		logFormat  = flag.String("log", "json", "structured log format: json or text")
+		logLevel   = flag.String("log-level", "info", "log level: debug, info, warn, error")
 	)
 	flag.Parse()
-	if err := run(*dir, *count, *n, *dims, *batch, *workers, *segRecords, *maxRows,
+	logger := ops.NewLogger(os.Stderr, *logFormat, *logLevel)
+	if err := run(logger, *dir, *count, *n, *dims, *batch, *workers, *segRecords, *maxRows,
 		*dataset, *seed, *deferIx, *progress, *verify); err != nil {
-		fmt.Fprintf(os.Stderr, "shapeingest: %v\n", err)
+		logger.Error("ingest failed", "error", err.Error())
 		os.Exit(1)
 	}
 }
@@ -66,8 +80,21 @@ type genBatch struct {
 	labels []int64
 }
 
-func run(dir string, count int64, n, dims int, batch int, workers int, segRecords, maxRows int64,
-	dataset string, seed int64, deferIx bool, progress time.Duration, verify bool) error {
+// runSummary is the single-line JSON report printed to stdout on success.
+type runSummary struct {
+	Rows         int64              `json:"rows"`
+	RowsPerS     float64            `json:"rows_per_s"`
+	BytesWritten int64              `json:"bytes_written"`
+	Segments     int64              `json:"segments"` // sealed by this run
+	StoreRows    int64              `json:"store_rows"`
+	StageSeconds map[string]float64 `json:"stage_seconds"`
+	// JournalEvents is the storage journal's per-kind count for this run.
+	JournalEvents map[string]int64 `json:"journal_events"`
+}
+
+func run(logger *slog.Logger, dir string, count int64, n, dims int, batch int, workers int,
+	segRecords, maxRows int64, dataset string, seed int64, deferIx bool,
+	progress time.Duration, verify bool) error {
 	if dir == "" {
 		return fmt.Errorf("-dir is required")
 	}
@@ -101,11 +128,17 @@ func run(dir string, count int64, n, dims int, batch int, workers int, segRecord
 	if err != nil {
 		return err
 	}
+	// The journal turns segment seals and the manifest swap into structured
+	// progress events on the same logger as the row-count ticker.
+	journal := storeobs.NewJournal(256, logger)
+	b.SetJournal(journal)
 	if have := b.Total(); have+count > maxRows {
 		b.Abort()
 		return fmt.Errorf("load would put the store at %d rows, over the -max-rows cap %d", have+count, maxRows)
 	}
 	firstID := b.Total()
+	logger.Info("ingest starting", "dir", dir, "count", count, "n", n, "dims", d,
+		"dataset", dataset, "workers", workers, "segment_records", segRecords, "existing_rows", firstID)
 
 	// Parallel generate+featurize, ordered single-writer commit. Workers pull
 	// batch indexes, push completed batches; the writer drains them in index
@@ -175,7 +208,8 @@ func run(dir string, count int64, n, dims int, batch int, workers int, segRecord
 		if progress > 0 && time.Since(lastReport) >= progress {
 			lastReport = time.Now()
 			elapsed := time.Since(start).Seconds()
-			fmt.Printf("ingested %d/%d rows (%.0f rows/s)\n", written, count, float64(written)/elapsed)
+			logger.Info("ingest progress", "rows", written, "total", count,
+				"rows_per_s", float64(written)/elapsed)
 		}
 	}
 	if written != count {
@@ -186,8 +220,16 @@ func run(dir string, count int64, n, dims int, batch int, workers int, segRecord
 		return err
 	}
 	ingestSecs := time.Since(start).Seconds()
-	fmt.Printf("ingest complete: %d rows in %.1fs (%.0f rows/s), store now %d rows, dir %s\n",
-		count, ingestSecs, float64(count)/ingestSecs, firstID+count, dir)
+	summary := runSummary{
+		Rows:         count,
+		RowsPerS:     float64(count) / ingestSecs,
+		BytesWritten: b.BytesWritten(),
+		StoreRows:    firstID + count,
+		StageSeconds: map[string]float64{"generate_ingest": ingestSecs},
+	}
+	logger.Info("ingest complete", "rows", count, "seconds", ingestSecs,
+		"rows_per_s", summary.RowsPerS, "bytes_written", summary.BytesWritten,
+		"store_rows", summary.StoreRows, "dir", dir)
 
 	if verify {
 		vStart := time.Now()
@@ -211,8 +253,9 @@ func run(dir string, count int64, n, dims int, batch int, workers int, segRecord
 		if total != firstID+count {
 			return fmt.Errorf("verify: store holds %d rows, want %d", total, firstID+count)
 		}
-		fmt.Printf("verify complete: %d segments, %d rows, all checksums good (%.1fs)\n",
-			len(m.Segments), total, time.Since(vStart).Seconds())
+		summary.StageSeconds["verify"] = time.Since(vStart).Seconds()
+		logger.Info("verify complete", "segments", len(m.Segments), "rows", total,
+			"checksums", "good", "seconds", summary.StageSeconds["verify"])
 	}
 
 	if !deferIx {
@@ -222,10 +265,20 @@ func run(dir string, count int64, n, dims int, batch int, workers int, segRecord
 			return fmt.Errorf("index build: %w", err)
 		}
 		defer ix.Close()
-		fmt.Printf("index build complete: m=%d dims=%d in %.1fs\n",
-			ix.Len(), ix.Dims(), time.Since(ixStart).Seconds())
+		summary.StageSeconds["index_build"] = time.Since(ixStart).Seconds()
+		logger.Info("index build complete", "m", ix.Len(), "dims", ix.Dims(),
+			"seconds", summary.StageSeconds["index_build"])
 	} else {
-		fmt.Println("indexes deferred: build at serve time or rerun with -defer-indexes=false")
+		logger.Info("indexes deferred", "hint", "build at serve time or rerun with -defer-indexes=false")
 	}
+
+	counts := journal.Counts()
+	summary.Segments = counts[storeobs.EventSegmentSealed]
+	summary.JournalEvents = counts
+	out, err := json.Marshal(summary)
+	if err != nil {
+		return err
+	}
+	fmt.Println(string(out))
 	return nil
 }

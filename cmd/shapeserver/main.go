@@ -46,6 +46,7 @@ import (
 
 	"lbkeogh"
 	"lbkeogh/internal/obs/ops"
+	"lbkeogh/internal/obs/storeobs"
 	"lbkeogh/internal/segment"
 	"lbkeogh/internal/seriesio"
 	"lbkeogh/internal/server"
@@ -58,6 +59,8 @@ func main() {
 		segments    = flag.String("segments", "", "memory-mapped segment store directory (see shapeingest); enables /v1/ingest and /v1/compact")
 		segDims     = flag.Int("segment-dims", 8, "feature dims for segments created by online ingest into an empty store")
 		segVerify   = flag.Bool("verify-on-open", false, "recompute every segment section CRC while mapping the store (faults the whole file in; default trusts shapeingest -verify and checks headers only)")
+		resEvery    = flag.Duration("residency-interval", 30*time.Second, "page-residency (mincore) sampling interval in segment mode; 0 disables the sampler")
+		journalSize = flag.Int("journal-size", 512, "storage event journal ring size in segment mode")
 		synthetic   = flag.String("synthetic", "", "generate a synthetic database instead: m,n (series,samples)")
 		seed        = flag.Int64("seed", 42, "synthetic dataset seed")
 		inflight    = flag.Int("inflight", 4, "max concurrent searches")
@@ -132,6 +135,9 @@ func main() {
 		logger.Info("segment store mapped", "dir", *segments,
 			"generation", st.Generation, "segments", len(st.Segments),
 			"records", st.Records, "mapped_bytes", st.MappedBytes, "zero_copy", st.ZeroCopy)
+		if len(st.Orphans) > 0 {
+			logger.Warn("ignoring orphaned segment files not named by the manifest", "files", st.Orphans)
+		}
 	case *dbPath != "":
 		var rows [][]float64
 		labels, rows, err = seriesio.ReadCSV(*dbPath)
@@ -178,10 +184,27 @@ func main() {
 		profiler.Start()
 		defer profiler.Stop()
 	}
+	// Storage-plane observability (segment mode): every fetch and lifecycle
+	// event flows into the recorder, and the mincore sampler keeps the
+	// /debug/storage residency heatmap current off the query path.
+	var storeRec *storeobs.Recorder
+	if store != nil {
+		storeRec = storeobs.NewRecorder(storeobs.Config{
+			JournalSize: *journalSize,
+			Logger:      logger,
+		})
+		store.SetObserver(storeRec)
+		if *resEvery > 0 {
+			sampler := storeobs.NewSampler(storeRec, segment.ProbeResidency(store), *resEvery)
+			sampler.Start()
+			defer sampler.Stop()
+		}
+	}
 	srv, err := server.New(server.Config{
 		DB:             db,
 		Labels:         labels,
 		Store:          store,
+		StoreObs:       storeRec,
 		MaxInflight:    *inflight,
 		MaxQueue:       *queue,
 		PoolSize:       *pool,
@@ -205,7 +228,7 @@ func main() {
 	}
 	logger.Info("serving",
 		"series", size, "series_len", srv.Len(), "addr", ln.Addr().String(),
-		"endpoints", "/v1/search /v1/topk /v1/range /v1/ingest /v1/compact /livez /readyz /metrics /debug/lbkeogh /debug/index /debug/profiles")
+		"endpoints", "/v1/search /v1/topk /v1/range /v1/ingest /v1/compact /livez /readyz /metrics /debug/lbkeogh /debug/index /debug/storage /debug/profiles")
 
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)

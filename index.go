@@ -21,10 +21,18 @@ type Index struct {
 	n      int
 	m      int
 	closer func() error // set for file-backed indexes
+	seg    *segment.DB  // set for segment-backed indexes
 	obs    obs.SearchStats
 	tracer Tracer
 	tlog   *TraceLog
 }
+
+// SegmentStore returns the underlying segment store for an index opened
+// with OpenSegmentIndex, or nil for every other kind of index. It is how
+// tools attach storage-plane observability (segment.DB.SetObserver) to an
+// index they opened through this package. The store is owned by the index:
+// do not Close it directly.
+func (ix *Index) SegmentStore() *segment.DB { return ix.seg }
 
 // initObserver wires the index's instrumentation record (and any tracer)
 // into the internal layer; called at construction and by SetTracer.
@@ -153,7 +161,7 @@ func OpenSegmentIndex(dir string, dims int) (*Index, error) {
 		store.Close()
 		return nil, err
 	}
-	out := &Index{ix: inner, n: store.SeriesLen(), m: store.Len(), closer: func() error {
+	out := &Index{ix: inner, n: store.SeriesLen(), m: store.Len(), seg: store, closer: func() error {
 		snap.Release()
 		return store.Close()
 	}}

@@ -88,6 +88,15 @@ type fetchHooker interface {
 	SetFetchHook(func(id int, dur time.Duration))
 }
 
+// traceLinker is implemented by stores whose storage-plane observability
+// keeps deferred fetch exemplars (internal/segment's DB with a storeobs
+// recorder attached): trace IDs exist only once a trace is finished and
+// retained, so the index hands the ID back after the fact and the store
+// stamps its pending slow/cold fetch exemplars with it.
+type traceLinker interface {
+	LinkTrace(id int64)
+}
+
 // SetObserver installs an instrumentation record and tracer used by every
 // subsequent query: index-level candidate/fetch counts, the verification
 // searches' pruning breakdowns, and per-record disk-read events when the
@@ -152,10 +161,17 @@ func (ix *Index) startTrace(label string, searcher *core.Searcher) (*trace.Recor
 }
 
 // finishTrace completes the query's trace with the counter deltas as the
-// whole-trace attributes.
+// whole-trace attributes, and — when the trace was retained and the store
+// keeps deferred fetch exemplars — links the new trace ID to the query's
+// slow/cold store fetches.
 func (ix *Index) finishTrace(rec *trace.Recorder, before obs.Counts) {
-	ix.tlog.Finish(rec, ix.obs.Counts().Sub(before))
+	id := ix.tlog.Finish(rec, ix.obs.Counts().Sub(before))
 	ix.rec = nil
+	if id != 0 {
+		if tl, ok := ix.store.(traceLinker); ok {
+			tl.LinkTrace(id)
+		}
+	}
 }
 
 func (ix *Index) searcherConfig() core.SearcherConfig {

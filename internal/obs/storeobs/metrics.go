@@ -1,0 +1,168 @@
+package storeobs
+
+import (
+	"fmt"
+	"io"
+	"time"
+
+	"lbkeogh/internal/obs"
+	"lbkeogh/internal/obs/ops"
+)
+
+// WriteMetrics emits the lbkeogh_store_* families in Prometheus/OpenMetrics
+// text form: cold/warm fetch counters and duration histograms (with trace
+// exemplars on slow/cold buckets), per-column read histograms and totals,
+// read-amplification accounting, the rolling fetch window, the latest
+// residency sample, and the journal's per-kind event counters. Per-segment
+// families are the server's (shapeserver_segment_*); this is the
+// store-process view.
+func (r *Recorder) WriteMetrics(w io.Writer) {
+	if r == nil {
+		return
+	}
+	t := r.Totals()
+
+	ops.WriteFamily(w, "lbkeogh_store_fetches_total", "counter",
+		"Record fetches served by the segment store, by page temperature (cold = the fetch first-touched at least one page).")
+	fmt.Fprintf(w, "lbkeogh_store_fetches_total{temperature=\"cold\"} %d\n", t.ColdFetches)
+	fmt.Fprintf(w, "lbkeogh_store_fetches_total{temperature=\"warm\"} %d\n", t.WarmFetches)
+
+	ops.WriteFamily(w, "lbkeogh_store_fetch_duration_seconds", "histogram",
+		"Store fetch wall time by temperature; slow and cold buckets carry exemplars linking to retained trace IDs.")
+	for temp := numTemps - 1; temp >= 0; temp-- { // cold first
+		ex := r.exemplars(temp)
+		writeHistogram(w, "lbkeogh_store_fetch_duration_seconds",
+			fmt.Sprintf("temperature=%q", tempNames[temp]), &r.fetchHist[temp], &ex)
+	}
+
+	ops.WriteFamily(w, "lbkeogh_store_read_duration_seconds", "histogram",
+		"Backend column read wall time (page faults forced inside the timed region), by column and temperature.")
+	for col := 0; col < NumColumns; col++ {
+		for temp := numTemps - 1; temp >= 0; temp-- {
+			h := &r.colHist[col][temp]
+			if h.Count() == 0 {
+				continue
+			}
+			writeHistogram(w, "lbkeogh_store_read_duration_seconds",
+				fmt.Sprintf("column=%q,temperature=%q", columnNames[col], tempNames[temp]), h, nil)
+		}
+	}
+
+	var colReads, colBytes [NumColumns]int64
+	for _, s := range r.Segments() {
+		for c := 0; c < NumColumns; c++ {
+			colReads[c] += s.Reads[c]
+			colBytes[c] += s.Bytes[c]
+		}
+	}
+	ops.WriteFamily(w, "lbkeogh_store_column_reads_total", "counter",
+		"Backend reads by column, summed over live segments.")
+	for c := 0; c < NumColumns; c++ {
+		fmt.Fprintf(w, "lbkeogh_store_column_reads_total{column=%q} %d\n", columnNames[c], colReads[c])
+	}
+	ops.WriteFamily(w, "lbkeogh_store_column_read_bytes_total", "counter",
+		"Bytes logically read by column, summed over live segments.")
+	for c := 0; c < NumColumns; c++ {
+		fmt.Fprintf(w, "lbkeogh_store_column_read_bytes_total{column=%q} %d\n", columnNames[c], colBytes[c])
+	}
+
+	ops.WriteCounter(w, "lbkeogh_store_requested_bytes_total",
+		"Bytes logically requested from segment backends.", t.RequestedBytes)
+	ops.WriteCounter(w, "lbkeogh_store_faulted_pages_total",
+		"Pages first-touched by segment reads (4KiB accounting pages).", t.FaultedPages)
+	ops.WriteGaugeFloat(w, "lbkeogh_store_read_amplification",
+		"First-touched page bytes over logically requested bytes.", t.ReadAmplification())
+
+	ops.WriteFamily(w, "lbkeogh_store_window_fetches", "gauge",
+		"Store fetches inside the rolling window, by temperature.")
+	coldSnap, warmSnap := r.window[tempCold].Snapshot(), r.window[tempWarm].Snapshot()
+	fmt.Fprintf(w, "lbkeogh_store_window_fetches{temperature=\"cold\"} %d\n", coldSnap.Requests)
+	fmt.Fprintf(w, "lbkeogh_store_window_fetches{temperature=\"warm\"} %d\n", warmSnap.Requests)
+	ops.WriteFamily(w, "lbkeogh_store_window_fetch_p99_seconds", "gauge",
+		"Bucket-resolution p99 store fetch latency inside the rolling window, by temperature.")
+	fmt.Fprintf(w, "lbkeogh_store_window_fetch_p99_seconds{temperature=\"cold\"} %s\n", formatQuantileNS(coldSnap.P99NS))
+	fmt.Fprintf(w, "lbkeogh_store_window_fetch_p99_seconds{temperature=\"warm\"} %s\n", formatQuantileNS(warmSnap.P99NS))
+
+	res, resAt := r.Residency()
+	supported := int64(0)
+	var resident, mapped int64
+	if residencySupported(res) {
+		supported = 1
+		for _, s := range res {
+			resident += s.ResidentBytes
+			mapped += s.MappedBytes
+		}
+	}
+	ops.WriteGaugeInt(w, "lbkeogh_store_residency_supported",
+		"1 when the latest page-residency sample measured at least one segment (mincore over an mmap backend); 0 before the first sample or where unsupported.", supported)
+	ops.WriteGaugeInt(w, "lbkeogh_store_resident_bytes",
+		"Resident bytes across live segment mappings at the latest residency sample.", resident)
+	ops.WriteGaugeInt(w, "lbkeogh_store_residency_sampled_bytes",
+		"Mapped bytes covered by the latest residency sample.", mapped)
+	age := float64(0)
+	if !resAt.IsZero() {
+		age = time.Since(resAt).Seconds()
+	}
+	ops.WriteGaugeFloat(w, "lbkeogh_store_residency_age_seconds",
+		"Seconds since the latest residency sample (0 before the first).", age)
+
+	ops.WriteFamily(w, "lbkeogh_store_journal_events_total", "counter",
+		"Storage event journal entries by kind; reconciles with the store's ingest/compaction counters.")
+	counts := r.Journal().Counts()
+	for _, kind := range EventKinds {
+		fmt.Fprintf(w, "lbkeogh_store_journal_events_total{kind=%q} %d\n", kind, counts[kind])
+	}
+}
+
+// formatQuantileNS renders a bucket-resolution quantile (ns) as seconds; the
+// overflow marker (-1) clamps to the largest finite bucket bound.
+func formatQuantileNS(ns int64) string {
+	if ns < 0 {
+		ns = obs.BucketBound(obs.HistogramBuckets - 1)
+	}
+	return ops.FormatFloat(float64(ns) / 1e9)
+}
+
+// writeHistogram emits one cumulative histogram series from an obs.Histogram
+// in the repo's exposition style (see writeREDHistogram in internal/server):
+// interior buckets that add nothing are skipped unless they carry an
+// exemplar, the overflow bucket folds into +Inf, and durations are seconds.
+func writeHistogram(w io.Writer, name, labels string, h *obs.Histogram, ex *[obs.HistogramBuckets + 1]fetchExemplar) {
+	counts := make(map[int64]int64)
+	for _, b := range h.Buckets() {
+		counts[b.UpperBound] = b.Count
+	}
+	var cum, prev int64
+	for i := 0; i < obs.HistogramBuckets; i++ {
+		bound := obs.BucketBound(i)
+		cum += counts[bound]
+		var e fetchExemplar
+		if ex != nil {
+			e = ex[i]
+		}
+		if cum == prev && i > 0 && e.traceID == 0 {
+			continue
+		}
+		fmt.Fprintf(w, "%s_bucket{%s,le=%q} %d", name, labels, ops.FormatFloat(float64(bound)/1e9), cum)
+		writeFetchExemplar(w, e)
+		fmt.Fprintln(w)
+		prev = cum
+	}
+	total := cum + counts[-1]
+	fmt.Fprintf(w, "%s_bucket{%s,le=\"+Inf\"} %d", name, labels, total)
+	if ex != nil {
+		writeFetchExemplar(w, ex[obs.HistogramBuckets])
+	}
+	fmt.Fprintln(w)
+	fmt.Fprintf(w, "%s_sum{%s} %s\n", name, labels, ops.FormatFloat(float64(h.Sum())/1e9))
+	fmt.Fprintf(w, "%s_count{%s} %d\n", name, labels, total)
+}
+
+func writeFetchExemplar(w io.Writer, e fetchExemplar) {
+	if e.traceID == 0 {
+		return
+	}
+	fmt.Fprintf(w, " # {trace_id=\"%d\"} %s %s",
+		e.traceID, ops.FormatFloat(float64(e.durNS)/1e9),
+		ops.FormatFloat(float64(e.wall.UnixNano())/1e9))
+}

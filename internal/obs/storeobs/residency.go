@@ -1,0 +1,131 @@
+package storeobs
+
+import (
+	"sync"
+	"time"
+)
+
+// SegmentResidency is one segment's page residency at a sample instant, as
+// reported by mincore over the segment's mapping. Err is set (and the byte
+// counts zero) when residency cannot be measured — pread backend, non-Linux
+// platform — so "unsupported" is never mistaken for "fully evicted".
+type SegmentResidency struct {
+	Segment       string `json:"segment"`
+	MappedBytes   int64  `json:"mapped_bytes"`
+	ResidentBytes int64  `json:"resident_bytes"`
+	Err           string `json:"error,omitempty"`
+}
+
+// Fraction is resident over mapped bytes, 0 when unmeasurable.
+func (sr SegmentResidency) Fraction() float64 {
+	if sr.Err != "" || sr.MappedBytes == 0 {
+		return 0
+	}
+	return float64(sr.ResidentBytes) / float64(sr.MappedBytes)
+}
+
+// setResidency installs the latest residency sample.
+func (r *Recorder) setResidency(samples []SegmentResidency, at time.Time) {
+	if r == nil {
+		return
+	}
+	r.resMu.Lock()
+	r.res, r.resAt = samples, at
+	r.resMu.Unlock()
+}
+
+// Residency returns the latest sample and when it was taken (zero time when
+// no sample has run yet).
+func (r *Recorder) Residency() ([]SegmentResidency, time.Time) {
+	if r == nil {
+		return nil, time.Time{}
+	}
+	r.resMu.Lock()
+	defer r.resMu.Unlock()
+	return r.res, r.resAt
+}
+
+// residencySupported reports whether the latest sample measured anything:
+// true when at least one segment answered without error. False both before
+// the first sample and on platforms/backends where mincore is unavailable.
+func residencySupported(samples []SegmentResidency) bool {
+	for _, s := range samples {
+		if s.Err == "" {
+			return true
+		}
+	}
+	return false
+}
+
+// Sampler periodically runs a residency probe off the query path and stores
+// the result on the recorder. The probe is supplied by the segment layer
+// (it needs the live mappings); the sampler owns only the cadence.
+type Sampler struct {
+	rec      *Recorder
+	probe    func() []SegmentResidency
+	interval time.Duration
+
+	mu   sync.Mutex
+	stop chan struct{}
+	done chan struct{}
+}
+
+// NewSampler builds a sampler; interval defaults to 30s. Returns nil when
+// the recorder or probe is nil (Start/Stop on a nil sampler are no-ops).
+func NewSampler(rec *Recorder, probe func() []SegmentResidency, interval time.Duration) *Sampler {
+	if rec == nil || probe == nil {
+		return nil
+	}
+	if interval <= 0 {
+		interval = 30 * time.Second
+	}
+	return &Sampler{rec: rec, probe: probe, interval: interval}
+}
+
+// Start probes once immediately (so metrics never serve an empty sample
+// just because the first tick has not fired) and then keeps sampling every
+// interval until Stop.
+func (s *Sampler) Start() {
+	if s == nil {
+		return
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.stop != nil {
+		return
+	}
+	s.stop = make(chan struct{})
+	s.done = make(chan struct{})
+	s.rec.setResidency(s.probe(), time.Now())
+	go s.loop(s.stop, s.done)
+}
+
+func (s *Sampler) loop(stop chan struct{}, done chan struct{}) {
+	defer close(done)
+	t := time.NewTicker(s.interval)
+	defer t.Stop()
+	for {
+		select {
+		case <-stop:
+			return
+		case <-t.C:
+			s.rec.setResidency(s.probe(), time.Now())
+		}
+	}
+}
+
+// Stop halts the sampler and waits for the loop to exit.
+func (s *Sampler) Stop() {
+	if s == nil {
+		return
+	}
+	s.mu.Lock()
+	stop, done := s.stop, s.done
+	s.stop, s.done = nil, nil
+	s.mu.Unlock()
+	if stop == nil {
+		return
+	}
+	close(stop)
+	<-done
+}

@@ -4,6 +4,9 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"time"
+
+	"lbkeogh/internal/obs/storeobs"
 )
 
 // BulkWriter streams a large ingest into a store directory, cutting a new
@@ -27,7 +30,19 @@ type BulkWriter struct {
 	total    int64 // records in finished segments, preexisting included
 	preexist int64 // records already in the store when the run began
 	done     bool
+
+	jrn          *storeobs.Journal
+	segStart     time.Time
+	bytesWritten int64 // finished segment files, this run
 }
+
+// SetJournal attaches a storage event journal: every sealed segment and the
+// final manifest swap are recorded (and mirrored to the journal's logger),
+// which is how shapeingest reports bulk progress structurally.
+func (b *BulkWriter) SetJournal(j *storeobs.Journal) { b.jrn = j }
+
+// BytesWritten returns the bytes of finished segment files this run wrote.
+func (b *BulkWriter) BytesWritten() int64 { return b.bytesWritten }
 
 // NewBulkWriter opens dir for bulk ingest of series of length n with d
 // feature dims, cutting segments at perSegment records (min 1). If dir
@@ -109,6 +124,7 @@ func (b *BulkWriter) roll() error {
 			return err
 		}
 		b.cur = w
+		b.segStart = time.Now()
 	}
 	return nil
 }
@@ -118,10 +134,23 @@ func (b *BulkWriter) finishSegment() error {
 	if err := b.cur.Close(); err != nil {
 		return err
 	}
-	b.segs = append(b.segs, ManifestSegment{File: segFileName(b.seq), Records: count})
+	name := segFileName(b.seq)
+	b.segs = append(b.segs, ManifestSegment{File: name, Records: count})
 	b.total += count
 	b.seq++
 	b.cur = nil
+	var size int64
+	if info, err := os.Stat(filepath.Join(b.dir, name)); err == nil {
+		size = info.Size()
+	}
+	b.bytesWritten += size
+	b.jrn.Record(storeobs.Event{
+		Kind:            storeobs.EventSegmentSealed,
+		Segment:         name,
+		Records:         count,
+		Bytes:           size,
+		DurationSeconds: time.Since(b.segStart).Seconds(),
+	})
 	return nil
 }
 
@@ -157,10 +186,19 @@ func (b *BulkWriter) Close() error {
 	if len(b.segs) == 0 {
 		return fmt.Errorf("segment: bulk ingest wrote no records")
 	}
-	return WriteManifest(b.dir, Manifest{
+	if err := WriteManifest(b.dir, Manifest{
 		Generation: b.gen + 1,
 		SeriesLen:  b.n,
 		Dims:       b.d,
 		Segments:   b.segs,
+	}); err != nil {
+		return err
+	}
+	b.jrn.Record(storeobs.Event{
+		Kind:       storeobs.EventManifestSwap,
+		Generation: b.gen + 1,
+		Records:    b.total,
+		Note:       fmt.Sprintf("%d segments", len(b.segs)),
 	})
+	return nil
 }

@@ -5,9 +5,12 @@ import (
 	"os"
 	"path/filepath"
 	"sort"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
+
+	"lbkeogh/internal/obs/storeobs"
 )
 
 // Snapshot is an immutable view of the store at one generation: an ordered
@@ -22,6 +25,11 @@ type Snapshot struct {
 
 	refs atomic.Int64
 
+	// jrn, when set, receives the snapshot_release event as this generation
+	// retires (last reference released). born anchors its lifetime.
+	jrn  atomic.Pointer[storeobs.Journal]
+	born time.Time
+
 	rowsOnce sync.Once
 	rows     [][]float64
 	labels   []int
@@ -32,7 +40,7 @@ type Snapshot struct {
 }
 
 func newSnapshot(segs []*Reader, gen int64) *Snapshot {
-	s := &Snapshot{segs: segs, gen: gen, starts: make([]int, len(segs))}
+	s := &Snapshot{segs: segs, gen: gen, starts: make([]int, len(segs)), born: time.Now()}
 	for i, r := range segs {
 		r.retain()
 		s.starts[i] = s.total
@@ -63,6 +71,14 @@ func (s *Snapshot) Release() {
 	if s.refs.Add(-1) == 0 {
 		for _, r := range s.segs {
 			r.release()
+		}
+		if j := s.jrn.Load(); j != nil {
+			j.Record(storeobs.Event{
+				Kind:            storeobs.EventSnapshotRelease,
+				Generation:      s.gen,
+				Records:         int64(s.total),
+				DurationSeconds: time.Since(s.born).Seconds(),
+			})
 		}
 	}
 }
@@ -184,6 +200,15 @@ type DB struct {
 	busy            atomic.Int64 // in-flight Ingest/Compact operations
 
 	hook atomic.Pointer[func(id int, dur time.Duration)]
+
+	// obs, when set, is the storage observability recorder (storeobs): the
+	// fetch path loads it once per Fetch — the one nil check the disabled
+	// path pays — and mutators journal lifecycle events through it.
+	obs atomic.Pointer[storeobs.Recorder]
+
+	// orphans lists .lbseg files present in dir but absent from the manifest
+	// at open — ignored for serving, surfaced via Stats and the journal.
+	orphans []string
 }
 
 // OpenDB opens (or initializes) the store in dir. dims is the feature
@@ -226,8 +251,70 @@ func OpenDB(dir string, dims int, opts ...OpenOption) (*DB, error) {
 		}
 		db.dims = m.Dims
 	}
+	// Orphaned segment files — debris from a crash between segment write and
+	// manifest swap, or from foreign tooling — are never served: the
+	// manifest is the sole source of truth. They are recorded so operators
+	// (Stats.Orphans, journal events once an observer attaches) see them
+	// instead of silently losing the disk space.
+	known := make(map[string]bool, len(m.Segments))
+	for _, ms := range m.Segments {
+		known[ms.File] = true
+	}
+	if ents, err := os.ReadDir(dir); err == nil {
+		for _, e := range ents {
+			name := e.Name()
+			if strings.HasSuffix(name, segSuffix) && !known[name] {
+				db.orphans = append(db.orphans, name)
+			}
+		}
+	}
+	sort.Strings(db.orphans)
 	db.cur.Store(newSnapshot(segs, m.Generation))
 	return db, nil
+}
+
+// SetObserver attaches a storage observability recorder: every live segment
+// gets an access account, lifecycle events flow into the recorder's
+// journal, and Fetch classifies cold/warm. Meant to be called once, right
+// after OpenDB and before serving; nil detaches. With no observer attached
+// the fetch path costs one atomic nil check.
+func (db *DB) SetObserver(rec *storeobs.Recorder) {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	db.obs.Store(rec)
+	s := db.cur.Load()
+	for _, r := range s.segs {
+		r.setObserver(rec)
+	}
+	if rec == nil {
+		return
+	}
+	j := rec.Journal()
+	s.jrn.Store(j)
+	for _, name := range db.orphans {
+		j.Record(storeobs.Event{
+			Kind:    storeobs.EventSegmentOrphaned,
+			Segment: name,
+			Note:    "not named by MANIFEST.json; ignored",
+		})
+	}
+	j.Record(storeobs.Event{
+		Kind:       storeobs.EventSnapshotPin,
+		Generation: s.gen,
+		Records:    int64(s.total),
+	})
+}
+
+// Observer returns the attached storage recorder (nil when detached).
+func (db *DB) Observer() *storeobs.Recorder { return db.obs.Load() }
+
+// LinkTrace forwards a just-assigned trace ID to the storage recorder's
+// pending fetch exemplars — the seam the index layer's finishTrace uses to
+// attribute slow/cold store fetches to retained query traces.
+func (db *DB) LinkTrace(id int64) {
+	if rec := db.obs.Load(); rec != nil {
+		rec.LinkTrace(id)
+	}
 }
 
 // Acquire returns a reference-counted view of the current generation. The
@@ -274,17 +361,28 @@ func (db *DB) Generation() int64 { return db.cur.Load().gen }
 func (db *DB) Fetch(id int) []float64 {
 	start := time.Now()
 	s := db.Acquire()
+	// Deferred, not inline: a record-access panic (backend I/O error) must
+	// not leak the snapshot reference and pin retired segments forever.
+	defer s.Release()
 	if id < 0 || id >= s.total {
-		s.Release()
 		panic(fmt.Sprintf("segment: fetch id %d out of range [0,%d)", id, s.total))
 	}
-	v := s.Series(id)
+	rec := db.obs.Load() // the disabled-observability path pays this nil check only
+	cold := false
+	r, li := s.locate(id)
+	if rec != nil {
+		cold = !r.rawCovered(li)
+	}
+	v := r.Series(li)
 	out := make([]float64, len(v))
 	copy(out, v)
-	s.Release()
 	db.reads.Add(1)
+	dur := time.Since(start)
 	if h := db.hook.Load(); h != nil {
-		(*h)(id, time.Since(start))
+		(*h)(id, dur)
+	}
+	if rec != nil {
+		rec.ObserveFetch(cold, dur)
 	}
 	return out
 }
@@ -328,6 +426,7 @@ func (db *DB) Ingest(series [][]float64, labels []int64) (firstID int, err error
 	if db.closed {
 		return 0, fmt.Errorf("segment: store is closed")
 	}
+	opStart := time.Now()
 
 	old := db.cur.Load()
 	n := db.SeriesLen()
@@ -388,6 +487,23 @@ func (db *DB) Ingest(series [][]float64, labels []int64) (firstID int, err error
 	db.dims = d
 	db.ingests.Add(1)
 	db.ingestedRecords.Add(int64(len(series)))
+	if rec := db.obs.Load(); rec != nil {
+		j := rec.Journal()
+		j.Record(storeobs.Event{
+			Kind:       storeobs.EventSegmentCreated,
+			Segment:    filepath.Base(path),
+			Generation: next.gen,
+			Records:    int64(len(series)),
+			Bytes:      r.size,
+		})
+		j.Record(storeobs.Event{
+			Kind:            storeobs.EventIngestBatch,
+			Generation:      next.gen,
+			Records:         int64(len(series)),
+			Bytes:           r.size,
+			DurationSeconds: time.Since(opStart).Seconds(),
+		})
+	}
 	return old.total, nil
 }
 
@@ -404,6 +520,7 @@ func (db *DB) Compact(minRecords int64) (merged int, err error) {
 	if db.closed {
 		return 0, fmt.Errorf("segment: store is closed")
 	}
+	opStart := time.Now()
 
 	old := db.cur.Load()
 	small := func(r *Reader) bool {
@@ -462,8 +579,38 @@ func (db *DB) Compact(minRecords int64) (merged int, err error) {
 	// Mark before releasing the old generation: the replaced files unlink
 	// once the last snapshot holding them lets go (on Unix their mappings
 	// stay valid until then).
+	var replacedBytes, replacedRecords int64
 	for _, r := range replaced {
 		r.removeOnClose.Store(true)
+		replacedBytes += r.size
+		replacedRecords += r.m
+	}
+	if rec := db.obs.Load(); rec != nil {
+		j := rec.Journal()
+		var createdBytes int64
+		for _, r := range segs {
+			for _, c := range created {
+				if r.Path() == c {
+					createdBytes += r.size
+					j.Record(storeobs.Event{
+						Kind:       storeobs.EventSegmentCreated,
+						Segment:    filepath.Base(c),
+						Generation: next.gen,
+						Records:    r.m,
+						Bytes:      r.size,
+					})
+				}
+			}
+		}
+		j.Record(storeobs.Event{
+			Kind:            storeobs.EventSegmentCompacted,
+			Generation:      next.gen,
+			Records:         replacedRecords,
+			Bytes:           createdBytes,
+			ReclaimedBytes:  replacedBytes - createdBytes,
+			DurationSeconds: time.Since(opStart).Seconds(),
+			Note:            fmt.Sprintf("%d segments -> %d", len(replaced), len(created)),
+		})
 	}
 	db.cur.Store(next)
 	old.Release()
@@ -511,6 +658,27 @@ func (db *DB) publish(segs []*Reader, old *Snapshot, n, d int) (*Snapshot, error
 		next.Release()
 		return nil, err
 	}
+	if rec := db.obs.Load(); rec != nil {
+		// Segments opened by this mutation get their accounts here (existing
+		// accounts are reused), and the new generation carries the journal so
+		// its eventual retirement is recorded.
+		for _, r := range segs {
+			r.setObserver(rec)
+		}
+		j := rec.Journal()
+		next.jrn.Store(j)
+		j.Record(storeobs.Event{
+			Kind:       storeobs.EventManifestSwap,
+			Generation: next.gen,
+			Records:    int64(next.total),
+			Note:       fmt.Sprintf("%d segments", len(segs)),
+		})
+		j.Record(storeobs.Event{
+			Kind:       storeobs.EventSnapshotPin,
+			Generation: next.gen,
+			Records:    int64(next.total),
+		})
+	}
 	return next, nil
 }
 
@@ -526,6 +694,9 @@ type Stats struct {
 	Compactions     int64
 	IngestedRecords int64
 	Busy            bool
+	// Orphans are .lbseg files found in the store directory but not named
+	// by the manifest at open — ignored for serving, kept visible here.
+	Orphans []string
 }
 
 // Stats snapshots the store's counters and current segment set.
@@ -549,6 +720,7 @@ func (db *DB) Stats() Stats {
 		Compactions:     db.compactions.Load(),
 		IngestedRecords: db.ingestedRecords.Load(),
 		Busy:            db.busy.Load() > 0,
+		Orphans:         db.orphans,
 	}
 }
 

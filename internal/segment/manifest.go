@@ -45,7 +45,13 @@ func LoadManifest(dir string) (Manifest, bool, error) {
 		return m, false, fmt.Errorf("segment: %w", err)
 	}
 	if err := json.Unmarshal(buf, &m); err != nil {
-		return m, false, fmt.Errorf("segment: %s: %w", ManifestName, err)
+		// A partial or truncated manifest means a crash interrupted a swap
+		// (the rename is atomic, so this should not happen under this
+		// writer) or the file was edited. Name the recovery path instead of
+		// surfacing a raw decode error.
+		return m, false, fmt.Errorf("segment: %s is corrupt or truncated (%d bytes: %v); "+
+			"restore it from a backup or re-ingest the store — segment files themselves are immutable and may be intact",
+			ManifestName, len(buf), err)
 	}
 	if m.Version != manifestVersion {
 		return m, false, fmt.Errorf("segment: %s: unsupported version %d", ManifestName, m.Version)

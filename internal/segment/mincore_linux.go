@@ -1,0 +1,41 @@
+//go:build linux
+
+package segment
+
+import (
+	"fmt"
+	"os"
+	"syscall"
+	"unsafe"
+)
+
+// mincoreResident counts the resident bytes of a mapping via the mincore
+// syscall: one output byte per page, bit 0 set when the page is in core.
+// Raw syscall — the repo carries no dependency for x/sys, and syscall
+// exposes no Mincore wrapper on linux.
+func mincoreResident(data []byte) (int64, error) {
+	if len(data) == 0 {
+		return 0, nil
+	}
+	page := int64(os.Getpagesize())
+	pages := (int64(len(data)) + page - 1) / page
+	vec := make([]byte, pages)
+	_, _, errno := syscall.Syscall(syscall.SYS_MINCORE,
+		uintptr(unsafe.Pointer(&data[0])), uintptr(len(data)), uintptr(unsafe.Pointer(&vec[0])))
+	if errno != 0 {
+		return 0, fmt.Errorf("segment: mincore: %w", errno)
+	}
+	var resident int64
+	for i, v := range vec {
+		if v&1 == 0 {
+			continue
+		}
+		// The final page may be a partial one.
+		if int64(i) == pages-1 {
+			resident += int64(len(data)) - int64(i)*page
+		} else {
+			resident += page
+		}
+	}
+	return resident, nil
+}

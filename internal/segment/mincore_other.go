@@ -1,0 +1,10 @@
+//go:build !linux
+
+package segment
+
+// mincoreResident is the honest non-Linux fallback: residency is
+// unmeasurable here, and reporting that beats reporting zeros a dashboard
+// would read as "fully evicted".
+func mincoreResident(data []byte) (int64, error) {
+	return 0, ErrResidencyUnsupported
+}

@@ -1,0 +1,362 @@
+package segment
+
+import (
+	"errors"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"lbkeogh/internal/obs/storeobs"
+)
+
+// bulkStore writes count records into dir as segments of perSegment records,
+// returning the journal-free store directory.
+func bulkStore(t *testing.T, dir string, count int, perSegment int64) {
+	t.Helper()
+	bw, err := NewBulkWriter(dir, testN, testD, perSegment)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < count; i++ {
+		if err := bw.Add(testSeries(i, testN), int64(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := bw.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFetchObservabilityReconciles(t *testing.T) {
+	dir := t.TempDir()
+	bulkStore(t, dir, 64, 32)
+	db, err := OpenDB(dir, testD)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db.Close()
+	rec := storeobs.NewRecorder(storeobs.Config{})
+	db.SetObserver(rec)
+	if db.Observer() != rec {
+		t.Fatal("Observer did not return the attached recorder")
+	}
+
+	db.ResetReads()
+	for id := 0; id < 64; id++ {
+		db.Fetch(id)
+	}
+	tot := rec.Totals()
+	if got, want := tot.Fetches(), int64(db.Reads()); got != want {
+		t.Fatalf("storeobs fetches %d != store reads %d", got, want)
+	}
+	if tot.ColdFetches == 0 {
+		t.Fatal("first pass over a fresh store produced no cold fetches")
+	}
+	if tot.RequestedBytes == 0 || tot.FaultedPages == 0 {
+		t.Fatalf("no read-amplification accounting: %+v", tot)
+	}
+
+	// A second pass touches no new pages: cold count must not move.
+	coldAfterFirst := tot.ColdFetches
+	for id := 0; id < 64; id++ {
+		db.Fetch(id)
+	}
+	tot = rec.Totals()
+	if tot.ColdFetches != coldAfterFirst {
+		t.Fatalf("warm re-read grew cold count %d -> %d", coldAfterFirst, tot.ColdFetches)
+	}
+	if got, want := tot.Fetches(), int64(db.Reads()); got != want {
+		t.Fatalf("storeobs fetches %d != store reads %d after second pass", got, want)
+	}
+
+	// Per-segment accounts saw only raw-column reads from Fetch.
+	segs := rec.Segments()
+	if len(segs) != 2 {
+		t.Fatalf("recorder tracks %d segments, want 2", len(segs))
+	}
+	for _, s := range segs {
+		if s.Reads[storeobs.ColRaw] == 0 {
+			t.Fatalf("segment %s has no raw reads", s.Segment)
+		}
+		if s.LastAccess.IsZero() {
+			t.Fatalf("segment %s has no last-access time", s.Segment)
+		}
+	}
+}
+
+// Cold/warm classification is a pure function of the access sequence and the
+// on-disk layout — not of the backend. Two identical passes under pread and
+// one under the default backend must agree exactly (the S6 determinism
+// pin).
+func TestColdWarmDeterministicAcrossBackends(t *testing.T) {
+	dir := t.TempDir()
+	bulkStore(t, dir, 100, 40)
+
+	coldCount := func(opts ...OpenOption) (int64, int64) {
+		db, err := OpenDB(dir, testD, opts...)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer db.Close()
+		rec := storeobs.NewRecorder(storeobs.Config{})
+		db.SetObserver(rec)
+		for pass := 0; pass < 2; pass++ {
+			for id := 0; id < 100; id += 3 {
+				db.Fetch(id)
+			}
+		}
+		tot := rec.Totals()
+		return tot.ColdFetches, tot.FaultedPages
+	}
+
+	pread1, pages1 := coldCount(WithoutDataCRC(), WithPread())
+	pread2, pages2 := coldCount(WithoutDataCRC(), WithPread())
+	def, pagesDef := coldCount(WithoutDataCRC())
+	if pread1 != pread2 || pages1 != pages2 {
+		t.Fatalf("pread classification not deterministic: cold %d vs %d, pages %d vs %d",
+			pread1, pread2, pages1, pages2)
+	}
+	if pread1 != def || pages1 != pagesDef {
+		t.Fatalf("pread and default backends disagree: cold %d vs %d, pages %d vs %d",
+			pread1, def, pages1, pagesDef)
+	}
+	if pread1 == 0 {
+		t.Fatal("no cold fetches on a fresh store")
+	}
+}
+
+func TestResidencyPreadUnsupported(t *testing.T) {
+	dir := t.TempDir()
+	bulkStore(t, dir, 8, 8)
+	db, err := OpenDB(dir, testD, WithoutDataCRC(), WithPread())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db.Close()
+	s := db.Acquire()
+	defer s.Release()
+	if _, err := s.segs[0].Residency(); !errors.Is(err, ErrResidencyUnsupported) {
+		t.Fatalf("pread residency error = %v, want ErrResidencyUnsupported", err)
+	}
+	// The probe reports the error string, never zeros that read as evicted.
+	samples := ProbeResidency(db)()
+	if len(samples) != 1 {
+		t.Fatalf("probe returned %d samples, want 1", len(samples))
+	}
+	if samples[0].Err == "" {
+		t.Fatal("unsupported sample carries no error")
+	}
+	if samples[0].MappedBytes != 0 || samples[0].ResidentBytes != 0 {
+		t.Fatalf("unsupported sample carries byte counts: %+v", samples[0])
+	}
+}
+
+func TestJournalLifecycleReconciles(t *testing.T) {
+	dir := t.TempDir()
+	db, err := OpenDB(dir, testD)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db.Close()
+	rec := storeobs.NewRecorder(storeobs.Config{})
+	db.SetObserver(rec)
+	j := rec.Journal()
+
+	ingestBatch(t, db, 0, 10)
+	ingestBatch(t, db, 10, 10)
+	if merged, err := db.Compact(0); err != nil || merged != 2 {
+		t.Fatalf("Compact = %d, %v; want 2 merged", merged, err)
+	}
+	st := db.Stats()
+	counts := j.Counts()
+
+	if got, want := counts[storeobs.EventIngestBatch], st.Ingests; got != want {
+		t.Fatalf("ingest_batch events %d != ingests counter %d", got, want)
+	}
+	if got, want := counts[storeobs.EventSegmentCompacted], st.Compactions; got != want {
+		t.Fatalf("segment_compacted events %d != compactions counter %d", got, want)
+	}
+	if got, want := counts[storeobs.EventManifestSwap], st.Ingests+st.Compactions; got != want {
+		t.Fatalf("manifest_swap events %d != ingests+compactions %d", got, want)
+	}
+	// 3 created (2 ingest + 1 merge), 2 unlinked as the merged-away readers
+	// closed when the old generation released (nothing else held it).
+	if got := counts[storeobs.EventSegmentCreated]; got != 3 {
+		t.Fatalf("segment_created events = %d, want 3", got)
+	}
+	if got := counts[storeobs.EventSegmentUnlinked]; got != 2 {
+		t.Fatalf("segment_unlinked events = %d, want 2", got)
+	}
+	// Pins: one at SetObserver + one per publish; releases: the two retired
+	// publish generations (the SetObserver-time generation retired too).
+	if got := counts[storeobs.EventSnapshotPin]; got != 4 {
+		t.Fatalf("snapshot_pin events = %d, want 4", got)
+	}
+	if got := counts[storeobs.EventSnapshotRelease]; got != 3 {
+		t.Fatalf("snapshot_release events = %d, want 3", got)
+	}
+
+	// Unlinked segments left the per-segment accounts.
+	if segs := rec.Segments(); len(segs) != 1 {
+		names := make([]string, 0, len(segs))
+		for _, s := range segs {
+			names = append(names, s.Segment)
+		}
+		t.Fatalf("recorder still tracks %v, want only the merged segment", names)
+	}
+
+	// The compaction event carries reclaimed-space accounting.
+	var compacted *storeobs.Event
+	for _, ev := range j.Events() {
+		if ev.Kind == storeobs.EventSegmentCompacted {
+			e := ev
+			compacted = &e
+		}
+	}
+	if compacted == nil {
+		t.Fatal("no segment_compacted event in the ring")
+	}
+	if compacted.Records != 20 || compacted.Bytes <= 0 {
+		t.Fatalf("compaction event bookkeeping: %+v", compacted)
+	}
+}
+
+// A panicking fetch (here: an out-of-range ID) must not leak its snapshot
+// reference — a leaked reference would pin merged-away segments on disk
+// forever.
+func TestFetchPanicReleasesSnapshot(t *testing.T) {
+	dir := t.TempDir()
+	db, err := OpenDB(dir, testD)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db.Close()
+	ingestBatch(t, db, 0, 5)
+	ingestBatch(t, db, 5, 5)
+
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Fatal("out-of-range fetch did not panic")
+			}
+		}()
+		db.Fetch(10)
+	}()
+
+	old, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if merged, err := db.Compact(0); err != nil || merged != 2 {
+		t.Fatalf("Compact = %d, %v; want 2 merged", merged, err)
+	}
+	now, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Both pre-compaction segments must be gone: nothing pins the old
+	// generation once the failed fetch released its reference.
+	left := 0
+	for _, e := range now {
+		if strings.HasSuffix(e.Name(), segSuffix) {
+			left++
+		}
+	}
+	if left != 1 {
+		t.Fatalf("%d segment files remain after compaction (had %d entries before), want 1", left, len(old))
+	}
+}
+
+func TestManifestRecovery(t *testing.T) {
+	writeStore := func(t *testing.T) string {
+		dir := t.TempDir()
+		bulkStore(t, dir, 20, 10)
+		return dir
+	}
+	cases := []struct {
+		name    string
+		corrupt func(t *testing.T, dir string)
+		wantErr string // empty: open must succeed
+		orphans int
+	}{
+		{
+			name: "truncated manifest",
+			corrupt: func(t *testing.T, dir string) {
+				path := filepath.Join(dir, ManifestName)
+				buf, err := os.ReadFile(path)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if err := os.WriteFile(path, buf[:len(buf)/2], 0o644); err != nil {
+					t.Fatal(err)
+				}
+			},
+			wantErr: "corrupt or truncated",
+		},
+		{
+			name: "garbage manifest",
+			corrupt: func(t *testing.T, dir string) {
+				if err := os.WriteFile(filepath.Join(dir, ManifestName), []byte("not json{"), 0o644); err != nil {
+					t.Fatal(err)
+				}
+			},
+			wantErr: "corrupt or truncated",
+		},
+		{
+			name: "truncated segment file",
+			corrupt: func(t *testing.T, dir string) {
+				if err := os.WriteFile(filepath.Join(dir, segFileName(0)), []byte("stub"), 0o644); err != nil {
+					t.Fatal(err)
+				}
+			},
+			wantErr: "smaller than",
+		},
+		{
+			name: "orphaned segment is ignored",
+			corrupt: func(t *testing.T, dir string) {
+				buf, err := os.ReadFile(filepath.Join(dir, segFileName(0)))
+				if err != nil {
+					t.Fatal(err)
+				}
+				if err := os.WriteFile(filepath.Join(dir, "seg-000099.lbseg"), buf, 0o644); err != nil {
+					t.Fatal(err)
+				}
+			},
+			orphans: 1,
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			dir := writeStore(t)
+			tc.corrupt(t, dir)
+			db, err := OpenDB(dir, testD)
+			if tc.wantErr != "" {
+				if err == nil {
+					db.Close()
+					t.Fatalf("open succeeded, want error containing %q", tc.wantErr)
+				}
+				if !strings.Contains(err.Error(), tc.wantErr) {
+					t.Fatalf("error %q does not mention %q", err, tc.wantErr)
+				}
+				return
+			}
+			if err != nil {
+				t.Fatalf("open failed: %v", err)
+			}
+			defer db.Close()
+			if db.Len() != 20 {
+				t.Fatalf("store serves %d records, want 20 (orphan must not be served)", db.Len())
+			}
+			st := db.Stats()
+			if len(st.Orphans) != tc.orphans {
+				t.Fatalf("Stats.Orphans = %v, want %d entries", st.Orphans, tc.orphans)
+			}
+			rec := storeobs.NewRecorder(storeobs.Config{})
+			db.SetObserver(rec)
+			if got := rec.Journal().Counts()[storeobs.EventSegmentOrphaned]; got != int64(tc.orphans) {
+				t.Fatalf("segment_orphaned events = %d, want %d", got, tc.orphans)
+			}
+		})
+	}
+}

@@ -6,7 +6,11 @@ import (
 	"hash/crc32"
 	"math"
 	"os"
+	"path/filepath"
 	"sync/atomic"
+	"time"
+
+	"lbkeogh/internal/obs/storeobs"
 )
 
 // backend abstracts how an open segment's bytes are reached: a whole-file
@@ -22,6 +26,9 @@ type backend interface {
 	zeroCopy() bool
 	// mappedBytes is the size of the live mapping (0 for pread).
 	mappedBytes() int64
+	// mapping exposes the live mapping for page-residency probes (nil for
+	// pread — residency is then unmeasurable, not zero).
+	mapping() []byte
 	close() error
 }
 
@@ -30,6 +37,7 @@ type OpenOption func(*openConfig)
 
 type openConfig struct {
 	skipDataCRC bool
+	forcePread  bool
 }
 
 // WithoutDataCRC skips the per-section CRC verification on open. The header
@@ -37,6 +45,14 @@ type openConfig struct {
 // this process just wrote and verified; default opens verify everything.
 func WithoutDataCRC() OpenOption {
 	return func(c *openConfig) { c.skipDataCRC = true }
+}
+
+// WithPread forces the positioned-read backend even where mmap is available
+// — the same code path as non-Unix platforms and the lbkeogh_pread build
+// tag. Used by tests pinning cold/warm classification determinism and the
+// residency-unsupported path without cross-compiling.
+func WithPread() OpenOption {
+	return func(c *openConfig) { c.forcePread = true }
 }
 
 // Reader is one open, immutable segment. All accessors are safe for
@@ -48,6 +64,7 @@ type Reader struct {
 	path string
 	n, d int
 	m    int64
+	size int64
 	secs [numSections]section // indexed by sectionKinds order
 	be   backend
 
@@ -59,6 +76,12 @@ type Reader struct {
 	// removeOnClose unlinks the file when the reader finally closes —
 	// compaction marks replaced segments with it.
 	removeOnClose atomic.Bool
+
+	// acct/obsRec attach storage observability (storeobs). nil acct — the
+	// default — keeps every accessor on its uninstrumented path behind a
+	// single atomic-pointer nil check.
+	acct   atomic.Pointer[storeobs.SegmentAccount]
+	obsRec atomic.Pointer[storeobs.Recorder]
 }
 
 // Open validates path's header, section table, and (unless WithoutDataCRC)
@@ -79,6 +102,11 @@ func Open(path string, opts ...OpenOption) (*Reader, error) {
 	}
 	size := info.Size()
 	head := make([]byte, headerSize+numSections*entrySize+4)
+	if size < int64(len(head)) {
+		f.Close()
+		return nil, fmt.Errorf("segment: %s: file is %d bytes, smaller than the %d-byte header and section table — truncated or not a segment file",
+			path, size, len(head))
+	}
 	if _, err := f.ReadAt(head, 0); err != nil {
 		f.Close()
 		return nil, fmt.Errorf("segment: %s: reading header: %w", path, err)
@@ -93,7 +121,7 @@ func Open(path string, opts ...OpenOption) (*Reader, error) {
 		f.Close()
 		return nil, fmt.Errorf("segment: %s: %w", path, err)
 	}
-	r := &Reader{path: path, n: h.n, d: h.d, m: h.count}
+	r := &Reader{path: path, n: h.n, d: h.d, m: h.count, size: size}
 	for i, want := range sectionKinds {
 		s := secs[i]
 		if s.kind != want {
@@ -120,12 +148,16 @@ func Open(path string, opts ...OpenOption) (*Reader, error) {
 		}
 		r.secs[i] = s
 	}
-	be, err := openBackend(f, size)
-	if err != nil {
-		f.Close()
-		return nil, fmt.Errorf("segment: %s: %w", path, err)
+	if cfg.forcePread {
+		r.be = newPreadBackend(f, size)
+	} else {
+		be, err := openBackend(f, size)
+		if err != nil {
+			f.Close()
+			return nil, fmt.Errorf("segment: %s: %w", path, err)
+		}
+		r.be = be
 	}
-	r.be = be
 	if !cfg.skipDataCRC {
 		if err := r.verifySections(); err != nil {
 			r.Close()
@@ -185,9 +217,14 @@ func (r *Reader) ZeroCopy() bool { return r.be.zeroCopy() && canViewFloats }
 
 // floatRecord returns record i of a float64 column as a []float64: a
 // zero-copy view when the backend maps and the architecture is
-// little-endian, a decoded heap copy otherwise.
+// little-endian, a decoded heap copy otherwise. With a storeobs account
+// attached it detours to the observed variant; detached, the only extra
+// cost is the acct nil check.
 func (r *Reader) floatRecord(sec int, i int, width int) []float64 {
 	off := r.secs[sec].off + int64(i)*int64(width)*8
+	if acct := r.acct.Load(); acct != nil {
+		return r.observedFloatRecord(acct, sec, off, i, width)
+	}
 	if r.be.zeroCopy() {
 		b, err := r.be.record(off, width*8, nil)
 		if err != nil {
@@ -200,6 +237,45 @@ func (r *Reader) floatRecord(sec int, i int, width int) []float64 {
 		panic(fmt.Sprintf("segment: %s record %d: %v", r.path, i, err))
 	}
 	return decodeFloats(b, width)
+}
+
+// observedFloatRecord is floatRecord with storage accounting: the read is
+// timed with every page of the record forced resident inside the timed
+// region (under mmap the fault otherwise lands outside any measurable span,
+// whenever the caller first dereferences the view), then folded into the
+// account — which classifies it cold or warm by its first-touch page
+// bitmap, a classification deterministic across the mmap and pread
+// backends.
+func (r *Reader) observedFloatRecord(acct *storeobs.SegmentAccount, sec int, off int64, i, width int) []float64 {
+	start := time.Now()
+	b, err := r.be.record(off, width*8, nil)
+	if err != nil {
+		panic(fmt.Sprintf("segment: %s record %d: %v", r.path, i, err))
+	}
+	touchPages(b)
+	acct.ObserveRead(sec, off, int64(width)*8, time.Since(start).Nanoseconds())
+	if r.be.zeroCopy() {
+		return floatsOf(b, width)
+	}
+	return decodeFloats(b, width)
+}
+
+// pageTouchSink keeps touchPages' loads observable so the compiler cannot
+// elide them; atomic, because concurrent readers all write it.
+var pageTouchSink atomic.Uint32
+
+// touchPages reads one byte per accounting page of b (plus the final byte)
+// so that any page faults are taken here, inside the caller's timed region.
+func touchPages(b []byte) {
+	if len(b) == 0 {
+		return
+	}
+	var s byte
+	for j := 0; j < len(b); j += storeobs.PageSize {
+		s += b[j]
+	}
+	s += b[len(b)-1]
+	pageTouchSink.Store(uint32(s))
 }
 
 // Series returns record i's full-resolution series. Zero-copy under mmap on
@@ -235,11 +311,45 @@ func (r *Reader) PAA(i int) []float64 {
 func (r *Reader) Label(i int) int64 {
 	off := r.secs[3].off + int64(i)*8
 	var scratch [8]byte
+	if acct := r.acct.Load(); acct != nil {
+		start := time.Now()
+		b, err := r.be.record(off, 8, scratch[:])
+		if err != nil {
+			panic(fmt.Sprintf("segment: %s meta %d: %v", r.path, i, err))
+		}
+		touchPages(b)
+		acct.ObserveRead(storeobs.ColMeta, off, 8, time.Since(start).Nanoseconds())
+		return int64(binary.LittleEndian.Uint64(b))
+	}
 	b, err := r.be.record(off, 8, scratch[:])
 	if err != nil {
 		panic(fmt.Sprintf("segment: %s meta %d: %v", r.path, i, err))
 	}
 	return int64(binary.LittleEndian.Uint64(b))
+}
+
+// rawCovered reports whether record i's raw-column bytes are already fully
+// page-covered — i.e. whether a fetch of it would be warm. Always true with
+// no account attached (everything is "warm" when nobody is measuring).
+func (r *Reader) rawCovered(i int) bool {
+	acct := r.acct.Load()
+	if acct == nil {
+		return true
+	}
+	off := r.secs[0].off + int64(i)*int64(r.n)*8
+	return acct.Covered(off, int64(r.n)*8)
+}
+
+// setObserver attaches (or, with nil, detaches) storage accounting. The
+// account is created against the recorder keyed by the segment's file name.
+func (r *Reader) setObserver(rec *storeobs.Recorder) {
+	if rec == nil {
+		r.acct.Store(nil)
+		r.obsRec.Store(nil)
+		return
+	}
+	r.obsRec.Store(rec)
+	r.acct.Store(rec.Segment(filepath.Base(r.path), r.size))
 }
 
 // retain/release implement the DB-managed share count: a reader held by k
@@ -258,6 +368,16 @@ func (r *Reader) Close() error {
 	err := r.be.close()
 	if r.removeOnClose.Load() {
 		os.Remove(r.path)
+		if rec := r.obsRec.Load(); rec != nil {
+			name := filepath.Base(r.path)
+			rec.DropSegment(name)
+			rec.Journal().Record(storeobs.Event{
+				Kind:    storeobs.EventSegmentUnlinked,
+				Segment: name,
+				Records: r.m,
+				Bytes:   r.size,
+			})
+		}
 	}
 	return err
 }

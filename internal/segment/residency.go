@@ -1,0 +1,60 @@
+package segment
+
+import (
+	"errors"
+	"path/filepath"
+
+	"lbkeogh/internal/obs/storeobs"
+)
+
+// ErrResidencyUnsupported marks a reader whose page residency cannot be
+// measured: a positioned-read backend (non-Unix platforms, the
+// lbkeogh_pread build tag, WithPread, or a failed mmap) or a platform
+// without mincore. Callers must report it as "unsupported", never as zero
+// residency.
+var ErrResidencyUnsupported = errors.New("segment: page residency unsupported (no mmap backend or no mincore on this platform)")
+
+// Residency is one reader's page residency at a sample instant.
+type Residency struct {
+	MappedBytes   int64
+	ResidentBytes int64
+}
+
+// Residency asks the kernel (mincore) how much of the segment's mapping is
+// currently resident. It walks the whole mapping's page vector — cheap, but
+// not free — so callers sample it periodically off the query path, never
+// per fetch.
+func (r *Reader) Residency() (Residency, error) {
+	data := r.be.mapping()
+	if data == nil {
+		return Residency{}, ErrResidencyUnsupported
+	}
+	resident, err := mincoreResident(data)
+	if err != nil {
+		return Residency{}, err
+	}
+	return Residency{MappedBytes: int64(len(data)), ResidentBytes: resident}, nil
+}
+
+// ProbeResidency adapts a DB into the probe shape storeobs.Sampler wants:
+// each call snapshots the live segment set and measures every reader,
+// reporting unmeasurable segments with an error string rather than zeros.
+func ProbeResidency(db *DB) func() []storeobs.SegmentResidency {
+	return func() []storeobs.SegmentResidency {
+		s := db.Acquire()
+		defer s.Release()
+		out := make([]storeobs.SegmentResidency, 0, len(s.segs))
+		for _, r := range s.segs {
+			sr := storeobs.SegmentResidency{Segment: filepath.Base(r.Path())}
+			res, err := r.Residency()
+			if err != nil {
+				sr.Err = err.Error()
+			} else {
+				sr.MappedBytes = res.MappedBytes
+				sr.ResidentBytes = res.ResidentBytes
+			}
+			out = append(out, sr)
+		}
+		return out
+	}
+}

@@ -1,0 +1,58 @@
+//go:build linux
+
+package segment
+
+import (
+	"testing"
+
+	"lbkeogh/internal/obs/storeobs"
+)
+
+func TestResidencyMmapMeasures(t *testing.T) {
+	dir := t.TempDir()
+	bulkStore(t, dir, 32, 32)
+	db, err := OpenDB(dir, testD)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db.Close()
+	s := db.Acquire()
+	defer s.Release()
+	if !s.segs[0].ZeroCopy() {
+		t.Skip("store did not map (pread fallback); residency unmeasurable here")
+	}
+
+	// Touch every record so the pages are in core, then measure.
+	for id := 0; id < 32; id++ {
+		db.Fetch(id)
+	}
+	res, err := s.segs[0].Residency()
+	if err != nil {
+		t.Fatalf("Residency: %v", err)
+	}
+	if res.MappedBytes <= 0 {
+		t.Fatalf("mapped bytes = %d, want > 0", res.MappedBytes)
+	}
+	if res.ResidentBytes <= 0 || res.ResidentBytes > res.MappedBytes {
+		t.Fatalf("resident bytes = %d of %d mapped", res.ResidentBytes, res.MappedBytes)
+	}
+
+	samples := ProbeResidency(db)()
+	if len(samples) != 1 || samples[0].Err != "" {
+		t.Fatalf("probe = %+v, want one errorless sample", samples)
+	}
+	if f := samples[0].Fraction(); f <= 0 || f > 1 {
+		t.Fatalf("resident fraction = %v, want (0,1]", f)
+	}
+
+	// End to end through the sampler: the recorder reports it as supported.
+	rec := storeobs.NewRecorder(storeobs.Config{})
+	db.SetObserver(rec)
+	sampler := storeobs.NewSampler(rec, ProbeResidency(db), 0)
+	sampler.Start()
+	defer sampler.Stop()
+	got, at := rec.Residency()
+	if len(got) != 1 || at.IsZero() {
+		t.Fatalf("sampler stored %d samples at %v", len(got), at)
+	}
+}

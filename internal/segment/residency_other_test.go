@@ -1,0 +1,30 @@
+//go:build !linux
+
+package segment
+
+import (
+	"errors"
+	"testing"
+)
+
+// On non-Linux platforms there is no mincore: residency must report
+// unsupported even for an mmap backend — never zeros, which a dashboard
+// would read as "fully evicted".
+func TestResidencyUnsupportedOffLinux(t *testing.T) {
+	dir := t.TempDir()
+	bulkStore(t, dir, 8, 8)
+	db, err := OpenDB(dir, testD)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db.Close()
+	s := db.Acquire()
+	defer s.Release()
+	if _, err := s.segs[0].Residency(); !errors.Is(err, ErrResidencyUnsupported) {
+		t.Fatalf("residency error = %v, want ErrResidencyUnsupported", err)
+	}
+	samples := ProbeResidency(db)()
+	if len(samples) != 1 || samples[0].Err == "" {
+		t.Fatalf("probe = %+v, want one errored sample", samples)
+	}
+}

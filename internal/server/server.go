@@ -22,6 +22,7 @@ import (
 	"lbkeogh"
 	"lbkeogh/internal/obs/explain"
 	"lbkeogh/internal/obs/ops"
+	"lbkeogh/internal/obs/storeobs"
 	"lbkeogh/internal/segment"
 )
 
@@ -79,6 +80,15 @@ type Config struct {
 	// not start or stop it; the owning process does.
 	Profiler *ops.Profiler
 
+	// StoreObs, when set alongside Store, is the storage-plane recorder the
+	// owning process attached to the store (segment.DB.SetObserver). The
+	// server surfaces it: its metric families join /metrics, per-segment
+	// heat joins the shapeserver_segment_* families, and /debug/storage
+	// renders the segment heatmap, residency, and the event journal. The
+	// server never creates or samples it — the process owns the recorder
+	// and any residency Sampler.
+	StoreObs *storeobs.Recorder
+
 	// ExplainSampleInterval is the bound-tightness sampling interval: one of
 	// every N candidate comparisons across all requests gets its full bound
 	// waterfall measured (FFT, PAA, envelope lower bounds vs the true
@@ -123,13 +133,14 @@ func (c *Config) fillDefaults() {
 // Create with New, mount Handler, and call BeginDrain before shutting the
 // http.Server down so in-flight requests finish while new ones get 503s.
 type Server struct {
-	cfg   Config
-	n     int         // series length every query must match (static mode)
-	store *segment.DB // nil in static (heap DB) mode
-	pool  *Pool
-	adm   *Admission
-	mux   *http.ServeMux
-	tel   *telemetry
+	cfg      Config
+	n        int         // series length every query must match (static mode)
+	store    *segment.DB // nil in static (heap DB) mode
+	storeObs *storeobs.Recorder
+	pool     *Pool
+	adm      *Admission
+	mux      *http.ServeMux
+	tel      *telemetry
 
 	// sampler is the server-owned bound-tightness sink, armed on every
 	// pooled query session (nil when ExplainSampleInterval < 0).
@@ -184,13 +195,17 @@ func New(cfg Config) (*Server, error) {
 		}
 	}
 	cfg.fillDefaults()
+	if cfg.StoreObs != nil && cfg.Store == nil {
+		return nil, fmt.Errorf("server: Config.StoreObs requires Config.Store (it observes the segment store)")
+	}
 	s := &Server{
-		cfg:   cfg,
-		n:     n,
-		store: cfg.Store,
-		pool:  NewPool(cfg.PoolSize),
-		adm:   NewAdmission(cfg.MaxInflight, cfg.MaxQueue),
-		tel:   newTelemetry(cfg),
+		cfg:      cfg,
+		n:        n,
+		store:    cfg.Store,
+		storeObs: cfg.StoreObs,
+		pool:     NewPool(cfg.PoolSize),
+		adm:      NewAdmission(cfg.MaxInflight, cfg.MaxQueue),
+		tel:      newTelemetry(cfg),
 	}
 	if cfg.ExplainSampleInterval > 0 {
 		s.sampler = lbkeogh.NewBoundSampler(cfg.ExplainSampleInterval)
@@ -335,9 +350,14 @@ func (s *Server) buildMux() *http.ServeMux {
 			s.sampler.WriteMetrics(w)
 		}
 		s.tel.writeMetrics(w)
+		if s.storeObs != nil {
+			s.storeObs.WriteMetrics(w)
+			s.writeSegmentMetrics(w)
+		}
 	}))
 	mux.Handle("/debug/lbkeogh", lbkeogh.DebugHandlerWithPanels(sources, logs, s.tel.panel(), s.explainPanel()))
 	mux.HandleFunc("/debug/index", s.handleDebugIndex)
+	mux.HandleFunc("/debug/storage", s.handleDebugStorage)
 	mux.Handle("/debug/profiles", s.cfg.Profiler.Handler())
 	mux.Handle("/debug/vars", expvar.Handler())
 	mux.HandleFunc("/debug/pprof/", pprof.Index)

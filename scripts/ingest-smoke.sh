@@ -32,18 +32,41 @@ count=50000
 
 # Bulk ingest: 50k shapes, segments rolled every 16k records (so compaction
 # below has real work), indexes deferred, then a full-checksum reopen.
+# Progress is structured slog JSON on stderr; the run summary is one JSON
+# line on stdout.
 "$tmp/shapeingest" -dir "$store" -count $count -n $n -segment-records 16384 \
-	-verify >"$tmp/ingest.log" 2>&1 ||
+	-verify >"$tmp/summary.json" 2>"$tmp/ingest.log" ||
 	{
 		cat "$tmp/ingest.log" >&2
 		fail "shapeingest failed"
 	}
-grep -q "ingest complete: $count rows" "$tmp/ingest.log" ||
+grep -q '"msg":"ingest complete"' "$tmp/ingest.log" ||
+	fail "shapeingest did not log ingest complete"
+grep -q "\"rows\":$count" "$tmp/ingest.log" ||
 	fail "shapeingest did not report the full load"
-grep -q 'verify complete: 4 segments' "$tmp/ingest.log" ||
+grep -q '"msg":"verify complete"' "$tmp/ingest.log" ||
+	fail "shapeingest did not log verify complete"
+grep -q '"segments":4' "$tmp/ingest.log" ||
 	fail "expected 4 segments from the 16384-record roll"
-grep -q 'all checksums good' "$tmp/ingest.log" ||
+grep -q '"checksums":"good"' "$tmp/ingest.log" ||
 	fail "checksum verification did not pass"
+# Bulk progress flows through the storage event journal: one sealed-segment
+# event per roll, then the manifest swap that publishes the load.
+sealed=$(grep -c '"kind":"segment_sealed"' "$tmp/ingest.log" || true)
+[ "$sealed" = 4 ] ||
+	fail "journal logged $sealed segment_sealed events, want 4"
+grep -q '"kind":"manifest_swap"' "$tmp/ingest.log" ||
+	fail "journal did not log the manifest swap"
+# The stdout summary is machine-readable: rows, stage durations, and the
+# journal's per-kind counts must reconcile with the log above.
+grep -q "\"rows\":$count" "$tmp/summary.json" ||
+	fail "run summary rows != $count: $(cat "$tmp/summary.json")"
+grep -q '"segments":4' "$tmp/summary.json" ||
+	fail "run summary segments != 4"
+grep -q '"generate_ingest"' "$tmp/summary.json" ||
+	fail "run summary has no stage durations"
+grep -q '"segment_sealed":4' "$tmp/summary.json" ||
+	fail "run summary journal_events does not carry 4 sealed segments"
 [ -f "$store/MANIFEST.json" ] ||
 	fail "no manifest written"
 
@@ -135,8 +158,46 @@ curl -fsS "http://$saddr/v1/search" -d '{"query_index":31415}' >"$tmp/search3.js
 grep -q '"index": 31415' "$tmp/search3.json" ||
 	fail "row 31415 lost across compaction"
 
+# Storage-plane observability: /debug/storage renders the heatmap, and the
+# journal's per-kind counters on /metrics reconcile with the store counters
+# across the ingest -> compact lifecycle this run performed (1 online
+# ingest, 1 compaction, hence 2 manifest swaps).
+curl -fsS "http://$saddr/debug/storage" >"$tmp/storage.html" ||
+	fail "/debug/storage did not answer 200"
+grep -q 'segment heatmap' "$tmp/storage.html" ||
+	fail "/debug/storage did not render the heatmap"
+grep -q 'event journal' "$tmp/storage.html" ||
+	fail "/debug/storage did not render the journal"
+curl -fsS "http://$saddr/debug/storage?format=json" >"$tmp/storage.json" ||
+	fail "/debug/storage?format=json did not answer 200"
+grep -q '"journal_counts"' "$tmp/storage.json" ||
+	fail "storage report has no journal counts"
+curl -fsS "http://$saddr/metrics" >"$tmp/metrics2.txt" ||
+	fail "/metrics did not answer 200 after the post-compact search"
+grep -q '^lbkeogh_store_journal_events_total{kind="ingest_batch"} 1$' "$tmp/metrics2.txt" ||
+	fail "journal ingest_batch count != shapeserver_store_ingests_total delta of 1"
+grep -q '^lbkeogh_store_journal_events_total{kind="segment_compacted"} 1$' "$tmp/metrics2.txt" ||
+	fail "journal segment_compacted count != compactions_total delta of 1"
+grep -q '^lbkeogh_store_journal_events_total{kind="manifest_swap"} 2$' "$tmp/metrics2.txt" ||
+	fail "journal manifest_swap count != ingests + compactions"
+grep -q '^shapeserver_store_ingests_total 1$' "$tmp/metrics2.txt" ||
+	fail "ingests_total != 1"
+grep -q '^shapeserver_store_compactions_total 1$' "$tmp/metrics2.txt" ||
+	fail "compactions_total != 1 on the second scrape"
+grep -q 'lbkeogh_store_fetches_total{temperature="cold"}' "$tmp/metrics2.txt" ||
+	fail "no cold/warm fetch split on /metrics"
+grep -q 'shapeserver_segment_file_bytes{segment="seg-' "$tmp/metrics2.txt" ||
+	fail "no per-segment heat families on /metrics"
+grep -Eq 'shapeserver_segment_reads_total\{segment="seg-[0-9]+\.lbseg"\} [1-9]' "$tmp/metrics2.txt" ||
+	fail "post-compact search left no per-segment reads"
+
 kill -TERM "$spid" 2>/dev/null || true
 wait "$spid" 2>/dev/null || true
 spid=""
 
-echo "ingest-smoke: ok ($saddr: 50k bulk ingest, mmap serve, online ingest, compact, counts reconcile)"
+# Strict OpenMetrics-shape parse of the composite /metrics page with the
+# storage families present (the test spins its own observed server).
+$GO test ./internal/server/ -run 'TestStoreObsMetricsParse' -count=1 >/dev/null ||
+	fail "strict exposition parse of the storage metric families failed"
+
+echo "ingest-smoke: ok ($saddr: 50k bulk ingest, mmap serve, online ingest, compact, journal reconciles, storage dashboard renders)"
